@@ -1,0 +1,188 @@
+//! Criterion micro-benchmarks for the core algorithms: the numerical
+//! substrate (NNLS, loss-curve fit, speed fit), the §5.3 assignment
+//! algorithms, one scheduling decision at testbed scale, and the Eqn-2
+//! physics evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optimus_cluster::Cluster;
+use optimus_core::prelude::*;
+use optimus_fitting::families::{CurveFamily, ExpDecayFamily};
+use optimus_fitting::{nnls, qr_lstsq, LossCurveFitter, Matrix};
+use optimus_ps::contention::{oversubscription_factors, JobTraffic};
+use optimus_ps::data::{ChunkAssignment, ChunkedDataset};
+use optimus_ps::{PsAssignment, PsJobModel, TaskCounts};
+use optimus_workload::{JobId, ModelKind, TrainingMode};
+
+fn bench_nnls(c: &mut Criterion) {
+    // The speed-model problem shape: 30 samples × 5 coefficients.
+    let rows: Vec<Vec<f64>> = (0..30)
+        .map(|i| {
+            let p = (i % 6 + 1) as f64;
+            let w = (i / 6 + 1) as f64;
+            vec![256.0 / w, 1.0, w / p, w, p]
+        })
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let a = Matrix::from_rows(&refs).unwrap();
+    let b: Vec<f64> = rows
+        .iter()
+        .map(|r| 1.02 * r[0] + 2.78 + 4.92 * r[2] + 0.02 * r[4])
+        .collect();
+    c.bench_function("nnls_30x5", |bench| {
+        bench.iter(|| nnls(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+fn bench_loss_fit(c: &mut Criterion) {
+    let pts: Vec<(u64, f64)> = (0..400)
+        .map(|k| (k, 1.0 / (0.05 * k as f64 + 1.2) + 0.1))
+        .collect();
+    let fitter = LossCurveFitter::new();
+    c.bench_function("loss_curve_fit_400pts", |bench| {
+        bench.iter(|| fitter.fit(black_box(&pts)).unwrap())
+    });
+}
+
+fn bench_speed_fit(c: &mut Criterion) {
+    let profile = ModelKind::ResNet50.profile();
+    let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+    let samples: Vec<(u32, u32, f64)> = (1..=6)
+        .flat_map(|p| (1..=6).map(move |w| (p, w)))
+        .map(|(p, w)| (p, w, truth.speed(p, w)))
+        .collect();
+    c.bench_function("speed_model_fit_36samples", |bench| {
+        bench.iter(|| {
+            let mut m = SpeedModel::new(TrainingMode::Synchronous, 256.0);
+            for &(p, w, s) in &samples {
+                m.record(p, w, s);
+            }
+            m.refit().unwrap();
+            black_box(m.predict(10, 10))
+        })
+    });
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let blocks = ModelKind::ResNet50.profile().parameter_blocks();
+    c.bench_function("paa_resnet50_p10", |bench| {
+        bench.iter(|| PsAssignment::paa(black_box(&blocks), 10))
+    });
+    c.bench_function("mxnet_default_resnet50_p10", |bench| {
+        bench.iter(|| PsAssignment::mxnet_default(black_box(&blocks), 10, 42))
+    });
+}
+
+fn testbed_jobs(n: u64) -> Vec<JobView> {
+    let profile = ModelKind::Seq2Seq.profile();
+    let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+    let mut speed = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+    for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4)] {
+        speed.record(p, w, truth.speed(p, w));
+    }
+    speed.refit().unwrap();
+    (0..n)
+        .map(|i| JobView {
+            id: JobId(i),
+            worker_profile: optimus_workload::job::default_container(),
+            ps_profile: optimus_workload::job::default_container(),
+            remaining_work: 1_000.0 * (i + 1) as f64,
+            speed: speed.clone(),
+            progress: 0.5,
+            requested_units: 8,
+        })
+        .collect()
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let cluster = Cluster::paper_testbed();
+    let jobs = testbed_jobs(9);
+    for (name, sched) in [
+        ("optimus_schedule_9jobs_testbed", OptimusScheduler::build()),
+        ("drf_schedule_9jobs_testbed", DrfScheduler::build()),
+        ("tetris_schedule_9jobs_testbed", TetrisScheduler::build()),
+    ] {
+        c.bench_function(name, |bench| {
+            bench.iter(|| sched.schedule(black_box(&jobs), black_box(&cluster)))
+        });
+    }
+}
+
+fn bench_qr_vs_normal_equations(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..60).map(|i| 1.0 + i as f64 * 0.2).collect();
+    let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x, x * x, x * x * x]).collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let a = Matrix::from_rows(&refs).unwrap();
+    let b: Vec<f64> = rows.iter().map(|r| r.iter().sum()).collect();
+    c.bench_function("qr_lstsq_60x4", |bench| {
+        bench.iter(|| qr_lstsq(black_box(&a), black_box(&b)).unwrap())
+    });
+    c.bench_function("normal_eq_lstsq_60x4", |bench| {
+        bench.iter(|| black_box(&a).lstsq(black_box(&b)).unwrap())
+    });
+}
+
+fn bench_exp_family_fit(c: &mut Criterion) {
+    let pts: Vec<(u64, f64)> = (0..300)
+        .map(|k| (k, 0.9 * (-0.02 * k as f64).exp() + 0.1))
+        .collect();
+    let family = ExpDecayFamily::default();
+    c.bench_function("exp_decay_fit_300pts", |bench| {
+        bench.iter(|| family.fit(black_box(&pts)).unwrap())
+    });
+}
+
+fn bench_contention(c: &mut Criterion) {
+    // 60 jobs spread over 100 servers.
+    let traffic: Vec<JobTraffic> = (0..60)
+        .map(|i| JobTraffic {
+            job: JobId(i),
+            placement: (0..4)
+                .map(|k| {
+                    (
+                        optimus_cluster::ServerId(((i as usize) * 7 + k * 13) % 100),
+                        TaskCounts { ps: 2, workers: 2 },
+                    )
+                })
+                .collect(),
+            ps_bytes_per_s: 20e6,
+            worker_bytes_per_s: 20e6,
+        })
+        .collect();
+    c.bench_function("nic_contention_60jobs_100servers", |bench| {
+        bench.iter(|| oversubscription_factors(black_box(&traffic), 125e6))
+    });
+}
+
+fn bench_chunk_rebalance(c: &mut Criterion) {
+    let dataset = ChunkedDataset::new(512 * 128 * 1024 * 1024);
+    c.bench_function("chunk_rebalance_512_chunks", |bench| {
+        bench.iter(|| {
+            let mut a = ChunkAssignment::round_robin(black_box(&dataset), 8);
+            a.rebalance(13);
+            a.rebalance(5);
+            black_box(a)
+        })
+    });
+}
+
+fn bench_step_physics(c: &mut Criterion) {
+    let model = PsJobModel::new(ModelKind::ResNet50.profile(), TrainingMode::Synchronous);
+    c.bench_function("eqn2_step_time", |bench| {
+        bench.iter(|| black_box(model.speed(black_box(10), black_box(10))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_nnls,
+    bench_loss_fit,
+    bench_speed_fit,
+    bench_assignment,
+    bench_schedule,
+    bench_qr_vs_normal_equations,
+    bench_exp_family_fit,
+    bench_contention,
+    bench_chunk_rebalance,
+    bench_step_physics
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion version of the Fig 12 scalability experiment: one full
+//! scheduling decision (marginal-gain allocation + Theorem-1 placement)
+//! at increasing cluster sizes. Complements the `fig12_scalability`
+//! binary with statistically robust timings on the smaller points.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_core::prelude::*;
+use optimus_ps::PsJobModel;
+use optimus_workload::{JobId, ModelKind, TrainingMode};
+
+fn make_jobs(n: usize) -> Vec<JobView> {
+    let mut base: Vec<SpeedModel> = Vec::new();
+    for kind in [ModelKind::ResNet50, ModelKind::Seq2Seq, ModelKind::CnnRand] {
+        for mode in [TrainingMode::Synchronous, TrainingMode::Asynchronous] {
+            let profile = kind.profile();
+            let truth = PsJobModel::new(profile, mode);
+            let mut m = SpeedModel::new(mode, profile.batch_size as f64);
+            for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4)] {
+                m.record(p, w, truth.speed(p, w));
+            }
+            m.refit().expect("profiled");
+            base.push(m);
+        }
+    }
+    (0..n)
+        .map(|i| JobView {
+            id: JobId(i as u64),
+            worker_profile: optimus_workload::job::default_container(),
+            ps_profile: optimus_workload::job::default_container(),
+            remaining_work: 1_000.0 + (i % 97) as f64 * 650.0,
+            speed: base[i % base.len()].clone(),
+            progress: (i % 10) as f64 / 10.0,
+            requested_units: 8,
+        })
+        .collect()
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_schedule");
+    group.sample_size(10);
+    let node_cap = ResourceVec::new(32.0, 4.0, 128.0, 10.0);
+    let scheduler = OptimusScheduler::build();
+    for &(jobs_n, nodes) in &[(250usize, 500usize), (500, 1_000), (1_000, 2_000)] {
+        let jobs = make_jobs(jobs_n);
+        let cluster = Cluster::homogeneous(nodes, node_cap);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{jobs_n}jobs_{nodes}nodes")),
+            &(jobs, cluster),
+            |bench, (jobs, cluster)| {
+                bench.iter(|| scheduler.schedule(black_box(jobs), black_box(cluster)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Extension: the FIFO baseline (§2.3) alongside the paper's lineup.
+//!
+//! §2.3 motivates size-aware scheduling with FIFO's pathology: "a long
+//! job may block a series of short jobs ... causing starvation or long
+//! completion time for short jobs". This run adds a Spark-style FIFO
+//! scheduler to the Fig-11 comparison to quantify that effect on the
+//! same workload.
+
+use optimus_bench::{print_comparison, print_json, ComparisonSpec, SchedulerChoice};
+
+fn main() {
+    let spec = ComparisonSpec::default();
+    let results: Vec<_> = [
+        SchedulerChoice::Optimus,
+        SchedulerChoice::Drf,
+        SchedulerChoice::Tetris,
+        SchedulerChoice::Fifo,
+    ]
+    .into_iter()
+    .map(|c| optimus_bench::run_scheduler(&spec, c))
+    .collect();
+    print_comparison(
+        "Extension: Fig-11 lineup + FIFO (normalized to Optimus)",
+        &results,
+    );
+    let optimus = &results[0];
+    let fifo = &results[3];
+    println!(
+        "FIFO vs Optimus: JCT ×{:.2}, makespan ×{:.2}",
+        fifo.avg_jct / optimus.avg_jct,
+        fifo.makespan / optimus.makespan
+    );
+    assert!(
+        fifo.avg_jct > optimus.avg_jct,
+        "head-of-line blocking must cost JCT"
+    );
+    println!(
+        "\nexpected shape: FIFO is the worst or near-worst on JCT — short jobs queue\n\
+         behind long ones exactly as §2.3 describes."
+    );
+    print_json("ext_extra_baselines", &results);
+}

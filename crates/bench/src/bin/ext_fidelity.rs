@@ -1,0 +1,64 @@
+//! Extension: emergent estimator fidelity inside full simulations.
+//!
+//! Figs 6–8 measure the §3 estimators in controlled conditions; this
+//! experiment measures them *in situ*: during a complete multi-job
+//! simulation, at every scheduling round, how far were each job's
+//! online speed and convergence estimates from the hidden ground truth?
+//! The paper's premise — speed is easy (~10 % error), convergence is
+//! harder (~20 %) and improves with progress — must hold under full
+//! system dynamics (placement changes, contention, rescales).
+
+use optimus_bench::{run_one_with, ComparisonSpec, SchedulerChoice};
+use optimus_fitting::stats;
+
+fn main() {
+    let mut spec = ComparisonSpec::default();
+    spec.base_config.track_fidelity = true;
+    println!("Extension: emergent estimator errors during full simulations\n");
+
+    let mut speed_by_bucket: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let mut conv_by_bucket: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for &seed in &spec.seeds.clone() {
+        let report = run_one_with(&spec, SchedulerChoice::Optimus, seed);
+        for pt in &report.fidelity {
+            let bucket = ((pt.progress * 5.0) as usize).min(4);
+            speed_by_bucket[bucket].push(pt.speed_error.abs());
+            if let Some(c) = pt.convergence_error {
+                conv_by_bucket[bucket].push(c.abs());
+            }
+        }
+    }
+
+    println!(
+        "{:>12} {:>16} {:>20} {:>9}",
+        "progress", "|speed err| %", "|convergence err| %", "samples"
+    );
+    for (i, (s, c)) in speed_by_bucket.iter().zip(conv_by_bucket.iter()).enumerate() {
+        println!(
+            "{:>9}-{:>2}% {:>16.1} {:>20.1} {:>9}",
+            i * 20,
+            (i + 1) * 20,
+            100.0 * stats::mean(s),
+            100.0 * stats::mean(c),
+            s.len()
+        );
+    }
+    let all_speed: Vec<f64> = speed_by_bucket.concat();
+    let all_conv: Vec<f64> = conv_by_bucket.concat();
+    println!(
+        "\noverall: speed {:.1} % (paper: ~10 %), convergence {:.1} % (paper: ~20 %)",
+        100.0 * stats::mean(&all_speed),
+        100.0 * stats::mean(&all_conv)
+    );
+    let early = stats::mean(&conv_by_bucket[0]);
+    let late = stats::mean(&conv_by_bucket[4]);
+    println!(
+        "convergence error shrinks with progress: {:.1} % early → {:.1} % late",
+        100.0 * early,
+        100.0 * late
+    );
+    assert!(
+        late <= early + 1e-9,
+        "Fig 6's improvement-with-progress must hold in situ"
+    );
+}

@@ -1,0 +1,59 @@
+//! Extension: the full simulation (not just the scheduling decision) at
+//! a larger scale — 100 servers, 60 jobs.
+//!
+//! Fig 12 shows the *decision* scales; this experiment shows the
+//! *outcome* holds beyond the 13-server testbed: Optimus keeps its JCT
+//! and makespan advantage on a cluster ~8× larger with ~7× more jobs.
+
+use optimus_bench::{print_comparison, print_json, ComparisonSpec, SchedulerChoice};
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_simulator::Simulation;
+use optimus_workload::{ArrivalProcess, WorkloadGenerator};
+
+fn main() {
+    let spec = ComparisonSpec {
+        arrivals: ArrivalProcess::UniformRandom {
+            count: 60,
+            horizon_s: 12_000.0,
+        },
+        seeds: vec![17],
+        ..ComparisonSpec::default()
+    };
+    let cluster = Cluster::homogeneous(100, ResourceVec::new(32.0, 0.0, 96.0, 1.0));
+
+    let mut results = Vec::new();
+    for choice in [
+        SchedulerChoice::Optimus,
+        SchedulerChoice::Drf,
+        SchedulerChoice::Tetris,
+    ] {
+        let reports: Vec<_> = spec
+            .seeds
+            .iter()
+            .map(|&seed| {
+                let jobs = WorkloadGenerator::new(spec.arrivals, seed)
+                    .with_target_job_seconds(spec.target_job_seconds)
+                    .generate();
+                let mut cfg = spec.base_config.clone();
+                cfg.seed = seed;
+                cfg.assignment = choice.assignment();
+                let mut sim =
+                    Simulation::new(cluster.clone(), jobs, Box::new(choice.build()), cfg);
+                sim.run()
+            })
+            .collect();
+        results.push(optimus_bench::aggregate(choice.name(), &reports));
+    }
+    print_comparison(
+        "Extension: 100 servers × 60 jobs (single seed)",
+        &results,
+    );
+    let optimus = &results[0];
+    assert_eq!(optimus.unfinished, 0);
+    println!(
+        "Optimus vs DRF at 8× cluster scale: JCT ×{:.2}, makespan ×{:.2}",
+        results[1].avg_jct / optimus.avg_jct,
+        results[1].makespan / optimus.makespan
+    );
+    print_json("ext_large_cluster", &results);
+}

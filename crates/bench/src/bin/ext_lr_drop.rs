@@ -1,0 +1,86 @@
+//! Extension (§7 "Convergence estimation"): learning-rate drops.
+//!
+//! Some production models cut the learning rate mid-training (e.g.
+//! ResNet ×0.1 schedules); the loss then falls sharply again and the
+//! single-hyperbola fit of Eqn 1 no longer describes the whole curve.
+//! The paper proposes treating the post-drop phase as a new training
+//! job and restarting the online fitting. This experiment compares the
+//! estimator with and without restart detection on such a curve.
+
+use optimus_bench::print_series;
+use optimus_core::ConvergenceEstimator;
+use optimus_workload::curves::LrDrop;
+use optimus_workload::GroundTruthCurve;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let spe = 100u64;
+    let drop_epoch = 40.0;
+    let curve = GroundTruthCurve::new(0.2, 0.30)
+        .with_noise(0.01, 0.002)
+        .with_lr_drop(LrDrop {
+            at_epoch: drop_epoch,
+            post_c0: 0.45,
+            post_floor: 0.12,
+        });
+    let horizon_epochs = 90u64;
+
+    println!("Extension: §7 learning-rate drop at epoch {drop_epoch}\n");
+
+    let run = |detect: bool| -> (ConvergenceEstimator, Vec<(f64, f64)>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut est = ConvergenceEstimator::new(0.02, spe, 3).with_restart_detection(detect);
+        let mut errors = Vec::new();
+        for k in 0..horizon_epochs * spe {
+            est.record(k, curve.sample(k as f64, spe, &mut rng));
+            if k % (5 * spe) == 0 && k > spe {
+                let _ = est.refit();
+                // Prediction error on the loss two "futures" ahead.
+                let probe = k + 20 * spe;
+                if let Some(pred) = est.predicted_loss_at(probe) {
+                    let truth = curve.loss_at_step(probe as f64, spe);
+                    errors.push((
+                        k as f64 / spe as f64,
+                        100.0 * (pred - truth).abs() / truth,
+                    ));
+                }
+            }
+        }
+        let _ = est.refit();
+        (est, errors)
+    };
+
+    let (with, err_with) = run(true);
+    let (without, err_without) = run(false);
+
+    print_series(
+        "loss-prediction error, restart detection ON",
+        "epoch",
+        "error (%)",
+        &err_with,
+    );
+    print_series(
+        "loss-prediction error, restart detection OFF",
+        "epoch",
+        "error (%)",
+        &err_without,
+    );
+    println!("restarts detected: {} (expected ≥ 1)", with.restarts());
+    assert!(with.restarts() >= 1);
+    assert_eq!(without.restarts(), 0);
+
+    let tail = |v: &[(f64, f64)]| -> f64 {
+        let t: Vec<f64> = v.iter().rev().take(4).map(|&(_, e)| e).collect();
+        t.iter().sum::<f64>() / t.len() as f64
+    };
+    println!(
+        "\nmean error over the last 20 epochs: {:.1} % with restart vs {:.1} % without",
+        tail(&err_with),
+        tail(&err_without)
+    );
+    println!(
+        "paper (§7): \"we can treat the model training after learning rate adjustment\n\
+         as a new training job and restart online fitting\" — implemented and verified."
+    );
+}

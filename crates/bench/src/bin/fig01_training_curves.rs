@@ -1,0 +1,50 @@
+//! Fig 1: training curves of ResNext-110 on CIFAR10.
+//!
+//! The paper shows train/validation loss falling and accuracy rising
+//! over ~100 epochs. We regenerate the loss curve from the ground-truth
+//! model (with sampling noise, as a real run would show) and derive the
+//! accuracy curve as the mirrored saturating counterpart.
+
+use optimus_bench::{print_series, sparkline};
+use optimus_workload::ModelKind;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let profile = ModelKind::ResNext110.profile();
+    let curve = &profile.curve;
+    let spe = profile.sync_steps_per_epoch(1.0);
+    let epochs = curve.epochs_to_converge(0.01, 3).unwrap_or(100);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    let mut train_loss = Vec::new();
+    let mut val_loss = Vec::new();
+    let mut train_acc = Vec::new();
+    let mut val_acc = Vec::new();
+    for e in 0..=epochs {
+        let k = (e * spe) as f64;
+        let smooth = curve.loss_at_epoch(e as f64);
+        let noisy = curve.sample(k, spe, &mut rng);
+        // Validation tracks training with a small generalization gap;
+        // accuracy saturates as loss approaches its floor (production
+        // models, §2.1: no overfitting).
+        let progress = (1.0 - smooth) / (1.0 - curve.floor);
+        train_loss.push((e as f64, noisy));
+        val_loss.push((e as f64, smooth * 1.06));
+        train_acc.push((e as f64, 0.1 + 0.85 * progress));
+        val_acc.push((e as f64, 0.1 + 0.82 * progress));
+    }
+
+    println!("Fig 1: ResNext-110 on CIFAR10 — training curves ({epochs} epochs to converge)\n");
+    let step = (epochs as usize / 20).max(1);
+    let sampled = |v: &[(f64, f64)]| -> Vec<(f64, f64)> { v.iter().step_by(step).cloned().collect() };
+    print_series("train loss", "epoch", "normalized loss", &sampled(&train_loss));
+    print_series("val loss", "epoch", "normalized loss", &sampled(&val_loss));
+    print_series("train acc", "epoch", "accuracy", &sampled(&train_acc));
+    print_series("val acc", "epoch", "accuracy", &sampled(&val_acc));
+
+    let shape: Vec<f64> = train_loss.iter().map(|&(_, l)| l).collect();
+    println!("loss shape:     {}", sparkline(&shape));
+    let shape: Vec<f64> = train_acc.iter().map(|&(_, a)| a).collect();
+    println!("accuracy shape: {}", sparkline(&shape));
+}

@@ -1,0 +1,50 @@
+//! Fig 2: single-GPU training time of the Table-1 models.
+//!
+//! The paper's bar chart (log scale) spans minutes (CNN-rand) to weeks
+//! (ResNet-50) on one TITAN X Pascal. We regenerate it from the model
+//! zoo's calibrated constants at a 1 % convergence threshold.
+
+use optimus_workload::ModelKind;
+
+fn main() {
+    println!("Fig 2: training time to convergence on one GPU (δ = 1 %)\n");
+    println!(
+        "{:<14} {:>14} {:>12} {:>10}",
+        "model", "time (s)", "time", "epochs"
+    );
+    let mut rows: Vec<(&str, f64, u64)> = ModelKind::ALL
+        .iter()
+        .map(|m| {
+            let p = m.profile();
+            let epochs = p.curve.epochs_to_converge(0.01, 3).unwrap_or(0);
+            (p.name, p.single_gpu_training_time(0.01), epochs)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (name, secs, epochs) in &rows {
+        println!(
+            "{name:<14} {secs:>14.0} {:>12} {epochs:>10}",
+            human_time(*secs)
+        );
+    }
+    let fastest = rows.first().expect("nine models");
+    let slowest = rows.last().expect("nine models");
+    println!(
+        "\nspan: {} ({}) to {} ({}) — {:.0}× (paper: minutes to weeks)",
+        fastest.0,
+        human_time(fastest.1),
+        slowest.0,
+        human_time(slowest.1),
+        slowest.1 / fastest.1
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 3_600.0 {
+        format!("{:.0} min", secs / 60.0)
+    } else if secs < 86_400.0 {
+        format!("{:.1} h", secs / 3_600.0)
+    } else {
+        format!("{:.1} days", secs / 86_400.0)
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig 4: ResNet-50 synchronous training speed under different resource
+//! configurations.
+//!
+//! (a) 20 containers total (`p = 20 − w`): the speed peaks at an
+//!     interior split — neither all-workers nor all-PS wins.
+//! (b) `p : w = 1 : 1`: speed grows with diminishing returns and can
+//!     even decline.
+
+use optimus_bench::{print_series, sparkline};
+use optimus_ps::PsJobModel;
+use optimus_workload::{ModelKind, TrainingMode};
+
+fn main() {
+    let model = PsJobModel::new(ModelKind::ResNet50.profile(), TrainingMode::Synchronous);
+
+    println!("Fig 4(a): ResNet-50 sync, p + w = 20\n");
+    let a: Vec<(f64, f64)> = (1..20)
+        .map(|w| (w as f64, model.speed(20 - w, w)))
+        .collect();
+    print_series("speed vs workers (p = 20 − w)", "# workers", "steps/s", &a);
+    let speeds: Vec<f64> = a.iter().map(|&(_, s)| s).collect();
+    let (best_w, best_s) = a
+        .iter()
+        .cloned()
+        .max_by(|x, y| x.1.total_cmp(&y.1))
+        .expect("non-empty");
+    println!("shape: {}", sparkline(&speeds));
+    println!(
+        "peak: w = {best_w:.0}, p = {:.0} at {best_s:.4} steps/s (paper: peak at w = 8, p = 12)\n",
+        20.0 - best_w
+    );
+
+    println!("Fig 4(b): ResNet-50 sync, p : w = 1 : 1\n");
+    let b: Vec<(f64, f64)> = (1..=20).map(|n| (n as f64, model.speed(n, n))).collect();
+    print_series("speed vs scale (p = w)", "# workers", "steps/s", &b);
+    let speeds: Vec<f64> = b.iter().map(|&(_, s)| s).collect();
+    println!("shape: {}", sparkline(&speeds));
+    let g1 = speeds[9] / speeds[4];
+    let g2 = speeds[19] / speeds[9];
+    println!(
+        "diminishing returns: 5→10 workers × {g1:.2}, 10→20 workers × {g2:.2} (paper: sub-linear, flattening)"
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig 7: online model fitting of the Seq2Seq loss curve.
+//!
+//! The paper fits `l = 1/(β₀k + β₁) + β₂` on the observed points and
+//! reports β₀ = 0.21, β₁ = 1.07, β₂ = 0.07 for Seq2Seq. Coefficient
+//! values depend on the step units (their k counts data points fed to
+//! the solver); what must reproduce is the fit quality: the fitted
+//! curve overlaying the data points.
+
+use optimus_core::ConvergenceEstimator;
+use optimus_workload::ModelKind;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let profile = ModelKind::Seq2Seq.profile();
+    let spe = profile.sync_steps_per_epoch(0.02).max(10);
+    let threshold = 0.02;
+    let true_total = profile
+        .curve
+        .steps_to_converge(threshold, 3, spe)
+        .expect("converges");
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut est = ConvergenceEstimator::new(threshold, spe, 3);
+
+    for k in 0..true_total {
+        est.record(k, profile.curve.sample(k as f64, spe, &mut rng));
+    }
+    est.refit().expect("fit succeeds with a full curve");
+    let model = *est.model().expect("model fitted");
+
+    println!("Fig 7: online fitting of the Seq2Seq training-loss curve\n");
+    println!(
+        "fitted: β₀ = {:.4} (per step), β₁ = {:.3}, β₂ = {:.3}, residual SS = {:.5}",
+        model.beta0, model.beta1, model.beta2, model.residual_ss
+    );
+    println!(
+        "        β₀ per epoch = {:.3}  (paper, in its own step units: β₀ = 0.21, β₁ = 1.07, β₂ = 0.07)\n",
+        model.beta0 * spe as f64
+    );
+
+    println!("{:>10} {:>14} {:>14} {:>10}", "step", "observed", "fitted", "err %");
+    let mut worst: f64 = 0.0;
+    for i in 0..=10 {
+        let k = true_total * i / 10;
+        let truth = profile.curve.loss_at_step(k as f64, spe);
+        let fit = model.loss_at(k);
+        let err = (fit - truth).abs() / truth;
+        worst = worst.max(err);
+        println!("{k:>10} {truth:>14.4} {fit:>14.4} {:>10.2}", err * 100.0);
+    }
+    println!("\nworst deviation from the smooth curve: {:.2} %", worst * 100.0);
+    let pred = est.predict().expect("prediction available");
+    println!(
+        "predicted total steps: {} vs ground truth {} ({:+.1} %)",
+        pred.total_steps,
+        true_total,
+        100.0 * (pred.total_steps as f64 - true_total as f64) / true_total as f64
+    );
+}

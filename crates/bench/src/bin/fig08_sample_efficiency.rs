@@ -1,0 +1,82 @@
+//! Fig 8: speed-estimation error vs number of `(p, w)` sample runs.
+//!
+//! The paper randomly selects N of the 780 possible (p, w) pairs to fit
+//! the initial speed function and reports < 10 % error from ~10 samples
+//! with diminishing returns beyond. We repeat with 40 random draws per
+//! N and report the mean error over a held-out grid. Profiled speeds
+//! carry 5 % relative measurement noise, as short sample runs on a real
+//! cluster would.
+
+use optimus_bench::{print_series, sparkline};
+use optimus_core::SpeedModel;
+use optimus_fitting::stats;
+use optimus_ps::PsJobModel;
+use optimus_workload::{ModelKind, TrainingMode};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let profile = ModelKind::ResNet50.profile();
+    let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+
+    // All (p, w) pairs with p + w ≤ 40 and p, w ≥ 1 — the paper's 780
+    // configurations for a 40-container budget.
+    let all_pairs: Vec<(u32, u32)> = (1..40)
+        .flat_map(|p| (1..40).map(move |w| (p, w)))
+        .filter(|(p, w)| p + w <= 40)
+        .collect();
+    println!(
+        "Fig 8: speed-estimation error vs samples ({} candidate (p,w) pairs)\n",
+        all_pairs.len()
+    );
+
+    let eval_grid: Vec<(u32, u32)> = (2..=20)
+        .step_by(3)
+        .flat_map(|p| (2..=20).step_by(3).map(move |w| (p, w)))
+        .collect();
+
+    let mut series = Vec::new();
+    for n in [4usize, 6, 8, 10, 14, 18, 24, 32] {
+        let mut errors = Vec::new();
+        for rep in 0..40u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(1000 + rep);
+            let mut pairs = all_pairs.clone();
+            pairs.shuffle(&mut rng);
+            let mut model = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+            for &(p, w) in pairs.iter().take(n) {
+                let noise = 1.0 + 0.05 * (rng.gen::<f64>() * 2.0 - 1.0);
+                model.record(p, w, truth.speed(p, w) * noise);
+            }
+            if model.refit().is_err() {
+                continue;
+            }
+            let errs: Vec<f64> = eval_grid
+                .iter()
+                .map(|&(p, w)| {
+                    let real = truth.speed(p, w);
+                    stats::relative_error(model.predict(p, w), real)
+                })
+                .collect();
+            errors.push(stats::mean(&errs));
+        }
+        series.push((n as f64, 100.0 * stats::mean(&errors)));
+    }
+    print_series(
+        "mean speed-estimation error",
+        "# samples",
+        "error (%)",
+        &series,
+    );
+    let shape: Vec<f64> = series.iter().map(|&(_, e)| e).collect();
+    println!("shape: {}", sparkline(&shape));
+    let at_10 = series
+        .iter()
+        .find(|&&(n, _)| n >= 10.0)
+        .map(|&(_, e)| e)
+        .expect("has n >= 10");
+    println!(
+        "\nerror at ~10 samples: {at_10:.1} % (paper: < 10 %); returns diminish beyond (paper: same)"
+    );
+}

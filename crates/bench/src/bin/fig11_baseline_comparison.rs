@@ -1,0 +1,51 @@
+//! Figs 11 & 13 (+ §6.2 resource-adjustment overhead): the headline
+//! comparison of Optimus against the DRF fairness scheduler and Tetris.
+//!
+//! The paper: 9 jobs arriving uniformly over [0, 12000] s on the
+//! 13-server testbed, 3 repetitions; Optimus reduces average JCT 2.39×
+//! and makespan 1.63× vs DRF, with Tetris in between on JCT; total
+//! scaling overhead 2.54 % of makespan.
+
+use optimus_bench::{print_comparison, print_json, ComparisonSpec, SchedulerChoice};
+
+fn main() {
+    let spec = ComparisonSpec::default();
+    let results: Vec<_> = [
+        SchedulerChoice::Optimus,
+        SchedulerChoice::Drf,
+        SchedulerChoice::Tetris,
+    ]
+    .into_iter()
+    .map(|c| optimus_bench::run_scheduler(&spec, c))
+    .collect();
+
+    print_comparison(
+        "Fig 11 / Fig 13: JCT & makespan, 9 jobs × 3 seeds (normalized to Optimus)",
+        &results,
+    );
+    println!("Fig 13 detail (avg ± std across seeds):");
+    for r in &results {
+        println!(
+            "  {:<10} JCT {:>8.0} ± {:>6.0} s   makespan {:>8.0} ± {:>6.0} s",
+            r.scheduler, r.avg_jct, r.std_jct, r.makespan, r.std_makespan
+        );
+    }
+    let optimus = &results[0];
+    let drf = &results[1];
+    let tetris = &results[2];
+    println!(
+        "\nDRF/Optimus:    JCT ×{:.2} (paper 2.39), makespan ×{:.2} (paper 1.63)",
+        drf.avg_jct / optimus.avg_jct,
+        drf.makespan / optimus.makespan
+    );
+    println!(
+        "Tetris/Optimus: JCT ×{:.2} (paper 1.74), makespan ×{:.2} (paper 1.20)",
+        tetris.avg_jct / optimus.avg_jct,
+        tetris.makespan / optimus.makespan
+    );
+    println!(
+        "Optimus scaling overhead: {:.2} % of makespan (paper: 2.54 %)\n",
+        100.0 * optimus.overhead_fraction
+    );
+    print_json("fig11_baseline_comparison", &results);
+}

@@ -1,0 +1,65 @@
+//! Fig 12: scheduling time vs cluster size for 1000–8000 jobs.
+//!
+//! The paper emulates large clusters and reports that Optimus schedules
+//! 4000 jobs (~100 k tasks) on 16 000 nodes within 5 seconds on one
+//! core. We time exactly the scheduling decision (marginal-gain
+//! allocation + Theorem-1 placement) on synthetic job populations.
+
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_core::prelude::*;
+use optimus_workload::{JobId, ModelKind, TrainingMode};
+use std::time::Instant;
+
+/// Builds `n` synthetic job views with fitted speed models (fit once,
+/// cloned — profiling is per-job in reality but identical here).
+fn make_jobs(n: usize) -> Vec<JobView> {
+    let mut base: Vec<SpeedModel> = Vec::new();
+    for kind in [ModelKind::ResNet50, ModelKind::Seq2Seq, ModelKind::CnnRand] {
+        for mode in [TrainingMode::Synchronous, TrainingMode::Asynchronous] {
+            let profile = kind.profile();
+            let truth = optimus_ps::PsJobModel::new(profile, mode);
+            let mut m = SpeedModel::new(mode, profile.batch_size as f64);
+            for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4)] {
+                m.record(p, w, truth.speed(p, w));
+            }
+            m.refit().expect("profiled");
+            base.push(m);
+        }
+    }
+    (0..n)
+        .map(|i| JobView {
+            id: JobId(i as u64),
+            worker_profile: optimus_workload::job::default_container(),
+            ps_profile: optimus_workload::job::default_container(),
+            remaining_work: 1_000.0 + (i % 97) as f64 * 650.0,
+            speed: base[i % base.len()].clone(),
+            progress: (i % 10) as f64 / 10.0,
+            requested_units: 8,
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Fig 12: scheduling time (alloc + placement) vs # nodes\n");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>10}",
+        "jobs", "nodes", "tasks", "time (s)", "tasks/s"
+    );
+    let node_cap = ResourceVec::new(32.0, 4.0, 128.0, 10.0);
+    let scheduler = OptimusScheduler::build();
+    for &jobs_n in &[1_000usize, 2_000, 4_000] {
+        let jobs = make_jobs(jobs_n);
+        for &nodes in &[1_000usize, 4_000, 16_000] {
+            let cluster = Cluster::homogeneous(nodes, node_cap);
+            let start = Instant::now();
+            let schedule = scheduler.schedule(&jobs, &cluster);
+            let elapsed = start.elapsed().as_secs_f64();
+            let tasks = schedule.total_tasks();
+            println!(
+                "{jobs_n:>8} {nodes:>8} {tasks:>12} {elapsed:>12.3} {:>10.0}",
+                tasks as f64 / elapsed
+            );
+        }
+    }
+    println!("\npaper: 4000 jobs (~100k tasks) on 16000 nodes within 5 s on one core");
+}

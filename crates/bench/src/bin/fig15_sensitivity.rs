@@ -1,0 +1,117 @@
+//! Fig 15 (+ the §4.1 priority-factor study): sensitivity of Optimus to
+//! prediction errors.
+//!
+//! The scheduler is fed `truth × (1 ± e·(1−progress))` for the
+//! convergence estimate or the speed estimate at error levels
+//! e ∈ {0, 15, 30, 45} %; JCT and makespan degrade with e, with
+//! diminishing slope, and speed errors hurt more than convergence
+//! errors. The paper also reports that a 0.95 priority factor improves
+//! JCT/makespan slightly (2.66 % / 1.88 %).
+
+use optimus_bench::{aggregate, print_series, ComparisonSpec, SchedulerChoice};
+use optimus_simulator::ErrorInjection;
+use optimus_workload::ArrivalProcess;
+
+fn run_with(spec: &ComparisonSpec, inject: Option<ErrorInjection>, seeds: &[u64]) -> (f64, f64) {
+    let reports: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut s = spec.clone();
+            s.base_config.inject = inject;
+            optimus_bench::run_one(&s, SchedulerChoice::Optimus, seed)
+        })
+        .collect();
+    let agg = aggregate("Optimus".into(), &reports);
+    (agg.avg_jct, agg.makespan)
+}
+
+fn main() {
+    // A contended 18-job workload: injected estimate errors act on the
+    // scheduler only through cross-job ordering, which needs scarcity
+    // to matter (see the note printed at the end).
+    let spec = ComparisonSpec {
+        arrivals: ArrivalProcess::paper_default(18),
+        ..ComparisonSpec::default()
+    };
+    // More seeds than the headline run: sensitivity differences are
+    // small (the paper averages 100 simulator runs).
+    let seeds: Vec<u64> = (0..8).map(|i| 17 + 13 * i).collect();
+
+    let (base_jct, base_mk) = run_with(&spec, Some(ErrorInjection::NONE), &seeds);
+    println!("Fig 15: sensitivity to prediction errors ({} seeds)\n", seeds.len());
+
+    let levels = [0.0, 0.15, 0.30, 0.45];
+    let mut conv_jct = Vec::new();
+    let mut conv_mk = Vec::new();
+    let mut speed_jct = Vec::new();
+    let mut speed_mk = Vec::new();
+    for &e in &levels {
+        let (jct, mk) = run_with(
+            &spec,
+            Some(ErrorInjection {
+                convergence_error: e,
+                speed_error: 0.0,
+            }),
+            &seeds,
+        );
+        conv_jct.push((e * 100.0, jct / base_jct));
+        conv_mk.push((e * 100.0, mk / base_mk));
+        let (jct, mk) = run_with(
+            &spec,
+            Some(ErrorInjection {
+                convergence_error: 0.0,
+                speed_error: e,
+            }),
+            &seeds,
+        );
+        speed_jct.push((e * 100.0, jct / base_jct));
+        speed_mk.push((e * 100.0, mk / base_mk));
+    }
+    print_series("(a) JCT vs convergence error", "error %", "norm JCT", &conv_jct);
+    print_series("(a) JCT vs speed error", "error %", "norm JCT", &speed_jct);
+    print_series("(b) makespan vs convergence error", "error %", "norm mkspan", &conv_mk);
+    print_series("(b) makespan vs speed error", "error %", "norm mkspan", &speed_mk);
+    println!(
+        "paper: both rise with error at diminishing slope; speed error hurts more; a\n\
+         20 % convergence + 10 % speed error costs ~15 %.\n"
+    );
+    let (mixed_jct, _) = run_with(
+        &spec,
+        Some(ErrorInjection {
+            convergence_error: 0.20,
+            speed_error: 0.10,
+        }),
+        &seeds,
+    );
+    println!(
+        "combined 20 % conv + 10 % speed error: JCT ×{:.3} of error-free",
+        mixed_jct / base_jct
+    );
+
+    // Priority-factor study (§6.3): compare factors 1.0 and 0.95 with
+    // the emergent (estimator-driven) errors.
+    let pf1: Vec<_> = seeds
+        .iter()
+        .map(|&s| optimus_bench::run_one(&spec, SchedulerChoice::Optimus, s))
+        .collect();
+    let pf95: Vec<_> = seeds
+        .iter()
+        .map(|&s| optimus_bench::run_one(&spec, SchedulerChoice::OptimusWithPriority(0.95), s))
+        .collect();
+    let a1 = aggregate("pf=1.0".into(), &pf1);
+    let a95 = aggregate("pf=0.95".into(), &pf95);
+    println!(
+        "\npriority factor 0.95 vs 1.0: JCT {:+.2} %, makespan {:+.2} % (paper: −2.66 %, −1.88 %)",
+        100.0 * (a95.avg_jct - a1.avg_jct) / a1.avg_jct,
+        100.0 * (a95.makespan - a1.makespan) / a1.makespan,
+    );
+
+    println!(
+        "\nREPRODUCTION NOTE: this reimplementation is markedly *less* sensitive to\n\
+         multiplicative estimate errors than the paper reports (≤ ~2 % vs up to ~40 %).\n\
+         The mechanism: scaling a job's remaining work Q or its whole speed function\n\
+         f(·) leaves the marginal-gain stopping point unchanged (gains just rescale),\n\
+         so errors act only by reordering jobs competing for scarce capacity — a\n\
+         second-order effect on this testbed. See EXPERIMENTS.md."
+    );
+}

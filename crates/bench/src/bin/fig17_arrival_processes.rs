@@ -1,0 +1,54 @@
+//! Fig 17: sensitivity to the job arrival process — Poisson arrivals
+//! (3 per 10-min interval) and a bursty Google-cluster-trace-like
+//! process.
+//!
+//! The paper: Optimus still wins under both; the gain is larger on the
+//! spiky trace because Optimus absorbs arrival bursts by reallocating.
+
+use optimus_bench::{print_comparison, print_json, ComparisonSpec, SchedulerChoice};
+use optimus_workload::ArrivalProcess;
+
+fn main() {
+    let processes = [
+        (
+            "(a) Poisson (3 jobs / 10 min)",
+            "fig17_poisson",
+            ArrivalProcess::Poisson {
+                rate_per_interval: 3.0,
+                interval_s: 600.0,
+                horizon_s: 3_000.0,
+            },
+        ),
+        (
+            "(b) bursty trace (Google-like)",
+            "fig17_trace",
+            ArrivalProcess::BurstyTrace {
+                count: 12,
+                horizon_s: 12_000.0,
+                mean_burst: 4.0,
+            },
+        ),
+    ];
+    for (label, tag, arrivals) in processes {
+        let spec = ComparisonSpec {
+            arrivals,
+            // Heavier instantaneous load: shorter jobs keep the total
+            // experiment in the same range as the headline run.
+            target_job_seconds: Some(4_800.0),
+            ..ComparisonSpec::default()
+        };
+        let results: Vec<_> = [
+            SchedulerChoice::Optimus,
+            SchedulerChoice::Drf,
+            SchedulerChoice::Tetris,
+        ]
+        .into_iter()
+        .map(|c| optimus_bench::run_scheduler(&spec, c))
+        .collect();
+        print_comparison(&format!("Fig 17{label}"), &results);
+        print_json(tag, &results);
+        println!();
+    }
+    println!("paper: Optimus wins under both processes, with the larger gain on the trace");
+    println!("(arrival spikes) — JCT 2.27× / makespan 1.78× vs DRF there.");
+}

@@ -1,0 +1,31 @@
+//! Fig 19: effectiveness of the Theorem-1 task placement algorithm.
+//!
+//! Every variant keeps Optimus's marginal-gain allocation (and PAA);
+//! only the placement is swapped for the load-balancing (Kubernetes
+//! default / DRF) or packing (Tetris) placer. The paper: Optimus's
+//! placement buys ~10 % over Tetris's and ~15 % over DRF's.
+
+use optimus_bench::{print_comparison, print_json, ComparisonSpec, SchedulerChoice};
+
+fn main() {
+    let spec = ComparisonSpec::default();
+    let results: Vec<_> = [
+        SchedulerChoice::Optimus,
+        SchedulerChoice::OptimusAllocPackPlace,
+        SchedulerChoice::OptimusAllocSpreadPlace,
+    ]
+    .into_iter()
+    .map(|c| optimus_bench::run_scheduler(&spec, c))
+    .collect();
+    print_comparison(
+        "Fig 19: placement ablation (allocation fixed to Optimus)",
+        &results,
+    );
+    let base = &results[0];
+    println!(
+        "packing-placement penalty: JCT +{:.0} % (paper: ~10 %); spreading: +{:.0} % (paper: ~15 %)\n",
+        100.0 * (results[1].avg_jct / base.avg_jct - 1.0),
+        100.0 * (results[2].avg_jct / base.avg_jct - 1.0),
+    );
+    print_json("fig19_placement_ablation", &results);
+}

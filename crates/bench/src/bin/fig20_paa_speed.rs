@@ -1,0 +1,47 @@
+//! Fig 20: ResNet-50 synchronous training speed vs the number of
+//! parameter servers (10 workers fixed), with PAA vs MXNet's default
+//! parameter distribution.
+//!
+//! The PS-side load imbalance stretches the transfer/update phase of
+//! every step, so MXNet's threshold policy increasingly under-performs
+//! as ps grows.
+
+use optimus_bench::print_series;
+use optimus_ps::{EnvFactors, PsAssignment, PsJobModel};
+use optimus_workload::{ModelKind, TrainingMode};
+
+fn main() {
+    let profile = ModelKind::ResNet50.profile();
+    let blocks = profile.parameter_blocks();
+    let model = PsJobModel::new(profile, TrainingMode::Synchronous);
+    let w = 10;
+
+    println!("Fig 20: ResNet-50 sync speed vs # ps (10 workers)\n");
+    let mut paa_series = Vec::new();
+    let mut mx_series = Vec::new();
+    for p in (2..=20).step_by(2) {
+        let paa_imb = PsAssignment::paa(&blocks, p).stats().imbalance_factor;
+        let mx_imb = PsAssignment::mxnet_default(&blocks, p, 42)
+            .stats()
+            .imbalance_factor;
+        let mut env = EnvFactors::default();
+        env.imbalance = paa_imb;
+        paa_series.push((p as f64, model.speed_with(p, w, &env)));
+        env.imbalance = mx_imb;
+        mx_series.push((p as f64, model.speed_with(p, w, &env)));
+    }
+    print_series("PAA", "# ps", "steps/s", &paa_series);
+    print_series("MXNet default", "# ps", "steps/s", &mx_series);
+
+    println!("{:>6} {:>12} {:>12} {:>10}", "# ps", "PAA", "MXNet", "speedup");
+    for (a, b) in paa_series.iter().zip(mx_series.iter()) {
+        println!(
+            "{:>6.0} {:>12.4} {:>12.4} {:>9.1}%",
+            a.0,
+            a.1,
+            b.1,
+            100.0 * (a.1 / b.1 - 1.0)
+        );
+    }
+    println!("\npaper: PAA improves speed especially at larger ps counts");
+}

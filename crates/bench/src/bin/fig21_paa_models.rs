@@ -1,0 +1,45 @@
+//! Fig 21: PAA's training-speed improvement across models
+//! (synchronous, 10 workers + 10 parameter servers).
+//!
+//! The paper reports up to 29 % speedup over MXNet's default parameter
+//! distribution; models whose block structure balances poorly under the
+//! threshold policy gain the most.
+
+use optimus_ps::{EnvFactors, PsAssignment, PsJobModel};
+use optimus_workload::{ModelKind, TrainingMode};
+
+fn main() {
+    let (p, w) = (10u32, 10u32);
+    println!("Fig 21: PAA speedup per model (sync, {w} workers + {p} ps)\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "model", "imb(MXNet)", "imb(PAA)", "MXNet st/s", "PAA st/s", "speedup"
+    );
+    let mut best: (f64, &str) = (0.0, "");
+    for kind in ModelKind::ALL {
+        let profile = kind.profile();
+        let blocks = profile.parameter_blocks();
+        let model = PsJobModel::new(profile, TrainingMode::Synchronous);
+        let mx_imb = PsAssignment::mxnet_default(&blocks, p, 42)
+            .stats()
+            .imbalance_factor;
+        let paa_imb = PsAssignment::paa(&blocks, p).stats().imbalance_factor;
+        let mut env = EnvFactors::default();
+        env.imbalance = mx_imb;
+        let mx_speed = model.speed_with(p, w, &env);
+        env.imbalance = paa_imb;
+        let paa_speed = model.speed_with(p, w, &env);
+        let speedup = 100.0 * (paa_speed / mx_speed - 1.0);
+        if speedup > best.0 {
+            best = (speedup, profile.name);
+        }
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>12.4} {:>12.4} {:>8.1}%",
+            profile.name, mx_imb, paa_imb, mx_speed, paa_speed, speedup
+        );
+    }
+    println!(
+        "\nbest speedup: {:.1} % on {} (paper: up to 29 %, model-dependent)",
+        best.0, best.1
+    );
+}

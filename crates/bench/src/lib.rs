@@ -1,0 +1,362 @@
+//! Shared harness for the per-figure experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md for the full index). This library
+//! holds what they share: scheduler/assignment bundles, the multi-seed
+//! comparison runner behind Figs 11/13/16/17/18/19, and plain-text
+//! table/series printers (plus JSON lines for machine consumption).
+
+use optimus_cluster::Cluster;
+use optimus_core::allocation::{DrfAllocator, FifoAllocator, OptimusAllocator, TetrisAllocator};
+use optimus_core::placement::{OptimusPlacer, PackPlacer, SpreadPlacer};
+use optimus_core::prelude::*;
+use optimus_fitting::stats;
+use optimus_simulator::{AssignmentPolicy, SimConfig, SimReport, Simulation};
+use optimus_workload::arrivals::ModePolicy;
+use optimus_workload::{ArrivalProcess, WorkloadGenerator};
+use serde::Serialize;
+
+/// A scheduler under test, with the §5.3 PS-assignment policy its
+/// deployment would use (Optimus ships PAA; the baselines run stock
+/// MXNet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerChoice {
+    /// Full Optimus (marginal-gain allocation + Theorem-1 placement +
+    /// PAA).
+    Optimus,
+    /// Optimus with an explicit §4.1 priority factor.
+    OptimusWithPriority(f64),
+    /// The DRF fairness baseline (progressive filling + spreading +
+    /// stock MXNet).
+    Drf,
+    /// The Tetris baseline (packing/SRTF + best-fit + stock MXNet).
+    Tetris,
+    /// The FIFO baseline (§2.3's Spark-style default: full requests in
+    /// submission order, head-of-line blocking).
+    Fifo,
+    /// Fig 18 ablations: a baseline *allocator* with Optimus placement
+    /// and PAA.
+    DrfAllocOptimusPlace,
+    /// Fig 18: Tetris allocator with Optimus placement and PAA.
+    TetrisAllocOptimusPlace,
+    /// Fig 19 ablations: Optimus allocation with a baseline placer.
+    OptimusAllocSpreadPlace,
+    /// Fig 19: Optimus allocation with Tetris packing placement.
+    OptimusAllocPackPlace,
+}
+
+impl SchedulerChoice {
+    /// Display name used in reports.
+    pub fn name(self) -> String {
+        match self {
+            SchedulerChoice::Optimus => "Optimus".into(),
+            SchedulerChoice::OptimusWithPriority(f) => format!("Optimus(pf={f})"),
+            SchedulerChoice::Drf => "DRF".into(),
+            SchedulerChoice::Tetris => "Tetris".into(),
+            SchedulerChoice::Fifo => "FIFO".into(),
+            SchedulerChoice::DrfAllocOptimusPlace => "DRF-alloc+Opt-place".into(),
+            SchedulerChoice::TetrisAllocOptimusPlace => "Tetris-alloc+Opt-place".into(),
+            SchedulerChoice::OptimusAllocSpreadPlace => "Opt-alloc+Spread-place".into(),
+            SchedulerChoice::OptimusAllocPackPlace => "Opt-alloc+Pack-place".into(),
+        }
+    }
+
+    /// Builds the scheduler.
+    pub fn build(self) -> CompositeScheduler {
+        match self {
+            SchedulerChoice::Optimus => OptimusScheduler::build(),
+            SchedulerChoice::OptimusWithPriority(f) => OptimusScheduler::with_priority_factor(f),
+            SchedulerChoice::Drf => DrfScheduler::build(),
+            SchedulerChoice::Tetris => TetrisScheduler::build(),
+            SchedulerChoice::Fifo => CompositeScheduler::new(
+                self.name(),
+                Box::new(FifoAllocator),
+                Box::new(SpreadPlacer),
+            ),
+            SchedulerChoice::DrfAllocOptimusPlace => CompositeScheduler::new(
+                self.name(),
+                Box::new(DrfAllocator::default()),
+                Box::new(OptimusPlacer),
+            ),
+            SchedulerChoice::TetrisAllocOptimusPlace => CompositeScheduler::new(
+                self.name(),
+                Box::new(TetrisAllocator::default()),
+                Box::new(OptimusPlacer),
+            ),
+            SchedulerChoice::OptimusAllocSpreadPlace => CompositeScheduler::new(
+                self.name(),
+                Box::new(OptimusAllocator::default()),
+                Box::new(SpreadPlacer),
+            ),
+            SchedulerChoice::OptimusAllocPackPlace => CompositeScheduler::new(
+                self.name(),
+                Box::new(OptimusAllocator::default()),
+                Box::new(PackPlacer),
+            ),
+        }
+    }
+
+    /// The PS parameter-assignment policy this deployment runs with.
+    pub fn assignment(self) -> AssignmentPolicy {
+        match self {
+            SchedulerChoice::Drf | SchedulerChoice::Tetris | SchedulerChoice::Fifo => {
+                AssignmentPolicy::MxnetDefault
+            }
+            _ => AssignmentPolicy::Paa,
+        }
+    }
+}
+
+/// Parameters of a multi-seed comparison experiment.
+#[derive(Debug, Clone)]
+pub struct ComparisonSpec {
+    /// Arrival process (job count lives inside).
+    pub arrivals: ArrivalProcess,
+    /// Training-mode policy.
+    pub mode_policy: ModePolicy,
+    /// Median target job duration (see `WorkloadGenerator`).
+    pub target_job_seconds: Option<f64>,
+    /// Seeds; results are averaged (Fig 13 reports avg ± std over 3
+    /// runs).
+    pub seeds: Vec<u64>,
+    /// Extra config overrides applied to every run.
+    pub base_config: SimConfig,
+}
+
+impl Default for ComparisonSpec {
+    /// The §6.1 headline setup: 9 jobs uniform over [0, 12000] s, random
+    /// modes, 3 repetitions.
+    fn default() -> Self {
+        ComparisonSpec {
+            arrivals: ArrivalProcess::paper_default(9),
+            mode_policy: ModePolicy::Random,
+            target_job_seconds: Some(7_200.0),
+            seeds: vec![17, 23, 31],
+            base_config: SimConfig::default(),
+        }
+    }
+}
+
+/// Aggregated result of one scheduler across seeds.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedulerResult {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Mean average-JCT across seeds, seconds.
+    pub avg_jct: f64,
+    /// Std-dev of average-JCT across seeds.
+    pub std_jct: f64,
+    /// Mean makespan across seeds, seconds.
+    pub makespan: f64,
+    /// Std-dev of makespan across seeds.
+    pub std_makespan: f64,
+    /// Mean scaling-overhead fraction of makespan.
+    pub overhead_fraction: f64,
+    /// Mean running tasks over time.
+    pub mean_tasks: f64,
+    /// Mean normalized worker CPU utilization.
+    pub worker_utilization: f64,
+    /// Mean normalized PS CPU utilization.
+    pub ps_utilization: f64,
+    /// Unfinished jobs across all seeds (should be 0).
+    pub unfinished: usize,
+}
+
+/// Runs one scheduler across the spec's seeds and aggregates.
+pub fn run_scheduler(spec: &ComparisonSpec, choice: SchedulerChoice) -> SchedulerResult {
+    let reports: Vec<SimReport> = spec
+        .seeds
+        .iter()
+        .map(|&seed| run_one(spec, choice, seed))
+        .collect();
+    aggregate(choice.name(), &reports)
+}
+
+/// Runs one scheduler on one seed, honoring every override in
+/// `spec.base_config` (alias of [`run_one`], kept for call sites that
+/// want to emphasize the overrides).
+pub fn run_one_with(spec: &ComparisonSpec, choice: SchedulerChoice, seed: u64) -> SimReport {
+    run_one(spec, choice, seed)
+}
+
+/// Runs one scheduler on one seed.
+pub fn run_one(spec: &ComparisonSpec, choice: SchedulerChoice, seed: u64) -> SimReport {
+    let jobs = WorkloadGenerator::new(spec.arrivals, seed)
+        .with_mode_policy(spec.mode_policy)
+        .with_target_job_seconds(spec.target_job_seconds)
+        .generate();
+    let mut cfg = spec.base_config.clone();
+    cfg.seed = seed;
+    cfg.assignment = choice.assignment();
+    let mut sim = Simulation::new(
+        Cluster::paper_testbed(),
+        jobs,
+        Box::new(choice.build()),
+        cfg,
+    );
+    sim.run()
+}
+
+/// Aggregates multiple seed reports into one row.
+pub fn aggregate(name: String, reports: &[SimReport]) -> SchedulerResult {
+    let jcts: Vec<f64> = reports.iter().map(|r| r.avg_jct()).collect();
+    let makespans: Vec<f64> = reports.iter().map(|r| r.makespan).collect();
+    SchedulerResult {
+        scheduler: name,
+        avg_jct: stats::mean(&jcts),
+        std_jct: stats::std_dev(&jcts),
+        makespan: stats::mean(&makespans),
+        std_makespan: stats::std_dev(&makespans),
+        overhead_fraction: stats::mean(
+            &reports
+                .iter()
+                .map(|r| r.scaling_overhead_fraction())
+                .collect::<Vec<_>>(),
+        ),
+        mean_tasks: stats::mean(&reports.iter().map(|r| r.mean_running_tasks()).collect::<Vec<_>>()),
+        worker_utilization: stats::mean(
+            &reports
+                .iter()
+                .map(|r| r.mean_worker_utilization())
+                .collect::<Vec<_>>(),
+        ),
+        ps_utilization: stats::mean(
+            &reports
+                .iter()
+                .map(|r| r.mean_ps_utilization())
+                .collect::<Vec<_>>(),
+        ),
+        unfinished: reports.iter().map(|r| r.unfinished_jobs).sum(),
+    }
+}
+
+/// Prints the standard comparison table, normalized to the first row
+/// (the paper's Fig 11 normalizes to Optimus = 1.00).
+pub fn print_comparison(title: &str, results: &[SchedulerResult]) {
+    println!("== {title} ==");
+    println!(
+        "{:<24} {:>10} {:>8} {:>12} {:>8} {:>9} {:>7} {:>7} {:>7}",
+        "scheduler", "JCT(s)", "norm", "makespan(s)", "norm", "ovh%", "tasks", "w-util", "ps-util"
+    );
+    let base = results.first();
+    for r in results {
+        let jct_norm = base.map(|b| r.avg_jct / b.avg_jct).unwrap_or(1.0);
+        let mk_norm = base.map(|b| r.makespan / b.makespan).unwrap_or(1.0);
+        println!(
+            "{:<24} {:>10.0} {:>8.2} {:>12.0} {:>8.2} {:>9.2} {:>7.1} {:>7.2} {:>7.2}",
+            r.scheduler,
+            r.avg_jct,
+            jct_norm,
+            r.makespan,
+            mk_norm,
+            100.0 * r.overhead_fraction,
+            r.mean_tasks,
+            r.worker_utilization,
+            r.ps_utilization,
+        );
+        if r.unfinished > 0 {
+            println!("  !! {} unfinished jobs across seeds", r.unfinished);
+        }
+    }
+    println!();
+}
+
+/// Prints one JSON line per result (machine-readable record of the run).
+pub fn print_json(experiment: &str, results: &[SchedulerResult]) {
+    for r in results {
+        let mut v = serde_json::to_value(r).expect("result serializes");
+        v["experiment"] = serde_json::Value::String(experiment.to_string());
+        println!("{v}");
+    }
+}
+
+/// Prints an (x, y) series as a compact table.
+pub fn print_series(name: &str, xlabel: &str, ylabel: &str, points: &[(f64, f64)]) {
+    println!("-- {name} --");
+    println!("{xlabel:>12} {ylabel:>14}");
+    for (x, y) in points {
+        println!("{x:>12.3} {y:>14.5}");
+    }
+    println!();
+}
+
+/// ASCII sparkline for quick shape checks in terminal output.
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    if values.is_empty() || !max.is_finite() || !min.is_finite() {
+        return String::new();
+    }
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            TICKS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choices_have_unique_names() {
+        let all = [
+            SchedulerChoice::Optimus,
+            SchedulerChoice::Drf,
+            SchedulerChoice::Tetris,
+            SchedulerChoice::Fifo,
+            SchedulerChoice::DrfAllocOptimusPlace,
+            SchedulerChoice::TetrisAllocOptimusPlace,
+            SchedulerChoice::OptimusAllocSpreadPlace,
+            SchedulerChoice::OptimusAllocPackPlace,
+        ];
+        let names: std::collections::HashSet<String> = all.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn assignment_policies_match_deployments() {
+        assert_eq!(SchedulerChoice::Optimus.assignment(), AssignmentPolicy::Paa);
+        assert_eq!(SchedulerChoice::Drf.assignment(), AssignmentPolicy::MxnetDefault);
+        assert_eq!(
+            SchedulerChoice::Tetris.assignment(),
+            AssignmentPolicy::MxnetDefault
+        );
+        // Ablations isolate one component: everything else stays Optimus.
+        assert_eq!(
+            SchedulerChoice::DrfAllocOptimusPlace.assignment(),
+            AssignmentPolicy::Paa
+        );
+    }
+
+    #[test]
+    fn quick_comparison_smoke() {
+        // A tiny 2-job run exercises the full pipeline.
+        let spec = ComparisonSpec {
+            arrivals: ArrivalProcess::UniformRandom {
+                count: 2,
+                horizon_s: 1_000.0,
+            },
+            target_job_seconds: Some(1_200.0),
+            seeds: vec![5],
+            ..ComparisonSpec::default()
+        };
+        let r = run_scheduler(&spec, SchedulerChoice::Optimus);
+        assert_eq!(r.unfinished, 0);
+        assert!(r.avg_jct > 0.0);
+        assert!(r.makespan >= r.avg_jct);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

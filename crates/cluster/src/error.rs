@@ -1,0 +1,67 @@
+//! Error type for cluster bookkeeping.
+
+use crate::resources::ResourceVec;
+use crate::server::ServerId;
+use std::fmt;
+
+/// Errors from cluster capacity accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Referenced a server id that does not exist in this cluster.
+    UnknownServer(ServerId),
+    /// An allocation request exceeded the server's free capacity.
+    InsufficientCapacity {
+        /// The server that could not satisfy the request.
+        server: ServerId,
+        /// The requested resource amounts.
+        requested: ResourceVec,
+        /// The free amounts at the time of the request.
+        available: ResourceVec,
+    },
+    /// A release would have made an allocation negative (double release or
+    /// mismatched amounts) — a bookkeeping bug in the caller.
+    ReleaseUnderflow {
+        /// The server whose books would have gone negative.
+        server: ServerId,
+    },
+    /// A resource amount was negative or non-finite.
+    InvalidAmount {
+        /// Human-readable description of where the value appeared.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownServer(id) => write!(f, "unknown server id {id}"),
+            ClusterError::InsufficientCapacity {
+                server,
+                requested,
+                available,
+            } => write!(
+                f,
+                "server {server}: requested {requested} exceeds available {available}"
+            ),
+            ClusterError::ReleaseUnderflow { server } => {
+                write!(f, "server {server}: release exceeds allocation")
+            }
+            ClusterError::InvalidAmount { context } => {
+                write!(f, "invalid resource amount: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_server() {
+        let e = ClusterError::UnknownServer(ServerId(7));
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Cluster substrate for the Optimus scheduler reproduction.
+//!
+//! Models the shared DL cluster from the paper: servers with
+//! multi-dimensional resource capacities (CPU cores, GPUs, memory,
+//! network bandwidth), per-server allocation accounting, and presets
+//! matching the paper's 13-server testbed (§6.1) and the large synthetic
+//! clusters of the scalability test (Fig 12).
+//!
+//! The crate is deliberately independent of jobs and schedulers: it only
+//! answers "what fits where" and keeps the books. Schedulers
+//! (`optimus-core`) and the simulator (`optimus-simulator`) build on it.
+
+pub mod error;
+pub mod resources;
+pub mod server;
+
+pub use error::ClusterError;
+pub use resources::{ResourceKind, ResourceVec, NUM_RESOURCE_KINDS};
+pub use server::{Cluster, Server, ServerId};

@@ -1,0 +1,331 @@
+//! Multi-dimensional resource vectors.
+//!
+//! The paper schedules over `R` resource types (§4.1); the testbed uses
+//! CPU cores, GPUs, memory and network bandwidth. [`ResourceVec`] is a
+//! fixed four-dimensional non-negative vector with the comparisons and
+//! arithmetic scheduling needs, including the *dominant share* used by
+//! both DRF and Optimus' marginal-gain normalization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, Mul, Sub, SubAssign};
+
+/// Number of resource dimensions tracked.
+pub const NUM_RESOURCE_KINDS: usize = 4;
+
+/// A resource dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// CPU cores.
+    Cpu,
+    /// GPU devices.
+    Gpu,
+    /// Memory, in GB.
+    MemoryGb,
+    /// Network bandwidth, in Gbps.
+    BandwidthGbps,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in index order.
+    pub const ALL: [ResourceKind; NUM_RESOURCE_KINDS] = [
+        ResourceKind::Cpu,
+        ResourceKind::Gpu,
+        ResourceKind::MemoryGb,
+        ResourceKind::BandwidthGbps,
+    ];
+
+    /// The dimension index of this kind.
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::Cpu => 0,
+            ResourceKind::Gpu => 1,
+            ResourceKind::MemoryGb => 2,
+            ResourceKind::BandwidthGbps => 3,
+        }
+    }
+
+    /// Short human-readable unit name.
+    pub fn unit(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "cores",
+            ResourceKind::Gpu => "gpus",
+            ResourceKind::MemoryGb => "GB",
+            ResourceKind::BandwidthGbps => "Gbps",
+        }
+    }
+}
+
+/// A non-negative amount of each resource kind.
+///
+/// # Examples
+///
+/// ```
+/// use optimus_cluster::{ResourceKind, ResourceVec};
+///
+/// let worker = ResourceVec::new(5.0, 0.0, 10.0, 1.0);
+/// let server = ResourceVec::new(16.0, 0.0, 80.0, 1.0);
+/// assert!(worker.fits_within(&server));
+/// let (kind, share) = worker.dominant_share(&server).unwrap();
+/// assert_eq!(kind, ResourceKind::BandwidthGbps);
+/// assert!((share - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceVec {
+    amounts: [f64; NUM_RESOURCE_KINDS],
+}
+
+impl ResourceVec {
+    /// Creates a resource vector from explicit amounts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any amount is negative or non-finite; resource amounts
+    /// are construction-time constants in this codebase, so a bad one is a
+    /// programming error.
+    pub fn new(cpu: f64, gpu: f64, memory_gb: f64, bandwidth_gbps: f64) -> Self {
+        let amounts = [cpu, gpu, memory_gb, bandwidth_gbps];
+        assert!(
+            amounts.iter().all(|a| a.is_finite() && *a >= 0.0),
+            "resource amounts must be finite and non-negative: {amounts:?}"
+        );
+        ResourceVec { amounts }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        ResourceVec::default()
+    }
+
+    /// Amount of a given kind.
+    pub fn get(&self, kind: ResourceKind) -> f64 {
+        self.amounts[kind.index()]
+    }
+
+    /// Returns a copy with one dimension replaced.
+    pub fn with(&self, kind: ResourceKind, amount: f64) -> Self {
+        let mut out = *self;
+        out.amounts[kind.index()] = amount;
+        out
+    }
+
+    /// True if every dimension is ≤ the corresponding dimension of
+    /// `capacity` (with a small epsilon for float accumulation).
+    pub fn fits_within(&self, capacity: &ResourceVec) -> bool {
+        self.amounts
+            .iter()
+            .zip(capacity.amounts.iter())
+            .all(|(a, c)| *a <= c + 1e-9)
+    }
+
+    /// True if all dimensions are (numerically) zero.
+    pub fn is_zero(&self) -> bool {
+        self.amounts.iter().all(|a| a.abs() < 1e-9)
+    }
+
+    /// Element-wise saturating subtraction (never goes below zero).
+    pub fn saturating_sub(&self, other: &ResourceVec) -> ResourceVec {
+        let mut out = *self;
+        for (o, r) in out.amounts.iter_mut().zip(other.amounts.iter()) {
+            *o = (*o - r).max(0.0);
+        }
+        out
+    }
+
+    /// The dominant share of this demand against a capacity: the maximum
+    /// over dimensions of `demand_r / capacity_r`, together with the
+    /// dimension attaining it (§4.1; DRF's dominant resource).
+    ///
+    /// Dimensions with zero capacity are skipped when the demand there is
+    /// also zero; a positive demand against zero capacity yields an
+    /// infinite share. Returns `None` if every dimension is skipped.
+    pub fn dominant_share(&self, capacity: &ResourceVec) -> Option<(ResourceKind, f64)> {
+        let mut best: Option<(ResourceKind, f64)> = None;
+        for kind in ResourceKind::ALL {
+            let d = self.get(kind);
+            let c = capacity.get(kind);
+            let share = if c > 0.0 {
+                d / c
+            } else if d > 0.0 {
+                f64::INFINITY
+            } else {
+                continue;
+            };
+            match best {
+                Some((_, s)) if s >= share => {}
+                _ => best = Some((kind, share)),
+            }
+        }
+        best
+    }
+
+    /// Sum of element-wise ratios against a capacity (used by Tetris-style
+    /// alignment scoring).
+    pub fn alignment(&self, available: &ResourceVec) -> f64 {
+        self.amounts
+            .iter()
+            .zip(available.amounts.iter())
+            .map(|(d, a)| d * a)
+            .sum()
+    }
+
+    /// L2 norm of the vector.
+    pub fn norm(&self) -> f64 {
+        self.amounts.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<ResourceKind> for ResourceVec {
+    type Output = f64;
+
+    fn index(&self, kind: ResourceKind) -> &f64 {
+        &self.amounts[kind.index()]
+    }
+}
+
+impl Add for ResourceVec {
+    type Output = ResourceVec;
+
+    fn add(mut self, rhs: ResourceVec) -> ResourceVec {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ResourceVec {
+    fn add_assign(&mut self, rhs: ResourceVec) {
+        for (a, b) in self.amounts.iter_mut().zip(rhs.amounts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Sub for ResourceVec {
+    type Output = ResourceVec;
+
+    /// Element-wise subtraction. May produce small negative values from
+    /// float accumulation; use [`ResourceVec::saturating_sub`] when the
+    /// result must stay a valid amount.
+    fn sub(mut self, rhs: ResourceVec) -> ResourceVec {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for ResourceVec {
+    fn sub_assign(&mut self, rhs: ResourceVec) {
+        for (a, b) in self.amounts.iter_mut().zip(rhs.amounts.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for ResourceVec {
+    type Output = ResourceVec;
+
+    fn mul(mut self, rhs: f64) -> ResourceVec {
+        for a in self.amounts.iter_mut() {
+            *a *= rhs;
+        }
+        self
+    }
+}
+
+impl fmt::Display for ResourceVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.1} cores, {:.1} gpus, {:.1} GB, {:.1} Gbps]",
+            self.amounts[0], self.amounts[1], self.amounts[2], self.amounts[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = ResourceVec::new(4.0, 1.0, 16.0, 1.0);
+        let b = ResourceVec::new(2.0, 0.0, 8.0, 0.5);
+        let sum = a + b;
+        assert_eq!(sum.get(ResourceKind::Cpu), 6.0);
+        let back = sum - b;
+        assert!((back.get(ResourceKind::MemoryGb) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling() {
+        let a = ResourceVec::new(1.0, 2.0, 3.0, 4.0) * 2.0;
+        assert_eq!(a.get(ResourceKind::Gpu), 4.0);
+        assert_eq!(a.get(ResourceKind::BandwidthGbps), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_amount_panics() {
+        let _ = ResourceVec::new(-1.0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn fits_within_boundary() {
+        let cap = ResourceVec::new(16.0, 2.0, 48.0, 1.0);
+        assert!(ResourceVec::new(16.0, 2.0, 48.0, 1.0).fits_within(&cap));
+        assert!(!ResourceVec::new(16.1, 0.0, 0.0, 0.0).fits_within(&cap));
+        assert!(ResourceVec::zero().fits_within(&cap));
+    }
+
+    #[test]
+    fn dominant_share_picks_max_ratio() {
+        let cap = ResourceVec::new(100.0, 10.0, 1000.0, 10.0);
+        let d = ResourceVec::new(10.0, 5.0, 10.0, 1.0);
+        let (kind, share) = d.dominant_share(&cap).unwrap();
+        assert_eq!(kind, ResourceKind::Gpu);
+        assert!((share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_share_zero_capacity() {
+        let cap = ResourceVec::new(10.0, 0.0, 10.0, 10.0);
+        let d = ResourceVec::new(0.0, 1.0, 0.0, 0.0);
+        let (kind, share) = d.dominant_share(&cap).unwrap();
+        assert_eq!(kind, ResourceKind::Gpu);
+        assert!(share.is_infinite());
+        // All-zero against all-zero capacity: no meaningful share.
+        assert!(ResourceVec::zero()
+            .dominant_share(&ResourceVec::zero())
+            .is_none());
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = ResourceVec::new(1.0, 0.0, 5.0, 0.0);
+        let b = ResourceVec::new(2.0, 0.0, 3.0, 0.0);
+        let out = a.saturating_sub(&b);
+        assert_eq!(out.get(ResourceKind::Cpu), 0.0);
+        assert_eq!(out.get(ResourceKind::MemoryGb), 2.0);
+    }
+
+    #[test]
+    fn is_zero_tolerates_epsilon() {
+        let a = ResourceVec::new(1.0, 0.0, 0.0, 0.0);
+        let b = ResourceVec::new(1.0, 0.0, 0.0, 0.0);
+        assert!((a - b).is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = ResourceVec::new(5.0, 1.0, 10.0, 1.0).to_string();
+        assert!(s.contains("5.0 cores"));
+        assert!(s.contains("1.0 gpus"));
+    }
+
+    #[test]
+    fn with_replaces_single_dim() {
+        let a = ResourceVec::new(1.0, 1.0, 1.0, 1.0).with(ResourceKind::MemoryGb, 7.0);
+        assert_eq!(a.get(ResourceKind::MemoryGb), 7.0);
+        assert_eq!(a.get(ResourceKind::Cpu), 1.0);
+    }
+}

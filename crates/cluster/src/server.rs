@@ -1,0 +1,322 @@
+//! Servers and the cluster: capacity bookkeeping and testbed presets.
+
+use crate::error::ClusterError;
+use crate::resources::ResourceVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a server within a [`Cluster`] (its index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub usize);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server-{}", self.0)
+    }
+}
+
+/// A physical server with a capacity and a running allocation total.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Server {
+    id: ServerId,
+    capacity: ResourceVec,
+    allocated: ResourceVec,
+    /// Free-form class label ("cpu", "gpu", ...) used by presets and
+    /// reporting; not interpreted by the scheduler.
+    class: String,
+}
+
+impl Server {
+    /// Creates an empty server.
+    pub fn new(id: ServerId, capacity: ResourceVec, class: impl Into<String>) -> Self {
+        Server {
+            id,
+            capacity,
+            allocated: ResourceVec::zero(),
+            class: class.into(),
+        }
+    }
+
+    /// The server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> ResourceVec {
+        self.capacity
+    }
+
+    /// Currently allocated amounts.
+    pub fn allocated(&self) -> ResourceVec {
+        self.allocated
+    }
+
+    /// Currently free amounts.
+    pub fn available(&self) -> ResourceVec {
+        self.capacity.saturating_sub(&self.allocated)
+    }
+
+    /// The class label this server was created with.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// True if `demand` fits in the free capacity.
+    pub fn can_fit(&self, demand: &ResourceVec) -> bool {
+        demand.fits_within(&self.available())
+    }
+
+    /// Reserves `demand`, or fails without changing the books.
+    pub fn allocate(&mut self, demand: &ResourceVec) -> Result<(), ClusterError> {
+        if !self.can_fit(demand) {
+            return Err(ClusterError::InsufficientCapacity {
+                server: self.id,
+                requested: *demand,
+                available: self.available(),
+            });
+        }
+        self.allocated += *demand;
+        Ok(())
+    }
+
+    /// Releases a previous reservation.
+    ///
+    /// Returns [`ClusterError::ReleaseUnderflow`] if the release exceeds
+    /// what is currently allocated (a caller bookkeeping bug).
+    pub fn release(&mut self, demand: &ResourceVec) -> Result<(), ClusterError> {
+        if !demand.fits_within(&self.allocated) {
+            return Err(ClusterError::ReleaseUnderflow { server: self.id });
+        }
+        self.allocated -= *demand;
+        // Clamp float residue so long simulations do not accumulate drift.
+        self.allocated = self.allocated.saturating_sub(&ResourceVec::zero());
+        Ok(())
+    }
+
+    /// Drops all allocations (used when the simulator re-places all jobs
+    /// at a scheduling interval).
+    pub fn clear(&mut self) {
+        self.allocated = ResourceVec::zero();
+    }
+}
+
+/// A collection of servers with aggregate queries.
+///
+/// # Examples
+///
+/// ```
+/// use optimus_cluster::{Cluster, ResourceKind};
+///
+/// let cluster = Cluster::paper_testbed();
+/// assert_eq!(cluster.len(), 13);
+/// assert!(cluster.total_capacity().get(ResourceKind::Gpu) >= 12.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    servers: Vec<Server>,
+}
+
+impl Cluster {
+    /// Builds a cluster from explicit server capacities.
+    pub fn from_capacities(caps: &[(ResourceVec, &str)]) -> Self {
+        let servers = caps
+            .iter()
+            .enumerate()
+            .map(|(i, (cap, class))| Server::new(ServerId(i), *cap, *class))
+            .collect();
+        Cluster { servers }
+    }
+
+    /// The paper's testbed (§6.1): 7 CPU servers (2× 8-core E5-2650,
+    /// 80 GB) and 6 GPU servers (8-core E5-1660, 2× GTX 1080Ti, 48 GB),
+    /// all on a 1 GbE switch. Core counts are the hyperthread-counted
+    /// allocatable CPUs Kubernetes reports (2 threads/core), i.e. 32 and
+    /// 16 — six resp. three of the paper's 5-core containers per server.
+    pub fn paper_testbed() -> Self {
+        let mut caps = Vec::with_capacity(13);
+        for _ in 0..7 {
+            caps.push((ResourceVec::new(32.0, 0.0, 80.0, 1.0), "cpu"));
+        }
+        for _ in 0..6 {
+            caps.push((ResourceVec::new(16.0, 2.0, 48.0, 1.0), "gpu"));
+        }
+        Cluster::from_capacities(&caps)
+    }
+
+    /// A homogeneous cluster of `n` servers, each with `capacity` — used
+    /// by the scalability experiment (Fig 12) and the Theorem-1 placement
+    /// setting ("a cluster of homogeneous servers").
+    pub fn homogeneous(n: usize, capacity: ResourceVec) -> Self {
+        let caps: Vec<(ResourceVec, &str)> = (0..n).map(|_| (capacity, "uniform")).collect();
+        Cluster::from_capacities(&caps)
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the cluster has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Iterates over the servers.
+    pub fn servers(&self) -> impl Iterator<Item = &Server> {
+        self.servers.iter()
+    }
+
+    /// Looks up a server by id.
+    pub fn server(&self, id: ServerId) -> Result<&Server, ClusterError> {
+        self.servers.get(id.0).ok_or(ClusterError::UnknownServer(id))
+    }
+
+    /// Looks up a server mutably by id.
+    pub fn server_mut(&mut self, id: ServerId) -> Result<&mut Server, ClusterError> {
+        self.servers
+            .get_mut(id.0)
+            .ok_or(ClusterError::UnknownServer(id))
+    }
+
+    /// Total capacity across all servers (the `C_r` of constraint (7)).
+    pub fn total_capacity(&self) -> ResourceVec {
+        self.servers
+            .iter()
+            .fold(ResourceVec::zero(), |acc, s| acc + s.capacity())
+    }
+
+    /// Total free capacity across all servers.
+    pub fn total_available(&self) -> ResourceVec {
+        self.servers
+            .iter()
+            .fold(ResourceVec::zero(), |acc, s| acc + s.available())
+    }
+
+    /// Total allocated capacity across all servers.
+    pub fn total_allocated(&self) -> ResourceVec {
+        self.servers
+            .iter()
+            .fold(ResourceVec::zero(), |acc, s| acc + s.allocated())
+    }
+
+    /// Clears all allocations on all servers.
+    pub fn clear_allocations(&mut self) {
+        for s in &mut self.servers {
+            s.clear();
+        }
+    }
+
+    /// Server ids sorted by descending free capacity of the given
+    /// dimension-reducing key (the paper sorts by available CPU, §4.2).
+    pub fn ids_by_available_desc(&self, key: impl Fn(&ResourceVec) -> f64) -> Vec<ServerId> {
+        let mut ids: Vec<(ServerId, f64)> = self
+            .servers
+            .iter()
+            .map(|s| (s.id(), key(&s.available())))
+            .collect();
+        ids.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ids.into_iter().map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceKind;
+
+    fn worker() -> ResourceVec {
+        ResourceVec::new(5.0, 0.0, 10.0, 0.1)
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut s = Server::new(ServerId(0), ResourceVec::new(16.0, 0.0, 80.0, 1.0), "cpu");
+        s.allocate(&worker()).unwrap();
+        assert_eq!(s.available().get(ResourceKind::Cpu), 11.0);
+        s.release(&worker()).unwrap();
+        assert!(s.allocated().is_zero());
+    }
+
+    #[test]
+    fn allocate_rejects_overflow_without_mutation() {
+        let mut s = Server::new(ServerId(0), ResourceVec::new(8.0, 0.0, 20.0, 1.0), "cpu");
+        s.allocate(&worker()).unwrap();
+        let before = s.allocated();
+        let err = s.allocate(&worker()).unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
+        assert_eq!(s.allocated(), before);
+    }
+
+    #[test]
+    fn release_underflow_detected() {
+        let mut s = Server::new(ServerId(0), ResourceVec::new(16.0, 0.0, 80.0, 1.0), "cpu");
+        assert!(matches!(
+            s.release(&worker()),
+            Err(ClusterError::ReleaseUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = Cluster::paper_testbed();
+        assert_eq!(c.len(), 13);
+        let cpu_servers = c.servers().filter(|s| s.class() == "cpu").count();
+        let gpu_servers = c.servers().filter(|s| s.class() == "gpu").count();
+        assert_eq!(cpu_servers, 7);
+        assert_eq!(gpu_servers, 6);
+        let total = c.total_capacity();
+        assert_eq!(total.get(ResourceKind::Cpu), 7.0 * 32.0 + 6.0 * 16.0);
+        assert_eq!(total.get(ResourceKind::Gpu), 12.0);
+    }
+
+    #[test]
+    fn totals_track_allocations() {
+        let mut c = Cluster::paper_testbed();
+        let d = worker();
+        c.server_mut(ServerId(0)).unwrap().allocate(&d).unwrap();
+        c.server_mut(ServerId(5)).unwrap().allocate(&d).unwrap();
+        let alloc = c.total_allocated();
+        assert_eq!(alloc.get(ResourceKind::Cpu), 10.0);
+        let avail = c.total_available();
+        assert_eq!(
+            avail.get(ResourceKind::Cpu),
+            c.total_capacity().get(ResourceKind::Cpu) - 10.0
+        );
+        c.clear_allocations();
+        assert!(c.total_allocated().is_zero());
+    }
+
+    #[test]
+    fn unknown_server_rejected() {
+        let mut c = Cluster::homogeneous(2, ResourceVec::new(4.0, 0.0, 8.0, 1.0));
+        assert!(matches!(
+            c.server(ServerId(5)),
+            Err(ClusterError::UnknownServer(_))
+        ));
+        assert!(c.server_mut(ServerId(2)).is_err());
+    }
+
+    #[test]
+    fn sort_by_available_desc() {
+        let mut c = Cluster::homogeneous(3, ResourceVec::new(10.0, 0.0, 10.0, 1.0));
+        c.server_mut(ServerId(1))
+            .unwrap()
+            .allocate(&ResourceVec::new(9.0, 0.0, 0.0, 0.0))
+            .unwrap();
+        c.server_mut(ServerId(0))
+            .unwrap()
+            .allocate(&ResourceVec::new(4.0, 0.0, 0.0, 0.0))
+            .unwrap();
+        let order = c.ids_by_available_desc(|a| a.get(ResourceKind::Cpu));
+        assert_eq!(order, vec![ServerId(2), ServerId(0), ServerId(1)]);
+    }
+
+    #[test]
+    fn homogeneous_builder() {
+        let c = Cluster::homogeneous(100, ResourceVec::new(32.0, 4.0, 128.0, 10.0));
+        assert_eq!(c.len(), 100);
+        assert!(!c.is_empty());
+        assert_eq!(c.total_capacity().get(ResourceKind::Gpu), 400.0);
+    }
+}

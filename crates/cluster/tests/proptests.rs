@@ -1,0 +1,61 @@
+//! Property tests for cluster capacity accounting.
+
+use optimus_cluster::{Cluster, ResourceKind, ResourceVec, ServerId};
+use proptest::prelude::*;
+
+fn demand_strategy() -> impl Strategy<Value = ResourceVec> {
+    (0.0f64..8.0, 0.0f64..2.0, 0.0f64..32.0, 0.0f64..0.5)
+        .prop_map(|(c, g, m, b)| ResourceVec::new(c, g, m, b))
+}
+
+proptest! {
+    /// Allocations never exceed capacity and allocate+release is an exact
+    /// inverse in aggregate.
+    #[test]
+    fn books_balance(demands in prop::collection::vec(demand_strategy(), 1..40)) {
+        let mut cluster = Cluster::paper_testbed();
+        let mut accepted: Vec<(ServerId, ResourceVec)> = Vec::new();
+        for (i, d) in demands.iter().enumerate() {
+            let id = ServerId(i % cluster.len());
+            if cluster.server_mut(id).unwrap().allocate(d).is_ok() {
+                accepted.push((id, *d));
+            }
+        }
+        // Invariant: allocation ≤ capacity on every server.
+        for s in cluster.servers() {
+            prop_assert!(s.allocated().fits_within(&s.capacity()));
+        }
+        // Release everything; books must return to zero.
+        for (id, d) in accepted {
+            cluster.server_mut(id).unwrap().release(&d).unwrap();
+        }
+        prop_assert!(cluster.total_allocated().is_zero());
+    }
+
+    /// total_capacity = total_available + total_allocated (within float
+    /// tolerance) at all times.
+    #[test]
+    fn capacity_partition(demands in prop::collection::vec(demand_strategy(), 1..40)) {
+        let mut cluster = Cluster::paper_testbed();
+        for (i, d) in demands.iter().enumerate() {
+            let id = ServerId(i % cluster.len());
+            let _ = cluster.server_mut(id).unwrap().allocate(d);
+            let cap = cluster.total_capacity();
+            let part = cluster.total_available() + cluster.total_allocated();
+            for kind in ResourceKind::ALL {
+                prop_assert!((cap.get(kind) - part.get(kind)).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// dominant_share is scale-equivariant: doubling the demand doubles
+    /// the share.
+    #[test]
+    fn dominant_share_scales(d in demand_strategy()) {
+        prop_assume!(!d.is_zero());
+        let cap = ResourceVec::new(160.0, 12.0, 848.0, 13.0);
+        let (_, s1) = d.dominant_share(&cap).unwrap();
+        let (_, s2) = (d * 2.0).dominant_share(&cap).unwrap();
+        prop_assert!((s2 - 2.0 * s1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,726 @@
+//! Resource allocation: Optimus' marginal-gain heuristic (§4.1) and the
+//! DRF / Tetris baseline allocators (§6.1).
+//!
+//! Optimus solves the NP-hard program (5)–(8) greedily: every job starts
+//! with one worker and one PS (starvation avoidance), then the allocator
+//! repeatedly grants one task to the job whose next worker *or* PS buys
+//! the largest completion-time reduction per unit of the task's dominant
+//! resource, until the cluster is full or no addition helps. Gains are
+//! kept in a lazy max-heap, giving `O(T log J)` for `T` granted tasks —
+//! fast enough for the Fig 12 scalability target (100 k tasks in
+//! seconds).
+
+use crate::scheduler::JobView;
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_workload::JobId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Task counts granted to one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// The job.
+    pub job: JobId,
+    /// Parameter servers granted.
+    pub ps: u32,
+    /// Workers granted.
+    pub workers: u32,
+}
+
+impl Allocation {
+    /// Total resources this allocation occupies for a job's profiles.
+    pub fn demand(&self, job: &JobView) -> ResourceVec {
+        job.worker_profile * self.workers as f64 + job.ps_profile * self.ps as f64
+    }
+}
+
+/// A resource-allocation policy.
+pub trait ResourceAllocator {
+    /// Decides `(p, w)` for every job. Jobs that receive nothing get a
+    /// `(0, 0)` row (they pause this interval).
+    fn allocate(&self, jobs: &[JobView], cluster: &Cluster) -> Vec<Allocation>;
+}
+
+// ---------------------------------------------------------------------
+// Optimus (§4.1)
+// ---------------------------------------------------------------------
+
+/// Which task type a candidate addition grants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    AddWorker,
+    AddPs,
+}
+
+/// Max-heap entry: gain of the best addition for one job.
+struct Candidate {
+    gain: f64,
+    job_idx: usize,
+    action: Action,
+    version: u64,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain.total_cmp(&other.gain)
+    }
+}
+
+/// The marginal-gain allocator of §4.1.
+#[derive(Debug, Clone)]
+pub struct OptimusAllocator {
+    /// Gain multiplier for jobs still in their "beginning state"
+    /// (progress below [`Self::young_progress`]); the paper's default
+    /// experiments use 1.0 and §6.3 evaluates 0.95.
+    priority_factor: f64,
+    /// Progress below which a job counts as young.
+    young_progress: f64,
+}
+
+impl Default for OptimusAllocator {
+    fn default() -> Self {
+        OptimusAllocator {
+            priority_factor: 1.0,
+            young_progress: 0.1,
+        }
+    }
+}
+
+impl OptimusAllocator {
+    /// Sets the §4.1 priority factor (e.g. 0.95).
+    pub fn with_priority_factor(mut self, factor: f64) -> Self {
+        self.priority_factor = factor;
+        self
+    }
+
+    /// Sets the progress fraction below which the factor applies.
+    pub fn with_young_progress(mut self, progress: f64) -> Self {
+        self.young_progress = progress;
+        self
+    }
+
+    /// Marginal gain (time reduction per unit dominant resource) of the
+    /// best feasible addition for a job, if any.
+    fn best_candidate(
+        &self,
+        job: &JobView,
+        alloc: &Allocation,
+        remaining: &ResourceVec,
+        capacity: &ResourceVec,
+    ) -> Option<(f64, Action)> {
+        let t_now = job.remaining_time(alloc.ps, alloc.workers);
+        let mut best: Option<(f64, Action)> = None;
+
+        let mut consider = |action: Action, demand: &ResourceVec, t_next: f64| {
+            if !demand.fits_within(remaining) {
+                return;
+            }
+            let dominant = demand
+                .dominant_share(capacity)
+                .map(|(kind, _)| demand.get(kind))
+                .unwrap_or(0.0);
+            if dominant <= 0.0 {
+                return;
+            }
+            let reduction = if t_now.is_infinite() && t_next.is_finite() {
+                // From unable-to-run to running: treat as a very large
+                // but finite gain so these additions happen first.
+                f64::MAX / 4.0
+            } else {
+                t_now - t_next
+            };
+            let mut gain = reduction / dominant;
+            if job.progress < self.young_progress {
+                gain *= self.priority_factor;
+            }
+            match best {
+                Some((g, _)) if g >= gain => {}
+                _ => best = Some((gain, action)),
+            }
+        };
+
+        consider(
+            Action::AddWorker,
+            &job.worker_profile,
+            job.remaining_time(alloc.ps, alloc.workers + 1),
+        );
+        consider(
+            Action::AddPs,
+            &job.ps_profile,
+            job.remaining_time(alloc.ps + 1, alloc.workers),
+        );
+        best
+    }
+}
+
+impl ResourceAllocator for OptimusAllocator {
+    fn allocate(&self, jobs: &[JobView], cluster: &Cluster) -> Vec<Allocation> {
+        let capacity = cluster.total_capacity();
+        let mut remaining = cluster.total_available();
+        let mut allocs: Vec<Allocation> = jobs
+            .iter()
+            .map(|j| Allocation {
+                job: j.id,
+                ps: 0,
+                workers: 0,
+            })
+            .collect();
+
+        // Starvation avoidance: one worker + one PS per job while space
+        // lasts (jobs in submission order).
+        for (i, job) in jobs.iter().enumerate() {
+            let unit = job.unit_demand();
+            if unit.fits_within(&remaining) {
+                allocs[i].ps = 1;
+                allocs[i].workers = 1;
+                remaining -= unit;
+            }
+        }
+
+        // Greedy marginal-gain loop over a lazy max-heap.
+        let mut versions = vec![0u64; jobs.len()];
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        for (i, job) in jobs.iter().enumerate() {
+            if allocs[i].workers == 0 {
+                continue; // not even the starter unit fit
+            }
+            if let Some((gain, action)) = self.best_candidate(job, &allocs[i], &remaining, &capacity)
+            {
+                heap.push(Candidate {
+                    gain,
+                    job_idx: i,
+                    action,
+                    version: 0,
+                });
+            }
+        }
+
+        while let Some(cand) = heap.pop() {
+            if cand.version != versions[cand.job_idx] {
+                continue; // stale
+            }
+            if cand.gain <= 0.0 {
+                break; // max-heap ⇒ no positive gains remain
+            }
+            let job = &jobs[cand.job_idx];
+            let demand = match cand.action {
+                Action::AddWorker => job.worker_profile,
+                Action::AddPs => job.ps_profile,
+            };
+            if !demand.fits_within(&remaining) {
+                // Capacity shrank since this entry was computed;
+                // re-derive the best feasible candidate now.
+                versions[cand.job_idx] += 1;
+                if let Some((gain, action)) =
+                    self.best_candidate(job, &allocs[cand.job_idx], &remaining, &capacity)
+                {
+                    heap.push(Candidate {
+                        gain,
+                        job_idx: cand.job_idx,
+                        action,
+                        version: versions[cand.job_idx],
+                    });
+                }
+                continue;
+            }
+            match cand.action {
+                Action::AddWorker => allocs[cand.job_idx].workers += 1,
+                Action::AddPs => allocs[cand.job_idx].ps += 1,
+            }
+            remaining -= demand;
+            versions[cand.job_idx] += 1;
+            if let Some((gain, action)) =
+                self.best_candidate(job, &allocs[cand.job_idx], &remaining, &capacity)
+            {
+                heap.push(Candidate {
+                    gain,
+                    job_idx: cand.job_idx,
+                    action,
+                    version: versions[cand.job_idx],
+                });
+            }
+        }
+        allocs
+    }
+}
+
+// ---------------------------------------------------------------------
+// DRF baseline (§6.1)
+// ---------------------------------------------------------------------
+
+/// Dominant Resource Fairness via progressive filling, with the paper's
+/// 1:1 ps:worker task pairs. Work-conserving by default — the paper:
+/// "DRF is work-conserving and allocates as many resources to a job as
+/// possible" — but bounded at `max_request_multiple ×` each job's
+/// request (a real resource manager will not inflate a job two orders
+/// of magnitude past what it asked for).
+#[derive(Debug, Clone)]
+pub struct DrfAllocator {
+    /// When true, stop granting a job units once it reaches its
+    /// `requested_units` exactly.
+    pub respect_requests: bool,
+    /// Work-conservation bound: a job never receives more than this
+    /// multiple of its request.
+    pub max_request_multiple: u32,
+}
+
+impl Default for DrfAllocator {
+    fn default() -> Self {
+        DrfAllocator {
+            respect_requests: false,
+            max_request_multiple: 4,
+        }
+    }
+}
+
+impl ResourceAllocator for DrfAllocator {
+    fn allocate(&self, jobs: &[JobView], cluster: &Cluster) -> Vec<Allocation> {
+        let capacity = cluster.total_capacity();
+        let mut remaining = cluster.total_available();
+        let mut allocs: Vec<Allocation> = jobs
+            .iter()
+            .map(|j| Allocation {
+                job: j.id,
+                ps: 0,
+                workers: 0,
+            })
+            .collect();
+        let mut shares = vec![0.0f64; jobs.len()];
+        let mut blocked = vec![false; jobs.len()];
+
+        loop {
+            // Progressive filling: lowest dominant share first.
+            let next = (0..jobs.len())
+                .filter(|&i| !blocked[i])
+                .min_by(|&a, &b| shares[a].total_cmp(&shares[b]));
+            let Some(i) = next else { break };
+            let job = &jobs[i];
+            let cap = if self.respect_requests {
+                job.requested_units
+            } else {
+                job.requested_units.saturating_mul(self.max_request_multiple)
+            };
+            if allocs[i].workers >= cap.max(1) {
+                blocked[i] = true;
+                continue;
+            }
+            let unit = job.unit_demand();
+            if !unit.fits_within(&remaining) {
+                blocked[i] = true;
+                continue;
+            }
+            allocs[i].ps += 1;
+            allocs[i].workers += 1;
+            remaining -= unit;
+            let usage = allocs[i].demand(job);
+            shares[i] = usage
+                .dominant_share(&capacity)
+                .map(|(_, s)| s)
+                .unwrap_or(f64::INFINITY);
+        }
+        allocs
+    }
+}
+
+// ---------------------------------------------------------------------
+// FIFO baseline (§2.3)
+// ---------------------------------------------------------------------
+
+/// First-in-first-out allocation (the Spark-style default the paper
+/// cites in §2.3): jobs receive their full fixed request in submission
+/// order; once a request no longer fits, later jobs wait — the classic
+/// head-of-line blocking that size-aware schedulers avoid.
+#[derive(Debug, Clone, Default)]
+pub struct FifoAllocator;
+
+impl ResourceAllocator for FifoAllocator {
+    fn allocate(&self, jobs: &[JobView], cluster: &Cluster) -> Vec<Allocation> {
+        let mut remaining = cluster.total_available();
+        let mut allocs: Vec<Allocation> = jobs
+            .iter()
+            .map(|j| Allocation {
+                job: j.id,
+                ps: 0,
+                workers: 0,
+            })
+            .collect();
+        // JobIds are assigned in submission order.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by_key(|&i| jobs[i].id);
+        for i in order {
+            let job = &jobs[i];
+            let unit = job.unit_demand();
+            for _ in 0..job.requested_units.max(1) {
+                if !unit.fits_within(&remaining) {
+                    break;
+                }
+                allocs[i].ps += 1;
+                allocs[i].workers += 1;
+                remaining -= unit;
+            }
+            if allocs[i].workers == 0 {
+                // Head-of-line blocking: FIFO does not skip ahead.
+                break;
+            }
+        }
+        allocs
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tetris baseline (§6.1)
+// ---------------------------------------------------------------------
+
+/// Tetris-style allocation: grant 1:1 task pairs one at a time to the
+/// job with the best combined packing-alignment and
+/// shortest-remaining-time score, up to each job's requested units (the
+/// paper feeds Tetris its duration estimates from Optimus' own models).
+#[derive(Debug, Clone)]
+pub struct TetrisAllocator {
+    /// Relative weight of the SRTF term against the packing term
+    /// (Tetris' recommended equal weighting after normalization).
+    pub srtf_weight: f64,
+    /// Work-conserving backfill bound, as a multiple of each job's
+    /// request (see [`DrfAllocator::max_request_multiple`]).
+    pub max_request_multiple: u32,
+}
+
+impl Default for TetrisAllocator {
+    fn default() -> Self {
+        TetrisAllocator {
+            srtf_weight: 1.0,
+            max_request_multiple: 4,
+        }
+    }
+}
+
+impl ResourceAllocator for TetrisAllocator {
+    fn allocate(&self, jobs: &[JobView], cluster: &Cluster) -> Vec<Allocation> {
+        let mut remaining = cluster.total_available();
+        let mut allocs: Vec<Allocation> = jobs
+            .iter()
+            .map(|j| Allocation {
+                job: j.id,
+                ps: 0,
+                workers: 0,
+            })
+            .collect();
+
+        // Remaining-time estimate at the requested configuration, from
+        // the Optimus estimators (∞ when the model predicts no speed).
+        let durations: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.remaining_time(j.requested_units.max(1), j.requested_units.max(1)))
+            .collect();
+        let min_finite = durations
+            .iter()
+            .cloned()
+            .filter(|d| d.is_finite() && *d > 0.0)
+            .fold(f64::INFINITY, f64::min);
+
+        // Phase 1: grant by packing + SRTF score up to each job's
+        // request. The SRTF term is the *ratio* of the shortest job's
+        // remaining time to this job's (1 for the shortest, →0 for very
+        // long jobs), so it stays discriminative even when one job
+        // dwarfs the rest; ties break toward shorter duration, then id.
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, job) in jobs.iter().enumerate() {
+                if allocs[i].workers >= job.requested_units {
+                    continue;
+                }
+                let unit = job.unit_demand();
+                if !unit.fits_within(&remaining) {
+                    continue;
+                }
+                // Packing score: alignment of the unit's demand with the
+                // remaining cluster resources, normalized.
+                let align =
+                    unit.alignment(&remaining) / (unit.norm() * remaining.norm()).max(1e-12);
+                // SRTF score: shorter jobs first.
+                let d = durations[i];
+                let srtf = if d.is_finite() && d > 0.0 && min_finite.is_finite() {
+                    (min_finite / d).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let score = align + self.srtf_weight * srtf;
+                let better = match best {
+                    None => true,
+                    Some((j, s)) => {
+                        score > s + 1e-12
+                            || ((score - s).abs() <= 1e-12
+                                && durations[i].total_cmp(&durations[j]).is_lt())
+                    }
+                };
+                if better {
+                    best = Some((i, score));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            allocs[i].ps += 1;
+            allocs[i].workers += 1;
+            remaining -= jobs[i].unit_demand();
+        }
+        // Phase 2: work-conserving backfill, fewest units first — an
+        // idle cluster tail would otherwise serialize the long jobs —
+        // bounded at the request multiple.
+        loop {
+            let next = (0..jobs.len())
+                .filter(|&i| {
+                    let cap = jobs[i]
+                        .requested_units
+                        .saturating_mul(self.max_request_multiple)
+                        .max(1);
+                    allocs[i].workers < cap && jobs[i].unit_demand().fits_within(&remaining)
+                })
+                .min_by_key(|&i| allocs[i].workers);
+            let Some(i) = next else { break };
+            allocs[i].ps += 1;
+            allocs[i].workers += 1;
+            remaining -= jobs[i].unit_demand();
+        }
+        allocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::SpeedModel;
+    use optimus_ps::PsJobModel;
+    use optimus_workload::{ModelKind, TrainingMode};
+
+    /// A JobView whose speed model is fit from the ground truth of the
+    /// given model kind.
+    fn make_job(id: u64, kind: ModelKind, remaining: f64, progress: f64) -> JobView {
+        let profile = kind.profile();
+        let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+        let mut speed = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+        for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4), (12, 6)] {
+            speed.record(p, w, truth.speed(p, w));
+        }
+        speed.refit().unwrap();
+        JobView {
+            id: JobId(id),
+            worker_profile: optimus_workload::job::default_container(),
+            ps_profile: optimus_workload::job::default_container(),
+            remaining_work: remaining,
+            speed,
+            progress,
+            requested_units: 6,
+        }
+    }
+
+    fn total_demand(allocs: &[Allocation], jobs: &[JobView]) -> ResourceVec {
+        allocs
+            .iter()
+            .zip(jobs.iter())
+            .fold(ResourceVec::zero(), |acc, (a, j)| acc + a.demand(j))
+    }
+
+    #[test]
+    fn optimus_respects_capacity() {
+        let cluster = Cluster::paper_testbed();
+        let jobs: Vec<JobView> = (0..6)
+            .map(|i| make_job(i, ModelKind::ResNet50, 10_000.0, 0.5))
+            .collect();
+        let allocs = OptimusAllocator::default().allocate(&jobs, &cluster);
+        let used = total_demand(&allocs, &jobs);
+        assert!(used.fits_within(&cluster.total_capacity()));
+        // Everyone got at least the starter unit on this big cluster.
+        assert!(allocs.iter().all(|a| a.ps >= 1 && a.workers >= 1));
+    }
+
+    #[test]
+    fn optimus_gives_more_to_jobs_with_more_remaining_work() {
+        // Two identical jobs, one with 10× the remaining work: the
+        // marginal gain of speeding up the long job is larger, so it
+        // must receive at least as many tasks.
+        let cluster = Cluster::paper_testbed();
+        let jobs = vec![
+            make_job(0, ModelKind::ResNet50, 50_000.0, 0.5),
+            make_job(1, ModelKind::ResNet50, 5_000.0, 0.5),
+        ];
+        let allocs = OptimusAllocator::default().allocate(&jobs, &cluster);
+        let tasks = |a: &Allocation| a.ps + a.workers;
+        assert!(
+            tasks(&allocs[0]) >= tasks(&allocs[1]),
+            "long job {:?} vs short job {:?}",
+            allocs[0],
+            allocs[1]
+        );
+    }
+
+    #[test]
+    fn optimus_stops_at_diminishing_returns() {
+        // A single sync job on a huge cluster: Optimus must stop adding
+        // tasks once gains go non-positive, long before the cluster is
+        // exhausted (more workers eventually slow sync training, §3.2).
+        let cluster = Cluster::homogeneous(100, ResourceVec::new(64.0, 0.0, 256.0, 10.0));
+        let jobs = vec![make_job(0, ModelKind::ResNet50, 10_000.0, 0.5)];
+        let allocs = OptimusAllocator::default().allocate(&jobs, &cluster);
+        let total_tasks = allocs[0].ps + allocs[0].workers;
+        let max_units = (cluster.total_capacity().get(optimus_cluster::ResourceKind::Cpu)
+            / 5.0) as u32;
+        assert!(
+            total_tasks < max_units / 2,
+            "Optimus used {total_tasks} of {max_units} possible tasks"
+        );
+        assert!(total_tasks >= 2);
+    }
+
+    #[test]
+    fn priority_factor_damps_young_jobs() {
+        let cluster = Cluster::paper_testbed();
+        // Identical jobs; job 1 is young.
+        let mut jobs = vec![
+            make_job(0, ModelKind::ResNet50, 10_000.0, 0.5),
+            make_job(1, ModelKind::ResNet50, 10_000.0, 0.01),
+        ];
+        jobs[1].progress = 0.01;
+        let allocs = OptimusAllocator::default()
+            .with_priority_factor(0.5) // exaggerated for test visibility
+            .allocate(&jobs, &cluster);
+        let tasks = |a: &Allocation| a.ps + a.workers;
+        assert!(tasks(&allocs[0]) >= tasks(&allocs[1]));
+    }
+
+    #[test]
+    fn drf_equalizes_dominant_shares() {
+        let cluster = Cluster::paper_testbed();
+        let jobs: Vec<JobView> = (0..4)
+            .map(|i| make_job(i, ModelKind::Seq2Seq, 10_000.0, 0.5))
+            .collect();
+        let allocs = DrfAllocator::default().allocate(&jobs, &cluster);
+        // Identical jobs ⇒ equal units (within one).
+        let units: Vec<u32> = allocs.iter().map(|a| a.workers).collect();
+        let max = units.iter().max().unwrap();
+        let min = units.iter().min().unwrap();
+        assert!(max - min <= 1, "units {units:?}");
+        // Work-conserving: the cluster is essentially full.
+        let used = total_demand(&allocs, &jobs);
+        let cap = cluster.total_capacity();
+        assert!(
+            used.get(optimus_cluster::ResourceKind::Cpu)
+                > 0.85 * cap.get(optimus_cluster::ResourceKind::Cpu),
+            "DRF should fill the cluster: used {used}"
+        );
+    }
+
+    #[test]
+    fn drf_respects_requests_when_asked() {
+        let cluster = Cluster::paper_testbed();
+        let jobs: Vec<JobView> = (0..2)
+            .map(|i| make_job(i, ModelKind::Seq2Seq, 10_000.0, 0.5))
+            .collect();
+        let allocs = DrfAllocator {
+            respect_requests: true,
+            ..DrfAllocator::default()
+        }
+        .allocate(&jobs, &cluster);
+        assert!(allocs.iter().all(|a| a.workers <= 6));
+    }
+
+    #[test]
+    fn tetris_prefers_short_jobs() {
+        // A small cluster that fits only one job's full request: the
+        // short job must win it.
+        let cluster = Cluster::homogeneous(1, ResourceVec::new(65.0, 0.0, 260.0, 10.0));
+        let jobs = vec![
+            make_job(0, ModelKind::ResNet50, 100_000.0, 0.5), // long
+            make_job(1, ModelKind::ResNet50, 1_000.0, 0.5),   // short
+        ];
+        let allocs = TetrisAllocator::default().allocate(&jobs, &cluster);
+        assert!(
+            allocs[1].workers > allocs[0].workers,
+            "short {:?} long {:?}",
+            allocs[1],
+            allocs[0]
+        );
+    }
+
+    #[test]
+    fn tetris_meets_requests_then_backfills() {
+        // Requests are met first; leftover capacity is backfilled (work
+        // conservation), so a lone job on a big cluster gets ≥ request.
+        let cluster = Cluster::paper_testbed();
+        let jobs = vec![make_job(0, ModelKind::CnnRand, 100.0, 0.5)];
+        let allocs = TetrisAllocator::default().allocate(&jobs, &cluster);
+        assert!(allocs[0].workers >= 6, "{:?}", allocs[0]);
+        assert_eq!(allocs[0].ps, allocs[0].workers, "1:1 task pairs");
+
+        // Under contention the request cap binds before backfill: two
+        // jobs on a cluster fitting exactly 12 units → both at request.
+        let tight = Cluster::homogeneous(1, ResourceVec::new(121.0, 0.0, 250.0, 6.0));
+        let jobs = vec![
+            make_job(0, ModelKind::CnnRand, 100.0, 0.5),
+            make_job(1, ModelKind::CnnRand, 100_000.0, 0.5),
+        ];
+        let allocs = TetrisAllocator::default().allocate(&jobs, &tight);
+        assert!(allocs[0].workers >= allocs[1].workers, "short job first");
+    }
+
+    #[test]
+    fn fifo_blocks_head_of_line() {
+        // Room for ~2 full requests: job 0 and 1 get theirs, job 2 gets
+        // nothing even though a smaller grant would fit — FIFO does not
+        // skip ahead.
+        let cluster = Cluster::homogeneous(1, ResourceVec::new(125.0, 0.0, 500.0, 10.0));
+        let jobs: Vec<JobView> = (0..3)
+            .map(|i| make_job(i, ModelKind::Seq2Seq, 10_000.0, 0.5))
+            .collect();
+        let allocs = FifoAllocator.allocate(&jobs, &cluster);
+        assert_eq!(allocs[0].workers, 6);
+        assert_eq!(allocs[1].workers, 6);
+        assert!(allocs[2].workers < 6, "{:?}", allocs[2]);
+    }
+
+    #[test]
+    fn fifo_orders_by_submission() {
+        let cluster = Cluster::homogeneous(1, ResourceVec::new(65.0, 0.0, 260.0, 4.0));
+        // Views arrive out of id order; FIFO must still favor JobId(0).
+        let jobs = vec![
+            make_job(5, ModelKind::Seq2Seq, 10.0, 0.9),
+            make_job(0, ModelKind::Seq2Seq, 10_000.0, 0.1),
+        ];
+        let allocs = FifoAllocator.allocate(&jobs, &cluster);
+        let by_id = |id: u64| allocs.iter().find(|a| a.job == JobId(id)).unwrap();
+        assert!(by_id(0).workers >= by_id(5).workers);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cluster = Cluster::paper_testbed();
+        assert!(OptimusAllocator::default().allocate(&[], &cluster).is_empty());
+        assert!(DrfAllocator::default().allocate(&[], &cluster).is_empty());
+        assert!(TetrisAllocator::default().allocate(&[], &cluster).is_empty());
+    }
+
+    #[test]
+    fn overloaded_cluster_pauses_latecomers() {
+        // A cluster that fits exactly two starter units: jobs 2+ get
+        // nothing.
+        let cluster = Cluster::homogeneous(1, ResourceVec::new(20.0, 0.0, 40.0, 2.0));
+        let jobs: Vec<JobView> = (0..4)
+            .map(|i| make_job(i, ModelKind::ResNet50, 10_000.0, 0.5))
+            .collect();
+        let allocs = OptimusAllocator::default().allocate(&jobs, &cluster);
+        assert_eq!(allocs[0].workers, 1);
+        assert_eq!(allocs[1].workers, 1);
+        assert_eq!(allocs[2].workers, 0);
+        assert_eq!(allocs[3].workers, 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Online convergence estimation (§3.1).
+//!
+//! Each running job feeds its per-step training losses into a
+//! [`ConvergenceEstimator`]; the estimator preprocesses them (outlier
+//! removal + normalization, via `optimus-fitting`), fits the
+//! `l = 1/(β₀k + β₁) + β₂` curve with NNLS, and answers the scheduler's
+//! question: *how many more steps until this job converges?*
+//!
+//! When a job produces hundreds of thousands of steps, the estimator
+//! aggregates losses into per-bucket averages before fitting, exactly
+//! the mitigation the paper describes ("average the values of several
+//! data points (e.g., all losses in an epoch) as a single data point").
+
+use optimus_fitting::{FitError, LossCurveFitter, LossModel};
+use serde::{Deserialize, Serialize};
+
+/// Rolling state of one job's convergence estimate.
+#[derive(Debug, Clone)]
+pub struct ConvergenceEstimator {
+    /// Raw samples, `(step, loss)`, in arrival order.
+    samples: Vec<(u64, f64)>,
+    /// Convergence threshold δ (relative to the fitted curve's initial
+    /// per-epoch decrease; see `optimus-fitting`).
+    threshold: f64,
+    /// Steps per epoch for this job's mode and dataset.
+    steps_per_epoch: u64,
+    /// Patience in epochs.
+    patience: u64,
+    /// Cap on points fed to the solver; beyond it, samples are averaged
+    /// into buckets.
+    max_fit_points: usize,
+    fitter: LossCurveFitter,
+    model: Option<LossModel>,
+    /// §7 learning-rate-drop handling: when enabled, a sustained run of
+    /// losses far below the fitted curve's prediction restarts the
+    /// estimator ("treat the model training after learning rate
+    /// adjustment as a new training job and restart online fitting").
+    restart_detection: bool,
+    restart_streak: usize,
+    restarts: usize,
+    /// Step the current fitting segment starts at: samples are rebased
+    /// to this origin before fitting, because the Eqn-1 family with
+    /// non-negative coefficients cannot represent a right-shifted
+    /// hyperbola directly.
+    origin: u64,
+}
+
+/// Losses below `RESTART_RATIO ×` the model's prediction count toward a
+/// restart streak.
+const RESTART_RATIO: f64 = 0.7;
+/// Consecutive far-below-prediction samples that trigger a restart
+/// (tolerant of individual outlier dips).
+const RESTART_STREAK: usize = 8;
+
+/// Summary of an estimator's current prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePrediction {
+    /// Estimated total steps from step 0 to convergence.
+    pub total_steps: u64,
+    /// Estimated steps remaining from the latest observed step.
+    pub remaining_steps: u64,
+}
+
+impl ConvergenceEstimator {
+    /// Creates an estimator for a job with the given convergence
+    /// threshold, epoch length (in steps) and patience (in epochs).
+    pub fn new(threshold: f64, steps_per_epoch: u64, patience: u64) -> Self {
+        ConvergenceEstimator {
+            samples: Vec::new(),
+            threshold,
+            steps_per_epoch: steps_per_epoch.max(1),
+            patience,
+            max_fit_points: 2_000,
+            fitter: LossCurveFitter::new(),
+            model: None,
+            restart_detection: false,
+            restart_streak: 0,
+            restarts: 0,
+            origin: 0,
+        }
+    }
+
+    /// Enables §7 learning-rate-drop detection.
+    pub fn with_restart_detection(mut self, enabled: bool) -> Self {
+        self.restart_detection = enabled;
+        self
+    }
+
+    /// Number of times the estimator restarted after detecting a
+    /// learning-rate drop.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Overrides the solver point cap.
+    pub fn with_max_fit_points(mut self, cap: usize) -> Self {
+        self.max_fit_points = cap.max(8);
+        self
+    }
+
+    /// Records one observed `(step, loss)` sample, restarting the
+    /// estimator when a learning-rate drop is detected (§7).
+    pub fn record(&mut self, step: u64, loss: f64) {
+        self.samples.push((step, loss));
+        if !self.restart_detection {
+            return;
+        }
+        let Some(model) = self.model.as_ref() else {
+            return;
+        };
+        // Suppress detection until the current segment has enough data
+        // for a stable fit — a fresh post-restart model extrapolates
+        // poorly and would re-trigger immediately.
+        if self.samples.len() < 4 * RESTART_STREAK {
+            return;
+        }
+        // Compare in raw loss units (the model normalizes internally).
+        let predicted = model.raw_loss_at(step.saturating_sub(self.origin));
+        if loss.is_finite() && predicted.is_finite() && loss < RESTART_RATIO * predicted {
+            self.restart_streak += 1;
+            if self.restart_streak >= RESTART_STREAK {
+                // The regime changed: keep only the post-drop samples and
+                // fit the new segment as a fresh job.
+                let keep_from = self.samples.len() - RESTART_STREAK;
+                self.samples.drain(..keep_from);
+                self.origin = self.samples.first().map(|&(k, _)| k).unwrap_or(0);
+                self.model = None;
+                self.restart_streak = 0;
+                self.restarts += 1;
+            }
+        } else {
+            self.restart_streak = 0;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The latest observed step (0 when empty).
+    pub fn latest_step(&self) -> u64 {
+        self.samples.last().map(|&(k, _)| k).unwrap_or(0)
+    }
+
+    /// Refits the loss model from all samples collected so far.
+    ///
+    /// Returns [`FitError::NotEnoughSamples`] until at least three
+    /// distinct steps have been recorded; earlier fits are kept on
+    /// failure so the scheduler can always use the last good model.
+    pub fn refit(&mut self) -> Result<&LossModel, FitError> {
+        let points = self.fit_points();
+        let model = self.fitter.fit(&points)?;
+        self.model = Some(model);
+        Ok(self.model.as_ref().expect("just set"))
+    }
+
+    /// The last successfully fitted model, if any.
+    pub fn model(&self) -> Option<&LossModel> {
+        self.model.as_ref()
+    }
+
+    /// Predicted total/remaining steps to convergence from the current
+    /// model. `None` until a model has been fit (or if the fit predicts
+    /// no convergence).
+    pub fn predict(&self) -> Option<ConvergencePrediction> {
+        let model = self.model.as_ref()?;
+        let segment = model.convergence_step(self.threshold, self.steps_per_epoch, self.patience)?;
+        let total = self.origin.saturating_add(segment);
+        Some(ConvergencePrediction {
+            total_steps: total,
+            remaining_steps: total.saturating_sub(self.latest_step()),
+        })
+    }
+
+    /// The fitted model's *raw* loss prediction at an absolute step
+    /// (handles the post-restart rebasing and the fitter's internal
+    /// normalization). `None` before the first fit.
+    pub fn predicted_loss_at(&self, step: u64) -> Option<f64> {
+        self.model
+            .as_ref()
+            .map(|m| m.raw_loss_at(step.saturating_sub(self.origin)))
+    }
+
+    /// Convenience: remaining steps with a pessimistic default for jobs
+    /// with no model yet (the paper downgrades young jobs instead of
+    /// starving them; the simulator uses this before the first fit).
+    pub fn remaining_steps_or(&self, default: u64) -> u64 {
+        self.predict().map(|p| p.remaining_steps).unwrap_or(default)
+    }
+
+    /// The points fed to the solver: raw samples, or bucket averages when
+    /// over the cap.
+    fn fit_points(&self) -> Vec<(u64, f64)> {
+        let rebase = |(k, l): &(u64, f64)| (k.saturating_sub(self.origin), *l);
+        if self.samples.len() <= self.max_fit_points {
+            return self.samples.iter().map(rebase).collect();
+        }
+        // Aggregate into `max_fit_points` buckets by step order; each
+        // bucket contributes its mean step and mean loss.
+        let per_bucket = self.samples.len().div_ceil(self.max_fit_points);
+        self.samples
+            .chunks(per_bucket)
+            .map(|chunk| {
+                let n = chunk.len() as f64;
+                let step = chunk
+                    .iter()
+                    .map(|&(k, _)| k.saturating_sub(self.origin) as f64)
+                    .sum::<f64>()
+                    / n;
+                let loss = chunk.iter().map(|&(_, l)| l).sum::<f64>() / n;
+                (step.round() as u64, loss)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_workload::GroundTruthCurve;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Feeds `n` sampled losses from a ground-truth curve.
+    fn feed(est: &mut ConvergenceEstimator, curve: &GroundTruthCurve, spe: u64, n: u64, seed: u64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for k in 0..n {
+            est.record(k, curve.sample(k as f64, spe, &mut rng));
+        }
+    }
+
+    #[test]
+    fn needs_three_points() {
+        let mut est = ConvergenceEstimator::new(0.02, 100, 3);
+        est.record(0, 1.0);
+        est.record(1, 0.9);
+        assert!(matches!(
+            est.refit(),
+            Err(FitError::NotEnoughSamples { .. })
+        ));
+        assert!(est.predict().is_none());
+        assert_eq!(est.remaining_steps_or(777), 777);
+    }
+
+    #[test]
+    fn prediction_approaches_ground_truth() {
+        let curve = GroundTruthCurve::new(0.2038, 0.20); // ResNet-50 shape
+        let spe = 100u64;
+        let truth = curve.steps_to_converge(0.02, 3, spe).unwrap();
+
+        let mut est = ConvergenceEstimator::new(0.02, spe, 3);
+        feed(&mut est, &curve, spe, truth / 2, 42);
+        est.refit().unwrap();
+        let mid = est.predict().unwrap();
+        let err = (mid.total_steps as f64 - truth as f64).abs() / truth as f64;
+        assert!(err < 0.25, "mid-training error {err} (est {} truth {truth})", mid.total_steps);
+
+        // With almost the whole curve observed, the estimate tightens.
+        let mut est2 = ConvergenceEstimator::new(0.02, spe, 3);
+        feed(&mut est2, &curve, spe, truth * 9 / 10, 42);
+        est2.refit().unwrap();
+        let late = est2.predict().unwrap();
+        let err2 = (late.total_steps as f64 - truth as f64).abs() / truth as f64;
+        assert!(err2 < 0.15, "late-training error {err2}");
+    }
+
+    #[test]
+    fn remaining_steps_decrease_with_progress() {
+        let curve = GroundTruthCurve::new(0.4731, 0.07); // Seq2Seq shape
+        let spe = 50u64;
+        let mut est = ConvergenceEstimator::new(0.02, spe, 3);
+        feed(&mut est, &curve, spe, 200, 7);
+        est.refit().unwrap();
+        let early = est.predict().unwrap().remaining_steps;
+        feed(&mut est, &curve, spe, 600, 8); // records steps 0..600 again; latest_step = 599
+        est.refit().unwrap();
+        let later = est.predict().unwrap().remaining_steps;
+        assert!(later < early, "later {later} vs early {early}");
+    }
+
+    #[test]
+    fn bucketing_kicks_in_and_still_fits() {
+        let curve = GroundTruthCurve::new(0.3, 0.1).with_noise(0.01, 0.0);
+        let mut est = ConvergenceEstimator::new(0.02, 1000, 3).with_max_fit_points(50);
+        feed(&mut est, &curve, 1000, 5_000, 3);
+        assert_eq!(est.sample_count(), 5_000);
+        assert!(est.fit_points().len() <= 50);
+        est.refit().unwrap();
+        assert!(est.predict().is_some());
+    }
+
+    #[test]
+    fn keeps_last_model_on_failed_refit() {
+        let curve = GroundTruthCurve::new(0.3, 0.1);
+        let mut est = ConvergenceEstimator::new(0.02, 100, 3);
+        feed(&mut est, &curve, 100, 50, 5);
+        est.refit().unwrap();
+        assert!(est.model().is_some());
+        let before = *est.model().unwrap();
+        // A duplicate-step flood cannot erase the previous model even if
+        // the new fit fails.
+        let model_after = est.model().copied();
+        assert_eq!(Some(before), model_after);
+    }
+
+    #[test]
+    fn restart_detection_handles_lr_drop() {
+        use optimus_workload::curves::LrDrop;
+        // A curve with a learning-rate drop at epoch 30: without restart
+        // detection the single-hyperbola fit is badly confused by the
+        // regime change; with it, the estimator refits the new segment.
+        let spe = 50u64;
+        let curve = GroundTruthCurve::new(0.3, 0.3)
+            .with_noise(0.005, 0.0)
+            .with_lr_drop(LrDrop {
+                at_epoch: 30.0,
+                post_c0: 0.5,
+                post_floor: 0.12,
+            });
+        let feed_until = 60 * spe; // 30 epochs past the drop
+        let run = |detect: bool| {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let mut est = ConvergenceEstimator::new(0.02, spe, 3).with_restart_detection(detect);
+            for k in 0..feed_until {
+                est.record(k, curve.sample(k as f64, spe, &mut rng));
+                if k % (5 * spe) == 0 && k > 0 {
+                    let _ = est.refit();
+                }
+            }
+            let _ = est.refit();
+            est
+        };
+        let with = run(true);
+        assert!(with.restarts() >= 1, "drop must be detected");
+        let without = run(false);
+        assert_eq!(without.restarts(), 0);
+
+        // Both can predict; the restarted estimator's long-horizon loss
+        // prediction must be closer to the post-drop truth.
+        let probe = 100 * spe;
+        let truth = curve.loss_at_epoch(100.0);
+        let err_with = (with.predicted_loss_at(probe).unwrap() - truth).abs();
+        let err_without = (without.predicted_loss_at(probe).unwrap() - truth).abs();
+        assert!(
+            err_with < err_without,
+            "restart should help: {err_with} vs {err_without}"
+        );
+    }
+
+    #[test]
+    fn restart_detection_ignores_isolated_dips() {
+        let curve = GroundTruthCurve::new(0.3, 0.2).with_noise(0.0, 0.0);
+        let mut est = ConvergenceEstimator::new(0.02, 10, 3).with_restart_detection(true);
+        for k in 0..200u64 {
+            est.record(k, curve.loss_at_step(k as f64, 10));
+            if k == 50 {
+                let _ = est.refit();
+            }
+        }
+        // A few scattered outlier dips must not trigger a restart.
+        for k in [210u64, 230, 250] {
+            est.record(k, 0.01);
+            est.record(k + 1, curve.loss_at_step(k as f64 + 1.0, 10));
+        }
+        assert_eq!(est.restarts(), 0);
+    }
+
+    #[test]
+    fn latest_step_tracks_input() {
+        let mut est = ConvergenceEstimator::new(0.02, 10, 1);
+        assert_eq!(est.latest_step(), 0);
+        est.record(41, 0.5);
+        assert_eq!(est.latest_step(), 41);
+    }
+}

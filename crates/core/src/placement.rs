@@ -1,0 +1,602 @@
+//! Task placement (§4.2) and the baseline placers.
+//!
+//! Theorem 1: for a synchronous job in a homogeneous cluster, the
+//! speed-optimal placement uses the *fewest* servers that can host the
+//! job, with PS and workers spread *evenly* across them. Optimus'
+//! placer applies the induced heuristic to every job: sort servers by
+//! free capacity, jobs smallest-first (anti-starvation), and for each
+//! job find the smallest prefix of servers that fits an even spread.
+//!
+//! The baselines place the way their schedulers do in the paper's
+//! testbed: [`SpreadPlacer`] imitates Kubernetes' default load-balancing
+//! spreading (DRF baseline), [`PackPlacer`] imitates Tetris'
+//! fragmentation-minimizing packing.
+
+use crate::allocation::Allocation;
+use crate::scheduler::{JobPlacement, JobView};
+use optimus_cluster::{Cluster, ResourceKind, ResourceVec, ServerId};
+use optimus_ps::TaskCounts;
+use optimus_workload::JobId;
+use std::collections::HashMap;
+
+/// A task-placement policy.
+pub trait TaskPlacer {
+    /// Maps allocated jobs to concrete per-server task counts. Jobs that
+    /// cannot be placed are omitted (they pause this interval, §4.2).
+    ///
+    /// Placement is computed against the cluster's *free* capacity; the
+    /// caller is responsible for the cluster reflecting any resources
+    /// that are genuinely unavailable.
+    fn place(
+        &self,
+        allocations: &[Allocation],
+        jobs: &[JobView],
+        cluster: &Cluster,
+    ) -> HashMap<JobId, JobPlacement>;
+}
+
+/// Orders job indices smallest-demand-first (§4.2: "we place jobs in
+/// increasing order of their resource demand ... to avoid job
+/// starvation").
+fn smallest_first(allocations: &[Allocation], jobs: &[JobView]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..allocations.len())
+        .filter(|&i| allocations[i].ps > 0 && allocations[i].workers > 0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let da = allocations[a].demand(&jobs[a]).norm();
+        let db = allocations[b].demand(&jobs[b]).norm();
+        da.total_cmp(&db).then(jobs[a].id.cmp(&jobs[b].id))
+    });
+    order
+}
+
+// ---------------------------------------------------------------------
+// Optimus placer (§4.2, Theorem 1)
+// ---------------------------------------------------------------------
+
+/// The Theorem-1 placer.
+#[derive(Debug, Clone, Default)]
+pub struct OptimusPlacer;
+
+impl OptimusPlacer {
+    /// Tries to place `alloc` of `job` on the `k` most-available servers
+    /// of `scratch`: first the Theorem-1 even spread, then (for
+    /// heterogeneous servers where an equal share overflows the smallest
+    /// machine) a capacity-aware near-even spread. On success commits the
+    /// reservations and returns the placement.
+    fn try_place_on_k(
+        job: &JobView,
+        alloc: &Allocation,
+        scratch: &mut Cluster,
+        sorted: &[ServerId],
+        k: usize,
+    ) -> Option<JobPlacement> {
+        let chosen = &sorted[..k];
+        let counts = Self::even_counts(job, alloc, scratch, chosen, k)
+            .or_else(|| Self::balanced_counts(job, alloc, scratch, chosen))?;
+        // Commit.
+        let mut placement = Vec::with_capacity(k);
+        for (i, &sid) in chosen.iter().enumerate() {
+            if counts[i].ps == 0 && counts[i].workers == 0 {
+                continue;
+            }
+            let demand = job.worker_profile * counts[i].workers as f64
+                + job.ps_profile * counts[i].ps as f64;
+            scratch
+                .server_mut(sid)
+                .expect("sorted ids are valid")
+                .allocate(&demand)
+                .expect("feasibility checked above");
+            placement.push((sid, counts[i]));
+        }
+        Some(placement)
+    }
+
+    /// The exact Theorem-1 even split, if every server fits its share.
+    fn even_counts(
+        job: &JobView,
+        alloc: &Allocation,
+        scratch: &Cluster,
+        chosen: &[ServerId],
+        k: usize,
+    ) -> Option<Vec<TaskCounts>> {
+        let kf = k as u32;
+        let counts: Vec<TaskCounts> = (0..kf)
+            .map(|i| TaskCounts {
+                ps: alloc.ps / kf + u32::from(i < alloc.ps % kf),
+                workers: alloc.workers / kf + u32::from(i < alloc.workers % kf),
+            })
+            .collect();
+        for (i, &sid) in chosen.iter().enumerate() {
+            let demand = job.worker_profile * counts[i].workers as f64
+                + job.ps_profile * counts[i].ps as f64;
+            if !scratch.server(sid).expect("sorted ids are valid").can_fit(&demand) {
+                return None;
+            }
+        }
+        Some(counts)
+    }
+
+    /// Near-even fallback for heterogeneous servers: deal PS+worker
+    /// *pairs* to the server with the most remaining CPU that fits the
+    /// whole pair (Theorem 1's colocation principle), splitting a pair
+    /// across two servers only when no server fits both; leftover
+    /// unpaired tasks are dealt individually.
+    fn balanced_counts(
+        job: &JobView,
+        alloc: &Allocation,
+        scratch: &Cluster,
+        chosen: &[ServerId],
+    ) -> Option<Vec<TaskCounts>> {
+        let mut avail: Vec<ResourceVec> = chosen
+            .iter()
+            .map(|&sid| scratch.server(sid).expect("sorted ids are valid").available())
+            .collect();
+        let mut counts = vec![TaskCounts::default(); chosen.len()];
+
+        let place = |demand: &ResourceVec, avail: &mut [ResourceVec]| -> Option<usize> {
+            let target = (0..avail.len())
+                .filter(|&i| demand.fits_within(&avail[i]))
+                .max_by(|&a, &b| {
+                    avail[a]
+                        .get(ResourceKind::Cpu)
+                        .total_cmp(&avail[b].get(ResourceKind::Cpu))
+                })?;
+            avail[target] -= *demand;
+            Some(target)
+        };
+
+        let pair_demand = job.ps_profile + job.worker_profile;
+        let pairs = alloc.ps.min(alloc.workers);
+        for _ in 0..pairs {
+            if let Some(i) = place(&pair_demand, &mut avail) {
+                counts[i].ps += 1;
+                counts[i].workers += 1;
+            } else {
+                // No server fits the colocated pair: split it.
+                let i = place(&job.ps_profile, &mut avail)?;
+                counts[i].ps += 1;
+                let i = place(&job.worker_profile, &mut avail)?;
+                counts[i].workers += 1;
+            }
+        }
+        for _ in pairs..alloc.ps {
+            let i = place(&job.ps_profile, &mut avail)?;
+            counts[i].ps += 1;
+        }
+        for _ in pairs..alloc.workers {
+            let i = place(&job.worker_profile, &mut avail)?;
+            counts[i].workers += 1;
+        }
+        Some(counts)
+    }
+}
+
+impl TaskPlacer for OptimusPlacer {
+    fn place(
+        &self,
+        allocations: &[Allocation],
+        jobs: &[JobView],
+        cluster: &Cluster,
+    ) -> HashMap<JobId, JobPlacement> {
+        let mut scratch = cluster.clone();
+        let mut out = HashMap::new();
+        for i in smallest_first(allocations, jobs) {
+            let job = &jobs[i];
+            // Server list re-sorted per job (available CPU, §4.2). The
+            // prefix sums of free capacity bound the smallest k worth
+            // probing, keeping placement near-linear even on the Fig-12
+            // clusters (16 000 nodes).
+            let sorted = scratch.ids_by_available_desc(|a| a.get(ResourceKind::Cpu));
+            let free: Vec<ResourceVec> = sorted
+                .iter()
+                .map(|&sid| scratch.server(sid).expect("sorted ids are valid").available())
+                .collect();
+            let mut prefix = Vec::with_capacity(free.len() + 1);
+            prefix.push(ResourceVec::zero());
+            for f in &free {
+                let last = *prefix.last().expect("non-empty");
+                prefix.push(last + *f);
+            }
+            let total_free = *prefix.last().expect("non-empty");
+
+            // Shrink-on-unplaceable: the allocator reasons about
+            // aggregate capacity (constraint (7)), so per-server
+            // fragmentation can make the full allocation unplaceable.
+            // Rather than pausing a job that could run smaller (which
+            // deadlocks a lightly loaded cluster), retry smaller. The
+            // first shrink step jumps straight to what aggregate free
+            // capacity allows.
+            let mut alloc = allocations[i];
+            while alloc.demand(job).fits_within(&total_free) == false
+                && alloc.ps + alloc.workers > 2
+            {
+                if alloc.ps >= alloc.workers {
+                    alloc.ps -= 1;
+                } else {
+                    alloc.workers -= 1;
+                }
+            }
+            let placed = loop {
+                let demand = alloc.demand(job);
+                if !demand.fits_within(&total_free) {
+                    break None;
+                }
+                // Smallest k whose prefix of free capacity covers the
+                // demand; per-server granularity may need a few more.
+                let k_min = (1..=sorted.len())
+                    .find(|&k| demand.fits_within(&prefix[k]))
+                    .unwrap_or(sorted.len());
+                let k_max = (k_min + 8).min(sorted.len());
+                let attempt = (k_min..=k_max)
+                    .find_map(|k| Self::try_place_on_k(job, &alloc, &mut scratch, &sorted, k));
+                if attempt.is_some() {
+                    break attempt;
+                }
+                if alloc.ps + alloc.workers <= 2 {
+                    break None;
+                }
+                if alloc.ps >= alloc.workers {
+                    alloc.ps -= 1;
+                } else {
+                    alloc.workers -= 1;
+                }
+            };
+            if let Some(p) = placed {
+                out.insert(job.id, p);
+            }
+            // else: paused this interval (§4.2).
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load-balancing placer (Kubernetes default; DRF baseline)
+// ---------------------------------------------------------------------
+
+/// Places tasks one at a time, each on the server with the most free
+/// CPU — the "load balancing way, according to the default behavior of
+/// Kubernetes" used by the DRF baseline.
+#[derive(Debug, Clone, Default)]
+pub struct SpreadPlacer;
+
+impl TaskPlacer for SpreadPlacer {
+    fn place(
+        &self,
+        allocations: &[Allocation],
+        jobs: &[JobView],
+        cluster: &Cluster,
+    ) -> HashMap<JobId, JobPlacement> {
+        let mut scratch = cluster.clone();
+        let mut out = HashMap::new();
+        for (alloc, job) in allocations.iter().zip(jobs.iter()) {
+            if alloc.ps == 0 || alloc.workers == 0 {
+                continue;
+            }
+            if let Some(p) = place_tasks_by(job, alloc, &mut scratch, |server, _mine| {
+                server.available().get(ResourceKind::Cpu)
+            }) {
+                out.insert(job.id, p);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packing placer (Tetris baseline)
+// ---------------------------------------------------------------------
+
+/// Places tasks one at a time best-fit: the feasible server with the
+/// *least* free capacity left, packing tasks onto as few servers as
+/// possible to minimize resource fragmentation (§6.1's description of
+/// Tetris). As a side effect a job's tasks colocate, which also earns
+/// Tetris part of the communication-locality benefit the paper observes.
+#[derive(Debug, Clone, Default)]
+pub struct PackPlacer;
+
+impl TaskPlacer for PackPlacer {
+    fn place(
+        &self,
+        allocations: &[Allocation],
+        jobs: &[JobView],
+        cluster: &Cluster,
+    ) -> HashMap<JobId, JobPlacement> {
+        let mut scratch = cluster.clone();
+        let mut out = HashMap::new();
+        for (alloc, job) in allocations.iter().zip(jobs.iter()) {
+            if alloc.ps == 0 || alloc.workers == 0 {
+                continue;
+            }
+            // Keeping a job's footprint compact is the fragmentation-
+            // minimizing behavior §6.1 ascribes to Tetris: strongly
+            // prefer servers already hosting this job's tasks, then the
+            // fullest feasible server.
+            let placed = place_tasks_by(job, alloc, &mut scratch, |server, mine| {
+                let own_bonus = if mine.contains_key(&server.id()) {
+                    1e9
+                } else {
+                    0.0
+                };
+                own_bonus - server.available().get(ResourceKind::Cpu)
+            });
+            if let Some(p) = placed {
+                out.insert(job.id, p);
+            }
+        }
+        out
+    }
+}
+
+/// Greedy per-task placement: each task goes to the feasible server
+/// maximizing `score(server, tasks_this_job_already_has_per_server)`.
+///
+/// Mirrors Kubernetes semantics: tasks that do not fit stay "pending" —
+/// the job runs with whatever subset was placed, as long as at least
+/// one PS and one worker landed. Returns `None` (rolling back) only
+/// when even that minimum is impossible.
+fn place_tasks_by(
+    job: &JobView,
+    alloc: &Allocation,
+    scratch: &mut Cluster,
+    score: impl Fn(&optimus_cluster::Server, &HashMap<ServerId, TaskCounts>) -> f64,
+) -> Option<JobPlacement> {
+    let mut per_server: HashMap<ServerId, TaskCounts> = HashMap::new();
+    let mut committed: Vec<(ServerId, ResourceVec)> = Vec::new();
+
+    let place_one = |demand: &ResourceVec,
+                     scratch: &mut Cluster,
+                     per_server: &mut HashMap<ServerId, TaskCounts>,
+                     committed: &mut Vec<(ServerId, ResourceVec)>,
+                     is_ps: bool|
+     -> bool {
+        let target = scratch
+            .servers()
+            .filter(|s| s.can_fit(demand))
+            .max_by(|a, b| {
+                score(a, per_server)
+                    .total_cmp(&score(b, per_server))
+                    // Deterministic tie-break.
+                    .then(b.id().cmp(&a.id()))
+            })
+            .map(|s| s.id());
+        let Some(sid) = target else {
+            return false;
+        };
+        scratch
+            .server_mut(sid)
+            .expect("id from iteration")
+            .allocate(demand)
+            .expect("can_fit checked");
+        committed.push((sid, *demand));
+        let entry = per_server.entry(sid).or_insert(TaskCounts { ps: 0, workers: 0 });
+        if is_ps {
+            entry.ps += 1;
+        } else {
+            entry.workers += 1;
+        }
+        true
+    };
+
+    // Interleave PS and workers so a partially placed job still has both
+    // task kinds.
+    let mut placed_ps = 0u32;
+    let mut placed_w = 0u32;
+    for t in 0..(alloc.ps + alloc.workers) {
+        let want_ps = (t % 2 == 0 && placed_ps < alloc.ps) || placed_w >= alloc.workers;
+        let demand = if want_ps { &job.ps_profile } else { &job.worker_profile };
+        if place_one(demand, scratch, &mut per_server, &mut committed, want_ps) {
+            if want_ps {
+                placed_ps += 1;
+            } else {
+                placed_w += 1;
+            }
+        } else {
+            break; // remaining tasks stay pending
+        }
+    }
+
+    if placed_ps == 0 || placed_w == 0 {
+        // Roll back: not even the minimum viable pair landed.
+        for (sid, demand) in committed {
+            scratch
+                .server_mut(sid)
+                .expect("id from iteration")
+                .release(&demand)
+                .expect("releasing what we allocated");
+        }
+        return None;
+    }
+    let mut placement: JobPlacement = per_server.into_iter().collect();
+    placement.sort_by_key(|(sid, _)| *sid);
+    Some(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::SpeedModel;
+    use optimus_workload::TrainingMode;
+
+    fn job(id: u64) -> JobView {
+        let mut speed = SpeedModel::new(TrainingMode::Synchronous, 64.0);
+        for (p, w, f) in [(1, 1, 0.02), (2, 2, 0.04), (4, 4, 0.06), (8, 8, 0.07), (4, 8, 0.065)]
+        {
+            speed.record(p, w, f);
+        }
+        speed.refit().unwrap();
+        JobView {
+            id: JobId(id),
+            worker_profile: optimus_workload::job::default_container(),
+            ps_profile: optimus_workload::job::default_container(),
+            remaining_work: 1_000.0,
+            speed,
+            progress: 0.5,
+            requested_units: 4,
+        }
+    }
+
+    fn alloc(id: u64, ps: u32, workers: u32) -> Allocation {
+        Allocation {
+            job: JobId(id),
+            ps,
+            workers,
+        }
+    }
+
+    /// Sums placed tasks and verifies they match the allocation.
+    fn check_counts(p: &JobPlacement, a: &Allocation) {
+        let ps: u32 = p.iter().map(|(_, c)| c.ps).sum();
+        let w: u32 = p.iter().map(|(_, c)| c.workers).sum();
+        assert_eq!(ps, a.ps);
+        assert_eq!(w, a.workers);
+    }
+
+    #[test]
+    fn optimus_uses_fewest_servers() {
+        // 5 PS + 5 workers = 10 containers à 5 cores = 50 cores: more
+        // than one 32-core server, so Theorem 1 mandates exactly two
+        // servers with an even spread.
+        let cluster = Cluster::paper_testbed();
+        let jobs = vec![job(0)];
+        let allocs = vec![alloc(0, 5, 5)];
+        let placements = OptimusPlacer.place(&allocs, &jobs, &cluster);
+        let p = placements.get(&JobId(0)).expect("placed");
+        check_counts(p, &allocs[0]);
+        assert_eq!(p.len(), 2, "theorem 1: fewest servers, evenly: {p:?}");
+        // Even spread: 2-3 PS and 2-3 workers per server.
+        for (_, c) in p {
+            assert!((2..=3).contains(&c.ps), "{p:?}");
+            assert!((2..=3).contains(&c.workers), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn optimus_single_server_when_it_fits() {
+        let cluster = Cluster::paper_testbed();
+        let jobs = vec![job(0)];
+        let allocs = vec![alloc(0, 2, 2)]; // 4 × 5 = 20 cores ≤ 32
+        let placements = OptimusPlacer.place(&allocs, &jobs, &cluster);
+        let p = placements.get(&JobId(0)).expect("placed");
+        assert_eq!(p.len(), 1, "should fit on one server: {p:?}");
+    }
+
+    #[test]
+    fn optimus_places_smallest_job_first() {
+        // Cluster with room for the small job and only a shrunken big
+        // job: the small job must get its full allocation first.
+        let cluster = Cluster::homogeneous(1, ResourceVec::new(21.0, 0.0, 45.0, 2.0));
+        let jobs = vec![job(0), job(1)];
+        let allocs = vec![alloc(0, 4, 4), alloc(1, 1, 1)];
+        let placements = OptimusPlacer.place(&allocs, &jobs, &cluster);
+        let small = placements.get(&JobId(1)).expect("small job placed");
+        check_counts(small, &allocs[1]);
+        // The big job shrank to whatever still fits (at most one pair).
+        if let Some(big) = placements.get(&JobId(0)) {
+            let tasks: u32 = big.iter().map(|(_, c)| c.ps + c.workers).sum();
+            assert!(tasks <= 2, "big job should be shrunken: {big:?}");
+        }
+    }
+
+    #[test]
+    fn optimus_shrinks_rather_than_pausing_solo_job() {
+        // A lone job allocated beyond what fragmentation allows must
+        // still run (with fewer tasks), not deadlock.
+        let cluster = Cluster::homogeneous(2, ResourceVec::new(12.0, 0.0, 24.0, 1.0));
+        let jobs = vec![job(0)];
+        let allocs = vec![alloc(0, 4, 4)];
+        let placements = OptimusPlacer.place(&allocs, &jobs, &cluster);
+        let p = placements.get(&JobId(0)).expect("shrunken placement");
+        let ps: u32 = p.iter().map(|(_, c)| c.ps).sum();
+        let w: u32 = p.iter().map(|(_, c)| c.workers).sum();
+        assert!(ps >= 1 && w >= 1);
+        assert!(ps + w <= 4, "two servers × two 5-core tasks: {p:?}");
+    }
+
+    #[test]
+    fn all_placers_respect_server_capacity() {
+        let cluster = Cluster::paper_testbed();
+        let jobs: Vec<JobView> = (0..4).map(job).collect();
+        let allocs: Vec<Allocation> = (0..4).map(|i| alloc(i, 3, 3)).collect();
+        for placer in [
+            &OptimusPlacer as &dyn TaskPlacer,
+            &SpreadPlacer,
+            &PackPlacer,
+        ] {
+            let placements = placer.place(&allocs, &jobs, &cluster);
+            // Rebuild per-server usage and check capacities.
+            let mut usage: HashMap<ServerId, ResourceVec> = HashMap::new();
+            for (jid, p) in &placements {
+                let j = jobs.iter().find(|j| j.id == *jid).unwrap();
+                let a = allocs.iter().find(|a| a.job == *jid).unwrap();
+                check_counts(p, a);
+                for (sid, c) in p {
+                    let d = j.worker_profile * c.workers as f64 + j.ps_profile * c.ps as f64;
+                    *usage.entry(*sid).or_default() += d;
+                }
+            }
+            for (sid, used) in usage {
+                let cap = cluster.server(sid).unwrap().capacity();
+                assert!(used.fits_within(&cap), "{sid}: {used} > {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_placer_balances_load() {
+        let cluster = Cluster::homogeneous(4, ResourceVec::new(40.0, 0.0, 160.0, 4.0));
+        let jobs = vec![job(0)];
+        let allocs = vec![alloc(0, 4, 4)];
+        let placements = SpreadPlacer.place(&allocs, &jobs, &cluster);
+        let p = placements.get(&JobId(0)).unwrap();
+        // Kubernetes-style spreading lands tasks on every server.
+        assert_eq!(p.len(), 4, "{p:?}");
+    }
+
+    #[test]
+    fn truly_unplaceable_job_is_omitted() {
+        // Not even one 5-core container fits on a 4-core server.
+        let cluster = Cluster::homogeneous(2, ResourceVec::new(4.0, 0.0, 24.0, 1.0));
+        let jobs = vec![job(0)];
+        let allocs = vec![alloc(0, 4, 4)];
+        for placer in [
+            &OptimusPlacer as &dyn TaskPlacer,
+            &SpreadPlacer,
+            &PackPlacer,
+        ] {
+            let placements = placer.place(&allocs, &jobs, &cluster);
+            assert!(placements.is_empty());
+        }
+    }
+
+    #[test]
+    fn baseline_placers_leave_excess_pending() {
+        // Kubernetes semantics: place what fits, run with it.
+        let cluster = Cluster::homogeneous(2, ResourceVec::new(12.0, 0.0, 48.0, 1.0));
+        let jobs = vec![job(0)];
+        let allocs = vec![alloc(0, 4, 4)]; // 8 tasks wanted, 4 fit
+        for placer in [&SpreadPlacer as &dyn TaskPlacer, &PackPlacer] {
+            let placements = placer.place(&allocs, &jobs, &cluster);
+            let p = placements.get(&JobId(0)).expect("partial placement");
+            let ps: u32 = p.iter().map(|(_, c)| c.ps).sum();
+            let w: u32 = p.iter().map(|(_, c)| c.workers).sum();
+            assert!(ps >= 1 && w >= 1);
+            assert!(ps + w < 8, "must be partial: {p:?}");
+        }
+    }
+
+    #[test]
+    fn zero_allocations_are_skipped() {
+        let cluster = Cluster::paper_testbed();
+        let jobs = vec![job(0)];
+        let allocs = vec![alloc(0, 0, 0)];
+        for placer in [
+            &OptimusPlacer as &dyn TaskPlacer,
+            &SpreadPlacer,
+            &PackPlacer,
+        ] {
+            assert!(placer.place(&allocs, &jobs, &cluster).is_empty());
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Scheduler composition: allocator × placer (§4, §6.4).
+//!
+//! Every scheduling interval the simulator hands the scheduler the
+//! active jobs (as [`JobView`]s carrying the online estimates of §3) and
+//! the cluster; the scheduler returns a [`Schedule`]: per-job
+//! `(p, w)` allocations and concrete per-server placements. Jobs with an
+//! allocation but no placement are paused for the interval (§4.2).
+//!
+//! [`CompositeScheduler`] glues any [`ResourceAllocator`] to any
+//! [`TaskPlacer`], which is exactly how the paper's §6.4 ablations swap
+//! one component at a time.
+
+use crate::allocation::{Allocation, DrfAllocator, OptimusAllocator, ResourceAllocator, TetrisAllocator};
+use crate::placement::{OptimusPlacer, PackPlacer, SpreadPlacer, TaskPlacer};
+use crate::speed::SpeedModel;
+use optimus_cluster::{Cluster, ResourceVec, ServerId};
+use optimus_ps::TaskCounts;
+use optimus_workload::JobId;
+use std::collections::HashMap;
+
+/// What a scheduler knows about one active job.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Job id.
+    pub id: JobId,
+    /// Resources one worker occupies.
+    pub worker_profile: ResourceVec,
+    /// Resources one parameter server occupies.
+    pub ps_profile: ResourceVec,
+    /// Estimated remaining work `Q_j` in steps (§3.1).
+    pub remaining_work: f64,
+    /// The job's learned speed function (§3.2).
+    pub speed: SpeedModel,
+    /// Fraction of the job estimated complete, in `[0, 1]` (drives the
+    /// §4.1 young-job priority damping).
+    pub progress: f64,
+    /// Fixed task-pair request used by the DRF/Tetris baselines (the
+    /// paper sets ps:worker = 1:1 for both).
+    pub requested_units: u32,
+}
+
+impl JobView {
+    /// Estimated remaining time at a configuration: `Q_j / f(p, w)`,
+    /// `f64::INFINITY` when the configuration yields no speed.
+    pub fn remaining_time(&self, p: u32, w: u32) -> f64 {
+        let f = self.speed.predict(p, w);
+        if f <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.remaining_work / f
+        }
+    }
+
+    /// Combined resources of one worker + one PS.
+    pub fn unit_demand(&self) -> ResourceVec {
+        self.worker_profile + self.ps_profile
+    }
+}
+
+/// Placement of one job: its tasks per server.
+pub type JobPlacement = Vec<(ServerId, TaskCounts)>;
+
+/// The outcome of one scheduling pass.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Per-job task counts (jobs with `ps == 0 || workers == 0` received
+    /// nothing this interval).
+    pub allocations: Vec<Allocation>,
+    /// Concrete placements for the jobs that fit on servers; allocated
+    /// jobs missing here are paused (§4.2).
+    pub placements: HashMap<JobId, JobPlacement>,
+}
+
+impl Schedule {
+    /// The allocation row for a job, if any.
+    pub fn allocation_for(&self, id: JobId) -> Option<&Allocation> {
+        self.allocations.iter().find(|a| a.job == id)
+    }
+
+    /// The placement for a job, if it was placed.
+    pub fn placement_for(&self, id: JobId) -> Option<&JobPlacement> {
+        self.placements.get(&id)
+    }
+
+    /// True when the job both received resources and was placed.
+    pub fn is_running(&self, id: JobId) -> bool {
+        self.placements.contains_key(&id)
+            && self
+                .allocation_for(id)
+                .is_some_and(|a| a.ps > 0 && a.workers > 0)
+    }
+
+    /// Total tasks (PS + workers) placed.
+    pub fn total_tasks(&self) -> u64 {
+        self.placements
+            .values()
+            .flat_map(|p| p.iter())
+            .map(|(_, c)| (c.ps + c.workers) as u64)
+            .sum()
+    }
+}
+
+/// A complete scheduler: produces a [`Schedule`] each interval.
+pub trait Scheduler {
+    /// Human-readable name for reports ("Optimus", "DRF", "Tetris", ...).
+    fn name(&self) -> &str;
+
+    /// Computes allocations and placements for the active jobs.
+    fn schedule(&self, jobs: &[JobView], cluster: &Cluster) -> Schedule;
+}
+
+/// An allocator glued to a placer.
+pub struct CompositeScheduler {
+    name: String,
+    allocator: Box<dyn ResourceAllocator + Send + Sync>,
+    placer: Box<dyn TaskPlacer + Send + Sync>,
+}
+
+impl CompositeScheduler {
+    /// Creates a scheduler from parts (used directly by the §6.4
+    /// ablations).
+    pub fn new(
+        name: impl Into<String>,
+        allocator: Box<dyn ResourceAllocator + Send + Sync>,
+        placer: Box<dyn TaskPlacer + Send + Sync>,
+    ) -> Self {
+        CompositeScheduler {
+            name: name.into(),
+            allocator,
+            placer,
+        }
+    }
+}
+
+impl Scheduler for CompositeScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schedule(&self, jobs: &[JobView], cluster: &Cluster) -> Schedule {
+        let allocations = self.allocator.allocate(jobs, cluster);
+        let placements = self.placer.place(&allocations, jobs, cluster);
+        Schedule {
+            allocations,
+            placements,
+        }
+    }
+}
+
+/// The full Optimus scheduler: marginal-gain allocation + Theorem-1
+/// placement.
+pub struct OptimusScheduler;
+
+impl OptimusScheduler {
+    /// Builds the scheduler with default parameters (priority factor 1).
+    pub fn build() -> CompositeScheduler {
+        CompositeScheduler::new(
+            "Optimus",
+            Box::new(OptimusAllocator::default()),
+            Box::new(OptimusPlacer::default()),
+        )
+    }
+
+    /// Builds with an explicit §4.1 priority factor (the paper evaluates
+    /// 0.95).
+    pub fn with_priority_factor(factor: f64) -> CompositeScheduler {
+        CompositeScheduler::new(
+            format!("Optimus(pf={factor})"),
+            Box::new(OptimusAllocator::default().with_priority_factor(factor)),
+            Box::new(OptimusPlacer::default()),
+        )
+    }
+}
+
+impl Default for CompositeScheduler {
+    fn default() -> Self {
+        OptimusScheduler::build()
+    }
+}
+
+/// The DRF fairness baseline: progressive filling + load-balancing
+/// (Kubernetes-default) placement.
+pub struct DrfScheduler;
+
+impl DrfScheduler {
+    /// Builds the baseline as configured in §6.1.
+    pub fn build() -> CompositeScheduler {
+        CompositeScheduler::new(
+            "DRF",
+            Box::new(DrfAllocator::default()),
+            Box::new(SpreadPlacer::default()),
+        )
+    }
+}
+
+/// The Tetris baseline: packing + SRTF allocation with
+/// fragmentation-minimizing placement.
+pub struct TetrisScheduler;
+
+impl TetrisScheduler {
+    /// Builds the baseline as configured in §6.1 (fed by Optimus's own
+    /// estimators, as in the paper).
+    pub fn build() -> CompositeScheduler {
+        CompositeScheduler::new(
+            "Tetris",
+            Box::new(TetrisAllocator::default()),
+            Box::new(PackPlacer::default()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_workload::TrainingMode;
+
+    fn dummy_speed() -> SpeedModel {
+        let mut s = SpeedModel::new(TrainingMode::Synchronous, 64.0);
+        for (p, w, f) in [
+            (1u32, 1u32, 0.02),
+            (2, 2, 0.04),
+            (4, 4, 0.07),
+            (8, 8, 0.09),
+            (4, 8, 0.08),
+        ] {
+            s.record(p, w, f);
+        }
+        s.refit().unwrap();
+        s
+    }
+
+    fn job(id: u64) -> JobView {
+        JobView {
+            id: JobId(id),
+            worker_profile: optimus_workload::job::default_container(),
+            ps_profile: optimus_workload::job::default_container(),
+            remaining_work: 10_000.0,
+            speed: dummy_speed(),
+            progress: 0.5,
+            requested_units: 4,
+        }
+    }
+
+    #[test]
+    fn remaining_time_uses_speed() {
+        let j = job(0);
+        let t44 = j.remaining_time(4, 4);
+        assert!(t44.is_finite() && t44 > 0.0);
+        assert_eq!(j.remaining_time(0, 4), f64::INFINITY);
+    }
+
+    #[test]
+    fn all_three_schedulers_produce_runnable_schedules() {
+        let cluster = Cluster::paper_testbed();
+        let jobs: Vec<JobView> = (0..3).map(job).collect();
+        for sched in [
+            OptimusScheduler::build(),
+            DrfScheduler::build(),
+            TetrisScheduler::build(),
+        ] {
+            let s = sched.schedule(&jobs, &cluster);
+            assert!(!s.allocations.is_empty(), "{}", sched.name());
+            for j in &jobs {
+                assert!(s.is_running(j.id), "{}: {:?} not running", sched.name(), j.id);
+            }
+            assert!(s.total_tasks() > 0);
+        }
+    }
+
+    #[test]
+    fn schedule_lookup_helpers() {
+        let cluster = Cluster::paper_testbed();
+        let jobs = vec![job(7)];
+        let s = OptimusScheduler::build().schedule(&jobs, &cluster);
+        assert!(s.allocation_for(JobId(7)).is_some());
+        assert!(s.allocation_for(JobId(99)).is_none());
+        assert!(s.placement_for(JobId(7)).is_some());
+    }
+}

@@ -1,0 +1,383 @@
+//! Resource→speed models (§3.2, Eqns 3 and 4).
+//!
+//! The training speed of a job as a function of its parameter-server and
+//! worker counts is learned, not measured term by term: before a job
+//! starts, the scheduler profiles it for a few steps under a handful of
+//! `(p, w)` combinations; during execution every observed
+//! `(p, w, speed)` sample keeps calibrating the model.
+//!
+//! Both speed functions are linear in their coefficients after
+//! inversion, so fitting is a single NNLS solve:
+//!
+//! * **asynchronous** (Eqn 3): `f(p,w) = w·(θ₀ + θ₁·w/p + θ₂·w + θ₃·p)⁻¹`
+//!   → regress `w/f` on `[1, w/p, w, p]`;
+//! * **synchronous** (Eqn 4): `f(p,w) = (θ₀·M/w + θ₁ + θ₂·w/p + θ₃·w +
+//!   θ₄·p)⁻¹` → regress `1/f` on `[M/w, 1, w/p, w, p]`.
+
+use optimus_fitting::{FitError, LinearModel, NonNegLinearFit};
+use optimus_workload::TrainingMode;
+use serde::{Deserialize, Serialize};
+
+/// One profiled or observed sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedSample {
+    /// Parameter servers.
+    pub p: u32,
+    /// Workers.
+    pub w: u32,
+    /// Measured speed, steps/s (aggregate steps for async).
+    pub speed: f64,
+}
+
+/// A learned training-speed function `f(p, w)` for one job.
+#[derive(Debug, Clone)]
+pub struct SpeedModel {
+    mode: TrainingMode,
+    /// Global batch size `M` (used by the synchronous feature map).
+    batch: f64,
+    samples: Vec<SpeedSample>,
+    model: Option<LinearModel>,
+    /// Multiplier applied to every prediction (1.0 = unbiased). Used by
+    /// the sensitivity experiments (Fig 15) to inject controlled
+    /// speed-estimation error.
+    prediction_scale: f64,
+    /// Optional cap on retained samples: when set, old observations are
+    /// forgotten FIFO so the model tracks a drifting environment
+    /// (contention, stragglers) instead of averaging over its history.
+    /// The initial profiling samples are protected — the window applies
+    /// to online observations only.
+    window: Option<usize>,
+    /// Number of leading samples protected from the window (the §3.2
+    /// profiling runs).
+    protected: usize,
+}
+
+impl SpeedModel {
+    /// Creates an empty model for a job.
+    pub fn new(mode: TrainingMode, batch: f64) -> Self {
+        SpeedModel {
+            mode,
+            batch,
+            samples: Vec::new(),
+            model: None,
+            prediction_scale: 1.0,
+            window: None,
+            protected: 0,
+        }
+    }
+
+    /// Caps retained *online* samples at `window`, forgetting the oldest
+    /// first. Samples recorded before this call (the profiling runs) are
+    /// never evicted — they anchor the model across the whole
+    /// configuration space.
+    pub fn with_sample_window(mut self, window: usize) -> Self {
+        self.window = Some(window.max(1));
+        self.protected = self.samples.len();
+        self
+    }
+
+    /// Sets the prediction multiplier (Fig 15 error injection; 1.0 =
+    /// unbiased).
+    pub fn set_prediction_scale(&mut self, scale: f64) {
+        self.prediction_scale = scale;
+    }
+
+    /// The current prediction multiplier.
+    pub fn prediction_scale(&self) -> f64 {
+        self.prediction_scale
+    }
+
+    /// The training mode this model describes.
+    pub fn mode(&self) -> TrainingMode {
+        self.mode
+    }
+
+    /// Records an observed `(p, w, speed)` sample. Non-finite or
+    /// non-positive speeds and degenerate configurations are ignored
+    /// (they carry no information about the feasible region).
+    pub fn record(&mut self, p: u32, w: u32, speed: f64) {
+        if p == 0 || w == 0 || !speed.is_finite() || speed <= 0.0 {
+            return;
+        }
+        self.samples.push(SpeedSample { p, w, speed });
+        if let Some(window) = self.window {
+            while self.samples.len() > self.protected + window {
+                self.samples.remove(self.protected);
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of coefficients the feature map produces.
+    pub fn num_coefficients(&self) -> usize {
+        match self.mode {
+            TrainingMode::Asynchronous => 4,
+            TrainingMode::Synchronous => 5,
+        }
+    }
+
+    /// Refits the model by NNLS over all samples.
+    ///
+    /// Returns [`FitError::NotEnoughSamples`] until the sample count
+    /// reaches the coefficient count; the previous model (if any)
+    /// survives a failed refit.
+    pub fn refit(&mut self) -> Result<(), FitError> {
+        let rows: Vec<Vec<f64>> = self.samples.iter().map(|s| self.features(s.p, s.w)).collect();
+        let targets: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| match self.mode {
+                TrainingMode::Asynchronous => s.w as f64 / s.speed,
+                TrainingMode::Synchronous => 1.0 / s.speed,
+            })
+            .collect();
+        let fitted = NonNegLinearFit.fit_rows(&rows, &targets)?;
+        self.model = Some(fitted);
+        Ok(())
+    }
+
+    /// True once a model has been fit.
+    pub fn is_fit(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// The fitted coefficients θ (empty before the first successful fit).
+    pub fn coefficients(&self) -> &[f64] {
+        self.model.as_ref().map(|m| m.theta.as_slice()).unwrap_or(&[])
+    }
+
+    /// Residual sum of squares of the last fit (in inverted-speed space),
+    /// as reported in Table 2.
+    pub fn residual_ss(&self) -> Option<f64> {
+        self.model.as_ref().map(|m| m.residual_ss)
+    }
+
+    /// Predicted speed at `(p, w)`, steps/s. Returns 0.0 for infeasible
+    /// configurations (`p == 0 || w == 0`), unfit models, or degenerate
+    /// fits predicting a non-positive step time.
+    pub fn predict(&self, p: u32, w: u32) -> f64 {
+        if p == 0 || w == 0 {
+            return 0.0;
+        }
+        let Some(model) = self.model.as_ref() else {
+            return 0.0;
+        };
+        let feat = self.features(p, w);
+        let inv = match model.predict(&feat) {
+            Ok(v) => v,
+            Err(_) => return 0.0,
+        };
+        if inv <= 0.0 || !inv.is_finite() {
+            return 0.0;
+        }
+        let raw = match self.mode {
+            TrainingMode::Asynchronous => w as f64 / inv,
+            TrainingMode::Synchronous => 1.0 / inv,
+        };
+        (raw * self.prediction_scale).max(0.0)
+    }
+
+    /// The feature row for a configuration.
+    fn features(&self, p: u32, w: u32) -> Vec<f64> {
+        let pf = p as f64;
+        let wf = w as f64;
+        match self.mode {
+            TrainingMode::Asynchronous => vec![1.0, wf / pf, wf, pf],
+            TrainingMode::Synchronous => vec![self.batch / wf, 1.0, wf / pf, wf, pf],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_ps::PsJobModel;
+    use optimus_workload::ModelKind;
+
+    /// Profiles a ground-truth model at the given configurations, fits,
+    /// and returns (model, ground truth).
+    fn fit_from_truth(
+        mode: TrainingMode,
+        configs: &[(u32, u32)],
+    ) -> (SpeedModel, PsJobModel<'static>) {
+        let profile = ModelKind::ResNet50.profile();
+        let truth = PsJobModel::new(profile, mode);
+        let mut model = SpeedModel::new(mode, profile.batch_size as f64);
+        for &(p, w) in configs {
+            model.record(p, w, truth.speed(p, w));
+        }
+        model.refit().unwrap();
+        (model, truth)
+    }
+
+    /// The paper's initialization: a handful of (p, w) combinations.
+    const PROFILE_CONFIGS: [(u32, u32); 8] = [
+        (1, 1),
+        (2, 2),
+        (4, 4),
+        (8, 8),
+        (4, 8),
+        (8, 4),
+        (12, 6),
+        (6, 12),
+    ];
+
+    #[test]
+    fn sync_fit_predicts_unseen_configs() {
+        let (model, truth) = fit_from_truth(TrainingMode::Synchronous, &PROFILE_CONFIGS);
+        for &(p, w) in &[(3u32, 5u32), (10, 10), (16, 8), (5, 15), (20, 20)] {
+            let est = model.predict(p, w);
+            let real = truth.speed(p, w);
+            let err = (est - real).abs() / real;
+            assert!(err < 0.12, "({p},{w}): est {est} real {real} err {err}");
+        }
+    }
+
+    #[test]
+    fn async_fit_predicts_unseen_configs() {
+        let (model, truth) = fit_from_truth(TrainingMode::Asynchronous, &PROFILE_CONFIGS);
+        for &(p, w) in &[(3u32, 5u32), (10, 10), (16, 8), (5, 15)] {
+            let est = model.predict(p, w);
+            let real = truth.speed(p, w);
+            let err = (est - real).abs() / real;
+            assert!(err < 0.12, "({p},{w}): est {est} real {real} err {err}");
+        }
+    }
+
+    #[test]
+    fn more_samples_reduce_error_fig8() {
+        // Fig 8: estimation error shrinks with the number of samples,
+        // with diminishing returns. Evaluate mean relative error over a
+        // grid after fitting on prefixes of a sample list.
+        let profile = ModelKind::ResNet50.profile();
+        let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+        let all: Vec<(u32, u32)> = (1..=12)
+            .flat_map(|p| (1..=12).map(move |w| (p, w)))
+            .filter(|(p, w)| (p * 7 + w * 13) % 11 < 4) // pseudo-random subset
+            .collect();
+        let eval = |m: &SpeedModel| -> f64 {
+            let mut errs = Vec::new();
+            for p in (2..=20).step_by(3) {
+                for w in (2..=20).step_by(3) {
+                    let real = truth.speed(p, w);
+                    errs.push((m.predict(p, w) - real).abs() / real);
+                }
+            }
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let fit_prefix = |n: usize| -> SpeedModel {
+            let mut m = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+            for &(p, w) in &all[..n] {
+                m.record(p, w, truth.speed(p, w));
+            }
+            m.refit().unwrap();
+            m
+        };
+        let err_small = eval(&fit_prefix(6));
+        let err_large = eval(&fit_prefix(all.len()));
+        assert!(err_large <= err_small + 1e-9);
+        // Paper: < 10 % error with ~10 samples.
+        assert!(eval(&fit_prefix(10)) < 0.10);
+    }
+
+    #[test]
+    fn rejects_insufficient_samples() {
+        let mut m = SpeedModel::new(TrainingMode::Synchronous, 256.0);
+        m.record(1, 1, 0.1);
+        m.record(2, 2, 0.2);
+        assert!(matches!(m.refit(), Err(FitError::NotEnoughSamples { .. })));
+        assert!(!m.is_fit());
+        assert_eq!(m.predict(4, 4), 0.0);
+    }
+
+    #[test]
+    fn ignores_degenerate_samples() {
+        let mut m = SpeedModel::new(TrainingMode::Asynchronous, 256.0);
+        m.record(0, 4, 1.0);
+        m.record(4, 0, 1.0);
+        m.record(4, 4, f64::NAN);
+        m.record(4, 4, -1.0);
+        assert_eq!(m.sample_count(), 0);
+    }
+
+    #[test]
+    fn infeasible_configs_predict_zero() {
+        let (model, _) = fit_from_truth(TrainingMode::Synchronous, &PROFILE_CONFIGS);
+        assert_eq!(model.predict(0, 4), 0.0);
+        assert_eq!(model.predict(4, 0), 0.0);
+    }
+
+    #[test]
+    fn coefficients_shape_matches_table2() {
+        // Table 2: both modes have non-negative coefficients; the
+        // compute (θ₀ sync) and transfer (w/p) terms dominate.
+        let (sync, _) = fit_from_truth(TrainingMode::Synchronous, &PROFILE_CONFIGS);
+        assert_eq!(sync.coefficients().len(), 5);
+        assert!(sync.coefficients().iter().all(|&c| c >= 0.0));
+        assert!(sync.residual_ss().unwrap() < 1.0);
+        let (asy, _) = fit_from_truth(TrainingMode::Asynchronous, &PROFILE_CONFIGS);
+        assert_eq!(asy.coefficients().len(), 4);
+        assert!(asy.coefficients().iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn sample_window_forgets_stale_observations() {
+        let profile = ModelKind::ResNet50.profile();
+        let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+        let mut m = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+        for &(p, w) in &PROFILE_CONFIGS {
+            m.record(p, w, truth.speed(p, w));
+        }
+        let mut m = m.with_sample_window(10);
+        let protected = m.sample_count();
+        // A burst of observations from a degraded environment (half
+        // speed), then recovery: with the window, the stale degraded
+        // samples age out.
+        for _ in 0..10 {
+            m.record(10, 10, truth.speed(10, 10) * 0.5);
+        }
+        for _ in 0..10 {
+            m.record(10, 10, truth.speed(10, 10));
+        }
+        assert_eq!(m.sample_count(), protected + 10);
+        m.refit().unwrap();
+        let err = (m.predict(10, 10) - truth.speed(10, 10)).abs() / truth.speed(10, 10);
+        assert!(err < 0.05, "window should track recovery: err {err}");
+    }
+
+    #[test]
+    fn window_never_evicts_profiling_samples() {
+        let mut m = SpeedModel::new(TrainingMode::Asynchronous, 256.0);
+        m.record(1, 1, 0.5);
+        m.record(8, 8, 3.0);
+        let mut m = m.with_sample_window(2);
+        for i in 0..20 {
+            m.record(4, 4, 1.0 + i as f64 * 0.001);
+        }
+        // 2 protected + 2 window.
+        assert_eq!(m.sample_count(), 4);
+    }
+
+    #[test]
+    fn online_calibration_improves_local_accuracy() {
+        // After fitting on profiling samples, feeding many observations
+        // around the operating point keeps the model accurate there.
+        let profile = ModelKind::Seq2Seq.profile();
+        let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+        let mut m = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+        for &(p, w) in &PROFILE_CONFIGS {
+            m.record(p, w, truth.speed(p, w));
+        }
+        m.refit().unwrap();
+        for _ in 0..20 {
+            m.record(10, 10, truth.speed(10, 10));
+        }
+        m.refit().unwrap();
+        let err = (m.predict(10, 10) - truth.speed(10, 10)).abs() / truth.speed(10, 10);
+        assert!(err < 0.05, "operating-point error {err}");
+    }
+}

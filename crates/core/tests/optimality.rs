@@ -1,0 +1,166 @@
+//! Brute-force optimality validation of the §4 heuristics.
+//!
+//! The allocation program (5)–(8) is NP-hard, so Optimus uses a greedy
+//! marginal-gain heuristic. On instances small enough to enumerate
+//! exhaustively, the greedy solution should be optimal or near-optimal
+//! — these tests pin that quality bound so a regression in the
+//! heuristic is caught.
+
+use optimus_core::allocation::{OptimusAllocator, ResourceAllocator};
+use optimus_core::prelude::*;
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_ps::PsJobModel;
+use optimus_workload::{JobId, ModelKind, TrainingMode};
+
+/// A JobView with a truth-fitted speed model.
+fn job(id: u64, kind: ModelKind, mode: TrainingMode, remaining: f64) -> JobView {
+    let profile = kind.profile();
+    let truth = PsJobModel::new(profile, mode);
+    let mut speed = SpeedModel::new(mode, profile.batch_size as f64);
+    for (p, w) in [(1, 1), (2, 2), (3, 3), (4, 4), (2, 4), (4, 2), (6, 6)] {
+        speed.record(p, w, truth.speed(p, w));
+    }
+    speed.refit().expect("profiled");
+    JobView {
+        id: JobId(id),
+        worker_profile: optimus_workload::job::default_container(),
+        ps_profile: optimus_workload::job::default_container(),
+        remaining_work: remaining,
+        speed,
+        progress: 0.5,
+        requested_units: 8,
+    }
+}
+
+/// Sum of estimated remaining times (the paper's objective (5)) for an
+/// allocation vector, +∞ when a job gets zero of either task kind.
+fn objective(jobs: &[JobView], alloc: &[(u32, u32)]) -> f64 {
+    jobs.iter()
+        .zip(alloc.iter())
+        .map(|(j, &(p, w))| j.remaining_time(p, w))
+        .sum()
+}
+
+/// Exhaustive minimizer over all feasible (p, w) vectors: every job gets
+/// 1..=max tasks of each kind, subject to the total unit budget.
+fn brute_force(jobs: &[JobView], budget_units: u32) -> (f64, Vec<(u32, u32)>) {
+    let max = budget_units;
+    let mut best = (f64::INFINITY, vec![]);
+    let mut current = vec![(0u32, 0u32); jobs.len()];
+    fn rec(
+        jobs: &[JobView],
+        max: u32,
+        budget: u32,
+        idx: usize,
+        current: &mut Vec<(u32, u32)>,
+        best: &mut (f64, Vec<(u32, u32)>),
+    ) {
+        if idx == jobs.len() {
+            let obj = objective(jobs, current);
+            if obj < best.0 {
+                *best = (obj, current.clone());
+            }
+            return;
+        }
+        for p in 1..=max {
+            for w in 1..=max {
+                let used = (p + w + 1) / 2; // units of (1 ps + 1 worker)
+                let _ = used;
+                // Count capacity in tasks: 2 tasks per unit.
+                let tasks = p + w;
+                if tasks > budget * 2 {
+                    continue;
+                }
+                let used_so_far: u32 = current[..idx].iter().map(|&(a, b)| a + b).sum();
+                if used_so_far + tasks > budget * 2 {
+                    continue;
+                }
+                current[idx] = (p, w);
+                rec(jobs, max, budget, idx + 1, current, best);
+            }
+        }
+        current[idx] = (0, 0);
+    }
+    rec(jobs, max, budget_units, 0, &mut current, &mut best);
+    best
+}
+
+/// Runs the greedy allocator on a cluster with exactly `units` capacity
+/// and returns its objective value.
+fn greedy_objective(jobs: &[JobView], units: u32) -> f64 {
+    // One big server with exactly `units` worth of containers; only the
+    // CPU dimension binds.
+    let cluster = Cluster::homogeneous(
+        1,
+        ResourceVec::new(units as f64 * 10.0, 0.0, units as f64 * 40.0, units as f64),
+    );
+    let allocs = OptimusAllocator::default().allocate(jobs, &cluster);
+    let alloc_pairs: Vec<(u32, u32)> = allocs.iter().map(|a| (a.ps, a.workers)).collect();
+    objective(jobs, &alloc_pairs)
+}
+
+#[test]
+fn greedy_matches_brute_force_single_job() {
+    for kind in [ModelKind::ResNet50, ModelKind::CnnRand, ModelKind::Seq2Seq] {
+        for mode in [TrainingMode::Synchronous, TrainingMode::Asynchronous] {
+            let jobs = vec![job(0, kind, mode, 10_000.0)];
+            let units = 5;
+            let (opt, _) = brute_force(&jobs, units);
+            let greedy = greedy_objective(&jobs, units);
+            assert!(
+                greedy <= opt * 1.05 + 1.0,
+                "{kind:?} {mode:?}: greedy {greedy} vs optimal {opt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_near_optimal_two_jobs() {
+    // Two competing jobs, tight budget: the greedy objective must stay
+    // within 10 % of the exhaustive optimum.
+    let cases = vec![
+        (
+            vec![
+                job(0, ModelKind::ResNet50, TrainingMode::Synchronous, 20_000.0),
+                job(1, ModelKind::CnnRand, TrainingMode::Asynchronous, 2_000.0),
+            ],
+            4u32,
+        ),
+        (
+            vec![
+                job(0, ModelKind::Seq2Seq, TrainingMode::Synchronous, 5_000.0),
+                job(1, ModelKind::Seq2Seq, TrainingMode::Synchronous, 50_000.0),
+            ],
+            4u32,
+        ),
+        (
+            vec![
+                job(0, ModelKind::Dssm, TrainingMode::Asynchronous, 8_000.0),
+                job(1, ModelKind::RnnLstm, TrainingMode::Asynchronous, 8_000.0),
+            ],
+            5u32,
+        ),
+    ];
+    for (jobs, units) in cases {
+        let (opt, best) = brute_force(&jobs, units);
+        let greedy = greedy_objective(&jobs, units);
+        assert!(
+            greedy <= opt * 1.10 + 1.0,
+            "greedy {greedy} vs optimal {opt} ({best:?})"
+        );
+    }
+}
+
+#[test]
+fn greedy_never_beats_brute_force() {
+    // Sanity on the harness itself: brute force is a lower bound.
+    let jobs = vec![
+        job(0, ModelKind::Kaggle, TrainingMode::Synchronous, 3_000.0),
+        job(1, ModelKind::Dssm, TrainingMode::Asynchronous, 9_000.0),
+    ];
+    let units = 4;
+    let (opt, _) = brute_force(&jobs, units);
+    let greedy = greedy_objective(&jobs, units);
+    assert!(greedy >= opt - 1e-6);
+}

@@ -1,0 +1,83 @@
+//! Error type shared by the fitting routines.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+///
+/// All fitting entry points are fallible: singular systems, empty inputs and
+/// non-finite samples are reported instead of panicking, so a scheduler can
+/// fall back to a previous model when a fit fails mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The input had fewer samples than the model has degrees of freedom.
+    NotEnoughSamples {
+        /// Number of samples supplied.
+        got: usize,
+        /// Minimum number of samples required.
+        need: usize,
+    },
+    /// Matrix dimensions were inconsistent with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+    /// A linear system was singular (or numerically indistinguishable from
+    /// singular) and could not be solved.
+    SingularSystem,
+    /// The NNLS iteration limit was exceeded before convergence.
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// An input value was NaN or infinite.
+    NonFiniteInput {
+        /// Human-readable description of where the value appeared.
+        context: &'static str,
+    },
+    /// No candidate model produced a finite residual.
+    NoViableModel,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::NotEnoughSamples { got, need } => {
+                write!(f, "not enough samples: got {got}, need at least {need}")
+            }
+            FitError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            FitError::SingularSystem => write!(f, "linear system is singular"),
+            FitError::IterationLimit { limit } => {
+                write!(f, "iteration limit of {limit} exceeded")
+            }
+            FitError::NonFiniteInput { context } => {
+                write!(f, "non-finite input value: {context}")
+            }
+            FitError::NoViableModel => write!(f, "no candidate model had a finite residual"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FitError::NotEnoughSamples { got: 1, need: 3 };
+        assert!(e.to_string().contains("got 1"));
+        assert!(e.to_string().contains("need at least 3"));
+        assert!(FitError::SingularSystem.to_string().contains("singular"));
+        let e = FitError::IterationLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&FitError::SingularSystem);
+    }
+}

@@ -1,0 +1,332 @@
+//! Alternative convergence-curve families (§7 "Convergence estimation").
+//!
+//! Eqn 1's `1/(β₀k + β₁) + β₂` fits SGD-style `O(1/k)` convergence, but
+//! the paper notes some models "cannot be described or can only be
+//! partly described using our fitting function ... they may be fitted
+//! using other functions based on the convergence speed of the
+//! optimization algorithm", with the job owner supplying the family.
+//!
+//! This module provides that plug-in point: a [`CurveFamily`] abstracts
+//! "fit samples → predictive curve", with two implementations — the
+//! paper's inverse-k family and an exponential-decay family
+//! (`l = α·exp(−λk) + c`, the linear-convergence shape of e.g.
+//! strongly-convex problems) — plus [`fit_best`], which picks the
+//! family with the smaller residual.
+
+use crate::error::FitError;
+use crate::linalg::Matrix;
+use crate::loss_curve::{LossCurveFitter, LossModel};
+use crate::preprocess::LossSample;
+
+/// A fitted convergence curve of any family.
+pub trait FittedCurve {
+    /// Predicted (normalized) loss after `k` steps.
+    fn loss_at(&self, k: u64) -> f64;
+    /// Residual sum of squares of the fit.
+    fn residual_ss(&self) -> f64;
+    /// First epoch whose per-epoch decrease falls below
+    /// `threshold × Δ(0)` (the convention shared with
+    /// [`LossModel::convergence_epoch`]).
+    fn convergence_epoch(&self, threshold: f64, steps_per_epoch: u64) -> Option<u64>;
+    /// Short family name for reports.
+    fn family_name(&self) -> &'static str;
+}
+
+/// A fitting strategy producing a [`FittedCurve`].
+pub trait CurveFamily {
+    /// Fits the family to raw `(step, loss)` samples.
+    fn fit(&self, samples: &[LossSample]) -> Result<Box<dyn FittedCurve>, FitError>;
+    /// Short family name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------
+// The paper's inverse-k family (Eqn 1), adapted to the trait.
+// ---------------------------------------------------------------------
+
+/// Eqn 1: `l = 1/(β₀k + β₁) + β₂`.
+#[derive(Debug, Clone, Default)]
+pub struct InverseKFamily;
+
+impl CurveFamily for InverseKFamily {
+    fn fit(&self, samples: &[LossSample]) -> Result<Box<dyn FittedCurve>, FitError> {
+        let model = LossCurveFitter::new().without_normalization().fit(samples)?;
+        Ok(Box::new(model))
+    }
+
+    fn name(&self) -> &'static str {
+        "inverse-k"
+    }
+}
+
+impl FittedCurve for LossModel {
+    fn loss_at(&self, k: u64) -> f64 {
+        LossModel::loss_at(self, k)
+    }
+
+    fn residual_ss(&self) -> f64 {
+        self.residual_ss
+    }
+
+    fn convergence_epoch(&self, threshold: f64, steps_per_epoch: u64) -> Option<u64> {
+        LossModel::convergence_epoch(self, threshold, steps_per_epoch)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "inverse-k"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exponential decay: l = α·exp(−λ·k) + c.
+// ---------------------------------------------------------------------
+
+/// A fitted exponential-decay curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpDecayModel {
+    /// Amplitude α (≥ 0).
+    pub alpha: f64,
+    /// Decay rate λ (≥ 0), per step.
+    pub lambda: f64,
+    /// Asymptotic floor c (≥ 0).
+    pub floor: f64,
+    /// Residual sum of squares in loss space.
+    pub residual_ss: f64,
+}
+
+impl FittedCurve for ExpDecayModel {
+    fn loss_at(&self, k: u64) -> f64 {
+        self.alpha * (-self.lambda * k as f64).exp() + self.floor
+    }
+
+    fn residual_ss(&self) -> f64 {
+        self.residual_ss
+    }
+
+    fn convergence_epoch(&self, threshold: f64, steps_per_epoch: u64) -> Option<u64> {
+        if threshold <= 0.0 || steps_per_epoch == 0 {
+            return None;
+        }
+        if self.lambda <= 0.0 || self.alpha <= 0.0 {
+            return Some(0);
+        }
+        // Per-epoch decrease Δ(e) = α·(1 − r)·rᵉ with
+        // r = exp(−λ·steps_per_epoch): geometric, so the first epoch
+        // below threshold·Δ(0) is ln(threshold)/ln(r), exactly.
+        let r = (-self.lambda * steps_per_epoch as f64).exp();
+        if r >= 1.0 {
+            return Some(0);
+        }
+        let epochs = threshold.ln() / r.ln();
+        if !epochs.is_finite() || epochs > 1e12 {
+            return None;
+        }
+        Some(epochs.max(0.0).ceil() as u64)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "exp-decay"
+    }
+}
+
+/// The exponential-decay family fitter: scans the floor `c`, solves the
+/// linearized `ln(l − c) = ln α − λk` by least squares, and keeps the
+/// best loss-space residual (the same scan-plus-linearize recipe the
+/// Eqn-1 fitter uses).
+#[derive(Debug, Clone)]
+pub struct ExpDecayFamily {
+    /// Grid points for the floor scan.
+    pub grid_points: usize,
+}
+
+impl Default for ExpDecayFamily {
+    fn default() -> Self {
+        ExpDecayFamily { grid_points: 32 }
+    }
+}
+
+impl CurveFamily for ExpDecayFamily {
+    fn fit(&self, samples: &[LossSample]) -> Result<Box<dyn FittedCurve>, FitError> {
+        if samples.len() < 3 {
+            return Err(FitError::NotEnoughSamples {
+                got: samples.len(),
+                need: 3,
+            });
+        }
+        let min_loss = samples
+            .iter()
+            .map(|&(_, l)| l)
+            .fold(f64::INFINITY, f64::min);
+        if !min_loss.is_finite() {
+            return Err(FitError::NonFiniteInput {
+                context: "exp-decay samples",
+            });
+        }
+        let hi = (min_loss - 1e-9).max(0.0);
+        let mut best: Option<ExpDecayModel> = None;
+        for i in 0..self.grid_points.max(2) {
+            let c = hi * i as f64 / (self.grid_points - 1) as f64;
+            if let Ok(m) = fit_for_floor(samples, c) {
+                if best.map_or(true, |b| m.residual_ss < b.residual_ss) {
+                    best = Some(m);
+                }
+            }
+        }
+        best.map(|m| Box::new(m) as Box<dyn FittedCurve>)
+            .ok_or(FitError::NoViableModel)
+    }
+
+    fn name(&self) -> &'static str {
+        "exp-decay"
+    }
+}
+
+/// Weighted linear fit of `ln(l − c) = ln α − λ·k` for a fixed floor.
+fn fit_for_floor(samples: &[LossSample], c: f64) -> Result<ExpDecayModel, FitError> {
+    let mut rows: Vec<[f64; 2]> = Vec::with_capacity(samples.len());
+    let mut ys: Vec<f64> = Vec::with_capacity(samples.len());
+    for &(k, l) in samples {
+        let gap = l - c;
+        if gap <= 1e-12 {
+            continue;
+        }
+        // d(ln gap) = d(gap)/gap ⇒ weight rows by gap to approximate a
+        // loss-space objective.
+        rows.push([gap, -(k as f64) * gap]);
+        ys.push(gap * gap.ln());
+    }
+    if rows.len() < 2 {
+        return Err(FitError::NotEnoughSamples {
+            got: rows.len(),
+            need: 2,
+        });
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let a = Matrix::from_rows(&refs)?;
+    // ln α is unconstrained in sign, λ ≥ 0: solve the unconstrained LS
+    // for [ln α, λ] but clamp λ via NNLS on the negated column when the
+    // plain solution goes negative.
+    let sol = a.lstsq(&ys)?;
+    let (ln_alpha, lambda) = (sol[0], sol[1]);
+    let (ln_alpha, lambda) = if lambda < 0.0 {
+        // Refit with λ forced ≥ 0 (NNLS needs non-negative coefficients,
+        // so shift ln α by fitting α′ = e^{ln α}; approximate with λ = 0).
+        let ones: Vec<&[f64]> = rows.iter().map(|r| &r[..1]).collect();
+        let a1 = Matrix::from_rows(&ones)?;
+        let s = a1.lstsq(&ys)?;
+        (s[0], 0.0)
+    } else {
+        (ln_alpha, lambda)
+    };
+    let alpha = ln_alpha.exp();
+    let model = ExpDecayModel {
+        alpha,
+        lambda,
+        floor: c,
+        residual_ss: 0.0,
+    };
+    let rss: f64 = samples
+        .iter()
+        .map(|&(k, l)| {
+            let e = model.loss_at(k) - l;
+            e * e
+        })
+        .sum();
+    Ok(ExpDecayModel {
+        residual_ss: rss,
+        ..model
+    })
+}
+
+/// Fits every provided family and returns the one with the smallest
+/// loss-space residual (§7: model selection when the owner supplies
+/// alternative fitting functions). `None` entries that fail to fit are
+/// skipped; errors only when *no* family fits.
+pub fn fit_best(
+    families: &[&dyn CurveFamily],
+    samples: &[LossSample],
+) -> Result<Box<dyn FittedCurve>, FitError> {
+    let mut best: Option<Box<dyn FittedCurve>> = None;
+    for family in families {
+        if let Ok(fit) = family.fit(samples) {
+            if best.as_ref().map_or(true, |b| fit.residual_ss() < b.residual_ss()) {
+                best = Some(fit);
+            }
+        }
+    }
+    best.ok_or(FitError::NoViableModel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverse_samples() -> Vec<LossSample> {
+        (0..200)
+            .map(|k| (k, 1.0 / (0.05 * k as f64 + 1.2) + 0.1))
+            .collect()
+    }
+
+    fn exp_samples() -> Vec<LossSample> {
+        (0..200)
+            .map(|k| (k, 0.9 * (-0.03 * k as f64).exp() + 0.1))
+            .collect()
+    }
+
+    #[test]
+    fn exp_family_recovers_planted_curve() {
+        let fit = ExpDecayFamily::default().fit(&exp_samples()).unwrap();
+        for &(k, l) in exp_samples().iter().step_by(17) {
+            assert!((fit.loss_at(k) - l).abs() < 0.01, "k={k}");
+        }
+        assert_eq!(fit.family_name(), "exp-decay");
+    }
+
+    #[test]
+    fn model_selection_picks_the_right_family() {
+        let inv = InverseKFamily;
+        let exp = ExpDecayFamily::default();
+        let families: [&dyn CurveFamily; 2] = [&inv, &exp];
+
+        let best = fit_best(&families, &inverse_samples()).unwrap();
+        assert_eq!(best.family_name(), "inverse-k");
+
+        let best = fit_best(&families, &exp_samples()).unwrap();
+        assert_eq!(best.family_name(), "exp-decay");
+    }
+
+    #[test]
+    fn exp_convergence_epoch_is_geometric() {
+        let m = ExpDecayModel {
+            alpha: 1.0,
+            lambda: 0.01,
+            floor: 0.1,
+            residual_ss: 0.0,
+        };
+        // r = exp(−0.01·100) = e⁻¹; threshold 0.05 ⇒ e* = ln(0.05)/ln(r) ≈ 3.
+        let e = m.convergence_epoch(0.05, 100).unwrap();
+        assert_eq!(e, 3);
+        // Tighter thresholds converge later.
+        assert!(m.convergence_epoch(0.01, 100).unwrap() > e);
+        assert_eq!(m.convergence_epoch(0.0, 100), None);
+    }
+
+    #[test]
+    fn exp_family_needs_three_points() {
+        let samples = vec![(0u64, 1.0), (1, 0.9)];
+        assert!(matches!(
+            ExpDecayFamily::default().fit(&samples),
+            Err(FitError::NotEnoughSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn fit_best_errors_when_nothing_fits() {
+        let inv = InverseKFamily;
+        let families: [&dyn CurveFamily; 1] = [&inv];
+        assert!(matches!(
+            fit_best(&families, &[(0, 1.0)]),
+            Err(FitError::NoViableModel) | Err(FitError::NotEnoughSamples { .. })
+        ));
+    }
+}

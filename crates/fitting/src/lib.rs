@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Numerical substrate for the Optimus scheduler reproduction.
+//!
+//! The paper fits two model families with a non-negative least squares
+//! (NNLS) solver (it cites SciPy's `nnls`, i.e. Lawson–Hanson):
+//!
+//! * the training-loss convergence curve `l(k) = 1/(β₀·k + β₁) + β₂`
+//!   (Eqn 1, §3.1), and
+//! * the resource→speed functions (Eqns 3/4, §3.2), which are linear in
+//!   their coefficients after inverting the speed.
+//!
+//! This crate provides everything needed for both, from scratch:
+//!
+//! * [`Matrix`] — a small dense row-major matrix with the decompositions
+//!   needed for least squares,
+//! * [`nnls()`] — Lawson–Hanson active-set non-negative least squares,
+//! * [`preprocess`] — the paper's outlier removal and loss normalization,
+//! * [`loss_curve`] — the online convergence-curve fitter,
+//! * [`linfit`] — non-negative linear model fitting on arbitrary feature
+//!   maps (used by the speed models in `optimus-core`), with weighted
+//!   variants,
+//! * [`qr`] — Householder-QR least squares for ill-conditioned systems,
+//! * [`families`] — §7 pluggable curve families (inverse-k, exponential
+//!   decay) with residual-based model selection,
+//! * [`stats`] — small statistics helpers shared by the experiment harness.
+
+pub mod error;
+pub mod families;
+pub mod linalg;
+pub mod linfit;
+pub mod loss_curve;
+pub mod nnls;
+pub mod preprocess;
+pub mod qr;
+pub mod stats;
+
+pub use error::FitError;
+pub use families::{fit_best, CurveFamily, ExpDecayFamily, FittedCurve, InverseKFamily};
+pub use linalg::Matrix;
+pub use linfit::{LinearModel, NonNegLinearFit};
+pub use loss_curve::{LossCurveFitter, LossModel};
+pub use nnls::{nnls, NnlsOptions, NnlsSolution};
+pub use qr::qr_lstsq;

@@ -1,0 +1,168 @@
+//! Householder-QR least squares.
+//!
+//! The normal-equation path in [`crate::linalg::Matrix::lstsq`] squares
+//! the condition number; this module provides the numerically stable
+//! alternative for ill-conditioned systems (long loss series where the
+//! step index spans many orders of magnitude). The NNLS inner solver can
+//! be switched to it via [`qr_lstsq`].
+
+use crate::error::FitError;
+use crate::linalg::Matrix;
+
+/// Solves `min ‖A·x − b‖₂` by Householder QR factorization.
+///
+/// Requires `rows ≥ cols`; returns [`FitError::SingularSystem`] when a
+/// diagonal of `R` is numerically zero (rank-deficient input).
+///
+/// # Examples
+///
+/// ```
+/// use optimus_fitting::{qr_lstsq, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+/// let x = qr_lstsq(&a, &[1.0, 2.0, 3.0]).unwrap(); // exact line y = 1 + t
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn qr_lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, FitError> {
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(FitError::DimensionMismatch {
+            context: "qr_lstsq: rhs length != rows",
+        });
+    }
+    if m < n {
+        return Err(FitError::NotEnoughSamples { got: m, need: n });
+    }
+
+    // Working copies: R is built in place in `r`; b transforms alongside.
+    let mut r: Vec<f64> = (0..m).flat_map(|i| a.row(i).to_vec()).collect();
+    let mut y = b.to_vec();
+
+    for k in 0..n {
+        // Householder vector for column k below the diagonal.
+        let mut norm = 0.0;
+        for i in k..m {
+            let v = r[i * n + k];
+            norm += v * v;
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-13 {
+            return Err(FitError::SingularSystem);
+        }
+        let alpha = if r[k * n + k] > 0.0 { -norm } else { norm };
+        // v = x − alpha·e1 (stored in a scratch vector).
+        let mut v = vec![0.0; m - k];
+        v[0] = r[k * n + k] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[i * n + k];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv < 1e-26 {
+            // Column already triangular here.
+            continue;
+        }
+        // Apply H = I − 2·v·vᵀ/vᵀv to the trailing block of R and to y.
+        for col in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[i * n + col];
+            }
+            let scale = 2.0 * dot / vtv;
+            for i in k..m {
+                r[i * n + col] -= scale * v[i - k];
+            }
+        }
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * y[i];
+        }
+        let scale = 2.0 * dot / vtv;
+        for i in k..m {
+            y[i] -= scale * v[i - k];
+        }
+    }
+
+    // Back-substitute R·x = y[..n].
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut acc = y[k];
+        for j in (k + 1)..n {
+            acc -= r[k * n + j] * x[j];
+        }
+        let diag = r[k * n + k];
+        if diag.abs() < 1e-13 {
+            return Err(FitError::SingularSystem);
+        }
+        x[k] = acc / diag;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn matches_normal_equations_on_well_conditioned() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 1.0], &[0.5, 4.0], &[2.0, 2.0]]);
+        let b = [3.0, 4.0, 5.0, 4.5];
+        let qr = qr_lstsq(&a, &b).unwrap();
+        let ne = a.lstsq(&b).unwrap();
+        for (p, q) in qr.iter().zip(ne.iter()) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn survives_conditioning_that_strains_normal_equations() {
+        // Vandermonde-ish rows with κ(A) ≈ 1e7: κ(AᵀA) ≈ 1e14 puts the
+        // normal equations at the edge of f64; QR stays accurate.
+        let xs: Vec<f64> = (0..40).map(|i| 1.0 + i as f64 * 0.25).collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x, x * x, x * x * x]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let truth = [2.0, -1.0, 0.5, 0.03];
+        let b: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().zip(truth.iter()).map(|(x, t)| x * t).sum())
+            .collect();
+        let x = qr_lstsq(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(truth.iter()) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = mat(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert_eq!(qr_lstsq(&a, &[1.0, 2.0, 3.0]), Err(FitError::SingularSystem));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = mat(&[&[1.0, 2.0]]);
+        assert!(matches!(
+            qr_lstsq(&a, &[1.0]),
+            Err(FitError::NotEnoughSamples { .. })
+        ));
+        let a = mat(&[&[1.0], &[2.0]]);
+        assert!(matches!(
+            qr_lstsq(&a, &[1.0]),
+            Err(FitError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn square_system_exact() {
+        let a = mat(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = qr_lstsq(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,277 @@
+//! The typed API server over the KV store.
+//!
+//! Objects are stored as JSON under `nodes/<name>` and `pods/<name>`;
+//! mutations go through compare-and-swap so concurrent controllers
+//! cannot stomp each other (the optimistic-concurrency pattern the real
+//! API server uses).
+
+use crate::objects::{NodeRecord, PodPhase, PodRecord};
+use crate::store::{KvStore, Revision};
+use optimus_cluster::ResourceVec;
+use std::fmt;
+
+/// API-layer errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// Object not found.
+    NotFound(String),
+    /// Object already exists (create) or was concurrently modified
+    /// (update).
+    Conflict(String),
+    /// Stored JSON failed to decode — store corruption or version skew.
+    Corrupt(String),
+    /// The request was invalid (e.g. binding to an unknown node).
+    Invalid(String),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::NotFound(k) => write!(f, "not found: {k}"),
+            ApiError::Conflict(k) => write!(f, "conflict on: {k}"),
+            ApiError::Corrupt(k) => write!(f, "corrupt record: {k}"),
+            ApiError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// The API server. Cheap to clone (shares the store).
+#[derive(Debug, Clone, Default)]
+pub struct ApiServer {
+    store: KvStore,
+}
+
+impl ApiServer {
+    /// Creates an API server over a fresh store.
+    pub fn new() -> Self {
+        ApiServer {
+            store: KvStore::new(),
+        }
+    }
+
+    /// Access to the underlying store (watches, scheduler checkpoints).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    // --- nodes --------------------------------------------------------
+
+    /// Registers a node (create-only).
+    pub fn create_node(&self, node: &NodeRecord) -> Result<Revision, ApiError> {
+        let key = format!("nodes/{}", node.name);
+        let json = serde_json::to_string(node).expect("NodeRecord serializes");
+        self.store
+            .cas(&key, json, 0)
+            .ok_or(ApiError::Conflict(key))
+    }
+
+    /// Updates a node record unconditionally (kubelet heartbeat).
+    pub fn update_node(&self, node: &NodeRecord) -> Result<Revision, ApiError> {
+        let key = format!("nodes/{}", node.name);
+        if self.store.get(&key).is_none() {
+            return Err(ApiError::NotFound(key));
+        }
+        let json = serde_json::to_string(node).expect("NodeRecord serializes");
+        Ok(self.store.put(key, json))
+    }
+
+    /// Reads one node.
+    pub fn get_node(&self, name: &str) -> Result<NodeRecord, ApiError> {
+        let key = format!("nodes/{name}");
+        let (json, _) = self.store.get(&key).ok_or(ApiError::NotFound(key.clone()))?;
+        serde_json::from_str(&json).map_err(|_| ApiError::Corrupt(key))
+    }
+
+    /// Lists all nodes.
+    pub fn list_nodes(&self) -> Vec<NodeRecord> {
+        self.store
+            .list("nodes/")
+            .into_iter()
+            .filter_map(|(_, json, _)| serde_json::from_str(&json).ok())
+            .collect()
+    }
+
+    // --- pods ---------------------------------------------------------
+
+    /// Creates a pending pod (create-only).
+    pub fn create_pod(&self, pod: &PodRecord) -> Result<Revision, ApiError> {
+        let key = format!("pods/{}", pod.spec.name);
+        let json = serde_json::to_string(pod).expect("PodRecord serializes");
+        self.store
+            .cas(&key, json, 0)
+            .ok_or(ApiError::Conflict(key))
+    }
+
+    /// Reads one pod with its revision.
+    pub fn get_pod(&self, name: &str) -> Result<(PodRecord, Revision), ApiError> {
+        let key = format!("pods/{name}");
+        let (json, rev) = self.store.get(&key).ok_or(ApiError::NotFound(key.clone()))?;
+        let pod = serde_json::from_str(&json).map_err(|_| ApiError::Corrupt(key))?;
+        Ok((pod, rev))
+    }
+
+    /// Lists all pods.
+    pub fn list_pods(&self) -> Vec<PodRecord> {
+        self.store
+            .list("pods/")
+            .into_iter()
+            .filter_map(|(_, json, _)| serde_json::from_str(&json).ok())
+            .collect()
+    }
+
+    /// Binds a pending pod to a node (the scheduler's verb). Fails if
+    /// the pod is not pending, the node is unknown/not-ready, or the pod
+    /// changed concurrently.
+    pub fn bind_pod(&self, pod_name: &str, node_name: &str) -> Result<Revision, ApiError> {
+        let node = self.get_node(node_name)?;
+        if !node.ready {
+            return Err(ApiError::Invalid(format!("node {node_name} not ready")));
+        }
+        let (mut pod, rev) = self.get_pod(pod_name)?;
+        if pod.phase != PodPhase::Pending {
+            return Err(ApiError::Invalid(format!(
+                "pod {pod_name} not pending ({:?})",
+                pod.phase
+            )));
+        }
+        pod.phase = PodPhase::Bound;
+        pod.node = Some(node_name.to_string());
+        let key = format!("pods/{pod_name}");
+        let json = serde_json::to_string(&pod).expect("PodRecord serializes");
+        self.store
+            .cas(&key, json, rev)
+            .ok_or(ApiError::Conflict(key))
+    }
+
+    /// Transitions a pod's phase with optimistic concurrency.
+    pub fn set_pod_phase(&self, pod_name: &str, phase: PodPhase) -> Result<Revision, ApiError> {
+        let (mut pod, rev) = self.get_pod(pod_name)?;
+        pod.phase = phase;
+        let key = format!("pods/{pod_name}");
+        let json = serde_json::to_string(&pod).expect("PodRecord serializes");
+        self.store
+            .cas(&key, json, rev)
+            .ok_or(ApiError::Conflict(key))
+    }
+
+    /// Deletes a pod.
+    pub fn delete_pod(&self, pod_name: &str) -> Result<(), ApiError> {
+        let key = format!("pods/{pod_name}");
+        self.store
+            .delete(&key)
+            .map(|_| ())
+            .ok_or(ApiError::NotFound(key))
+    }
+
+    /// Free capacity of a node given the pods bound/running on it.
+    pub fn node_free_capacity(&self, node_name: &str) -> Result<ResourceVec, ApiError> {
+        let node = self.get_node(node_name)?;
+        let used = self
+            .list_pods()
+            .into_iter()
+            .filter(|p| {
+                p.node.as_deref() == Some(node_name)
+                    && matches!(p.phase, PodPhase::Bound | PodPhase::Running)
+            })
+            .fold(ResourceVec::zero(), |acc, p| acc + p.spec.resources);
+        Ok(node.capacity.saturating_sub(&used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{PodSpec, TaskRole};
+    use optimus_workload::JobId;
+
+    fn pod(name: &str) -> PodRecord {
+        PodRecord::pending(PodSpec {
+            name: name.into(),
+            job: JobId(0),
+            role: TaskRole::Worker,
+            resources: ResourceVec::new(5.0, 0.0, 10.0, 0.2),
+        })
+    }
+
+    fn api_with_node() -> ApiServer {
+        let api = ApiServer::new();
+        api.create_node(&NodeRecord::ready("n0", ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
+            .unwrap();
+        api
+    }
+
+    #[test]
+    fn create_is_create_only() {
+        let api = api_with_node();
+        api.create_pod(&pod("p0")).unwrap();
+        assert!(matches!(
+            api.create_pod(&pod("p0")),
+            Err(ApiError::Conflict(_))
+        ));
+        assert!(matches!(
+            api.create_node(&NodeRecord::ready("n0", ResourceVec::zero())),
+            Err(ApiError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn bind_lifecycle() {
+        let api = api_with_node();
+        api.create_pod(&pod("p0")).unwrap();
+        api.bind_pod("p0", "n0").unwrap();
+        let (p, _) = api.get_pod("p0").unwrap();
+        assert_eq!(p.phase, PodPhase::Bound);
+        assert_eq!(p.node.as_deref(), Some("n0"));
+        // Double bind rejected.
+        assert!(matches!(
+            api.bind_pod("p0", "n0"),
+            Err(ApiError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn bind_requires_ready_node() {
+        let api = api_with_node();
+        let mut n = api.get_node("n0").unwrap();
+        n.ready = false;
+        api.update_node(&n).unwrap();
+        api.create_pod(&pod("p0")).unwrap();
+        assert!(matches!(
+            api.bind_pod("p0", "n0"),
+            Err(ApiError::Invalid(_))
+        ));
+        assert!(matches!(
+            api.bind_pod("p0", "ghost"),
+            Err(ApiError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn free_capacity_subtracts_bound_pods() {
+        let api = api_with_node();
+        api.create_pod(&pod("p0")).unwrap();
+        api.create_pod(&pod("p1")).unwrap();
+        api.bind_pod("p0", "n0").unwrap();
+        api.bind_pod("p1", "n0").unwrap();
+        let free = api.node_free_capacity("n0").unwrap();
+        assert_eq!(free.get(optimus_cluster::ResourceKind::Cpu), 22.0);
+        // Succeeded pods release resources.
+        api.set_pod_phase("p1", PodPhase::Succeeded).unwrap();
+        let free = api.node_free_capacity("n0").unwrap();
+        assert_eq!(free.get(optimus_cluster::ResourceKind::Cpu), 27.0);
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let api = api_with_node();
+        api.create_pod(&pod("a")).unwrap();
+        api.create_pod(&pod("b")).unwrap();
+        assert_eq!(api.list_pods().len(), 2);
+        api.delete_pod("a").unwrap();
+        assert_eq!(api.list_pods().len(), 1);
+        assert!(matches!(api.delete_pod("a"), Err(ApiError::NotFound(_))));
+        assert_eq!(api.list_nodes().len(), 1);
+    }
+}

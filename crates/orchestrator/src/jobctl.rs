@@ -1,0 +1,242 @@
+//! The training-job controller.
+//!
+//! Training jobs are first-class control-plane objects (the paper's
+//! scheduler "polls the Kubernetes master to obtain cluster information
+//! and job states"). The controller owns the job lifecycle:
+//!
+//! * `submit` writes a job record (`jobs/<id>`, phase `Submitted`);
+//! * `step` reconciles phases from pod states — a job with running pods
+//!   is `Training`, one whose pods all failed is `Degraded` (the
+//!   scheduler pod will redeploy it);
+//! * `complete` marks convergence, after which the scheduler garbage-
+//!   collects the pods and `step` finalizes the record.
+
+use crate::api::{ApiError, ApiServer};
+use crate::objects::PodPhase;
+use optimus_cluster::ResourceVec;
+use optimus_workload::JobId;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle phase of a training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Submitted; no pods yet.
+    Submitted,
+    /// Pods are bound/running.
+    Training,
+    /// All of the job's pods failed (e.g. node loss); awaiting
+    /// redeployment.
+    Degraded,
+    /// Converged; pods being reclaimed.
+    Completed,
+}
+
+/// The stored job record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: JobId,
+    /// Display name.
+    pub name: String,
+    /// Resources per worker.
+    pub worker_profile: ResourceVec,
+    /// Resources per parameter server.
+    pub ps_profile: ResourceVec,
+    /// Current phase.
+    pub phase: JobPhase,
+}
+
+/// The controller. Cheap to clone (shares the API server).
+#[derive(Debug, Clone)]
+pub struct JobController {
+    api: ApiServer,
+}
+
+impl JobController {
+    /// Creates a controller over an API server.
+    pub fn new(api: ApiServer) -> Self {
+        JobController { api }
+    }
+
+    fn key(id: JobId) -> String {
+        format!("jobs/{}", id.0)
+    }
+
+    /// Submits a new job (create-only).
+    pub fn submit(&self, record: &JobRecord) -> Result<(), ApiError> {
+        let key = Self::key(record.id);
+        let json = serde_json::to_string(record).expect("JobRecord serializes");
+        self.api
+            .store()
+            .cas(&key, json, 0)
+            .map(|_| ())
+            .ok_or(ApiError::Conflict(key))
+    }
+
+    /// Reads a job record.
+    pub fn get(&self, id: JobId) -> Result<JobRecord, ApiError> {
+        let key = Self::key(id);
+        let (json, _) = self
+            .api
+            .store()
+            .get(&key)
+            .ok_or(ApiError::NotFound(key.clone()))?;
+        serde_json::from_str(&json).map_err(|_| ApiError::Corrupt(key))
+    }
+
+    /// Lists all job records.
+    pub fn list(&self) -> Vec<JobRecord> {
+        self.api
+            .store()
+            .list("jobs/")
+            .into_iter()
+            .filter_map(|(_, json, _)| serde_json::from_str(&json).ok())
+            .collect()
+    }
+
+    /// Jobs the scheduler should still be feeding resources (not
+    /// completed).
+    pub fn active(&self) -> Vec<JobRecord> {
+        self.list()
+            .into_iter()
+            .filter(|j| j.phase != JobPhase::Completed)
+            .collect()
+    }
+
+    /// Marks a job converged.
+    pub fn complete(&self, id: JobId) -> Result<(), ApiError> {
+        self.set_phase(id, JobPhase::Completed)
+    }
+
+    /// One reconcile step: derive each job's phase from its pods.
+    /// Returns the number of records updated.
+    pub fn step(&self) -> Result<usize, ApiError> {
+        let pods = self.api.list_pods();
+        let mut changed = 0;
+        for job in self.list() {
+            if job.phase == JobPhase::Completed {
+                continue;
+            }
+            let mine: Vec<_> = pods.iter().filter(|p| p.spec.job == job.id).collect();
+            let target = if mine.is_empty() {
+                // No pods (yet, or after a pause): back to Submitted.
+                JobPhase::Submitted
+            } else if mine.iter().all(|p| p.phase == PodPhase::Failed) {
+                JobPhase::Degraded
+            } else {
+                JobPhase::Training
+            };
+            if target != job.phase {
+                self.set_phase(job.id, target)?;
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+
+    fn set_phase(&self, id: JobId, phase: JobPhase) -> Result<(), ApiError> {
+        let key = Self::key(id);
+        let (json, rev) = self
+            .api
+            .store()
+            .get(&key)
+            .ok_or(ApiError::NotFound(key.clone()))?;
+        let mut record: JobRecord =
+            serde_json::from_str(&json).map_err(|_| ApiError::Corrupt(key.clone()))?;
+        record.phase = phase;
+        let json = serde_json::to_string(&record).expect("JobRecord serializes");
+        self.api
+            .store()
+            .cas(&key, json, rev)
+            .map(|_| ())
+            .ok_or(ApiError::Conflict(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{NodeRecord, PodRecord, PodSpec, TaskRole};
+
+    fn setup() -> (ApiServer, JobController) {
+        let api = ApiServer::new();
+        api.create_node(&NodeRecord::ready("n0", ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
+            .unwrap();
+        (api.clone(), JobController::new(api))
+    }
+
+    fn record(id: u64) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            name: format!("job-{id}"),
+            worker_profile: ResourceVec::new(5.0, 0.0, 10.0, 0.2),
+            ps_profile: ResourceVec::new(5.0, 0.0, 10.0, 0.2),
+            phase: JobPhase::Submitted,
+        }
+    }
+
+    fn spawn_pod(api: &ApiServer, job: u64, idx: u32) -> String {
+        let name = PodSpec::task_name(JobId(job), TaskRole::Worker, idx);
+        api.create_pod(&PodRecord::pending(PodSpec {
+            name: name.clone(),
+            job: JobId(job),
+            role: TaskRole::Worker,
+            resources: ResourceVec::new(5.0, 0.0, 10.0, 0.2),
+        }))
+        .unwrap();
+        api.bind_pod(&name, "n0").unwrap();
+        name
+    }
+
+    #[test]
+    fn submit_is_create_only() {
+        let (_, ctl) = setup();
+        ctl.submit(&record(0)).unwrap();
+        assert!(matches!(ctl.submit(&record(0)), Err(ApiError::Conflict(_))));
+        assert_eq!(ctl.get(JobId(0)).unwrap().phase, JobPhase::Submitted);
+    }
+
+    #[test]
+    fn phases_follow_pod_states() {
+        let (api, ctl) = setup();
+        ctl.submit(&record(0)).unwrap();
+        assert_eq!(ctl.step().unwrap(), 0, "no pods → stays Submitted");
+
+        let pod = spawn_pod(&api, 0, 0);
+        assert_eq!(ctl.step().unwrap(), 1);
+        assert_eq!(ctl.get(JobId(0)).unwrap().phase, JobPhase::Training);
+
+        api.set_pod_phase(&pod, PodPhase::Failed).unwrap();
+        ctl.step().unwrap();
+        assert_eq!(ctl.get(JobId(0)).unwrap().phase, JobPhase::Degraded);
+
+        api.delete_pod(&pod).unwrap();
+        ctl.step().unwrap();
+        assert_eq!(ctl.get(JobId(0)).unwrap().phase, JobPhase::Submitted);
+    }
+
+    #[test]
+    fn completed_jobs_leave_the_active_set() {
+        let (api, ctl) = setup();
+        ctl.submit(&record(0)).unwrap();
+        ctl.submit(&record(1)).unwrap();
+        spawn_pod(&api, 0, 0);
+        ctl.step().unwrap();
+        assert_eq!(ctl.active().len(), 2);
+        ctl.complete(JobId(0)).unwrap();
+        assert_eq!(ctl.active().len(), 1);
+        // step never resurrects a completed job, even with pods around.
+        ctl.step().unwrap();
+        assert_eq!(ctl.get(JobId(0)).unwrap().phase, JobPhase::Completed);
+    }
+
+    #[test]
+    fn unknown_job_errors() {
+        let (_, ctl) = setup();
+        assert!(matches!(ctl.get(JobId(9)), Err(ApiError::NotFound(_))));
+        assert!(matches!(
+            ctl.complete(JobId(9)),
+            Err(ApiError::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! The node agent: starts bound pods, fails them when the node dies.
+//!
+//! Controllers in this mini control plane are *step functions*: the
+//! caller drives them (deterministic tests, simulator integration)
+//! instead of background threads.
+
+use crate::api::{ApiError, ApiServer};
+use crate::objects::PodPhase;
+
+/// One node's agent.
+#[derive(Debug, Clone)]
+pub struct Kubelet {
+    node: String,
+    api: ApiServer,
+    /// Simulated health; when false the kubelet fails its pods.
+    healthy: bool,
+}
+
+impl Kubelet {
+    /// Creates an agent for a registered node.
+    pub fn new(node: impl Into<String>, api: ApiServer) -> Self {
+        Kubelet {
+            node: node.into(),
+            api,
+            healthy: true,
+        }
+    }
+
+    /// The node this agent manages.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Simulates a node crash: pods fail, the node reports not-ready.
+    pub fn kill(&mut self) -> Result<(), ApiError> {
+        self.healthy = false;
+        let mut node = self.api.get_node(&self.node)?;
+        node.ready = false;
+        self.api.update_node(&node)?;
+        Ok(())
+    }
+
+    /// Brings the node back.
+    pub fn revive(&mut self) -> Result<(), ApiError> {
+        self.healthy = true;
+        let mut node = self.api.get_node(&self.node)?;
+        node.ready = true;
+        self.api.update_node(&node)?;
+        Ok(())
+    }
+
+    /// One reconcile step: start bound pods (healthy) or fail
+    /// bound/running pods (dead node). Returns how many pods changed
+    /// phase.
+    pub fn step(&self) -> Result<usize, ApiError> {
+        let mut changed = 0;
+        for pod in self.api.list_pods() {
+            if pod.node.as_deref() != Some(self.node.as_str()) {
+                continue;
+            }
+            let target = match (self.healthy, pod.phase) {
+                (true, PodPhase::Bound) => Some(PodPhase::Running),
+                (false, PodPhase::Bound | PodPhase::Running) => Some(PodPhase::Failed),
+                _ => None,
+            };
+            if let Some(phase) = target {
+                // A concurrent transition is fine — skip, reconcile next
+                // step.
+                if self.api.set_pod_phase(&pod.spec.name, phase).is_ok() {
+                    changed += 1;
+                }
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{NodeRecord, PodRecord, PodSpec, TaskRole};
+    use optimus_cluster::ResourceVec;
+    use optimus_workload::JobId;
+
+    fn setup() -> (ApiServer, Kubelet) {
+        let api = ApiServer::new();
+        api.create_node(&NodeRecord::ready("n0", ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
+            .unwrap();
+        let kubelet = Kubelet::new("n0", api.clone());
+        (api, kubelet)
+    }
+
+    fn make_pod(api: &ApiServer, name: &str) {
+        api.create_pod(&PodRecord::pending(PodSpec {
+            name: name.into(),
+            job: JobId(0),
+            role: TaskRole::Worker,
+            resources: ResourceVec::new(5.0, 0.0, 10.0, 0.2),
+        }))
+        .unwrap();
+    }
+
+    #[test]
+    fn starts_bound_pods() {
+        let (api, kubelet) = setup();
+        make_pod(&api, "p0");
+        api.bind_pod("p0", "n0").unwrap();
+        assert_eq!(kubelet.step().unwrap(), 1);
+        assert_eq!(api.get_pod("p0").unwrap().0.phase, PodPhase::Running);
+        // Idempotent.
+        assert_eq!(kubelet.step().unwrap(), 0);
+    }
+
+    #[test]
+    fn ignores_other_nodes_pods() {
+        let (api, kubelet) = setup();
+        api.create_node(&NodeRecord::ready("n1", ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
+            .unwrap();
+        make_pod(&api, "p0");
+        api.bind_pod("p0", "n1").unwrap();
+        assert_eq!(kubelet.step().unwrap(), 0);
+        assert_eq!(api.get_pod("p0").unwrap().0.phase, PodPhase::Bound);
+    }
+
+    #[test]
+    fn node_death_fails_pods_and_unreadies_node() {
+        let (api, mut kubelet) = setup();
+        make_pod(&api, "p0");
+        api.bind_pod("p0", "n0").unwrap();
+        kubelet.step().unwrap();
+        kubelet.kill().unwrap();
+        assert_eq!(kubelet.step().unwrap(), 1);
+        assert_eq!(api.get_pod("p0").unwrap().0.phase, PodPhase::Failed);
+        assert!(!api.get_node("n0").unwrap().ready);
+        // Revive: node is schedulable again, failed pods stay failed.
+        kubelet.revive().unwrap();
+        assert!(api.get_node("n0").unwrap().ready);
+        assert_eq!(kubelet.step().unwrap(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! A Kubernetes-like mini control plane for the Optimus reproduction.
+//!
+//! §5.5 of the paper deploys Optimus as a normal pod on Kubernetes 1.7:
+//! the scheduler *polls the master* for cluster information and job
+//! states, stores its own state in etcd for fault tolerance, and is
+//! automatically restarted by Kubernetes when it fails. This crate
+//! provides the minimum control plane those semantics need, entirely
+//! in-process:
+//!
+//! * [`store`] — an etcd-like revisioned key-value store with watches
+//!   and compare-and-swap,
+//! * [`objects`] — nodes, pods (PS/worker tasks of training jobs) and
+//!   their lifecycle states,
+//! * [`api`] — a typed API server over the store (create/bind/list,
+//!   optimistic concurrency),
+//! * [`jobctl`] — the training-job controller: job records and their
+//!   lifecycle, reconciled from pod states,
+//! * [`kubelet`] — the per-node agent loop: starts bound pods, reports
+//!   failures, frees resources,
+//! * [`nodectl`] — heartbeat-based node failure detection,
+//! * [`schedpod`] — Optimus running as a scheduler pod: polls the API,
+//!   runs the `optimus-core` scheduler, binds pods, and checkpoints its
+//!   state so a restart resumes cleanly.
+
+pub mod api;
+pub mod jobctl;
+pub mod kubelet;
+pub mod nodectl;
+pub mod objects;
+pub mod schedpod;
+pub mod store;
+
+pub use api::{ApiError, ApiServer};
+pub use jobctl::{JobController, JobPhase, JobRecord};
+pub use kubelet::Kubelet;
+pub use nodectl::NodeController;
+pub use objects::{NodeRecord, PodPhase, PodRecord, PodSpec, TaskRole};
+pub use schedpod::SchedulerPod;
+pub use store::{KvStore, Revision, WatchEvent};

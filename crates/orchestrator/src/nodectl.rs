@@ -1,0 +1,124 @@
+//! The node controller: heartbeat-based failure detection.
+//!
+//! Kubelets report liveness by heartbeating their node record; the node
+//! controller marks nodes whose heartbeat is stale as not-ready, so the
+//! scheduler stops binding to them — the same split of duties as in
+//! Kubernetes (kubelet status updates + node lifecycle controller).
+
+use crate::api::{ApiError, ApiServer};
+use std::collections::HashMap;
+
+/// The controller. Time is injected by the caller (deterministic tests,
+/// simulator integration).
+#[derive(Debug, Clone)]
+pub struct NodeController {
+    api: ApiServer,
+    /// Heartbeat grace period, seconds.
+    grace_s: f64,
+    /// Last heartbeat time per node.
+    last_seen: HashMap<String, f64>,
+}
+
+impl NodeController {
+    /// Creates a controller with the given grace period.
+    pub fn new(api: ApiServer, grace_s: f64) -> Self {
+        NodeController {
+            api,
+            grace_s,
+            last_seen: HashMap::new(),
+        }
+    }
+
+    /// Records a heartbeat from a node at time `now`. A heartbeat from a
+    /// node the control plane knows also clears a stale not-ready mark.
+    pub fn heartbeat(&mut self, node: &str, now: f64) -> Result<(), ApiError> {
+        let mut record = self.api.get_node(node)?;
+        self.last_seen.insert(node.to_string(), now);
+        if !record.ready {
+            record.ready = true;
+            self.api.update_node(&record)?;
+        }
+        Ok(())
+    }
+
+    /// One reconcile step at time `now`: nodes whose last heartbeat is
+    /// older than the grace period are marked not-ready. Returns how
+    /// many nodes changed.
+    pub fn step(&mut self, now: f64) -> Result<usize, ApiError> {
+        let mut changed = 0;
+        for mut node in self.api.list_nodes() {
+            let seen = self.last_seen.get(&node.name).copied();
+            let stale = match seen {
+                Some(t) => now - t > self.grace_s,
+                // Never heartbeated: grace starts at controller birth.
+                None => {
+                    self.last_seen.insert(node.name.clone(), now);
+                    false
+                }
+            };
+            if stale && node.ready {
+                node.ready = false;
+                self.api.update_node(&node)?;
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::NodeRecord;
+    use optimus_cluster::ResourceVec;
+
+    fn setup() -> (ApiServer, NodeController) {
+        let api = ApiServer::new();
+        for name in ["n0", "n1"] {
+            api.create_node(&NodeRecord::ready(name, ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
+                .unwrap();
+        }
+        let ctl = NodeController::new(api.clone(), 30.0);
+        (api, ctl)
+    }
+
+    #[test]
+    fn fresh_nodes_get_grace() {
+        let (api, mut ctl) = setup();
+        assert_eq!(ctl.step(0.0).unwrap(), 0);
+        assert_eq!(ctl.step(20.0).unwrap(), 0);
+        assert!(api.get_node("n0").unwrap().ready);
+    }
+
+    #[test]
+    fn stale_heartbeat_marks_not_ready() {
+        let (api, mut ctl) = setup();
+        ctl.heartbeat("n0", 0.0).unwrap();
+        ctl.heartbeat("n1", 0.0).unwrap();
+        // n1 keeps heartbeating; n0 goes silent.
+        ctl.heartbeat("n1", 25.0).unwrap();
+        assert_eq!(ctl.step(40.0).unwrap(), 1);
+        assert!(!api.get_node("n0").unwrap().ready);
+        assert!(api.get_node("n1").unwrap().ready);
+    }
+
+    #[test]
+    fn heartbeat_revives_node() {
+        let (api, mut ctl) = setup();
+        ctl.heartbeat("n0", 0.0).unwrap();
+        ctl.step(100.0).unwrap();
+        assert!(!api.get_node("n0").unwrap().ready);
+        ctl.heartbeat("n0", 101.0).unwrap();
+        assert!(api.get_node("n0").unwrap().ready);
+        assert_eq!(ctl.step(102.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_node_heartbeat_errors() {
+        let (_, mut ctl) = setup();
+        assert!(matches!(
+            ctl.heartbeat("ghost", 0.0),
+            Err(ApiError::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,137 @@
+//! Control-plane objects: nodes and pods.
+//!
+//! A training job's tasks (parameter servers and workers) run as pods,
+//! exactly as in the paper's deployment: "parameter servers and workers
+//! typically run in containers ... a cluster scheduler manages the
+//! resource allocation" (§2.3).
+
+use optimus_cluster::ResourceVec;
+use optimus_workload::JobId;
+use serde::{Deserialize, Serialize};
+
+/// What a pod does for its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskRole {
+    /// Parameter-server task.
+    ParameterServer,
+    /// Worker task.
+    Worker,
+}
+
+/// Pod lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PodPhase {
+    /// Created, not yet bound to a node.
+    Pending,
+    /// Bound to a node; the kubelet has not started it yet.
+    Bound,
+    /// Running on its node.
+    Running,
+    /// Finished successfully.
+    Succeeded,
+    /// Failed (e.g. its node died).
+    Failed,
+}
+
+/// The immutable spec of a pod.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PodSpec {
+    /// Name, unique within the cluster (e.g. `job-3-worker-2`).
+    pub name: String,
+    /// Owning job.
+    pub job: JobId,
+    /// PS or worker.
+    pub role: TaskRole,
+    /// Resources the pod occupies.
+    pub resources: ResourceVec,
+}
+
+impl PodSpec {
+    /// Conventional pod name for a job task.
+    pub fn task_name(job: JobId, role: TaskRole, index: u32) -> String {
+        let role = match role {
+            TaskRole::ParameterServer => "ps",
+            TaskRole::Worker => "worker",
+        };
+        format!("job-{}-{role}-{index}", job.0)
+    }
+}
+
+/// A pod record as stored in the control plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PodRecord {
+    /// The spec.
+    pub spec: PodSpec,
+    /// Current phase.
+    pub phase: PodPhase,
+    /// Node the pod is bound to, if any (node name).
+    pub node: Option<String>,
+}
+
+impl PodRecord {
+    /// A fresh pending pod.
+    pub fn pending(spec: PodSpec) -> Self {
+        PodRecord {
+            spec,
+            phase: PodPhase::Pending,
+            node: None,
+        }
+    }
+}
+
+/// A node record as stored in the control plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// Unique name.
+    pub name: String,
+    /// Total allocatable capacity.
+    pub capacity: ResourceVec,
+    /// Heartbeat-style health flag (kubelets mark themselves).
+    pub ready: bool,
+}
+
+impl NodeRecord {
+    /// A ready node.
+    pub fn ready(name: impl Into<String>, capacity: ResourceVec) -> Self {
+        NodeRecord {
+            name: name.into(),
+            capacity,
+            ready: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_names_are_conventional() {
+        assert_eq!(
+            PodSpec::task_name(JobId(3), TaskRole::Worker, 2),
+            "job-3-worker-2"
+        );
+        assert_eq!(
+            PodSpec::task_name(JobId(0), TaskRole::ParameterServer, 0),
+            "job-0-ps-0"
+        );
+    }
+
+    #[test]
+    fn records_serialize_roundtrip() {
+        let pod = PodRecord::pending(PodSpec {
+            name: "job-1-ps-0".into(),
+            job: JobId(1),
+            role: TaskRole::ParameterServer,
+            resources: ResourceVec::new(5.0, 0.0, 10.0, 0.2),
+        });
+        let json = serde_json::to_string(&pod).unwrap();
+        let back: PodRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(pod, back);
+
+        let node = NodeRecord::ready("n0", ResourceVec::new(32.0, 0.0, 80.0, 1.0));
+        let json = serde_json::to_string(&node).unwrap();
+        let back: NodeRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(node, back);
+    }
+}

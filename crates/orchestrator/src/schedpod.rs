@@ -1,0 +1,313 @@
+//! Optimus as a scheduler pod (§5.5).
+//!
+//! "We deploy our scheduler Optimus as a normal pod on Kubernetes,
+//! which polls the Kubernetes master to obtain cluster information and
+//! job states. For fault-tolerance, we use etcd as fault-tolerant
+//! storage of job states. Kubernetes will automatically restart the
+//! scheduler if it fails."
+//!
+//! [`SchedulerPod::reconcile`] is one §4 scheduling round: poll nodes
+//! and pods, run the `optimus-core` scheduler, and make the pod set
+//! match the decision — deleting and re-creating pods of jobs whose
+//! configuration changed (the §5.4 checkpoint-based scaling) while
+//! leaving unchanged jobs running. The last decision is checkpointed in
+//! the store so a restarted scheduler resumes without reshuffling
+//! everything.
+
+use crate::api::{ApiError, ApiServer};
+use crate::objects::{PodPhase, PodRecord, PodSpec, TaskRole};
+use optimus_cluster::Cluster;
+use optimus_core::{Allocation, JobView, Scheduler};
+use optimus_workload::JobId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Key under which the scheduler checkpoints its last decision.
+const CHECKPOINT_KEY: &str = "state/scheduler/last-allocations";
+
+/// The scheduler pod.
+pub struct SchedulerPod {
+    api: ApiServer,
+    scheduler: Box<dyn Scheduler>,
+    /// Last applied allocations (restored from the checkpoint on
+    /// restart).
+    last: HashMap<JobId, Allocation>,
+}
+
+/// Outcome of one reconcile round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReconcileOutcome {
+    /// Pods created (and bound) this round.
+    pub pods_created: usize,
+    /// Pods deleted this round (scale events + finished jobs).
+    pub pods_deleted: usize,
+    /// Jobs whose configuration changed (checkpoint/restart cost).
+    pub jobs_rescheduled: usize,
+    /// Jobs left untouched.
+    pub jobs_unchanged: usize,
+}
+
+impl SchedulerPod {
+    /// Launches the scheduler pod, restoring any checkpoint found in the
+    /// store (i.e. surviving a crash/restart).
+    pub fn launch(api: ApiServer, scheduler: Box<dyn Scheduler>) -> Self {
+        let last = api
+            .store()
+            .get(CHECKPOINT_KEY)
+            .and_then(|(json, _)| serde_json::from_str::<Vec<Allocation>>(&json).ok())
+            .map(|allocs| allocs.into_iter().map(|a| (a.job, a)).collect())
+            .unwrap_or_default();
+        SchedulerPod {
+            api,
+            scheduler,
+            last,
+        }
+    }
+
+    /// The allocations restored/applied most recently.
+    pub fn current_allocations(&self) -> &HashMap<JobId, Allocation> {
+        &self.last
+    }
+
+    /// One scheduling round over the given active jobs.
+    pub fn reconcile(&mut self, jobs: &[JobView]) -> Result<ReconcileOutcome, ApiError> {
+        // 1. Poll the master: ready nodes become the scheduler's cluster
+        // view (sorted by name for a deterministic ServerId mapping).
+        let mut nodes: Vec<_> = self
+            .api
+            .list_nodes()
+            .into_iter()
+            .filter(|n| n.ready)
+            .collect();
+        nodes.sort_by(|a, b| a.name.cmp(&b.name));
+        if nodes.is_empty() {
+            return Err(ApiError::Invalid("no ready nodes".into()));
+        }
+        let caps: Vec<_> = nodes.iter().map(|n| (n.capacity, "node")).collect();
+        let cluster = Cluster::from_capacities(&caps);
+
+        // 2. Decide.
+        let schedule = self.scheduler.schedule(jobs, &cluster);
+
+        // 3. Reconcile pods per job.
+        let existing = self.api.list_pods();
+        let mut by_job: BTreeMap<JobId, Vec<PodRecord>> = BTreeMap::new();
+        for pod in existing {
+            by_job.entry(pod.spec.job).or_default().push(pod);
+        }
+
+        let mut outcome = ReconcileOutcome::default();
+        let active: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
+
+        // 3a. Remove pods of jobs that are no longer active.
+        for (job, pods) in &by_job {
+            if !active.contains(job) {
+                for pod in pods {
+                    self.api.delete_pod(&pod.spec.name)?;
+                    outcome.pods_deleted += 1;
+                }
+                self.last.remove(job);
+            }
+        }
+
+        // 3b. Apply per-job decisions.
+        for view in jobs {
+            let placement = schedule.placement_for(view.id);
+            let (ps, workers) = placement
+                .map(|p| {
+                    (
+                        p.iter().map(|(_, c)| c.ps).sum::<u32>(),
+                        p.iter().map(|(_, c)| c.workers).sum::<u32>(),
+                    )
+                })
+                .unwrap_or((0, 0));
+            let desired = Allocation {
+                job: view.id,
+                ps,
+                workers,
+            };
+            let unchanged = self.last.get(&view.id) == Some(&desired)
+                && by_job
+                    .get(&view.id)
+                    .is_some_and(|pods| pods.iter().all(|p| p.phase != PodPhase::Failed));
+            if unchanged {
+                outcome.jobs_unchanged += 1;
+                continue;
+            }
+
+            // Checkpoint-based rescale (§5.4): tear down, redeploy.
+            if let Some(pods) = by_job.get(&view.id) {
+                for pod in pods {
+                    self.api.delete_pod(&pod.spec.name)?;
+                    outcome.pods_deleted += 1;
+                }
+            }
+            if let Some(placement) = placement {
+                let mut ps_idx = 0u32;
+                let mut w_idx = 0u32;
+                for (server, counts) in placement {
+                    let node_name = &nodes[server.0].name;
+                    for _ in 0..counts.ps {
+                        self.spawn_pod(view, TaskRole::ParameterServer, ps_idx, node_name)?;
+                        ps_idx += 1;
+                        outcome.pods_created += 1;
+                    }
+                    for _ in 0..counts.workers {
+                        self.spawn_pod(view, TaskRole::Worker, w_idx, node_name)?;
+                        w_idx += 1;
+                        outcome.pods_created += 1;
+                    }
+                }
+            }
+            self.last.insert(view.id, desired);
+            outcome.jobs_rescheduled += 1;
+        }
+
+        // 4. Checkpoint the decision for crash recovery.
+        let allocs: Vec<&Allocation> = self.last.values().collect();
+        let json = serde_json::to_string(&allocs).expect("allocations serialize");
+        self.api.store().put(CHECKPOINT_KEY, json);
+
+        Ok(outcome)
+    }
+
+    fn spawn_pod(
+        &self,
+        view: &JobView,
+        role: TaskRole,
+        index: u32,
+        node: &str,
+    ) -> Result<(), ApiError> {
+        let resources = match role {
+            TaskRole::ParameterServer => view.ps_profile,
+            TaskRole::Worker => view.worker_profile,
+        };
+        let spec = PodSpec {
+            name: PodSpec::task_name(view.id, role, index),
+            job: view.id,
+            role,
+            resources,
+        };
+        self.api.create_pod(&PodRecord::pending(spec.clone()))?;
+        self.api.bind_pod(&spec.name, node)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::NodeRecord;
+    use optimus_cluster::ResourceVec;
+    use optimus_core::prelude::*;
+    use optimus_workload::TrainingMode;
+
+    fn api_with_nodes(n: usize) -> ApiServer {
+        let api = ApiServer::new();
+        for i in 0..n {
+            api.create_node(&NodeRecord::ready(
+                format!("node-{i:02}"),
+                ResourceVec::new(32.0, 0.0, 80.0, 1.0),
+            ))
+            .unwrap();
+        }
+        api
+    }
+
+    fn job(id: u64) -> JobView {
+        let mut speed = SpeedModel::new(TrainingMode::Synchronous, 64.0);
+        for (p, w, f) in [(1, 1, 0.02), (2, 2, 0.04), (4, 4, 0.06), (8, 8, 0.07), (4, 8, 0.065)]
+        {
+            speed.record(p, w, f);
+        }
+        speed.refit().unwrap();
+        JobView {
+            id: JobId(id),
+            worker_profile: optimus_workload::job::default_container(),
+            ps_profile: optimus_workload::job::default_container(),
+            remaining_work: 5_000.0,
+            speed,
+            progress: 0.5,
+            requested_units: 4,
+        }
+    }
+
+    #[test]
+    fn reconcile_creates_and_binds_pods() {
+        let api = api_with_nodes(4);
+        let mut pod = SchedulerPod::launch(api.clone(), Box::new(OptimusScheduler::build()));
+        let out = pod.reconcile(&[job(0)]).unwrap();
+        assert!(out.pods_created >= 2, "{out:?}");
+        assert_eq!(out.jobs_rescheduled, 1);
+        let pods = api.list_pods();
+        assert_eq!(pods.len(), out.pods_created);
+        assert!(pods.iter().all(|p| p.phase == PodPhase::Bound));
+        assert!(pods.iter().any(|p| p.spec.role == TaskRole::ParameterServer));
+        assert!(pods.iter().any(|p| p.spec.role == TaskRole::Worker));
+    }
+
+    #[test]
+    fn stable_decision_leaves_pods_alone() {
+        let api = api_with_nodes(4);
+        let mut pod = SchedulerPod::launch(api.clone(), Box::new(OptimusScheduler::build()));
+        pod.reconcile(&[job(0)]).unwrap();
+        let out = pod.reconcile(&[job(0)]).unwrap();
+        assert_eq!(out.jobs_unchanged, 1);
+        assert_eq!(out.pods_created, 0);
+        assert_eq!(out.pods_deleted, 0);
+    }
+
+    #[test]
+    fn finished_jobs_are_cleaned_up() {
+        let api = api_with_nodes(4);
+        let mut pod = SchedulerPod::launch(api.clone(), Box::new(OptimusScheduler::build()));
+        pod.reconcile(&[job(0), job(1)]).unwrap();
+        let before = api.list_pods().len();
+        assert!(before > 0);
+        let out = pod.reconcile(&[job(1)]).unwrap();
+        assert!(out.pods_deleted > 0);
+        assert!(api.list_pods().iter().all(|p| p.spec.job == JobId(1)));
+    }
+
+    #[test]
+    fn checkpoint_survives_restart() {
+        let api = api_with_nodes(4);
+        let mut pod = SchedulerPod::launch(api.clone(), Box::new(OptimusScheduler::build()));
+        pod.reconcile(&[job(0)]).unwrap();
+        let allocs_before = pod.current_allocations().clone();
+        drop(pod);
+        // "Kubernetes restarts the scheduler if it fails."
+        let mut pod2 = SchedulerPod::launch(api.clone(), Box::new(OptimusScheduler::build()));
+        assert_eq!(pod2.current_allocations(), &allocs_before);
+        // And the restarted scheduler does not churn a stable cluster.
+        let out = pod2.reconcile(&[job(0)]).unwrap();
+        assert_eq!(out.pods_created, 0);
+        assert_eq!(out.jobs_unchanged, 1);
+    }
+
+    #[test]
+    fn no_ready_nodes_is_an_error() {
+        let api = ApiServer::new();
+        let mut pod = SchedulerPod::launch(api, Box::new(OptimusScheduler::build()));
+        assert!(matches!(
+            pod.reconcile(&[job(0)]),
+            Err(ApiError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn failed_pods_trigger_redeployment() {
+        let api = api_with_nodes(4);
+        let mut pod = SchedulerPod::launch(api.clone(), Box::new(OptimusScheduler::build()));
+        pod.reconcile(&[job(0)]).unwrap();
+        // A pod fails (e.g. its node died and the kubelet marked it).
+        let victim = api.list_pods()[0].spec.name.clone();
+        api.set_pod_phase(&victim, PodPhase::Failed).unwrap();
+        let out = pod.reconcile(&[job(0)]).unwrap();
+        assert_eq!(out.jobs_rescheduled, 1);
+        assert!(out.pods_created > 0);
+        assert!(api
+            .list_pods()
+            .iter()
+            .all(|p| p.phase == PodPhase::Bound));
+    }
+}

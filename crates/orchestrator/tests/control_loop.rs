@@ -1,0 +1,206 @@
+//! Full control-loop integration: API server + kubelets + node
+//! controller + job controller + scheduler pod, driven over many rounds
+//! through node failure and scheduler restart.
+
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_core::prelude::*;
+use optimus_orchestrator::{
+    ApiServer, JobController, JobPhase, JobRecord, Kubelet, NodeController, PodPhase,
+    SchedulerPod,
+};
+use optimus_workload::{JobId, ModelKind, TrainingMode};
+
+fn job_view(id: u64, remaining: f64) -> JobView {
+    let profile = ModelKind::Seq2Seq.profile();
+    let truth = optimus_ps::PsJobModel::new(profile, TrainingMode::Synchronous);
+    let mut speed = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+    for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8)] {
+        speed.record(p, w, truth.speed(p, w));
+    }
+    speed.refit().expect("profiled");
+    JobView {
+        id: JobId(id),
+        worker_profile: optimus_workload::job::default_container(),
+        ps_profile: optimus_workload::job::default_container(),
+        remaining_work: remaining,
+        speed,
+        progress: 0.3,
+        requested_units: 4,
+    }
+}
+
+fn record(id: u64) -> JobRecord {
+    JobRecord {
+        id: JobId(id),
+        name: format!("job-{id}"),
+        worker_profile: optimus_workload::job::default_container(),
+        ps_profile: optimus_workload::job::default_container(),
+        phase: JobPhase::Submitted,
+    }
+}
+
+struct ControlPlane {
+    api: ApiServer,
+    kubelets: Vec<Kubelet>,
+    nodes: NodeController,
+    jobs: JobController,
+    sched: SchedulerPod,
+}
+
+impl ControlPlane {
+    fn new() -> Self {
+        let api = ApiServer::new();
+        let cluster = Cluster::paper_testbed();
+        let mut kubelets = Vec::new();
+        for server in cluster.servers() {
+            let name = format!("node-{:02}", server.id().0);
+            api.create_node(&optimus_orchestrator::NodeRecord::ready(
+                &name,
+                server.capacity(),
+            ))
+            .expect("fresh node");
+            kubelets.push(Kubelet::new(name, api.clone()));
+        }
+        let nodes = NodeController::new(api.clone(), 30.0);
+        let jobs = JobController::new(api.clone());
+        let sched = SchedulerPod::launch(api.clone(), Box::new(OptimusScheduler::build()));
+        ControlPlane {
+            api,
+            kubelets,
+            nodes,
+            jobs,
+            sched,
+        }
+    }
+
+    /// One full reconcile round at time `t` for the given active views.
+    fn round(&mut self, t: f64, views: &[JobView]) {
+        for k in &self.kubelets {
+            // Dead kubelets stop heartbeating implicitly (kill() below).
+            let _ = self.nodes.heartbeat(k.node(), t);
+        }
+        self.nodes.step(t).expect("node controller");
+        self.sched.reconcile(views).expect("scheduler pod");
+        for k in &self.kubelets {
+            k.step().expect("kubelet");
+        }
+        self.jobs.step().expect("job controller");
+    }
+}
+
+#[test]
+fn jobs_progress_through_phases() {
+    let mut cp = ControlPlane::new();
+    cp.jobs.submit(&record(0)).unwrap();
+    cp.jobs.submit(&record(1)).unwrap();
+    assert!(cp.jobs.list().iter().all(|j| j.phase == JobPhase::Submitted));
+
+    let views = vec![job_view(0, 20_000.0), job_view(1, 4_000.0)];
+    cp.round(0.0, &views);
+    assert!(cp
+        .jobs
+        .list()
+        .iter()
+        .all(|j| j.phase == JobPhase::Training));
+
+    // Job 1 converges: the scheduler stops feeding it, the job
+    // controller finalizes it.
+    cp.jobs.complete(JobId(1)).unwrap();
+    let views = vec![job_view(0, 15_000.0)];
+    cp.round(600.0, &views);
+    assert_eq!(cp.jobs.get(JobId(1)).unwrap().phase, JobPhase::Completed);
+    assert!(cp
+        .api
+        .list_pods()
+        .iter()
+        .all(|p| p.spec.job == JobId(0)));
+    assert_eq!(cp.jobs.active().len(), 1);
+}
+
+#[test]
+fn node_failure_is_detected_and_healed() {
+    let mut cp = ControlPlane::new();
+    cp.jobs.submit(&record(0)).unwrap();
+    let views = vec![job_view(0, 20_000.0)];
+    cp.round(0.0, &views);
+
+    // Find a node hosting pods and kill its kubelet: it stops
+    // heartbeating AND fails its pods.
+    let hosting: Vec<String> = cp
+        .api
+        .list_pods()
+        .iter()
+        .filter_map(|p| p.node.clone())
+        .collect();
+    let victim_name = hosting[0].clone();
+    for k in cp.kubelets.iter_mut() {
+        if k.node() == victim_name {
+            k.kill().expect("node exists");
+            k.step().expect("fails pods");
+        }
+    }
+    cp.kubelets.retain(|k| k.node() != victim_name);
+
+    // Next round: failed pods trigger redeployment onto ready nodes.
+    cp.round(600.0, &views);
+    let pods = cp.api.list_pods();
+    assert!(!pods.is_empty());
+    assert!(
+        pods.iter().all(|p| p.phase == PodPhase::Running),
+        "{pods:?}"
+    );
+    assert!(
+        pods.iter().all(|p| p.node.as_deref() != Some(victim_name.as_str())),
+        "no pod may remain on the dead node"
+    );
+    // The job went Degraded in between and is Training again.
+    assert_eq!(cp.jobs.get(JobId(0)).unwrap().phase, JobPhase::Training);
+}
+
+#[test]
+fn silent_node_is_eventually_not_ready() {
+    let mut cp = ControlPlane::new();
+    // node-00's kubelet goes silent (no kill event — a true crash).
+    cp.kubelets.remove(0);
+    cp.round(0.0, &[]);
+    assert!(cp.api.get_node("node-00").unwrap().ready, "within grace");
+    cp.round(600.0, &[]);
+    assert!(
+        !cp.api.get_node("node-00").unwrap().ready,
+        "heartbeat stale past the 30 s grace"
+    );
+    // Scheduling a job afterwards avoids the silent node.
+    cp.jobs.submit(&record(0)).unwrap();
+    let views = vec![job_view(0, 10_000.0)];
+    cp.round(1_200.0, &views);
+    assert!(cp
+        .api
+        .list_pods()
+        .iter()
+        .all(|p| p.node.as_deref() != Some("node-00")));
+}
+
+#[test]
+fn scheduler_crash_mid_operation_is_seamless() {
+    let mut cp = ControlPlane::new();
+    cp.jobs.submit(&record(0)).unwrap();
+    let views = vec![job_view(0, 20_000.0)];
+    cp.round(0.0, &views);
+    let pods_before: Vec<String> = cp
+        .api
+        .list_pods()
+        .iter()
+        .map(|p| p.spec.name.clone())
+        .collect();
+
+    // The scheduler pod dies and is relaunched (§5.5).
+    cp.sched = SchedulerPod::launch(cp.api.clone(), Box::new(OptimusScheduler::build()));
+    cp.round(600.0, &views);
+    let pods_after: Vec<String> = cp
+        .api
+        .list_pods()
+        .iter()
+        .map(|p| p.spec.name.clone())
+        .collect();
+    assert_eq!(pods_before, pods_after, "restart must not churn pods");
+}

@@ -1,0 +1,123 @@
+//! Property tests for the KV store: the invariants controllers rely on.
+
+use optimus_orchestrator::{KvStore, WatchEvent};
+use proptest::prelude::*;
+
+/// An operation in a random store workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8),
+    Delete(u8),
+    Cas(u8, u8, bool), // key, value, use-current-revision (else stale 0)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 16, v)),
+        any::<u8>().prop_map(|k| Op::Delete(k % 16)),
+        (any::<u8>(), any::<u8>(), any::<bool>())
+            .prop_map(|(k, v, fresh)| Op::Cas(k % 16, v, fresh)),
+    ]
+}
+
+proptest! {
+    /// Revisions are strictly increasing across every successful
+    /// mutation, and `get` always reports the revision of the last
+    /// successful write to that key.
+    #[test]
+    fn revisions_strictly_increase(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let store = KvStore::new();
+        let mut last_rev = 0;
+        for op in ops {
+            let rev = match op {
+                Op::Put(k, v) => Some(store.put(format!("k/{k}"), v.to_string())),
+                Op::Delete(k) => store.delete(&format!("k/{k}")),
+                Op::Cas(k, v, fresh) => {
+                    let key = format!("k/{k}");
+                    let expected = if fresh {
+                        store.get(&key).map(|(_, r)| r).unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    store.cas(&key, v.to_string(), expected)
+                }
+            };
+            if let Some(rev) = rev {
+                prop_assert!(rev > last_rev, "revision went backwards");
+                last_rev = rev;
+            }
+            prop_assert_eq!(store.revision(), last_rev.max(store.revision()));
+        }
+    }
+
+    /// A watcher registered before a workload sees exactly the events of
+    /// the keys under its prefix, in revision order; replaying the
+    /// events reconstructs the final state.
+    #[test]
+    fn watch_stream_reconstructs_state(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let store = KvStore::new();
+        let rx = store.watch("k/");
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    store.put(format!("k/{k}"), v.to_string());
+                }
+                Op::Delete(k) => {
+                    store.delete(&format!("k/{k}"));
+                }
+                Op::Cas(k, v, fresh) => {
+                    let key = format!("k/{k}");
+                    let expected = if fresh {
+                        store.get(&key).map(|(_, r)| r).unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    store.cas(&key, v.to_string(), expected);
+                }
+            }
+        }
+        // Replay.
+        let mut replayed: std::collections::BTreeMap<String, String> =
+            std::collections::BTreeMap::new();
+        let mut last_rev = 0;
+        for event in rx.try_iter() {
+            prop_assert!(event.revision() > last_rev);
+            last_rev = event.revision();
+            match event {
+                WatchEvent::Put { key, value, .. } => {
+                    replayed.insert(key, value);
+                }
+                WatchEvent::Delete { key, .. } => {
+                    replayed.remove(&key);
+                }
+            }
+        }
+        let actual: std::collections::BTreeMap<String, String> = store
+            .list("k/")
+            .into_iter()
+            .map(|(k, v, _)| (k, v))
+            .collect();
+        prop_assert_eq!(replayed, actual);
+    }
+
+    /// `watch_from(prefix, rev)` followed by live events never misses or
+    /// duplicates: the union is exactly all events with revision > rev.
+    #[test]
+    fn watch_from_is_gapless(split in 1usize..20, extra in 1usize..20) {
+        let store = KvStore::new();
+        for i in 0..split {
+            store.put(format!("k/{}", i % 5), i.to_string());
+        }
+        let resume_rev = store.revision() / 2;
+        let rx = store.watch_from("k/", resume_rev);
+        for i in 0..extra {
+            store.put(format!("k/{}", i % 5), format!("x{i}"));
+        }
+        let revs: Vec<u64> = rx.try_iter().map(|e| e.revision()).collect();
+        // Gapless, ordered, and spanning (resume_rev, latest].
+        prop_assert!(revs.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(revs.iter().all(|&r| r > resume_rev));
+        prop_assert_eq!(revs.last().copied(), Some(store.revision()));
+        prop_assert_eq!(revs.len() as u64, store.revision() - resume_rev);
+    }
+}

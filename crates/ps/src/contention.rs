@@ -1,0 +1,220 @@
+//! Cross-job network contention.
+//!
+//! Eqn 2 models one job in isolation; on a shared cluster, tasks of
+//! *different* jobs colocated on a server compete for the same NIC. The
+//! testbed's 1 GbE links are the bottleneck resource (§6.1), so this
+//! coupling matters: a spread placement touches many NICs and inherits
+//! the most congested one.
+//!
+//! The model: every task continuously moves its per-step traffic at its
+//! job's step rate; a server whose aggregate demand exceeds the NIC
+//! capacity delays everyone on it proportionally, and a job's step is
+//! gated by the slowest server it touches (the same max-gating as the
+//! Appendix transfer model):
+//!
+//! ```text
+//! oversub(server) = max(1, Σ_task demand(task) / nic_capacity)
+//! factor(job)     = max over servers hosting the job of oversub(server)
+//! ```
+
+use crate::transfer::TaskCounts;
+use optimus_cluster::ServerId;
+use optimus_workload::JobId;
+use std::collections::HashMap;
+
+/// One job's placement and communication demand.
+#[derive(Debug, Clone)]
+pub struct JobTraffic {
+    /// The job.
+    pub job: JobId,
+    /// Its tasks per server.
+    pub placement: Vec<(ServerId, TaskCounts)>,
+    /// Bytes per second each of this job's PS tasks moves (push + pull),
+    /// at the job's current speed.
+    pub ps_bytes_per_s: f64,
+    /// Bytes per second each worker moves.
+    pub worker_bytes_per_s: f64,
+}
+
+impl JobTraffic {
+    /// The paper's symmetric PS traffic estimate: a PS exchanges
+    /// `2·(S/p)` bytes with each of `w` workers per step, at `speed`
+    /// steps/s; each worker exchanges `2·(S/p)` with each of `p` PS.
+    pub fn from_step_model(
+        job: JobId,
+        placement: Vec<(ServerId, TaskCounts)>,
+        model_bytes: f64,
+        steps_per_s: f64,
+    ) -> Self {
+        let p: u32 = placement.iter().map(|(_, c)| c.ps).sum();
+        let w: u32 = placement.iter().map(|(_, c)| c.workers).sum();
+        if p == 0 || w == 0 {
+            return JobTraffic {
+                job,
+                placement,
+                ps_bytes_per_s: 0.0,
+                worker_bytes_per_s: 0.0,
+            };
+        }
+        let shard = model_bytes / p as f64;
+        JobTraffic {
+            job,
+            placement,
+            ps_bytes_per_s: 2.0 * shard * w as f64 * steps_per_s,
+            worker_bytes_per_s: 2.0 * shard * p as f64 * steps_per_s,
+        }
+    }
+}
+
+/// Per-job NIC oversubscription factors (≥ 1): the slowdown each job's
+/// communication phase suffers from sharing NICs with everyone else
+/// (its own traffic is already part of Eqn 2, so a job alone on its
+/// servers gets exactly 1.0 unless it oversubscribes the NIC by
+/// itself).
+pub fn oversubscription_factors(
+    traffic: &[JobTraffic],
+    nic_bytes_per_s: f64,
+) -> HashMap<JobId, f64> {
+    let mut per_server: HashMap<ServerId, f64> = HashMap::new();
+    for jt in traffic {
+        for (sid, counts) in &jt.placement {
+            let demand = counts.ps as f64 * jt.ps_bytes_per_s
+                + counts.workers as f64 * jt.worker_bytes_per_s;
+            *per_server.entry(*sid).or_default() += demand;
+        }
+    }
+    let mut out = HashMap::new();
+    for jt in traffic {
+        let worst = jt
+            .placement
+            .iter()
+            .map(|(sid, _)| per_server.get(sid).copied().unwrap_or(0.0))
+            .fold(0.0_f64, f64::max);
+        let factor = if nic_bytes_per_s > 0.0 {
+            (worst / nic_bytes_per_s).max(1.0)
+        } else {
+            1.0
+        };
+        out.insert(jt.job, factor);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(ps: u32, workers: u32) -> TaskCounts {
+        TaskCounts { ps, workers }
+    }
+
+    #[test]
+    fn lone_underloaded_job_is_unaffected() {
+        let traffic = vec![JobTraffic {
+            job: JobId(0),
+            placement: vec![(ServerId(0), counts(1, 1))],
+            ps_bytes_per_s: 10e6,
+            worker_bytes_per_s: 10e6,
+        }];
+        let f = oversubscription_factors(&traffic, 125e6);
+        assert_eq!(f[&JobId(0)], 1.0);
+    }
+
+    #[test]
+    fn oversubscribed_nic_slows_everyone_on_it() {
+        // Two jobs pushing 80 MB/s each through one 125 MB/s NIC:
+        // oversubscription 160/125 = 1.28 for both.
+        let traffic = vec![
+            JobTraffic {
+                job: JobId(0),
+                placement: vec![(ServerId(0), counts(1, 0))],
+                ps_bytes_per_s: 80e6,
+                worker_bytes_per_s: 0.0,
+            },
+            JobTraffic {
+                job: JobId(1),
+                placement: vec![(ServerId(0), counts(0, 1))],
+                ps_bytes_per_s: 0.0,
+                worker_bytes_per_s: 80e6,
+            },
+        ];
+        let f = oversubscription_factors(&traffic, 125e6);
+        assert!((f[&JobId(0)] - 1.28).abs() < 1e-9);
+        assert!((f[&JobId(1)] - 1.28).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_is_gated_by_its_worst_server() {
+        // Job 0 spans a quiet server and a hot one shared with job 1.
+        let traffic = vec![
+            JobTraffic {
+                job: JobId(0),
+                placement: vec![(ServerId(0), counts(1, 0)), (ServerId(1), counts(0, 1))],
+                ps_bytes_per_s: 10e6,
+                worker_bytes_per_s: 10e6,
+            },
+            JobTraffic {
+                job: JobId(1),
+                placement: vec![(ServerId(1), counts(2, 2))],
+                ps_bytes_per_s: 60e6,
+                worker_bytes_per_s: 60e6,
+            },
+        ];
+        let f = oversubscription_factors(&traffic, 125e6);
+        // Server 1 demand: 10e6 (job0 worker) + 4 × 60e6 = 250e6 → 2.0.
+        assert!((f[&JobId(0)] - 2.0).abs() < 1e-9);
+        assert!((f[&JobId(1)] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colocated_compact_jobs_avoid_each_other() {
+        // Each job packed on its own server: no cross-coupling.
+        let traffic = vec![
+            JobTraffic {
+                job: JobId(0),
+                placement: vec![(ServerId(0), counts(2, 2))],
+                ps_bytes_per_s: 20e6,
+                worker_bytes_per_s: 20e6,
+            },
+            JobTraffic {
+                job: JobId(1),
+                placement: vec![(ServerId(1), counts(2, 2))],
+                ps_bytes_per_s: 20e6,
+                worker_bytes_per_s: 20e6,
+            },
+        ];
+        let f = oversubscription_factors(&traffic, 125e6);
+        // 80 MB/s per server < 125 MB/s: both at 1.0.
+        assert_eq!(f[&JobId(0)], 1.0);
+        assert_eq!(f[&JobId(1)], 1.0);
+    }
+
+    #[test]
+    fn traffic_from_step_model() {
+        // 100 MB model over p = 4, w = 8 at 0.1 steps/s:
+        // shard 25 MB; ps moves 2·25·8·0.1 = 40 MB/s; worker 2·25·4·0.1 = 20.
+        let jt = JobTraffic::from_step_model(
+            JobId(0),
+            vec![(ServerId(0), counts(4, 8))],
+            100e6,
+            0.1,
+        );
+        assert!((jt.ps_bytes_per_s - 40e6).abs() < 1.0);
+        assert!((jt.worker_bytes_per_s - 20e6).abs() < 1.0);
+        // Degenerate placement → zero traffic.
+        let none = JobTraffic::from_step_model(JobId(1), vec![], 100e6, 0.1);
+        assert_eq!(none.ps_bytes_per_s, 0.0);
+    }
+
+    #[test]
+    fn zero_nic_capacity_is_neutral() {
+        let traffic = vec![JobTraffic {
+            job: JobId(0),
+            placement: vec![(ServerId(0), counts(1, 1))],
+            ps_bytes_per_s: 1e9,
+            worker_bytes_per_s: 1e9,
+        }];
+        let f = oversubscription_factors(&traffic, 0.0);
+        assert_eq!(f[&JobId(0)], 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Parameter-server execution model for the Optimus reproduction.
+//!
+//! This crate stands in for "MXNet on a real cluster": it computes what a
+//! training job's steps *actually cost* under the parameter-server
+//! architecture, using the paper's own system model (Eqn 2) as physics.
+//!
+//! * [`steptime`] — per-step time and ground-truth training-speed
+//!   functions `f(p, w)` for synchronous (Eqn 4 regime) and asynchronous
+//!   (Eqn 3 regime) training, including environmental factors (placement
+//!   stretch, PS load imbalance, stragglers),
+//! * [`transfer`] — the Appendix communication model: cross-server data
+//!   transmission time for a concrete worker/PS placement (reproduces
+//!   the Fig 10 example exactly),
+//! * [`assignment`] — parameter-block→PS assignment: MXNet's default
+//!   threshold policy and the paper's Parameter Assignment Algorithm
+//!   (PAA, §5.3), with the Table 3 imbalance metrics,
+//! * [`contention`] — cross-job NIC oversubscription: colocated jobs
+//!   compete for server NICs and a job is gated by its most congested
+//!   server,
+//! * [`straggler`] — worker slowdown injection and the §5.2
+//!   detection/replacement policy,
+//! * [`data`] — §5.1 HDFS-style chunk store with round-robin assignment
+//!   and rebalancing when the worker count changes.
+
+pub mod assignment;
+pub mod contention;
+pub mod data;
+pub mod steptime;
+pub mod straggler;
+pub mod transfer;
+
+pub use assignment::{AssignmentStats, PsAssignment};
+pub use contention::{oversubscription_factors, JobTraffic};
+pub use steptime::{EnvFactors, PsJobModel};
+pub use straggler::{StragglerMonitor, StragglerPolicy};
+pub use transfer::{transfer_time, TaskCounts};

@@ -1,0 +1,280 @@
+//! Straggler injection, detection and replacement (§5.2).
+//!
+//! Stragglers — workers running well below the pack's speed because of
+//! resource contention or unbalanced workloads — gate synchronous
+//! training outright and destabilize asynchronous training via parameter
+//! staleness. The paper's policy: monitor per-worker training speed
+//! (directly for async; via gradient arrival gaps on the PS for sync),
+//! flag a worker at less than half the median speed, and replace it with
+//! a freshly launched worker.
+//!
+//! [`StragglerMonitor`] owns the per-worker slowdown state of one job:
+//! the simulator injects slowdowns, the monitor detects and "replaces"
+//! the worker after a configurable relaunch delay.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Detection/replacement policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerPolicy {
+    /// A worker is a straggler when its speed falls below
+    /// `median_speed × detection_ratio` (paper: 0.5, "half speed from
+    /// the median").
+    pub detection_ratio: f64,
+    /// Seconds to launch a replacement worker.
+    pub replacement_delay_s: f64,
+    /// Per-second probability that a healthy worker starts straggling.
+    pub onset_rate_per_s: f64,
+    /// Slowdown factor drawn for a new straggler: uniform in this range.
+    pub slowdown_range: (f64, f64),
+}
+
+impl Default for StragglerPolicy {
+    fn default() -> Self {
+        StragglerPolicy {
+            detection_ratio: 0.5,
+            replacement_delay_s: 30.0,
+            onset_rate_per_s: 0.0, // injection off unless enabled
+            slowdown_range: (2.0, 4.0),
+        }
+    }
+}
+
+impl StragglerPolicy {
+    /// A policy with straggler injection enabled at `rate` onsets per
+    /// worker-second.
+    pub fn with_injection(rate: f64) -> Self {
+        StragglerPolicy {
+            onset_rate_per_s: rate,
+            ..StragglerPolicy::default()
+        }
+    }
+}
+
+/// State of one worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum WorkerState {
+    /// Running at nominal speed.
+    Healthy,
+    /// Running slowed by the factor.
+    Straggling { slowdown: f64 },
+    /// Replacement in flight; worker contributes nothing until done.
+    Replacing { remaining_s: f64 },
+}
+
+/// Tracks straggler state for the workers of one job.
+#[derive(Debug, Clone)]
+pub struct StragglerMonitor {
+    policy: StragglerPolicy,
+    workers: Vec<WorkerState>,
+    replacements: usize,
+}
+
+impl StragglerMonitor {
+    /// Creates a monitor for `w` healthy workers.
+    pub fn new(w: usize, policy: StragglerPolicy) -> Self {
+        StragglerMonitor {
+            policy,
+            workers: vec![WorkerState::Healthy; w],
+            replacements: 0,
+        }
+    }
+
+    /// Resizes to `w` workers (scale events keep existing states where
+    /// possible; new slots start healthy).
+    pub fn resize(&mut self, w: usize) {
+        self.workers.resize(w, WorkerState::Healthy);
+    }
+
+    /// Number of worker slots.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when there are no worker slots.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Total replacements performed so far.
+    pub fn replacements(&self) -> usize {
+        self.replacements
+    }
+
+    /// Advances time by `dt` seconds: injects new stragglers (per the
+    /// policy's onset rate), detects existing ones against the median
+    /// speed, and progresses in-flight replacements.
+    pub fn advance<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
+        // 1. Injection.
+        if self.policy.onset_rate_per_s > 0.0 {
+            let p_onset = 1.0 - (-self.policy.onset_rate_per_s * dt).exp();
+            for w in self.workers.iter_mut() {
+                if matches!(w, WorkerState::Healthy) && rng.gen::<f64>() < p_onset {
+                    let (lo, hi) = self.policy.slowdown_range;
+                    *w = WorkerState::Straggling {
+                        slowdown: rng.gen_range(lo..hi),
+                    };
+                }
+            }
+        }
+
+        // 2. Progress replacements.
+        for w in self.workers.iter_mut() {
+            if let WorkerState::Replacing { remaining_s } = w {
+                *remaining_s -= dt;
+                if *remaining_s <= 0.0 {
+                    *w = WorkerState::Healthy;
+                }
+            }
+        }
+
+        // 3. Detection: compare speeds (1/slowdown) to the median; flag
+        // workers below `detection_ratio ×` median and start replacing
+        // them.
+        let speeds: Vec<f64> = self
+            .workers
+            .iter()
+            .map(|w| match w {
+                WorkerState::Healthy => 1.0,
+                WorkerState::Straggling { slowdown } => 1.0 / slowdown,
+                WorkerState::Replacing { .. } => 0.0,
+            })
+            .collect();
+        let median = median_of(&speeds);
+        if median > 0.0 {
+            for (i, w) in self.workers.iter_mut().enumerate() {
+                if let WorkerState::Straggling { .. } = w {
+                    if speeds[i] < self.policy.detection_ratio * median {
+                        *w = WorkerState::Replacing {
+                            remaining_s: self.policy.replacement_delay_s,
+                        };
+                        self.replacements += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current per-worker slowdown factors for
+    /// [`crate::steptime::EnvFactors::worker_slowdown`]. Replacing
+    /// workers report a large-but-finite factor (they contribute ~0
+    /// async rate and would gate a sync step like a dead worker).
+    pub fn slowdown_factors(&self) -> Vec<f64> {
+        self.workers
+            .iter()
+            .map(|w| match w {
+                WorkerState::Healthy => 1.0,
+                WorkerState::Straggling { slowdown } => *slowdown,
+                WorkerState::Replacing { .. } => 1e6,
+            })
+            .collect()
+    }
+
+    /// Injects a straggler explicitly (tests, fault-injection benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn inject(&mut self, worker: usize, slowdown: f64) {
+        self.workers[worker] = WorkerState::Straggling { slowdown };
+    }
+
+    /// True if any worker is currently below nominal speed.
+    pub fn any_degraded(&self) -> bool {
+        self.workers
+            .iter()
+            .any(|w| !matches!(w, WorkerState::Healthy))
+    }
+}
+
+fn median_of(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn healthy_fleet_stays_healthy() {
+        let mut m = StragglerMonitor::new(8, StragglerPolicy::default());
+        m.advance(1000.0, &mut rng());
+        assert!(!m.any_degraded());
+        assert_eq!(m.slowdown_factors(), vec![1.0; 8]);
+        assert_eq!(m.replacements(), 0);
+    }
+
+    #[test]
+    fn injected_straggler_detected_and_replaced() {
+        let mut m = StragglerMonitor::new(4, StragglerPolicy::default());
+        m.inject(2, 3.0); // 1/3 speed < 0.5 × median(1.0)
+        m.advance(1.0, &mut rng());
+        assert_eq!(m.replacements(), 1);
+        // During replacement the slot is effectively dead.
+        assert!(m.slowdown_factors()[2] > 100.0);
+        // After the relaunch delay it is healthy again.
+        m.advance(30.0, &mut rng());
+        assert_eq!(m.slowdown_factors()[2], 1.0);
+    }
+
+    #[test]
+    fn mild_slowdown_not_replaced() {
+        // 1/1.5 = 0.67 ≥ 0.5 × median: kept, not replaced.
+        let mut m = StragglerMonitor::new(4, StragglerPolicy::default());
+        m.inject(1, 1.5);
+        m.advance(1.0, &mut rng());
+        assert_eq!(m.replacements(), 0);
+        assert_eq!(m.slowdown_factors()[1], 1.5);
+    }
+
+    #[test]
+    fn injection_rate_produces_stragglers() {
+        let mut m = StragglerMonitor::new(50, StragglerPolicy::with_injection(0.01));
+        let mut r = rng();
+        // Expect ~40 % onset probability per worker over 50 s.
+        m.advance(50.0, &mut r);
+        assert!(m.any_degraded());
+        // And the monitor heals them over time.
+        for _ in 0..100 {
+            m.advance(10.0, &mut r);
+        }
+        assert!(m.replacements() > 0);
+    }
+
+    #[test]
+    fn resize_preserves_prefix() {
+        let mut m = StragglerMonitor::new(3, StragglerPolicy::default());
+        m.inject(1, 2.5);
+        m.resize(5);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.slowdown_factors()[1], 2.5);
+        assert_eq!(m.slowdown_factors()[4], 1.0);
+        m.resize(1);
+        assert_eq!(m.len(), 1);
+        assert!(!m.any_degraded());
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median_of(&[]), 0.0);
+        assert_eq!(median_of(&[3.0]), 3.0);
+        assert_eq!(median_of(&[1.0, 2.0, 4.0, 8.0]), 3.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Placement-dependent data transmission time (Appendix model, Fig 10).
+//!
+//! For a job with `p` parameter servers and `w` workers placed across
+//! servers, the cross-server data each task moves per step (one
+//! direction) is:
+//!
+//! * a PS on server `k`: `(S/p)·(w − w_k)` at its bandwidth `B`,
+//! * a worker on server `k`: `(S/p)·(p − p_k)` at its bandwidth `b`,
+//!
+//! and the step's transmission time is the maximum over all tasks (the
+//! slowest transfer gates the step). Theorem 1 follows: colocate and
+//! spread evenly over the fewest servers.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-server task counts for one job: `(ps_count, worker_count)` per
+/// server actually hosting the job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskCounts {
+    /// Parameter servers of the job on this server.
+    pub ps: u32,
+    /// Workers of the job on this server.
+    pub workers: u32,
+}
+
+/// Cross-server transmission time of one training step (one direction),
+/// per the Appendix model.
+///
+/// * `counts` — tasks per server (servers not hosting the job omitted).
+/// * `shard_bytes` — `S/p`, bytes exchanged between one worker and one
+///   PS per step.
+/// * `ps_bandwidth` / `worker_bandwidth` — per-task NIC bandwidth,
+///   bytes/s.
+///
+/// Returns 0.0 when the whole job fits on one server (no cross-server
+/// traffic) and 0.0 for an empty placement.
+///
+/// # Examples
+///
+/// The Fig 10 example: 3 servers, 2 PS + 4 workers, unit bandwidth and
+/// unit shard. Placement (c) — `(ps1, w1, w2)`, `(ps2, w3, w4)` — has
+/// transmission time 2, the optimum:
+///
+/// ```
+/// use optimus_ps::{transfer_time, TaskCounts};
+///
+/// let c = [
+///     TaskCounts { ps: 1, workers: 2 },
+///     TaskCounts { ps: 1, workers: 2 },
+/// ];
+/// assert_eq!(transfer_time(&c, 1.0, 1.0, 1.0), 2.0);
+/// ```
+pub fn transfer_time(
+    counts: &[TaskCounts],
+    shard_bytes: f64,
+    ps_bandwidth: f64,
+    worker_bandwidth: f64,
+) -> f64 {
+    let total_ps: u32 = counts.iter().map(|c| c.ps).sum();
+    let total_workers: u32 = counts.iter().map(|c| c.workers).sum();
+    if total_ps == 0 || total_workers == 0 {
+        return 0.0;
+    }
+    let mut worst: f64 = 0.0;
+    for c in counts {
+        if c.ps > 0 {
+            let remote_workers = (total_workers - c.workers) as f64;
+            worst = worst.max(shard_bytes * remote_workers / ps_bandwidth);
+        }
+        if c.workers > 0 {
+            let remote_ps = (total_ps - c.ps) as f64;
+            worst = worst.max(shard_bytes * remote_ps / worker_bandwidth);
+        }
+    }
+    worst
+}
+
+/// The transfer stretch of a placement: its transmission time divided by
+/// the worst case where every PS–worker pair crosses servers
+/// (`(S/p)·w/B` for the PS side), yielding the `[0, 1]` factor consumed
+/// by [`crate::steptime::EnvFactors::transfer_stretch`].
+///
+/// Returns 1.0 for degenerate inputs (no tasks) so the ideal Eqn-2 model
+/// is used unchanged.
+pub fn transfer_stretch(
+    counts: &[TaskCounts],
+    shard_bytes: f64,
+    ps_bandwidth: f64,
+    worker_bandwidth: f64,
+) -> f64 {
+    let total_ps: u32 = counts.iter().map(|c| c.ps).sum();
+    let total_workers: u32 = counts.iter().map(|c| c.workers).sum();
+    if total_ps == 0 || total_workers == 0 || shard_bytes <= 0.0 {
+        return 1.0;
+    }
+    let actual = transfer_time(counts, shard_bytes, ps_bandwidth, worker_bandwidth);
+    let worst_ps = shard_bytes * total_workers as f64 / ps_bandwidth;
+    let worst_worker = shard_bytes * total_ps as f64 / worker_bandwidth;
+    let worst = worst_ps.max(worst_worker);
+    if worst <= 0.0 {
+        return 1.0;
+    }
+    (actual / worst).clamp(0.0, 1.0)
+}
+
+/// The Theorem-1 even spread of `p` PS and `w` workers over `k` servers:
+/// each server gets `⌊p/k⌋` or `⌈p/k⌉` PS and likewise for workers.
+pub fn even_spread(p: u32, w: u32, k: usize) -> Vec<TaskCounts> {
+    assert!(k > 0, "need at least one server");
+    let kf = k as u32;
+    (0..kf)
+        .map(|i| TaskCounts {
+            ps: p / kf + u32::from(i < p % kf),
+            workers: w / kf + u32::from(i < w % kf),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All three placements of the Fig 10 example, verified against the
+    /// paper's stated transmission times (3, 3, 2).
+    #[test]
+    fn fig10_example_exact() {
+        // (a): server1 = {ps1, ps2, w1}, server2 = {w2, w3}, server3 = {w4}.
+        let a = [
+            TaskCounts { ps: 2, workers: 1 },
+            TaskCounts { ps: 0, workers: 2 },
+            TaskCounts { ps: 0, workers: 1 },
+        ];
+        assert_eq!(transfer_time(&a, 1.0, 1.0, 1.0), 3.0);
+
+        // (b): server1 = {ps1, w1}, server2 = {ps2, w2}, server3 = {w3, w4}
+        // — a PS still reaches 3 remote workers.
+        let b = [
+            TaskCounts { ps: 1, workers: 1 },
+            TaskCounts { ps: 1, workers: 1 },
+            TaskCounts { ps: 0, workers: 2 },
+        ];
+        assert_eq!(transfer_time(&b, 1.0, 1.0, 1.0), 3.0);
+
+        // (c): server1 = {ps1, w1, w2}, server2 = {ps2, w3, w4} — best.
+        let c = [
+            TaskCounts { ps: 1, workers: 2 },
+            TaskCounts { ps: 1, workers: 2 },
+        ];
+        assert_eq!(transfer_time(&c, 1.0, 1.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn single_server_is_free() {
+        let c = [TaskCounts { ps: 4, workers: 8 }];
+        assert_eq!(transfer_time(&c, 1e6, 125e6, 125e6), 0.0);
+        assert_eq!(transfer_stretch(&c, 1e6, 125e6, 125e6), 0.0);
+    }
+
+    #[test]
+    fn worst_case_stretch_is_one() {
+        // PS on dedicated servers, workers on others: every pair crosses.
+        let c = [
+            TaskCounts { ps: 2, workers: 0 },
+            TaskCounts { ps: 0, workers: 4 },
+        ];
+        assert_eq!(transfer_stretch(&c, 1.0, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn theorem1_fewer_servers_is_faster() {
+        // Even spreads of 4 PS + 8 workers over k = 2, 3, 4 servers:
+        // transmission time must be non-decreasing in k.
+        let mut prev = 0.0;
+        for k in 2..=4 {
+            let counts = even_spread(4, 8, k);
+            let t = transfer_time(&counts, 1.0, 1.0, 1.0);
+            assert!(t >= prev, "k={k}: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn theorem1_even_beats_uneven() {
+        // Same 2 servers, 2 PS + 4 workers: even split beats skewed.
+        let even = even_spread(2, 4, 2);
+        let uneven = [
+            TaskCounts { ps: 2, workers: 1 },
+            TaskCounts { ps: 0, workers: 3 },
+        ];
+        assert!(
+            transfer_time(&even, 1.0, 1.0, 1.0) < transfer_time(&uneven, 1.0, 1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn even_spread_sums_correct() {
+        for (p, w, k) in [(5u32, 7u32, 3usize), (1, 1, 1), (10, 3, 4), (0, 4, 2)] {
+            let counts = even_spread(p, w, k);
+            assert_eq!(counts.iter().map(|c| c.ps).sum::<u32>(), p);
+            assert_eq!(counts.iter().map(|c| c.workers).sum::<u32>(), w);
+            let ps_max = counts.iter().map(|c| c.ps).max().unwrap();
+            let ps_min = counts.iter().map(|c| c.ps).min().unwrap();
+            assert!(ps_max - ps_min <= 1);
+        }
+    }
+
+    #[test]
+    fn asymmetric_bandwidth_uses_slower_side() {
+        // Worker NIC 10× slower: the worker side gates the step.
+        let c = [
+            TaskCounts { ps: 1, workers: 0 },
+            TaskCounts { ps: 0, workers: 1 },
+        ];
+        let t = transfer_time(&c, 1.0, 10.0, 1.0);
+        assert_eq!(t, 1.0); // worker side: 1·1/1; ps side would be 0.1
+    }
+
+    #[test]
+    fn empty_placement_is_zero() {
+        assert_eq!(transfer_time(&[], 1.0, 1.0, 1.0), 0.0);
+        assert_eq!(transfer_stretch(&[], 1.0, 1.0, 1.0), 1.0);
+    }
+}

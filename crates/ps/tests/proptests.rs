@@ -1,0 +1,118 @@
+//! Property tests for the PS execution model.
+
+use optimus_ps::transfer::{even_spread, transfer_stretch};
+use optimus_ps::{transfer_time, PsAssignment, PsJobModel, TaskCounts};
+use optimus_workload::{ModelKind, TrainingMode};
+use proptest::prelude::*;
+
+fn blocks_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..3_000_000, 1..120)
+}
+
+proptest! {
+    /// Both assignment policies conserve every parameter.
+    #[test]
+    fn assignments_conserve_parameters(blocks in blocks_strategy(), p in 1u32..24, seed in any::<u64>()) {
+        let total: u64 = blocks.iter().sum();
+        let mx = PsAssignment::mxnet_default(&blocks, p, seed);
+        prop_assert_eq!(mx.shard_sizes().iter().sum::<u64>(), total);
+        let paa = PsAssignment::paa(&blocks, p);
+        prop_assert_eq!(paa.shard_sizes().iter().sum::<u64>(), total);
+    }
+
+    /// PAA never slices a block that fits under the average, so its total
+    /// request count is minimal-or-close: every placement is a request and
+    /// sliced blocks only appear for sizes above the average.
+    #[test]
+    fn paa_requests_bounded(blocks in blocks_strategy(), p in 1u32..24) {
+        let total: u64 = blocks.iter().sum();
+        let avg = (total as f64 / p as f64).ceil() as u64;
+        let extra: usize = blocks
+            .iter()
+            .filter(|&&b| b > avg)
+            .map(|&b| (b.div_ceil(avg) as usize).saturating_sub(1))
+            .sum();
+        let paa = PsAssignment::paa(&blocks, p);
+        prop_assert_eq!(paa.stats().total_requests, blocks.len() + extra);
+    }
+
+    /// PAA's imbalance is absolutely bounded: best-fit only over-fills a
+    /// shard through the no-fit fallback (≤ one sub-average block past the
+    /// average) and tiny blocks are ≤ 1 % of the average each, so the max
+    /// shard stays within ~2× the mean. (MXNet's random small-block
+    /// placement has no such bound.) PAA also never uses more update
+    /// requests than MXNet when the slicing threshold is at most the
+    /// average shard size — the regime the paper evaluates.
+    #[test]
+    fn paa_imbalance_bounded(blocks in blocks_strategy(), p in 2u32..16, seed in any::<u64>()) {
+        let paa = PsAssignment::paa(&blocks, p).stats();
+        prop_assert!(paa.imbalance_factor <= 2.2, "paa imbalance {}", paa.imbalance_factor);
+        let total: u64 = blocks.iter().sum();
+        let avg = (total as f64 / p as f64).ceil() as u64;
+        if avg >= 1_000_000 {
+            let mx = PsAssignment::mxnet_default(&blocks, p, seed).stats();
+            prop_assert!(paa.total_requests <= mx.total_requests,
+                "paa {} vs mxnet {}", paa.total_requests, mx.total_requests);
+        }
+    }
+
+    /// Transfer stretch is always in [0, 1] and the even spread over fewer
+    /// servers never transfers more data.
+    #[test]
+    fn stretch_bounded_and_theorem1(p in 1u32..12, w in 1u32..12, k in 1usize..8) {
+        let counts = even_spread(p, w, k);
+        let s = transfer_stretch(&counts, 1e6, 125e6, 125e6);
+        prop_assert!((0.0..=1.0).contains(&s));
+        if k > 1 {
+            let fewer = even_spread(p, w, k - 1);
+            let t_fewer = transfer_time(&fewer, 1.0, 1.0, 1.0);
+            let t_more = transfer_time(&counts, 1.0, 1.0, 1.0);
+            prop_assert!(t_fewer <= t_more + 1e-12, "Theorem 1: {t_fewer} > {t_more}");
+        }
+    }
+
+    /// Ground-truth speed is positive for any feasible configuration and
+    /// zero exactly when a task type is missing.
+    #[test]
+    fn speed_positive_iff_feasible(p in 0u32..30, w in 0u32..30) {
+        for mode in [TrainingMode::Synchronous, TrainingMode::Asynchronous] {
+            let m = PsJobModel::new(ModelKind::Seq2Seq.profile(), mode);
+            let s = m.speed(p, w);
+            if p == 0 || w == 0 {
+                prop_assert_eq!(s, 0.0);
+            } else {
+                prop_assert!(s > 0.0 && s.is_finite());
+            }
+        }
+    }
+
+    /// Synchronous speed is monotone in the slowdown of the worst worker.
+    #[test]
+    fn sync_speed_monotone_in_straggler(slow in 1.0f64..10.0) {
+        use optimus_ps::EnvFactors;
+        let m = PsJobModel::new(ModelKind::ResNet50.profile(), TrainingMode::Synchronous);
+        let mut env = EnvFactors::default();
+        env.worker_slowdown = vec![1.0, slow];
+        let s = m.speed_with(4, 2, &env);
+        env.worker_slowdown = vec![1.0, slow * 2.0];
+        let s2 = m.speed_with(4, 2, &env);
+        prop_assert!(s2 <= s);
+    }
+
+    /// Transfer time with mixed placements: adding a colocated worker to a
+    /// PS's server never increases the PS's own cross-traffic term.
+    #[test]
+    fn colocation_never_hurts(p in 1u32..6, w in 2u32..10) {
+        let spread = [
+            TaskCounts { ps: p, workers: 0 },
+            TaskCounts { ps: 0, workers: w },
+        ];
+        let colocated = [
+            TaskCounts { ps: p, workers: 1 },
+            TaskCounts { ps: 0, workers: w - 1 },
+        ];
+        let t_spread = transfer_time(&spread, 1.0, 1.0, 1.0);
+        let t_colo = transfer_time(&colocated, 1.0, 1.0, 1.0);
+        prop_assert!(t_colo <= t_spread);
+    }
+}

@@ -1,0 +1,66 @@
+//! Controlled prediction-error injection (Fig 15).
+//!
+//! §6.3: "suppose the true number of epochs for convergence (training
+//! speed) is v and the error is e; we use v·(1+e) or v·(1−e) as the
+//! initial input to our scheduler, decreasing with job progress." Each
+//! job draws a sign per estimate kind; the injected multiplier decays
+//! linearly to 1 as the job progresses.
+
+use serde::{Deserialize, Serialize};
+
+/// Error levels injected into the scheduler's view of each job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorInjection {
+    /// Relative error `e` on the convergence (remaining-epochs)
+    /// estimate.
+    pub convergence_error: f64,
+    /// Relative error `e` on the training-speed estimate.
+    pub speed_error: f64,
+}
+
+impl ErrorInjection {
+    /// No injected error.
+    pub const NONE: ErrorInjection = ErrorInjection {
+        convergence_error: 0.0,
+        speed_error: 0.0,
+    };
+
+    /// The multiplier applied to an estimate for a job at `progress`
+    /// (∈ [0, 1]) whose drawn sign is `positive`: `1 ± e·(1 − progress)`.
+    pub fn multiplier(error: f64, positive: bool, progress: f64) -> f64 {
+        let e = error.max(0.0) * (1.0 - progress.clamp(0.0, 1.0));
+        if positive {
+            1.0 + e
+        } else {
+            (1.0 - e).max(0.05)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decays_with_progress() {
+        let at = |p: f64| ErrorInjection::multiplier(0.4, true, p);
+        assert!((at(0.0) - 1.4).abs() < 1e-12);
+        assert!((at(0.5) - 1.2).abs() < 1e-12);
+        assert!((at(1.0) - 1.0).abs() < 1e-12);
+        assert!(at(0.25) > at(0.75));
+    }
+
+    #[test]
+    fn negative_sign_clamped_positive() {
+        let m = ErrorInjection::multiplier(2.0, false, 0.0);
+        assert!(m >= 0.05);
+        let m = ErrorInjection::multiplier(0.3, false, 0.0);
+        assert!((m - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        assert_eq!(ErrorInjection::multiplier(0.0, true, 0.3), 1.0);
+        assert_eq!(ErrorInjection::multiplier(0.0, false, 0.3), 1.0);
+    }
+}

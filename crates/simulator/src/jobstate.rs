@@ -1,0 +1,299 @@
+//! Per-job runtime state inside the simulator.
+
+use optimus_core::scheduler::JobPlacement;
+use optimus_core::{ConvergenceEstimator, SpeedModel};
+use optimus_ps::data::{ChunkAssignment, ChunkedDataset};
+use optimus_ps::{EnvFactors, PsAssignment, PsJobModel, StragglerMonitor, StragglerPolicy};
+use optimus_workload::{JobSpec, TrainingMode};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle of a simulated job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Submitted but not yet seen by a scheduling interval.
+    Pending,
+    /// Holding tasks and making progress.
+    Running,
+    /// Active but without placed tasks this interval (§4.2) or paying
+    /// scaling overhead.
+    Paused,
+    /// Converged.
+    Finished,
+}
+
+/// Everything the simulator tracks for one job.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// The submitted specification.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Ground-truth steps completed (fractional between ticks).
+    pub steps_done: f64,
+    /// Ground-truth total steps required (fixed at submission).
+    pub true_total_steps: u64,
+    /// Current placed parameter servers.
+    pub ps: u32,
+    /// Current placed workers.
+    pub workers: u32,
+    /// The concrete per-server placement currently held (empty when
+    /// paused). Needed to re-reserve a pinned job's servers when the §7
+    /// rescale-frequency threshold is active.
+    pub placement: JobPlacement,
+    /// Simulation time of the last (p, w) reconfiguration.
+    pub last_scale_time: f64,
+    /// Environmental factors of the current placement.
+    pub env: EnvFactors,
+    /// Scheduler-visible convergence estimator (§3.1).
+    pub convergence: ConvergenceEstimator,
+    /// Scheduler-visible speed model (§3.2).
+    pub speed_model: SpeedModel,
+    /// Straggler state of the current worker fleet (§5.2).
+    pub stragglers: StragglerMonitor,
+    /// Data-chunk assignment (§5.1).
+    pub chunks: ChunkAssignment,
+    /// Total chunks moved by rebalances.
+    pub chunks_moved: usize,
+    /// Seconds of scaling (checkpoint/restart) overhead still to pay
+    /// before progress resumes.
+    pub overhead_remaining_s: f64,
+    /// Total scaling overhead paid, seconds (§6.2 reports this as a
+    /// fraction of makespan).
+    pub overhead_total_s: f64,
+    /// Number of (p, w) reconfigurations.
+    pub scale_events: usize,
+    /// Completion time (absolute sim time), once finished.
+    pub finish_time: Option<f64>,
+    /// First time the job actually held tasks (queueing delay =
+    /// `first_run_time − submit_time`).
+    pub first_run_time: Option<f64>,
+    /// Steps at the start of the current interval (with
+    /// [`SimJob::interval_active_s`], the observed-speed sample for
+    /// online calibration).
+    pub interval_steps_start: f64,
+    /// Seconds this job actively progressed since the interval started.
+    pub interval_active_s: f64,
+    /// Fig-15 error-injection signs drawn for this job.
+    pub inject_signs: (bool, bool),
+}
+
+impl SimJob {
+    /// Creates the runtime state for a submitted job.
+    pub fn new(spec: JobSpec, straggler_policy: StragglerPolicy) -> Self {
+        let profile = spec.profile();
+        let true_total_steps = spec.true_total_steps();
+        let steps_per_epoch = spec.steps_per_epoch();
+        let dataset = ChunkedDataset::new(
+            ((profile.dataset_size as f64 * spec.dataset_scale).max(1.0) * 1024.0) as u64,
+        )
+        .with_chunk_bytes(128 * 1024); // ~examples×1 KiB, 128 KiB chunks
+        let convergence = ConvergenceEstimator::new(
+            spec.convergence_threshold,
+            steps_per_epoch,
+            spec.patience_epochs,
+        )
+        .with_max_fit_points(400);
+        let speed_model = SpeedModel::new(spec.mode, profile.batch_size as f64);
+        SimJob {
+            status: JobStatus::Pending,
+            steps_done: 0.0,
+            true_total_steps,
+            ps: 0,
+            workers: 0,
+            placement: JobPlacement::new(),
+            last_scale_time: f64::NEG_INFINITY,
+            env: EnvFactors::default(),
+            convergence,
+            speed_model,
+            stragglers: StragglerMonitor::new(0, straggler_policy),
+            chunks: ChunkAssignment::round_robin(&dataset, 1),
+            chunks_moved: 0,
+            overhead_remaining_s: 0.0,
+            overhead_total_s: 0.0,
+            scale_events: 0,
+            finish_time: None,
+            first_run_time: None,
+            interval_steps_start: 0.0,
+            interval_active_s: 0.0,
+            inject_signs: (true, true),
+            spec,
+        }
+    }
+
+    /// The ground-truth performance model for this job.
+    pub fn truth(&self) -> PsJobModel<'static> {
+        PsJobModel::new(self.spec.profile(), self.spec.mode)
+    }
+
+    /// Fraction of the job's ground-truth work completed, in [0, 1].
+    pub fn true_progress(&self) -> f64 {
+        if self.true_total_steps == 0 {
+            return 1.0;
+        }
+        (self.steps_done / self.true_total_steps as f64).clamp(0.0, 1.0)
+    }
+
+    /// Scheduler-visible progress estimate: observed steps over the
+    /// estimated total (true progress is not visible to schedulers).
+    pub fn estimated_progress(&self) -> f64 {
+        match self.convergence.predict() {
+            Some(pred) if pred.total_steps > 0 => {
+                (self.steps_done / pred.total_steps as f64).clamp(0.0, 1.0)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// True when the job currently holds tasks and is not paying
+    /// overhead.
+    pub fn is_progressing(&self) -> bool {
+        self.status == JobStatus::Running
+            && self.ps > 0
+            && self.workers > 0
+            && self.overhead_remaining_s <= 0.0
+    }
+
+    /// The PS load-imbalance factor for `p` shards under the given
+    /// assignment policy.
+    pub fn imbalance_for(&self, p: u32, use_paa: bool, seed: u64) -> f64 {
+        if p == 0 {
+            return 1.0;
+        }
+        let blocks = self.spec.profile().parameter_blocks();
+        let stats = if use_paa {
+            PsAssignment::paa(&blocks, p).stats()
+        } else {
+            PsAssignment::mxnet_default(&blocks, p, seed).stats()
+        };
+        stats.imbalance_factor
+    }
+
+    /// Average observed speed since the last interval boundary, if the
+    /// job was active.
+    pub fn observed_interval_speed(&self) -> Option<f64> {
+        if self.interval_active_s <= 0.0 {
+            return None;
+        }
+        let steps = self.steps_done - self.interval_steps_start;
+        if steps <= 0.0 {
+            return None;
+        }
+        Some(steps / self.interval_active_s)
+    }
+
+    /// Steps per epoch for this job.
+    pub fn steps_per_epoch(&self) -> u64 {
+        self.spec.steps_per_epoch()
+    }
+
+    /// Worker CPU utilization proxy: the fraction of a step spent in
+    /// compute (forward + backward), from the ground-truth step time.
+    pub fn worker_utilization(&self) -> f64 {
+        if !self.is_progressing() {
+            return 0.0;
+        }
+        let truth = self.truth();
+        let t = truth.step_time_with(self.ps, self.workers, &self.env);
+        if !t.is_finite() || t <= 0.0 {
+            return 0.0;
+        }
+        let profile = self.spec.profile();
+        let compute =
+            truth.minibatch(self.workers) * profile.forward_time_per_example + profile.backward_time;
+        (compute / t).clamp(0.0, 1.0)
+    }
+
+    /// PS CPU utilization proxy: the fraction of a step spent on
+    /// transfer + update work at the parameter servers.
+    pub fn ps_utilization(&self) -> f64 {
+        if !self.is_progressing() {
+            return 0.0;
+        }
+        let truth = self.truth();
+        let t = truth.step_time_with(self.ps, self.workers, &self.env);
+        if !t.is_finite() || t <= 0.0 {
+            return 0.0;
+        }
+        let compute = truth.minibatch(self.workers)
+            * self.spec.profile().forward_time_per_example
+            + self.spec.profile().backward_time;
+        let comm = (t - compute).max(0.0);
+        (comm / t).clamp(0.0, 1.0)
+    }
+}
+
+/// Training-mode helper used by the engine when counting epoch steps.
+pub fn steps_per_epoch_for(spec: &JobSpec) -> u64 {
+    match spec.mode {
+        TrainingMode::Synchronous => spec.profile().sync_steps_per_epoch(spec.dataset_scale),
+        TrainingMode::Asynchronous => spec.profile().async_steps_per_epoch(spec.dataset_scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_workload::{JobId, ModelKind};
+
+    fn job() -> SimJob {
+        let spec = JobSpec::new(
+            JobId(0),
+            ModelKind::Seq2Seq,
+            TrainingMode::Synchronous,
+            0.02,
+        )
+        .scaled(0.1);
+        SimJob::new(spec, StragglerPolicy::default())
+    }
+
+    #[test]
+    fn fresh_job_is_pending_with_no_progress() {
+        let j = job();
+        assert_eq!(j.status, JobStatus::Pending);
+        assert_eq!(j.true_progress(), 0.0);
+        assert!(!j.is_progressing());
+        assert_eq!(j.estimated_progress(), 0.0);
+    }
+
+    #[test]
+    fn progress_tracks_steps() {
+        let mut j = job();
+        j.steps_done = j.true_total_steps as f64 / 2.0;
+        assert!((j.true_progress() - 0.5).abs() < 1e-9);
+        j.steps_done = j.true_total_steps as f64 * 2.0;
+        assert_eq!(j.true_progress(), 1.0);
+    }
+
+    #[test]
+    fn paa_beats_mxnet_imbalance_here_too() {
+        let j = job();
+        let paa = j.imbalance_for(10, true, 1);
+        let mx = j.imbalance_for(10, false, 1);
+        assert!(paa <= mx + 1e-12, "paa {paa} vs mxnet {mx}");
+        assert_eq!(j.imbalance_for(0, true, 1), 1.0);
+    }
+
+    #[test]
+    fn utilization_proxies_bounded() {
+        let mut j = job();
+        j.status = JobStatus::Running;
+        j.ps = 4;
+        j.workers = 4;
+        let wu = j.worker_utilization();
+        let pu = j.ps_utilization();
+        assert!((0.0..=1.0).contains(&wu));
+        assert!((0.0..=1.0).contains(&pu));
+        assert!(wu + pu <= 1.0 + 1e-9, "{wu} + {pu}");
+        assert!(wu > 0.0);
+    }
+
+    #[test]
+    fn observed_speed_needs_activity() {
+        let mut j = job();
+        assert!(j.observed_interval_speed().is_none());
+        j.interval_steps_start = 0.0;
+        j.steps_done = 30.0;
+        j.interval_active_s = 300.0;
+        assert!((j.observed_interval_speed().unwrap() - 0.1).abs() < 1e-12);
+    }
+}

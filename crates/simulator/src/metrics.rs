@@ -1,0 +1,214 @@
+//! Simulation metrics: the quantities the paper's figures report.
+
+use crate::events::EventLog;
+use optimus_workload::JobId;
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of the Fig 14 time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Simulation time, seconds.
+    pub t: f64,
+    /// Tasks (PS + workers) currently placed.
+    pub running_tasks: u32,
+    /// Active (unfinished, scheduled) jobs.
+    pub active_jobs: u32,
+    /// Mean normalized CPU utilization across workers (0–1).
+    pub worker_utilization: f64,
+    /// Mean normalized CPU utilization across parameter servers (0–1).
+    pub ps_utilization: f64,
+    /// Total CPU cores currently allocated.
+    pub allocated_cpu: f64,
+}
+
+/// One emergent-estimate fidelity sample: how far the scheduler's
+/// online models were from ground truth at a scheduling round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FidelityPoint {
+    /// Scheduling-round time, seconds.
+    pub t: f64,
+    /// The job measured.
+    pub job: JobId,
+    /// The job's true progress at the time, in [0, 1].
+    pub progress: f64,
+    /// Signed relative error of the speed prediction at the job's
+    /// current (p, w): `(predicted − true)/true`.
+    pub speed_error: f64,
+    /// Signed relative error of the estimated total steps to
+    /// convergence, when a convergence model exists.
+    pub convergence_error: Option<f64>,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scheduler under test.
+    pub scheduler: String,
+    /// Per-job completion times `(job, JCT seconds)`.
+    pub jct: Vec<(JobId, f64)>,
+    /// Per-job queueing delays `(job, seconds from submission to first
+    /// placed tasks)`.
+    pub wait: Vec<(JobId, f64)>,
+    /// Makespan: first arrival to last completion, seconds.
+    pub makespan: f64,
+    /// Total checkpoint-based scaling overhead across jobs, seconds.
+    pub scaling_overhead_s: f64,
+    /// Total (p, w) reconfiguration events.
+    pub scale_events: usize,
+    /// Total straggler replacements performed.
+    pub straggler_replacements: usize,
+    /// Total data chunks moved by §5.1 rebalancing.
+    pub chunks_moved: usize,
+    /// Jobs that did not finish before the simulation cap.
+    pub unfinished_jobs: usize,
+    /// Sampled time series (Fig 14).
+    pub timeline: Vec<TimePoint>,
+    /// Structured decision log (empty unless
+    /// `SimConfig::record_events` was set).
+    pub events: EventLog,
+    /// Emergent estimator-fidelity samples (empty unless
+    /// `SimConfig::track_fidelity` was set).
+    pub fidelity: Vec<FidelityPoint>,
+}
+
+impl SimReport {
+    /// Average queueing delay, seconds (0 when nothing ran).
+    pub fn avg_wait(&self) -> f64 {
+        if self.wait.is_empty() {
+            return 0.0;
+        }
+        self.wait.iter().map(|&(_, t)| t).sum::<f64>() / self.wait.len() as f64
+    }
+
+    /// Average job completion time, seconds (0 when no job finished).
+    pub fn avg_jct(&self) -> f64 {
+        if self.jct.is_empty() {
+            return 0.0;
+        }
+        self.jct.iter().map(|&(_, t)| t).sum::<f64>() / self.jct.len() as f64
+    }
+
+    /// Scaling overhead as a fraction of makespan (§6.2 reports 2.54 %).
+    pub fn scaling_overhead_fraction(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.scaling_overhead_s / self.makespan
+    }
+
+    /// Mean running tasks over the timeline.
+    pub fn mean_running_tasks(&self) -> f64 {
+        if self.timeline.is_empty() {
+            return 0.0;
+        }
+        self.timeline
+            .iter()
+            .map(|p| p.running_tasks as f64)
+            .sum::<f64>()
+            / self.timeline.len() as f64
+    }
+
+    /// Mean worker utilization over timeline points with running tasks.
+    pub fn mean_worker_utilization(&self) -> f64 {
+        let active: Vec<f64> = self
+            .timeline
+            .iter()
+            .filter(|p| p.running_tasks > 0)
+            .map(|p| p.worker_utilization)
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+
+    /// Mean PS utilization over timeline points with running tasks.
+    pub fn mean_ps_utilization(&self) -> f64 {
+        let active: Vec<f64> = self
+            .timeline
+            .iter()
+            .filter(|p| p.running_tasks > 0)
+            .map(|p| p.ps_utilization)
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            scheduler: "test".into(),
+            jct: vec![(JobId(0), 100.0), (JobId(1), 300.0)],
+            wait: vec![(JobId(0), 10.0), (JobId(1), 30.0)],
+            makespan: 400.0,
+            scaling_overhead_s: 10.0,
+            scale_events: 4,
+            straggler_replacements: 0,
+            chunks_moved: 12,
+            unfinished_jobs: 0,
+            events: EventLog::default(),
+            fidelity: vec![],
+            timeline: vec![
+                TimePoint {
+                    t: 0.0,
+                    running_tasks: 4,
+                    active_jobs: 2,
+                    worker_utilization: 0.8,
+                    ps_utilization: 0.4,
+                    allocated_cpu: 20.0,
+                },
+                TimePoint {
+                    t: 60.0,
+                    running_tasks: 0,
+                    active_jobs: 0,
+                    worker_utilization: 0.0,
+                    ps_utilization: 0.0,
+                    allocated_cpu: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.avg_jct(), 200.0);
+        assert_eq!(r.avg_wait(), 20.0);
+        assert!((r.scaling_overhead_fraction() - 0.025).abs() < 1e-12);
+        assert_eq!(r.mean_running_tasks(), 2.0);
+        // Utilization means skip idle points.
+        assert_eq!(r.mean_worker_utilization(), 0.8);
+        assert_eq!(r.mean_ps_utilization(), 0.4);
+    }
+
+    #[test]
+    fn empty_report_is_zeroes() {
+        let r = SimReport {
+            scheduler: "x".into(),
+            jct: vec![],
+            wait: vec![],
+            makespan: 0.0,
+            scaling_overhead_s: 0.0,
+            scale_events: 0,
+            straggler_replacements: 0,
+            chunks_moved: 0,
+            unfinished_jobs: 0,
+            timeline: vec![],
+            events: EventLog::default(),
+            fidelity: vec![],
+        };
+        assert_eq!(r.avg_jct(), 0.0);
+        assert_eq!(r.avg_wait(), 0.0);
+        assert_eq!(r.scaling_overhead_fraction(), 0.0);
+        assert_eq!(r.mean_running_tasks(), 0.0);
+        assert_eq!(r.mean_worker_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Ground-truth convergence curves.
+//!
+//! Real training is replaced by a synthetic curve of exactly the family
+//! the paper observes for SGD jobs (Fig 5): normalized loss
+//! `l(e) = 1/(c₀·e + c₁) + c₂` over epochs `e`, with `c₁` pinned so that
+//! `l(0) = 1` (losses are normalized by the first/maximum loss). On top
+//! of the smooth curve, [`GroundTruthCurve::sample`] adds heteroscedastic
+//! measurement noise and occasional outlier spikes so the §3.1
+//! preprocessing path is actually exercised.
+//!
+//! The simulator owns a `GroundTruthCurve` per job; schedulers never see
+//! it — they only see sampled `(step, loss)` points, from which they fit
+//! their own `optimus_fitting::LossModel`. Prediction error is
+//! therefore emergent, exactly as in the paper's Fig 6.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A scheduled learning-rate drop (§7 "Convergence estimation"): at
+/// `at_epoch` the learning rate is cut, the loss falls sharply again,
+/// and training continues on a fresh hyperbolic segment toward a lower
+/// floor. The paper's suggested handling is to treat the post-drop
+/// phase "as a new training job and restart online fitting".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrDrop {
+    /// Epoch at which the learning rate drops.
+    pub at_epoch: f64,
+    /// Convergence-speed coefficient of the post-drop segment.
+    pub post_c0: f64,
+    /// Normalized-loss floor of the post-drop segment (must be below the
+    /// loss reached at the drop).
+    pub post_floor: f64,
+}
+
+/// A smooth `O(1/k)` convergence curve in epochs, normalized to
+/// `l(0) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use optimus_workload::GroundTruthCurve;
+///
+/// let c = GroundTruthCurve::new(0.1, 0.2);
+/// assert!((c.loss_at_epoch(0.0) - 1.0).abs() < 1e-12);
+/// assert!(c.loss_at_epoch(100.0) < 0.35);
+/// let e = c.epochs_to_converge(0.01, 3).unwrap();
+/// assert!(e > 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthCurve {
+    /// Convergence-speed coefficient `c₀` (per epoch).
+    pub c0: f64,
+    /// Asymptotic normalized-loss floor `c₂ ∈ [0, 1)`.
+    pub floor: f64,
+    /// Relative noise level for sampled losses.
+    pub noise_sigma: f64,
+    /// Probability that a sampled loss is an outlier spike.
+    pub outlier_prob: f64,
+    /// Optional §7 learning-rate drop splitting the curve in two
+    /// segments.
+    pub lr_drop: Option<LrDrop>,
+}
+
+impl GroundTruthCurve {
+    /// Creates a curve with default noise (1.5 % relative) and outlier
+    /// rate (0.5 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c0 < 0` or `floor ∉ [0, 1)` — these are compile-time
+    /// constants in the model zoo.
+    pub const fn new(c0: f64, floor: f64) -> Self {
+        assert!(c0 >= 0.0);
+        assert!(floor >= 0.0 && floor < 1.0);
+        GroundTruthCurve {
+            c0,
+            floor,
+            noise_sigma: 0.015,
+            outlier_prob: 0.005,
+            lr_drop: None,
+        }
+    }
+
+    /// Returns a copy with a §7 learning-rate drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the post-drop floor is not strictly below the loss the
+    /// base curve reaches at the drop epoch.
+    pub fn with_lr_drop(mut self, drop: LrDrop) -> Self {
+        assert!(
+            drop.post_floor < self.base_loss_at_epoch(drop.at_epoch),
+            "post-drop floor must sit below the loss at the drop point"
+        );
+        assert!(drop.post_c0 > 0.0);
+        self.lr_drop = Some(drop);
+        self
+    }
+
+    /// Returns a copy with explicit noise parameters.
+    pub fn with_noise(mut self, noise_sigma: f64, outlier_prob: f64) -> Self {
+        self.noise_sigma = noise_sigma;
+        self.outlier_prob = outlier_prob;
+        self
+    }
+
+    /// The derived `c₁` pinning `l(0) = 1`.
+    pub fn c1(&self) -> f64 {
+        1.0 / (1.0 - self.floor)
+    }
+
+    /// Smooth normalized loss after `e` epochs (fractional epochs OK),
+    /// following the post-drop segment after a configured LR drop.
+    pub fn loss_at_epoch(&self, e: f64) -> f64 {
+        match self.lr_drop {
+            Some(drop) if e > drop.at_epoch => {
+                let l_at_drop = self.base_loss_at_epoch(drop.at_epoch);
+                // Fresh hyperbola continuing from the drop point toward
+                // the lower floor.
+                let c1 = 1.0 / (l_at_drop - drop.post_floor);
+                1.0 / (drop.post_c0 * (e - drop.at_epoch) + c1) + drop.post_floor
+            }
+            _ => self.base_loss_at_epoch(e),
+        }
+    }
+
+    /// The pre-drop (base) curve.
+    fn base_loss_at_epoch(&self, e: f64) -> f64 {
+        1.0 / (self.c0 * e + self.c1()) + self.floor
+    }
+
+    /// Smooth normalized loss after `k` steps given `steps_per_epoch`.
+    pub fn loss_at_step(&self, k: f64, steps_per_epoch: u64) -> f64 {
+        self.loss_at_epoch(k / steps_per_epoch.max(1) as f64)
+    }
+
+    /// Per-epoch loss decrease at integer epoch `e`.
+    pub fn epoch_decrease(&self, e: u64) -> f64 {
+        self.loss_at_epoch(e as f64) - self.loss_at_epoch(e as f64 + 1.0)
+    }
+
+    /// Ground-truth epochs to convergence, plus `patience` epochs of
+    /// staying converged (§2.1: "consistently fallen below a threshold
+    /// ... for several epochs"). `None` for a non-positive threshold.
+    ///
+    /// The owner-specified threshold δ ∈ [1 %, 5 %] is interpreted
+    /// *relative to the job's initial per-epoch progress*: the job has
+    /// converged at the first epoch `e` with `Δ(e) < δ·Δ(0)`. (An
+    /// absolute threshold on normalized loss cannot express "tens to
+    /// hundreds of epochs" for the `O(1/k)` curve family — the total
+    /// normalized decrease is bounded by 1 — so the relative reading is
+    /// the one consistent with the paper's workloads; see DESIGN.md.)
+    pub fn epochs_to_converge(&self, threshold: f64, patience: u64) -> Option<u64> {
+        if threshold <= 0.0 {
+            return None;
+        }
+        if let Some(drop) = self.lr_drop {
+            // §7: the post-drop phase is "a new training job" — converge
+            // relative to the new segment's own initial progress.
+            let l_at_drop = self.base_loss_at_epoch(drop.at_epoch);
+            let c1 = 1.0 / (l_at_drop - drop.post_floor);
+            let seg = converge_epochs(drop.post_c0, c1, threshold)?;
+            return Some(drop.at_epoch.ceil() as u64 + seg + patience);
+        }
+        if self.c0 == 0.0 {
+            return Some(patience);
+        }
+        let bar = threshold * self.epoch_decrease(0);
+        if bar <= 0.0 {
+            return Some(patience);
+        }
+        // Δ(e) = c₀ / ((c₀e + c₁)(c₀(e+1) + c₁)) is monotone decreasing;
+        // binary search the first epoch below the bar.
+        let (mut lo, mut hi) = (0u64, 1u64);
+        while self.epoch_decrease(hi) >= bar {
+            hi *= 2;
+            if hi > (1 << 42) {
+                return None;
+            }
+        }
+        if self.epoch_decrease(0) < bar {
+            return Some(patience);
+        }
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.epoch_decrease(mid) < bar {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi + patience)
+    }
+
+    /// Ground-truth total steps to convergence.
+    pub fn steps_to_converge(
+        &self,
+        threshold: f64,
+        patience: u64,
+        steps_per_epoch: u64,
+    ) -> Option<u64> {
+        self.epochs_to_converge(threshold, patience)
+            .map(|e| e.saturating_mul(steps_per_epoch))
+    }
+
+    /// Samples a *measured* loss at step `k`: the smooth value plus
+    /// relative Gaussian noise, with probability [`Self::outlier_prob`]
+    /// replaced by an outlier spike (2–6× the true value) or dip
+    /// (0.1–0.5×), exercising the preprocessing path.
+    pub fn sample<R: Rng + ?Sized>(&self, k: f64, steps_per_epoch: u64, rng: &mut R) -> f64 {
+        let base = self.loss_at_step(k, steps_per_epoch);
+        if rng.gen::<f64>() < self.outlier_prob {
+            if rng.gen::<bool>() {
+                return base * rng.gen_range(2.0..6.0);
+            }
+            return base * rng.gen_range(0.1..0.5);
+        }
+        // Box–Muller standard normal.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (base * (1.0 + self.noise_sigma * z)).max(0.0)
+    }
+}
+
+/// Epochs until the per-epoch decrease of `1/(c0·e + c1)` falls below
+/// `threshold ×` its initial decrease (shared by the base and post-drop
+/// segments).
+fn converge_epochs(c0: f64, c1: f64, threshold: f64) -> Option<u64> {
+    if c0 <= 0.0 || c1 <= 0.0 || threshold <= 0.0 {
+        return None;
+    }
+    let dec = |e: f64| 1.0 / (c0 * e + c1) - 1.0 / (c0 * (e + 1.0) + c1);
+    let bar = threshold * dec(0.0);
+    if bar <= 0.0 || dec(0.0) < bar {
+        return Some(0);
+    }
+    let (mut lo, mut hi) = (0u64, 1u64);
+    while dec(hi as f64) >= bar {
+        hi *= 2;
+        if hi > (1 << 42) {
+            return None;
+        }
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if dec(mid as f64) < bar {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn normalized_at_zero() {
+        for floor in [0.0, 0.2, 0.5, 0.9] {
+            let c = GroundTruthCurve::new(0.1, floor);
+            assert!((c.loss_at_epoch(0.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_to_floor() {
+        let c = GroundTruthCurve::new(0.3, 0.25);
+        let mut prev = f64::INFINITY;
+        for e in 0..200 {
+            let l = c.loss_at_epoch(e as f64);
+            assert!(l < prev);
+            assert!(l > c.floor);
+            prev = l;
+        }
+        assert!(c.loss_at_epoch(1e9) - c.floor < 1e-6);
+    }
+
+    #[test]
+    fn epochs_to_converge_decreasing_in_threshold() {
+        let c = GroundTruthCurve::new(0.05, 0.2);
+        let tight = c.epochs_to_converge(0.005, 0).unwrap();
+        let loose = c.epochs_to_converge(0.05, 0).unwrap();
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn convergence_point_is_exact_boundary() {
+        let c = GroundTruthCurve::new(0.05, 0.2);
+        let e = c.epochs_to_converge(0.01, 0).unwrap();
+        let bar = 0.01 * c.epoch_decrease(0);
+        assert!(c.epoch_decrease(e) < bar);
+        if e > 0 {
+            assert!(c.epoch_decrease(e - 1) >= bar);
+        }
+    }
+
+    #[test]
+    fn patience_is_additive() {
+        let c = GroundTruthCurve::new(0.05, 0.2);
+        let base = c.epochs_to_converge(0.01, 0).unwrap();
+        assert_eq!(c.epochs_to_converge(0.01, 5).unwrap(), base + 5);
+    }
+
+    #[test]
+    fn non_positive_threshold_rejected() {
+        let c = GroundTruthCurve::new(0.05, 0.2);
+        assert_eq!(c.epochs_to_converge(0.0, 3), None);
+        assert_eq!(c.epochs_to_converge(-0.1, 3), None);
+    }
+
+    #[test]
+    fn steps_scale_with_epoch_length() {
+        let c = GroundTruthCurve::new(0.05, 0.2);
+        let s100 = c.steps_to_converge(0.01, 3, 100).unwrap();
+        let s200 = c.steps_to_converge(0.01, 3, 200).unwrap();
+        assert_eq!(s200, 2 * s100);
+    }
+
+    #[test]
+    fn samples_center_on_truth() {
+        let c = GroundTruthCurve::new(0.1, 0.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let k = 500.0;
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| c.sample(k, 100, &mut rng)).sum::<f64>() / n as f64;
+        let truth = c.loss_at_step(k, 100);
+        // Outliers skew slightly upward; stay within a few percent.
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn samples_are_nonnegative() {
+        let c = GroundTruthCurve::new(0.1, 0.0).with_noise(0.5, 0.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for k in 0..500 {
+            assert!(c.sample(k as f64, 10, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lr_drop_changes_curve_shape() {
+        let base = GroundTruthCurve::new(0.2, 0.3);
+        let dropped = base.with_lr_drop(LrDrop {
+            at_epoch: 20.0,
+            post_c0: 0.4,
+            post_floor: 0.15,
+        });
+        // Identical before the drop.
+        assert_eq!(base.loss_at_epoch(10.0), dropped.loss_at_epoch(10.0));
+        // Strictly lower after it, approaching the lower floor.
+        assert!(dropped.loss_at_epoch(25.0) < base.loss_at_epoch(25.0));
+        assert!(dropped.loss_at_epoch(1e6) < base.floor);
+        assert!(dropped.loss_at_epoch(1e6) - 0.15 < 1e-3);
+        // Still monotone non-increasing.
+        let mut prev = f64::INFINITY;
+        for e in 0..100 {
+            let l = dropped.loss_at_epoch(e as f64);
+            assert!(l <= prev + 1e-12, "epoch {e}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn lr_drop_extends_convergence() {
+        let base = GroundTruthCurve::new(0.2, 0.3);
+        let e_base = base.epochs_to_converge(0.02, 3).unwrap();
+        let dropped = base.with_lr_drop(LrDrop {
+            at_epoch: e_base as f64,
+            post_c0: 0.4,
+            post_floor: 0.15,
+        });
+        let e_dropped = dropped.epochs_to_converge(0.02, 3).unwrap();
+        assert!(
+            e_dropped > e_base,
+            "post-drop training continues: {e_dropped} vs {e_base}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "post-drop floor")]
+    fn lr_drop_validates_floor() {
+        let _ = GroundTruthCurve::new(0.2, 0.3).with_lr_drop(LrDrop {
+            at_epoch: 1_000.0,
+            post_c0: 0.4,
+            post_floor: 0.9, // above the curve at the drop point
+        });
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = GroundTruthCurve::new(0.1, 0.2);
+        let run = |seed: u64| -> Vec<f64> {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..50).map(|k| c.sample(k as f64, 10, &mut rng)).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

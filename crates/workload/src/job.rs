@@ -1,0 +1,196 @@
+//! Job specifications.
+//!
+//! A deep-learning job in Optimus (§2) is a model, a training mode
+//! (synchronous/asynchronous), a convergence threshold chosen by the job
+//! owner, per-task resource profiles (the paper: "the resource
+//! composition of each worker or parameter server is still specified by
+//! the job owner"), and a submission time.
+
+use crate::zoo::{ModelKind, ModelProfile};
+use optimus_cluster::ResourceVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Parameter-server training mode (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrainingMode {
+    /// All workers advance in lockstep; the global batch `M` is fixed and
+    /// split `m = M/w` across workers (Eqn 4).
+    Synchronous,
+    /// Workers advance at their own pace with fixed per-worker mini-batch
+    /// `m` (Eqn 3).
+    Asynchronous,
+}
+
+impl TrainingMode {
+    /// Short lowercase label ("sync"/"async") for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrainingMode::Synchronous => "sync",
+            TrainingMode::Asynchronous => "async",
+        }
+    }
+}
+
+/// A submitted training job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique id.
+    pub id: JobId,
+    /// Which Table-1 model this job trains.
+    pub model: ModelKind,
+    /// Training mode.
+    pub mode: TrainingMode,
+    /// Convergence threshold δ on the per-epoch normalized-loss decrease
+    /// (the paper varies this in [1 %, 5 %]).
+    pub convergence_threshold: f64,
+    /// Patience: epochs the decrease must stay below δ.
+    pub patience_epochs: u64,
+    /// Submission time, seconds since experiment start.
+    pub submit_time: f64,
+    /// Dataset downscaling factor (§6.1 downscales large datasets so an
+    /// experiment finishes in hours); 1.0 = full dataset.
+    pub dataset_scale: f64,
+    /// Resources occupied by each worker.
+    pub worker_profile: ResourceVec,
+    /// Resources occupied by each parameter server.
+    pub ps_profile: ResourceVec,
+}
+
+impl JobSpec {
+    /// Creates a job with the paper's default container profile
+    /// (5 CPU cores + 10 GB per worker or PS, §2.3) and defaults for
+    /// patience and dataset scale.
+    pub fn new(id: JobId, model: ModelKind, mode: TrainingMode, threshold: f64) -> Self {
+        JobSpec {
+            id,
+            model,
+            mode,
+            convergence_threshold: threshold,
+            patience_epochs: 3,
+            submit_time: 0.0,
+            dataset_scale: 1.0,
+            worker_profile: default_container(),
+            ps_profile: default_container(),
+        }
+    }
+
+    /// Sets the submission time.
+    pub fn at(mut self, submit_time: f64) -> Self {
+        self.submit_time = submit_time;
+        self
+    }
+
+    /// Sets the dataset downscale factor.
+    pub fn scaled(mut self, dataset_scale: f64) -> Self {
+        self.dataset_scale = dataset_scale;
+        self
+    }
+
+    /// The model's static profile.
+    pub fn profile(&self) -> &'static ModelProfile {
+        self.model.profile()
+    }
+
+    /// Steps per epoch for this job's mode and dataset scale. For
+    /// synchronous jobs this counts global steps (batch `M`); for
+    /// asynchronous jobs it counts aggregate worker steps (mini-batch
+    /// `m`), matching how the speed functions count steps.
+    pub fn steps_per_epoch(&self) -> u64 {
+        match self.mode {
+            TrainingMode::Synchronous => self.profile().sync_steps_per_epoch(self.dataset_scale),
+            TrainingMode::Asynchronous => self.profile().async_steps_per_epoch(self.dataset_scale),
+        }
+    }
+
+    /// Ground-truth total steps this job needs to converge.
+    pub fn true_total_steps(&self) -> u64 {
+        self.profile()
+            .curve
+            .steps_to_converge(
+                self.convergence_threshold,
+                self.patience_epochs,
+                self.steps_per_epoch(),
+            )
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Combined resources of one worker plus one parameter server (the
+    /// "1 ps + 1 worker" starvation-avoidance unit of §4.1).
+    pub fn unit_demand(&self) -> ResourceVec {
+        self.worker_profile + self.ps_profile
+    }
+}
+
+/// The paper's container shape: 5 CPU cores, 10 GB memory, and a 1 Gbps
+/// NIC share.
+pub fn default_container() -> ResourceVec {
+    ResourceVec::new(5.0, 0.0, 10.0, 0.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_papers() {
+        let j = JobSpec::new(JobId(1), ModelKind::ResNet50, TrainingMode::Synchronous, 0.01);
+        assert_eq!(j.patience_epochs, 3);
+        assert_eq!(j.dataset_scale, 1.0);
+        assert_eq!(j.worker_profile.get(optimus_cluster::ResourceKind::Cpu), 5.0);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let j = JobSpec::new(JobId(2), ModelKind::CnnRand, TrainingMode::Asynchronous, 0.02)
+            .at(120.0)
+            .scaled(0.1);
+        assert_eq!(j.submit_time, 120.0);
+        assert_eq!(j.dataset_scale, 0.1);
+    }
+
+    #[test]
+    fn steps_per_epoch_differs_by_mode() {
+        let sync = JobSpec::new(JobId(1), ModelKind::ResNet50, TrainingMode::Synchronous, 0.01);
+        let asyn = JobSpec::new(JobId(2), ModelKind::ResNet50, TrainingMode::Asynchronous, 0.01);
+        assert!(asyn.steps_per_epoch() > sync.steps_per_epoch());
+    }
+
+    #[test]
+    fn true_total_steps_scales_with_dataset() {
+        let full = JobSpec::new(JobId(1), ModelKind::ResNet50, TrainingMode::Synchronous, 0.01);
+        let small = full.clone().scaled(0.05);
+        assert!(small.true_total_steps() < full.true_total_steps());
+    }
+
+    #[test]
+    fn tighter_threshold_needs_more_steps() {
+        let loose = JobSpec::new(JobId(1), ModelKind::Seq2Seq, TrainingMode::Synchronous, 0.05);
+        let tight = JobSpec::new(JobId(2), ModelKind::Seq2Seq, TrainingMode::Synchronous, 0.01);
+        assert!(tight.true_total_steps() > loose.true_total_steps());
+    }
+
+    #[test]
+    fn unit_demand_is_sum() {
+        let j = JobSpec::new(JobId(1), ModelKind::Dssm, TrainingMode::Synchronous, 0.01);
+        let u = j.unit_demand();
+        assert_eq!(u.get(optimus_cluster::ResourceKind::Cpu), 10.0);
+        assert_eq!(u.get(optimus_cluster::ResourceKind::MemoryGb), 20.0);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(TrainingMode::Synchronous.label(), "sync");
+        assert_eq!(TrainingMode::Asynchronous.label(), "async");
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Workload substrate for the Optimus scheduler reproduction.
+//!
+//! Everything the paper's evaluation (§6.1) draws its jobs from:
+//!
+//! * [`zoo`] — the nine deep-learning models of Table 1 with calibrated
+//!   per-step compute/communication costs and per-layer parameter-block
+//!   structure (consumed by the PS load-balancing experiments),
+//! * [`curves`] — ground-truth convergence curves `l = 1/(c₀e+c₁)+c₂`
+//!   with measurement noise and outlier spikes, replacing real training,
+//! * [`job`] — job specifications (model, training mode, convergence
+//!   threshold, task resource profiles),
+//! * [`arrivals`] — the three arrival processes of §6 (uniform random on
+//!   [0, 12000] s, Poisson, and a bursty Google-trace-like process).
+//!
+//! All randomness is deterministic given a seed (ChaCha8), so every
+//! experiment in the harness is reproducible.
+
+pub mod arrivals;
+pub mod curves;
+pub mod job;
+pub mod trace;
+pub mod zoo;
+
+pub use arrivals::{ArrivalProcess, WorkloadGenerator};
+pub use curves::GroundTruthCurve;
+pub use job::{JobId, JobSpec, TrainingMode};
+pub use trace::{WorkloadTrace, TRACE_VERSION};
+pub use zoo::{ModelKind, ModelProfile, NetworkType};

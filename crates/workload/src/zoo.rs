@@ -1,0 +1,622 @@
+//! The Table-1 model zoo.
+//!
+//! Nine production DL models with the exact parameter counts, network
+//! types, datasets and dataset sizes from Table 1 of the paper, plus the
+//! calibrated cost constants this reproduction needs in place of real
+//! training:
+//!
+//! * per-step compute costs on a reference worker container
+//!   (`m·T_forward + T_back` of Eqn 2),
+//! * parameter-update cost (`T_update`), communication-overhead
+//!   coefficients (`δ`, `δ'`),
+//! * a ground-truth convergence curve (per epoch),
+//! * a per-layer parameter-block structure for the PS load-balancing
+//!   experiments (§5.3, Table 3) — ResNet-50 is constructed to have
+//!   exactly 157 blocks summing to 25 M parameters as in the paper.
+//!
+//! Constants are calibrated so that the single-GPU training times span
+//! minutes (CNN-rand) to weeks (ResNet-50) as in Fig 2, and ResNet-50's
+//! synchronous training speed on 20 CPU containers lands in the
+//! ~0.1 steps/s regime of Fig 4.
+
+use crate::curves::GroundTruthCurve;
+use serde::{Deserialize, Serialize};
+
+/// Network architecture class (Table 1, "Network type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkType {
+    /// Convolutional network.
+    Cnn,
+    /// Recurrent network.
+    Rnn,
+}
+
+/// The nine models of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// ResNext-110 on CIFAR10 (image classification).
+    ResNext110,
+    /// ResNet-50 on ILSVRC2012-ImageNet (image classification).
+    ResNet50,
+    /// Inception-BN on Caltech-256 (image classification).
+    InceptionBn,
+    /// The Kaggle NDSB1 CNN (image classification).
+    Kaggle,
+    /// CNN-rand on the MR movie-review corpus (sentence classification).
+    CnnRand,
+    /// DSSM on text8 (word representation).
+    Dssm,
+    /// RNN-LSTM with dropout on Penn Treebank (language modeling).
+    RnnLstm,
+    /// Sequence-to-sequence on WMT17 (machine translation).
+    Seq2Seq,
+    /// DeepSpeech2 on LibriSpeech (speech recognition).
+    DeepSpeech2,
+}
+
+impl ModelKind {
+    /// All nine models, in Table-1 order.
+    pub const ALL: [ModelKind; 9] = [
+        ModelKind::ResNext110,
+        ModelKind::ResNet50,
+        ModelKind::InceptionBn,
+        ModelKind::Kaggle,
+        ModelKind::CnnRand,
+        ModelKind::Dssm,
+        ModelKind::RnnLstm,
+        ModelKind::Seq2Seq,
+        ModelKind::DeepSpeech2,
+    ];
+
+    /// The static profile for this model.
+    pub fn profile(self) -> &'static ModelProfile {
+        &PROFILES[self.index()]
+    }
+
+    /// Stable index of this model in [`ModelKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            ModelKind::ResNext110 => 0,
+            ModelKind::ResNet50 => 1,
+            ModelKind::InceptionBn => 2,
+            ModelKind::Kaggle => 3,
+            ModelKind::CnnRand => 4,
+            ModelKind::Dssm => 5,
+            ModelKind::RnnLstm => 6,
+            ModelKind::Seq2Seq => 7,
+            ModelKind::DeepSpeech2 => 8,
+        }
+    }
+
+    /// Short display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        self.profile().name
+    }
+}
+
+/// Static description of one model: Table-1 facts plus calibrated cost
+/// constants for the simulated substrate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Parameter count, in millions (Table 1).
+    pub params_million: f64,
+    /// Network type (Table 1).
+    pub network: NetworkType,
+    /// Application domain (Table 1).
+    pub domain: &'static str,
+    /// Dataset name (Table 1).
+    pub dataset: &'static str,
+    /// Dataset size in examples (Table 1).
+    pub dataset_size: u64,
+    /// Default global batch size `M` for synchronous training.
+    pub batch_size: u64,
+    /// Default per-worker mini-batch size `m` for asynchronous training.
+    pub minibatch_size: u64,
+    /// Forward-propagation time per example on a reference worker
+    /// container, seconds (`T_forward` of Eqn 2).
+    pub forward_time_per_example: f64,
+    /// Backward-propagation time per step, seconds (`T_back`).
+    pub backward_time: f64,
+    /// Time to apply a full model update on one parameter server,
+    /// seconds (`T_update`).
+    pub update_time: f64,
+    /// Per-worker communication-overhead coefficient, seconds (`δ`).
+    pub overhead_per_worker: f64,
+    /// Per-PS communication-overhead coefficient, seconds (`δ'`).
+    pub overhead_per_ps: f64,
+    /// Speedup of one reference GPU over one reference worker container
+    /// (used only for the Fig 2 single-GPU training times).
+    pub gpu_speedup: f64,
+    /// Ground-truth convergence curve in *epochs*.
+    pub curve: GroundTruthCurve,
+}
+
+impl ModelProfile {
+    /// Model size `S` in bytes (4-byte floats).
+    pub fn model_size_bytes(&self) -> f64 {
+        self.params_million * 1e6 * 4.0
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> u64 {
+        (self.params_million * 1e6).round() as u64
+    }
+
+    /// Steps per epoch for synchronous training (global batch `M`).
+    pub fn sync_steps_per_epoch(&self, dataset_scale: f64) -> u64 {
+        let examples = (self.dataset_size as f64 * dataset_scale).max(1.0);
+        ((examples / self.batch_size as f64).ceil() as u64).max(1)
+    }
+
+    /// Aggregate steps per epoch for asynchronous training (per-worker
+    /// mini-batch `m`; steps counted across all workers).
+    pub fn async_steps_per_epoch(&self, dataset_scale: f64) -> u64 {
+        let examples = (self.dataset_size as f64 * dataset_scale).max(1.0);
+        ((examples / self.minibatch_size as f64).ceil() as u64).max(1)
+    }
+
+    /// Single-GPU step time in seconds (global batch), for Fig 2.
+    pub fn single_gpu_step_time(&self) -> f64 {
+        (self.batch_size as f64 * self.forward_time_per_example + self.backward_time)
+            / self.gpu_speedup
+    }
+
+    /// Single-GPU time to convergence at threshold `delta` (normalized
+    /// per-epoch loss decrease), for Fig 2. Uses the paper's default
+    /// patience of 3 epochs.
+    pub fn single_gpu_training_time(&self, delta: f64) -> f64 {
+        let epochs = self.curve.epochs_to_converge(delta, 3).unwrap_or(1) as f64;
+        epochs * self.sync_steps_per_epoch(1.0) as f64 * self.single_gpu_step_time()
+    }
+
+    /// Per-layer parameter-block sizes (parameter counts per block), for
+    /// the PS assignment experiments. Deterministic per model; sums to
+    /// [`ModelProfile::param_count`].
+    pub fn parameter_blocks(&self) -> Vec<u64> {
+        let spec = block_spec(self.name);
+        synthesize_blocks(self.param_count(), &spec)
+    }
+
+    /// The ideal Eqn-2 step time at `(p, w)` under the reference
+    /// environment (1 GbE PS bandwidth, async concurrency γ = 0.5) —
+    /// the same physics as `optimus_ps::PsJobModel` with defaults; kept
+    /// here so workload generation can calibrate dataset downscaling
+    /// without a dependency cycle. A cross-crate test pins the two
+    /// implementations together.
+    pub fn reference_step_time(&self, mode: crate::job::TrainingMode, p: u32, w: u32) -> f64 {
+        use crate::job::TrainingMode;
+        if p == 0 || w == 0 {
+            return f64::INFINITY;
+        }
+        const B: f64 = 25e6; // 1 GbE shared by ~5 containers/server
+        const GAMMA: f64 = 0.5;
+        let (pf, wf) = (p as f64, w as f64);
+        let m = match mode {
+            TrainingMode::Synchronous => self.batch_size as f64 / wf,
+            TrainingMode::Asynchronous => self.minibatch_size as f64,
+        };
+        let pushers = match mode {
+            TrainingMode::Synchronous => wf,
+            TrainingMode::Asynchronous => (GAMMA * wf).max(1.0),
+        };
+        let s = self.model_size_bytes();
+        m * self.forward_time_per_example
+            + self.backward_time
+            + 2.0 * (s / pf) * pushers / B
+            + self.update_time * pushers / pf
+            + self.overhead_per_worker * wf
+            + self.overhead_per_ps * pf
+    }
+
+    /// Reference training speed at `(p, w)` (steps/s; aggregate steps
+    /// for asynchronous training), matching the Eqn-3/4 conventions.
+    pub fn reference_speed(&self, mode: crate::job::TrainingMode, p: u32, w: u32) -> f64 {
+        let t = self.reference_step_time(mode, p, w);
+        if !t.is_finite() || t <= 0.0 {
+            return 0.0;
+        }
+        match mode {
+            crate::job::TrainingMode::Synchronous => 1.0 / t,
+            crate::job::TrainingMode::Asynchronous => w as f64 / t,
+        }
+    }
+}
+
+/// Shape of a model's parameter-block structure.
+struct BlockSpec {
+    /// Explicit sizes of the large blocks (layers exceeding MXNet's 10⁶
+    /// slicing threshold, where applicable).
+    big_blocks: &'static [u64],
+    /// Total number of blocks (big + small).
+    total_blocks: usize,
+    /// Fraction of the small blocks that are tiny bias/batch-norm vectors.
+    tiny_fraction: f64,
+    /// Exponent of the mid-block size ramp `exp(a·x)`: larger values
+    /// spread conv/dense tensor sizes over a wider range.
+    mid_spread: f64,
+}
+
+fn block_spec(name: &str) -> BlockSpec {
+    match name {
+        // ResNet-50: 157 blocks / 25 M parameters (Table 3). Ten blocks
+        // exceed MXNet's 10⁶ threshold, so the default MXNet policy slices
+        // them into `p` partitions each: 147 + 10·p update requests — 247
+        // at p = 10, exactly the paper's number.
+        "ResNet-50" => BlockSpec {
+            big_blocks: &[
+                2_359_296, 2_359_296, 2_359_296, 2_097_152, 2_048_000, 1_572_864, 1_327_104,
+                1_180_672, 1_100_000, 1_048_576,
+            ],
+            total_blocks: 157,
+            tiny_fraction: 0.70,
+            mid_spread: 0.8,
+        },
+        "ResNext-110" => BlockSpec {
+            big_blocks: &[],
+            total_blocks: 110 * 3, // three blocks (weight, γ, β) per layer
+            tiny_fraction: 0.6,
+            mid_spread: 2.0,
+        },
+        "Inception-BN" => BlockSpec {
+            big_blocks: &[1_024_000, 1_048_576],
+            total_blocks: 180,
+            tiny_fraction: 0.5,
+            mid_spread: 2.0,
+        },
+        "KAGGLE" => BlockSpec {
+            big_blocks: &[],
+            total_blocks: 40,
+            tiny_fraction: 0.4,
+            mid_spread: 2.0,
+        },
+        "CNN-rand" => BlockSpec {
+            // Dominated by the word-embedding table.
+            big_blocks: &[4_800_000],
+            total_blocks: 12,
+            tiny_fraction: 0.3,
+            mid_spread: 2.0,
+        },
+        "DSSM" => BlockSpec {
+            big_blocks: &[1_200_000],
+            total_blocks: 10,
+            tiny_fraction: 0.3,
+            mid_spread: 2.0,
+        },
+        "RNN-LSTM" => BlockSpec {
+            big_blocks: &[1_600_000, 1_600_000],
+            total_blocks: 14,
+            tiny_fraction: 0.3,
+            mid_spread: 2.0,
+        },
+        "Seq2Seq" => BlockSpec {
+            big_blocks: &[3_200_000, 3_200_000, 1_600_000],
+            total_blocks: 20,
+            tiny_fraction: 0.3,
+            mid_spread: 2.0,
+        },
+        "DS2" => BlockSpec {
+            big_blocks: &[9_000_000, 9_000_000, 6_000_000, 4_000_000, 2_000_000],
+            total_blocks: 40,
+            tiny_fraction: 0.3,
+            mid_spread: 2.0,
+        },
+        other => unreachable!("unknown model name {other}"),
+    }
+}
+
+/// Deterministically fills `spec.total_blocks` block sizes summing to
+/// exactly `total_params`: the explicit big blocks first, then a mix of
+/// tiny (bias/BN) and mid-size (conv/dense) blocks scaled to absorb the
+/// remainder.
+fn synthesize_blocks(total_params: u64, spec: &BlockSpec) -> Vec<u64> {
+    let big_sum: u64 = spec.big_blocks.iter().sum();
+    assert!(
+        big_sum < total_params,
+        "big blocks exceed the model's parameter count"
+    );
+    let n_small = spec.total_blocks - spec.big_blocks.len();
+    let remainder = total_params - big_sum;
+
+    let n_tiny = ((n_small as f64) * spec.tiny_fraction).round() as usize;
+    let n_mid = n_small - n_tiny;
+
+    // Tiny blocks: BN/bias vectors of a few hundred to a few thousand
+    // parameters, deterministic cycle.
+    let tiny_sizes: Vec<u64> = (0..n_tiny).map(|i| 256 * (1 + (i as u64 % 8))).collect();
+    let tiny_sum: u64 = tiny_sizes.iter().sum();
+    assert!(tiny_sum < remainder, "tiny blocks exceed the remainder");
+
+    // Mid blocks: conv/dense weight tensors. Real models are bimodal —
+    // BN/bias vectors are tiny while weight tensors sit orders of
+    // magnitude higher — so mid sizes follow an `exp(a·x)` ramp scaled
+    // to absorb the remainder exactly; `a` (the spec's `mid_spread`)
+    // controls how wide the tensor-size range is.
+    let mid_target = remainder - tiny_sum;
+    let raw: Vec<f64> = (0..n_mid)
+        .map(|i| {
+            let x = (i as f64 + 1.0) / n_mid.max(1) as f64;
+            (spec.mid_spread * x).exp()
+        })
+        .collect();
+    let raw_sum: f64 = raw.iter().sum();
+    let mut mid_sizes: Vec<u64> = raw
+        .iter()
+        .map(|r| ((r / raw_sum) * mid_target as f64).floor().max(1.0) as u64)
+        .collect();
+    // Fix rounding drift on the largest mid block.
+    let mid_sum: u64 = mid_sizes.iter().sum();
+    let drift = mid_target as i64 - mid_sum as i64;
+    if let Some(largest) = mid_sizes.iter_mut().max() {
+        let adjusted = (*largest as i64 + drift).max(1);
+        *largest = adjusted as u64;
+    }
+
+    let mut blocks = Vec::with_capacity(spec.total_blocks);
+    blocks.extend_from_slice(spec.big_blocks);
+    // Interleave mid and tiny blocks so assignment order is layer-like.
+    let mut mid_iter = mid_sizes.into_iter();
+    let mut tiny_iter = tiny_sizes.into_iter();
+    loop {
+        match (mid_iter.next(), tiny_iter.next()) {
+            (None, None) => break,
+            (m, t) => {
+                if let Some(m) = m {
+                    blocks.push(m);
+                }
+                if let Some(t) = t {
+                    blocks.push(t);
+                }
+            }
+        }
+    }
+    blocks
+}
+
+/// The static profiles, indexed by [`ModelKind::index`].
+static PROFILES: [ModelProfile; 9] = [
+    ModelProfile {
+        name: "ResNext-110",
+        params_million: 1.7,
+        network: NetworkType::Cnn,
+        domain: "image classification",
+        dataset: "CIFAR10",
+        dataset_size: 60_000,
+        batch_size: 128,
+        minibatch_size: 32,
+        forward_time_per_example: 0.055,
+        backward_time: 1.8,
+        update_time: 0.012,
+        overhead_per_worker: 0.060,
+        overhead_per_ps: 0.050,
+        gpu_speedup: 30.0,
+        curve: GroundTruthCurve::new(0.1597, 0.25),
+    },
+    ModelProfile {
+        name: "ResNet-50",
+        params_million: 25.0,
+        network: NetworkType::Cnn,
+        domain: "image classification",
+        dataset: "ILSVRC2012-ImageNet",
+        dataset_size: 1_313_788,
+        batch_size: 256,
+        minibatch_size: 32,
+        forward_time_per_example: 0.200,
+        backward_time: 2.0,
+        update_time: 0.180,
+        overhead_per_worker: 0.075,
+        overhead_per_ps: 0.060,
+        gpu_speedup: 40.0,
+        curve: GroundTruthCurve::new(0.2038, 0.20),
+    },
+    ModelProfile {
+        name: "Inception-BN",
+        params_million: 11.3,
+        network: NetworkType::Cnn,
+        domain: "image classification",
+        dataset: "Caltech",
+        dataset_size: 30_607,
+        batch_size: 64,
+        minibatch_size: 16,
+        forward_time_per_example: 0.120,
+        backward_time: 1.6,
+        update_time: 0.080,
+        overhead_per_worker: 0.060,
+        overhead_per_ps: 0.050,
+        gpu_speedup: 35.0,
+        curve: GroundTruthCurve::new(0.3270, 0.22),
+    },
+    ModelProfile {
+        name: "KAGGLE",
+        params_million: 1.4,
+        network: NetworkType::Cnn,
+        domain: "image classification",
+        dataset: "Kaggle-NDSB1",
+        dataset_size: 37_920,
+        batch_size: 64,
+        minibatch_size: 16,
+        forward_time_per_example: 0.030,
+        backward_time: 0.5,
+        update_time: 0.010,
+        overhead_per_worker: 0.040,
+        overhead_per_ps: 0.040,
+        gpu_speedup: 25.0,
+        curve: GroundTruthCurve::new(0.4240, 0.30),
+    },
+    ModelProfile {
+        name: "CNN-rand",
+        params_million: 6.0,
+        network: NetworkType::Cnn,
+        domain: "sentence classification",
+        dataset: "MR",
+        dataset_size: 10_662,
+        batch_size: 50,
+        minibatch_size: 50,
+        forward_time_per_example: 0.004,
+        backward_time: 0.06,
+        update_time: 0.040,
+        overhead_per_worker: 0.025,
+        overhead_per_ps: 0.025,
+        gpu_speedup: 10.0,
+        curve: GroundTruthCurve::new(1.7447, 0.35),
+    },
+    ModelProfile {
+        name: "DSSM",
+        params_million: 1.5,
+        network: NetworkType::Rnn,
+        domain: "word representation",
+        dataset: "text8",
+        dataset_size: 214_288,
+        batch_size: 256,
+        minibatch_size: 64,
+        forward_time_per_example: 0.003,
+        backward_time: 0.20,
+        update_time: 0.012,
+        overhead_per_worker: 0.030,
+        overhead_per_ps: 0.030,
+        gpu_speedup: 12.0,
+        curve: GroundTruthCurve::new(0.8259, 0.30),
+    },
+    ModelProfile {
+        name: "RNN-LSTM",
+        params_million: 4.7,
+        network: NetworkType::Rnn,
+        domain: "language modeling",
+        dataset: "PTB",
+        dataset_size: 1_002_000,
+        batch_size: 128,
+        minibatch_size: 32,
+        forward_time_per_example: 0.010,
+        backward_time: 0.40,
+        update_time: 0.035,
+        overhead_per_worker: 0.040,
+        overhead_per_ps: 0.040,
+        gpu_speedup: 12.0,
+        curve: GroundTruthCurve::new(0.4925, 0.28),
+    },
+    ModelProfile {
+        name: "Seq2Seq",
+        params_million: 9.1,
+        network: NetworkType::Rnn,
+        domain: "machine translation",
+        dataset: "WMT17",
+        dataset_size: 1_000_000,
+        batch_size: 128,
+        minibatch_size: 32,
+        forward_time_per_example: 0.025,
+        backward_time: 0.90,
+        update_time: 0.065,
+        overhead_per_worker: 0.050,
+        overhead_per_ps: 0.045,
+        gpu_speedup: 15.0,
+        curve: GroundTruthCurve::new(0.4731, 0.07),
+    },
+    ModelProfile {
+        name: "DS2",
+        params_million: 38.0,
+        network: NetworkType::Rnn,
+        domain: "speech recognition",
+        dataset: "LibriSpeech",
+        dataset_size: 45_000,
+        batch_size: 32,
+        minibatch_size: 8,
+        forward_time_per_example: 0.550,
+        backward_time: 5.0,
+        update_time: 0.270,
+        overhead_per_worker: 0.090,
+        overhead_per_ps: 0.075,
+        gpu_speedup: 25.0,
+        curve: GroundTruthCurve::new(0.4325, 0.18),
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_facts_match_paper() {
+        let p = ModelKind::ResNet50.profile();
+        assert_eq!(p.params_million, 25.0);
+        assert_eq!(p.dataset_size, 1_313_788);
+        assert_eq!(p.network, NetworkType::Cnn);
+
+        let p = ModelKind::DeepSpeech2.profile();
+        assert_eq!(p.params_million, 38.0);
+        assert_eq!(p.dataset, "LibriSpeech");
+        assert_eq!(p.network, NetworkType::Rnn);
+
+        let p = ModelKind::CnnRand.profile();
+        assert_eq!(p.dataset_size, 10_662);
+    }
+
+    #[test]
+    fn all_models_have_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for m in ModelKind::ALL {
+            assert!(seen.insert(m.index()));
+            assert_eq!(ModelKind::ALL[m.index()], m);
+        }
+    }
+
+    #[test]
+    fn resnet50_blocks_match_table3() {
+        let blocks = ModelKind::ResNet50.profile().parameter_blocks();
+        assert_eq!(blocks.len(), 157, "paper: 157 parameter blocks");
+        let total: u64 = blocks.iter().sum();
+        assert_eq!(total, 25_000_000, "paper: 25 M parameters");
+        let big = blocks.iter().filter(|&&b| b > 1_000_000).count();
+        // 147 + 10·p = 247 requests at p = 10 requires exactly 10 blocks
+        // above MXNet's threshold.
+        assert_eq!(big, 10);
+    }
+
+    #[test]
+    fn all_models_blocks_sum_to_param_count() {
+        for m in ModelKind::ALL {
+            let p = m.profile();
+            let blocks = p.parameter_blocks();
+            let total: u64 = blocks.iter().sum();
+            assert_eq!(total, p.param_count(), "{}", p.name);
+            assert!(blocks.iter().all(|&b| b >= 1), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn fig2_training_times_span_orders_of_magnitude() {
+        let t_fast = ModelKind::CnnRand.profile().single_gpu_training_time(0.01);
+        let t_slow = ModelKind::ResNet50.profile().single_gpu_training_time(0.01);
+        // CNN-rand: minutes; ResNet-50: ~weeks (paper Fig 2).
+        assert!(t_fast < 3_600.0, "CNN-rand should take minutes, got {t_fast}");
+        assert!(
+            t_slow > 200_000.0,
+            "ResNet-50 should take days–weeks, got {t_slow}"
+        );
+        assert!(t_slow / t_fast > 1_000.0);
+    }
+
+    #[test]
+    fn fig2_ordering_is_sensible() {
+        // The two extremes and a mid-range model are correctly ordered.
+        let fast = ModelKind::CnnRand.profile().single_gpu_training_time(0.01);
+        let mid = ModelKind::InceptionBn.profile().single_gpu_training_time(0.01);
+        let slow = ModelKind::ResNet50.profile().single_gpu_training_time(0.01);
+        assert!(fast < mid && mid < slow);
+    }
+
+    #[test]
+    fn steps_per_epoch_scaling() {
+        let p = ModelKind::ResNet50.profile();
+        let full = p.sync_steps_per_epoch(1.0);
+        let tenth = p.sync_steps_per_epoch(0.1);
+        assert!(full >= 9 * tenth && full <= 11 * tenth);
+        assert!(p.async_steps_per_epoch(1.0) > full, "m < M ⇒ more steps");
+    }
+
+    #[test]
+    fn model_size_bytes() {
+        let p = ModelKind::ResNet50.profile();
+        assert_eq!(p.model_size_bytes(), 100e6);
+    }
+}

@@ -1,0 +1,83 @@
+//! The life of one elastic training job: profiling runs, online model
+//! fitting, and the (p, w) trajectory Optimus steers it through as a
+//! competing job arrives and leaves.
+//!
+//! Run with: `cargo run --release --example elastic_training`
+
+use optimus::prelude::*;
+use optimus::workload::JobSpec;
+
+fn main() {
+    // One long ResNet-50 job, plus a short job arriving mid-flight that
+    // forces Optimus to rebalance (checkpoint + restart, §5.4).
+    let long_job = JobSpec::new(
+        JobId(0),
+        ModelKind::ResNet50,
+        TrainingMode::Synchronous,
+        0.02,
+    )
+    .at(0.0)
+    .scaled(0.002);
+    let short_job = JobSpec::new(
+        JobId(1),
+        ModelKind::CnnRand,
+        TrainingMode::Asynchronous,
+        0.03,
+    )
+    .at(3_000.0);
+
+    // Show the §3.2 profiling + fitting step explicitly.
+    let profile = ModelKind::ResNet50.profile();
+    let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+    let mut speed = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+    println!("profiling runs (5 sample configurations, §3.2):");
+    for (p, w) in [(1u32, 1u32), (2, 2), (4, 4), (8, 8), (4, 8)] {
+        let s = truth.speed(p, w);
+        println!("  (p={p:>2}, w={w:>2}) → {s:.4} steps/s");
+        speed.record(p, w, s);
+    }
+    speed.refit().expect("5 samples fit the sync model");
+    println!("fitted θ = {:?}", speed.coefficients());
+    println!(
+        "prediction check at (10, 10): fitted {:.4} vs true {:.4} steps/s\n",
+        speed.predict(10, 10),
+        truth.speed(10, 10)
+    );
+
+    // Run the two-job scenario and report the long job's trajectory.
+    let cfg = SimConfig {
+        sample_every_s: 300.0,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(
+        Cluster::paper_testbed(),
+        vec![long_job, short_job],
+        Box::new(OptimusScheduler::build()),
+        cfg,
+    );
+    let report = sim.run();
+
+    println!("timeline (tasks allocated across the cluster):");
+    for pt in report.timeline.iter().step_by(2) {
+        println!(
+            "  t={:>6.0}s  running tasks {:>3}  active jobs {}",
+            pt.t, pt.running_tasks, pt.active_jobs
+        );
+    }
+
+    let long = &sim.jobs()[0];
+    println!("\nlong job: {} scale events, {:.0} s total checkpoint overhead,",
+        long.scale_events, long.overhead_total_s);
+    println!(
+        "          {} data chunks moved by §5.1 rebalancing, finished at t={:.0}s",
+        long.chunks_moved,
+        long.finish_time.expect("finished")
+    );
+    let short = &sim.jobs()[1];
+    println!(
+        "short job: finished at t={:.0}s (JCT {:.0}s)",
+        short.finish_time.expect("finished"),
+        short.finish_time.expect("finished") - short.spec.submit_time
+    );
+    assert_eq!(report.unfinished_jobs, 0);
+}

@@ -1,0 +1,55 @@
+//! Quickstart: simulate a handful of DL training jobs on the paper's
+//! 13-server testbed under the Optimus scheduler.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use optimus::prelude::*;
+
+fn main() {
+    // 1. A workload: four jobs drawn from the Table-1 model zoo,
+    //    arriving over the first 20 minutes (seeded → reproducible).
+    let jobs = WorkloadGenerator::new(
+        ArrivalProcess::UniformRandom {
+            count: 4,
+            horizon_s: 1_200.0,
+        },
+        42,
+    )
+    .generate();
+
+    println!("Submitting {} jobs:", jobs.len());
+    for job in &jobs {
+        println!(
+            "  {}  {:<12} {:<5} δ={:.1}%  arrives t={:>5.0}s  dataset×{:.3}",
+            job.id,
+            job.model.name(),
+            job.mode.label(),
+            job.convergence_threshold * 100.0,
+            job.submit_time,
+            job.dataset_scale,
+        );
+    }
+
+    // 2. The cluster and the scheduler.
+    let cluster = Cluster::paper_testbed();
+    let scheduler = Box::new(OptimusScheduler::build());
+
+    // 3. Simulate.
+    let mut sim = Simulation::new(cluster, jobs, scheduler, SimConfig::default());
+    let report = sim.run();
+
+    // 4. Results.
+    println!("\nScheduler: {}", report.scheduler);
+    let mut jct = report.jct.clone();
+    jct.sort_by_key(|&(id, _)| id);
+    for (id, t) in &jct {
+        println!("  {id}  completed in {:>6.0} s ({:.1} h)", t, t / 3_600.0);
+    }
+    println!(
+        "\naverage JCT {:.0} s, makespan {:.0} s, scaling overhead {:.2} % of makespan",
+        report.avg_jct(),
+        report.makespan,
+        100.0 * report.scaling_overhead_fraction()
+    );
+    assert_eq!(report.unfinished_jobs, 0, "every job should converge");
+}

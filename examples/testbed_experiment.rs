@@ -1,0 +1,66 @@
+//! The paper's §6.2 headline experiment: 9 jobs on the 13-server
+//! testbed, scheduled by Optimus, the DRF fairness scheduler, and
+//! Tetris, averaged over three repetitions.
+//!
+//! Run with: `cargo run --release --example testbed_experiment`
+
+use optimus::prelude::*;
+
+fn main() {
+    let seeds = [17u64, 23, 31];
+    println!("§6.2 testbed experiment: 9 jobs × {} repetitions\n", seeds.len());
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "scheduler", "avg JCT (s)", "makespan (s)", "overhead %"
+    );
+
+    let mut baseline_jct = None;
+    for (name, build, assignment) in [
+        (
+            "Optimus",
+            OptimusScheduler::build as fn() -> CompositeScheduler,
+            AssignmentPolicy::Paa,
+        ),
+        ("DRF", DrfScheduler::build, AssignmentPolicy::MxnetDefault),
+        ("Tetris", TetrisScheduler::build, AssignmentPolicy::MxnetDefault),
+    ] {
+        let mut jcts = Vec::new();
+        let mut makespans = Vec::new();
+        let mut overheads = Vec::new();
+        for &seed in &seeds {
+            let jobs = WorkloadGenerator::new(ArrivalProcess::paper_default(9), seed)
+                .with_target_job_seconds(Some(7_200.0))
+                .generate();
+            let cfg = SimConfig {
+                assignment,
+                seed,
+                ..SimConfig::default()
+            };
+            let mut sim =
+                Simulation::new(Cluster::paper_testbed(), jobs, Box::new(build()), cfg);
+            let report = sim.run();
+            assert_eq!(report.unfinished_jobs, 0);
+            jcts.push(report.avg_jct());
+            makespans.push(report.makespan);
+            overheads.push(report.scaling_overhead_fraction());
+        }
+        let jct = jcts.iter().sum::<f64>() / jcts.len() as f64;
+        let makespan = makespans.iter().sum::<f64>() / makespans.len() as f64;
+        let overhead = overheads.iter().sum::<f64>() / overheads.len() as f64;
+        println!(
+            "{name:<10} {jct:>12.0} {makespan:>14.0} {:>12.2}",
+            overhead * 100.0
+        );
+        if name == "Optimus" {
+            baseline_jct = Some((jct, makespan));
+        } else if let Some((opt_jct, opt_mk)) = baseline_jct {
+            println!(
+                "{:<10} {:>12} {:>14}",
+                "",
+                format!("(×{:.2})", jct / opt_jct),
+                format!("(×{:.2})", makespan / opt_mk)
+            );
+        }
+    }
+    println!("\npaper: DRF ×2.39 JCT / ×1.63 makespan; Tetris ×1.74 / ×1.20 vs Optimus");
+}

@@ -1,0 +1,52 @@
+//! Workload traces: generate a workload, save it as JSON, reload it,
+//! and replay the identical experiment — the reproducibility workflow
+//! behind every number in EXPERIMENTS.md (also exposed by the
+//! `optimus-sim` CLI via `--trace-out` / `--trace-in`).
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use optimus::prelude::*;
+use optimus::workload::trace::WorkloadTrace;
+
+fn main() {
+    // 1. Generate and save.
+    let jobs = WorkloadGenerator::new(ArrivalProcess::paper_default(5), 99)
+        .with_target_job_seconds(Some(2_400.0))
+        .generate();
+    let trace = WorkloadTrace::new("trace_replay example, seed 99", jobs.clone());
+    let path = std::env::temp_dir().join("optimus_trace_replay.json");
+    std::fs::write(&path, trace.to_json()).expect("temp dir is writable");
+    println!("saved {} jobs to {}", trace.jobs.len(), path.display());
+
+    // 2. Reload and verify byte-exact round trip.
+    let json = std::fs::read_to_string(&path).expect("just wrote it");
+    let reloaded = WorkloadTrace::from_json(&json).expect("valid trace");
+    assert_eq!(reloaded.jobs, jobs, "lossless float round trip");
+
+    // 3. Replay: the simulation of the reloaded trace is identical to
+    //    the simulation of the original workload.
+    let run = |jobs: Vec<JobSpec>| {
+        let cfg = SimConfig {
+            seed: 99,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            Cluster::paper_testbed(),
+            jobs,
+            Box::new(OptimusScheduler::build()),
+            cfg,
+        );
+        sim.run()
+    };
+    let original = run(jobs);
+    let replayed = run(reloaded.jobs);
+    assert_eq!(original.jct, replayed.jct);
+    assert_eq!(original.makespan, replayed.makespan);
+    println!(
+        "replay identical: avg JCT {:.0} s, makespan {:.0} s across {} jobs",
+        replayed.avg_jct(),
+        replayed.makespan,
+        replayed.jct.len()
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,190 @@
+//! Tests pinning the paper's quantitative claims that this reproduction
+//! commits to (the per-figure "shape" checks; see EXPERIMENTS.md).
+
+use optimus::prelude::*;
+
+/// Fig 2: single-GPU training times span minutes to days–weeks.
+#[test]
+fn fig2_training_time_span() {
+    let times: Vec<f64> = ModelKind::ALL
+        .iter()
+        .map(|m| m.profile().single_gpu_training_time(0.01))
+        .collect();
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0, f64::max);
+    assert!(min < 600.0, "fastest should be minutes: {min}");
+    assert!(max > 250_000.0, "slowest should be days-weeks: {max}");
+    assert!(max / min > 1_000.0);
+}
+
+/// Fig 4(a): with p + w = 20 fixed, ResNet-50 sync speed peaks at an
+/// interior split near the paper's (w = 8, p = 12).
+#[test]
+fn fig4a_interior_peak() {
+    let model = PsJobModel::new(ModelKind::ResNet50.profile(), TrainingMode::Synchronous);
+    let best_w = (1..20)
+        .max_by(|&a, &b| model.speed(20 - a, a).total_cmp(&model.speed(20 - b, b)))
+        .expect("non-empty");
+    assert!((5..=11).contains(&best_w), "peak at w = {best_w}");
+}
+
+/// Fig 4(b): at a 1:1 ratio, speedup has diminishing returns.
+#[test]
+fn fig4b_diminishing_returns() {
+    let model = PsJobModel::new(ModelKind::ResNet50.profile(), TrainingMode::Synchronous);
+    let g1 = model.speed(10, 10) / model.speed(5, 5);
+    let g2 = model.speed(20, 20) / model.speed(10, 10);
+    assert!(g1 > 1.0 && g2 > 0.9);
+    assert!(g2 < g1, "returns must diminish: {g1} then {g2}");
+    assert!(g1 < 2.0, "doubling resources must not double speed");
+}
+
+/// Fig 8: ~10 profiled samples suffice for < 10 % speed-model error.
+#[test]
+fn fig8_ten_samples_suffice() {
+    let profile = ModelKind::ResNet50.profile();
+    let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+    let mut model = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+    for (p, w) in [
+        (1u32, 1u32),
+        (2, 3),
+        (4, 4),
+        (8, 8),
+        (4, 8),
+        (8, 4),
+        (12, 6),
+        (6, 12),
+        (10, 10),
+        (3, 9),
+    ] {
+        model.record(p, w, truth.speed(p, w));
+    }
+    model.refit().expect("10 samples");
+    let mut errs = Vec::new();
+    for p in (2..=20).step_by(2) {
+        for w in (2..=20).step_by(2) {
+            let real = truth.speed(p, w);
+            errs.push((model.predict(p, w) - real).abs() / real);
+        }
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean < 0.10, "mean error {mean}");
+}
+
+/// Theorem 1 (Fig 10): the even, fewest-servers placement minimizes the
+/// per-step transmission time; the worked example's numbers hold.
+#[test]
+fn theorem1_fig10_example() {
+    use optimus::ps::transfer_time;
+    let a = [
+        TaskCounts { ps: 2, workers: 1 },
+        TaskCounts { ps: 0, workers: 2 },
+        TaskCounts { ps: 0, workers: 1 },
+    ];
+    let b = [
+        TaskCounts { ps: 1, workers: 1 },
+        TaskCounts { ps: 1, workers: 1 },
+        TaskCounts { ps: 0, workers: 2 },
+    ];
+    let c = [
+        TaskCounts { ps: 1, workers: 2 },
+        TaskCounts { ps: 1, workers: 2 },
+    ];
+    assert_eq!(transfer_time(&a, 1.0, 1.0, 1.0), 3.0);
+    assert_eq!(transfer_time(&b, 1.0, 1.0, 1.0), 3.0);
+    assert_eq!(transfer_time(&c, 1.0, 1.0, 1.0), 2.0);
+}
+
+/// Table 3: PAA vs MXNet on ResNet-50 across 10 PS.
+#[test]
+fn table3_claims() {
+    let blocks = ModelKind::ResNet50.profile().parameter_blocks();
+    assert_eq!(blocks.len(), 157);
+    let paa = PsAssignment::paa(&blocks, 10).stats();
+    let mxnet = PsAssignment::mxnet_default(&blocks, 10, 42).stats();
+    assert_eq!(paa.total_requests, 157, "PAA never slices below-average blocks");
+    assert_eq!(mxnet.total_requests, 247, "147 small + 10 sliced × 10");
+    assert!(paa.size_difference <= 200_000, "paper: 0.1M");
+    assert!(mxnet.size_difference >= 4 * paa.size_difference, "paper: 3.6M vs 0.1M");
+    assert!(paa.request_difference <= 3, "paper: 1");
+    assert!(mxnet.request_difference > paa.request_difference);
+}
+
+/// Fig 20/21: PAA is at least as fast as MXNet's distribution for every
+/// model, and strictly faster where the imbalance is material.
+#[test]
+fn fig20_fig21_paa_speedups() {
+    let mut any_material = false;
+    for kind in ModelKind::ALL {
+        let profile = kind.profile();
+        let blocks = profile.parameter_blocks();
+        let model = PsJobModel::new(profile, TrainingMode::Synchronous);
+        let mut env = EnvFactors::default();
+        env.imbalance = PsAssignment::mxnet_default(&blocks, 10, 42)
+            .stats()
+            .imbalance_factor;
+        let mxnet_speed = model.speed_with(10, 10, &env);
+        env.imbalance = PsAssignment::paa(&blocks, 10).stats().imbalance_factor;
+        let paa_speed = model.speed_with(10, 10, &env);
+        assert!(
+            paa_speed >= mxnet_speed * 0.999,
+            "{}: paa {paa_speed} vs mxnet {mxnet_speed}",
+            profile.name
+        );
+        if paa_speed > mxnet_speed * 1.10 {
+            any_material = true;
+        }
+    }
+    assert!(any_material, "at least one model gains ≥ 10 % (paper: up to 29 %)");
+}
+
+/// Fig 12: one scheduling decision for 1000 jobs on 4000 nodes stays
+/// well under the paper's 5-second budget.
+#[test]
+fn fig12_scheduling_time_budget() {
+    use optimus::core::JobView;
+    let profile = ModelKind::Seq2Seq.profile();
+    let truth = PsJobModel::new(profile, TrainingMode::Synchronous);
+    let mut speed = SpeedModel::new(TrainingMode::Synchronous, profile.batch_size as f64);
+    for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8)] {
+        speed.record(p, w, truth.speed(p, w));
+    }
+    speed.refit().expect("profiled");
+    let jobs: Vec<JobView> = (0..1_000)
+        .map(|i| JobView {
+            id: JobId(i),
+            worker_profile: optimus::workload::job::default_container(),
+            ps_profile: optimus::workload::job::default_container(),
+            remaining_work: 1_000.0 + (i % 97) as f64 * 650.0,
+            speed: speed.clone(),
+            progress: 0.5,
+            requested_units: 8,
+        })
+        .collect();
+    let cluster = Cluster::homogeneous(4_000, ResourceVec::new(32.0, 4.0, 128.0, 10.0));
+    let scheduler = OptimusScheduler::build();
+    let start = std::time::Instant::now();
+    let schedule = scheduler.schedule(&jobs, &cluster);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(schedule.total_tasks() > 1_000);
+    // Debug builds are ~20× slower than release; the release budget is
+    // 5 s, so allow generous headroom here.
+    assert!(elapsed < 60.0, "scheduling took {elapsed}s");
+}
+
+/// §2.1/Fig 5: every model's loss curve is normalized, monotone, and
+/// converges under every owner threshold the workload generator draws.
+#[test]
+fn loss_curves_well_formed_for_all_thresholds() {
+    for kind in ModelKind::ALL {
+        let curve = &kind.profile().curve;
+        assert!((curve.loss_at_epoch(0.0) - 1.0).abs() < 1e-9);
+        for threshold in [0.01, 0.02, 0.03, 0.05] {
+            let epochs = curve
+                .epochs_to_converge(threshold, 3)
+                .unwrap_or_else(|| panic!("{} must converge at {threshold}", kind.name()));
+            assert!(epochs >= 3, "{}: {epochs} epochs", kind.name());
+            assert!(epochs < 500, "{}: {epochs} epochs", kind.name());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Cross-crate property tests: invariants that must hold for any
+//! workload, configuration, or seed.
+
+use optimus::core::allocation::ResourceAllocator;
+use optimus::core::placement::TaskPlacer;
+use optimus::core::JobView;
+use optimus::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a JobView with a speed model fitted from ground truth.
+fn job_view(id: u64, model: ModelKind, mode: TrainingMode, remaining: f64) -> JobView {
+    let profile = model.profile();
+    let truth = PsJobModel::new(profile, mode);
+    let mut speed = SpeedModel::new(mode, profile.batch_size as f64);
+    for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4)] {
+        speed.record(p, w, truth.speed(p, w));
+    }
+    speed.refit().expect("profiled");
+    JobView {
+        id: JobId(id),
+        worker_profile: optimus::workload::job::default_container(),
+        ps_profile: optimus::workload::job::default_container(),
+        remaining_work: remaining,
+        speed,
+        progress: 0.5,
+        requested_units: 8,
+    }
+}
+
+fn arbitrary_jobs() -> impl Strategy<Value = Vec<JobView>> {
+    prop::collection::vec(
+        (0usize..9, prop::bool::ANY, 100.0f64..100_000.0),
+        1..12,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (model_idx, sync, remaining))| {
+                let mode = if sync {
+                    TrainingMode::Synchronous
+                } else {
+                    TrainingMode::Asynchronous
+                };
+                job_view(i as u64, ModelKind::ALL[model_idx], mode, remaining)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No allocator ever exceeds aggregate cluster capacity, and every
+    /// allocation row stays non-degenerate (both-or-neither task kinds
+    /// for Optimus' starter logic).
+    #[test]
+    fn allocators_respect_capacity(jobs in arbitrary_jobs()) {
+        use optimus::core::allocation::{DrfAllocator, FifoAllocator, OptimusAllocator, TetrisAllocator};
+        let cluster = Cluster::paper_testbed();
+        let allocators: Vec<Box<dyn ResourceAllocator>> = vec![
+            Box::new(OptimusAllocator::default()),
+            Box::new(DrfAllocator::default()),
+            Box::new(TetrisAllocator::default()),
+            Box::new(FifoAllocator),
+        ];
+        for alloc in &allocators {
+            let rows = alloc.allocate(&jobs, &cluster);
+            prop_assert_eq!(rows.len(), jobs.len());
+            let mut used = ResourceVec::zero();
+            for (row, job) in rows.iter().zip(jobs.iter()) {
+                prop_assert_eq!(row.job, job.id);
+                used += row.demand(job);
+            }
+            prop_assert!(used.fits_within(&cluster.total_capacity()));
+        }
+    }
+
+    /// Every placer's output fits on the physical servers, never places
+    /// more than allocated, and keeps at least one PS and one worker for
+    /// any job it returns.
+    #[test]
+    fn placers_respect_servers(jobs in arbitrary_jobs()) {
+        use optimus::core::allocation::OptimusAllocator;
+        use optimus::core::placement::{OptimusPlacer, PackPlacer, SpreadPlacer};
+        use std::collections::HashMap;
+        let cluster = Cluster::paper_testbed();
+        let allocations = OptimusAllocator::default().allocate(&jobs, &cluster);
+        let placers: Vec<Box<dyn TaskPlacer>> = vec![
+            Box::new(OptimusPlacer),
+            Box::new(SpreadPlacer),
+            Box::new(PackPlacer),
+        ];
+        for placer in &placers {
+            let placements = placer.place(&allocations, &jobs, &cluster);
+            let mut per_server: HashMap<ServerId, ResourceVec> = HashMap::new();
+            for (jid, placement) in &placements {
+                let job = jobs.iter().find(|j| j.id == *jid).expect("known job");
+                let alloc = allocations.iter().find(|a| a.job == *jid).expect("row");
+                let ps: u32 = placement.iter().map(|(_, c)| c.ps).sum();
+                let w: u32 = placement.iter().map(|(_, c)| c.workers).sum();
+                prop_assert!(ps >= 1 && w >= 1);
+                prop_assert!(ps <= alloc.ps && w <= alloc.workers);
+                for (sid, c) in placement {
+                    let d = job.worker_profile * c.workers as f64
+                        + job.ps_profile * c.ps as f64;
+                    *per_server.entry(*sid).or_default() += d;
+                }
+            }
+            for (sid, used) in per_server {
+                let cap = cluster.server(sid).unwrap().capacity();
+                prop_assert!(used.fits_within(&cap), "{sid}: {used} > {cap}");
+            }
+        }
+    }
+
+    /// Any generated workload simulates to completion under Optimus with
+    /// zero unfinished jobs and non-negative metrics.
+    #[test]
+    fn simulation_totality(seed in 0u64..500, n_jobs in 1usize..5) {
+        let jobs = WorkloadGenerator::new(
+            ArrivalProcess::UniformRandom { count: n_jobs, horizon_s: 2_000.0 },
+            seed,
+        )
+        .with_target_job_seconds(Some(1_500.0))
+        .generate();
+        let cfg = SimConfig {
+            interval_s: 300.0,
+            max_time_s: 200_000.0,
+            seed,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            Cluster::paper_testbed(),
+            jobs,
+            Box::new(OptimusScheduler::build()),
+            cfg,
+        );
+        let report = sim.run();
+        prop_assert_eq!(report.unfinished_jobs, 0);
+        prop_assert!(report.makespan > 0.0);
+        prop_assert!(report.scaling_overhead_s >= 0.0);
+        for &(_, jct) in &report.jct {
+            prop_assert!(jct > 0.0 && jct.is_finite());
+        }
+    }
+
+    /// The ground-truth speed functions are positive, finite and bounded
+    /// by the compute-only upper bound for every model and configuration.
+    #[test]
+    fn speed_physics_sane(
+        model_idx in 0usize..9,
+        sync in prop::bool::ANY,
+        p in 1u32..40,
+        w in 1u32..40,
+    ) {
+        let profile = ModelKind::ALL[model_idx].profile();
+        let mode = if sync { TrainingMode::Synchronous } else { TrainingMode::Asynchronous };
+        let truth = PsJobModel::new(profile, mode);
+        let speed = truth.speed(p, w);
+        prop_assert!(speed > 0.0 && speed.is_finite());
+        // Compute alone lower-bounds the step time, so it upper-bounds
+        // the speed.
+        let compute = truth.minibatch(w) * profile.forward_time_per_example
+            + profile.backward_time;
+        let bound = match mode {
+            TrainingMode::Synchronous => 1.0 / compute,
+            TrainingMode::Asynchronous => w as f64 / compute,
+        };
+        prop_assert!(speed <= bound * (1.0 + 1e-9), "{speed} > {bound}");
+    }
+
+    /// Workload generation is a pure function of its seed.
+    #[test]
+    fn workloads_deterministic(seed in any::<u64>()) {
+        let make = || {
+            WorkloadGenerator::new(ArrivalProcess::paper_default(6), seed)
+                .generate()
+                .iter()
+                .map(|j| (j.id, j.model, j.mode, j.submit_time.to_bits(), j.dataset_scale.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(make(), make());
+    }
+}
