@@ -36,6 +36,33 @@ fn make_jobs(n: usize) -> Vec<JobView> {
         .collect()
 }
 
+/// Telemetry cost: the same scheduling decision with the default
+/// disabled handle versus an enabled one. Disabled must be
+/// indistinguishable from the uninstrumented baseline (< 2 %): every
+/// instrumentation site is a pointer check on a `None` handle.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use optimus_telemetry::Telemetry;
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let node_cap = ResourceVec::new(32.0, 4.0, 128.0, 10.0);
+    let jobs = make_jobs(250);
+    let cluster = Cluster::homogeneous(500, node_cap);
+    for (label, tel) in [
+        ("disabled", Telemetry::disabled()),
+        ("enabled", Telemetry::enabled()),
+    ] {
+        let scheduler = OptimusScheduler::build_with_telemetry(tel);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(&jobs, &cluster),
+            |bench, (jobs, cluster)| {
+                bench.iter(|| scheduler.schedule(black_box(jobs), black_box(cluster)))
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_scalability(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_schedule");
     group.sample_size(10);
@@ -55,5 +82,5 @@ fn bench_scalability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scalability);
+criterion_group!(benches, bench_scalability, bench_telemetry_overhead);
 criterion_main!(benches);

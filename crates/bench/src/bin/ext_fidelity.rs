@@ -33,7 +33,11 @@ fn main() {
         "{:>12} {:>16} {:>20} {:>9}",
         "progress", "|speed err| %", "|convergence err| %", "samples"
     );
-    for (i, (s, c)) in speed_by_bucket.iter().zip(conv_by_bucket.iter()).enumerate() {
+    for (i, (s, c)) in speed_by_bucket
+        .iter()
+        .zip(conv_by_bucket.iter())
+        .enumerate()
+    {
         println!(
             "{:>9}-{:>2}% {:>16.1} {:>20.1} {:>9}",
             i * 20,

@@ -37,17 +37,13 @@ fn main() {
                 let mut cfg = spec.base_config.clone();
                 cfg.seed = seed;
                 cfg.assignment = choice.assignment();
-                let mut sim =
-                    Simulation::new(cluster.clone(), jobs, Box::new(choice.build()), cfg);
+                let mut sim = Simulation::new(cluster.clone(), jobs, Box::new(choice.build()), cfg);
                 sim.run()
             })
             .collect();
         results.push(optimus_bench::aggregate(choice.name(), &reports));
     }
-    print_comparison(
-        "Extension: 100 servers × 60 jobs (single seed)",
-        &results,
-    );
+    print_comparison("Extension: 100 servers × 60 jobs (single seed)", &results);
     let optimus = &results[0];
     assert_eq!(optimus.unfinished, 0);
     println!(

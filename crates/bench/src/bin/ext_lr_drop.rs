@@ -40,10 +40,7 @@ fn main() {
                 let probe = k + 20 * spe;
                 if let Some(pred) = est.predicted_loss_at(probe) {
                     let truth = curve.loss_at_step(probe as f64, spe);
-                    errors.push((
-                        k as f64 / spe as f64,
-                        100.0 * (pred - truth).abs() / truth,
-                    ));
+                    errors.push((k as f64 / spe as f64, 100.0 * (pred - truth).abs() / truth));
                 }
             }
         }

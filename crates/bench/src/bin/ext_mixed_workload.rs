@@ -34,7 +34,10 @@ fn main() {
         .map(|c| optimus_bench::run_scheduler(&spec, c))
         .collect();
         print_comparison(&format!("Extension §7 mixed workloads — {label}"), &results);
-        print_json(&format!("ext_mixed_{}", label.split_whitespace().next().unwrap()), &results);
+        print_json(
+            &format!("ext_mixed_{}", label.split_whitespace().next().unwrap()),
+            &results,
+        );
         let optimus = &results[0];
         assert_eq!(optimus.unfinished, 0, "Optimus must still finish all jobs");
         println!(

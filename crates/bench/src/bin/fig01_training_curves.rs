@@ -37,8 +37,14 @@ fn main() {
 
     println!("Fig 1: ResNext-110 on CIFAR10 — training curves ({epochs} epochs to converge)\n");
     let step = (epochs as usize / 20).max(1);
-    let sampled = |v: &[(f64, f64)]| -> Vec<(f64, f64)> { v.iter().step_by(step).cloned().collect() };
-    print_series("train loss", "epoch", "normalized loss", &sampled(&train_loss));
+    let sampled =
+        |v: &[(f64, f64)]| -> Vec<(f64, f64)> { v.iter().step_by(step).cloned().collect() };
+    print_series(
+        "train loss",
+        "epoch",
+        "normalized loss",
+        &sampled(&train_loss),
+    );
     print_series("val loss", "epoch", "normalized loss", &sampled(&val_loss));
     print_series("train acc", "epoch", "accuracy", &sampled(&train_acc));
     print_series("val acc", "epoch", "accuracy", &sampled(&val_acc));

@@ -6,7 +6,7 @@ use optimus_workload::ModelKind;
 
 fn main() {
     println!("Fig 5: normalized training loss vs progress (δ = 1 %)\n");
-    println!("{:<14} {:>7} {}", "model", "epochs", "loss over progress 0..100%");
+    println!("{:<14} {:>7} loss over progress 0..100%", "model", "epochs");
     for m in ModelKind::ALL {
         let p = m.profile();
         let epochs = p.curve.epochs_to_converge(0.01, 3).unwrap_or(1);
@@ -18,7 +18,10 @@ fn main() {
             .collect();
         println!("{:<14} {epochs:>7} {}", p.name, sparkline(&losses));
     }
-    println!("\n{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}", "model", "0%", "25%", "50%", "75%", "100%");
+    println!(
+        "\n{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "model", "0%", "25%", "50%", "75%", "100%"
+    );
     for m in ModelKind::ALL {
         let p = m.profile();
         let epochs = p.curve.epochs_to_converge(0.01, 3).unwrap_or(1) as f64;

@@ -38,7 +38,10 @@ fn main() {
         model.beta0 * spe as f64
     );
 
-    println!("{:>10} {:>14} {:>14} {:>10}", "step", "observed", "fitted", "err %");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "step", "observed", "fitted", "err %"
+    );
     let mut worst: f64 = 0.0;
     for i in 0..=10 {
         let k = true_total * i / 10;
@@ -48,7 +51,10 @@ fn main() {
         worst = worst.max(err);
         println!("{k:>10} {truth:>14.4} {fit:>14.4} {:>10.2}", err * 100.0);
     }
-    println!("\nworst deviation from the smooth curve: {:.2} %", worst * 100.0);
+    println!(
+        "\nworst deviation from the smooth curve: {:.2} %",
+        worst * 100.0
+    );
     let pred = est.predict().expect("prediction available");
     println!(
         "predicted total steps: {} vs ground truth {} ({:+.1} %)",

@@ -9,7 +9,10 @@ use optimus_bench::{run_one, sparkline, ComparisonSpec, SchedulerChoice};
 
 fn main() {
     let spec = ComparisonSpec::default();
-    println!("Fig 14: running tasks and CPU utilization over time (seed {})\n", spec.seeds[0]);
+    println!(
+        "Fig 14: running tasks and CPU utilization over time (seed {})\n",
+        spec.seeds[0]
+    );
     for choice in [
         SchedulerChoice::Optimus,
         SchedulerChoice::Drf,
@@ -31,7 +34,10 @@ fn main() {
             .chunks(bucket)
             .map(|c| c.iter().map(|p| p.ps_utilization).sum::<f64>() / c.len() as f64)
             .collect();
-        println!("== {} (makespan {:.0} s) ==", report.scheduler, report.makespan);
+        println!(
+            "== {} (makespan {:.0} s) ==",
+            report.scheduler, report.makespan
+        );
         println!(
             "  (a) running tasks   max {:>3.0}  {}",
             tasks.iter().cloned().fold(0.0, f64::max),

@@ -38,7 +38,10 @@ fn main() {
     let seeds: Vec<u64> = (0..8).map(|i| 17 + 13 * i).collect();
 
     let (base_jct, base_mk) = run_with(&spec, Some(ErrorInjection::NONE), &seeds);
-    println!("Fig 15: sensitivity to prediction errors ({} seeds)\n", seeds.len());
+    println!(
+        "Fig 15: sensitivity to prediction errors ({} seeds)\n",
+        seeds.len()
+    );
 
     let levels = [0.0, 0.15, 0.30, 0.45];
     let mut conv_jct = Vec::new();
@@ -67,10 +70,25 @@ fn main() {
         speed_jct.push((e * 100.0, jct / base_jct));
         speed_mk.push((e * 100.0, mk / base_mk));
     }
-    print_series("(a) JCT vs convergence error", "error %", "norm JCT", &conv_jct);
+    print_series(
+        "(a) JCT vs convergence error",
+        "error %",
+        "norm JCT",
+        &conv_jct,
+    );
     print_series("(a) JCT vs speed error", "error %", "norm JCT", &speed_jct);
-    print_series("(b) makespan vs convergence error", "error %", "norm mkspan", &conv_mk);
-    print_series("(b) makespan vs speed error", "error %", "norm mkspan", &speed_mk);
+    print_series(
+        "(b) makespan vs convergence error",
+        "error %",
+        "norm mkspan",
+        &conv_mk,
+    );
+    print_series(
+        "(b) makespan vs speed error",
+        "error %",
+        "norm mkspan",
+        &speed_mk,
+    );
     println!(
         "paper: both rise with error at diminishing slope; speed error hurts more; a\n\
          20 % convergence + 10 % speed error costs ~15 %.\n"

@@ -26,7 +26,10 @@ fn main() {
         .map(|c| optimus_bench::run_scheduler(&spec, c))
         .collect();
         print_comparison(&format!("Fig 16{label}"), &results);
-        print_json(&format!("fig16_{}", label.split_whitespace().last().unwrap()), &results);
+        print_json(
+            &format!("fig16_{}", label.split_whitespace().last().unwrap()),
+            &results,
+        );
         println!();
     }
     println!("paper: Optimus outperforms in both modes; the gain is larger when all jobs");

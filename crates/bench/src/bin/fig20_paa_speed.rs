@@ -24,8 +24,10 @@ fn main() {
         let mx_imb = PsAssignment::mxnet_default(&blocks, p, 42)
             .stats()
             .imbalance_factor;
-        let mut env = EnvFactors::default();
-        env.imbalance = paa_imb;
+        let mut env = EnvFactors {
+            imbalance: paa_imb,
+            ..EnvFactors::default()
+        };
         paa_series.push((p as f64, model.speed_with(p, w, &env)));
         env.imbalance = mx_imb;
         mx_series.push((p as f64, model.speed_with(p, w, &env)));
@@ -33,7 +35,10 @@ fn main() {
     print_series("PAA", "# ps", "steps/s", &paa_series);
     print_series("MXNet default", "# ps", "steps/s", &mx_series);
 
-    println!("{:>6} {:>12} {:>12} {:>10}", "# ps", "PAA", "MXNet", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "# ps", "PAA", "MXNet", "speedup"
+    );
     for (a, b) in paa_series.iter().zip(mx_series.iter()) {
         println!(
             "{:>6.0} {:>12.4} {:>12.4} {:>9.1}%",

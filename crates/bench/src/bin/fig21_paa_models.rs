@@ -24,8 +24,10 @@ fn main() {
             .stats()
             .imbalance_factor;
         let paa_imb = PsAssignment::paa(&blocks, p).stats().imbalance_factor;
-        let mut env = EnvFactors::default();
-        env.imbalance = mx_imb;
+        let mut env = EnvFactors {
+            imbalance: mx_imb,
+            ..EnvFactors::default()
+        };
         let mx_speed = model.speed_with(p, w, &env);
         env.imbalance = paa_imb;
         let paa_speed = model.speed_with(p, w, &env);

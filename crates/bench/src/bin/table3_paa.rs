@@ -38,9 +38,9 @@ fn main() {
         "imbalance factor (max shard / mean): MXNet {:.2}, PAA {:.2}",
         mx.imbalance_factor, paa.imbalance_factor
     );
+    println!("\nPAA slices nothing (157 requests = 157 blocks, the minimum); MXNet slices the");
     println!(
-        "\nPAA slices nothing (157 requests = 157 blocks, the minimum); MXNet slices the"
+        "{} blocks above its 10⁶ threshold into {p} partitions each.",
+        blocks.iter().filter(|&&b| b > 1_000_000).count()
     );
-    println!("{} blocks above its 10⁶ threshold into {p} partitions each.",
-        blocks.iter().filter(|&&b| b > 1_000_000).count());
 }

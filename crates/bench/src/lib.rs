@@ -76,12 +76,12 @@ impl SchedulerChoice {
             SchedulerChoice::DrfAllocOptimusPlace => CompositeScheduler::new(
                 self.name(),
                 Box::new(DrfAllocator::default()),
-                Box::new(OptimusPlacer),
+                Box::new(OptimusPlacer::default()),
             ),
             SchedulerChoice::TetrisAllocOptimusPlace => CompositeScheduler::new(
                 self.name(),
                 Box::new(TetrisAllocator::default()),
-                Box::new(OptimusPlacer),
+                Box::new(OptimusPlacer::default()),
             ),
             SchedulerChoice::OptimusAllocSpreadPlace => CompositeScheduler::new(
                 self.name(),
@@ -146,6 +146,11 @@ pub struct SchedulerResult {
     pub avg_jct: f64,
     /// Std-dev of average-JCT across seeds.
     pub std_jct: f64,
+    /// Mean median JCT across seeds, seconds.
+    pub p50_jct: f64,
+    /// Mean 95th-percentile JCT across seeds, seconds (tail latency the
+    /// mean hides).
+    pub p95_jct: f64,
     /// Mean makespan across seeds, seconds.
     pub makespan: f64,
     /// Std-dev of makespan across seeds.
@@ -205,6 +210,8 @@ pub fn aggregate(name: String, reports: &[SimReport]) -> SchedulerResult {
         scheduler: name,
         avg_jct: stats::mean(&jcts),
         std_jct: stats::std_dev(&jcts),
+        p50_jct: stats::mean(&reports.iter().map(|r| r.p50_jct()).collect::<Vec<_>>()),
+        p95_jct: stats::mean(&reports.iter().map(|r| r.p95_jct()).collect::<Vec<_>>()),
         makespan: stats::mean(&makespans),
         std_makespan: stats::std_dev(&makespans),
         overhead_fraction: stats::mean(
@@ -213,7 +220,12 @@ pub fn aggregate(name: String, reports: &[SimReport]) -> SchedulerResult {
                 .map(|r| r.scaling_overhead_fraction())
                 .collect::<Vec<_>>(),
         ),
-        mean_tasks: stats::mean(&reports.iter().map(|r| r.mean_running_tasks()).collect::<Vec<_>>()),
+        mean_tasks: stats::mean(
+            &reports
+                .iter()
+                .map(|r| r.mean_running_tasks())
+                .collect::<Vec<_>>(),
+        ),
         worker_utilization: stats::mean(
             &reports
                 .iter()
@@ -235,18 +247,30 @@ pub fn aggregate(name: String, reports: &[SimReport]) -> SchedulerResult {
 pub fn print_comparison(title: &str, results: &[SchedulerResult]) {
     println!("== {title} ==");
     println!(
-        "{:<24} {:>10} {:>8} {:>12} {:>8} {:>9} {:>7} {:>7} {:>7}",
-        "scheduler", "JCT(s)", "norm", "makespan(s)", "norm", "ovh%", "tasks", "w-util", "ps-util"
+        "{:<24} {:>10} {:>8} {:>9} {:>9} {:>12} {:>8} {:>9} {:>7} {:>7} {:>7}",
+        "scheduler",
+        "JCT(s)",
+        "norm",
+        "p50(s)",
+        "p95(s)",
+        "makespan(s)",
+        "norm",
+        "ovh%",
+        "tasks",
+        "w-util",
+        "ps-util"
     );
     let base = results.first();
     for r in results {
         let jct_norm = base.map(|b| r.avg_jct / b.avg_jct).unwrap_or(1.0);
         let mk_norm = base.map(|b| r.makespan / b.makespan).unwrap_or(1.0);
         println!(
-            "{:<24} {:>10.0} {:>8.2} {:>12.0} {:>8.2} {:>9.2} {:>7.1} {:>7.2} {:>7.2}",
+            "{:<24} {:>10.0} {:>8.2} {:>9.0} {:>9.0} {:>12.0} {:>8.2} {:>9.2} {:>7.1} {:>7.2} {:>7.2}",
             r.scheduler,
             r.avg_jct,
             jct_norm,
+            r.p50_jct,
+            r.p95_jct,
             r.makespan,
             mk_norm,
             100.0 * r.overhead_fraction,
@@ -321,7 +345,10 @@ mod tests {
     #[test]
     fn assignment_policies_match_deployments() {
         assert_eq!(SchedulerChoice::Optimus.assignment(), AssignmentPolicy::Paa);
-        assert_eq!(SchedulerChoice::Drf.assignment(), AssignmentPolicy::MxnetDefault);
+        assert_eq!(
+            SchedulerChoice::Drf.assignment(),
+            AssignmentPolicy::MxnetDefault
+        );
         assert_eq!(
             SchedulerChoice::Tetris.assignment(),
             AssignmentPolicy::MxnetDefault
@@ -349,6 +376,10 @@ mod tests {
         assert_eq!(r.unfinished, 0);
         assert!(r.avg_jct > 0.0);
         assert!(r.makespan >= r.avg_jct);
+        // Percentiles bracket the mean sensibly.
+        assert!(r.p50_jct > 0.0);
+        assert!(r.p50_jct <= r.p95_jct);
+        assert!(r.avg_jct <= r.p95_jct);
     }
 
     #[test]

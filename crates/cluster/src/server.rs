@@ -169,7 +169,9 @@ impl Cluster {
 
     /// Looks up a server by id.
     pub fn server(&self, id: ServerId) -> Result<&Server, ClusterError> {
-        self.servers.get(id.0).ok_or(ClusterError::UnknownServer(id))
+        self.servers
+            .get(id.0)
+            .ok_or(ClusterError::UnknownServer(id))
     }
 
     /// Looks up a server mutably by id.

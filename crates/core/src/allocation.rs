@@ -12,6 +12,7 @@
 
 use crate::scheduler::JobView;
 use optimus_cluster::{Cluster, ResourceVec};
+use optimus_telemetry::{Telemetry, TraceEvent};
 use optimus_workload::JobId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -87,6 +88,9 @@ pub struct OptimusAllocator {
     priority_factor: f64,
     /// Progress below which a job counts as young.
     young_progress: f64,
+    /// Telemetry sink (disabled by default): `alloc.rounds`,
+    /// `alloc.marginal_gain_evals`, and per-grant decision records.
+    tel: Telemetry,
 }
 
 impl Default for OptimusAllocator {
@@ -94,6 +98,7 @@ impl Default for OptimusAllocator {
         OptimusAllocator {
             priority_factor: 1.0,
             young_progress: 0.1,
+            tel: Telemetry::disabled(),
         }
     }
 }
@@ -102,6 +107,15 @@ impl OptimusAllocator {
     /// Sets the §4.1 priority factor (e.g. 0.95).
     pub fn with_priority_factor(mut self, factor: f64) -> Self {
         self.priority_factor = factor;
+        self
+    }
+
+    /// Attaches a telemetry handle. Each `allocate` call then counts as
+    /// one `alloc.rounds`, reports its marginal-gain evaluations, and
+    /// records an [`TraceEvent::AllocGrant`] per granted task plus one
+    /// [`TraceEvent::AllocRound`] summary.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
         self
     }
 
@@ -167,6 +181,13 @@ impl OptimusAllocator {
 
 impl ResourceAllocator for OptimusAllocator {
     fn allocate(&self, jobs: &[JobView], cluster: &Cluster) -> Vec<Allocation> {
+        let _span = self
+            .tel
+            .is_enabled()
+            .then(|| self.tel.span("alloc.allocate"));
+        let round = self.tel.incr("alloc.rounds");
+        let mut evals = 0u64;
+        let mut granted = 0u64;
         let capacity = cluster.total_capacity();
         let mut remaining = cluster.total_available();
         let mut allocs: Vec<Allocation> = jobs
@@ -196,7 +217,9 @@ impl ResourceAllocator for OptimusAllocator {
             if allocs[i].workers == 0 {
                 continue; // not even the starter unit fit
             }
-            if let Some((gain, action)) = self.best_candidate(job, &allocs[i], &remaining, &capacity)
+            evals += 2;
+            if let Some((gain, action)) =
+                self.best_candidate(job, &allocs[i], &remaining, &capacity)
             {
                 heap.push(Candidate {
                     gain,
@@ -223,6 +246,7 @@ impl ResourceAllocator for OptimusAllocator {
                 // Capacity shrank since this entry was computed;
                 // re-derive the best feasible candidate now.
                 versions[cand.job_idx] += 1;
+                evals += 2;
                 if let Some((gain, action)) =
                     self.best_candidate(job, &allocs[cand.job_idx], &remaining, &capacity)
                 {
@@ -240,7 +264,22 @@ impl ResourceAllocator for OptimusAllocator {
                 Action::AddPs => allocs[cand.job_idx].ps += 1,
             }
             remaining -= demand;
+            granted += 1;
+            if self.tel.is_enabled() {
+                self.tel.record(TraceEvent::AllocGrant {
+                    round,
+                    job: job.id.0,
+                    action: match cand.action {
+                        Action::AddWorker => "worker".to_string(),
+                        Action::AddPs => "ps".to_string(),
+                    },
+                    gain: cand.gain,
+                    ps: allocs[cand.job_idx].ps,
+                    workers: allocs[cand.job_idx].workers,
+                });
+            }
             versions[cand.job_idx] += 1;
+            evals += 2;
             if let Some((gain, action)) =
                 self.best_candidate(job, &allocs[cand.job_idx], &remaining, &capacity)
             {
@@ -251,6 +290,15 @@ impl ResourceAllocator for OptimusAllocator {
                     version: versions[cand.job_idx],
                 });
             }
+        }
+        if self.tel.is_enabled() {
+            self.tel.add("alloc.marginal_gain_evals", evals);
+            self.tel.record(TraceEvent::AllocRound {
+                round,
+                jobs: jobs.len(),
+                granted,
+                evals,
+            });
         }
         allocs
     }
@@ -310,7 +358,8 @@ impl ResourceAllocator for DrfAllocator {
             let cap = if self.respect_requests {
                 job.requested_units
             } else {
-                job.requested_units.saturating_mul(self.max_request_multiple)
+                job.requested_units
+                    .saturating_mul(self.max_request_multiple)
             };
             if allocs[i].workers >= cap.max(1) {
                 blocked[i] = true;
@@ -573,7 +622,9 @@ mod tests {
         let jobs = vec![make_job(0, ModelKind::ResNet50, 10_000.0, 0.5)];
         let allocs = OptimusAllocator::default().allocate(&jobs, &cluster);
         let total_tasks = allocs[0].ps + allocs[0].workers;
-        let max_units = (cluster.total_capacity().get(optimus_cluster::ResourceKind::Cpu)
+        let max_units = (cluster
+            .total_capacity()
+            .get(optimus_cluster::ResourceKind::Cpu)
             / 5.0) as u32;
         assert!(
             total_tasks < max_units / 2,
@@ -704,9 +755,13 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let cluster = Cluster::paper_testbed();
-        assert!(OptimusAllocator::default().allocate(&[], &cluster).is_empty());
+        assert!(OptimusAllocator::default()
+            .allocate(&[], &cluster)
+            .is_empty());
         assert!(DrfAllocator::default().allocate(&[], &cluster).is_empty());
-        assert!(TetrisAllocator::default().allocate(&[], &cluster).is_empty());
+        assert!(TetrisAllocator::default()
+            .allocate(&[], &cluster)
+            .is_empty());
     }
 
     #[test]

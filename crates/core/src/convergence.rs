@@ -12,6 +12,7 @@
 //! data points (e.g., all losses in an epoch) as a single data point").
 
 use optimus_fitting::{FitError, LossCurveFitter, LossModel};
+use optimus_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Rolling state of one job's convergence estimate.
@@ -83,6 +84,14 @@ impl ConvergenceEstimator {
     /// Enables §7 learning-rate-drop detection.
     pub fn with_restart_detection(mut self, enabled: bool) -> Self {
         self.restart_detection = enabled;
+        self
+    }
+
+    /// Attaches a telemetry handle: the fitter's per-candidate NNLS
+    /// solves then feed the handle's `nnls.*` metrics, and each
+    /// [`ConvergenceEstimator::refit`] bumps `loss_curve.fits`.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.fitter = self.fitter.clone().with_telemetry(tel);
         self
     }
 
@@ -165,7 +174,8 @@ impl ConvergenceEstimator {
     /// no convergence).
     pub fn predict(&self) -> Option<ConvergencePrediction> {
         let model = self.model.as_ref()?;
-        let segment = model.convergence_step(self.threshold, self.steps_per_epoch, self.patience)?;
+        let segment =
+            model.convergence_step(self.threshold, self.steps_per_epoch, self.patience)?;
         let total = self.origin.saturating_add(segment);
         Some(ConvergencePrediction {
             total_steps: total,
@@ -254,7 +264,11 @@ mod tests {
         est.refit().unwrap();
         let mid = est.predict().unwrap();
         let err = (mid.total_steps as f64 - truth as f64).abs() / truth as f64;
-        assert!(err < 0.25, "mid-training error {err} (est {} truth {truth})", mid.total_steps);
+        assert!(
+            err < 0.25,
+            "mid-training error {err} (est {} truth {truth})",
+            mid.total_steps
+        );
 
         // With almost the whole curve observed, the estimate tightens.
         let mut est2 = ConvergenceEstimator::new(0.02, spe, 3);

@@ -59,8 +59,7 @@ pub mod scheduler;
 pub mod speed;
 
 pub use allocation::{
-    Allocation, DrfAllocator, FifoAllocator, OptimusAllocator, ResourceAllocator,
-    TetrisAllocator,
+    Allocation, DrfAllocator, FifoAllocator, OptimusAllocator, ResourceAllocator, TetrisAllocator,
 };
 pub use convergence::ConvergenceEstimator;
 pub use placement::{OptimusPlacer, PackPlacer, SpreadPlacer, TaskPlacer};

@@ -16,6 +16,7 @@ use crate::allocation::Allocation;
 use crate::scheduler::{JobPlacement, JobView};
 use optimus_cluster::{Cluster, ResourceKind, ResourceVec, ServerId};
 use optimus_ps::TaskCounts;
+use optimus_telemetry::{Telemetry, TraceEvent};
 use optimus_workload::JobId;
 use std::collections::HashMap;
 
@@ -56,9 +57,20 @@ fn smallest_first(allocations: &[Allocation], jobs: &[JobView]) -> Vec<usize> {
 
 /// The Theorem-1 placer.
 #[derive(Debug, Clone, Default)]
-pub struct OptimusPlacer;
+pub struct OptimusPlacer {
+    /// Telemetry sink (disabled by default): `placement.packing_retries`
+    /// and per-job [`TraceEvent::Placement`] records.
+    tel: Telemetry,
+}
 
 impl OptimusPlacer {
+    /// Attaches a telemetry handle: shrink retries feed the
+    /// `placement.packing_retries` counter and every placed job records
+    /// its layout.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
+    }
     /// Tries to place `alloc` of `job` on the `k` most-available servers
     /// of `scratch`: first the Theorem-1 even spread, then (for
     /// heterogeneous servers where an equal share overflows the smallest
@@ -110,7 +122,11 @@ impl OptimusPlacer {
         for (i, &sid) in chosen.iter().enumerate() {
             let demand = job.worker_profile * counts[i].workers as f64
                 + job.ps_profile * counts[i].ps as f64;
-            if !scratch.server(sid).expect("sorted ids are valid").can_fit(&demand) {
+            if !scratch
+                .server(sid)
+                .expect("sorted ids are valid")
+                .can_fit(&demand)
+            {
                 return None;
             }
         }
@@ -130,7 +146,12 @@ impl OptimusPlacer {
     ) -> Option<Vec<TaskCounts>> {
         let mut avail: Vec<ResourceVec> = chosen
             .iter()
-            .map(|&sid| scratch.server(sid).expect("sorted ids are valid").available())
+            .map(|&sid| {
+                scratch
+                    .server(sid)
+                    .expect("sorted ids are valid")
+                    .available()
+            })
             .collect();
         let mut counts = vec![TaskCounts::default(); chosen.len()];
 
@@ -179,6 +200,8 @@ impl TaskPlacer for OptimusPlacer {
         jobs: &[JobView],
         cluster: &Cluster,
     ) -> HashMap<JobId, JobPlacement> {
+        let _span = self.tel.is_enabled().then(|| self.tel.span("place.place"));
+        let mut retries = 0u64;
         let mut scratch = cluster.clone();
         let mut out = HashMap::new();
         for i in smallest_first(allocations, jobs) {
@@ -190,7 +213,12 @@ impl TaskPlacer for OptimusPlacer {
             let sorted = scratch.ids_by_available_desc(|a| a.get(ResourceKind::Cpu));
             let free: Vec<ResourceVec> = sorted
                 .iter()
-                .map(|&sid| scratch.server(sid).expect("sorted ids are valid").available())
+                .map(|&sid| {
+                    scratch
+                        .server(sid)
+                        .expect("sorted ids are valid")
+                        .available()
+                })
                 .collect();
             let mut prefix = Vec::with_capacity(free.len() + 1);
             prefix.push(ResourceVec::zero());
@@ -208,9 +236,7 @@ impl TaskPlacer for OptimusPlacer {
             // first shrink step jumps straight to what aggregate free
             // capacity allows.
             let mut alloc = allocations[i];
-            while alloc.demand(job).fits_within(&total_free) == false
-                && alloc.ps + alloc.workers > 2
-            {
+            while !alloc.demand(job).fits_within(&total_free) && alloc.ps + alloc.workers > 2 {
                 if alloc.ps >= alloc.workers {
                     alloc.ps -= 1;
                 } else {
@@ -241,11 +267,26 @@ impl TaskPlacer for OptimusPlacer {
                 } else {
                     alloc.workers -= 1;
                 }
+                retries += 1;
             };
             if let Some(p) = placed {
+                if self.tel.is_enabled() {
+                    let shrunk = (allocations[i].ps + allocations[i].workers)
+                        .saturating_sub(alloc.ps + alloc.workers);
+                    self.tel.record(TraceEvent::Placement {
+                        job: job.id.0,
+                        ps: alloc.ps,
+                        workers: alloc.workers,
+                        servers: p.len(),
+                        shrunk,
+                    });
+                }
                 out.insert(job.id, p);
             }
             // else: paused this interval (§4.2).
+        }
+        if retries > 0 {
+            self.tel.add("placement.packing_retries", retries);
         }
         out
     }
@@ -370,7 +411,9 @@ fn place_tasks_by(
             .allocate(demand)
             .expect("can_fit checked");
         committed.push((sid, *demand));
-        let entry = per_server.entry(sid).or_insert(TaskCounts { ps: 0, workers: 0 });
+        let entry = per_server
+            .entry(sid)
+            .or_insert(TaskCounts { ps: 0, workers: 0 });
         if is_ps {
             entry.ps += 1;
         } else {
@@ -385,7 +428,11 @@ fn place_tasks_by(
     let mut placed_w = 0u32;
     for t in 0..(alloc.ps + alloc.workers) {
         let want_ps = (t % 2 == 0 && placed_ps < alloc.ps) || placed_w >= alloc.workers;
-        let demand = if want_ps { &job.ps_profile } else { &job.worker_profile };
+        let demand = if want_ps {
+            &job.ps_profile
+        } else {
+            &job.worker_profile
+        };
         if place_one(demand, scratch, &mut per_server, &mut committed, want_ps) {
             if want_ps {
                 placed_ps += 1;
@@ -421,8 +468,13 @@ mod tests {
 
     fn job(id: u64) -> JobView {
         let mut speed = SpeedModel::new(TrainingMode::Synchronous, 64.0);
-        for (p, w, f) in [(1, 1, 0.02), (2, 2, 0.04), (4, 4, 0.06), (8, 8, 0.07), (4, 8, 0.065)]
-        {
+        for (p, w, f) in [
+            (1, 1, 0.02),
+            (2, 2, 0.04),
+            (4, 4, 0.06),
+            (8, 8, 0.07),
+            (4, 8, 0.065),
+        ] {
             speed.record(p, w, f);
         }
         speed.refit().unwrap();
@@ -461,7 +513,7 @@ mod tests {
         let cluster = Cluster::paper_testbed();
         let jobs = vec![job(0)];
         let allocs = vec![alloc(0, 5, 5)];
-        let placements = OptimusPlacer.place(&allocs, &jobs, &cluster);
+        let placements = OptimusPlacer::default().place(&allocs, &jobs, &cluster);
         let p = placements.get(&JobId(0)).expect("placed");
         check_counts(p, &allocs[0]);
         assert_eq!(p.len(), 2, "theorem 1: fewest servers, evenly: {p:?}");
@@ -477,7 +529,7 @@ mod tests {
         let cluster = Cluster::paper_testbed();
         let jobs = vec![job(0)];
         let allocs = vec![alloc(0, 2, 2)]; // 4 × 5 = 20 cores ≤ 32
-        let placements = OptimusPlacer.place(&allocs, &jobs, &cluster);
+        let placements = OptimusPlacer::default().place(&allocs, &jobs, &cluster);
         let p = placements.get(&JobId(0)).expect("placed");
         assert_eq!(p.len(), 1, "should fit on one server: {p:?}");
     }
@@ -489,7 +541,7 @@ mod tests {
         let cluster = Cluster::homogeneous(1, ResourceVec::new(21.0, 0.0, 45.0, 2.0));
         let jobs = vec![job(0), job(1)];
         let allocs = vec![alloc(0, 4, 4), alloc(1, 1, 1)];
-        let placements = OptimusPlacer.place(&allocs, &jobs, &cluster);
+        let placements = OptimusPlacer::default().place(&allocs, &jobs, &cluster);
         let small = placements.get(&JobId(1)).expect("small job placed");
         check_counts(small, &allocs[1]);
         // The big job shrank to whatever still fits (at most one pair).
@@ -506,7 +558,7 @@ mod tests {
         let cluster = Cluster::homogeneous(2, ResourceVec::new(12.0, 0.0, 24.0, 1.0));
         let jobs = vec![job(0)];
         let allocs = vec![alloc(0, 4, 4)];
-        let placements = OptimusPlacer.place(&allocs, &jobs, &cluster);
+        let placements = OptimusPlacer::default().place(&allocs, &jobs, &cluster);
         let p = placements.get(&JobId(0)).expect("shrunken placement");
         let ps: u32 = p.iter().map(|(_, c)| c.ps).sum();
         let w: u32 = p.iter().map(|(_, c)| c.workers).sum();
@@ -520,7 +572,7 @@ mod tests {
         let jobs: Vec<JobView> = (0..4).map(job).collect();
         let allocs: Vec<Allocation> = (0..4).map(|i| alloc(i, 3, 3)).collect();
         for placer in [
-            &OptimusPlacer as &dyn TaskPlacer,
+            &OptimusPlacer::default() as &dyn TaskPlacer,
             &SpreadPlacer,
             &PackPlacer,
         ] {
@@ -561,7 +613,7 @@ mod tests {
         let jobs = vec![job(0)];
         let allocs = vec![alloc(0, 4, 4)];
         for placer in [
-            &OptimusPlacer as &dyn TaskPlacer,
+            &OptimusPlacer::default() as &dyn TaskPlacer,
             &SpreadPlacer,
             &PackPlacer,
         ] {
@@ -592,7 +644,7 @@ mod tests {
         let jobs = vec![job(0)];
         let allocs = vec![alloc(0, 0, 0)];
         for placer in [
-            &OptimusPlacer as &dyn TaskPlacer,
+            &OptimusPlacer::default() as &dyn TaskPlacer,
             &SpreadPlacer,
             &PackPlacer,
         ] {

@@ -10,11 +10,14 @@
 //! [`TaskPlacer`], which is exactly how the paper's §6.4 ablations swap
 //! one component at a time.
 
-use crate::allocation::{Allocation, DrfAllocator, OptimusAllocator, ResourceAllocator, TetrisAllocator};
+use crate::allocation::{
+    Allocation, DrfAllocator, OptimusAllocator, ResourceAllocator, TetrisAllocator,
+};
 use crate::placement::{OptimusPlacer, PackPlacer, SpreadPlacer, TaskPlacer};
 use crate::speed::SpeedModel;
 use optimus_cluster::{Cluster, ResourceVec, ServerId};
 use optimus_ps::TaskCounts;
+use optimus_telemetry::Telemetry;
 use optimus_workload::JobId;
 use std::collections::HashMap;
 
@@ -114,6 +117,7 @@ pub struct CompositeScheduler {
     name: String,
     allocator: Box<dyn ResourceAllocator + Send + Sync>,
     placer: Box<dyn TaskPlacer + Send + Sync>,
+    tel: Telemetry,
 }
 
 impl CompositeScheduler {
@@ -128,7 +132,17 @@ impl CompositeScheduler {
             name: name.into(),
             allocator,
             placer,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: each `schedule` call is wrapped in a
+    /// `scheduler.schedule` span. The allocator and placer keep their own
+    /// handles (see [`OptimusScheduler::build_with_telemetry`], which
+    /// shares one handle across all three).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 }
 
@@ -138,6 +152,10 @@ impl Scheduler for CompositeScheduler {
     }
 
     fn schedule(&self, jobs: &[JobView], cluster: &Cluster) -> Schedule {
+        let _span = self
+            .tel
+            .is_enabled()
+            .then(|| self.tel.span("scheduler.schedule"));
         let allocations = self.allocator.allocate(jobs, cluster);
         let placements = self.placer.place(&allocations, jobs, cluster);
         Schedule {
@@ -170,6 +188,19 @@ impl OptimusScheduler {
             Box::new(OptimusPlacer::default()),
         )
     }
+
+    /// Builds the scheduler with one shared [`Telemetry`] handle wired
+    /// through the allocator, the placer and the composite itself, so a
+    /// single handle sees `alloc.*`, `placement.*` and the
+    /// `scheduler.schedule` spans of every round.
+    pub fn build_with_telemetry(tel: Telemetry) -> CompositeScheduler {
+        CompositeScheduler::new(
+            "Optimus",
+            Box::new(OptimusAllocator::default().with_telemetry(tel.clone())),
+            Box::new(OptimusPlacer::default().with_telemetry(tel.clone())),
+        )
+        .with_telemetry(tel)
+    }
 }
 
 impl Default for CompositeScheduler {
@@ -188,7 +219,7 @@ impl DrfScheduler {
         CompositeScheduler::new(
             "DRF",
             Box::new(DrfAllocator::default()),
-            Box::new(SpreadPlacer::default()),
+            Box::new(SpreadPlacer),
         )
     }
 }
@@ -204,7 +235,7 @@ impl TetrisScheduler {
         CompositeScheduler::new(
             "Tetris",
             Box::new(TetrisAllocator::default()),
-            Box::new(PackPlacer::default()),
+            Box::new(PackPlacer),
         )
     }
 }
@@ -261,7 +292,12 @@ mod tests {
             let s = sched.schedule(&jobs, &cluster);
             assert!(!s.allocations.is_empty(), "{}", sched.name());
             for j in &jobs {
-                assert!(s.is_running(j.id), "{}: {:?} not running", sched.name(), j.id);
+                assert!(
+                    s.is_running(j.id),
+                    "{}: {:?} not running",
+                    sched.name(),
+                    j.id
+                );
             }
             assert!(s.total_tasks() > 0);
         }

@@ -15,6 +15,7 @@
 //!   θ₄·p)⁻¹` → regress `1/f` on `[M/w, 1, w/p, w, p]`.
 
 use optimus_fitting::{FitError, LinearModel, NonNegLinearFit};
+use optimus_telemetry::Telemetry;
 use optimus_workload::TrainingMode;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +51,8 @@ pub struct SpeedModel {
     /// Number of leading samples protected from the window (the §3.2
     /// profiling runs).
     protected: usize,
+    /// Telemetry sink for the refit NNLS solves (disabled by default).
+    tel: Telemetry,
 }
 
 impl SpeedModel {
@@ -63,7 +66,16 @@ impl SpeedModel {
             prediction_scale: 1.0,
             window: None,
             protected: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: each [`SpeedModel::refit`] then
+    /// counts as one `speed.refits` and routes its NNLS solve through the
+    /// handle's `nnls.*` metrics.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// Caps retained *online* samples at `window`, forgetting the oldest
@@ -126,7 +138,11 @@ impl SpeedModel {
     /// reaches the coefficient count; the previous model (if any)
     /// survives a failed refit.
     pub fn refit(&mut self) -> Result<(), FitError> {
-        let rows: Vec<Vec<f64>> = self.samples.iter().map(|s| self.features(s.p, s.w)).collect();
+        let rows: Vec<Vec<f64>> = self
+            .samples
+            .iter()
+            .map(|s| self.features(s.p, s.w))
+            .collect();
         let targets: Vec<f64> = self
             .samples
             .iter()
@@ -135,7 +151,8 @@ impl SpeedModel {
                 TrainingMode::Synchronous => 1.0 / s.speed,
             })
             .collect();
-        let fitted = NonNegLinearFit.fit_rows(&rows, &targets)?;
+        self.tel.incr("speed.refits");
+        let fitted = NonNegLinearFit.fit_rows_traced(&rows, &targets, &self.tel)?;
         self.model = Some(fitted);
         Ok(())
     }
@@ -147,7 +164,10 @@ impl SpeedModel {
 
     /// The fitted coefficients θ (empty before the first successful fit).
     pub fn coefficients(&self) -> &[f64] {
-        self.model.as_ref().map(|m| m.theta.as_slice()).unwrap_or(&[])
+        self.model
+            .as_ref()
+            .map(|m| m.theta.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Residual sum of squares of the last fit (in inverted-speed space),

@@ -6,9 +6,9 @@
 //! — these tests pin that quality bound so a regression in the
 //! heuristic is caught.
 
+use optimus_cluster::{Cluster, ResourceVec};
 use optimus_core::allocation::{OptimusAllocator, ResourceAllocator};
 use optimus_core::prelude::*;
-use optimus_cluster::{Cluster, ResourceVec};
 use optimus_ps::PsJobModel;
 use optimus_workload::{JobId, ModelKind, TrainingMode};
 
@@ -64,7 +64,7 @@ fn brute_force(jobs: &[JobView], budget_units: u32) -> (f64, Vec<(u32, u32)>) {
         }
         for p in 1..=max {
             for w in 1..=max {
-                let used = (p + w + 1) / 2; // units of (1 ps + 1 worker)
+                let used = (p + w).div_ceil(2); // units of (1 ps + 1 worker)
                 let _ = used;
                 // Count capacity in tasks: 2 tasks per unit.
                 let tasks = p + w;

@@ -50,7 +50,9 @@ pub struct InverseKFamily;
 
 impl CurveFamily for InverseKFamily {
     fn fit(&self, samples: &[LossSample]) -> Result<Box<dyn FittedCurve>, FitError> {
-        let model = LossCurveFitter::new().without_normalization().fit(samples)?;
+        let model = LossCurveFitter::new()
+            .without_normalization()
+            .fit(samples)?;
         Ok(Box::new(model))
     }
 
@@ -167,7 +169,7 @@ impl CurveFamily for ExpDecayFamily {
         for i in 0..self.grid_points.max(2) {
             let c = hi * i as f64 / (self.grid_points - 1) as f64;
             if let Ok(m) = fit_for_floor(samples, c) {
-                if best.map_or(true, |b| m.residual_ss < b.residual_ss) {
+                if best.is_none_or(|b| m.residual_ss < b.residual_ss) {
                     best = Some(m);
                 }
             }
@@ -249,7 +251,10 @@ pub fn fit_best(
     let mut best: Option<Box<dyn FittedCurve>> = None;
     for family in families {
         if let Ok(fit) = family.fit(samples) {
-            if best.as_ref().map_or(true, |b| fit.residual_ss() < b.residual_ss()) {
+            if best
+                .as_ref()
+                .is_none_or(|b| fit.residual_ss() < b.residual_ss())
+            {
                 best = Some(fit);
             }
         }

@@ -70,7 +70,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -148,13 +152,13 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *o = acc;
         }
         Ok(out)
     }
@@ -169,9 +173,8 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &yr) in y.iter().enumerate() {
             let row = self.row(r);
-            let yr = y[r];
             for (o, a) in out.iter_mut().zip(row.iter()) {
                 *o += a * yr;
             }
@@ -190,8 +193,8 @@ impl Matrix {
                 if ri == 0.0 {
                     continue;
                 }
-                for j in i..n {
-                    let v = g.get(i, j) + ri * row[j];
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    let v = g.get(i, j) + ri * rj;
                     g.set(i, j, v);
                 }
             }

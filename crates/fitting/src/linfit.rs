@@ -12,7 +12,8 @@
 
 use crate::error::FitError;
 use crate::linalg::Matrix;
-use crate::nnls::{nnls, NnlsSolution};
+use crate::nnls::{nnls, nnls_traced, NnlsSolution};
+use optimus_telemetry::Telemetry;
 
 /// A fitted non-negative linear model `y ≈ θ · features(x)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +53,26 @@ impl NonNegLinearFit {
     ///
     /// Requires at least as many samples as features.
     pub fn fit_rows(&self, rows: &[Vec<f64>], targets: &[f64]) -> Result<LinearModel, FitError> {
+        self.fit_rows_impl(rows, targets, None)
+    }
+
+    /// Like [`NonNegLinearFit::fit_rows`], but routes the NNLS solve
+    /// through [`nnls_traced`] so the handle's `nnls.*` metrics see it.
+    pub fn fit_rows_traced(
+        &self,
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        tel: &Telemetry,
+    ) -> Result<LinearModel, FitError> {
+        self.fit_rows_impl(rows, targets, Some(tel))
+    }
+
+    fn fit_rows_impl(
+        &self,
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        tel: Option<&Telemetry>,
+    ) -> Result<LinearModel, FitError> {
         if rows.len() != targets.len() {
             return Err(FitError::DimensionMismatch {
                 context: "fit_rows: rows/targets length mismatch",
@@ -69,7 +90,10 @@ impl NonNegLinearFit {
         }
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let a = Matrix::from_rows(&refs)?;
-        let NnlsSolution { x, residual_ss, .. } = nnls(&a, targets)?;
+        let NnlsSolution { x, residual_ss, .. } = match tel {
+            Some(tel) if tel.is_enabled() => nnls_traced(&a, targets, tel)?,
+            _ => nnls(&a, targets)?,
+        };
         Ok(LinearModel {
             theta: x,
             residual_ss,
@@ -188,7 +212,11 @@ mod tests {
         let heavy_first = NonNegLinearFit
             .fit_rows_weighted(&rows, &targets, &[100.0, 100.0, 100.0, 0.01, 0.01, 0.01])
             .unwrap();
-        assert!((heavy_first.theta[0] - 2.0).abs() < 0.2, "{:?}", heavy_first);
+        assert!(
+            (heavy_first.theta[0] - 2.0).abs() < 0.2,
+            "{:?}",
+            heavy_first
+        );
         let heavy_last = NonNegLinearFit
             .fit_rows_weighted(&rows, &targets, &[0.01, 0.01, 0.01, 100.0, 100.0, 100.0])
             .unwrap();

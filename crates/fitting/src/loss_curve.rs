@@ -10,8 +10,9 @@
 
 use crate::error::FitError;
 use crate::linalg::Matrix;
-use crate::nnls::nnls;
+use crate::nnls::{nnls, nnls_traced};
 use crate::preprocess::{preprocess_losses, LossSample, PreprocessOptions};
+use optimus_telemetry::Telemetry;
 
 /// A fitted convergence curve `l(k) = 1/(β₀·k + β₁) + β₂`.
 ///
@@ -150,6 +151,9 @@ pub struct LossCurveFitter {
     grid_points: usize,
     /// Golden-section refinement iterations around the best grid cell.
     refine_iters: usize,
+    /// Telemetry sink for the per-candidate NNLS solves (disabled by
+    /// default).
+    tel: Telemetry,
 }
 
 impl Default for LossCurveFitter {
@@ -166,7 +170,16 @@ impl LossCurveFitter {
             preprocess: PreprocessOptions::default(),
             grid_points: 32,
             refine_iters: 40,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every NNLS sub-solve of the β₂ scan
+    /// then feeds `nnls.solves` / `nnls.iterations` / `nnls.fit_failures`,
+    /// and each [`LossCurveFitter::fit`] call bumps `loss_curve.fits`.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// Disables loss normalization (useful when the caller already
@@ -187,6 +200,7 @@ impl LossCurveFitter {
     /// Returns [`FitError::NotEnoughSamples`] for fewer than 3 distinct
     /// steps and [`FitError::NoViableModel`] if every β₂ candidate fails.
     pub fn fit(&self, raw: &[LossSample]) -> Result<LossModel, FitError> {
+        self.tel.incr("loss_curve.fits");
         let pre = preprocess_losses(raw, self.preprocess);
         let samples = &pre.samples;
         let distinct = count_distinct_steps(samples);
@@ -214,8 +228,8 @@ impl LossCurveFitter {
         let steps = self.grid_points.max(2);
         for i in 0..steps {
             let beta2 = hi * i as f64 / (steps - 1) as f64;
-            if let Ok(m) = fit_for_beta2(samples, beta2, pre.scale) {
-                if best.as_ref().map_or(true, |(r, _)| m.residual_ss < *r) {
+            if let Ok(m) = fit_for_beta2(samples, beta2, pre.scale, &self.tel) {
+                if best.as_ref().is_none_or(|(r, _)| m.residual_ss < *r) {
                     best = Some((m.residual_ss, m));
                 }
             }
@@ -233,25 +247,25 @@ impl LossCurveFitter {
             const INV_PHI: f64 = 0.618_033_988_749_895;
             let mut c = b - (b - a) * INV_PHI;
             let mut d = a + (b - a) * INV_PHI;
-            let mut fc = residual_for_beta2(samples, c, pre.scale);
-            let mut fd = residual_for_beta2(samples, d, pre.scale);
+            let mut fc = residual_for_beta2(samples, c, pre.scale, &self.tel);
+            let mut fd = residual_for_beta2(samples, d, pre.scale, &self.tel);
             for _ in 0..self.refine_iters {
                 if fc < fd {
                     b = d;
                     d = c;
                     fd = fc;
                     c = b - (b - a) * INV_PHI;
-                    fc = residual_for_beta2(samples, c, pre.scale);
+                    fc = residual_for_beta2(samples, c, pre.scale, &self.tel);
                 } else {
                     a = c;
                     c = d;
                     fc = fd;
                     d = a + (b - a) * INV_PHI;
-                    fd = residual_for_beta2(samples, d, pre.scale);
+                    fd = residual_for_beta2(samples, d, pre.scale, &self.tel);
                 }
             }
             let beta2 = (a + b) / 2.0;
-            if let Ok(m) = fit_for_beta2(samples, beta2, pre.scale) {
+            if let Ok(m) = fit_for_beta2(samples, beta2, pre.scale, &self.tel) {
                 if m.residual_ss < best_model.residual_ss {
                     best_model = m;
                 }
@@ -270,8 +284,8 @@ fn count_distinct_steps(samples: &[LossSample]) -> usize {
 }
 
 /// Residual (loss space) of the best (β₀, β₁) for a fixed β₂, or +∞.
-fn residual_for_beta2(samples: &[LossSample], beta2: f64, scale: f64) -> f64 {
-    fit_for_beta2(samples, beta2, scale)
+fn residual_for_beta2(samples: &[LossSample], beta2: f64, scale: f64, tel: &Telemetry) -> f64 {
+    fit_for_beta2(samples, beta2, scale, tel)
         .map(|m| m.residual_ss)
         .unwrap_or(f64::INFINITY)
 }
@@ -284,7 +298,12 @@ fn residual_for_beta2(samples: &[LossSample], beta2: f64, scale: f64) -> f64 {
 /// minimize (approximately) the loss-space residual instead of letting
 /// near-converged tail points with exploding `1/gap` dominate. The final
 /// residual is evaluated exactly in loss space.
-fn fit_for_beta2(samples: &[LossSample], beta2: f64, scale: f64) -> Result<LossModel, FitError> {
+fn fit_for_beta2(
+    samples: &[LossSample],
+    beta2: f64,
+    scale: f64,
+    tel: &Telemetry,
+) -> Result<LossModel, FitError> {
     let mut rows: Vec<[f64; 2]> = Vec::with_capacity(samples.len());
     let mut ys: Vec<f64> = Vec::with_capacity(samples.len());
     for &(k, l) in samples {
@@ -306,7 +325,11 @@ fn fit_for_beta2(samples: &[LossSample], beta2: f64, scale: f64) -> Result<LossM
     }
     let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
     let a = Matrix::from_rows(&refs)?;
-    let sol = nnls(&a, &ys)?;
+    let sol = if tel.is_enabled() {
+        nnls_traced(&a, &ys, tel)?
+    } else {
+        nnls(&a, &ys)?
+    };
     let (beta0, beta1) = (sol.x[0], sol.x[1]);
     let model = LossModel {
         beta0,
@@ -341,7 +364,10 @@ mod tests {
     #[test]
     fn exact_recovery_without_noise() {
         let pts = synth(0.21, 1.07, 0.07, 120);
-        let m = LossCurveFitter::new().without_normalization().fit(&pts).unwrap();
+        let m = LossCurveFitter::new()
+            .without_normalization()
+            .fit(&pts)
+            .unwrap();
         assert!((m.beta0 - 0.21).abs() < 0.01, "beta0={}", m.beta0);
         assert!((m.beta1 - 1.07).abs() < 0.05, "beta1={}", m.beta1);
         assert!((m.beta2 - 0.07).abs() < 0.005, "beta2={}", m.beta2);
@@ -353,7 +379,10 @@ mod tests {
         // Fig 7 reports β₀=0.21, β₁=1.07, β₂=0.07 for Seq2Seq; check the
         // fitter reproduces a curve predicting the same losses.
         let pts = synth(0.21, 1.07, 0.07, 200);
-        let m = LossCurveFitter::new().without_normalization().fit(&pts).unwrap();
+        let m = LossCurveFitter::new()
+            .without_normalization()
+            .fit(&pts)
+            .unwrap();
         for &(k, l) in pts.iter().step_by(17) {
             assert!((m.loss_at(k) - l).abs() < 1e-3);
         }
@@ -380,7 +409,10 @@ mod tests {
     #[test]
     fn convergence_epoch_monotone_in_threshold() {
         let pts = synth(0.05, 1.0, 0.05, 400);
-        let m = LossCurveFitter::new().without_normalization().fit(&pts).unwrap();
+        let m = LossCurveFitter::new()
+            .without_normalization()
+            .fit(&pts)
+            .unwrap();
         let e_tight = m.convergence_epoch(0.001, 10).unwrap();
         let e_loose = m.convergence_epoch(0.01, 10).unwrap();
         assert!(e_tight >= e_loose, "{e_tight} vs {e_loose}");
@@ -389,7 +421,10 @@ mod tests {
     #[test]
     fn convergence_step_includes_patience() {
         let pts = synth(0.05, 1.0, 0.05, 400);
-        let m = LossCurveFitter::new().without_normalization().fit(&pts).unwrap();
+        let m = LossCurveFitter::new()
+            .without_normalization()
+            .fit(&pts)
+            .unwrap();
         let no_patience = m.convergence_step(0.01, 10, 0).unwrap();
         let with_patience = m.convergence_step(0.01, 10, 3).unwrap();
         assert_eq!(with_patience, no_patience + 30);
@@ -398,7 +433,10 @@ mod tests {
     #[test]
     fn remaining_steps_saturates_at_zero() {
         let pts = synth(0.5, 1.0, 0.0, 200);
-        let m = LossCurveFitter::new().without_normalization().fit(&pts).unwrap();
+        let m = LossCurveFitter::new()
+            .without_normalization()
+            .fit(&pts)
+            .unwrap();
         let total = m.convergence_step(0.05, 5, 1).unwrap();
         assert_eq!(m.remaining_steps(total + 100, 0.05, 5, 1), Some(0));
     }
@@ -406,7 +444,10 @@ mod tests {
     #[test]
     fn invalid_threshold_is_none() {
         let pts = synth(0.5, 1.0, 0.0, 50);
-        let m = LossCurveFitter::new().without_normalization().fit(&pts).unwrap();
+        let m = LossCurveFitter::new()
+            .without_normalization()
+            .fit(&pts)
+            .unwrap();
         assert_eq!(m.convergence_epoch(0.0, 10), None);
         assert_eq!(m.convergence_epoch(-1.0, 10), None);
         assert_eq!(m.convergence_epoch(0.01, 0), None);
@@ -429,7 +470,10 @@ mod tests {
         let mut pts = synth(0.21, 1.07, 0.07, 150);
         pts[40].1 = 50.0;
         pts[90].1 = 0.0;
-        let m = LossCurveFitter::new().without_normalization().fit(&pts).unwrap();
+        let m = LossCurveFitter::new()
+            .without_normalization()
+            .fit(&pts)
+            .unwrap();
         assert!((m.beta0 - 0.21).abs() < 0.05, "beta0={}", m.beta0);
     }
 

@@ -62,6 +62,27 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, FitError> {
     nnls_with(a, b, NnlsOptions::default())
 }
 
+/// Like [`nnls`], but reports into a [`Telemetry`] handle: each call
+/// bumps the `nnls.solves` counter and feeds the `nnls.iterations`
+/// histogram; failed solves bump `nnls.fit_failures`.
+pub fn nnls_traced(
+    a: &Matrix,
+    b: &[f64],
+    tel: &optimus_telemetry::Telemetry,
+) -> Result<NnlsSolution, FitError> {
+    tel.incr("nnls.solves");
+    match nnls(a, b) {
+        Ok(sol) => {
+            tel.observe("nnls.iterations", sol.iterations as f64);
+            Ok(sol)
+        }
+        Err(e) => {
+            tel.incr("nnls.fit_failures");
+            Err(e)
+        }
+    }
+}
+
 /// Solves `min ‖A·x − b‖₂ s.t. x ≥ 0` with explicit options.
 pub fn nnls_with(a: &Matrix, b: &[f64], opts: NnlsOptions) -> Result<NnlsSolution, FitError> {
     if b.len() != a.rows() {
@@ -71,7 +92,9 @@ pub fn nnls_with(a: &Matrix, b: &[f64], opts: NnlsOptions) -> Result<NnlsSolutio
     }
     for v in b {
         if !v.is_finite() {
-            return Err(FitError::NonFiniteInput { context: "nnls rhs" });
+            return Err(FitError::NonFiniteInput {
+                context: "nnls rhs",
+            });
         }
     }
     for r in 0..a.rows() {

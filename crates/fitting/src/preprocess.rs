@@ -166,7 +166,10 @@ mod tests {
     use super::*;
 
     fn series(vals: &[f64]) -> Vec<LossSample> {
-        vals.iter().enumerate().map(|(i, &v)| (i as u64, v)).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64, v))
+            .collect()
     }
 
     #[test]

@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn detects_rank_deficiency() {
         let a = mat(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
-        assert_eq!(qr_lstsq(&a, &[1.0, 2.0, 3.0]), Err(FitError::SingularSystem));
+        assert_eq!(
+            qr_lstsq(&a, &[1.0, 2.0, 3.0]),
+            Err(FitError::SingularSystem)
+        );
     }
 
     #[test]

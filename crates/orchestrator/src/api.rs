@@ -62,9 +62,7 @@ impl ApiServer {
     pub fn create_node(&self, node: &NodeRecord) -> Result<Revision, ApiError> {
         let key = format!("nodes/{}", node.name);
         let json = serde_json::to_string(node).expect("NodeRecord serializes");
-        self.store
-            .cas(&key, json, 0)
-            .ok_or(ApiError::Conflict(key))
+        self.store.cas(&key, json, 0).ok_or(ApiError::Conflict(key))
     }
 
     /// Updates a node record unconditionally (kubelet heartbeat).
@@ -80,7 +78,10 @@ impl ApiServer {
     /// Reads one node.
     pub fn get_node(&self, name: &str) -> Result<NodeRecord, ApiError> {
         let key = format!("nodes/{name}");
-        let (json, _) = self.store.get(&key).ok_or(ApiError::NotFound(key.clone()))?;
+        let (json, _) = self
+            .store
+            .get(&key)
+            .ok_or(ApiError::NotFound(key.clone()))?;
         serde_json::from_str(&json).map_err(|_| ApiError::Corrupt(key))
     }
 
@@ -99,15 +100,16 @@ impl ApiServer {
     pub fn create_pod(&self, pod: &PodRecord) -> Result<Revision, ApiError> {
         let key = format!("pods/{}", pod.spec.name);
         let json = serde_json::to_string(pod).expect("PodRecord serializes");
-        self.store
-            .cas(&key, json, 0)
-            .ok_or(ApiError::Conflict(key))
+        self.store.cas(&key, json, 0).ok_or(ApiError::Conflict(key))
     }
 
     /// Reads one pod with its revision.
     pub fn get_pod(&self, name: &str) -> Result<(PodRecord, Revision), ApiError> {
         let key = format!("pods/{name}");
-        let (json, rev) = self.store.get(&key).ok_or(ApiError::NotFound(key.clone()))?;
+        let (json, rev) = self
+            .store
+            .get(&key)
+            .ok_or(ApiError::NotFound(key.clone()))?;
         let pod = serde_json::from_str(&json).map_err(|_| ApiError::Corrupt(key))?;
         Ok((pod, rev))
     }
@@ -197,8 +199,11 @@ mod tests {
 
     fn api_with_node() -> ApiServer {
         let api = ApiServer::new();
-        api.create_node(&NodeRecord::ready("n0", ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
-            .unwrap();
+        api.create_node(&NodeRecord::ready(
+            "n0",
+            ResourceVec::new(32.0, 0.0, 80.0, 1.0),
+        ))
+        .unwrap();
         api
     }
 

@@ -160,8 +160,11 @@ mod tests {
 
     fn setup() -> (ApiServer, JobController) {
         let api = ApiServer::new();
-        api.create_node(&NodeRecord::ready("n0", ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
-            .unwrap();
+        api.create_node(&NodeRecord::ready(
+            "n0",
+            ResourceVec::new(32.0, 0.0, 80.0, 1.0),
+        ))
+        .unwrap();
         (api.clone(), JobController::new(api))
     }
 
@@ -234,9 +237,6 @@ mod tests {
     fn unknown_job_errors() {
         let (_, ctl) = setup();
         assert!(matches!(ctl.get(JobId(9)), Err(ApiError::NotFound(_))));
-        assert!(matches!(
-            ctl.complete(JobId(9)),
-            Err(ApiError::NotFound(_))
-        ));
+        assert!(matches!(ctl.complete(JobId(9)), Err(ApiError::NotFound(_))));
     }
 }

@@ -84,8 +84,11 @@ mod tests {
 
     fn setup() -> (ApiServer, Kubelet) {
         let api = ApiServer::new();
-        api.create_node(&NodeRecord::ready("n0", ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
-            .unwrap();
+        api.create_node(&NodeRecord::ready(
+            "n0",
+            ResourceVec::new(32.0, 0.0, 80.0, 1.0),
+        ))
+        .unwrap();
         let kubelet = Kubelet::new("n0", api.clone());
         (api, kubelet)
     }
@@ -114,8 +117,11 @@ mod tests {
     #[test]
     fn ignores_other_nodes_pods() {
         let (api, kubelet) = setup();
-        api.create_node(&NodeRecord::ready("n1", ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
-            .unwrap();
+        api.create_node(&NodeRecord::ready(
+            "n1",
+            ResourceVec::new(32.0, 0.0, 80.0, 1.0),
+        ))
+        .unwrap();
         make_pod(&api, "p0");
         api.bind_pod("p0", "n1").unwrap();
         assert_eq!(kubelet.step().unwrap(), 0);

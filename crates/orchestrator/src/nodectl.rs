@@ -75,8 +75,11 @@ mod tests {
     fn setup() -> (ApiServer, NodeController) {
         let api = ApiServer::new();
         for name in ["n0", "n1"] {
-            api.create_node(&NodeRecord::ready(name, ResourceVec::new(32.0, 0.0, 80.0, 1.0)))
-                .unwrap();
+            api.create_node(&NodeRecord::ready(
+                name,
+                ResourceVec::new(32.0, 0.0, 80.0, 1.0),
+            ))
+            .unwrap();
         }
         let ctl = NodeController::new(api.clone(), 30.0);
         (api, ctl)

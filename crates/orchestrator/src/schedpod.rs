@@ -215,8 +215,13 @@ mod tests {
 
     fn job(id: u64) -> JobView {
         let mut speed = SpeedModel::new(TrainingMode::Synchronous, 64.0);
-        for (p, w, f) in [(1, 1, 0.02), (2, 2, 0.04), (4, 4, 0.06), (8, 8, 0.07), (4, 8, 0.065)]
-        {
+        for (p, w, f) in [
+            (1, 1, 0.02),
+            (2, 2, 0.04),
+            (4, 4, 0.06),
+            (8, 8, 0.07),
+            (4, 8, 0.065),
+        ] {
             speed.record(p, w, f);
         }
         speed.refit().unwrap();
@@ -241,7 +246,9 @@ mod tests {
         let pods = api.list_pods();
         assert_eq!(pods.len(), out.pods_created);
         assert!(pods.iter().all(|p| p.phase == PodPhase::Bound));
-        assert!(pods.iter().any(|p| p.spec.role == TaskRole::ParameterServer));
+        assert!(pods
+            .iter()
+            .any(|p| p.spec.role == TaskRole::ParameterServer));
         assert!(pods.iter().any(|p| p.spec.role == TaskRole::Worker));
     }
 
@@ -305,9 +312,6 @@ mod tests {
         let out = pod.reconcile(&[job(0)]).unwrap();
         assert_eq!(out.jobs_rescheduled, 1);
         assert!(out.pods_created > 0);
-        assert!(api
-            .list_pods()
-            .iter()
-            .all(|p| p.phase == PodPhase::Bound));
+        assert!(api.list_pods().iter().all(|p| p.phase == PodPhase::Bound));
     }
 }

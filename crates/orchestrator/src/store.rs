@@ -135,9 +135,7 @@ impl KvStore {
     /// Deletes a key; returns the mutation revision if it existed.
     pub fn delete(&self, key: &str) -> Option<Revision> {
         let mut inner = self.inner.write();
-        if inner.data.remove(key).is_none() {
-            return None;
-        }
+        inner.data.remove(key)?;
         inner.revision += 1;
         let rev = inner.revision;
         Self::notify(
@@ -190,9 +188,9 @@ impl KvStore {
 
     fn notify(inner: &mut Inner, event: WatchEvent) {
         inner.history.push(event.clone());
-        inner
-            .watchers
-            .retain(|(prefix, tx)| !event.key().starts_with(prefix.as_str()) || tx.send(event.clone()).is_ok());
+        inner.watchers.retain(|(prefix, tx)| {
+            !event.key().starts_with(prefix.as_str()) || tx.send(event.clone()).is_ok()
+        });
     }
 }
 

@@ -2,11 +2,10 @@
 //! controller + job controller + scheduler pod, driven over many rounds
 //! through node failure and scheduler restart.
 
-use optimus_cluster::{Cluster, ResourceVec};
+use optimus_cluster::Cluster;
 use optimus_core::prelude::*;
 use optimus_orchestrator::{
-    ApiServer, JobController, JobPhase, JobRecord, Kubelet, NodeController, PodPhase,
-    SchedulerPod,
+    ApiServer, JobController, JobPhase, JobRecord, Kubelet, NodeController, PodPhase, SchedulerPod,
 };
 use optimus_workload::{JobId, ModelKind, TrainingMode};
 
@@ -93,15 +92,15 @@ fn jobs_progress_through_phases() {
     let mut cp = ControlPlane::new();
     cp.jobs.submit(&record(0)).unwrap();
     cp.jobs.submit(&record(1)).unwrap();
-    assert!(cp.jobs.list().iter().all(|j| j.phase == JobPhase::Submitted));
-
-    let views = vec![job_view(0, 20_000.0), job_view(1, 4_000.0)];
-    cp.round(0.0, &views);
     assert!(cp
         .jobs
         .list()
         .iter()
-        .all(|j| j.phase == JobPhase::Training));
+        .all(|j| j.phase == JobPhase::Submitted));
+
+    let views = vec![job_view(0, 20_000.0), job_view(1, 4_000.0)];
+    cp.round(0.0, &views);
+    assert!(cp.jobs.list().iter().all(|j| j.phase == JobPhase::Training));
 
     // Job 1 converges: the scheduler stops feeding it, the job
     // controller finalizes it.
@@ -109,11 +108,7 @@ fn jobs_progress_through_phases() {
     let views = vec![job_view(0, 15_000.0)];
     cp.round(600.0, &views);
     assert_eq!(cp.jobs.get(JobId(1)).unwrap().phase, JobPhase::Completed);
-    assert!(cp
-        .api
-        .list_pods()
-        .iter()
-        .all(|p| p.spec.job == JobId(0)));
+    assert!(cp.api.list_pods().iter().all(|p| p.spec.job == JobId(0)));
     assert_eq!(cp.jobs.active().len(), 1);
 }
 
@@ -150,7 +145,8 @@ fn node_failure_is_detected_and_healed() {
         "{pods:?}"
     );
     assert!(
-        pods.iter().all(|p| p.node.as_deref() != Some(victim_name.as_str())),
+        pods.iter()
+            .all(|p| p.node.as_deref() != Some(victim_name.as_str())),
         "no pod may remain on the dead node"
     );
     // The job went Degraded in between and is Training again.

@@ -15,8 +15,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 16, v)),
         any::<u8>().prop_map(|k| Op::Delete(k % 16)),
-        (any::<u8>(), any::<u8>(), any::<bool>())
-            .prop_map(|(k, v, fresh)| Op::Cas(k % 16, v, fresh)),
+        (any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(k, v, fresh)| Op::Cas(
+            k % 16,
+            v,
+            fresh
+        )),
     ]
 }
 

@@ -57,7 +57,9 @@ impl PsAssignment {
         assert!(p > 0, "need at least one parameter server");
         let p = p as usize;
         let mut shards: Vec<Vec<PlacedBlock>> = vec![Vec::new(); p];
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         for (i, &size) in blocks.iter().enumerate() {
             if size < threshold {
                 // Random PS.
@@ -73,7 +75,10 @@ impl PsAssignment {
                 for (k, shard) in shards.iter_mut().enumerate() {
                     let slice = base + u64::from((k as u64) < rem);
                     if slice > 0 {
-                        shard.push(PlacedBlock { block: i, size: slice });
+                        shard.push(PlacedBlock {
+                            block: i,
+                            size: slice,
+                        });
                     }
                 }
             }
@@ -124,7 +129,10 @@ impl PsAssignment {
                 while remaining > 0 {
                     let part = remaining.min(avg);
                     let target = argmin_u64(&sizes);
-                    shards[target].push(PlacedBlock { block: i, size: part });
+                    shards[target].push(PlacedBlock {
+                        block: i,
+                        size: part,
+                    });
                     sizes[target] += part;
                     requests[target] += 1;
                     remaining -= part;
@@ -199,7 +207,11 @@ impl PsAssignment {
             size_difference: max_size - min_size,
             request_difference: max_req - min_req,
             total_requests: requests.iter().sum(),
-            imbalance_factor: if mean > 0.0 { max_size as f64 / mean } else { 1.0 },
+            imbalance_factor: if mean > 0.0 {
+                max_size as f64 / mean
+            } else {
+                1.0
+            },
         }
     }
 }

@@ -193,12 +193,8 @@ mod tests {
     fn traffic_from_step_model() {
         // 100 MB model over p = 4, w = 8 at 0.1 steps/s:
         // shard 25 MB; ps moves 2·25·8·0.1 = 40 MB/s; worker 2·25·4·0.1 = 20.
-        let jt = JobTraffic::from_step_model(
-            JobId(0),
-            vec![(ServerId(0), counts(4, 8))],
-            100e6,
-            0.1,
-        );
+        let jt =
+            JobTraffic::from_step_model(JobId(0), vec![(ServerId(0), counts(4, 8))], 100e6, 0.1);
         assert!((jt.ps_bytes_per_s - 40e6).abs() < 1.0);
         assert!((jt.worker_bytes_per_s - 20e6).abs() < 1.0);
         // Degenerate placement → zero traffic.

@@ -69,10 +69,7 @@ impl Default for EnvFactors {
 impl EnvFactors {
     /// The slowest worker's slowdown factor (1.0 when none recorded).
     pub fn max_slowdown(&self) -> f64 {
-        self.worker_slowdown
-            .iter()
-            .cloned()
-            .fold(1.0_f64, f64::max)
+        self.worker_slowdown.iter().cloned().fold(1.0_f64, f64::max)
     }
 
     /// Mean of `1/slowdown` across workers — the aggregate-rate factor
@@ -297,8 +294,10 @@ mod tests {
     #[test]
     fn straggler_gates_sync_but_only_dilutes_async() {
         let sync = resnet(TrainingMode::Synchronous);
-        let mut env = EnvFactors::default();
-        env.worker_slowdown = vec![1.0, 1.0, 1.0, 2.0];
+        let env = EnvFactors {
+            worker_slowdown: vec![1.0, 1.0, 1.0, 2.0],
+            ..EnvFactors::default()
+        };
         let clean = sync.speed(4, 4);
         let slowed = sync.speed_with(4, 4, &env);
         assert!((slowed - clean / 2.0).abs() / clean < 1e-9);
@@ -314,8 +313,10 @@ mod tests {
     fn imbalance_slows_training() {
         let m = resnet(TrainingMode::Synchronous);
         let balanced = m.speed(10, 10);
-        let mut env = EnvFactors::default();
-        env.imbalance = 1.5;
+        let mut env = EnvFactors {
+            imbalance: 1.5,
+            ..EnvFactors::default()
+        };
         let imbalanced = m.speed_with(10, 10, &env);
         assert!(imbalanced < balanced);
         // Imbalance below 1 is clamped (cannot be better than balanced).
@@ -327,8 +328,10 @@ mod tests {
     fn nic_contention_slows_training() {
         let m = resnet(TrainingMode::Synchronous);
         let clean = m.speed(10, 10);
-        let mut env = EnvFactors::default();
-        env.nic_oversubscription = 2.0;
+        let mut env = EnvFactors {
+            nic_oversubscription: 2.0,
+            ..EnvFactors::default()
+        };
         let contended = m.speed_with(10, 10, &env);
         assert!(contended < clean);
         // Sub-1 values are clamped (contention never helps).
@@ -340,8 +343,10 @@ mod tests {
     fn good_placement_speeds_up_training() {
         let m = resnet(TrainingMode::Synchronous);
         let all_remote = m.speed(10, 10);
-        let mut env = EnvFactors::default();
-        env.transfer_stretch = 0.5; // half the traffic is server-local
+        let env = EnvFactors {
+            transfer_stretch: 0.5, // half the traffic is server-local
+            ..EnvFactors::default()
+        };
         let colocated = m.speed_with(10, 10, &env);
         assert!(colocated > all_remote);
     }

@@ -12,6 +12,7 @@
 //! the simulator injects slowdowns, the monitor detects and "replaces"
 //! the worker after a configurable relaunch delay.
 
+use optimus_telemetry::Telemetry;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +70,7 @@ pub struct StragglerMonitor {
     policy: StragglerPolicy,
     workers: Vec<WorkerState>,
     replacements: usize,
+    tel: Telemetry,
 }
 
 impl StragglerMonitor {
@@ -78,7 +80,15 @@ impl StragglerMonitor {
             policy,
             workers: vec![WorkerState::Healthy; w],
             replacements: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every replacement then bumps the
+    /// `straggler.replacements` counter.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// Resizes to `w` workers (scale events keep existing states where
@@ -150,6 +160,7 @@ impl StragglerMonitor {
                             remaining_s: self.policy.replacement_delay_s,
                         };
                         self.replacements += 1;
+                        self.tel.incr("straggler.replacements");
                     }
                 }
             }

@@ -187,9 +187,7 @@ mod tests {
             TaskCounts { ps: 2, workers: 1 },
             TaskCounts { ps: 0, workers: 3 },
         ];
-        assert!(
-            transfer_time(&even, 1.0, 1.0, 1.0) < transfer_time(&uneven, 1.0, 1.0, 1.0)
-        );
+        assert!(transfer_time(&even, 1.0, 1.0, 1.0) < transfer_time(&uneven, 1.0, 1.0, 1.0));
     }
 
     #[test]

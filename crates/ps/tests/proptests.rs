@@ -91,8 +91,10 @@ proptest! {
     fn sync_speed_monotone_in_straggler(slow in 1.0f64..10.0) {
         use optimus_ps::EnvFactors;
         let m = PsJobModel::new(ModelKind::ResNet50.profile(), TrainingMode::Synchronous);
-        let mut env = EnvFactors::default();
-        env.worker_slowdown = vec![1.0, slow];
+        let mut env = EnvFactors {
+            worker_slowdown: vec![1.0, slow],
+            ..EnvFactors::default()
+        };
         let s = m.speed_with(4, 2, &env);
         env.worker_slowdown = vec![1.0, slow * 2.0];
         let s2 = m.speed_with(4, 2, &env);

@@ -68,10 +68,7 @@ fn even_spread_on_fewest_servers_is_optimal() {
         let k_min = ((p + w) as f64 / cap as f64).ceil() as usize;
         // The theorem's placement: even spread over exactly k_min.
         let theorem = even_spread(p, w, k_min);
-        if theorem
-            .iter()
-            .any(|c| c.ps + c.workers > cap)
-        {
+        if theorem.iter().any(|c| c.ps + c.workers > cap) {
             // Even spread itself can exceed the per-server capacity for
             // some (p, w, cap) mixes; skip those (the theorem assumes
             // the job fits evenly).
@@ -99,10 +96,7 @@ fn more_servers_never_helps() {
         let mut prev = 0.0;
         for k in 1..=((p + w) as usize) {
             let t = transfer_time(&even_spread(p, w, k), 1.0, 1.0, 1.0);
-            assert!(
-                t + 1e-12 >= prev,
-                "(p={p}, w={w}): k={k} gave {t} < {prev}"
-            );
+            assert!(t + 1e-12 >= prev, "(p={p}, w={w}): k={k} gave {t} < {prev}");
             prev = t;
         }
     }

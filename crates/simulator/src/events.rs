@@ -55,6 +55,21 @@ pub enum SimEventKind {
         /// Completion time minus submission time, seconds.
         jct: f64,
     },
+    /// The §5.2 straggler monitor flagged workers and started
+    /// replacements.
+    StragglerReplaced {
+        /// The job.
+        job: JobId,
+        /// Workers replaced at this detection.
+        replacements: usize,
+    },
+    /// A reconfiguration triggered §5.1 data-chunk rebalancing.
+    ChunksRebalanced {
+        /// The job.
+        job: JobId,
+        /// Chunks moved between workers.
+        moved: usize,
+    },
 }
 
 impl SimEvent {
@@ -64,7 +79,9 @@ impl SimEvent {
             SimEventKind::JobAdmitted { job, .. }
             | SimEventKind::JobScheduled { job, .. }
             | SimEventKind::JobPaused { job }
-            | SimEventKind::JobFinished { job, .. } => job,
+            | SimEventKind::JobFinished { job, .. }
+            | SimEventKind::StragglerReplaced { job, .. }
+            | SimEventKind::ChunksRebalanced { job, .. } => job,
         }
     }
 }
@@ -76,8 +93,10 @@ pub struct EventLog {
 }
 
 impl EventLog {
-    /// Appends an event (engine-internal).
-    pub(crate) fn push(&mut self, t: f64, kind: SimEventKind) {
+    /// Appends an event. Public so external harnesses (replay tools,
+    /// tests) can synthesize logs with the same machinery the engine
+    /// uses.
+    pub fn push(&mut self, t: f64, kind: SimEventKind) {
         self.events.push(SimEvent { t, kind });
     }
 
@@ -152,7 +171,21 @@ mod tests {
                 rescale: true,
             },
         );
+        log.push(
+            600.0,
+            SimEventKind::ChunksRebalanced {
+                job: JobId(0),
+                moved: 3,
+            },
+        );
         log.push(601.0, SimEventKind::JobPaused { job: JobId(1) });
+        log.push(
+            700.0,
+            SimEventKind::StragglerReplaced {
+                job: JobId(1),
+                replacements: 1,
+            },
+        );
         log.push(
             900.0,
             SimEventKind::JobFinished {
@@ -166,10 +199,10 @@ mod tests {
     #[test]
     fn query_helpers() {
         let log = sample_log();
-        assert_eq!(log.len(), 5);
+        assert_eq!(log.len(), 7);
         assert!(!log.is_empty());
-        assert_eq!(log.for_job(JobId(0)).len(), 4);
-        assert_eq!(log.for_job(JobId(1)).len(), 1);
+        assert_eq!(log.for_job(JobId(0)).len(), 5);
+        assert_eq!(log.for_job(JobId(1)).len(), 2);
         assert_eq!(log.rescales(), 1);
     }
 
@@ -177,13 +210,15 @@ mod tests {
     fn json_lines_roundtrip() {
         let log = sample_log();
         let lines = log.to_json_lines();
-        assert_eq!(lines.lines().count(), 5);
+        assert_eq!(lines.lines().count(), 7);
         for line in lines.lines() {
             let back: SimEvent = serde_json::from_str(line).expect("parses");
             assert!(log.all().contains(&back));
         }
         // Tagged representation is stable and grep-friendly.
         assert!(lines.contains("\"kind\":\"JobFinished\""));
+        assert!(lines.contains("\"kind\":\"StragglerReplaced\""));
+        assert!(lines.contains("\"kind\":\"ChunksRebalanced\""));
     }
 
     #[test]

@@ -198,8 +198,8 @@ impl SimJob {
             return 0.0;
         }
         let profile = self.spec.profile();
-        let compute =
-            truth.minibatch(self.workers) * profile.forward_time_per_example + profile.backward_time;
+        let compute = truth.minibatch(self.workers) * profile.forward_time_per_example
+            + profile.backward_time;
         (compute / t).clamp(0.0, 1.0)
     }
 
@@ -214,8 +214,7 @@ impl SimJob {
         if !t.is_finite() || t <= 0.0 {
             return 0.0;
         }
-        let compute = truth.minibatch(self.workers)
-            * self.spec.profile().forward_time_per_example
+        let compute = truth.minibatch(self.workers) * self.spec.profile().forward_time_per_example
             + self.spec.profile().backward_time;
         let comm = (t - compute).max(0.0);
         (comm / t).clamp(0.0, 1.0)

@@ -1,6 +1,7 @@
 //! Simulation metrics: the quantities the paper's figures report.
 
 use crate::events::EventLog;
+use optimus_telemetry::TelemetrySummary;
 use optimus_workload::JobId;
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +70,9 @@ pub struct SimReport {
     /// Emergent estimator-fidelity samples (empty unless
     /// `SimConfig::track_fidelity` was set).
     pub fidelity: Vec<FidelityPoint>,
+    /// Final counter/gauge/histogram snapshot of the run's telemetry
+    /// handle (`None` when `SimConfig::telemetry` was disabled).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl SimReport {
@@ -86,6 +90,36 @@ impl SimReport {
             return 0.0;
         }
         self.jct.iter().map(|&(_, t)| t).sum::<f64>() / self.jct.len() as f64
+    }
+
+    /// JCT at quantile `q` in `[0, 1]` by the nearest-rank method
+    /// (0 when no job finished). Tail percentiles matter for
+    /// fairness-style comparisons the mean hides: a scheduler can win
+    /// on `avg_jct` while starving its slowest jobs.
+    pub fn jct_percentile(&self, q: f64) -> f64 {
+        if self.jct.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.jct.iter().map(|&(_, t)| t).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = v.len();
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+        v[rank.clamp(1, n) - 1]
+    }
+
+    /// Median job completion time, seconds.
+    pub fn p50_jct(&self) -> f64 {
+        self.jct_percentile(0.50)
+    }
+
+    /// 95th-percentile job completion time, seconds.
+    pub fn p95_jct(&self) -> f64 {
+        self.jct_percentile(0.95)
+    }
+
+    /// 99th-percentile job completion time, seconds.
+    pub fn p99_jct(&self) -> f64 {
+        self.jct_percentile(0.99)
     }
 
     /// Scaling overhead as a fraction of makespan (§6.2 reports 2.54 %).
@@ -156,6 +190,7 @@ mod tests {
             unfinished_jobs: 0,
             events: EventLog::default(),
             fidelity: vec![],
+            telemetry: None,
             timeline: vec![
                 TimePoint {
                     t: 0.0,
@@ -204,11 +239,41 @@ mod tests {
             timeline: vec![],
             events: EventLog::default(),
             fidelity: vec![],
+            telemetry: None,
         };
         assert_eq!(r.avg_jct(), 0.0);
         assert_eq!(r.avg_wait(), 0.0);
         assert_eq!(r.scaling_overhead_fraction(), 0.0);
         assert_eq!(r.mean_running_tasks(), 0.0);
         assert_eq!(r.mean_worker_utilization(), 0.0);
+        assert_eq!(r.p50_jct(), 0.0);
+        assert_eq!(r.p99_jct(), 0.0);
+    }
+
+    #[test]
+    fn jct_percentiles_nearest_rank() {
+        let mut r = report();
+        // Unsorted on purpose: percentiles must sort internally.
+        r.jct = (1..=10)
+            .rev()
+            .map(|i| (JobId(i), i as f64 * 100.0))
+            .collect();
+        assert_eq!(r.p50_jct(), 500.0);
+        assert_eq!(r.p95_jct(), 1000.0);
+        assert_eq!(r.p99_jct(), 1000.0);
+        assert_eq!(r.jct_percentile(0.0), 100.0);
+        assert_eq!(r.jct_percentile(1.0), 1000.0);
+        // A single job: every percentile is its JCT.
+        r.jct = vec![(JobId(0), 42.0)];
+        assert_eq!(r.p50_jct(), 42.0);
+        assert_eq!(r.p99_jct(), 42.0);
+    }
+
+    #[test]
+    fn percentiles_bound_the_mean() {
+        let r = report();
+        assert!(r.p50_jct() <= r.p99_jct());
+        assert!(r.avg_jct() <= r.p99_jct());
+        assert!(r.p50_jct() <= r.p95_jct() && r.p95_jct() <= r.p99_jct());
     }
 }

@@ -9,6 +9,7 @@ use optimus_core::{JobView, Scheduler};
 use optimus_ps::contention::{oversubscription_factors, JobTraffic};
 use optimus_ps::transfer::transfer_stretch;
 use optimus_ps::{StragglerPolicy, TaskCounts};
+use optimus_telemetry::{Telemetry, TraceEvent};
 use optimus_workload::{JobSpec, TrainingMode};
 use rand::Rng;
 use rand::SeedableRng;
@@ -106,6 +107,13 @@ pub struct SimConfig {
     pub min_rescale_interval_s: f64,
     /// Record a structured [`EventLog`] of every decision in the report.
     pub record_events: bool,
+    /// Telemetry handle shared with the engine and every job's
+    /// estimators and straggler monitor. Pass the same enabled handle
+    /// to the scheduler (e.g. via
+    /// `OptimusScheduler::build_with_telemetry`) to collect the whole
+    /// pipeline in one trace; the default disabled handle records
+    /// nothing at near-zero cost.
+    pub telemetry: Telemetry,
     /// Sample, at every scheduling round, the gap between the
     /// scheduler's online estimates (speed at the current configuration,
     /// total steps to convergence) and the hidden ground truth.
@@ -138,6 +146,7 @@ impl Default for SimConfig {
             server_failures: Vec::new(),
             min_rescale_interval_s: 0.0,
             record_events: false,
+            telemetry: Telemetry::disabled(),
             track_fidelity: false,
             verbose: false,
         }
@@ -165,11 +174,19 @@ impl Simulation {
         config: SimConfig,
     ) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let tel = config.telemetry.clone();
         let jobs = specs
             .into_iter()
             .map(|spec| {
                 let mut job = SimJob::new(spec, config.straggler);
                 job.inject_signs = (rng.gen::<bool>(), rng.gen::<bool>());
+                if tel.is_enabled() {
+                    // One handle sees every job's fitting and straggler
+                    // counters alongside the engine's own records.
+                    job.speed_model = job.speed_model.clone().with_telemetry(tel.clone());
+                    job.convergence = job.convergence.clone().with_telemetry(tel.clone());
+                    job.stragglers = job.stragglers.clone().with_telemetry(tel.clone());
+                }
                 job
             })
             .collect();
@@ -203,16 +220,37 @@ impl Simulation {
 
         let mut timeline = Vec::new();
         let mut straggler_replacements_done = 0usize;
+        let tel = cfg.telemetry.clone();
+        let mut round: u64 = 0;
 
         let mut tick: u64 = 0;
         while tick < max_ticks {
             let t = tick as f64 * cfg.tick_s;
 
             self.process_server_failures(t);
-            if tick % ticks_per_interval == 0 {
+            if tick.is_multiple_of(ticks_per_interval) {
+                let started = std::time::Instant::now();
                 self.run_scheduling_round(t);
+                round += 1;
+                if tel.is_enabled() {
+                    let wall_us = started.elapsed().as_micros() as u64;
+                    tel.observe("sim.round_wall_us", wall_us as f64);
+                    let active_jobs = self
+                        .jobs
+                        .iter()
+                        .filter(|j| {
+                            j.status != JobStatus::Finished && j.status != JobStatus::Pending
+                        })
+                        .count();
+                    tel.record(TraceEvent::Round {
+                        round,
+                        t_s: t,
+                        active_jobs,
+                        wall_us,
+                    });
+                }
             }
-            if tick % ticks_per_sample == 0 {
+            if tick.is_multiple_of(ticks_per_sample) {
                 timeline.push(self.sample_timeline(t));
             }
 
@@ -232,8 +270,25 @@ impl Simulation {
                 // Straggler dynamics.
                 let before = self.jobs[i].stragglers.replacements();
                 self.jobs[i].stragglers.advance(dt, &mut self.rng);
-                straggler_replacements_done +=
-                    self.jobs[i].stragglers.replacements() - before;
+                let replaced = self.jobs[i].stragglers.replacements() - before;
+                straggler_replacements_done += replaced;
+                if replaced > 0 {
+                    let id = self.jobs[i].spec.id;
+                    self.log(
+                        t,
+                        SimEventKind::StragglerReplaced {
+                            job: id,
+                            replacements: replaced,
+                        },
+                    );
+                    if tel.is_enabled() {
+                        tel.record(TraceEvent::JobEvent {
+                            t_s: t,
+                            job: id.0,
+                            what: format!("straggler_replaced x{replaced}"),
+                        });
+                    }
+                }
                 self.jobs[i].env.worker_slowdown = self.jobs[i].stragglers.slowdown_factors();
 
                 let truth = self.jobs[i].truth();
@@ -256,7 +311,7 @@ impl Simulation {
                 self.jobs[i].interval_active_s += dt;
 
                 // Observed loss point (what the scheduler gets to see).
-                if tick % loss_every == 0 {
+                if tick.is_multiple_of(loss_every) {
                     let spe = self.jobs[i].steps_per_epoch();
                     let k = self.jobs[i].steps_done;
                     let loss = self.jobs[i]
@@ -281,6 +336,13 @@ impl Simulation {
                     let id = self.jobs[i].spec.id;
                     let jct = finish - self.jobs[i].spec.submit_time;
                     self.log(t, SimEventKind::JobFinished { job: id, jct });
+                    if tel.is_enabled() {
+                        tel.record(TraceEvent::JobEvent {
+                            t_s: finish,
+                            job: id.0,
+                            what: "finished".to_string(),
+                        });
+                    }
                 }
             }
 
@@ -330,6 +392,7 @@ impl Simulation {
             timeline,
             events: std::mem::take(&mut self.events),
             fidelity: std::mem::take(&mut self.fidelity),
+            telemetry: tel.is_enabled().then(|| tel.summary()),
         }
     }
 
@@ -353,8 +416,7 @@ impl Simulation {
         for sid in due {
             self.failed_servers.push(sid);
             for job in self.jobs.iter_mut() {
-                if job.status == JobStatus::Running
-                    && job.placement.iter().any(|&(s, _)| s == sid)
+                if job.status == JobStatus::Running && job.placement.iter().any(|&(s, _)| s == sid)
                 {
                     // Tasks lost; the job stalls until re-placed.
                     job.status = JobStatus::Paused;
@@ -369,6 +431,7 @@ impl Simulation {
     /// One §4 scheduling round at time `t`.
     fn run_scheduling_round(&mut self, t: f64) {
         let cfg = self.config.clone();
+        let tel = cfg.telemetry.clone();
 
         // 1. Admit & profile newly arrived jobs (§3.2 "Model fitting":
         // sample runs on a small dataset before the job starts).
@@ -393,6 +456,13 @@ impl Simulation {
                     profile_samples: cfg.profile_configs.len(),
                 },
             );
+            if tel.is_enabled() {
+                tel.record(TraceEvent::JobEvent {
+                    t_s: t,
+                    job: id.0,
+                    what: "admitted".to_string(),
+                });
+            }
         }
 
         // 2. Online calibration from the last interval's observations.
@@ -402,9 +472,42 @@ impl Simulation {
             }
             if let Some(speed) = job.observed_interval_speed() {
                 job.speed_model.record(job.ps, job.workers, speed);
-                let _ = job.speed_model.refit();
+                let speed_fit = job.speed_model.refit();
+                if tel.is_enabled() {
+                    match speed_fit {
+                        Ok(()) => tel.record(TraceEvent::SpeedFit {
+                            job: job.spec.id.0,
+                            coeffs: job.speed_model.coefficients().to_vec(),
+                            residual: job.speed_model.residual_ss().unwrap_or(0.0),
+                            samples: job.speed_model.sample_count(),
+                        }),
+                        Err(e) => tel.record(TraceEvent::FitFailure {
+                            job: job.spec.id.0,
+                            what: "speed".to_string(),
+                            reason: e.to_string(),
+                        }),
+                    }
+                }
             }
-            let _ = job.convergence.refit();
+            let conv_fit = job
+                .convergence
+                .refit()
+                .map(|m| (vec![m.beta0, m.beta1, m.beta2], m.residual_ss));
+            if tel.is_enabled() {
+                match conv_fit {
+                    Ok((coeffs, residual)) => tel.record(TraceEvent::ConvergenceFit {
+                        job: job.spec.id.0,
+                        coeffs,
+                        residual,
+                        samples: job.convergence.sample_count(),
+                    }),
+                    Err(e) => tel.record(TraceEvent::FitFailure {
+                        job: job.spec.id.0,
+                        what: "convergence".to_string(),
+                        reason: e.to_string(),
+                    }),
+                }
+            }
         }
 
         // 3. Build the scheduler's view. Jobs reconfigured less than
@@ -437,8 +540,7 @@ impl Simulation {
             if let Some(inject) = cfg.inject {
                 // Fig 15: feed truth × (1 ± e·(1−progress)) instead.
                 progress = job.true_progress();
-                let true_remaining =
-                    (job.true_total_steps as f64 - job.steps_done).max(0.0);
+                let true_remaining = (job.true_total_steps as f64 - job.steps_done).max(0.0);
                 remaining = true_remaining
                     * ErrorInjection::multiplier(
                         inject.convergence_error,
@@ -475,7 +577,9 @@ impl Simulation {
             // A dead server is modeled as fully reserved.
             if let Ok(server) = fresh.server_mut(sid) {
                 let cap = server.capacity();
-                server.allocate(&cap).expect("empty server fits its capacity");
+                server
+                    .allocate(&cap)
+                    .expect("empty server fits its capacity");
             }
         }
         if let Some(bg) = cfg.background {
@@ -541,9 +645,25 @@ impl Simulation {
                 job.scale_events += 1;
             }
             if changed && new_w > 0 {
-                job.chunks_moved += job.chunks.rebalance(new_w as usize);
+                let moved = job.chunks.rebalance(new_w as usize);
+                job.chunks_moved += moved;
                 job.stragglers.resize(new_w as usize);
+                if moved > 0 {
+                    if tel.is_enabled() {
+                        tel.add("paa.rebalance_moves", moved as u64);
+                    }
+                    if cfg.record_events {
+                        self.events.push(
+                            t,
+                            SimEventKind::ChunksRebalanced {
+                                job: view.id,
+                                moved,
+                            },
+                        );
+                    }
+                }
             }
+            let job = &mut self.jobs[i];
             if changed {
                 job.last_scale_time = t;
             }
@@ -591,6 +711,18 @@ impl Simulation {
                     SimEventKind::JobPaused { job: view.id }
                 };
                 self.events.push(t, kind);
+            }
+            if tel.is_enabled() {
+                let what = if new_ps > 0 && new_w > 0 {
+                    format!("scheduled p={new_ps} w={new_w}")
+                } else {
+                    "paused".to_string()
+                };
+                tel.record(TraceEvent::JobEvent {
+                    t_s: t,
+                    job: view.id.0,
+                    what,
+                });
             }
             if cfg.verbose {
                 eprintln!(
@@ -680,8 +812,7 @@ impl Simulation {
         let factors = oversubscription_factors(&traffic, self.config.nic_bytes_per_s);
         for job in self.jobs.iter_mut() {
             if job.status == JobStatus::Running {
-                job.env.nic_oversubscription =
-                    factors.get(&job.spec.id).copied().unwrap_or(1.0);
+                job.env.nic_oversubscription = factors.get(&job.spec.id).copied().unwrap_or(1.0);
             }
         }
     }
@@ -960,10 +1091,20 @@ mod tests {
     fn async_staleness_slows_async_jobs_only() {
         use optimus_workload::JobSpec;
         let specs = vec![
-            JobSpec::new(JobId(0), ModelKind::CnnRand, TrainingMode::Asynchronous, 0.03)
-                .scaled(0.3),
-            JobSpec::new(JobId(1), ModelKind::CnnRand, TrainingMode::Synchronous, 0.03)
-                .scaled(0.3),
+            JobSpec::new(
+                JobId(0),
+                ModelKind::CnnRand,
+                TrainingMode::Asynchronous,
+                0.03,
+            )
+            .scaled(0.3),
+            JobSpec::new(
+                JobId(1),
+                ModelKind::CnnRand,
+                TrainingMode::Synchronous,
+                0.03,
+            )
+            .scaled(0.3),
         ];
         let run = |sigma: f64| {
             let mut cfg = quick_config();
@@ -993,7 +1134,10 @@ mod tests {
         );
         // The sync job may shift slightly (shared cluster) but not by
         // the same systematic factor.
-        assert!(sync_stale < sync_clean * 1.2, "{sync_stale} vs {sync_clean}");
+        assert!(
+            sync_stale < sync_clean * 1.2,
+            "{sync_stale} vs {sync_clean}"
+        );
     }
 
     #[test]
@@ -1115,6 +1259,57 @@ mod tests {
         // Each job is configured at most twice (start + at most one
         // forced change when it first gets capacity).
         assert!(report.scale_events <= 4, "{}", report.scale_events);
+    }
+
+    #[test]
+    fn telemetry_enabled_run_collects_the_whole_pipeline() {
+        let tel = Telemetry::enabled();
+        let mut cfg = quick_config();
+        cfg.telemetry = tel.clone();
+        let mut sim = Simulation::new(
+            Cluster::paper_testbed(),
+            small_specs(3),
+            Box::new(OptimusScheduler::build_with_telemetry(tel.clone())),
+            cfg,
+        );
+        let report = sim.run();
+        assert_eq!(report.unfinished_jobs, 0);
+        let summary = report.telemetry.expect("enabled handle summarizes");
+        let counter = |name: &str| {
+            summary
+                .counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        // Engine, allocator, fitting and PAA counters all landed on the
+        // one shared handle.
+        assert!(counter("alloc.rounds") > 0);
+        assert!(counter("alloc.marginal_gain_evals") > 0);
+        assert!(counter("nnls.solves") > 0);
+        assert!(counter("speed.refits") > 0);
+        assert!(counter("paa.rebalance_moves") > 0);
+        assert!(summary.records > 0);
+        assert!(summary.spans > 0);
+        assert!(summary
+            .histograms
+            .iter()
+            .any(|h| h.name == "sim.round_wall_us" && h.count > 0));
+        // And the trace exports as non-empty JSONL.
+        assert!(tel.to_json_lines().lines().count() > 0);
+    }
+
+    #[test]
+    fn disabled_telemetry_run_reports_none() {
+        let mut sim = Simulation::new(
+            Cluster::paper_testbed(),
+            small_specs(1),
+            Box::new(OptimusScheduler::build()),
+            quick_config(),
+        );
+        let report = sim.run();
+        assert!(report.telemetry.is_none());
     }
 
     #[test]

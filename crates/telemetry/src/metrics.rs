@@ -1,0 +1,174 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms,
+//! plus the serializable [`TelemetrySummary`] snapshot.
+
+use crate::State;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram. Bucket `i` counts observations
+/// `v ≤ bounds[i]`; one implicit overflow bucket counts the rest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Sorted, deduplicated upper bounds (`le` in Prometheus terms).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`, the last
+    /// entry being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (`+∞` when empty).
+    pub min: f64,
+    /// Largest observed value (`-∞` when empty).
+    pub max: f64,
+}
+
+/// The default bucket bounds: a 1–2.5–5 log ladder from 1 up to 10⁹,
+/// wide enough for both iteration counts and microsecond latencies.
+pub fn default_buckets() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(28);
+    let mut decade = 1.0_f64;
+    for _ in 0..10 {
+        for mult in [1.0, 2.5, 5.0] {
+            bounds.push(decade * mult);
+        }
+        decade *= 10.0;
+    }
+    bounds
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given upper bounds (sorted
+    /// and deduplicated; non-finite bounds are dropped).
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) from the bucket counts:
+    /// the upper bound of the bucket holding the `⌈q·count⌉`-th
+    /// observation, clamped to the observed `[min, max]`. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(self.max);
+                return bound.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The bucket index a value would land in.
+    pub fn bucket_index(&self, value: f64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len())
+    }
+}
+
+/// The percentile digest of one histogram, as carried in summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// A serializable snapshot of everything a handle collected, suitable
+/// for embedding in a `SimReport`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Counter values, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram digests, name-sorted.
+    pub histograms: Vec<HistogramSummary>,
+    /// Closed spans recorded.
+    pub spans: usize,
+    /// Decision records recorded.
+    pub records: usize,
+}
+
+pub(crate) fn summarize(state: &mut State) -> TelemetrySummary {
+    TelemetrySummary {
+        counters: state
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect(),
+        gauges: state.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        histograms: state
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramSummary {
+                name: name.clone(),
+                count: h.count,
+                sum: h.sum,
+                min: if h.count == 0 { 0.0 } else { h.min },
+                max: if h.count == 0 { 0.0 } else { h.max },
+                p50: h.quantile(0.50),
+                p95: h.quantile(0.95),
+                p99: h.quantile(0.99),
+            })
+            .collect(),
+        spans: state.spans.len(),
+        records: state.records.len(),
+    }
+}

@@ -1,0 +1,93 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A [`Span`] is an RAII guard: it opens on [`crate::Telemetry::span`]
+//! and records itself when dropped. Spans opened while another span of
+//! the same handle is open become its children, so a run produces a
+//! tree (`sim.run` → `sim.round` → `scheduler.schedule` → …). Span ids
+//! are assigned in open order and start offsets are monotonic, so the
+//! tree can be rebuilt from the flat record list.
+
+use crate::Telemetry;
+use serde::{Deserialize, Serialize};
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Id, unique per handle, assigned in open order.
+    pub id: u64,
+    /// The id of the span that was open when this one opened.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `sim.round`).
+    pub name: String,
+    /// Open time, microseconds since the handle was created.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// An open span; closes (and records itself) on drop.
+#[derive(Debug)]
+pub struct Span {
+    tel: Telemetry,
+    /// `None` for spans of a disabled handle.
+    id: Option<u64>,
+    parent: Option<u64>,
+    name: String,
+    start_us: u64,
+}
+
+impl Span {
+    pub(crate) fn open(tel: Telemetry, name: &str) -> Span {
+        let start_us = tel.now_us();
+        let opened = tel.with_state(|s| {
+            let id = s.next_span_id;
+            s.next_span_id += 1;
+            let parent = s.open.last().copied();
+            s.open.push(id);
+            (id, parent)
+        });
+        let (id, parent) = match opened {
+            Some((id, parent)) => (Some(id), parent),
+            None => (None, None),
+        };
+        Span {
+            tel,
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+        }
+    }
+
+    /// The span's id (`None` on a disabled handle).
+    pub fn id(&self) -> Option<u64> {
+        self.id
+    }
+
+    /// Closes the span now instead of at end of scope.
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(id) = self.id else {
+            return;
+        };
+        let end_us = self.tel.now_us();
+        let record = SpanRecord {
+            id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            start_us: self.start_us,
+            dur_us: end_us.saturating_sub(self.start_us),
+        };
+        self.tel.with_state(|s| {
+            // Robust against out-of-order drops: remove this id wherever
+            // it sits in the open stack.
+            if let Some(pos) = s.open.iter().rposition(|&o| o == id) {
+                s.open.remove(pos);
+            }
+            s.spans.push(record);
+        });
+    }
+}

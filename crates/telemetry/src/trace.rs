@@ -1,0 +1,316 @@
+//! Typed decision-trace records and the JSONL / Chrome export formats.
+//!
+//! A JSONL export is a sequence of [`TraceLine`]s, one per line, tagged
+//! by `"type"` so downstream tools (the `optimus-trace` CLI, `jq`,
+//! pandas) can filter without a schema: decision [`TraceLine::Event`]s
+//! and [`TraceLine::Span`]s first, then the final metric snapshot as
+//! `Counter`/`Gauge`/`Histogram` lines.
+
+use crate::metrics::Histogram;
+use crate::span::SpanRecord;
+use crate::State;
+use serde::{Deserialize, Serialize};
+
+/// A scheduler decision worth explaining later. Job ids are raw `u64`s
+/// (this crate sits below the workload layer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event")]
+pub enum TraceEvent {
+    /// The §4.1 greedy loop granted one task: the marginal gain that
+    /// won, and the job's configuration after the grant.
+    AllocGrant {
+        /// Allocation round (the handle's `alloc.rounds` counter).
+        round: u64,
+        /// Winning job.
+        job: u64,
+        /// `"worker"` or `"ps"`.
+        action: String,
+        /// The winning gain: completion-time reduction per unit of the
+        /// task's dominant resource.
+        gain: f64,
+        /// Parameter servers after the grant.
+        ps: u32,
+        /// Workers after the grant.
+        workers: u32,
+    },
+    /// One full §4.1 allocation pass.
+    AllocRound {
+        /// Allocation round.
+        round: u64,
+        /// Jobs considered.
+        jobs: usize,
+        /// Tasks granted beyond the starter units.
+        granted: u64,
+        /// Marginal-gain evaluations performed.
+        evals: u64,
+    },
+    /// A job's §4.2 placement layout.
+    Placement {
+        /// The placed job.
+        job: u64,
+        /// Parameter servers placed.
+        ps: u32,
+        /// Workers placed.
+        workers: u32,
+        /// Servers the job spans.
+        servers: usize,
+        /// Tasks shed by shrink-on-unplaceable retries (0 = placed as
+        /// allocated).
+        shrunk: u32,
+    },
+    /// A §3.1 convergence-curve fit.
+    ConvergenceFit {
+        /// The fitted job.
+        job: u64,
+        /// `[β₀, β₁, β₂]` of `l(k) = 1/(β₀k + β₁) + β₂`.
+        coeffs: Vec<f64>,
+        /// Residual sum of squares (normalized loss space).
+        residual: f64,
+        /// Samples behind the fit.
+        samples: usize,
+    },
+    /// A §3.2 speed-model fit.
+    SpeedFit {
+        /// The fitted job.
+        job: u64,
+        /// The θ coefficients of Eqn 3/4.
+        coeffs: Vec<f64>,
+        /// Residual sum of squares (inverted-speed space).
+        residual: f64,
+        /// Samples behind the fit.
+        samples: usize,
+    },
+    /// A model fit failed (the previous model, if any, stays in use).
+    FitFailure {
+        /// The job whose fit failed (0 when unknown).
+        job: u64,
+        /// What was being fit (`"speed"`, `"convergence"`, `"nnls"`).
+        what: String,
+        /// The error, stringified.
+        reason: String,
+    },
+    /// One simulator scheduling round completed.
+    Round {
+        /// Round index (1-based).
+        round: u64,
+        /// Simulation time, seconds.
+        t_s: f64,
+        /// Active (admitted, unfinished) jobs.
+        active_jobs: usize,
+        /// Wall-clock time the round took, microseconds.
+        wall_us: u64,
+    },
+    /// A job lifecycle edge, for per-job timelines.
+    JobEvent {
+        /// Simulation time, seconds.
+        t_s: f64,
+        /// The job.
+        job: u64,
+        /// What happened (`"admitted"`, `"scheduled 4x8"`, `"paused"`,
+        /// `"finished"`, `"straggler-replaced"`, `"chunks-rebalanced"`).
+        what: String,
+    },
+}
+
+/// One sequenced decision record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotonic sequence number within the handle.
+    pub seq: u64,
+    /// Wall-clock time, microseconds since the handle was created.
+    pub t_us: u64,
+    /// The decision.
+    pub event: TraceEvent,
+}
+
+/// One line of a JSONL trace export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum TraceLine {
+    /// A decision record.
+    Event {
+        /// Sequence number.
+        seq: u64,
+        /// Wall-clock microseconds since handle creation.
+        t_us: u64,
+        /// The decision.
+        event: TraceEvent,
+    },
+    /// A closed span.
+    Span {
+        /// Span id.
+        id: u64,
+        /// Parent span id, if nested.
+        parent: Option<u64>,
+        /// Span name.
+        name: String,
+        /// Start offset, microseconds.
+        start_us: u64,
+        /// Duration, microseconds.
+        dur_us: u64,
+    },
+    /// A counter's final value.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A gauge's final value.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Final value.
+        value: f64,
+    },
+    /// A histogram's final state.
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// Bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Per-bucket counts (one extra overflow bucket).
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+        /// Smallest observation (0 when empty).
+        min: f64,
+        /// Largest observation (0 when empty).
+        max: f64,
+    },
+}
+
+impl TraceLine {
+    fn from_span(s: &SpanRecord) -> TraceLine {
+        TraceLine::Span {
+            id: s.id,
+            parent: s.parent,
+            name: s.name.clone(),
+            start_us: s.start_us,
+            dur_us: s.dur_us,
+        }
+    }
+
+    fn from_histogram(name: &str, h: &Histogram) -> TraceLine {
+        TraceLine::Histogram {
+            name: name.to_string(),
+            bounds: h.bounds.clone(),
+            counts: h.counts.clone(),
+            count: h.count,
+            sum: h.sum,
+            min: if h.count == 0 { 0.0 } else { h.min },
+            max: if h.count == 0 { 0.0 } else { h.max },
+        }
+    }
+}
+
+/// Flattens the current state into export lines.
+pub(crate) fn snapshot_lines(state: &mut State) -> Vec<TraceLine> {
+    let mut lines = Vec::with_capacity(
+        state.records.len()
+            + state.spans.len()
+            + state.counters.len()
+            + state.gauges.len()
+            + state.histograms.len(),
+    );
+    for r in &state.records {
+        lines.push(TraceLine::Event {
+            seq: r.seq,
+            t_us: r.t_us,
+            event: r.event.clone(),
+        });
+    }
+    for s in &state.spans {
+        lines.push(TraceLine::from_span(s));
+    }
+    for (name, &value) in &state.counters {
+        lines.push(TraceLine::Counter {
+            name: name.clone(),
+            value,
+        });
+    }
+    for (name, &value) in &state.gauges {
+        lines.push(TraceLine::Gauge {
+            name: name.clone(),
+            value,
+        });
+    }
+    for (name, h) in &state.histograms {
+        lines.push(TraceLine::from_histogram(name, h));
+    }
+    lines
+}
+
+/// Renders export lines as a Chrome `trace_event` JSON document: spans
+/// become complete (`"ph": "X"`) events, decision records become
+/// instants (`"ph": "i"`), counters become counter (`"ph": "C"`)
+/// samples at the end of the timeline.
+pub(crate) fn chrome_trace(lines: &[TraceLine]) -> String {
+    use serde_json::Value;
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let mut events = Vec::new();
+    let mut end_us = 0u64;
+    for line in lines {
+        match line {
+            TraceLine::Span {
+                name,
+                start_us,
+                dur_us,
+                ..
+            } => {
+                end_us = end_us.max(start_us + dur_us);
+                events.push(obj(vec![
+                    ("name", Value::Str(name.clone())),
+                    ("ph", Value::Str("X".into())),
+                    ("ts", Value::Num(*start_us as f64)),
+                    ("dur", Value::Num(*dur_us as f64)),
+                    ("pid", Value::Num(1.0)),
+                    ("tid", Value::Num(1.0)),
+                ]));
+            }
+            TraceLine::Event { t_us, event, .. } => {
+                end_us = end_us.max(*t_us);
+                events.push(obj(vec![
+                    ("name", Value::Str(event_name(event).into())),
+                    ("ph", Value::Str("i".into())),
+                    ("ts", Value::Num(*t_us as f64)),
+                    ("s", Value::Str("g".into())),
+                    ("pid", Value::Num(1.0)),
+                    ("tid", Value::Num(1.0)),
+                    ("args", event.to_value()),
+                ]));
+            }
+            _ => {}
+        }
+    }
+    for line in lines {
+        if let TraceLine::Counter { name, value } = line {
+            events.push(obj(vec![
+                ("name", Value::Str(name.clone())),
+                ("ph", Value::Str("C".into())),
+                ("ts", Value::Num(end_us as f64)),
+                ("pid", Value::Num(1.0)),
+                ("args", obj(vec![("value", Value::Num(*value as f64))])),
+            ]));
+        }
+    }
+    let doc = obj(vec![("traceEvents", Value::Array(events))]);
+    serde_json::to_string(&doc).expect("chrome trace serializes")
+}
+
+fn event_name(event: &TraceEvent) -> &'static str {
+    match event {
+        TraceEvent::AllocGrant { .. } => "AllocGrant",
+        TraceEvent::AllocRound { .. } => "AllocRound",
+        TraceEvent::Placement { .. } => "Placement",
+        TraceEvent::ConvergenceFit { .. } => "ConvergenceFit",
+        TraceEvent::SpeedFit { .. } => "SpeedFit",
+        TraceEvent::FitFailure { .. } => "FitFailure",
+        TraceEvent::Round { .. } => "Round",
+        TraceEvent::JobEvent { .. } => "JobEvent",
+    }
+}

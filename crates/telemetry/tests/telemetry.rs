@@ -1,0 +1,249 @@
+//! Integration tests for the telemetry crate: histogram bucket
+//! semantics, span nesting and timing, JSONL round-trips, and the
+//! no-op guarantee of a disabled handle.
+
+use optimus_telemetry::metrics::{default_buckets, Histogram};
+use optimus_telemetry::trace::TraceEvent;
+use optimus_telemetry::{Telemetry, TraceLine};
+use proptest::prelude::*;
+
+// -- histogram --------------------------------------------------------
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+    let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+    // A value exactly on a bound lands in that bound's bucket (`le`
+    // semantics), one ulp above lands in the next.
+    h.observe(1.0);
+    h.observe(1.000001);
+    h.observe(10.0);
+    h.observe(100.0);
+    h.observe(100.5); // overflow bucket
+    assert_eq!(h.counts, vec![1, 2, 1, 1]);
+    assert_eq!(h.count, 5);
+    assert_eq!(h.bucket_index(0.0), 0);
+    assert_eq!(h.bucket_index(10.0), 1);
+    assert_eq!(h.bucket_index(10.1), 2);
+    assert_eq!(h.bucket_index(1e9), 3);
+}
+
+#[test]
+fn histogram_ignores_non_finite_and_sorts_bounds() {
+    let mut h = Histogram::new(&[100.0, 1.0, f64::NAN, 10.0, 1.0]);
+    assert_eq!(h.bounds, vec![1.0, 10.0, 100.0]);
+    h.observe(f64::NAN);
+    h.observe(f64::INFINITY);
+    assert_eq!(h.count, 0);
+}
+
+#[test]
+fn histogram_quantiles_track_bucket_bounds() {
+    let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+    for _ in 0..90 {
+        h.observe(1.5); // ≤ 2.0 bucket
+    }
+    for _ in 0..10 {
+        h.observe(7.0); // ≤ 8.0 bucket
+    }
+    assert_eq!(h.quantile(0.5), 2.0);
+    assert_eq!(h.quantile(0.95), 7.0); // bound 8.0 clamped to max 7.0
+    assert_eq!(h.quantile(0.0), 2.0); // rank floor is 1
+    assert_eq!(h.mean(), (90.0 * 1.5 + 10.0 * 7.0) / 100.0);
+}
+
+#[test]
+fn histogram_empty_is_all_zero() {
+    let h = Histogram::new(&default_buckets());
+    assert_eq!(h.quantile(0.5), 0.0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.count, 0);
+}
+
+#[test]
+fn default_buckets_cover_iteration_counts_and_latencies() {
+    let b = default_buckets();
+    assert_eq!(b.len(), 30);
+    assert!(b.windows(2).all(|w| w[0] < w[1]), "bounds strictly sorted");
+    assert_eq!(b[0], 1.0);
+    assert!(*b.last().unwrap() >= 1e9);
+}
+
+// -- spans ------------------------------------------------------------
+
+#[test]
+fn span_nesting_builds_a_tree() {
+    let tel = Telemetry::enabled();
+    {
+        let outer = tel.span("outer");
+        let outer_id = outer.id().unwrap();
+        {
+            let inner = tel.span("inner");
+            assert_ne!(inner.id(), outer.id());
+            let leaf = tel.span("leaf");
+            leaf.end();
+            inner.end();
+        }
+        let sibling = tel.span("sibling");
+        assert_eq!(sibling.id(), Some(3));
+        drop(sibling);
+        drop(outer);
+        let _ = outer_id;
+    }
+    let spans = tel.spans();
+    assert_eq!(spans.len(), 4);
+    let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+    assert_eq!(by_name("outer").parent, None);
+    assert_eq!(by_name("inner").parent, Some(by_name("outer").id));
+    assert_eq!(by_name("leaf").parent, Some(by_name("inner").id));
+    assert_eq!(by_name("sibling").parent, Some(by_name("outer").id));
+}
+
+#[test]
+fn span_ids_and_starts_are_monotonic_and_contain_children() {
+    let tel = Telemetry::enabled();
+    {
+        let _a = tel.span("a");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let _b = tel.span("b");
+    }
+    let spans = tel.spans();
+    let a = spans.iter().find(|s| s.name == "a").unwrap();
+    let b = spans.iter().find(|s| s.name == "b").unwrap();
+    assert!(a.id < b.id);
+    assert!(a.start_us <= b.start_us, "ids are assigned in start order");
+    // The child's interval sits inside the parent's.
+    assert!(b.start_us >= a.start_us);
+    assert!(b.start_us + b.dur_us <= a.start_us + a.dur_us);
+}
+
+// -- JSONL round-trip -------------------------------------------------
+
+#[test]
+fn jsonl_round_trips_every_line_kind() {
+    let tel = Telemetry::enabled();
+    tel.incr("alloc.rounds");
+    tel.add("alloc.marginal_gain_evals", 12);
+    tel.gauge("cluster.load", 0.75);
+    tel.observe("sim.round_wall_us", 1234.0);
+    tel.record(TraceEvent::AllocGrant {
+        round: 1,
+        job: 7,
+        action: "worker".into(),
+        gain: 0.25,
+        ps: 2,
+        workers: 3,
+    });
+    tel.record(TraceEvent::JobEvent {
+        t_s: 60.0,
+        job: 7,
+        what: "admitted".into(),
+    });
+    tel.span("round").end();
+
+    let jsonl = tel.to_json_lines();
+    let lines: Vec<TraceLine> = jsonl
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("line parses"))
+        .collect();
+    // 2 events + 1 span + 2 counters + 1 gauge + 1 histogram.
+    assert_eq!(lines.len(), 7);
+
+    // Round-trip: re-serializing each parsed line gives the same JSON.
+    for (raw, parsed) in jsonl.lines().zip(&lines) {
+        assert_eq!(raw, serde_json::to_string(parsed).unwrap());
+    }
+
+    // Events come first and keep their sequence order.
+    let seqs: Vec<u64> = lines
+        .iter()
+        .filter_map(|l| match l {
+            TraceLine::Event { seq, .. } => Some(*seq),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(seqs, vec![0, 1]);
+    assert!(matches!(&lines[0], TraceLine::Event { .. }));
+    assert!(lines.iter().any(|l| matches!(
+        l,
+        TraceLine::Counter { name, value: 12 } if name == "alloc.marginal_gain_evals"
+    )));
+}
+
+#[test]
+fn summary_digest_matches_observations() {
+    let tel = Telemetry::enabled();
+    for v in [100.0, 200.0, 300.0] {
+        tel.observe("nnls.iterations", v);
+    }
+    tel.incr("nnls.fit_failures");
+    let summary = tel.summary();
+    assert_eq!(summary.counters, vec![("nnls.fit_failures".into(), 1)]);
+    let h = &summary.histograms[0];
+    assert_eq!(h.name, "nnls.iterations");
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 600.0);
+    assert_eq!(h.min, 100.0);
+    assert_eq!(h.max, 300.0);
+    assert!(h.p50 >= 100.0 && h.p99 <= 300.0);
+}
+
+#[test]
+fn chrome_trace_contains_spans_and_counters() {
+    let tel = Telemetry::enabled();
+    tel.span("sim.round").end();
+    tel.incr("alloc.rounds");
+    tel.record(TraceEvent::Round {
+        round: 1,
+        t_s: 10.0,
+        active_jobs: 4,
+        wall_us: 532,
+    });
+    let doc = tel.to_chrome_trace();
+    assert!(doc.starts_with("{\"traceEvents\":["));
+    assert!(doc.contains("\"ph\":\"X\""), "complete event for the span");
+    assert!(doc.contains("\"ph\":\"i\""), "instant event for the record");
+    assert!(doc.contains("\"ph\":\"C\""), "counter sample");
+    assert!(doc.contains("\"name\":\"sim.round\""));
+}
+
+// -- disabled handle --------------------------------------------------
+
+proptest! {
+    #[test]
+    fn disabled_handle_records_nothing(
+        counter_adds in proptest::collection::vec(1u64..1000, 0..20),
+        observations in proptest::collection::vec(0.0f64..1e6, 0..20),
+        gauge in -1e6f64..1e6,
+    ) {
+        let tel = Telemetry::disabled();
+        prop_assert!(!tel.is_enabled());
+        for n in &counter_adds {
+            prop_assert_eq!(tel.add("alloc.rounds", *n), 0);
+        }
+        for v in &observations {
+            tel.observe("sim.round_wall_us", *v);
+        }
+        tel.gauge("cluster.load", gauge);
+        tel.record(TraceEvent::JobEvent { t_s: 0.0, job: 1, what: "x".into() });
+        {
+            let span = tel.span("round");
+            prop_assert_eq!(span.id(), None);
+        }
+        prop_assert_eq!(tel.counter("alloc.rounds"), 0);
+        prop_assert_eq!(tel.records().len(), 0);
+        prop_assert_eq!(tel.spans().len(), 0);
+        prop_assert_eq!(tel.summary(), optimus_telemetry::TelemetrySummary::default());
+        prop_assert_eq!(tel.to_json_lines(), "");
+        prop_assert_eq!(tel.now_us(), 0);
+    }
+}
+
+#[test]
+fn clones_share_one_collector() {
+    let tel = Telemetry::enabled();
+    let clone = tel.clone();
+    clone.incr("alloc.rounds");
+    tel.incr("alloc.rounds");
+    assert_eq!(tel.counter("alloc.rounds"), 2);
+    assert_eq!(clone.counter("alloc.rounds"), 2);
+}

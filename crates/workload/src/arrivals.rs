@@ -205,8 +205,7 @@ impl WorkloadGenerator {
                     ModePolicy::AllSync => TrainingMode::Synchronous,
                     ModePolicy::AllAsync => TrainingMode::Asynchronous,
                 };
-                let threshold =
-                    rng.gen_range(self.threshold_range.0..=self.threshold_range.1);
+                let threshold = rng.gen_range(self.threshold_range.0..=self.threshold_range.1);
                 // Job sizes in the paper span orders of magnitude
                 // (Fig 2); downscaling must preserve that diversity, so
                 // each job's duration target is log-uniform around the
@@ -230,12 +229,7 @@ impl WorkloadGenerator {
 /// The dataset scale at which a job's unperturbed training time at the
 /// reference `(8, 8)` configuration is approximately `target` seconds
 /// (clamped to `[0.002, 1]`).
-pub fn calibrated_scale(
-    model: ModelKind,
-    mode: TrainingMode,
-    threshold: f64,
-    target: f64,
-) -> f64 {
+pub fn calibrated_scale(model: ModelKind, mode: TrainingMode, threshold: f64, target: f64) -> f64 {
     let profile = model.profile();
     let epochs = profile.curve.epochs_to_converge(threshold, 3).unwrap_or(1) as f64;
     let steps_per_epoch_full = match mode {
@@ -342,8 +336,11 @@ mod tests {
             assert!((0.0005..=1.0).contains(&j.dataset_scale), "{:?}", j);
             // Big slow models must be cut down hard; tiny fast ones kept
             // whole (CNN-rand trains in minutes even on the full set).
+            // The worst case over the log-uniform duration spread (×9 the
+            // 1-hour median) is DeepSpeech2/async/5 % at scale ≈ 0.18, so
+            // 0.2 is the tightest bound that holds for every RNG stream.
             if matches!(j.model, ModelKind::ResNet50 | ModelKind::DeepSpeech2) {
-                assert!(j.dataset_scale < 0.1, "{:?}", j);
+                assert!(j.dataset_scale < 0.2, "{:?}", j);
             }
             if matches!(j.model, ModelKind::CnnRand) {
                 // CNN-rand trains in minutes even on the full corpus, so
@@ -360,12 +357,7 @@ mod tests {
         // For a job that gets downscaled, the scaled training time at the
         // reference configuration should be ≈ the target.
         let target = 3_600.0;
-        let scale = calibrated_scale(
-            ModelKind::ResNet50,
-            TrainingMode::Synchronous,
-            0.02,
-            target,
-        );
+        let scale = calibrated_scale(ModelKind::ResNet50, TrainingMode::Synchronous, 0.02, target);
         assert!(scale < 1.0);
         let p = ModelKind::ResNet50.profile();
         let epochs = p.curve.epochs_to_converge(0.02, 3).unwrap() as f64;
@@ -384,6 +376,8 @@ mod tests {
         for (i, j) in jobs.iter().enumerate() {
             assert_eq!(j.id, JobId(i as u64));
         }
-        assert!(jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time));
+        assert!(jobs
+            .windows(2)
+            .all(|w| w[0].submit_time <= w[1].submit_time));
     }
 }

@@ -144,39 +144,77 @@ mod tests {
 
     #[test]
     fn defaults_are_papers() {
-        let j = JobSpec::new(JobId(1), ModelKind::ResNet50, TrainingMode::Synchronous, 0.01);
+        let j = JobSpec::new(
+            JobId(1),
+            ModelKind::ResNet50,
+            TrainingMode::Synchronous,
+            0.01,
+        );
         assert_eq!(j.patience_epochs, 3);
         assert_eq!(j.dataset_scale, 1.0);
-        assert_eq!(j.worker_profile.get(optimus_cluster::ResourceKind::Cpu), 5.0);
+        assert_eq!(
+            j.worker_profile.get(optimus_cluster::ResourceKind::Cpu),
+            5.0
+        );
     }
 
     #[test]
     fn builder_methods() {
-        let j = JobSpec::new(JobId(2), ModelKind::CnnRand, TrainingMode::Asynchronous, 0.02)
-            .at(120.0)
-            .scaled(0.1);
+        let j = JobSpec::new(
+            JobId(2),
+            ModelKind::CnnRand,
+            TrainingMode::Asynchronous,
+            0.02,
+        )
+        .at(120.0)
+        .scaled(0.1);
         assert_eq!(j.submit_time, 120.0);
         assert_eq!(j.dataset_scale, 0.1);
     }
 
     #[test]
     fn steps_per_epoch_differs_by_mode() {
-        let sync = JobSpec::new(JobId(1), ModelKind::ResNet50, TrainingMode::Synchronous, 0.01);
-        let asyn = JobSpec::new(JobId(2), ModelKind::ResNet50, TrainingMode::Asynchronous, 0.01);
+        let sync = JobSpec::new(
+            JobId(1),
+            ModelKind::ResNet50,
+            TrainingMode::Synchronous,
+            0.01,
+        );
+        let asyn = JobSpec::new(
+            JobId(2),
+            ModelKind::ResNet50,
+            TrainingMode::Asynchronous,
+            0.01,
+        );
         assert!(asyn.steps_per_epoch() > sync.steps_per_epoch());
     }
 
     #[test]
     fn true_total_steps_scales_with_dataset() {
-        let full = JobSpec::new(JobId(1), ModelKind::ResNet50, TrainingMode::Synchronous, 0.01);
+        let full = JobSpec::new(
+            JobId(1),
+            ModelKind::ResNet50,
+            TrainingMode::Synchronous,
+            0.01,
+        );
         let small = full.clone().scaled(0.05);
         assert!(small.true_total_steps() < full.true_total_steps());
     }
 
     #[test]
     fn tighter_threshold_needs_more_steps() {
-        let loose = JobSpec::new(JobId(1), ModelKind::Seq2Seq, TrainingMode::Synchronous, 0.05);
-        let tight = JobSpec::new(JobId(2), ModelKind::Seq2Seq, TrainingMode::Synchronous, 0.01);
+        let loose = JobSpec::new(
+            JobId(1),
+            ModelKind::Seq2Seq,
+            TrainingMode::Synchronous,
+            0.05,
+        );
+        let tight = JobSpec::new(
+            JobId(2),
+            ModelKind::Seq2Seq,
+            TrainingMode::Synchronous,
+            0.01,
+        );
         assert!(tight.true_total_steps() > loose.true_total_steps());
     }
 

@@ -74,10 +74,13 @@ impl WorkloadTrace {
         {
             return Err(TraceError::Invalid("jobs not in submission order"));
         }
+        // `partial_cmp` keeps NaN on the rejected side, like the
+        // negated comparison it replaces.
+        let non_positive = |x: f64| x.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater);
         if trace
             .jobs
             .iter()
-            .any(|j| !(j.convergence_threshold > 0.0) || !(j.dataset_scale > 0.0))
+            .any(|j| non_positive(j.convergence_threshold) || non_positive(j.dataset_scale))
         {
             return Err(TraceError::Invalid(
                 "non-positive threshold or dataset scale",

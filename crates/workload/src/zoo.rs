@@ -588,7 +588,10 @@ mod tests {
         let t_fast = ModelKind::CnnRand.profile().single_gpu_training_time(0.01);
         let t_slow = ModelKind::ResNet50.profile().single_gpu_training_time(0.01);
         // CNN-rand: minutes; ResNet-50: ~weeks (paper Fig 2).
-        assert!(t_fast < 3_600.0, "CNN-rand should take minutes, got {t_fast}");
+        assert!(
+            t_fast < 3_600.0,
+            "CNN-rand should take minutes, got {t_fast}"
+        );
         assert!(
             t_slow > 200_000.0,
             "ResNet-50 should take days–weeks, got {t_slow}"
@@ -600,7 +603,9 @@ mod tests {
     fn fig2_ordering_is_sensible() {
         // The two extremes and a mid-range model are correctly ordered.
         let fast = ModelKind::CnnRand.profile().single_gpu_training_time(0.01);
-        let mid = ModelKind::InceptionBn.profile().single_gpu_training_time(0.01);
+        let mid = ModelKind::InceptionBn
+            .profile()
+            .single_gpu_training_time(0.01);
         let slow = ModelKind::ResNet50.profile().single_gpu_training_time(0.01);
         assert!(fast < mid && mid < slow);
     }

@@ -66,8 +66,10 @@ fn main() {
     }
 
     let long = &sim.jobs()[0];
-    println!("\nlong job: {} scale events, {:.0} s total checkpoint overhead,",
-        long.scale_events, long.overhead_total_s);
+    println!(
+        "\nlong job: {} scale events, {:.0} s total checkpoint overhead,",
+        long.scale_events, long.overhead_total_s
+    );
     println!(
         "          {} data chunks moved by §5.1 rebalancing, finished at t={:.0}s",
         long.chunks_moved,

@@ -5,9 +5,9 @@
 //!
 //! Run with: `cargo run --release --example orchestrator_demo`
 
+use optimus::core::JobView;
 use optimus::orchestrator::{ApiServer, Kubelet, NodeRecord, SchedulerPod};
 use optimus::prelude::*;
-use optimus::core::JobView;
 
 fn job_view(id: u64, remaining: f64) -> JobView {
     let profile = ModelKind::Seq2Seq.profile();

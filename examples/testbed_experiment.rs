@@ -8,7 +8,10 @@ use optimus::prelude::*;
 
 fn main() {
     let seeds = [17u64, 23, 31];
-    println!("§6.2 testbed experiment: 9 jobs × {} repetitions\n", seeds.len());
+    println!(
+        "§6.2 testbed experiment: 9 jobs × {} repetitions\n",
+        seeds.len()
+    );
     println!(
         "{:<10} {:>12} {:>14} {:>12}",
         "scheduler", "avg JCT (s)", "makespan (s)", "overhead %"
@@ -22,7 +25,11 @@ fn main() {
             AssignmentPolicy::Paa,
         ),
         ("DRF", DrfScheduler::build, AssignmentPolicy::MxnetDefault),
-        ("Tetris", TetrisScheduler::build, AssignmentPolicy::MxnetDefault),
+        (
+            "Tetris",
+            TetrisScheduler::build,
+            AssignmentPolicy::MxnetDefault,
+        ),
     ] {
         let mut jcts = Vec::new();
         let mut makespans = Vec::new();
@@ -36,8 +43,7 @@ fn main() {
                 seed,
                 ..SimConfig::default()
             };
-            let mut sim =
-                Simulation::new(Cluster::paper_testbed(), jobs, Box::new(build()), cfg);
+            let mut sim = Simulation::new(Cluster::paper_testbed(), jobs, Box::new(build()), cfg);
             let report = sim.run();
             assert_eq!(report.unfinished_jobs, 0);
             jcts.push(report.avg_jct());

@@ -1,0 +1,22 @@
+# Project task runner. Install `just`, or read the recipes and run the
+# commands directly — each one is a plain cargo invocation.
+
+# Build the whole workspace in release mode.
+build:
+    cargo build --workspace --release
+
+# Run every test in the workspace.
+test:
+    cargo test --workspace
+
+# Lint: clippy with warnings denied, plus formatting check.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --check
+
+# Run the Fig-12 scheduler scalability benchmark.
+bench:
+    cargo bench --bench scheduler_scalability
+
+# Everything CI would run.
+ci: lint build test

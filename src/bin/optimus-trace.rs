@@ -1,0 +1,328 @@
+//! `optimus-trace` — inspect a telemetry JSONL trace written by
+//! `optimus-sim run --trace FILE` (or any [`optimus::telemetry::Telemetry`]
+//! handle's `write_json_lines`).
+//!
+//! Prints per-job timelines, scheduling-round wall-clock percentiles,
+//! and the final counter/histogram snapshot.
+
+use optimus::telemetry::{TraceEvent, TraceLine};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+optimus-trace — summarize an Optimus telemetry trace (JSONL)
+
+USAGE:
+  optimus-trace FILE [--top N] [--no-jobs] [--spans]
+
+FLAGS:
+  --top N    counters to list                (default 10)
+  --no-jobs  skip the per-job timelines
+  --spans    also print the per-span-name aggregates
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let path = &args[0];
+    let top: usize = match flag_value(&args, "--top") {
+        None => 10,
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("invalid value for --top: {raw}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut lines = Vec::new();
+    let mut bad = 0usize;
+    for raw in text.lines().filter(|l| !l.trim().is_empty()) {
+        match serde_json::from_str::<TraceLine>(raw) {
+            Ok(line) => lines.push(line),
+            Err(_) => bad += 1,
+        }
+    }
+    if lines.is_empty() {
+        eprintln!("error: {path}: no parseable trace lines ({bad} unparseable)");
+        return ExitCode::FAILURE;
+    }
+    if bad > 0 {
+        eprintln!("warning: skipped {bad} unparseable lines");
+    }
+
+    print_overview(path, &lines);
+    print_rounds(&lines);
+    if !args.iter().any(|a| a == "--no-jobs") {
+        print_jobs(&lines);
+    }
+    print_counters(&lines, top);
+    print_histograms(&lines);
+    if args.iter().any(|a| a == "--spans") {
+        print_spans(&lines);
+    }
+    ExitCode::SUCCESS
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn pctl(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Quantile estimate from exported histogram buckets: the upper bound
+/// of the bucket holding the nearest-rank observation, clamped to the
+/// observed range (mirrors the collector's own estimator).
+fn hist_quantile(bounds: &[f64], counts: &[u64], count: u64, min: f64, max: f64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut acc = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        acc += c;
+        if acc >= target {
+            let ub = if i < bounds.len() { bounds[i] } else { max };
+            return ub.clamp(min, max);
+        }
+    }
+    max
+}
+
+fn print_overview(path: &str, lines: &[TraceLine]) {
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    let mut gauges = 0usize;
+    let mut histograms = 0usize;
+    for line in lines {
+        match line {
+            TraceLine::Event { .. } => events += 1,
+            TraceLine::Span { .. } => spans += 1,
+            TraceLine::Counter { .. } => counters += 1,
+            TraceLine::Gauge { .. } => gauges += 1,
+            TraceLine::Histogram { .. } => histograms += 1,
+        }
+    }
+    println!("trace: {path}");
+    println!(
+        "  {events} decision events, {spans} spans, {counters} counters, \
+         {gauges} gauges, {histograms} histograms"
+    );
+}
+
+fn print_rounds(lines: &[TraceLine]) {
+    let mut walls = Vec::new();
+    let mut last = None;
+    for line in lines {
+        if let TraceLine::Event {
+            event:
+                TraceEvent::Round {
+                    round,
+                    t_s,
+                    active_jobs,
+                    wall_us,
+                },
+            ..
+        } = line
+        {
+            walls.push(*wall_us as f64);
+            last = Some((*round, *t_s, *active_jobs));
+        }
+    }
+    if walls.is_empty() {
+        return;
+    }
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+    let (rounds, t_s, _) = last.expect("walls non-empty");
+    println!("\nscheduling rounds: {rounds} over {t_s:.0} s of simulated time");
+    println!(
+        "  wall per round: mean {:.0} us, p50 {:.0} us, p95 {:.0} us, p99 {:.0} us, max {:.0} us",
+        mean,
+        pctl(&walls, 0.50),
+        pctl(&walls, 0.95),
+        pctl(&walls, 0.99),
+        walls[walls.len() - 1],
+    );
+}
+
+#[derive(Default)]
+struct JobDigest {
+    timeline: Vec<(f64, String)>,
+    grants: usize,
+    placements: usize,
+    speed_fits: usize,
+    convergence_fits: usize,
+    fit_failures: usize,
+}
+
+fn print_jobs(lines: &[TraceLine]) {
+    let mut jobs: BTreeMap<u64, JobDigest> = BTreeMap::new();
+    for line in lines {
+        let event = match line {
+            TraceLine::Event { event, .. } => event,
+            _ => continue,
+        };
+        match event {
+            TraceEvent::JobEvent { t_s, job, what } => {
+                jobs.entry(*job)
+                    .or_default()
+                    .timeline
+                    .push((*t_s, what.clone()));
+            }
+            TraceEvent::AllocGrant { job, .. } => jobs.entry(*job).or_default().grants += 1,
+            TraceEvent::Placement { job, .. } => jobs.entry(*job).or_default().placements += 1,
+            TraceEvent::SpeedFit { job, .. } => jobs.entry(*job).or_default().speed_fits += 1,
+            TraceEvent::ConvergenceFit { job, .. } => {
+                jobs.entry(*job).or_default().convergence_fits += 1
+            }
+            TraceEvent::FitFailure { job, .. } => jobs.entry(*job).or_default().fit_failures += 1,
+            _ => {}
+        }
+    }
+    if jobs.is_empty() {
+        return;
+    }
+    println!("\nper-job timelines:");
+    for (id, digest) in &jobs {
+        println!(
+            "  job {id}: {} grants, {} placements, {} speed fits, \
+             {} convergence fits, {} fit failures",
+            digest.grants,
+            digest.placements,
+            digest.speed_fits,
+            digest.convergence_fits,
+            digest.fit_failures,
+        );
+        // Collapse runs of identical edges ("paused ×12") to keep long
+        // traces readable.
+        let mut i = 0;
+        while i < digest.timeline.len() {
+            let (t, what) = &digest.timeline[i];
+            let mut j = i + 1;
+            while j < digest.timeline.len() && digest.timeline[j].1 == *what {
+                j += 1;
+            }
+            if j - i > 1 {
+                println!("    {t:>9.0} s  {what} ×{}", j - i);
+            } else {
+                println!("    {t:>9.0} s  {what}");
+            }
+            i = j;
+        }
+    }
+}
+
+fn print_counters(lines: &[TraceLine], top: usize) {
+    let mut counters: Vec<(&str, u64)> = lines
+        .iter()
+        .filter_map(|l| match l {
+            TraceLine::Counter { name, value } => Some((name.as_str(), *value)),
+            _ => None,
+        })
+        .collect();
+    if counters.is_empty() {
+        return;
+    }
+    counters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("\ntop counters:");
+    for (name, value) in counters.iter().take(top) {
+        println!("  {value:>12}  {name}");
+    }
+    if counters.len() > top {
+        println!("  ... and {} more", counters.len() - top);
+    }
+}
+
+fn print_histograms(lines: &[TraceLine]) {
+    let mut any = false;
+    for line in lines {
+        if let TraceLine::Histogram {
+            name,
+            bounds,
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        } = line
+        {
+            if !any {
+                println!("\nhistograms:");
+                any = true;
+            }
+            let mean = if *count == 0 {
+                0.0
+            } else {
+                sum / *count as f64
+            };
+            println!(
+                "  {name}: n={count} mean={mean:.1} p50={:.1} p95={:.1} p99={:.1} max={max:.1}",
+                hist_quantile(bounds, counts, *count, *min, *max, 0.50),
+                hist_quantile(bounds, counts, *count, *min, *max, 0.95),
+                hist_quantile(bounds, counts, *count, *min, *max, 0.99),
+            );
+        }
+    }
+}
+
+fn print_spans(lines: &[TraceLine]) {
+    struct Agg {
+        count: usize,
+        total_us: u64,
+        max_us: u64,
+    }
+    let mut by_name: BTreeMap<&str, Agg> = BTreeMap::new();
+    for line in lines {
+        if let TraceLine::Span { name, dur_us, .. } = line {
+            let agg = by_name.entry(name.as_str()).or_insert(Agg {
+                count: 0,
+                total_us: 0,
+                max_us: 0,
+            });
+            agg.count += 1;
+            agg.total_us += dur_us;
+            agg.max_us = agg.max_us.max(*dur_us);
+        }
+    }
+    if by_name.is_empty() {
+        return;
+    }
+    println!("\nspans:");
+    for (name, agg) in &by_name {
+        println!(
+            "  {name}: n={} total={} us mean={:.0} us max={} us",
+            agg.count,
+            agg.total_us,
+            agg.total_us as f64 / agg.count as f64,
+            agg.max_us,
+        );
+    }
+}

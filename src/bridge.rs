@@ -219,8 +219,10 @@ mod tests {
         // behind until the next reconcile — run one (via a recovered
         // scheduler pod, exercising the checkpoint path) with no active
         // jobs and verify everything is garbage-collected.
-        let mut sweeper =
-            optimus_orchestrator::SchedulerPod::launch(api.clone(), Box::new(OptimusScheduler::build()));
+        let mut sweeper = optimus_orchestrator::SchedulerPod::launch(
+            api.clone(),
+            Box::new(OptimusScheduler::build()),
+        );
         sweeper.reconcile(&[]).expect("healthy control plane");
         assert!(api.list_pods().is_empty(), "{:?}", api.list_pods());
     }

@@ -45,6 +45,7 @@ pub use optimus_fitting as fitting;
 pub use optimus_orchestrator as orchestrator;
 pub use optimus_ps as ps;
 pub use optimus_simulator as simulator;
+pub use optimus_telemetry as telemetry;
 pub use optimus_workload as workload;
 
 /// The most common imports for examples and downstream users.
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use optimus_simulator::{
         AssignmentPolicy, ErrorInjection, SimConfig, SimReport, Simulation,
     };
+    pub use optimus_telemetry::{Telemetry, TelemetrySummary, TraceEvent};
     pub use optimus_workload::{
         ArrivalProcess, GroundTruthCurve, JobId, JobSpec, ModelKind, TrainingMode,
         WorkloadGenerator,

@@ -94,8 +94,12 @@ fn optimus_beats_both_baselines_on_the_headline_workload() {
                 seed,
                 ..SimConfig::default()
             };
-            let mut sim =
-                Simulation::new(Cluster::paper_testbed(), jobs.clone(), Box::new(build()), cfg);
+            let mut sim = Simulation::new(
+                Cluster::paper_testbed(),
+                jobs.clone(),
+                Box::new(build()),
+                cfg,
+            );
             let report = sim.run();
             assert_eq!(report.unfinished_jobs, 0, "{name} seed {seed}");
             let entry = totals.entry(name).or_insert((0.0, 0.0));

@@ -102,10 +102,16 @@ fn table3_claims() {
     assert_eq!(blocks.len(), 157);
     let paa = PsAssignment::paa(&blocks, 10).stats();
     let mxnet = PsAssignment::mxnet_default(&blocks, 10, 42).stats();
-    assert_eq!(paa.total_requests, 157, "PAA never slices below-average blocks");
+    assert_eq!(
+        paa.total_requests, 157,
+        "PAA never slices below-average blocks"
+    );
     assert_eq!(mxnet.total_requests, 247, "147 small + 10 sliced × 10");
     assert!(paa.size_difference <= 200_000, "paper: 0.1M");
-    assert!(mxnet.size_difference >= 4 * paa.size_difference, "paper: 3.6M vs 0.1M");
+    assert!(
+        mxnet.size_difference >= 4 * paa.size_difference,
+        "paper: 3.6M vs 0.1M"
+    );
     assert!(paa.request_difference <= 3, "paper: 1");
     assert!(mxnet.request_difference > paa.request_difference);
 }
@@ -119,10 +125,12 @@ fn fig20_fig21_paa_speedups() {
         let profile = kind.profile();
         let blocks = profile.parameter_blocks();
         let model = PsJobModel::new(profile, TrainingMode::Synchronous);
-        let mut env = EnvFactors::default();
-        env.imbalance = PsAssignment::mxnet_default(&blocks, 10, 42)
-            .stats()
-            .imbalance_factor;
+        let mut env = EnvFactors {
+            imbalance: PsAssignment::mxnet_default(&blocks, 10, 42)
+                .stats()
+                .imbalance_factor,
+            ..EnvFactors::default()
+        };
         let mxnet_speed = model.speed_with(10, 10, &env);
         env.imbalance = PsAssignment::paa(&blocks, 10).stats().imbalance_factor;
         let paa_speed = model.speed_with(10, 10, &env);
@@ -135,7 +143,10 @@ fn fig20_fig21_paa_speedups() {
             any_material = true;
         }
     }
-    assert!(any_material, "at least one model gains ≥ 10 % (paper: up to 29 %)");
+    assert!(
+        any_material,
+        "at least one model gains ≥ 10 % (paper: up to 29 %)"
+    );
 }
 
 /// Fig 12: one scheduling decision for 1000 jobs on 4000 nodes stays

@@ -28,24 +28,22 @@ fn job_view(id: u64, model: ModelKind, mode: TrainingMode, remaining: f64) -> Jo
 }
 
 fn arbitrary_jobs() -> impl Strategy<Value = Vec<JobView>> {
-    prop::collection::vec(
-        (0usize..9, prop::bool::ANY, 100.0f64..100_000.0),
-        1..12,
+    prop::collection::vec((0usize..9, prop::bool::ANY, 100.0f64..100_000.0), 1..12).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (model_idx, sync, remaining))| {
+                    let mode = if sync {
+                        TrainingMode::Synchronous
+                    } else {
+                        TrainingMode::Asynchronous
+                    };
+                    job_view(i as u64, ModelKind::ALL[model_idx], mode, remaining)
+                })
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (model_idx, sync, remaining))| {
-                let mode = if sync {
-                    TrainingMode::Synchronous
-                } else {
-                    TrainingMode::Asynchronous
-                };
-                job_view(i as u64, ModelKind::ALL[model_idx], mode, remaining)
-            })
-            .collect()
-    })
 }
 
 proptest! {
@@ -87,7 +85,7 @@ proptest! {
         let cluster = Cluster::paper_testbed();
         let allocations = OptimusAllocator::default().allocate(&jobs, &cluster);
         let placers: Vec<Box<dyn TaskPlacer>> = vec![
-            Box::new(OptimusPlacer),
+            Box::new(OptimusPlacer::default()),
             Box::new(SpreadPlacer),
             Box::new(PackPlacer),
         ];

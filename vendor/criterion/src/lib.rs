@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/type surface the workspace's benches use —
+//! `criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` + `bench_with_input`, `BenchmarkId`, `black_box` —
+//! as a simple wall-clock harness: per benchmark it warms up briefly,
+//! then times `sample_size` samples and prints min / median / mean.
+//! No statistical outlier analysis, no HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(400);
+/// Warm-up budget per benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(100);
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    /// Iterations to run per sample (tuned during warm-up).
+    iters_per_sample: u64,
+    /// Collected per-iteration times, one entry per sample.
+    samples: Vec<f64>,
+    /// Number of samples to record.
+    sample_count: usize,
+    /// True while tuning (warm-up), false while measuring.
+    warming_up: bool,
+}
+
+impl Bencher {
+    /// Times the closure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.warming_up {
+            // Tune iterations-per-sample on a short budget.
+            let start = Instant::now();
+            let mut iters: u64 = 0;
+            while start.elapsed() < WARMUP_TIME {
+                black_box(f());
+                iters += 1;
+            }
+            let per_iter = WARMUP_TIME.as_secs_f64() / iters.max(1) as f64;
+            let per_sample = TARGET_SAMPLE_TIME.as_secs_f64() / self.sample_count.max(1) as f64;
+            self.iters_per_sample = ((per_sample / per_iter).round() as u64).max(1);
+            return;
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_count: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_count,
+        warming_up: true,
+    };
+    f(&mut bencher); // warm-up + tuning pass
+    bencher.warming_up = false;
+    f(&mut bencher); // measured pass
+    let mut samples = std::mem::take(&mut bencher.samples);
+    if samples.is_empty() {
+        println!("{label:<50} (no samples — closure never called iter)");
+        return;
+    }
+    samples.sort_by(f64::total_cmp);
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{label:<50} time: [{} {} {}] ({} samples x {} iters)",
+        format_time(min),
+        format_time(median),
+        format_time(mean),
+        samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

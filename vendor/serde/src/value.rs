@@ -1,0 +1,253 @@
+//! The JSON value tree shared by the `serde` and `serde_json` shims.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order (matching the field
+/// order that derived serializers emit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integral values render without
+    /// a fractional part).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a `Value::Str` (mirrors `serde_json::Value::String`).
+    #[allow(non_snake_case)]
+    pub fn String(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as u64, if integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A one-word description of the value's kind (for errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&Value::Null)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if !matches!(self, Value::Object(_)) {
+            *self = Value::Object(Vec::new());
+        }
+        let Value::Object(entries) = self else {
+            unreachable!()
+        };
+        if let Some(i) = entries.iter().position(|(k, _)| k == key) {
+            &mut entries[i].1
+        } else {
+            entries.push((key.to_string(), Value::Null));
+            &mut entries.last_mut().unwrap().1
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render(self, None, 0))
+    }
+}
+
+/// Renders a value as JSON text. `indent = Some(step)` pretty-prints.
+pub fn render(v: &Value, indent: Option<usize>, level: usize) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => render_number(*n),
+        Value::Str(s) => render_string(s),
+        Value::Array(items) => render_seq(
+            items.iter().map(|i| render(i, indent, level + 1)),
+            "[",
+            "]",
+            indent,
+            level,
+        ),
+        Value::Object(entries) => render_seq(
+            entries.iter().map(|(k, v)| {
+                format!(
+                    "{}:{}{}",
+                    render_string(k),
+                    if indent.is_some() { " " } else { "" },
+                    render(v, indent, level + 1)
+                )
+            }),
+            "{",
+            "}",
+            indent,
+            level,
+        ),
+    }
+}
+
+fn render_seq(
+    items: impl Iterator<Item = String>,
+    open: &str,
+    close: &str,
+    indent: Option<usize>,
+    level: usize,
+) -> String {
+    let items: Vec<String> = items.collect();
+    if items.is_empty() {
+        return format!("{open}{close}");
+    }
+    match indent {
+        None => format!("{open}{}{close}", items.join(",")),
+        Some(step) => {
+            let pad = " ".repeat(step * (level + 1));
+            let end_pad = " ".repeat(step * level);
+            format!(
+                "{open}\n{}\n{end_pad}{close}",
+                items
+                    .iter()
+                    .map(|i| format!("{pad}{i}"))
+                    .collect::<Vec<_>>()
+                    .join(",\n")
+            )
+        }
+    }
+}
+
+fn render_number(n: f64) -> String {
+    if !n.is_finite() {
+        // serde_json serializes non-finite floats as null.
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        let s = format!("{n}");
+        s
+    }
+}
+
+fn render_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Error: expected `what`, found `found`.
+    pub fn expected(what: &str, found: &Value) -> DeError {
+        DeError {
+            message: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+
+    /// A free-form error.
+    pub fn custom(message: impl Into<String>) -> DeError {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Error: object is missing a field.
+    pub fn missing_field(name: &str) -> DeError {
+        DeError {
+            message: format!("missing field `{name}`"),
+        }
+    }
+
+    /// Error: unknown enum variant.
+    pub fn unknown_variant(name: &str, ty: &str) -> DeError {
+        DeError {
+            message: format!("unknown variant `{name}` for enum {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

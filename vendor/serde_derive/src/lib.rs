@@ -1,0 +1,515 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes this workspace uses — named-field structs, tuple/newtype
+//! structs, unit structs, and enums with unit / named-field / tuple
+//! variants, plus `#[serde(tag = "...")]` internal tagging — without
+//! depending on `syn`/`quote` (token parsing is done by hand).
+//!
+//! Generated impls target the sibling `serde` shim's Value-based
+//! `Serialize`/`Deserialize` traits and mirror real serde's JSON
+//! representations for these shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// `Some(tag_field)` when the item carries `#[serde(tag = "...")]`.
+    tag: Option<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+
+    // Outer attributes (doc comments, #[serde(tag = "...")], other derives).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if let Some(t) = parse_serde_tag(g.stream()) {
+                tag = Some(t);
+            }
+        }
+        i += 2;
+    }
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    skip_generics(&tokens, &mut i);
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => ItemKind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde derive: enum without a body"),
+        },
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+
+    Item { name, tag, kind }
+}
+
+/// Extracts `tag = "..."` from a `serde(...)` attribute body, if present.
+fn parse_serde_tag(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if let TokenTree::Ident(key) = &inner[j] {
+                    if key.to_string() == "tag" {
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(j + 1), inner.get(j + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                return Some(lit.to_string().trim_matches('"').to_string());
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            &tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_generics(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(*i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            *i += 1;
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// `name: Type, ...` inside a brace group → field names, skipping
+/// attributes, visibility, and type tokens (angle-bracket aware).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // '#' + bracket group
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle brackets
+/// tracked; grouped tokens are atomic).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+/// Derives `serde::Serialize` (Value-based shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!(
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                ))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v, item.tag.as_deref()))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde derive: generated Serialize impl parses")
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant, tag: Option<&str>) -> String {
+    let vname = &v.name;
+    match (&v.fields, tag) {
+        (VariantFields::Unit, None) => format!(
+            "{enum_name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        (VariantFields::Unit, Some(tag)) => format!(
+            "{enum_name}::{vname} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{tag}\"), \
+                  ::serde::Value::Str(::std::string::String::from(\"{vname}\")))]),"
+        ),
+        (VariantFields::Named(fields), tag) => {
+            let binds = fields.join(", ");
+            let mut entries: Vec<String> = Vec::new();
+            if let Some(tag) = tag {
+                entries.push(format!(
+                    "(::std::string::String::from(\"{tag}\"), \
+                      ::serde::Value::Str(::std::string::String::from(\"{vname}\")))"
+                ));
+            }
+            entries.extend(fields.iter().map(|f| {
+                format!("(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))")
+            }));
+            let obj = format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            );
+            let value = if tag.is_some() {
+                obj
+            } else {
+                format!(
+                    "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {obj})])"
+                )
+            };
+            format!("{enum_name}::{vname} {{ {binds} }} => {value},")
+        }
+        (VariantFields::Tuple(n), _) => {
+            let binds = (0..*n)
+                .map(|k| format!("x{k}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(x0)".to_string()
+            } else {
+                let items = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(x{k})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), {inner})]),"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Deserialize` (Value-based shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => format!(
+            "match v {{\n\
+                 ::serde::Value::Object(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\"object\", other)),\n\
+             }}",
+            named_field_inits(fields)
+        ),
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let inits = (0..*n)
+                .map(|k| format!(
+                    "::serde::Deserialize::from_value(items.get({k}).unwrap_or(&::serde::Value::Null))?"
+                ))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) => ::std::result::Result::Ok({name}({inits})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"array\", other)),\n\
+                 }}"
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => match &item.tag {
+            Some(tag) => deserialize_tagged_enum(name, variants, tag),
+            None => deserialize_external_enum(name, variants),
+        },
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde derive: generated Deserialize impl parses")
+}
+
+/// `f1: from_value(src.get("f1")...)?, ...` — fields read from a value
+/// bound as `v` in scope.
+fn named_field_inits(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| format!(
+            "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+        ))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn deserialize_external_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let data_arms = variants
+        .iter()
+        .filter_map(|var| match &var.fields {
+            VariantFields::Unit => None,
+            VariantFields::Named(fields) => {
+                let inits = fields
+                    .iter()
+                    .map(|f| format!(
+                        "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Some(format!(
+                    "\"{0}\" => ::std::result::Result::Ok({name}::{0} {{ {inits} }}),",
+                    var.name
+                ))
+            }
+            VariantFields::Tuple(1) => Some(format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0}(::serde::Deserialize::from_value(inner)?)),",
+                var.name
+            )),
+            VariantFields::Tuple(n) => {
+                let inits = (0..*n)
+                    .map(|k| format!(
+                        "::serde::Deserialize::from_value(inner.as_array().and_then(|a| a.get({k})).unwrap_or(&::serde::Value::Null))?"
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Some(format!(
+                    "\"{0}\" => ::std::result::Result::Ok({name}::{0}({inits})),",
+                    var.name
+                ))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+             }},\n\
+             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (key, inner) = &entries[0];\n\
+                 match key.as_str() {{\n\
+                     {data_arms}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", other)),\n\
+         }}"
+    )
+}
+
+fn deserialize_tagged_enum(name: &str, variants: &[Variant], tag: &str) -> String {
+    let arms = variants
+        .iter()
+        .map(|var| match &var.fields {
+            VariantFields::Unit => format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
+                var.name
+            ),
+            VariantFields::Named(fields) => format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0} {{ {1} }}),",
+                var.name,
+                named_field_inits(fields)
+            ),
+            VariantFields::Tuple(_) => panic!(
+                "serde derive shim: tuple variants are not supported with #[serde(tag)] \
+                 (real serde rejects these too)"
+            ),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "match v.get(\"{tag}\").and_then(::serde::Value::as_str) {{\n\
+             ::std::option::Option::Some(tag_value) => match tag_value {{\n\
+                 {arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+             }},\n\
+             ::std::option::Option::None => ::std::result::Result::Err(::serde::DeError::missing_field(\"{tag}\")),\n\
+         }}"
+    )
+}
