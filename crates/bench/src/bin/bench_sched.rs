@@ -1,0 +1,170 @@
+//! `bench_sched` — records the scheduling-decision perf trajectory.
+//!
+//! Times one full scheduling decision (marginal-gain allocation +
+//! Theorem-1 placement) at the `scheduler_scalability` criterion
+//! points and appends a labeled entry to a committed JSON file
+//! (`BENCH_sched.json` via `just bench-sched`), so every future PR can
+//! compare against the recorded history instead of a number in a
+//! commit message.
+//!
+//! ```text
+//! bench_sched [--samples N] [--label STR] [--out FILE]
+//! ```
+//!
+//! With `--out`, the file is read (it must hold a JSON array, or not
+//! exist), the new entry is appended, and the array is rewritten —
+//! existing entries are never modified.
+
+use optimus_bench::{available_threads, run_indexed};
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_core::prelude::*;
+use optimus_ps::PsJobModel;
+use optimus_workload::{JobId, ModelKind, TrainingMode};
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The criterion bench's points: (jobs, nodes).
+const POINTS: [(usize, usize); 3] = [(250, 500), (500, 1_000), (1_000, 2_000)];
+
+/// One timed grid point.
+#[derive(Serialize)]
+struct PointRecord {
+    jobs: usize,
+    nodes: usize,
+    mean_ns: u64,
+}
+
+/// One appended trajectory entry.
+#[derive(Serialize)]
+struct BenchEntry {
+    label: String,
+    source: &'static str,
+    samples: u32,
+    points: Vec<PointRecord>,
+}
+
+/// Same synthetic population as the `scheduler_scalability` bench.
+fn make_jobs(n: usize) -> Vec<JobView> {
+    let mut base: Vec<SpeedModel> = Vec::new();
+    for kind in [ModelKind::ResNet50, ModelKind::Seq2Seq, ModelKind::CnnRand] {
+        for mode in [TrainingMode::Synchronous, TrainingMode::Asynchronous] {
+            let profile = kind.profile();
+            let truth = PsJobModel::new(profile, mode);
+            let mut m = SpeedModel::new(mode, profile.batch_size as f64);
+            for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4)] {
+                m.record(p, w, truth.speed(p, w));
+            }
+            m.refit().expect("profiled");
+            base.push(m);
+        }
+    }
+    (0..n)
+        .map(|i| JobView {
+            id: JobId(i as u64),
+            worker_profile: optimus_workload::job::default_container(),
+            ps_profile: optimus_workload::job::default_container(),
+            remaining_work: 1_000.0 + (i % 97) as f64 * 650.0,
+            speed: base[i % base.len()].clone(),
+            progress: (i % 10) as f64 / 10.0,
+            requested_units: 8,
+        })
+        .collect()
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "bench_sched — scheduling-decision timing trajectory\n\n\
+             USAGE: bench_sched [--samples N] [--label STR] [--out FILE]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let samples: u32 = match arg_value(&args, "--samples").map(|v| v.parse()) {
+        None => 10,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: --samples expects an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let label = arg_value(&args, "--label").unwrap_or_else(|| "current".into());
+    let out = arg_value(&args, "--out");
+
+    let node_cap = ResourceVec::new(32.0, 4.0, 128.0, 10.0);
+    let scheduler = OptimusScheduler::build();
+    let sizes: Vec<usize> = POINTS.iter().map(|&(jobs, _)| jobs).collect();
+    let job_sets = run_indexed(&sizes, available_threads(), |_, &n| make_jobs(n));
+
+    println!(
+        "bench_sched: {} samples per point (label: {label})\n",
+        samples.max(1)
+    );
+    println!(
+        "{:>8} {:>8} {:>14} {:>12}",
+        "jobs", "nodes", "mean ns", "ms"
+    );
+    let mut points = Vec::new();
+    for (&(jobs_n, nodes), jobs) in POINTS.iter().zip(job_sets.iter()) {
+        let cluster = Cluster::homogeneous(nodes, node_cap);
+        // One warm-up decision, then the timed samples.
+        let _ = scheduler.schedule(jobs, &cluster);
+        let mut total_ns = 0u128;
+        for _ in 0..samples.max(1) {
+            let start = Instant::now();
+            let schedule = scheduler.schedule(jobs, &cluster);
+            total_ns += start.elapsed().as_nanos();
+            std::hint::black_box(schedule);
+        }
+        let mean_ns = (total_ns / samples.max(1) as u128) as u64;
+        println!(
+            "{jobs_n:>8} {nodes:>8} {mean_ns:>14} {:>12.3}",
+            mean_ns as f64 / 1e6
+        );
+        points.push(PointRecord {
+            jobs: jobs_n,
+            nodes,
+            mean_ns,
+        });
+    }
+
+    if let Some(path) = out {
+        let entry = BenchEntry {
+            label: label.clone(),
+            source: "bench_sched",
+            samples: samples.max(1),
+            points,
+        };
+        let mut entries: Vec<serde_json::Value> = match std::fs::read_to_string(&path) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(serde_json::Value::Array(v)) => v,
+                Ok(_) | Err(_) => {
+                    eprintln!("error: {path} exists but is not a JSON array");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        entries.push(serde_json::to_value(&entry).expect("entry serializes"));
+        let json = serde_json::to_string_pretty(&serde_json::Value::Array(entries))
+            .expect("entries serialize");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nappended entry '{label}' to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -8,20 +8,16 @@
 //! errors. The paper also reports that a 0.95 priority factor improves
 //! JCT/makespan slightly (2.66 % / 1.88 %).
 
-use optimus_bench::{aggregate, print_series, ComparisonSpec, SchedulerChoice};
+use optimus_bench::{
+    aggregate, available_threads, print_series, run_indexed, ComparisonSpec, SchedulerChoice,
+};
 use optimus_simulator::ErrorInjection;
 use optimus_workload::ArrivalProcess;
 
-fn run_with(spec: &ComparisonSpec, inject: Option<ErrorInjection>, seeds: &[u64]) -> (f64, f64) {
-    let reports: Vec<_> = seeds
-        .iter()
-        .map(|&seed| {
-            let mut s = spec.clone();
-            s.base_config.inject = inject;
-            optimus_bench::run_one(&s, SchedulerChoice::Optimus, seed)
-        })
-        .collect();
-    let agg = aggregate("Optimus".into(), &reports);
+/// Aggregates one error-injection variant's slice of the fanned-out
+/// report grid into `(avg JCT, makespan)`.
+fn agg_variant(reports: &[optimus_simulator::SimReport]) -> (f64, f64) {
+    let agg = aggregate("Optimus".into(), reports);
     (agg.avg_jct, agg.makespan)
 }
 
@@ -36,37 +32,57 @@ fn main() {
     // More seeds than the headline run: sensitivity differences are
     // small (the paper averages 100 simulator runs).
     let seeds: Vec<u64> = (0..8).map(|i| 17 + 13 * i).collect();
+    let threads = available_threads();
 
-    let (base_jct, base_mk) = run_with(&spec, Some(ErrorInjection::NONE), &seeds);
+    // The whole error-level grid is one flat (injection, seed) cell
+    // list fanned across cores; results come back in input order, so
+    // the aggregation below is independent of the worker schedule.
+    let levels = [0.0, 0.15, 0.30, 0.45];
+    let mut variants: Vec<ErrorInjection> = vec![ErrorInjection::NONE];
+    for &e in &levels {
+        variants.push(ErrorInjection {
+            convergence_error: e,
+            speed_error: 0.0,
+        });
+    }
+    for &e in &levels {
+        variants.push(ErrorInjection {
+            convergence_error: 0.0,
+            speed_error: e,
+        });
+    }
+    variants.push(ErrorInjection {
+        convergence_error: 0.20,
+        speed_error: 0.10,
+    });
+    let cells: Vec<(ErrorInjection, u64)> = variants
+        .iter()
+        .flat_map(|&inject| seeds.iter().map(move |&s| (inject, s)))
+        .collect();
+    let reports = run_indexed(&cells, threads, |_, &(inject, seed)| {
+        let mut s = spec.clone();
+        s.base_config.inject = Some(inject);
+        optimus_bench::run_one(&s, SchedulerChoice::Optimus, seed)
+    });
+    let per = seeds.len();
+    let variant = |v: usize| agg_variant(&reports[v * per..(v + 1) * per]);
+
+    let (base_jct, base_mk) = variant(0);
     println!(
-        "Fig 15: sensitivity to prediction errors ({} seeds)\n",
-        seeds.len()
+        "Fig 15: sensitivity to prediction errors ({} seeds, {} threads)\n",
+        seeds.len(),
+        threads
     );
 
-    let levels = [0.0, 0.15, 0.30, 0.45];
     let mut conv_jct = Vec::new();
     let mut conv_mk = Vec::new();
     let mut speed_jct = Vec::new();
     let mut speed_mk = Vec::new();
-    for &e in &levels {
-        let (jct, mk) = run_with(
-            &spec,
-            Some(ErrorInjection {
-                convergence_error: e,
-                speed_error: 0.0,
-            }),
-            &seeds,
-        );
+    for (n, &e) in levels.iter().enumerate() {
+        let (jct, mk) = variant(1 + n);
         conv_jct.push((e * 100.0, jct / base_jct));
         conv_mk.push((e * 100.0, mk / base_mk));
-        let (jct, mk) = run_with(
-            &spec,
-            Some(ErrorInjection {
-                convergence_error: 0.0,
-                speed_error: e,
-            }),
-            &seeds,
-        );
+        let (jct, mk) = variant(1 + levels.len() + n);
         speed_jct.push((e * 100.0, jct / base_jct));
         speed_mk.push((e * 100.0, mk / base_mk));
     }
@@ -93,31 +109,27 @@ fn main() {
         "paper: both rise with error at diminishing slope; speed error hurts more; a\n\
          20 % convergence + 10 % speed error costs ~15 %.\n"
     );
-    let (mixed_jct, _) = run_with(
-        &spec,
-        Some(ErrorInjection {
-            convergence_error: 0.20,
-            speed_error: 0.10,
-        }),
-        &seeds,
-    );
+    let (mixed_jct, _) = variant(variants.len() - 1);
     println!(
         "combined 20 % conv + 10 % speed error: JCT ×{:.3} of error-free",
         mixed_jct / base_jct
     );
 
     // Priority-factor study (§6.3): compare factors 1.0 and 0.95 with
-    // the emergent (estimator-driven) errors.
-    let pf1: Vec<_> = seeds
+    // the emergent (estimator-driven) errors — same fan-out pattern.
+    let pf_choices = [
+        SchedulerChoice::Optimus,
+        SchedulerChoice::OptimusWithPriority(0.95),
+    ];
+    let pf_cells: Vec<(SchedulerChoice, u64)> = pf_choices
         .iter()
-        .map(|&s| optimus_bench::run_one(&spec, SchedulerChoice::Optimus, s))
+        .flat_map(|&c| seeds.iter().map(move |&s| (c, s)))
         .collect();
-    let pf95: Vec<_> = seeds
-        .iter()
-        .map(|&s| optimus_bench::run_one(&spec, SchedulerChoice::OptimusWithPriority(0.95), s))
-        .collect();
-    let a1 = aggregate("pf=1.0".into(), &pf1);
-    let a95 = aggregate("pf=0.95".into(), &pf95);
+    let pf_reports = run_indexed(&pf_cells, threads, |_, &(choice, seed)| {
+        optimus_bench::run_one(&spec, choice, seed)
+    });
+    let a1 = aggregate("pf=1.0".into(), &pf_reports[..per]);
+    let a95 = aggregate("pf=0.95".into(), &pf_reports[per..]);
     println!(
         "\npriority factor 0.95 vs 1.0: JCT {:+.2} %, makespan {:+.2} % (paper: −2.66 %, −1.88 %)",
         100.0 * (a95.avg_jct - a1.avg_jct) / a1.avg_jct,

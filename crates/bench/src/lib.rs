@@ -15,6 +15,8 @@ use optimus_simulator::{AssignmentPolicy, SimConfig, SimReport, Simulation};
 use optimus_workload::arrivals::ModePolicy;
 use optimus_workload::{ArrivalProcess, WorkloadGenerator};
 use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A scheduler under test, with the §5.3 PS-assignment policy its
 /// deployment would use (Optimus ships PAA; the baselines run stock
@@ -165,6 +167,97 @@ pub struct SchedulerResult {
     pub ps_utilization: f64,
     /// Unfinished jobs across all seeds (should be 0).
     pub unfinished: usize,
+}
+
+// ---------------------------------------------------------------------
+// Parallel sweep runner
+// ---------------------------------------------------------------------
+
+/// Worker-thread count for experiment sweeps: the `OPTIMUS_THREADS`
+/// environment variable when set (and ≥ 1), else the machine's
+/// available parallelism.
+pub fn available_threads() -> usize {
+    if let Ok(v) = std::env::var("OPTIMUS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Fans `f(i, &cells[i])` across `threads` worker threads and returns
+/// the results **in input order** regardless of which worker computed
+/// which cell or in what sequence they finished.
+///
+/// Work distribution is a shared atomic cursor (work-stealing, no
+/// barriers): an idle worker immediately claims the next unclaimed
+/// cell, so wall-clock is bounded by the slowest single cell plus an
+/// even share of the rest — near-linear speedup for grids whose cells
+/// dwarf thread-spawn cost (every simulation sweep qualifies). Each
+/// result lands in the slot of its input index, which makes the output
+/// deterministic whenever `f` itself is (all simulator cells are:
+/// seeded RNG, no shared mutable state).
+///
+/// `threads <= 1` (or trivially small inputs) runs serially on the
+/// caller's thread with no synchronization at all.
+pub fn run_indexed<T, R, F>(cells: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.min(cells.len());
+    if threads <= 1 {
+        return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let r = f(i, &cells[i]);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot")
+                .expect("every cell was claimed exactly once")
+        })
+        .collect()
+}
+
+/// Runs every `scheduler × seed` cell of the spec across `threads`
+/// workers and aggregates per scheduler, preserving the order of
+/// `choices`. Output is identical to calling [`run_scheduler`] per
+/// choice serially.
+pub fn run_schedulers_parallel(
+    spec: &ComparisonSpec,
+    choices: &[SchedulerChoice],
+    threads: usize,
+) -> Vec<SchedulerResult> {
+    let cells: Vec<(SchedulerChoice, u64)> = choices
+        .iter()
+        .flat_map(|&c| spec.seeds.iter().map(move |&s| (c, s)))
+        .collect();
+    let reports = run_indexed(&cells, threads, |_, &(choice, seed)| {
+        run_one(spec, choice, seed)
+    });
+    let per = spec.seeds.len();
+    choices
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| aggregate(c.name(), &reports[i * per..(i + 1) * per]))
+        .collect()
 }
 
 /// Runs one scheduler across the spec's seeds and aggregates.
@@ -380,6 +473,48 @@ mod tests {
         assert!(r.p50_jct > 0.0);
         assert!(r.p50_jct <= r.p95_jct);
         assert!(r.avg_jct <= r.p95_jct);
+    }
+
+    #[test]
+    fn run_indexed_preserves_input_order() {
+        let cells: Vec<u64> = (0..103).collect();
+        let serial = run_indexed(&cells, 1, |i, &c| (i as u64) * 1_000 + c * 3);
+        for threads in [2, 4, 8] {
+            let parallel = run_indexed(&cells, threads, |i, &c| (i as u64) * 1_000 + c * 3);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_degenerate_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(run_indexed(&empty, 4, |_, &c| c).is_empty());
+        assert_eq!(run_indexed(&[7u8], 4, |i, &c| (i, c)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        // The fig15-style grid path: scheduler × seed cells fanned
+        // across workers must reproduce the serial results exactly.
+        let spec = ComparisonSpec {
+            arrivals: ArrivalProcess::UniformRandom {
+                count: 2,
+                horizon_s: 1_000.0,
+            },
+            target_job_seconds: Some(1_200.0),
+            seeds: vec![5, 11],
+            ..ComparisonSpec::default()
+        };
+        let choices = [SchedulerChoice::Optimus, SchedulerChoice::Fifo];
+        let serial: Vec<SchedulerResult> =
+            choices.iter().map(|&c| run_scheduler(&spec, c)).collect();
+        let parallel = run_schedulers_parallel(&spec, &choices, 4);
+        let dump = |rs: &[SchedulerResult]| {
+            rs.iter()
+                .map(|r| serde_json::to_string(r).expect("serializes"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(dump(&parallel), dump(&serial));
     }
 
     #[test]

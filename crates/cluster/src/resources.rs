@@ -93,16 +93,19 @@ impl ResourceVec {
     }
 
     /// The zero vector.
+    #[inline]
     pub fn zero() -> Self {
         ResourceVec::default()
     }
 
     /// Amount of a given kind.
+    #[inline]
     pub fn get(&self, kind: ResourceKind) -> f64 {
         self.amounts[kind.index()]
     }
 
     /// Returns a copy with one dimension replaced.
+    #[inline]
     pub fn with(&self, kind: ResourceKind, amount: f64) -> Self {
         let mut out = *self;
         out.amounts[kind.index()] = amount;
@@ -111,6 +114,7 @@ impl ResourceVec {
 
     /// True if every dimension is ≤ the corresponding dimension of
     /// `capacity` (with a small epsilon for float accumulation).
+    #[inline]
     pub fn fits_within(&self, capacity: &ResourceVec) -> bool {
         self.amounts
             .iter()
@@ -119,11 +123,13 @@ impl ResourceVec {
     }
 
     /// True if all dimensions are (numerically) zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.amounts.iter().all(|a| a.abs() < 1e-9)
     }
 
     /// Element-wise saturating subtraction (never goes below zero).
+    #[inline]
     pub fn saturating_sub(&self, other: &ResourceVec) -> ResourceVec {
         let mut out = *self;
         for (o, r) in out.amounts.iter_mut().zip(other.amounts.iter()) {
@@ -161,6 +167,7 @@ impl ResourceVec {
 
     /// Sum of element-wise ratios against a capacity (used by Tetris-style
     /// alignment scoring).
+    #[inline]
     pub fn alignment(&self, available: &ResourceVec) -> f64 {
         self.amounts
             .iter()
@@ -170,6 +177,7 @@ impl ResourceVec {
     }
 
     /// L2 norm of the vector.
+    #[inline]
     pub fn norm(&self) -> f64 {
         self.amounts.iter().map(|a| a * a).sum::<f64>().sqrt()
     }
@@ -178,6 +186,7 @@ impl ResourceVec {
 impl Index<ResourceKind> for ResourceVec {
     type Output = f64;
 
+    #[inline]
     fn index(&self, kind: ResourceKind) -> &f64 {
         &self.amounts[kind.index()]
     }
@@ -186,6 +195,7 @@ impl Index<ResourceKind> for ResourceVec {
 impl Add for ResourceVec {
     type Output = ResourceVec;
 
+    #[inline]
     fn add(mut self, rhs: ResourceVec) -> ResourceVec {
         self += rhs;
         self
@@ -193,6 +203,7 @@ impl Add for ResourceVec {
 }
 
 impl AddAssign for ResourceVec {
+    #[inline]
     fn add_assign(&mut self, rhs: ResourceVec) {
         for (a, b) in self.amounts.iter_mut().zip(rhs.amounts.iter()) {
             *a += b;
@@ -206,6 +217,7 @@ impl Sub for ResourceVec {
     /// Element-wise subtraction. May produce small negative values from
     /// float accumulation; use [`ResourceVec::saturating_sub`] when the
     /// result must stay a valid amount.
+    #[inline]
     fn sub(mut self, rhs: ResourceVec) -> ResourceVec {
         self -= rhs;
         self
@@ -213,6 +225,7 @@ impl Sub for ResourceVec {
 }
 
 impl SubAssign for ResourceVec {
+    #[inline]
     fn sub_assign(&mut self, rhs: ResourceVec) {
         for (a, b) in self.amounts.iter_mut().zip(rhs.amounts.iter()) {
             *a -= b;
@@ -223,6 +236,7 @@ impl SubAssign for ResourceVec {
 impl Mul<f64> for ResourceVec {
     type Output = ResourceVec;
 
+    #[inline]
     fn mul(mut self, rhs: f64) -> ResourceVec {
         for a in self.amounts.iter_mut() {
             *a *= rhs;

@@ -38,21 +38,25 @@ impl Server {
     }
 
     /// The server's id.
+    #[inline]
     pub fn id(&self) -> ServerId {
         self.id
     }
 
     /// Total capacity.
+    #[inline]
     pub fn capacity(&self) -> ResourceVec {
         self.capacity
     }
 
     /// Currently allocated amounts.
+    #[inline]
     pub fn allocated(&self) -> ResourceVec {
         self.allocated
     }
 
     /// Currently free amounts.
+    #[inline]
     pub fn available(&self) -> ResourceVec {
         self.capacity.saturating_sub(&self.allocated)
     }
@@ -63,6 +67,7 @@ impl Server {
     }
 
     /// True if `demand` fits in the free capacity.
+    #[inline]
     pub fn can_fit(&self, demand: &ResourceVec) -> bool {
         demand.fits_within(&self.available())
     }

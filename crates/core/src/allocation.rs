@@ -16,7 +16,7 @@ use optimus_telemetry::{Telemetry, TraceEvent};
 use optimus_workload::JobId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Task counts granted to one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,6 +52,45 @@ pub trait ResourceAllocator {
 enum Action {
     AddWorker,
     AddPs,
+}
+
+/// Per-round memo of `JobView::remaining_time` evaluations, keyed by
+/// `(job, p, w)`.
+///
+/// The lazy-heap loop revisits configurations constantly: after a grant,
+/// the job's new `t_now` is exactly the `t_next` just priced, and a
+/// stale-capacity re-derivation re-asks for points already computed.
+/// Each [`SpeedModel::predict`](crate::speed::SpeedModel::predict) call
+/// builds a feature row and runs the fitted model, so caching the
+/// scalar result is a pure win — and exact, because the speed model is
+/// immutable for the duration of one `allocate` call.
+///
+/// `misses` counts actual model evaluations; this is what the
+/// `alloc.marginal_gain_evals` telemetry counter now reports (memo
+/// misses, not candidate considerations).
+struct RemainingTimeMemo {
+    cache: Vec<HashMap<(u32, u32), f64>>,
+    misses: u64,
+}
+
+impl RemainingTimeMemo {
+    fn new(jobs: usize) -> Self {
+        RemainingTimeMemo {
+            cache: (0..jobs).map(|_| HashMap::new()).collect(),
+            misses: 0,
+        }
+    }
+
+    /// `jobs[idx].remaining_time(p, w)`, computed at most once per round.
+    fn remaining_time(&mut self, job: &JobView, idx: usize, p: u32, w: u32) -> f64 {
+        if let Some(&t) = self.cache[idx].get(&(p, w)) {
+            return t;
+        }
+        self.misses += 1;
+        let t = job.remaining_time(p, w);
+        self.cache[idx].insert((p, w), t);
+        t
+    }
 }
 
 /// Max-heap entry: gain of the best addition for one job.
@@ -111,9 +150,11 @@ impl OptimusAllocator {
     }
 
     /// Attaches a telemetry handle. Each `allocate` call then counts as
-    /// one `alloc.rounds`, reports its marginal-gain evaluations, and
-    /// records an [`TraceEvent::AllocGrant`] per granted task plus one
-    /// [`TraceEvent::AllocRound`] summary.
+    /// one `alloc.rounds`, reports its marginal-gain evaluations
+    /// (`alloc.marginal_gain_evals` counts prediction-memo *misses* —
+    /// actual speed-model evaluations — not candidate considerations),
+    /// and records an [`TraceEvent::AllocGrant`] per granted task plus
+    /// one [`TraceEvent::AllocRound`] summary.
     pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
         self.tel = tel;
         self
@@ -126,15 +167,20 @@ impl OptimusAllocator {
     }
 
     /// Marginal gain (time reduction per unit dominant resource) of the
-    /// best feasible addition for a job, if any.
+    /// best feasible addition for a job, if any. All remaining-time
+    /// evaluations (including `t_now`) go through the per-round memo, so
+    /// a configuration already priced this round costs a hash lookup.
+    #[allow(clippy::too_many_arguments)]
     fn best_candidate(
         &self,
         job: &JobView,
+        job_idx: usize,
         alloc: &Allocation,
         remaining: &ResourceVec,
         capacity: &ResourceVec,
+        memo: &mut RemainingTimeMemo,
     ) -> Option<(f64, Action)> {
-        let t_now = job.remaining_time(alloc.ps, alloc.workers);
+        let t_now = memo.remaining_time(job, job_idx, alloc.ps, alloc.workers);
         let mut best: Option<(f64, Action)> = None;
 
         let mut consider = |action: Action, demand: &ResourceVec, t_next: f64| {
@@ -165,16 +211,10 @@ impl OptimusAllocator {
             }
         };
 
-        consider(
-            Action::AddWorker,
-            &job.worker_profile,
-            job.remaining_time(alloc.ps, alloc.workers + 1),
-        );
-        consider(
-            Action::AddPs,
-            &job.ps_profile,
-            job.remaining_time(alloc.ps + 1, alloc.workers),
-        );
+        let t_worker = memo.remaining_time(job, job_idx, alloc.ps, alloc.workers + 1);
+        consider(Action::AddWorker, &job.worker_profile, t_worker);
+        let t_ps = memo.remaining_time(job, job_idx, alloc.ps + 1, alloc.workers);
+        consider(Action::AddPs, &job.ps_profile, t_ps);
         best
     }
 }
@@ -186,7 +226,6 @@ impl ResourceAllocator for OptimusAllocator {
             .is_enabled()
             .then(|| self.tel.span("alloc.allocate"));
         let round = self.tel.incr("alloc.rounds");
-        let mut evals = 0u64;
         let mut granted = 0u64;
         let capacity = cluster.total_capacity();
         let mut remaining = cluster.total_available();
@@ -210,16 +249,18 @@ impl ResourceAllocator for OptimusAllocator {
             }
         }
 
-        // Greedy marginal-gain loop over a lazy max-heap.
+        // Greedy marginal-gain loop over a lazy max-heap. Every
+        // remaining-time prediction this round goes through one memo, so
+        // re-priced configurations cost a lookup, not a model evaluation.
+        let mut memo = RemainingTimeMemo::new(jobs.len());
         let mut versions = vec![0u64; jobs.len()];
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
         for (i, job) in jobs.iter().enumerate() {
             if allocs[i].workers == 0 {
                 continue; // not even the starter unit fit
             }
-            evals += 2;
             if let Some((gain, action)) =
-                self.best_candidate(job, &allocs[i], &remaining, &capacity)
+                self.best_candidate(job, i, &allocs[i], &remaining, &capacity, &mut memo)
             {
                 heap.push(Candidate {
                     gain,
@@ -246,10 +287,14 @@ impl ResourceAllocator for OptimusAllocator {
                 // Capacity shrank since this entry was computed;
                 // re-derive the best feasible candidate now.
                 versions[cand.job_idx] += 1;
-                evals += 2;
-                if let Some((gain, action)) =
-                    self.best_candidate(job, &allocs[cand.job_idx], &remaining, &capacity)
-                {
+                if let Some((gain, action)) = self.best_candidate(
+                    job,
+                    cand.job_idx,
+                    &allocs[cand.job_idx],
+                    &remaining,
+                    &capacity,
+                    &mut memo,
+                ) {
                     heap.push(Candidate {
                         gain,
                         job_idx: cand.job_idx,
@@ -279,10 +324,14 @@ impl ResourceAllocator for OptimusAllocator {
                 });
             }
             versions[cand.job_idx] += 1;
-            evals += 2;
-            if let Some((gain, action)) =
-                self.best_candidate(job, &allocs[cand.job_idx], &remaining, &capacity)
-            {
+            if let Some((gain, action)) = self.best_candidate(
+                job,
+                cand.job_idx,
+                &allocs[cand.job_idx],
+                &remaining,
+                &capacity,
+                &mut memo,
+            ) {
                 heap.push(Candidate {
                     gain,
                     job_idx: cand.job_idx,
@@ -292,12 +341,15 @@ impl ResourceAllocator for OptimusAllocator {
             }
         }
         if self.tel.is_enabled() {
-            self.tel.add("alloc.marginal_gain_evals", evals);
+            // Since the memo layer, `alloc.marginal_gain_evals` counts
+            // memo *misses* (actual speed-model evaluations), not
+            // candidate considerations.
+            self.tel.add("alloc.marginal_gain_evals", memo.misses);
             self.tel.record(TraceEvent::AllocRound {
                 round,
                 jobs: jobs.len(),
                 granted,
-                evals,
+                evals: memo.misses,
             });
         }
         allocs

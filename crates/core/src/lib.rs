@@ -21,7 +21,10 @@
 //!   load-balancing (Kubernetes-default) and Tetris-packing baselines,
 //! * [`scheduler`] — the allocator × placer composition the simulator
 //!   drives every scheduling interval (and the §6.4 ablations mix and
-//!   match).
+//!   match),
+//! * [`reference`] — naive (unoptimized) §4.1/§4.2 implementations kept
+//!   as the executable specification the optimized hot path is
+//!   property-tested against.
 //!
 //! # Examples
 //!
@@ -55,6 +58,7 @@
 pub mod allocation;
 pub mod convergence;
 pub mod placement;
+pub mod reference;
 pub mod scheduler;
 pub mod speed;
 
@@ -63,6 +67,7 @@ pub use allocation::{
 };
 pub use convergence::ConvergenceEstimator;
 pub use placement::{OptimusPlacer, PackPlacer, SpreadPlacer, TaskPlacer};
+pub use reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
 pub use scheduler::{CompositeScheduler, JobView, Schedule, Scheduler};
 pub use speed::SpeedModel;
 

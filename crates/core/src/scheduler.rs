@@ -64,20 +64,65 @@ impl JobView {
 pub type JobPlacement = Vec<(ServerId, TaskCounts)>;
 
 /// The outcome of one scheduling pass.
+///
+/// Lookups by job id are O(1): the allocation vector is shadowed by a
+/// private id→row index, so the simulator's per-job-per-round
+/// [`Schedule::allocation_for`] / [`Schedule::is_running`] queries never
+/// scan. The index is maintained by the constructors and
+/// [`Schedule::push_allocation`]; when several rows share a job id the
+/// first row wins, matching the old linear scan.
 #[derive(Debug, Clone, Default)]
 pub struct Schedule {
     /// Per-job task counts (jobs with `ps == 0 || workers == 0` received
     /// nothing this interval).
-    pub allocations: Vec<Allocation>,
+    allocations: Vec<Allocation>,
     /// Concrete placements for the jobs that fit on servers; allocated
     /// jobs missing here are paused (§4.2).
-    pub placements: HashMap<JobId, JobPlacement>,
+    placements: HashMap<JobId, JobPlacement>,
+    /// Job id → row in `allocations` (first occurrence wins).
+    index: HashMap<JobId, usize>,
 }
 
 impl Schedule {
-    /// The allocation row for a job, if any.
+    /// Builds a schedule from its parts, indexing the allocations.
+    pub fn new(allocations: Vec<Allocation>, placements: HashMap<JobId, JobPlacement>) -> Self {
+        let mut index = HashMap::with_capacity(allocations.len());
+        for (i, a) in allocations.iter().enumerate() {
+            index.entry(a.job).or_insert(i);
+        }
+        Schedule {
+            allocations,
+            placements,
+            index,
+        }
+    }
+
+    /// The per-job allocation rows, in allocator order.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
+    }
+
+    /// All placements, keyed by job.
+    pub fn placements(&self) -> &HashMap<JobId, JobPlacement> {
+        &self.placements
+    }
+
+    /// Appends an allocation row, keeping the lookup index in sync.
+    pub fn push_allocation(&mut self, allocation: Allocation) {
+        self.index
+            .entry(allocation.job)
+            .or_insert(self.allocations.len());
+        self.allocations.push(allocation);
+    }
+
+    /// Inserts (or replaces) a job's placement.
+    pub fn insert_placement(&mut self, id: JobId, placement: JobPlacement) {
+        self.placements.insert(id, placement);
+    }
+
+    /// The allocation row for a job, if any (O(1)).
     pub fn allocation_for(&self, id: JobId) -> Option<&Allocation> {
-        self.allocations.iter().find(|a| a.job == id)
+        self.index.get(&id).map(|&i| &self.allocations[i])
     }
 
     /// The placement for a job, if it was placed.
@@ -137,9 +182,11 @@ impl CompositeScheduler {
     }
 
     /// Attaches a telemetry handle: each `schedule` call is wrapped in a
-    /// `scheduler.schedule` span. The allocator and placer keep their own
-    /// handles (see [`OptimusScheduler::build_with_telemetry`], which
-    /// shares one handle across all three).
+    /// `sched.decision` span (so `optimus-trace --spans` can report
+    /// per-round decision-latency percentiles). The allocator and placer
+    /// keep their own handles (see
+    /// [`OptimusScheduler::build_with_telemetry`], which shares one
+    /// handle across all three).
     pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
         self.tel = tel;
         self
@@ -155,13 +202,10 @@ impl Scheduler for CompositeScheduler {
         let _span = self
             .tel
             .is_enabled()
-            .then(|| self.tel.span("scheduler.schedule"));
+            .then(|| self.tel.span("sched.decision"));
         let allocations = self.allocator.allocate(jobs, cluster);
         let placements = self.placer.place(&allocations, jobs, cluster);
-        Schedule {
-            allocations,
-            placements,
-        }
+        Schedule::new(allocations, placements)
     }
 }
 
@@ -192,7 +236,7 @@ impl OptimusScheduler {
     /// Builds the scheduler with one shared [`Telemetry`] handle wired
     /// through the allocator, the placer and the composite itself, so a
     /// single handle sees `alloc.*`, `placement.*` and the
-    /// `scheduler.schedule` spans of every round.
+    /// `sched.decision` spans of every round.
     pub fn build_with_telemetry(tel: Telemetry) -> CompositeScheduler {
         CompositeScheduler::new(
             "Optimus",
@@ -290,7 +334,7 @@ mod tests {
             TetrisScheduler::build(),
         ] {
             let s = sched.schedule(&jobs, &cluster);
-            assert!(!s.allocations.is_empty(), "{}", sched.name());
+            assert!(!s.allocations().is_empty(), "{}", sched.name());
             for j in &jobs {
                 assert!(
                     s.is_running(j.id),
@@ -311,5 +355,37 @@ mod tests {
         assert!(s.allocation_for(JobId(7)).is_some());
         assert!(s.allocation_for(JobId(99)).is_none());
         assert!(s.placement_for(JobId(7)).is_some());
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_scan_on_out_of_order_rows() {
+        // Regression for the old O(n) `allocation_for` scan: the indexed
+        // lookup must return exactly the row a linear scan would, for a
+        // duplicate-free allocation vector in arbitrary (non-id) order,
+        // however the schedule was built.
+        let rows: Vec<Allocation> = [9u64, 2, 13, 0, 7, 4]
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| Allocation {
+                job: JobId(id),
+                ps: i as u32 + 1,
+                workers: 2 * i as u32 + 1,
+            })
+            .collect();
+
+        let built = Schedule::new(rows.clone(), HashMap::new());
+        let mut pushed = Schedule::default();
+        for a in &rows {
+            pushed.push_allocation(*a);
+        }
+        for s in [&built, &pushed] {
+            assert_eq!(s.allocations(), rows.as_slice());
+            for a in &rows {
+                let scan = rows.iter().find(|r| r.job == a.job);
+                assert_eq!(s.allocation_for(a.job), scan, "{:?}", a.job);
+            }
+            assert_eq!(s.allocation_for(JobId(99)), None);
+            assert!(!s.is_running(JobId(9)), "no placement inserted");
+        }
     }
 }

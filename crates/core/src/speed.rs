@@ -186,8 +186,8 @@ impl SpeedModel {
         let Some(model) = self.model.as_ref() else {
             return 0.0;
         };
-        let feat = self.features(p, w);
-        let inv = match model.predict(&feat) {
+        let (feat, n) = self.feature_row(p, w);
+        let inv = match model.predict(&feat[..n]) {
             Ok(v) => v,
             Err(_) => return 0.0,
         };
@@ -201,13 +201,22 @@ impl SpeedModel {
         (raw * self.prediction_scale).max(0.0)
     }
 
-    /// The feature row for a configuration.
+    /// The feature row for a configuration (heap-allocating; used by the
+    /// occasional refit — predictions use [`Self::feature_row`]).
     fn features(&self, p: u32, w: u32) -> Vec<f64> {
+        let (row, n) = self.feature_row(p, w);
+        row[..n].to_vec()
+    }
+
+    /// The feature row on the stack: `predict` sits on the allocator's
+    /// per-candidate hot path, where a `Vec` per call is measurable.
+    #[inline]
+    fn feature_row(&self, p: u32, w: u32) -> ([f64; 5], usize) {
         let pf = p as f64;
         let wf = w as f64;
         match self.mode {
-            TrainingMode::Asynchronous => vec![1.0, wf / pf, wf, pf],
-            TrainingMode::Synchronous => vec![self.batch / wf, 1.0, wf / pf, wf, pf],
+            TrainingMode::Asynchronous => ([1.0, wf / pf, wf, pf, 0.0], 4),
+            TrainingMode::Synchronous => ([self.batch / wf, 1.0, wf / pf, wf, pf], 5),
         }
     }
 }

@@ -1,0 +1,158 @@
+//! Equivalence of the optimized hot path and the naive reference.
+//!
+//! The PR that introduced the incremental free-capacity index, the
+//! per-round prediction memo, and the O(1) `Schedule` lookups promises
+//! *behavioral identity*: the same `Schedule` for the same inputs. The
+//! [`optimus_core::reference`] module keeps the pre-optimization
+//! algorithms as an executable specification; this property test runs
+//! both sides on randomized clusters and job mixes and requires every
+//! allocation row and every placement map to be identical.
+//!
+//! Resource quantities are generated as multiples of 0.25 so all sums
+//! are exactly representable — a disagreement can only come from a real
+//! algorithmic divergence, never float noise.
+
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_core::allocation::{OptimusAllocator, ResourceAllocator};
+use optimus_core::placement::{OptimusPlacer, TaskPlacer};
+use optimus_core::prelude::*;
+use optimus_core::reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
+use optimus_ps::PsJobModel;
+use optimus_workload::{JobId, ModelKind, TrainingMode};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Prefit speed models (3 model kinds × 2 training modes), shared by
+/// all cases — fitting is the expensive part and is not under test.
+fn model_pool() -> &'static Vec<SpeedModel> {
+    static MODELS: OnceLock<Vec<SpeedModel>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let mut pool = Vec::new();
+        for kind in [ModelKind::ResNet50, ModelKind::CnnRand, ModelKind::Seq2Seq] {
+            for mode in [TrainingMode::Synchronous, TrainingMode::Asynchronous] {
+                let profile = kind.profile();
+                let truth = PsJobModel::new(profile, mode);
+                let mut speed = SpeedModel::new(mode, profile.batch_size as f64);
+                for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4)] {
+                    speed.record(p, w, truth.speed(p, w));
+                }
+                speed.refit().expect("profiled");
+                pool.push(speed);
+            }
+        }
+        pool
+    })
+}
+
+/// `((model_idx, work, progress_pct, units), (cpu_q, mem_q, bw_q))` →
+/// JobView. The `_q` values are quarters, so every profile coordinate
+/// is a multiple of 0.25.
+type JobSeed = ((usize, u64, u32, u32), (u32, u32, u32));
+
+fn make_job(id: u64, seed: &JobSeed) -> JobView {
+    let &((model_idx, work, progress_pct, units), (cpu_q, mem_q, bw_q)) = seed;
+    let pool = model_pool();
+    let profile = ResourceVec::new(
+        1.0 + cpu_q as f64 * 0.25,
+        0.0,
+        2.0 + mem_q as f64 * 0.25,
+        bw_q as f64 * 0.25,
+    );
+    JobView {
+        id: JobId(id),
+        worker_profile: profile,
+        ps_profile: profile,
+        remaining_work: 100.0 + work as f64,
+        speed: pool[model_idx % pool.len()].clone(),
+        progress: progress_pct as f64 / 100.0,
+        requested_units: units,
+    }
+}
+
+/// `(cpu_q, mem_q, bw_q)` quarters → heterogeneous server capacity.
+fn make_cluster(servers: &[(u32, u32, u32)]) -> Cluster {
+    let caps: Vec<(ResourceVec, &str)> = servers
+        .iter()
+        .map(|&(cpu_q, mem_q, bw_q)| {
+            (
+                ResourceVec::new(
+                    4.0 + cpu_q as f64 * 0.25,
+                    0.0,
+                    8.0 + mem_q as f64 * 0.25,
+                    1.0 + bw_q as f64 * 0.25,
+                ),
+                "random",
+            )
+        })
+        .collect();
+    Cluster::from_capacities(&caps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimized_path_matches_reference(
+        servers in prop::collection::vec((0u32..240, 0u32..360, 0u32..16), 3..24),
+        seeds in prop::collection::vec(
+            ((0usize..6, 0u64..100_000, 0u32..100, 1u32..10), (0u32..40, 0u32..64, 0u32..8)),
+            1..16,
+        ),
+    ) {
+        let cluster = make_cluster(&servers);
+        let jobs: Vec<JobView> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| make_job(i as u64, s))
+            .collect();
+
+        // Allocator equivalence.
+        let fast_allocs = OptimusAllocator::default().allocate(&jobs, &cluster);
+        let ref_allocs = ReferenceOptimusAllocator::default().allocate(&jobs, &cluster);
+        prop_assert_eq!(&fast_allocs, &ref_allocs, "allocations diverge");
+
+        // Placer equivalence on the agreed allocations.
+        let fast_place = OptimusPlacer::default().place(&fast_allocs, &jobs, &cluster);
+        let ref_place = ReferenceOptimusPlacer.place(&ref_allocs, &jobs, &cluster);
+        prop_assert_eq!(&fast_place, &ref_place, "placements diverge");
+
+        // End-to-end composite equivalence (what the simulator runs).
+        let fast = CompositeScheduler::new(
+            "optimized",
+            Box::new(OptimusAllocator::default()),
+            Box::new(OptimusPlacer::default()),
+        )
+        .schedule(&jobs, &cluster);
+        let reference = CompositeScheduler::new(
+            "reference",
+            Box::new(ReferenceOptimusAllocator::default()),
+            Box::new(ReferenceOptimusPlacer),
+        )
+        .schedule(&jobs, &cluster);
+        prop_assert_eq!(fast.allocations(), reference.allocations());
+        prop_assert_eq!(fast.placements(), reference.placements());
+    }
+
+    #[test]
+    fn optimized_path_matches_reference_with_priority_factor(
+        servers in prop::collection::vec((0u32..240, 0u32..360, 0u32..16), 3..16),
+        seeds in prop::collection::vec(
+            ((0usize..6, 0u64..100_000, 0u32..100, 1u32..10), (0u32..40, 0u32..64, 0u32..8)),
+            1..12,
+        ),
+    ) {
+        let cluster = make_cluster(&servers);
+        let jobs: Vec<JobView> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| make_job(i as u64, s))
+            .collect();
+        let fast = OptimusAllocator::default()
+            .with_priority_factor(0.95)
+            .allocate(&jobs, &cluster);
+        let reference = ReferenceOptimusAllocator::default()
+            .with_priority_factor(0.95)
+            .allocate(&jobs, &cluster);
+        prop_assert_eq!(&fast, &reference);
+    }
+}

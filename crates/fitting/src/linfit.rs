@@ -29,6 +29,7 @@ impl LinearModel {
     ///
     /// Returns [`FitError::DimensionMismatch`] if the row length differs
     /// from the coefficient count.
+    #[inline]
     pub fn predict(&self, features: &[f64]) -> Result<f64, FitError> {
         if features.len() != self.theta.len() {
             return Err(FitError::DimensionMismatch {

@@ -3,7 +3,7 @@
 //! A [`Span`] is an RAII guard: it opens on [`crate::Telemetry::span`]
 //! and records itself when dropped. Spans opened while another span of
 //! the same handle is open become its children, so a run produces a
-//! tree (`sim.run` → `sim.round` → `scheduler.schedule` → …). Span ids
+//! tree (`sim.run` → `sim.round` → `sched.decision` → …). Span ids
 //! are assigned in open order and start offsets are monotonic, so the
 //! tree can be rebuilt from the flat record list.
 

@@ -18,5 +18,18 @@ lint:
 bench:
     cargo bench --bench scheduler_scalability
 
-# Everything CI would run.
-ci: lint build test
+# Time one scheduling decision per scalability point and append the
+# result to the committed trajectory file (compare entries across PRs).
+bench-sched:
+    cargo run --release -p optimus-bench --bin bench_sched -- --out BENCH_sched.json
+
+# Prove the optimized allocator/placer byte-identical to the naive
+# reference implementations (property-based, both priority factors).
+equivalence:
+    cargo test --release -p optimus-core --test equivalence
+
+# Everything CI would run: lint + build + tests, the optimized-vs-
+# reference equivalence proptest, and a 1-sample bench smoke run (keeps
+# the timing harness compiling and executable without recording noise).
+ci: lint build test equivalence
+    cargo run --release -p optimus-bench --bin bench_sched -- --samples 1

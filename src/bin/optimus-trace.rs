@@ -297,7 +297,7 @@ fn print_spans(lines: &[TraceLine]) {
     struct Agg {
         count: usize,
         total_us: u64,
-        max_us: u64,
+        durs_us: Vec<f64>,
     }
     let mut by_name: BTreeMap<&str, Agg> = BTreeMap::new();
     for line in lines {
@@ -305,24 +305,31 @@ fn print_spans(lines: &[TraceLine]) {
             let agg = by_name.entry(name.as_str()).or_insert(Agg {
                 count: 0,
                 total_us: 0,
-                max_us: 0,
+                durs_us: Vec::new(),
             });
             agg.count += 1;
             agg.total_us += dur_us;
-            agg.max_us = agg.max_us.max(*dur_us);
+            agg.durs_us.push(*dur_us as f64);
         }
     }
     if by_name.is_empty() {
         return;
     }
+    // Per-name latency percentiles: `sched.decision` here is the
+    // per-round decision latency (one span per scheduling round).
     println!("\nspans:");
-    for (name, agg) in &by_name {
+    for (name, agg) in by_name.iter_mut() {
+        agg.durs_us
+            .sort_by(|a, b| a.partial_cmp(b).expect("span durations are finite"));
         println!(
-            "  {name}: n={} total={} us mean={:.0} us max={} us",
+            "  {name}: n={} total={} us mean={:.0} us p50={:.0} us p95={:.0} us p99={:.0} us max={:.0} us",
             agg.count,
             agg.total_us,
             agg.total_us as f64 / agg.count as f64,
-            agg.max_us,
+            pctl(&agg.durs_us, 0.50),
+            pctl(&agg.durs_us, 0.95),
+            pctl(&agg.durs_us, 0.99),
+            agg.durs_us[agg.durs_us.len() - 1],
         );
     }
 }

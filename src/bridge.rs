@@ -124,13 +124,13 @@ impl Scheduler for OrchestratedScheduler {
                 .collect();
             let ps: u32 = placement.iter().map(|(_, c)| c.ps).sum();
             let workers: u32 = placement.iter().map(|(_, c)| c.workers).sum();
-            schedule.allocations.push(Allocation {
+            schedule.push_allocation(Allocation {
                 job: view.id,
                 ps,
                 workers,
             });
             if ps > 0 && workers > 0 {
-                schedule.placements.insert(view.id, placement);
+                schedule.insert_placement(view.id, placement);
             }
         }
         schedule
