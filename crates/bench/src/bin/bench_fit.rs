@@ -1,0 +1,228 @@
+//! `bench_fit` — records the per-interval refit-time trajectory.
+//!
+//! Every scheduling interval the simulator refits one convergence model
+//! per active job from its full observed loss history. This bench times
+//! that interval-shaped workload — all jobs refit once after a batch of
+//! new loss points arrives — through the reference fitter (full rescan,
+//! `with_fast_path(false)`) and through the PR-3 fast path (incremental
+//! preprocessing, warm-started β₂ grid, scratch-buffer NNLS), and
+//! appends both timings to a labeled JSON trajectory
+//! (`BENCH_fit.json` via `just bench-fit`).
+//!
+//! ```text
+//! bench_fit [--samples N] [--label STR] [--out FILE]
+//! ```
+//!
+//! With `--out`, the file is read (it must hold a JSON array, or not
+//! exist), the new entry is appended, and the array is rewritten —
+//! existing entries are never modified.
+
+use optimus_core::ConvergenceEstimator;
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The acceptance grid: (jobs, history length in loss samples).
+const POINTS: [(usize, usize); 3] = [(100, 100), (500, 250), (1_000, 500)];
+
+/// Loss points appended between the warm-up refit and the timed refit —
+/// one scheduling interval's worth of observations.
+const INTERVAL_SAMPLES: usize = 10;
+
+/// One timed grid point.
+#[derive(Serialize)]
+struct PointRecord {
+    jobs: usize,
+    history: usize,
+    mean_ns_reference: u64,
+    mean_ns_optimized: u64,
+    speedup: f64,
+}
+
+/// One appended trajectory entry.
+#[derive(Serialize)]
+struct BenchEntry {
+    label: String,
+    source: &'static str,
+    samples: u32,
+    interval_samples: usize,
+    points: Vec<PointRecord>,
+}
+
+/// Deterministic pseudo-random f64 in [0, 1) from an xorshift state.
+fn next_unit(state: &mut u64) -> f64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    (*state % 1_000_000) as f64 / 1_000_000.0
+}
+
+/// A job's synthetic loss history: planted 1/(β₀k+β₁)+β₂ curve with
+/// multiplicative jitter and occasional spikes, like real observations.
+fn history(seed: u64, n: usize) -> Vec<(u64, f64)> {
+    let mut state = seed | 1;
+    let beta0 = 0.01 + next_unit(&mut state) * 0.4;
+    let beta1 = 0.5 + next_unit(&mut state) * 2.0;
+    let beta2 = next_unit(&mut state) * 0.3;
+    (0..n)
+        .map(|k| {
+            let base = 1.0 / (beta0 * k as f64 + beta1) + beta2;
+            let jitter = 1.0 + (next_unit(&mut state) - 0.5) * 0.05;
+            let l = if next_unit(&mut state) < 0.01 {
+                base * 20.0
+            } else {
+                base * jitter
+            };
+            (k as u64, l)
+        })
+        .collect()
+}
+
+/// Builds one estimator per job, feeds the pre-interval history and
+/// refits once so the timed call sees interval-shaped incremental work.
+fn warmed_estimators(histories: &[Vec<(u64, f64)>], fast_path: bool) -> Vec<ConvergenceEstimator> {
+    histories
+        .iter()
+        .map(|h| {
+            let mut est = ConvergenceEstimator::new(0.02, 100, 3).with_fast_path(fast_path);
+            let split = h.len() - INTERVAL_SAMPLES;
+            for &(k, l) in &h[..split] {
+                est.record(k, l);
+            }
+            let _ = est.refit();
+            est
+        })
+        .collect()
+}
+
+/// Per-job fit outcome, as coefficient bit patterns (β₀, β₁, β₂), for
+/// the reference/fast cross-check. `None` = the fit failed.
+type FitBits = Option<(u64, u64, u64)>;
+
+/// Appends the interval's samples to every estimator and times the
+/// resulting refit sweep, returning mean ns per interval and the fit
+/// outcomes.
+fn time_refits(
+    histories: &[Vec<(u64, f64)>],
+    fast_path: bool,
+    samples: u32,
+) -> (u64, Vec<FitBits>) {
+    let mut total_ns = 0u128;
+    let mut outcomes = Vec::new();
+    for _ in 0..samples {
+        let mut ests = warmed_estimators(histories, fast_path);
+        for (est, h) in ests.iter_mut().zip(histories) {
+            for &(k, l) in &h[h.len() - INTERVAL_SAMPLES..] {
+                est.record(k, l);
+            }
+        }
+        let start = Instant::now();
+        for est in ests.iter_mut() {
+            std::hint::black_box(est.refit().ok());
+        }
+        total_ns += start.elapsed().as_nanos();
+        outcomes = ests
+            .iter_mut()
+            .map(|e| {
+                e.refit()
+                    .ok()
+                    .map(|m| (m.beta0.to_bits(), m.beta1.to_bits(), m.beta2.to_bits()))
+            })
+            .collect();
+    }
+    ((total_ns / samples.max(1) as u128) as u64, outcomes)
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "bench_fit — per-interval convergence-refit timing trajectory\n\n\
+             USAGE: bench_fit [--samples N] [--label STR] [--out FILE]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let samples: u32 = match arg_value(&args, "--samples").map(|v| v.parse()) {
+        None => 5,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: --samples expects an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let samples = samples.max(1);
+    let label = arg_value(&args, "--label").unwrap_or_else(|| "current".into());
+    let out = arg_value(&args, "--out");
+
+    println!("bench_fit: {samples} samples per point (label: {label})\n");
+    println!(
+        "{:>8} {:>9} {:>16} {:>16} {:>9}",
+        "jobs", "history", "reference ms", "optimized ms", "speedup"
+    );
+    let mut points = Vec::new();
+    for &(jobs, hist_len) in &POINTS {
+        let histories: Vec<Vec<(u64, f64)>> = (0..jobs)
+            .map(|i| history(0x9E37_79B9 + i as u64, hist_len))
+            .collect();
+        let (ref_ns, ref_fits) = time_refits(&histories, false, samples);
+        let (opt_ns, opt_fits) = time_refits(&histories, true, samples);
+        // The fast path must be a pure optimization: identical bits.
+        assert_eq!(
+            ref_fits, opt_fits,
+            "fast path diverged from reference at {jobs} jobs x {hist_len} history"
+        );
+        let speedup = ref_ns as f64 / opt_ns.max(1) as f64;
+        println!(
+            "{jobs:>8} {hist_len:>9} {:>16.3} {:>16.3} {speedup:>8.2}x",
+            ref_ns as f64 / 1e6,
+            opt_ns as f64 / 1e6,
+        );
+        points.push(PointRecord {
+            jobs,
+            history: hist_len,
+            mean_ns_reference: ref_ns,
+            mean_ns_optimized: opt_ns,
+            speedup,
+        });
+    }
+
+    if let Some(path) = out {
+        let entry = BenchEntry {
+            label: label.clone(),
+            source: "bench_fit",
+            samples,
+            interval_samples: INTERVAL_SAMPLES,
+            points,
+        };
+        let mut entries: Vec<serde_json::Value> = match std::fs::read_to_string(&path) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(serde_json::Value::Array(v)) => v,
+                Ok(_) | Err(_) => {
+                    eprintln!("error: {path} exists but is not a JSON array");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        entries.push(serde_json::to_value(&entry).expect("entry serializes"));
+        let json = serde_json::to_string_pretty(&serde_json::Value::Array(entries))
+            .expect("entries serialize");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nappended entry '{label}' to {path}");
+    }
+    ExitCode::SUCCESS
+}

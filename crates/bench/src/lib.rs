@@ -15,8 +15,6 @@ use optimus_simulator::{AssignmentPolicy, SimConfig, SimReport, Simulation};
 use optimus_workload::arrivals::ModePolicy;
 use optimus_workload::{ArrivalProcess, WorkloadGenerator};
 use serde::Serialize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// A scheduler under test, with the §5.3 PS-assignment policy its
 /// deployment would use (Optimus ships PAA; the baselines run stock
@@ -173,68 +171,11 @@ pub struct SchedulerResult {
 // Parallel sweep runner
 // ---------------------------------------------------------------------
 
-/// Worker-thread count for experiment sweeps: the `OPTIMUS_THREADS`
-/// environment variable when set (and ≥ 1), else the machine's
-/// available parallelism.
-pub fn available_threads() -> usize {
-    if let Ok(v) = std::env::var("OPTIMUS_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Fans `f(i, &cells[i])` across `threads` worker threads and returns
-/// the results **in input order** regardless of which worker computed
-/// which cell or in what sequence they finished.
-///
-/// Work distribution is a shared atomic cursor (work-stealing, no
-/// barriers): an idle worker immediately claims the next unclaimed
-/// cell, so wall-clock is bounded by the slowest single cell plus an
-/// even share of the rest — near-linear speedup for grids whose cells
-/// dwarf thread-spawn cost (every simulation sweep qualifies). Each
-/// result lands in the slot of its input index, which makes the output
-/// deterministic whenever `f` itself is (all simulator cells are:
-/// seeded RNG, no shared mutable state).
-///
-/// `threads <= 1` (or trivially small inputs) runs serially on the
-/// caller's thread with no synchronization at all.
-pub fn run_indexed<T, R, F>(cells: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let threads = threads.min(cells.len());
-    if threads <= 1 {
-        return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = cells.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let r = f(i, &cells[i]);
-                *slots[i].lock().expect("result slot") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot")
-                .expect("every cell was claimed exactly once")
-        })
-        .collect()
-}
+/// Re-exported from [`optimus_parallel`], where the deterministic
+/// order-indexed runners now live so the simulator's refit path can
+/// share them (this crate depends on the simulator, so they cannot
+/// stay here). Kept as re-exports for the experiment binaries.
+pub use optimus_parallel::{available_threads, run_indexed};
 
 /// Runs every `scheduler × seed` cell of the spec across `threads`
 /// workers and aggregates per scheduler, preserving the order of
@@ -286,6 +227,12 @@ pub fn run_one(spec: &ComparisonSpec, choice: SchedulerChoice, seed: u64) -> Sim
     let mut cfg = spec.base_config.clone();
     cfg.seed = seed;
     cfg.assignment = choice.assignment();
+    // A/B switch for the event-skipping tick loop: set
+    // `OPTIMUS_FAST_FORWARD=0` to force the tick-walking reference.
+    // Results are identical either way; only wall-clock changes.
+    if std::env::var("OPTIMUS_FAST_FORWARD").is_ok_and(|v| v.trim() == "0") {
+        cfg.fast_forward = false;
+    }
     let mut sim = Simulation::new(
         Cluster::paper_testbed(),
         jobs,

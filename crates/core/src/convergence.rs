@@ -11,7 +11,7 @@
 //! the mitigation the paper describes ("average the values of several
 //! data points (e.g., all losses in an epoch) as a single data point").
 
-use optimus_fitting::{FitError, LossCurveFitter, LossModel};
+use optimus_fitting::{FitError, FitSession, LossCurveFitter, LossModel};
 use optimus_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +44,47 @@ pub struct ConvergenceEstimator {
     /// non-negative coefficients cannot represent a right-shifted
     /// hyperbola directly.
     origin: u64,
+    /// When true (the default), [`ConvergenceEstimator::refit`] runs the
+    /// bit-identical incremental fast path (skip-unchanged, incremental
+    /// bucketing/preprocessing, warm-started β₂ scan); when false it
+    /// always re-runs the full reference fitter.
+    fast_path: bool,
+    /// Whether any sample arrived since the last fit.
+    dirty: bool,
+    /// Outcome of the last fit, replayed by the skip-unchanged path.
+    last_fit: Option<Result<LossModel, FitError>>,
+    /// Warm-start + scratch state for the incremental fitter.
+    session: FitSession,
+    /// Incremental solver-point state (see [`FitPointsCache`]).
+    points_cache: FitPointsCache,
+    /// Bumped every time a restart drains `samples`, so the points cache
+    /// can prove the sample history has been append-only since it was
+    /// built (the rebased `origin` alone could coincidentally match).
+    generation: u64,
+    /// Estimator-level telemetry (`fit.skipped_unchanged`).
+    tel: Telemetry,
+}
+
+/// Incrementally maintained solver points for
+/// [`ConvergenceEstimator::refit`]'s fast path, plus the fingerprint of
+/// the state they were derived from. Complete buckets (or, below the
+/// cap, individual rebased samples) are pure functions of an append-only
+/// sample prefix, so they are reused verbatim as long as the bucket
+/// width, rebasing origin and drain generation are unchanged.
+#[derive(Debug, Clone, Default)]
+struct FitPointsCache {
+    /// The solver points fed to the last incremental fit.
+    points: Vec<(u64, f64)>,
+    /// Whether `points` reflects any previous call at all.
+    valid: bool,
+    /// Sample count the points were built from.
+    n: usize,
+    /// Bucket width used (0 = below the cap, points are 1:1 samples).
+    per_bucket: usize,
+    /// Rebasing origin used.
+    origin: u64,
+    /// Drain generation used.
+    generation: u64,
 }
 
 /// Losses below `RESTART_RATIO ×` the model's prediction count toward a
@@ -78,7 +119,23 @@ impl ConvergenceEstimator {
             restart_streak: 0,
             restarts: 0,
             origin: 0,
+            fast_path: true,
+            dirty: true,
+            last_fit: None,
+            session: FitSession::new(),
+            points_cache: FitPointsCache::default(),
+            generation: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Switches the incremental refit fast path on or off. The fast
+    /// path is bit-identical to the reference fitter (proven by the
+    /// equivalence suites in `optimus-fitting` and this crate); the
+    /// switch exists for benchmarking and equivalence testing.
+    pub fn with_fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
+        self
     }
 
     /// Enables §7 learning-rate-drop detection.
@@ -91,7 +148,8 @@ impl ConvergenceEstimator {
     /// solves then feed the handle's `nnls.*` metrics, and each
     /// [`ConvergenceEstimator::refit`] bumps `loss_curve.fits`.
     pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
-        self.fitter = self.fitter.clone().with_telemetry(tel);
+        self.fitter = self.fitter.clone().with_telemetry(tel.clone());
+        self.tel = tel;
         self
     }
 
@@ -111,6 +169,7 @@ impl ConvergenceEstimator {
     /// estimator when a learning-rate drop is detected (§7).
     pub fn record(&mut self, step: u64, loss: f64) {
         self.samples.push((step, loss));
+        self.dirty = true;
         if !self.restart_detection {
             return;
         }
@@ -136,6 +195,7 @@ impl ConvergenceEstimator {
                 self.model = None;
                 self.restart_streak = 0;
                 self.restarts += 1;
+                self.generation += 1;
             }
         } else {
             self.restart_streak = 0;
@@ -157,11 +217,98 @@ impl ConvergenceEstimator {
     /// Returns [`FitError::NotEnoughSamples`] until at least three
     /// distinct steps have been recorded; earlier fits are kept on
     /// failure so the scheduler can always use the last good model.
+    ///
+    /// On the (default) fast path this is incremental: a refit with no
+    /// new samples replays the cached outcome (`fit.skipped_unchanged`),
+    /// and otherwise only the unsettled tail of the solver points is
+    /// rebuilt before running the warm-started incremental fitter. Both
+    /// shortcuts are bit-identical to the reference computation.
     pub fn refit(&mut self) -> Result<&LossModel, FitError> {
-        let points = self.fit_points();
-        let model = self.fitter.fit(&points)?;
+        if !self.fast_path {
+            let points = self.fit_points();
+            let model = self.fitter.fit(&points)?;
+            self.model = Some(model);
+            return Ok(self.model.as_ref().expect("just set"));
+        }
+        if !self.dirty && self.last_fit.is_some() {
+            // The fit is a pure function of the samples, which have not
+            // changed: replay the previous outcome.
+            self.tel.incr("fit.skipped_unchanged");
+            match &self.last_fit {
+                Some(Ok(m)) => return Ok(m),
+                Some(Err(e)) => return Err(e.clone()),
+                None => unreachable!("guarded by is_some"),
+            }
+        }
+        let stable_points = self.update_fit_points();
+        let res = self.fitter.fit_incremental(
+            &self.points_cache.points,
+            stable_points,
+            &mut self.session,
+        );
+        self.dirty = false;
+        self.last_fit = Some(res.clone());
+        let model = res?;
         self.model = Some(model);
         Ok(self.model.as_ref().expect("just set"))
+    }
+
+    /// Rebuilds [`FitPointsCache::points`] incrementally and returns how
+    /// many leading points are guaranteed identical to the previous
+    /// refit's solver input (the fitter's `stable_prefix` contract).
+    ///
+    /// Equivalence to [`ConvergenceEstimator::fit_points`]: every point
+    /// is produced by the same rebase/bucket-mean arithmetic; the cache
+    /// only decides *which* points can be carried over, namely those
+    /// from complete buckets of an append-only sample prefix under an
+    /// unchanged bucket width, origin and drain generation.
+    fn update_fit_points(&mut self) -> usize {
+        let n = self.samples.len();
+        let per_bucket = if n <= self.max_fit_points {
+            0 // below the cap: points are rebased samples, 1:1
+        } else {
+            n.div_ceil(self.max_fit_points)
+        };
+        let cache = &mut self.points_cache;
+        let compatible = cache.valid
+            && cache.per_bucket == per_bucket
+            && cache.origin == self.origin
+            && cache.generation == self.generation
+            && cache.n <= n;
+        let (settled_points, from_sample) = if !compatible {
+            (0, 0)
+        } else {
+            // Only buckets that were complete last time are settled: the
+            // trailing partial bucket's mean changes as samples arrive.
+            // (`None` = the 1:1 sentinel: every cached point is settled.)
+            match cache.n.checked_div(per_bucket) {
+                None => (cache.n, cache.n),
+                Some(complete) => (complete, complete * per_bucket),
+            }
+        };
+        cache.points.truncate(settled_points);
+        if per_bucket == 0 {
+            for &(k, l) in &self.samples[from_sample..] {
+                cache.points.push((k.saturating_sub(self.origin), l));
+            }
+        } else {
+            for chunk in self.samples[from_sample..].chunks(per_bucket) {
+                let cn = chunk.len() as f64;
+                let step = chunk
+                    .iter()
+                    .map(|&(k, _)| k.saturating_sub(self.origin) as f64)
+                    .sum::<f64>()
+                    / cn;
+                let loss = chunk.iter().map(|&(_, l)| l).sum::<f64>() / cn;
+                cache.points.push((step.round() as u64, loss));
+            }
+        }
+        cache.valid = true;
+        cache.n = n;
+        cache.per_bucket = per_bucket;
+        cache.origin = self.origin;
+        cache.generation = self.generation;
+        settled_points
     }
 
     /// The last successfully fitted model, if any.
@@ -386,5 +533,112 @@ mod tests {
         assert_eq!(est.latest_step(), 0);
         est.record(41, 0.5);
         assert_eq!(est.latest_step(), 41);
+    }
+
+    /// Drives a fast-path and a reference estimator through the same
+    /// noisy sample stream with interleaved refits and asserts every
+    /// refit outcome and model is bit-identical.
+    fn assert_paths_agree(mut configure: impl FnMut(ConvergenceEstimator) -> ConvergenceEstimator) {
+        let curve = GroundTruthCurve::new(0.25, 0.12).with_noise(0.02, 0.001);
+        let spe = 40u64;
+        let mut fast = configure(ConvergenceEstimator::new(0.02, spe, 3)).with_fast_path(true);
+        let mut reference =
+            configure(ConvergenceEstimator::new(0.02, spe, 3)).with_fast_path(false);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(17);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(17);
+        for k in 0..3_000u64 {
+            fast.record(k, curve.sample(k as f64, spe, &mut rng_a));
+            reference.record(k, curve.sample(k as f64, spe, &mut rng_b));
+            if k % 157 == 0 {
+                let f = fast.refit().copied();
+                let r = reference.refit().copied();
+                match (&r, &f) {
+                    (Ok(rm), Ok(fm)) => {
+                        assert_eq!(rm.beta0.to_bits(), fm.beta0.to_bits(), "beta0 at {k}");
+                        assert_eq!(rm.beta1.to_bits(), fm.beta1.to_bits(), "beta1 at {k}");
+                        assert_eq!(rm.beta2.to_bits(), fm.beta2.to_bits(), "beta2 at {k}");
+                        assert_eq!(rm.scale.to_bits(), fm.scale.to_bits(), "scale at {k}");
+                        assert_eq!(
+                            rm.residual_ss.to_bits(),
+                            fm.residual_ss.to_bits(),
+                            "rss at {k}"
+                        );
+                    }
+                    (Err(re), Err(fe)) => assert_eq!(re, fe, "errors at {k}"),
+                    other => panic!("outcomes diverged at {k}: {other:?}"),
+                }
+                // Repeated refit with no new samples replays the outcome.
+                let again = fast.refit().copied();
+                assert_eq!(f.is_ok(), again.is_ok(), "skip-unchanged at {k}");
+            }
+        }
+        assert_eq!(fast.predict(), reference.predict());
+    }
+
+    #[test]
+    fn fast_path_matches_reference_path() {
+        assert_paths_agree(|e| e);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_path_with_bucketing() {
+        assert_paths_agree(|e| e.with_max_fit_points(64));
+    }
+
+    #[test]
+    fn fast_path_matches_reference_path_with_restarts() {
+        use optimus_workload::curves::LrDrop;
+        let spe = 50u64;
+        let curve = GroundTruthCurve::new(0.3, 0.3)
+            .with_noise(0.005, 0.0)
+            .with_lr_drop(LrDrop {
+                at_epoch: 30.0,
+                post_c0: 0.5,
+                post_floor: 0.12,
+            });
+        let run = |fast: bool| {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let mut est = ConvergenceEstimator::new(0.02, spe, 3)
+                .with_restart_detection(true)
+                .with_fast_path(fast);
+            let mut outcomes = Vec::new();
+            for k in 0..60 * spe {
+                est.record(k, curve.sample(k as f64, spe, &mut rng));
+                if k % 133 == 0 && k > 0 {
+                    outcomes.push(est.refit().copied());
+                }
+            }
+            (outcomes, est.restarts(), est.predict())
+        };
+        let (fast_outcomes, fast_restarts, fast_pred) = run(true);
+        let (ref_outcomes, ref_restarts, ref_pred) = run(false);
+        assert_eq!(fast_restarts, ref_restarts);
+        assert_eq!(fast_pred, ref_pred);
+        assert_eq!(fast_outcomes.len(), ref_outcomes.len());
+        for (i, (f, r)) in fast_outcomes.iter().zip(ref_outcomes.iter()).enumerate() {
+            match (r, f) {
+                (Ok(rm), Ok(fm)) => assert_eq!(
+                    (rm.beta0.to_bits(), rm.beta1.to_bits(), rm.beta2.to_bits()),
+                    (fm.beta0.to_bits(), fm.beta1.to_bits(), fm.beta2.to_bits()),
+                    "models diverged at refit {i}"
+                ),
+                (Err(re), Err(fe)) => assert_eq!(re, fe, "errors diverged at refit {i}"),
+                other => panic!("outcomes diverged at refit {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn skip_unchanged_counts_in_telemetry() {
+        let tel = Telemetry::enabled();
+        let curve = GroundTruthCurve::new(0.3, 0.1);
+        let mut est = ConvergenceEstimator::new(0.02, 100, 3).with_telemetry(tel.clone());
+        feed(&mut est, &curve, 100, 50, 5);
+        est.refit().unwrap();
+        est.refit().unwrap();
+        est.refit().unwrap();
+        assert_eq!(tel.counter("fit.skipped_unchanged"), 2);
+        // The underlying fitter only ran once.
+        assert_eq!(tel.counter("loss_curve.fits"), 1);
     }
 }

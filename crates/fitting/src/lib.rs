@@ -39,6 +39,6 @@ pub use error::FitError;
 pub use families::{fit_best, CurveFamily, ExpDecayFamily, FittedCurve, InverseKFamily};
 pub use linalg::Matrix;
 pub use linfit::{LinearModel, NonNegLinearFit};
-pub use loss_curve::{LossCurveFitter, LossModel};
+pub use loss_curve::{FitSession, LossCurveFitter, LossModel};
 pub use nnls::{nnls, NnlsOptions, NnlsSolution};
 pub use qr::qr_lstsq;

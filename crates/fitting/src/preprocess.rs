@@ -74,27 +74,8 @@ pub fn preprocess_losses(raw: &[LossSample], opts: PreprocessOptions) -> Preproc
     let mut replaced = 0usize;
 
     for i in 0..n {
-        let lo_bound = neighbour_min(&cleaned, i, w);
-        let hi_bound = neighbour_max(&cleaned, i, w);
-        let v = cleaned[i];
-        let is_outlier = !v.is_finite()
-            || match (lo_bound, hi_bound) {
-                (Some(lo), Some(hi)) => v < lo || v > hi,
-                // Edges of the series: only test the side that exists. The
-                // loss should not exceed the running max of its past, nor
-                // undershoot the min of its future.
-                (Some(lo), None) => v < lo,
-                (None, Some(hi)) => v > hi,
-                (None, None) => false,
-            };
-        if is_outlier {
-            if let Some(avg) = neighbour_mean(&cleaned, i, w) {
-                cleaned[i] = avg;
-                replaced += 1;
-            } else if !v.is_finite() {
-                cleaned[i] = 0.0;
-                replaced += 1;
-            }
+        if clean_one(&mut cleaned, i, w) {
+            replaced += 1;
         }
     }
 
@@ -120,6 +101,199 @@ pub fn preprocess_losses(raw: &[LossSample], opts: PreprocessOptions) -> Preproc
         scale,
         outliers_replaced: replaced,
     }
+}
+
+/// The §3.1 per-index outlier kernel: classifies `cleaned[i]` against
+/// its neighbour bands and replaces it in place when it is an outlier.
+/// Returns whether a replacement happened.
+///
+/// Both [`preprocess_losses`] and the incremental fast path run exactly
+/// this kernel, so the incremental path can only differ from the
+/// reference in *which* indices it recomputes — never in what a
+/// recomputation produces.
+fn clean_one(cleaned: &mut [f64], i: usize, w: usize) -> bool {
+    let lo_bound = neighbour_min(cleaned, i, w);
+    let hi_bound = neighbour_max(cleaned, i, w);
+    let v = cleaned[i];
+    let is_outlier = !v.is_finite()
+        || match (lo_bound, hi_bound) {
+            (Some(lo), Some(hi)) => v < lo || v > hi,
+            // Edges of the series: only test the side that exists. The
+            // loss should not exceed the running max of its past, nor
+            // undershoot the min of its future.
+            (Some(lo), None) => v < lo,
+            (None, Some(hi)) => v > hi,
+            (None, None) => false,
+        };
+    if is_outlier {
+        if let Some(avg) = neighbour_mean(cleaned, i, w) {
+            cleaned[i] = avg;
+            return true;
+        } else if !v.is_finite() {
+            cleaned[i] = 0.0;
+            return true;
+        }
+    }
+    false
+}
+
+/// Caller-owned scratch for [`preprocess_losses_incremental`]: all the
+/// per-call temporaries of [`preprocess_losses`] (cleaned values,
+/// normalized samples, replacement flags) plus the sufficient statistic
+/// for incremental normalization (the running prefix maximum of the
+/// cleaned series), reused across calls so the steady-state refit path
+/// allocates nothing and recomputes only the unsettled tail.
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessScratch {
+    /// Cleaned (outlier-replaced, unnormalized) values of the previous
+    /// call, full length.
+    cleaned: Vec<f64>,
+    /// Normalized output samples of the previous call.
+    samples: Vec<LossSample>,
+    /// Per-index replacement flags of the previous call.
+    replaced: Vec<bool>,
+    /// `max_prefix[j]` = left fold of `f64::max` over `cleaned[0..=j]`
+    /// starting from `NEG_INFINITY` — the running max the reference
+    /// normalization folds from scratch every call.
+    max_prefix: Vec<f64>,
+    /// Input length, scale and options of the previous call (guards
+    /// against stale reuse when the caller's series or config changed).
+    prev_len: usize,
+    prev_scale: f64,
+    prev_opts: Option<PreprocessOptions>,
+}
+
+impl PreprocessScratch {
+    /// Creates an empty scratch (first call recomputes everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cleaned, normalized samples produced by the last call.
+    pub fn samples(&self) -> &[LossSample] {
+        &self.samples
+    }
+
+    /// The normalization divisor produced by the last call.
+    pub fn scale(&self) -> f64 {
+        self.prev_scale
+    }
+
+    /// Number of outlier replacements in the last call's output.
+    pub fn outliers_replaced(&self) -> usize {
+        self.replaced.iter().filter(|&&r| r).count()
+    }
+}
+
+/// Incremental, allocation-reusing equivalent of [`preprocess_losses`].
+///
+/// `stable_prefix` is the caller's guarantee that `raw[..stable_prefix]`
+/// is byte-identical to the previous call's input prefix (0 when unknown
+/// or on the first call). Under that contract the output in `scratch`
+/// is **bit-identical** to `preprocess_losses(raw, opts)`:
+///
+/// - `cleaned[j]` is a pure function of `raw[0..=j+w]` (the ascending
+///   in-place pass reads processed values behind `j` and raw values
+///   ahead of `j`), so indices `j < stable_prefix − w` are settled and
+///   reused; only the tail is re-run through the same
+///   [`clean_one`] kernel.
+/// - The normalization max is a left `f64::max` fold; splitting it at
+///   the settled boundary and continuing from the cached prefix max is
+///   the same sequential fold.
+/// - Normalized samples are element-wise `cleaned/scale`, so when the
+///   scale is bit-unchanged the settled prefix of the output is reused
+///   as-is.
+///
+/// The scale can legitimately *decrease* when a previously-kept tail
+/// maximum is later reclassified as an outlier, which is why the fold
+/// always re-runs over the recomputed tail rather than assuming the max
+/// only grows.
+pub fn preprocess_losses_incremental(
+    raw: &[LossSample],
+    opts: PreprocessOptions,
+    stable_prefix: usize,
+    scratch: &mut PreprocessScratch,
+) {
+    let n = raw.len();
+    let w = opts.window.max(1);
+    // The settled cleaned prefix: valid only if the previous call used
+    // the same options and covered at least the claimed stable prefix.
+    let same_opts = scratch
+        .prev_opts
+        .is_some_and(|p| p.window == opts.window && p.normalize == opts.normalize);
+    let stable = if same_opts {
+        stable_prefix.min(scratch.prev_len).min(n)
+    } else {
+        0
+    };
+    let keep = stable.saturating_sub(w);
+
+    if n == 0 {
+        scratch.cleaned.clear();
+        scratch.samples.clear();
+        scratch.replaced.clear();
+        scratch.max_prefix.clear();
+        scratch.prev_len = 0;
+        scratch.prev_scale = 1.0;
+        scratch.prev_opts = Some(opts);
+        return;
+    }
+
+    // Rebuild the unsettled tail of the cleaned series from raw losses,
+    // then run the shared outlier kernel over it. Backward windows may
+    // reach into the settled prefix; those values are already final.
+    scratch.cleaned.truncate(keep);
+    scratch.replaced.truncate(keep);
+    for &(_, l) in &raw[keep..] {
+        scratch.cleaned.push(l);
+    }
+    for i in keep..n {
+        let r = clean_one(&mut scratch.cleaned, i, w);
+        scratch.replaced.push(r);
+    }
+
+    // Normalization scale: continue the reference's sequential
+    // `fold(NEG_INFINITY, f64::max)` from the cached prefix statistic.
+    let scale = if opts.normalize {
+        scratch.max_prefix.truncate(keep);
+        let mut acc = if keep > 0 {
+            scratch.max_prefix[keep - 1]
+        } else {
+            f64::NEG_INFINITY
+        };
+        for &v in &scratch.cleaned[keep..] {
+            acc = f64::max(acc, v);
+            scratch.max_prefix.push(acc);
+        }
+        let max = acc;
+        if max.is_finite() && max > 0.0 {
+            max
+        } else {
+            1.0
+        }
+    } else {
+        scratch.max_prefix.clear();
+        1.0
+    };
+
+    // Normalized output: reuse the settled prefix when the divisor is
+    // bit-unchanged, otherwise renormalize everything.
+    let samples_keep = if scale.to_bits() == scratch.prev_scale.to_bits() {
+        keep.min(scratch.samples.len())
+    } else {
+        0
+    };
+    scratch.samples.truncate(samples_keep);
+    for (&(k, _), &l) in raw[samples_keep..]
+        .iter()
+        .zip(&scratch.cleaned[samples_keep..])
+    {
+        scratch.samples.push((k, l / scale));
+    }
+
+    scratch.prev_len = n;
+    scratch.prev_scale = scale;
+    scratch.prev_opts = Some(opts);
 }
 
 /// Minimum of the `w` finite values following index `i` (exclusive).

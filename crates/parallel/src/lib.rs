@@ -1,0 +1,184 @@
+//! Deterministic order-indexed parallel runners.
+//!
+//! PR 2 introduced `run_indexed` for the experiment sweeps in
+//! `optimus-bench`; the simulator's per-job refit path now needs the
+//! same pattern, and `optimus-bench` depends on `optimus-simulator`,
+//! so the runners live here at the bottom of the dependency graph.
+//!
+//! All runners share one contract: results land **in input order**, so
+//! the output is deterministic whenever the worker closure is — thread
+//! count and scheduling jitter can change wall-clock, never results.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread count for parallel sections: the `OPTIMUS_THREADS`
+/// environment variable when set (and ≥ 1), else the machine's
+/// available parallelism.
+pub fn available_threads() -> usize {
+    if let Ok(v) = std::env::var("OPTIMUS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Fans `f(i, &cells[i])` across `threads` worker threads and returns
+/// the results **in input order** regardless of which worker computed
+/// which cell or in what sequence they finished.
+///
+/// Work distribution is a shared atomic cursor (work-stealing, no
+/// barriers): an idle worker immediately claims the next unclaimed
+/// cell, so wall-clock is bounded by the slowest single cell plus an
+/// even share of the rest — near-linear speedup for grids whose cells
+/// dwarf thread-spawn cost (every simulation sweep qualifies). Each
+/// result lands in the slot of its input index, which makes the output
+/// deterministic whenever `f` itself is (all simulator cells are:
+/// seeded RNG, no shared mutable state).
+///
+/// `threads <= 1` (or trivially small inputs) runs serially on the
+/// caller's thread with no synchronization at all.
+pub fn run_indexed<T, R, F>(cells: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.min(cells.len());
+    if threads <= 1 {
+        return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let r = f(i, &cells[i]);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot")
+                .expect("every cell was claimed exactly once")
+        })
+        .collect()
+}
+
+/// In-place variant of [`run_indexed`]: fans `f(i, &mut items[i])`
+/// across `threads` workers, each item visited exactly once, and
+/// returns the per-item results in input order.
+///
+/// Because every worker needs exclusive access to its items, the slice
+/// is split into `threads` contiguous chunks (static partitioning via
+/// `chunks_mut`) instead of the atomic-cursor scheme — `&mut` access
+/// through a shared cursor would need per-item locks. Static chunks
+/// are a good fit for the simulator's refit fan-out, where per-item
+/// cost is roughly uniform.
+///
+/// Determinism contract is identical to [`run_indexed`]: results are
+/// keyed by input index, so the output (and the final state of
+/// `items`) is independent of the thread count whenever `f` is
+/// deterministic and touches nothing but its own item.
+pub fn run_indexed_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.min(n).max(1);
+    if threads <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, it)| f(i, it))
+            .collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                for (j, item) in chunk_items.iter_mut().enumerate() {
+                    let i = ci * chunk + j;
+                    *slots[i].lock().expect("result slot") = Some(f(i, item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot")
+                .expect("every item was visited exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_input_order() {
+        let cells: Vec<usize> = (0..37).collect();
+        let serial = run_indexed(&cells, 1, |i, &c| (i, c * 2));
+        for threads in [2, 4, 8] {
+            let parallel = run_indexed(&cells, threads, |i, &c| (i, c * 2));
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_mut_matches_serial_and_mutates_every_item() {
+        for threads in [1, 2, 4, 8] {
+            let mut items: Vec<u64> = (0..23).collect();
+            let results = run_indexed_mut(&mut items, threads, |i, item| {
+                *item += 100;
+                (i, *item)
+            });
+            let expected_items: Vec<u64> = (0..23).map(|v| v + 100).collect();
+            let expected_results: Vec<(usize, u64)> = expected_items
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i, v))
+                .collect();
+            assert_eq!(items, expected_items, "threads={threads}");
+            assert_eq!(results, expected_results, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_mut_handles_empty_and_tiny_inputs() {
+        let mut empty: Vec<u32> = Vec::new();
+        let r = run_indexed_mut(&mut empty, 4, |_, _| 0u32);
+        assert!(r.is_empty());
+        let mut one = vec![7u32];
+        let r = run_indexed_mut(&mut one, 4, |i, item| {
+            *item *= 3;
+            i
+        });
+        assert_eq!((r, one), (vec![0], vec![21]));
+    }
+
+    #[test]
+    fn available_threads_is_at_least_one() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -197,6 +197,15 @@ impl StragglerMonitor {
             .iter()
             .any(|w| !matches!(w, WorkerState::Healthy))
     }
+
+    /// True when [`advance`](Self::advance) is guaranteed to be a
+    /// no-op that draws no randomness: onset injection is disabled and
+    /// every worker is healthy. The simulator's fast-forward path uses
+    /// this to prove a span of ticks cannot change straggler state or
+    /// perturb the shared RNG stream.
+    pub fn is_quiescent(&self) -> bool {
+        self.policy.onset_rate_per_s <= 0.0 && !self.any_degraded()
+    }
 }
 
 fn median_of(xs: &[f64]) -> f64 {

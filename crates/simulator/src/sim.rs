@@ -118,6 +118,21 @@ pub struct SimConfig {
     /// scheduler's online estimates (speed at the current configuration,
     /// total steps to convergence) and the hidden ground truth.
     pub track_fidelity: bool,
+    /// Fast-forward the tick loop (default on). Two provably
+    /// observation-preserving shortcuts: idle spans (no running job, no
+    /// scaling overhead in flight) jump straight to the next event tick
+    /// (`sim.ticks_skipped`), and quiescent running jobs (straggler
+    /// machinery provably inert) reuse their tick-invariant speed
+    /// instead of recomputing it every tick (`sim.ticks_batched`).
+    /// Results are byte-identical either way — the switch exists for
+    /// the equivalence suite and benchmarking.
+    pub fast_forward: bool,
+    /// Threads for the per-job refits of each scheduling round
+    /// (`None` = `OPTIMUS_THREADS` or the machine's parallelism; `1`
+    /// forces the serial path). Fit results are bitwise
+    /// thread-count-independent: jobs are independent and trace events
+    /// are emitted in job order after the parallel section joins.
+    pub refit_threads: Option<usize>,
     /// Print each scheduling round's decisions to stderr (debugging).
     pub verbose: bool,
 }
@@ -148,6 +163,8 @@ impl Default for SimConfig {
             record_events: false,
             telemetry: Telemetry::disabled(),
             track_fidelity: false,
+            fast_forward: true,
+            refit_threads: None,
             verbose: false,
         }
     }
@@ -223,14 +240,25 @@ impl Simulation {
         let tel = cfg.telemetry.clone();
         let mut round: u64 = 0;
 
+        // Fast-forward state: per-job tick-invariant speed (valid only
+        // while nothing that feeds the speed computation can change —
+        // invalidated at every scheduling round, server failure and
+        // non-quiescent straggler tick), plus the skip/batch tallies.
+        let mut speed_cache: Vec<Option<f64>> = vec![None; self.jobs.len()];
+        let mut ticks_skipped = 0u64;
+        let mut ticks_batched = 0u64;
+
         let mut tick: u64 = 0;
         while tick < max_ticks {
             let t = tick as f64 * cfg.tick_s;
 
-            self.process_server_failures(t);
+            if self.process_server_failures(t) {
+                speed_cache.fill(None);
+            }
             if tick.is_multiple_of(ticks_per_interval) {
                 let started = std::time::Instant::now();
                 self.run_scheduling_round(t);
+                speed_cache.fill(None);
                 round += 1;
                 if tel.is_enabled() {
                     let wall_us = started.elapsed().as_micros() as u64;
@@ -256,48 +284,80 @@ impl Simulation {
 
             // Advance running jobs by one tick.
             let dt = cfg.tick_s;
+            let mut any_active = false;
+            let mut any_batched = false;
+            // Indexed: the body needs `&mut self` (log, RNG) alongside
+            // `speed_cache[i]`, so no iterator over `self.jobs` works.
+            #[allow(clippy::needless_range_loop)]
             for i in 0..self.jobs.len() {
                 if self.jobs[i].status == JobStatus::Finished {
                     continue;
                 }
                 if self.jobs[i].overhead_remaining_s > 0.0 {
                     self.jobs[i].overhead_remaining_s -= dt;
+                    any_active = true;
                     continue;
                 }
                 if self.jobs[i].status != JobStatus::Running {
                     continue;
                 }
-                // Straggler dynamics.
-                let before = self.jobs[i].stragglers.replacements();
-                self.jobs[i].stragglers.advance(dt, &mut self.rng);
-                let replaced = self.jobs[i].stragglers.replacements() - before;
-                straggler_replacements_done += replaced;
-                if replaced > 0 {
-                    let id = self.jobs[i].spec.id;
-                    self.log(
-                        t,
-                        SimEventKind::StragglerReplaced {
-                            job: id,
-                            replacements: replaced,
-                        },
-                    );
-                    if tel.is_enabled() {
-                        tel.record(TraceEvent::JobEvent {
-                            t_s: t,
-                            job: id.0,
-                            what: format!("straggler_replaced x{replaced}"),
-                        });
+                any_active = true;
+                let speed = if cfg.fast_forward && self.jobs[i].stragglers.is_quiescent() {
+                    // A quiescent monitor makes `advance` a state/RNG
+                    // no-op and the slowdown refresh below a rewrite of
+                    // the identical all-healthy factors (every placement
+                    // syncs `env.worker_slowdown` and the monitor cannot
+                    // have changed since): skip both, and reuse the
+                    // speed — all of its inputs are tick-invariant
+                    // between invalidation points.
+                    match speed_cache[i] {
+                        Some(s) => {
+                            any_batched = true;
+                            s
+                        }
+                        None => {
+                            let truth = self.jobs[i].truth();
+                            let s = truth.speed_with(
+                                self.jobs[i].ps,
+                                self.jobs[i].workers,
+                                &self.jobs[i].env,
+                            );
+                            speed_cache[i] = Some(s);
+                            s
+                        }
                     }
-                }
-                self.jobs[i].env.worker_slowdown = self.jobs[i].stragglers.slowdown_factors();
+                } else {
+                    speed_cache[i] = None;
+                    // Straggler dynamics.
+                    let before = self.jobs[i].stragglers.replacements();
+                    self.jobs[i].stragglers.advance(dt, &mut self.rng);
+                    let replaced = self.jobs[i].stragglers.replacements() - before;
+                    straggler_replacements_done += replaced;
+                    if replaced > 0 {
+                        let id = self.jobs[i].spec.id;
+                        self.log(
+                            t,
+                            SimEventKind::StragglerReplaced {
+                                job: id,
+                                replacements: replaced,
+                            },
+                        );
+                        if tel.is_enabled() {
+                            tel.record(TraceEvent::JobEvent {
+                                t_s: t,
+                                job: id.0,
+                                what: format!("straggler_replaced x{replaced}"),
+                            });
+                        }
+                    }
+                    self.jobs[i].env.worker_slowdown = self.jobs[i].stragglers.slowdown_factors();
 
-                let truth = self.jobs[i].truth();
-                let speed =
-                    truth.speed_with(self.jobs[i].ps, self.jobs[i].workers, &self.jobs[i].env);
+                    let truth = self.jobs[i].truth();
+                    truth.speed_with(self.jobs[i].ps, self.jobs[i].workers, &self.jobs[i].env)
+                };
                 if speed <= 0.0 {
                     continue;
                 }
-                let before_steps = self.jobs[i].steps_done;
                 // Async staleness discounts the *useful* progress per
                 // step; the step rate (and hence communication traffic)
                 // is unchanged.
@@ -332,7 +392,7 @@ impl Simulation {
                     self.jobs[i].status = JobStatus::Finished;
                     self.jobs[i].ps = 0;
                     self.jobs[i].workers = 0;
-                    let _ = before_steps;
+                    speed_cache[i] = None;
                     let id = self.jobs[i].spec.id;
                     let jct = finish - self.jobs[i].spec.submit_time;
                     self.log(t, SimEventKind::JobFinished { job: id, jct });
@@ -345,11 +405,33 @@ impl Simulation {
                     }
                 }
             }
+            if any_batched {
+                ticks_batched += 1;
+            }
 
             if self.jobs.iter().all(|j| j.status == JobStatus::Finished) {
                 break;
             }
+
+            // Idle fast-forward: with no job running and no scaling
+            // overhead draining, every tick until the next event tick
+            // (interval boundary, timeline sample, server failure, time
+            // cap) is a provable no-op — jump over the whole span.
+            if cfg.fast_forward && !any_active {
+                let next =
+                    self.next_event_tick(tick, max_ticks, ticks_per_interval, ticks_per_sample);
+                if next > tick + 1 {
+                    ticks_skipped += next - (tick + 1);
+                    tick = next;
+                    continue;
+                }
+            }
             tick += 1;
+        }
+
+        if tel.is_enabled() {
+            tel.add("sim.ticks_skipped", ticks_skipped);
+            tel.add("sim.ticks_batched", ticks_batched);
         }
 
         let jct: Vec<_> = self
@@ -405,7 +487,13 @@ impl Simulation {
     /// is excluded from all future scheduling, and every job with tasks
     /// on it loses them (it pauses and pays the §5.4 restart overhead at
     /// its next redeployment).
-    fn process_server_failures(&mut self, t: f64) {
+    /// Returns `true` when at least one failure was applied this call.
+    fn process_server_failures(&mut self, t: f64) -> bool {
+        if self.failed_servers.len() == self.config.server_failures.len() {
+            // Every configured failure already happened; nothing can be
+            // due, so skip the per-tick scan (and its allocation).
+            return false;
+        }
         let due: Vec<optimus_cluster::ServerId> = self
             .config
             .server_failures
@@ -413,6 +501,7 @@ impl Simulation {
             .filter(|&&(at, sid)| at <= t && !self.failed_servers.contains(&sid))
             .map(|&(_, sid)| sid)
             .collect();
+        let applied = !due.is_empty();
         for sid in due {
             self.failed_servers.push(sid);
             for job in self.jobs.iter_mut() {
@@ -426,6 +515,38 @@ impl Simulation {
                 }
             }
         }
+        applied
+    }
+
+    /// First tick strictly after `tick` at which something observable
+    /// can happen while the cluster is idle: a scheduling round
+    /// (interval boundary), a timeline sample, a configured server
+    /// failure, or the time cap. The idle fast-forward jumps here.
+    fn next_event_tick(
+        &self,
+        tick: u64,
+        max_ticks: u64,
+        ticks_per_interval: u64,
+        ticks_per_sample: u64,
+    ) -> u64 {
+        let next_multiple = |every: u64| (tick / every + 1) * every;
+        let mut next = next_multiple(ticks_per_interval)
+            .min(next_multiple(ticks_per_sample))
+            .min(max_ticks);
+        let tick_s = self.config.tick_s;
+        for &(at, sid) in &self.config.server_failures {
+            if self.failed_servers.contains(&sid) {
+                continue;
+            }
+            // First tick whose time reaches `at`, stepped up from one
+            // below the float quotient so rounding can't overshoot.
+            let mut trig = ((at / tick_s).floor() as i64 - 1).max(0) as u64;
+            while (trig as f64) * tick_s < at {
+                trig += 1;
+            }
+            next = next.min(trig.max(tick + 1));
+        }
+        next.max(tick + 1)
     }
 
     /// One §4 scheduling round at time `t`.
@@ -466,45 +587,76 @@ impl Simulation {
         }
 
         // 2. Online calibration from the last interval's observations.
-        for job in self.jobs.iter_mut() {
-            if job.status == JobStatus::Finished || job.status == JobStatus::Pending {
-                continue;
-            }
-            if let Some(speed) = job.observed_interval_speed() {
-                job.speed_model.record(job.ps, job.workers, speed);
-                let speed_fit = job.speed_model.refit();
-                if tel.is_enabled() {
-                    match speed_fit {
-                        Ok(()) => tel.record(TraceEvent::SpeedFit {
-                            job: job.spec.id.0,
-                            coeffs: job.speed_model.coefficients().to_vec(),
-                            residual: job.speed_model.residual_ss().unwrap_or(0.0),
-                            samples: job.speed_model.sample_count(),
-                        }),
-                        Err(e) => tel.record(TraceEvent::FitFailure {
-                            job: job.spec.id.0,
-                            what: "speed".to_string(),
-                            reason: e.to_string(),
-                        }),
-                    }
+        //
+        // Each job's refit touches only that job's models and draws no
+        // randomness, so the jobs fan out across threads; trace events
+        // are collected per job and emitted serially afterwards in job
+        // order so the trace stream is independent of thread count.
+        {
+            let span = tel.span("sched.refit");
+            let threads = cfg
+                .refit_threads
+                .unwrap_or_else(optimus_parallel::available_threads);
+            let traced = tel.is_enabled();
+            let outcomes = optimus_parallel::run_indexed_mut(&mut self.jobs, threads, |_, job| {
+                if job.status == JobStatus::Finished || job.status == JobStatus::Pending {
+                    return None;
                 }
-            }
-            let conv_fit = job
-                .convergence
-                .refit()
-                .map(|m| (vec![m.beta0, m.beta1, m.beta2], m.residual_ss));
-            if tel.is_enabled() {
-                match conv_fit {
-                    Ok((coeffs, residual)) => tel.record(TraceEvent::ConvergenceFit {
-                        job: job.spec.id.0,
+                let speed_fit = job.observed_interval_speed().map(|speed| {
+                    job.speed_model.record(job.ps, job.workers, speed);
+                    job.speed_model.refit().map_err(|e| e.to_string())
+                });
+                let conv_fit = job
+                    .convergence
+                    .refit()
+                    .map(|m| (vec![m.beta0, m.beta1, m.beta2], m.residual_ss))
+                    .map_err(|e| e.to_string());
+                if !traced {
+                    return None;
+                }
+                let speed_event = speed_fit.map(|res| {
+                    res.map(|()| {
+                        (
+                            job.speed_model.coefficients().to_vec(),
+                            job.speed_model.residual_ss().unwrap_or(0.0),
+                            job.speed_model.sample_count(),
+                        )
+                    })
+                });
+                Some((
+                    job.spec.id.0,
+                    speed_event,
+                    conv_fit,
+                    job.convergence.sample_count(),
+                ))
+            });
+            drop(span);
+            for (id, speed_event, conv_fit, conv_samples) in outcomes.into_iter().flatten() {
+                match speed_event {
+                    Some(Ok((coeffs, residual, samples))) => tel.record(TraceEvent::SpeedFit {
+                        job: id,
                         coeffs,
                         residual,
-                        samples: job.convergence.sample_count(),
+                        samples,
                     }),
-                    Err(e) => tel.record(TraceEvent::FitFailure {
-                        job: job.spec.id.0,
+                    Some(Err(reason)) => tel.record(TraceEvent::FitFailure {
+                        job: id,
+                        what: "speed".to_string(),
+                        reason,
+                    }),
+                    None => {}
+                }
+                match conv_fit {
+                    Ok((coeffs, residual)) => tel.record(TraceEvent::ConvergenceFit {
+                        job: id,
+                        coeffs,
+                        residual,
+                        samples: conv_samples,
+                    }),
+                    Err(reason) => tel.record(TraceEvent::FitFailure {
+                        job: id,
                         what: "convergence".to_string(),
-                        reason: e.to_string(),
+                        reason,
                     }),
                 }
             }

@@ -1,0 +1,152 @@
+//! Byte-identity proofs for the PR-3 simulator fast path.
+//!
+//! The event-skipping tick loop (`SimConfig::fast_forward`) and the
+//! parallel per-job refits (`SimConfig::refit_threads`) are pure
+//! optimizations: every run must produce the same events at the same
+//! timestamps and the same report as the tick-walking, serial-refit
+//! reference. These tests serialize the full [`EventLog`] and
+//! [`SimReport`] of both and compare the bytes, across schedulers,
+//! straggler injection, server failures and 1/2/4/8 refit threads.
+
+use optimus_cluster::{Cluster, ServerId};
+use optimus_core::prelude::*;
+use optimus_ps::StragglerPolicy;
+use optimus_simulator::{SimConfig, Simulation};
+use optimus_telemetry::Telemetry;
+use optimus_workload::{JobId, JobSpec, ModelKind, TrainingMode};
+
+fn specs(n: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            JobSpec::new(
+                JobId(i),
+                ModelKind::CnnRand,
+                if i % 2 == 0 {
+                    TrainingMode::Synchronous
+                } else {
+                    TrainingMode::Asynchronous
+                },
+                0.03,
+            )
+            .at(i as f64 * 100.0)
+            .scaled(0.3)
+        })
+        .collect()
+}
+
+fn base_config() -> SimConfig {
+    SimConfig {
+        interval_s: 120.0,
+        max_time_s: 40_000.0,
+        record_events: true,
+        ..SimConfig::default()
+    }
+}
+
+/// Runs one simulation and returns `(event log bytes, report bytes)`.
+fn run_serialized(cfg: SimConfig, build: fn() -> CompositeScheduler, n: u64) -> (String, String) {
+    let mut sim = Simulation::new(Cluster::paper_testbed(), specs(n), Box::new(build()), cfg);
+    let report = sim.run();
+    let log = report.events.to_json_lines();
+    let json = serde_json::to_string(&report).expect("report serializes");
+    (log, json)
+}
+
+/// Reference = `fast_forward: false`, serial refits. Every fast
+/// configuration must match it byte for byte.
+fn assert_fast_matches_reference(
+    cfg: &SimConfig,
+    build: fn() -> CompositeScheduler,
+    n: u64,
+    label: &str,
+) {
+    let mut reference_cfg = cfg.clone();
+    reference_cfg.fast_forward = false;
+    reference_cfg.refit_threads = Some(1);
+    let reference = run_serialized(reference_cfg, build, n);
+    for threads in [1usize, 2, 4, 8] {
+        let mut fast_cfg = cfg.clone();
+        fast_cfg.fast_forward = true;
+        fast_cfg.refit_threads = Some(threads);
+        let fast = run_serialized(fast_cfg, build, n);
+        assert_eq!(
+            reference.0, fast.0,
+            "{label}: event log diverged at {threads} refit threads"
+        );
+        assert_eq!(
+            reference.1, fast.1,
+            "{label}: report diverged at {threads} refit threads"
+        );
+    }
+}
+
+#[test]
+fn fast_forward_is_byte_identical_for_all_schedulers() {
+    for (name, build) in [
+        (
+            "optimus",
+            OptimusScheduler::build as fn() -> CompositeScheduler,
+        ),
+        ("drf", DrfScheduler::build),
+        ("tetris", TetrisScheduler::build),
+    ] {
+        assert_fast_matches_reference(&base_config(), build, 4, name);
+    }
+}
+
+#[test]
+fn fast_forward_is_byte_identical_under_straggler_injection() {
+    let mut cfg = base_config();
+    cfg.straggler = StragglerPolicy::with_injection(0.002);
+    assert_fast_matches_reference(&cfg, OptimusScheduler::build, 3, "stragglers");
+}
+
+#[test]
+fn fast_forward_is_byte_identical_under_server_failures() {
+    let mut cfg = base_config();
+    cfg.server_failures = vec![
+        (500.0, ServerId(0)),
+        (500.0, ServerId(1)),
+        (900.0, ServerId(7)),
+        (900.0, ServerId(8)),
+    ];
+    assert_fast_matches_reference(&cfg, OptimusScheduler::build, 3, "server failures");
+}
+
+#[test]
+fn fast_forward_is_byte_identical_when_the_cap_strands_jobs() {
+    // Every server dies at t = 300 s: the rest of the run is one long
+    // idle span, the exact case the event-skipping jump targets.
+    let mut cfg = base_config();
+    cfg.max_time_s = 5_000.0;
+    cfg.server_failures = (0..13).map(|i| (300.0, ServerId(i))).collect();
+    assert_fast_matches_reference(&cfg, OptimusScheduler::build, 2, "stranded");
+}
+
+#[test]
+fn fast_forward_actually_skips_and_batches_ticks() {
+    let tel = Telemetry::enabled();
+    let mut cfg = base_config();
+    cfg.telemetry = tel.clone();
+    // Nothing arrives until t = 1000 s: the warm-up is one long idle
+    // span the simulator must jump rather than walk.
+    let late: Vec<JobSpec> = specs(3)
+        .into_iter()
+        .map(|s| {
+            let at = s.submit_time + 1_000.0;
+            s.at(at)
+        })
+        .collect();
+    let mut sim = Simulation::new(
+        Cluster::paper_testbed(),
+        late,
+        Box::new(OptimusScheduler::build()),
+        cfg,
+    );
+    let report = sim.run();
+    assert_eq!(report.unfinished_jobs, 0);
+    // The idle warm-up must be jumped, and quiescent running jobs must
+    // take the cached-speed body with a 1 s tick.
+    assert!(tel.counter("sim.ticks_skipped") > 0, "no ticks skipped");
+    assert!(tel.counter("sim.ticks_batched") > 0, "no ticks batched");
+}

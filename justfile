@@ -23,13 +23,22 @@ bench:
 bench-sched:
     cargo run --release -p optimus-bench --bin bench_sched -- --out BENCH_sched.json
 
-# Prove the optimized allocator/placer byte-identical to the naive
-# reference implementations (property-based, both priority factors).
+# Time one interval's convergence refits (reference vs fast path) per
+# grid point and append the result to the committed trajectory file.
+bench-fit:
+    cargo run --release -p optimus-bench --bin bench_fit -- --out BENCH_fit.json
+
+# Prove the optimized paths byte-identical to the naive reference
+# implementations (property-based): allocator/placer, the incremental
+# warm-started convergence fitter, and the event-skipping simulator.
 equivalence:
     cargo test --release -p optimus-core --test equivalence
+    cargo test --release -p optimus-fitting --test equivalence
+    cargo test --release -p optimus-simulator --test equivalence
 
 # Everything CI would run: lint + build + tests, the optimized-vs-
-# reference equivalence proptest, and a 1-sample bench smoke run (keeps
-# the timing harness compiling and executable without recording noise).
+# reference equivalence proptests, and 1-sample bench smoke runs (keeps
+# the timing harnesses compiling and executable without recording noise).
 ci: lint build test equivalence
     cargo run --release -p optimus-bench --bin bench_sched -- --samples 1
+    cargo run --release -p optimus-bench --bin bench_fit -- --samples 1
