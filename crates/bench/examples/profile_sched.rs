@@ -1,0 +1,96 @@
+//! Span breakdown of one steady-state scheduling decision — run with
+//! `cargo run --release -p optimus-bench --example profile_sched`.
+
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_core::prelude::*;
+use optimus_ps::PsJobModel;
+use optimus_telemetry::Telemetry;
+use optimus_workload::{JobId, ModelKind, TrainingMode};
+use std::collections::HashMap;
+
+fn make_jobs(n: usize) -> Vec<JobView> {
+    let mut base: Vec<SpeedModel> = Vec::new();
+    for kind in [ModelKind::ResNet50, ModelKind::Seq2Seq, ModelKind::CnnRand] {
+        for mode in [TrainingMode::Synchronous, TrainingMode::Asynchronous] {
+            let profile = kind.profile();
+            let truth = PsJobModel::new(profile, mode);
+            let mut m = SpeedModel::new(mode, profile.batch_size as f64);
+            for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4)] {
+                m.record(p, w, truth.speed(p, w));
+            }
+            m.refit().expect("profiled");
+            base.push(m);
+        }
+    }
+    (0..n)
+        .map(|i| JobView {
+            id: JobId(i as u64),
+            worker_profile: optimus_workload::job::default_container(),
+            ps_profile: optimus_workload::job::default_container(),
+            remaining_work: 1_000.0 + (i % 97) as f64 * 650.0,
+            speed: base[i % base.len()].clone(),
+            progress: (i % 10) as f64 / 10.0,
+            requested_units: 8,
+        })
+        .collect()
+}
+
+fn main() {
+    let jobs = make_jobs(1_000);
+    let cluster = Cluster::homogeneous(2_000, ResourceVec::new(32.0, 4.0, 128.0, 10.0));
+
+    // Disabled-telemetry component timings (the bench configuration).
+    {
+        use optimus_core::{AllocScratch, PlaceScratch, PlacementStore};
+        use optimus_core::{OptimusAllocator, OptimusPlacer, ResourceAllocator, TaskPlacer};
+        let alloc = OptimusAllocator::default();
+        let placer = OptimusPlacer::default();
+        let mut ascr = AllocScratch::default();
+        let mut rows = Vec::new();
+        let mut pscr = PlaceScratch::default();
+        let mut store = PlacementStore::default();
+        alloc.allocate_into(&jobs, &cluster, &mut ascr, &mut rows);
+        placer.place_into(&rows, &jobs, &cluster, &mut pscr, &mut store);
+        let t = std::time::Instant::now();
+        for _ in 0..5 {
+            alloc.allocate_into(&jobs, &cluster, &mut ascr, &mut rows);
+        }
+        let ta = t.elapsed();
+        let t = std::time::Instant::now();
+        for _ in 0..5 {
+            placer.place_into(&rows, &jobs, &cluster, &mut pscr, &mut store);
+        }
+        let tp = t.elapsed();
+        println!("disabled-tel allocate x5: {ta:?}   place x5: {tp:?}");
+    }
+
+    // Telemetry-enabled spans + counters over five more rounds.
+    let tel = Telemetry::enabled();
+    let scheduler = OptimusScheduler::build_with_telemetry(tel.clone());
+    let mut scratch = RoundScratch::default();
+    let mut out = Schedule::new(Vec::new(), HashMap::new());
+    for _ in 0..5 {
+        scheduler.schedule_into(&jobs, &cluster, &mut scratch, &mut out);
+    }
+    let mut totals: HashMap<String, (u64, u64)> = HashMap::new();
+    for s in tel.spans() {
+        let e = totals.entry(s.name).or_insert((0, 0));
+        e.0 += s.dur_us;
+        e.1 += 1;
+    }
+    let mut rows: Vec<_> = totals.into_iter().collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1 .0));
+    for (name, (us, n)) in rows {
+        println!("{name:<28} {us:>10} us total  {n:>5} calls");
+    }
+    for c in [
+        "alloc.marginal_gain_evals",
+        "alloc.heap_pops",
+        "alloc.stale_skips",
+        "sched.round_allocs",
+        "placement.packing_retries",
+        "placement.index_updates",
+    ] {
+        println!("{c:<28} {:>10}", tel.counter(c));
+    }
+}

@@ -8,16 +8,25 @@
 //! commit message.
 //!
 //! ```text
-//! bench_sched [--samples N] [--label STR] [--out FILE]
+//! bench_sched [--samples N] [--label STR] [--out FILE] [--verify]
 //! ```
 //!
 //! With `--out`, the file is read (it must hold a JSON array, or not
 //! exist), the new entry is appended, and the array is rewritten —
 //! existing entries are never modified.
+//!
+//! The timed path is the simulator's steady-state path: a persistent
+//! [`RoundScratch`] + [`Schedule`] driven through
+//! `Scheduler::schedule_into`, warmed before sampling so warm rounds
+//! are allocation-free. `--verify` additionally runs the naive
+//! [`optimus_core::reference`] scheduler once per grid point and exits
+//! non-zero if any allocation row or placement diverges — a fast
+//! decision that schedules differently is a bug, not a win.
 
 use optimus_bench::{available_threads, run_indexed};
 use optimus_cluster::{Cluster, ResourceVec};
 use optimus_core::prelude::*;
+use optimus_core::reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
 use optimus_ps::PsJobModel;
 use optimus_workload::{JobId, ModelKind, TrainingMode};
 use serde::Serialize;
@@ -84,10 +93,11 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "bench_sched — scheduling-decision timing trajectory\n\n\
-             USAGE: bench_sched [--samples N] [--label STR] [--out FILE]"
+             USAGE: bench_sched [--samples N] [--label STR] [--out FILE] [--verify]"
         );
         return ExitCode::SUCCESS;
     }
+    let verify = args.iter().any(|a| a == "--verify");
     let samples: u32 = match arg_value(&args, "--samples").map(|v| v.parse()) {
         None => 10,
         Some(Ok(n)) => n,
@@ -113,18 +123,40 @@ fn main() -> ExitCode {
         "jobs", "nodes", "mean ns", "ms"
     );
     let mut points = Vec::new();
+    let mut scratch = RoundScratch::default();
+    let mut decision = Schedule::new(Vec::new(), std::collections::HashMap::new());
     for (&(jobs_n, nodes), jobs) in POINTS.iter().zip(job_sets.iter()) {
         let cluster = Cluster::homogeneous(nodes, node_cap);
-        // One warm-up decision, then the timed samples.
-        let _ = scheduler.schedule(jobs, &cluster);
+        // Two warm-up decisions size the persistent scratch, then the
+        // timed samples run the allocation-free steady-state rounds the
+        // simulator sees every interval.
+        scheduler.schedule_into(jobs, &cluster, &mut scratch, &mut decision);
+        scheduler.schedule_into(jobs, &cluster, &mut scratch, &mut decision);
         let mut total_ns = 0u128;
         for _ in 0..samples.max(1) {
             let start = Instant::now();
-            let schedule = scheduler.schedule(jobs, &cluster);
+            scheduler.schedule_into(jobs, &cluster, &mut scratch, &mut decision);
             total_ns += start.elapsed().as_nanos();
-            std::hint::black_box(schedule);
+            std::hint::black_box(&decision);
         }
         let mean_ns = (total_ns / samples.max(1) as u128) as u64;
+        if verify {
+            let reference = CompositeScheduler::new(
+                "reference",
+                Box::new(ReferenceOptimusAllocator::default()),
+                Box::new(ReferenceOptimusPlacer),
+            )
+            .schedule(jobs, &cluster);
+            if decision.allocations() != reference.allocations()
+                || decision.placements() != reference.placements()
+            {
+                eprintln!(
+                    "error: optimized decision diverges from the reference \
+                     at {jobs_n} jobs / {nodes} nodes"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         println!(
             "{jobs_n:>8} {nodes:>8} {mean_ns:>14} {:>12.3}",
             mean_ns as f64 / 1e6

@@ -116,10 +116,15 @@ impl ResourceVec {
     /// `capacity` (with a small epsilon for float accumulation).
     #[inline]
     pub fn fits_within(&self, capacity: &ResourceVec) -> bool {
-        self.amounts
-            .iter()
-            .zip(capacity.amounts.iter())
-            .all(|(a, c)| *a <= c + 1e-9)
+        // Branchless on purpose: `&` instead of `&&` lets the four f64
+        // compares vectorize, and this is the innermost check of every
+        // placement scan.
+        let a = &self.amounts;
+        let c = &capacity.amounts;
+        (a[0] <= c[0] + 1e-9)
+            & (a[1] <= c[1] + 1e-9)
+            & (a[2] <= c[2] + 1e-9)
+            & (a[3] <= c[3] + 1e-9)
     }
 
     /// True if all dimensions are (numerically) zero.

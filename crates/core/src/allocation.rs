@@ -16,7 +16,7 @@ use optimus_telemetry::{Telemetry, TraceEvent};
 use optimus_workload::JobId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Task counts granted to one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,6 +41,22 @@ pub trait ResourceAllocator {
     /// Decides `(p, w)` for every job. Jobs that receive nothing get a
     /// `(0, 0)` row (they pause this interval).
     fn allocate(&self, jobs: &[JobView], cluster: &Cluster) -> Vec<Allocation>;
+
+    /// Scratch-reusing variant for the steady-state round loop: writes
+    /// the rows into `out` (cleared first) and may keep working state in
+    /// `scratch` between rounds. The default delegates to
+    /// [`Self::allocate`]; allocators with a hot path override it to run
+    /// allocation-free once `scratch`/`out` are warm.
+    fn allocate_into(
+        &self,
+        jobs: &[JobView],
+        cluster: &Cluster,
+        _scratch: &mut AllocScratch,
+        out: &mut Vec<Allocation>,
+    ) {
+        out.clear();
+        out.extend(self.allocate(jobs, cluster));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -54,56 +70,110 @@ enum Action {
     AddPs,
 }
 
-/// Per-round memo of `JobView::remaining_time` evaluations, keyed by
-/// `(job, p, w)`.
+/// Warm-started per-job prediction cache, replacing the PR-2
+/// `HashMap<(p, w), f64>` memo.
 ///
-/// The lazy-heap loop revisits configurations constantly: after a grant,
-/// the job's new `t_now` is exactly the `t_next` just priced, and a
-/// stale-capacity re-derivation re-asks for points already computed.
-/// Each [`SpeedModel::predict`](crate::speed::SpeedModel::predict) call
-/// builds a feature row and runs the fitted model, so caching the
-/// scalar result is a pure win — and exact, because the speed model is
-/// immutable for the duration of one `allocate` call.
-///
-/// `misses` counts actual model evaluations; this is what the
-/// `alloc.marginal_gain_evals` telemetry counter now reports (memo
-/// misses, not candidate considerations).
-struct RemainingTimeMemo {
-    cache: Vec<HashMap<(u32, u32), f64>>,
-    misses: u64,
+/// The grant loop only ever asks for three points per job — the current
+/// configuration and its two one-step neighbours — and only moves along
+/// single-step transitions: after a grant the new `t_now` is exactly the
+/// neighbour just priced, and a stale-capacity re-derivation re-asks for
+/// the configuration it already holds. Three scalars per job therefore
+/// capture every hit the hash memo ever had, without SipHash or
+/// per-round map allocations, and the model-evaluation count (what
+/// `alloc.marginal_gain_evals` reports) is identical to the memo's miss
+/// count.
+#[derive(Debug, Clone, Copy, Default)]
+struct CandCache {
+    valid: bool,
+    p: u32,
+    w: u32,
+    t_now: f64,
+    t_worker: f64,
+    t_ps: f64,
+    /// Dominant-share resource units of one worker / one PS against the
+    /// cluster capacity — both are round constants per job, so they are
+    /// priced once per round instead of twice per heap pop.
+    dom_worker: f64,
+    dom_ps: f64,
 }
 
-impl RemainingTimeMemo {
-    fn new(jobs: usize) -> Self {
-        RemainingTimeMemo {
-            cache: (0..jobs).map(|_| HashMap::new()).collect(),
-            misses: 0,
+impl CandCache {
+    /// Brings the cache to `alloc`'s configuration. When the loop moved
+    /// one step from the cached configuration, the new `t_now` is the
+    /// neighbour already priced; the two new neighbours always need a
+    /// model evaluation (the greedy path never revisits them).
+    fn refresh(&mut self, job: &JobView, alloc: &Allocation, evals: &mut u64) {
+        if self.valid && self.p == alloc.ps && self.w == alloc.workers {
+            return;
         }
-    }
-
-    /// `jobs[idx].remaining_time(p, w)`, computed at most once per round.
-    fn remaining_time(&mut self, job: &JobView, idx: usize, p: u32, w: u32) -> f64 {
-        if let Some(&t) = self.cache[idx].get(&(p, w)) {
-            return t;
-        }
-        self.misses += 1;
-        let t = job.remaining_time(p, w);
-        self.cache[idx].insert((p, w), t);
-        t
+        let t_now = if self.valid && alloc.ps == self.p + 1 && alloc.workers == self.w {
+            self.t_ps
+        } else if self.valid && alloc.ps == self.p && alloc.workers == self.w + 1 {
+            self.t_worker
+        } else {
+            *evals += 1;
+            job.remaining_time(alloc.ps, alloc.workers)
+        };
+        *evals += 2;
+        self.t_worker = job.remaining_time(alloc.ps, alloc.workers + 1);
+        self.t_ps = job.remaining_time(alloc.ps + 1, alloc.workers);
+        self.t_now = t_now;
+        self.p = alloc.ps;
+        self.w = alloc.workers;
+        self.valid = true;
     }
 }
 
-/// Max-heap entry: gain of the best addition for one job.
+/// Reusable working state for [`OptimusAllocator::allocate_into`]: the
+/// lazy heap's storage, per-job generation stamps, the warm-started
+/// prediction caches and the starter-order buffer all persist across
+/// rounds, so a steady-state round performs no heap allocation at all.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    caches: Vec<CandCache>,
+    versions: Vec<u32>,
+    heap: BinaryHeap<Candidate>,
+    /// Starter-grant order: job indices ascending by `(id, index)`.
+    order: Vec<usize>,
+}
+
+impl AllocScratch {
+    /// Clears per-round state, keeping every buffer's capacity.
+    fn reset(&mut self, jobs: usize) {
+        self.caches.clear();
+        self.caches.resize(jobs, CandCache::default());
+        self.versions.clear();
+        self.versions.resize(jobs, 0);
+        self.order.clear();
+    }
+
+    /// Total reserved capacity, for growth detection (a warm round must
+    /// leave this unchanged — see the `sched.round_allocs` counter).
+    pub(crate) fn footprint(&self) -> usize {
+        self.caches.capacity()
+            + self.versions.capacity()
+            + self.heap.capacity()
+            + self.order.capacity()
+    }
+}
+
+/// Max-heap entry: gain of the best addition for one job. Ordered by
+/// `(gain, job id)` — the id tie-break (smaller id wins among equal
+/// gains) makes the pop sequence, and therefore the whole greedy grant
+/// order, independent of job insertion order. Packed to 32 bytes
+/// (`u32` index and generation stamp) because every sift moves it.
+#[derive(Debug)]
 struct Candidate {
     gain: f64,
-    job_idx: usize,
+    job: JobId,
+    job_idx: u32,
     action: Action,
-    version: u64,
+    version: u32,
 }
 
 impl PartialEq for Candidate {
     fn eq(&self, other: &Self) -> bool {
-        self.gain == other.gain
+        self.gain.total_cmp(&other.gain).is_eq() && self.job == other.job
     }
 }
 impl Eq for Candidate {}
@@ -114,7 +184,9 @@ impl PartialOrd for Candidate {
 }
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.gain.total_cmp(&other.gain)
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.job.cmp(&self.job))
     }
 }
 
@@ -151,10 +223,12 @@ impl OptimusAllocator {
 
     /// Attaches a telemetry handle. Each `allocate` call then counts as
     /// one `alloc.rounds`, reports its marginal-gain evaluations
-    /// (`alloc.marginal_gain_evals` counts prediction-memo *misses* —
+    /// (`alloc.marginal_gain_evals` counts prediction-cache *misses* —
     /// actual speed-model evaluations — not candidate considerations),
-    /// and records an [`TraceEvent::AllocGrant`] per granted task plus
-    /// one [`TraceEvent::AllocRound`] summary.
+    /// the lazy-heap traffic (`alloc.heap_pops` pops of which
+    /// `alloc.stale_skips` were discarded by generation stamp), and
+    /// records an [`TraceEvent::AllocGrant`] per granted task plus one
+    /// [`TraceEvent::AllocRound`] summary.
     pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
         self.tel = tel;
         self
@@ -166,31 +240,36 @@ impl OptimusAllocator {
         self
     }
 
+    /// Resource units of a demand along its dominant share against the
+    /// cluster capacity (§4.1's normalization denominator), or 0.0 when
+    /// no dimension applies.
+    fn dominant_units(demand: &ResourceVec, capacity: &ResourceVec) -> f64 {
+        demand
+            .dominant_share(capacity)
+            .map(|(kind, _)| demand.get(kind))
+            .unwrap_or(0.0)
+    }
+
     /// Marginal gain (time reduction per unit dominant resource) of the
     /// best feasible addition for a job, if any. All remaining-time
-    /// evaluations (including `t_now`) go through the per-round memo, so
-    /// a configuration already priced this round costs a hash lookup.
-    #[allow(clippy::too_many_arguments)]
+    /// values come from the job's warm-started [`CandCache`], so a
+    /// configuration already priced this round costs nothing.
     fn best_candidate(
         &self,
         job: &JobView,
-        job_idx: usize,
+        cache: &mut CandCache,
         alloc: &Allocation,
         remaining: &ResourceVec,
-        capacity: &ResourceVec,
-        memo: &mut RemainingTimeMemo,
+        evals: &mut u64,
     ) -> Option<(f64, Action)> {
-        let t_now = memo.remaining_time(job, job_idx, alloc.ps, alloc.workers);
+        cache.refresh(job, alloc, evals);
+        let t_now = cache.t_now;
         let mut best: Option<(f64, Action)> = None;
 
-        let mut consider = |action: Action, demand: &ResourceVec, t_next: f64| {
+        let mut consider = |action: Action, demand: &ResourceVec, dominant: f64, t_next: f64| {
             if !demand.fits_within(remaining) {
                 return;
             }
-            let dominant = demand
-                .dominant_share(capacity)
-                .map(|(kind, _)| demand.get(kind))
-                .unwrap_or(0.0);
             if dominant <= 0.0 {
                 return;
             }
@@ -211,37 +290,55 @@ impl OptimusAllocator {
             }
         };
 
-        let t_worker = memo.remaining_time(job, job_idx, alloc.ps, alloc.workers + 1);
-        consider(Action::AddWorker, &job.worker_profile, t_worker);
-        let t_ps = memo.remaining_time(job, job_idx, alloc.ps + 1, alloc.workers);
-        consider(Action::AddPs, &job.ps_profile, t_ps);
+        let t_worker = cache.t_worker;
+        let (dom_worker, dom_ps) = (cache.dom_worker, cache.dom_ps);
+        consider(Action::AddWorker, &job.worker_profile, dom_worker, t_worker);
+        let t_ps = cache.t_ps;
+        consider(Action::AddPs, &job.ps_profile, dom_ps, t_ps);
         best
     }
-}
 
-impl ResourceAllocator for OptimusAllocator {
-    fn allocate(&self, jobs: &[JobView], cluster: &Cluster) -> Vec<Allocation> {
+    /// The full §4.1 greedy loop, writing rows into `out` and reusing
+    /// `scratch` across rounds. Once both are warm this performs no heap
+    /// allocation (with a disabled telemetry handle; enabled handles
+    /// record per-grant trace events, which allocate).
+    pub fn allocate_with(
+        &self,
+        jobs: &[JobView],
+        cluster: &Cluster,
+        scratch: &mut AllocScratch,
+        out: &mut Vec<Allocation>,
+    ) {
         let _span = self
             .tel
             .is_enabled()
             .then(|| self.tel.span("alloc.allocate"));
         let round = self.tel.incr("alloc.rounds");
         let mut granted = 0u64;
+        let mut evals = 0u64;
+        let mut heap_pops = 0u64;
+        let mut stale_skips = 0u64;
         let capacity = cluster.total_capacity();
         let mut remaining = cluster.total_available();
-        let mut allocs: Vec<Allocation> = jobs
-            .iter()
-            .map(|j| Allocation {
-                job: j.id,
-                ps: 0,
-                workers: 0,
-            })
-            .collect();
+        scratch.reset(jobs.len());
+        out.clear();
+        out.extend(jobs.iter().map(|j| Allocation {
+            job: j.id,
+            ps: 0,
+            workers: 0,
+        }));
+        let allocs = out;
 
         // Starvation avoidance: one worker + one PS per job while space
-        // lasts (jobs in submission order).
-        for (i, job) in jobs.iter().enumerate() {
-            let unit = job.unit_demand();
+        // lasts, in submission (job-id) order — ids are assigned at
+        // submission, so this matches the paper regardless of how the
+        // caller ordered the views.
+        scratch.order.extend(0..jobs.len());
+        if !jobs.windows(2).all(|w| w[0].id <= w[1].id) {
+            scratch.order.sort_unstable_by_key(|&i| (jobs[i].id, i));
+        }
+        for &i in &scratch.order {
+            let unit = jobs[i].unit_demand();
             if unit.fits_within(&remaining) {
                 allocs[i].ps = 1;
                 allocs[i].workers = 1;
@@ -249,64 +346,78 @@ impl ResourceAllocator for OptimusAllocator {
             }
         }
 
-        // Greedy marginal-gain loop over a lazy max-heap. Every
-        // remaining-time prediction this round goes through one memo, so
-        // re-priced configurations cost a lookup, not a model evaluation.
-        let mut memo = RemainingTimeMemo::new(jobs.len());
-        let mut versions = vec![0u64; jobs.len()];
-        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        // Greedy marginal-gain loop over the lazy max-heap. The initial
+        // candidates are collected into the heap's own buffer and
+        // heapified in one O(n) pass instead of n sift-ups.
+        let AllocScratch {
+            caches,
+            versions,
+            heap,
+            ..
+        } = scratch;
+        let mut buf = std::mem::take(heap).into_vec();
+        buf.clear();
         for (i, job) in jobs.iter().enumerate() {
             if allocs[i].workers == 0 {
                 continue; // not even the starter unit fit
             }
+            let cache = &mut caches[i];
+            cache.dom_worker = Self::dominant_units(&job.worker_profile, &capacity);
+            cache.dom_ps = Self::dominant_units(&job.ps_profile, &capacity);
             if let Some((gain, action)) =
-                self.best_candidate(job, i, &allocs[i], &remaining, &capacity, &mut memo)
+                self.best_candidate(job, cache, &allocs[i], &remaining, &mut evals)
             {
-                heap.push(Candidate {
+                buf.push(Candidate {
                     gain,
-                    job_idx: i,
+                    job: job.id,
+                    job_idx: i as u32,
                     action,
                     version: 0,
                 });
             }
         }
+        *heap = BinaryHeap::from(buf);
 
-        while let Some(cand) = heap.pop() {
-            if cand.version != versions[cand.job_idx] {
+        // Each round of the loop treats the heap top in place: a grant
+        // (or a stale-capacity re-derivation) overwrites the top entry
+        // with the job's next candidate and lets it sift down once,
+        // instead of a full pop followed by a push — the pop order, and
+        // hence the grant sequence, is unchanged because the replaced
+        // entry is exactly what the push would have re-inserted.
+        while let Some(mut top) = heap.peek_mut() {
+            heap_pops += 1;
+            let idx = top.job_idx as usize;
+            if top.version != versions[idx] {
+                stale_skips += 1;
+                std::collections::binary_heap::PeekMut::pop(top);
                 continue; // stale
             }
-            if cand.gain <= 0.0 {
+            if top.gain <= 0.0 {
                 break; // max-heap ⇒ no positive gains remain
             }
-            let job = &jobs[cand.job_idx];
-            let demand = match cand.action {
+            let job = &jobs[idx];
+            let demand = match top.action {
                 Action::AddWorker => job.worker_profile,
                 Action::AddPs => job.ps_profile,
             };
             if !demand.fits_within(&remaining) {
                 // Capacity shrank since this entry was computed;
                 // re-derive the best feasible candidate now.
-                versions[cand.job_idx] += 1;
-                if let Some((gain, action)) = self.best_candidate(
-                    job,
-                    cand.job_idx,
-                    &allocs[cand.job_idx],
-                    &remaining,
-                    &capacity,
-                    &mut memo,
-                ) {
-                    heap.push(Candidate {
-                        gain,
-                        job_idx: cand.job_idx,
-                        action,
-                        version: versions[cand.job_idx],
-                    });
+                versions[idx] += 1;
+                if let Some((gain, action)) =
+                    self.best_candidate(job, &mut caches[idx], &allocs[idx], &remaining, &mut evals)
+                {
+                    top.gain = gain;
+                    top.action = action;
+                    top.version = versions[idx];
+                } else {
+                    std::collections::binary_heap::PeekMut::pop(top);
                 }
                 continue;
             }
-            match cand.action {
-                Action::AddWorker => allocs[cand.job_idx].workers += 1,
-                Action::AddPs => allocs[cand.job_idx].ps += 1,
+            match top.action {
+                Action::AddWorker => allocs[idx].workers += 1,
+                Action::AddPs => allocs[idx].ps += 1,
             }
             remaining -= demand;
             granted += 1;
@@ -314,45 +425,57 @@ impl ResourceAllocator for OptimusAllocator {
                 self.tel.record(TraceEvent::AllocGrant {
                     round,
                     job: job.id.0,
-                    action: match cand.action {
+                    action: match top.action {
                         Action::AddWorker => "worker".to_string(),
                         Action::AddPs => "ps".to_string(),
                     },
-                    gain: cand.gain,
-                    ps: allocs[cand.job_idx].ps,
-                    workers: allocs[cand.job_idx].workers,
+                    gain: top.gain,
+                    ps: allocs[idx].ps,
+                    workers: allocs[idx].workers,
                 });
             }
-            versions[cand.job_idx] += 1;
-            if let Some((gain, action)) = self.best_candidate(
-                job,
-                cand.job_idx,
-                &allocs[cand.job_idx],
-                &remaining,
-                &capacity,
-                &mut memo,
-            ) {
-                heap.push(Candidate {
-                    gain,
-                    job_idx: cand.job_idx,
-                    action,
-                    version: versions[cand.job_idx],
-                });
+            versions[idx] += 1;
+            if let Some((gain, action)) =
+                self.best_candidate(job, &mut caches[idx], &allocs[idx], &remaining, &mut evals)
+            {
+                top.gain = gain;
+                top.action = action;
+                top.version = versions[idx];
+            } else {
+                std::collections::binary_heap::PeekMut::pop(top);
             }
         }
         if self.tel.is_enabled() {
-            // Since the memo layer, `alloc.marginal_gain_evals` counts
-            // memo *misses* (actual speed-model evaluations), not
-            // candidate considerations.
-            self.tel.add("alloc.marginal_gain_evals", memo.misses);
+            // `alloc.marginal_gain_evals` counts actual speed-model
+            // evaluations (cache misses), not candidate considerations.
+            self.tel.add("alloc.marginal_gain_evals", evals);
+            self.tel.add("alloc.heap_pops", heap_pops);
+            self.tel.add("alloc.stale_skips", stale_skips);
             self.tel.record(TraceEvent::AllocRound {
                 round,
                 jobs: jobs.len(),
                 granted,
-                evals: memo.misses,
+                evals,
             });
         }
-        allocs
+    }
+}
+
+impl ResourceAllocator for OptimusAllocator {
+    fn allocate(&self, jobs: &[JobView], cluster: &Cluster) -> Vec<Allocation> {
+        let mut out = Vec::new();
+        self.allocate_with(jobs, cluster, &mut AllocScratch::default(), &mut out);
+        out
+    }
+
+    fn allocate_into(
+        &self,
+        jobs: &[JobView],
+        cluster: &Cluster,
+        scratch: &mut AllocScratch,
+        out: &mut Vec<Allocation>,
+    ) {
+        self.allocate_with(jobs, cluster, scratch, out);
     }
 }
 

@@ -63,25 +63,30 @@ pub mod scheduler;
 pub mod speed;
 
 pub use allocation::{
-    Allocation, DrfAllocator, FifoAllocator, OptimusAllocator, ResourceAllocator, TetrisAllocator,
+    AllocScratch, Allocation, DrfAllocator, FifoAllocator, OptimusAllocator, ResourceAllocator,
+    TetrisAllocator,
 };
 pub use convergence::ConvergenceEstimator;
-pub use placement::{OptimusPlacer, PackPlacer, SpreadPlacer, TaskPlacer};
+pub use placement::{
+    OptimusPlacer, PackPlacer, PlaceScratch, PlacementStore, SpreadPlacer, TaskPlacer,
+};
 pub use reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
-pub use scheduler::{CompositeScheduler, JobView, Schedule, Scheduler};
+pub use scheduler::{CompositeScheduler, JobView, RoundScratch, Schedule, Scheduler};
 pub use speed::SpeedModel;
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::allocation::{
-        Allocation, DrfAllocator, FifoAllocator, OptimusAllocator, ResourceAllocator,
+        AllocScratch, Allocation, DrfAllocator, FifoAllocator, OptimusAllocator, ResourceAllocator,
         TetrisAllocator,
     };
     pub use crate::convergence::ConvergenceEstimator;
-    pub use crate::placement::{OptimusPlacer, PackPlacer, SpreadPlacer, TaskPlacer};
+    pub use crate::placement::{
+        OptimusPlacer, PackPlacer, PlaceScratch, PlacementStore, SpreadPlacer, TaskPlacer,
+    };
     pub use crate::scheduler::{
-        CompositeScheduler, DrfScheduler, JobView, OptimusScheduler, Schedule, Scheduler,
-        TetrisScheduler,
+        CompositeScheduler, DrfScheduler, JobView, OptimusScheduler, RoundScratch, Schedule,
+        Scheduler, TetrisScheduler,
     };
     pub use crate::speed::SpeedModel;
 }

@@ -20,6 +20,230 @@ use optimus_telemetry::{Telemetry, TraceEvent};
 use optimus_workload::JobId;
 use std::collections::HashMap;
 
+/// One-multiply hasher for `JobId` keys. Job ids are sequential small
+/// integers, so a Fibonacci-multiply spread gives collision-free
+/// buckets at a fraction of SipHash's cost; the scheduling hot path
+/// rebuilds its id → row maps every round, making their hashing cost a
+/// per-round tax. Only maps private to this crate use it.
+#[derive(Default)]
+pub(crate) struct JobIdHasher(u64);
+
+impl std::hash::Hasher for JobIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // `JobId`'s derived `Hash` hashes its `u64` via `write_u64`;
+        // nothing else reaches these maps, but stay correct anyway.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+pub(crate) type JobIdBuildHasher = std::hash::BuildHasherDefault<JobIdHasher>;
+
+/// Arena-backed placement map: one flat `(server, counts)` arena plus a
+/// job-id → span table. Clearing keeps both the arena's and the table's
+/// capacity, so steady-state rounds rebuild placements without a single
+/// heap allocation — unlike the former `HashMap<JobId, Vec<…>>`, which
+/// re-allocated one `Vec` per placed job per round.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementStore {
+    arena: Vec<(ServerId, TaskCounts)>,
+    /// Job id → `(start, end)` span into `arena` (last insert wins).
+    spans: HashMap<JobId, (u32, u32), JobIdBuildHasher>,
+    /// Start offset of the span currently being built, if any.
+    open: Option<(JobId, u32)>,
+}
+
+impl PlacementStore {
+    /// Drops all placements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.spans.clear();
+        self.open = None;
+    }
+
+    /// Number of placed jobs.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no job is placed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Starts a new span for `id`; pair with [`Self::commit_span`].
+    pub(crate) fn begin_span(&mut self, id: JobId) {
+        self.open = Some((id, self.arena.len() as u32));
+    }
+
+    /// Appends one server's task counts to the open span.
+    pub(crate) fn push_task(&mut self, sid: ServerId, counts: TaskCounts) {
+        debug_assert!(self.open.is_some(), "push_task outside a span");
+        self.arena.push((sid, counts));
+    }
+
+    /// Closes the open span and records it for its job.
+    pub(crate) fn commit_span(&mut self) {
+        let (id, start) = self.open.take().expect("commit_span without begin_span");
+        self.spans.insert(id, (start, self.arena.len() as u32));
+    }
+
+    /// Inserts (or replaces) a job's placement wholesale.
+    pub fn insert(&mut self, id: JobId, placement: &[(ServerId, TaskCounts)]) {
+        self.begin_span(id);
+        self.arena.extend_from_slice(placement);
+        self.commit_span();
+    }
+
+    /// The placement of one job, if it was placed.
+    pub fn get(&self, id: JobId) -> Option<&[(ServerId, TaskCounts)]> {
+        self.spans
+            .get(&id)
+            .map(|&(s, e)| &self.arena[s as usize..e as usize])
+    }
+
+    /// True when the job has a placement.
+    pub fn contains(&self, id: JobId) -> bool {
+        self.spans.contains_key(&id)
+    }
+
+    /// Iterates `(job, placement)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, &[(ServerId, TaskCounts)])> {
+        self.spans
+            .iter()
+            .map(move |(&id, &(s, e))| (id, &self.arena[s as usize..e as usize]))
+    }
+
+    /// Copies the placements out into the map form of [`TaskPlacer::place`].
+    pub fn to_map(&self) -> HashMap<JobId, JobPlacement> {
+        self.iter().map(|(id, p)| (id, p.to_vec())).collect()
+    }
+
+    /// Total reserved capacity, for growth detection.
+    pub(crate) fn footprint(&self) -> usize {
+        self.arena.capacity() + self.spans.capacity()
+    }
+}
+
+/// Order-independent equality: same jobs, same per-job placements.
+impl PartialEq for PlacementStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.spans.len() == other.spans.len() && self.iter().all(|(id, p)| other.get(id) == Some(p))
+    }
+}
+impl Eq for PlacementStore {}
+
+impl FromIterator<(JobId, JobPlacement)> for PlacementStore {
+    fn from_iter<T: IntoIterator<Item = (JobId, JobPlacement)>>(iter: T) -> Self {
+        let mut store = PlacementStore::default();
+        for (id, p) in iter {
+            store.insert(id, &p);
+        }
+        store
+    }
+}
+
+/// Reusable working state for [`TaskPlacer::place_into`]: the
+/// incremental [`FreeIndex`], the per-job packing buffers and the
+/// smallest-first order all persist across rounds.
+
+#[derive(Debug, Default)]
+pub struct PlaceScratch {
+    index: FreeIndex,
+    chosen: Vec<ServerId>,
+    counts: Vec<TaskCounts>,
+    bal: BalanceBufs,
+    order: Vec<usize>,
+    norms: Vec<f64>,
+}
+
+/// The near-even fallback's working set: per-attempt availability
+/// copies and the sorted deal keys (see
+/// [`OptimusPlacer::balanced_counts`]).
+#[derive(Debug, Default)]
+struct BalanceBufs {
+    avail: Vec<ResourceVec>,
+    deal: Vec<u128>,
+}
+
+/// Proof summary of a failed [`OptimusPlacer::balanced_counts`]
+/// attempt, per demand kind (0 = colocated pair, 1 = lone PS, 2 = lone
+/// worker): whether any deal of that kind found no server, and the
+/// minimum pre-deal free CPU among that kind's winners. A probe on one
+/// more server replays the failed attempt's exact trajectory — and
+/// fails the same way — unless the added server *deviates*: it fits a
+/// kind that failed outright, or fits one and ties/beats its weakest
+/// recorded winner (ties go to the added server, which holds the
+/// highest deal index). Those are exactly the per-kind aggregates, so
+/// the full event list never needs recording (see the window loop in
+/// [`OptimusPlacer::place_with`]).
+#[derive(Debug, Clone, Copy)]
+struct DealLog {
+    fail: [bool; 3],
+    min_cpu: [f64; 3],
+}
+
+impl Default for DealLog {
+    fn default() -> Self {
+        DealLog {
+            fail: [false; 3],
+            min_cpu: [f64::INFINITY; 3],
+        }
+    }
+}
+
+impl DealLog {
+    fn reset(&mut self) {
+        *self = DealLog {
+            fail: [false; 3],
+            min_cpu: [f64::INFINITY; 3],
+        };
+    }
+
+    /// Would a server with these fits and this free CPU change the
+    /// recorded trajectory?
+    fn deviates(&self, fits: [bool; 3], cpu: f64) -> bool {
+        (0..3).any(|d| fits[d] && (self.fail[d] || cpu >= self.min_cpu[d]))
+    }
+}
+
+/// Packs a deal entry — `(remaining CPU, local server index)` — into one
+/// integer whose natural order is `(cpu by total_cmp, index)`: the upper
+/// bits are the CPU's order-preserving bit mapping (exactly
+/// `f64::total_cmp`'s), the low 32 the index. The deal array stays
+/// sorted descending on this key, so its reposition binary search
+/// compares plain integers within one contiguous array instead of
+/// chasing every probe through `avail`.
+#[inline]
+fn deal_key(cpu: f64, idx: u32) -> u128 {
+    let mut b = cpu.to_bits() as i64;
+    b ^= (((b >> 63) as u64) >> 1) as i64;
+    let mono = (b as u64) ^ (1 << 63);
+    ((mono as u128) << 32) | idx as u128
+}
+
+impl PlaceScratch {
+    /// Total reserved capacity, for growth detection.
+    pub(crate) fn footprint(&self) -> usize {
+        self.index.footprint()
+            + self.chosen.capacity()
+            + self.counts.capacity()
+            + self.bal.avail.capacity()
+            + self.order.capacity()
+            + self.bal.deal.capacity()
+            + self.norms.capacity()
+    }
+}
+
 /// A task-placement policy.
 pub trait TaskPlacer {
     /// Maps allocated jobs to concrete per-server task counts. Jobs that
@@ -34,20 +258,59 @@ pub trait TaskPlacer {
         jobs: &[JobView],
         cluster: &Cluster,
     ) -> HashMap<JobId, JobPlacement>;
+
+    /// Scratch-reusing variant for the steady-state round loop: writes
+    /// placements into `out` (cleared first) and may keep working state
+    /// in `scratch` between rounds. The default delegates to
+    /// [`Self::place`]; placers with a hot path override it to run
+    /// allocation-free once `scratch`/`out` are warm.
+    fn place_into(
+        &self,
+        allocations: &[Allocation],
+        jobs: &[JobView],
+        cluster: &Cluster,
+        _scratch: &mut PlaceScratch,
+        out: &mut PlacementStore,
+    ) {
+        out.clear();
+        for (id, p) in self.place(allocations, jobs, cluster) {
+            out.insert(id, &p);
+        }
+    }
 }
 
 /// Orders job indices smallest-demand-first (§4.2: "we place jobs in
 /// increasing order of their resource demand ... to avoid job
-/// starvation").
-pub(crate) fn smallest_first(allocations: &[Allocation], jobs: &[JobView]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..allocations.len())
-        .filter(|&i| allocations[i].ps > 0 && allocations[i].workers > 0)
-        .collect();
-    order.sort_by(|&a, &b| {
-        let da = allocations[a].demand(&jobs[a]).norm();
-        let db = allocations[b].demand(&jobs[b]).norm();
-        da.total_cmp(&db).then(jobs[a].id.cmp(&jobs[b].id))
+/// starvation") into a caller-owned buffer. `(norm, id)` is a total
+/// order for unique ids, so the unstable sort is deterministic.
+pub(crate) fn smallest_first_into(
+    allocations: &[Allocation],
+    jobs: &[JobView],
+    order: &mut Vec<usize>,
+    norms: &mut Vec<f64>,
+) {
+    order.clear();
+    order.extend(
+        (0..allocations.len()).filter(|&i| allocations[i].ps > 0 && allocations[i].workers > 0),
+    );
+    // Each demand norm is priced once up front; the comparator reads
+    // cached keys instead of recomputing the norm O(n log n) times.
+    norms.clear();
+    norms.resize(allocations.len(), 0.0);
+    for &i in order.iter() {
+        norms[i] = allocations[i].demand(&jobs[i]).norm();
+    }
+    order.sort_unstable_by(|&a, &b| {
+        norms[a]
+            .total_cmp(&norms[b])
+            .then(jobs[a].id.cmp(&jobs[b].id))
     });
+}
+
+/// Allocating wrapper around [`smallest_first_into`].
+pub(crate) fn smallest_first(allocations: &[Allocation], jobs: &[JobView]) -> Vec<usize> {
+    let mut order = Vec::new();
+    smallest_first_into(allocations, jobs, &mut order, &mut Vec::new());
     order
 }
 
@@ -67,55 +330,97 @@ pub(crate) fn smallest_first(allocations: &[Allocation], jobs: &[JobView]) -> Ve
 /// (`alloc += demand; free = cap.saturating_sub(alloc)`) so the free
 /// values — and therefore every placement decision — are bit-identical
 /// to the former clone-and-re-sort implementation.
+#[derive(Debug, Default)]
 struct FreeIndex {
     cap: Vec<ResourceVec>,
     alloc: Vec<ResourceVec>,
     free: Vec<ResourceVec>,
-    /// Server ids sorted by (free CPU desc, id asc) — a total order,
-    /// since ids are unique.
-    order: Vec<ServerId>,
+    /// [`server_key`]s sorted descending — i.e. servers by (free CPU
+    /// desc, id asc), a total order since ids are unique. The key packs
+    /// the server id in its low bits ([`key_server`] recovers it), so
+    /// this one integer array *is* the order: binary searches and
+    /// repositions touch a single contiguous array and nothing else
+    /// needs to stay in sync.
+    keys: Vec<u128>,
     /// Number of incremental repositions (→ `placement.index_updates`).
     updates: u64,
+    /// The free vector the last rebuild sorted, and the keys it
+    /// produced. The order depends only on the free values, and across
+    /// steady-state rounds the cluster is usually unchanged — one slice
+    /// equality check then replaces the full re-sort.
+    sorted_free: Vec<ResourceVec>,
+    sorted_keys: Vec<u128>,
+}
+
+/// [`deal_key`] for the free index's `(free CPU desc, id asc)` order:
+/// the id is bit-inverted so a *descending* key order breaks CPU ties
+/// ascending by id. `+ 0.0` collapses a `-0.0` free CPU onto `+0.0`,
+/// which the index's former `partial_cmp` comparator treated as equal
+/// (and `total_cmp` would not).
+#[inline]
+fn server_key(cpu: f64, sid: usize) -> u128 {
+    deal_key(cpu + 0.0, !(sid as u32))
+}
+
+/// Recovers the server id a [`server_key`] packs.
+#[inline]
+fn key_server(key: u128) -> ServerId {
+    ServerId(!(key as u32) as usize)
 }
 
 impl FreeIndex {
-    fn new(cluster: &Cluster) -> Self {
+    /// Refills the index from `cluster`, keeping every buffer's
+    /// capacity. `(free CPU, id)` is a total order for unique ids, so
+    /// the unstable sort is deterministic.
+    fn rebuild(&mut self, cluster: &Cluster) {
         let n = cluster.len();
-        let mut cap = Vec::with_capacity(n);
-        let mut alloc = Vec::with_capacity(n);
-        let mut free = Vec::with_capacity(n);
+        self.cap.clear();
+        self.alloc.clear();
+        self.free.clear();
         for s in cluster.servers() {
-            cap.push(s.capacity());
-            alloc.push(s.allocated());
-            free.push(s.available());
+            self.cap.push(s.capacity());
+            self.alloc.push(s.allocated());
+            self.free.push(s.available());
         }
-        let mut order: Vec<ServerId> = (0..n).map(ServerId).collect();
-        order.sort_by(|a, b| {
-            free[b.0]
-                .get(ResourceKind::Cpu)
-                .partial_cmp(&free[a.0].get(ResourceKind::Cpu))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        FreeIndex {
-            cap,
-            alloc,
-            free,
-            order,
-            updates: 0,
+        self.keys.clear();
+        if self.free == self.sorted_free {
+            self.keys.extend_from_slice(&self.sorted_keys);
+        } else {
+            let free = &self.free;
+            self.keys
+                .extend((0..n).map(|i| server_key(free[i].get(ResourceKind::Cpu), i)));
+            // Descending keys ⇔ the old (cpu desc via partial_cmp,
+            // id asc) comparator, -0.0 included (see [`server_key`]).
+            self.keys.sort_unstable_by(|a, b| b.cmp(a));
+            self.sorted_free.clear();
+            self.sorted_free.extend_from_slice(&self.free);
+            self.sorted_keys.clear();
+            self.sorted_keys.extend_from_slice(&self.keys);
         }
+        self.updates = 0;
     }
 
-    /// Binary search for the slot of key `(cpu, sid)` in `order`.
-    /// `Ok` when `sid` sits there now, `Err` with the insertion point.
-    fn slot(&self, sid: ServerId, cpu: f64) -> Result<usize, usize> {
-        self.order.binary_search_by(|&probe| {
-            let pcpu = self.free[probe.0].get(ResourceKind::Cpu);
-            // Ascending in the sort key (cpu desc ⇒ compare reversed).
-            cpu.partial_cmp(&pcpu)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(probe.0.cmp(&sid.0))
-        })
+    /// Total reserved capacity, for growth detection.
+    fn footprint(&self) -> usize {
+        self.cap.capacity()
+            + self.alloc.capacity()
+            + self.free.capacity()
+            + self.keys.capacity()
+            + self.sorted_free.capacity()
+            + self.sorted_keys.capacity()
+    }
+
+    /// Binary search for the slot holding `(cpu, sid)` within the first
+    /// `within` entries: keys are unique (ids break ties), so the
+    /// partition point of the strictly-greater prefix lands exactly on
+    /// the entry. Callers commit servers out of the prefix a job was
+    /// packed into, which bounds the search to that prefix's length
+    /// instead of the whole cluster.
+    fn slot(&self, sid: ServerId, cpu: f64, within: usize) -> usize {
+        let key = server_key(cpu, sid.0);
+        let pos = self.keys[..within].partition_point(|&q| q > key);
+        debug_assert_eq!(key_server(self.keys[pos]), sid, "slot() key out of sync");
+        pos
     }
 
     /// Early-exit prefix scan: `Ok(k)` with the smallest k whose prefix
@@ -129,8 +434,8 @@ impl FreeIndex {
     /// instead of a full per-job fold over every server.
     fn k_min_or_total(&self, demand: &ResourceVec) -> Result<usize, ResourceVec> {
         let mut acc = ResourceVec::zero();
-        for (j, sid) in self.order.iter().enumerate() {
-            acc += self.free[sid.0];
+        for (j, &key) in self.keys.iter().enumerate() {
+            acc += self.free[key_server(key).0];
             if demand.fits_within(&acc) {
                 return Ok(j + 1);
             }
@@ -138,24 +443,24 @@ impl FreeIndex {
         Err(acc)
     }
 
-    /// Reserves `demand` on `sid` and repositions it in `order`.
-    /// The stale slot is removed *before* `free` changes so the binary
-    /// search comparator stays consistent with the array.
-    fn commit(&mut self, sid: ServerId, demand: &ResourceVec) {
+    /// Reserves `demand` on `sid` and repositions it in `order`. Free
+    /// CPU only decreases on a commit, so the server's new slot is at
+    /// or after its old one: binary-search the tail (which excludes
+    /// `sid`, keeping the comparator consistent) and rotate the gap one
+    /// step left — O(slots moved) instead of the former remove+insert
+    /// pair's O(servers) memmoves, with an identical resulting order.
+    fn commit(&mut self, sid: ServerId, demand: &ResourceVec, within: usize) {
         assert!(
             demand.fits_within(&self.free[sid.0]),
             "feasibility checked above"
         );
-        let old = self
-            .slot(sid, self.free[sid.0].get(ResourceKind::Cpu))
-            .expect("committed server is indexed");
-        self.order.remove(old);
+        let old = self.slot(sid, self.free[sid.0].get(ResourceKind::Cpu), within);
         self.alloc[sid.0] += *demand;
         self.free[sid.0] = self.cap[sid.0].saturating_sub(&self.alloc[sid.0]);
-        let at = self
-            .slot(sid, self.free[sid.0].get(ResourceKind::Cpu))
-            .expect_err("server was removed above");
-        self.order.insert(at, sid);
+        let key = server_key(self.free[sid.0].get(ResourceKind::Cpu), sid.0);
+        let at = old + 1 + self.keys[old + 1..].partition_point(|&q| q > key);
+        self.keys[old] = key;
+        self.keys[old..at].rotate_left(1);
         self.updates += 1;
     }
 }
@@ -178,66 +483,145 @@ impl OptimusPlacer {
         self.tel = tel;
         self
     }
-    /// Tries to place `alloc` of `job` on the `k` most-available servers
-    /// of `index`: first the Theorem-1 even spread, then (for
-    /// heterogeneous servers where an equal share overflows the smallest
-    /// machine) a capacity-aware near-even spread. On success commits the
-    /// reservations and returns the placement. `chosen`/`counts`/`avail`
-    /// are reusable scratch buffers owned by the caller.
-    #[allow(clippy::too_many_arguments)]
-    fn try_place_on_k(
+    /// Commits a successful packing: reserves each chosen server's
+    /// share in `index` and records the placement span in `out`. The
+    /// `k`-prefix is copied into `chosen` only here, so a failed probe
+    /// — the common case in the shrink-retry loop — costs no copy.
+    fn commit_counts(
         job: &JobView,
-        alloc: &Allocation,
         index: &mut FreeIndex,
         chosen: &mut Vec<ServerId>,
-        counts: &mut Vec<TaskCounts>,
-        avail: &mut Vec<ResourceVec>,
+        counts: &[TaskCounts],
+        out: &mut PlacementStore,
         k: usize,
-    ) -> Option<JobPlacement> {
+    ) {
         chosen.clear();
-        chosen.extend_from_slice(&index.order[..k]);
-        if !Self::even_counts(job, alloc, index, chosen, counts)
-            && !Self::balanced_counts(job, alloc, index, chosen, counts, avail)
-        {
-            return None;
-        }
-        // Commit.
-        let mut placement = Vec::with_capacity(k);
+        chosen.extend(index.keys[..k].iter().map(|&key| key_server(key)));
+        out.begin_span(job.id);
         for (i, &sid) in chosen.iter().enumerate() {
             if counts[i].ps == 0 && counts[i].workers == 0 {
                 continue;
             }
             let demand = job.worker_profile * counts[i].workers as f64
                 + job.ps_profile * counts[i].ps as f64;
-            index.commit(sid, &demand);
-            placement.push((sid, counts[i]));
+            // A commit only moves its server *down* and everything else
+            // up by one slot, so each later chosen server still sits
+            // inside the original k-prefix: the slot search stays
+            // bounded by `k` for the whole loop.
+            index.commit(sid, &demand, k);
+            out.push_task(sid, counts[i]);
         }
-        Some(placement)
+        out.commit_span();
     }
 
     /// The exact Theorem-1 even split, if every server fits its share.
     /// Fills `counts` and returns true on success.
+    ///
+    /// An even split takes at most four distinct `(ps, workers)` shares
+    /// (quotient vs quotient+1 per task kind), contiguous by
+    /// construction — so the share demands are priced once per zone,
+    /// not once per server, and the feasibility scan runs
+    /// highest-index (least-free) servers first, where a failing probe
+    /// exits on its first comparison instead of its last. The accepted
+    /// set and the resulting counts are exactly the former per-server
+    /// formulation's.
     fn even_counts(
         job: &JobView,
         alloc: &Allocation,
-        index: &FreeIndex,
-        chosen: &[ServerId],
+        free: &[ResourceVec],
+        chosen: &[u128],
         counts: &mut Vec<TaskCounts>,
     ) -> bool {
         let kf = chosen.len() as u32;
-        counts.clear();
-        counts.extend((0..kf).map(|i| TaskCounts {
-            ps: alloc.ps / kf + u32::from(i < alloc.ps % kf),
-            workers: alloc.workers / kf + u32::from(i < alloc.workers % kf),
-        }));
-        for (i, &sid) in chosen.iter().enumerate() {
-            let demand = job.worker_profile * counts[i].workers as f64
-                + job.ps_profile * counts[i].ps as f64;
-            if !demand.fits_within(&index.free[sid.0]) {
-                return false;
+        let (qp, rp) = (alloc.ps / kf, alloc.ps % kf);
+        let (qw, rw) = (alloc.workers / kf, alloc.workers % kf);
+        let share = |i: u32| TaskCounts {
+            ps: qp + u32::from(i < rp),
+            workers: qw + u32::from(i < rw),
+        };
+        let price =
+            |c: TaskCounts| job.worker_profile * c.workers as f64 + job.ps_profile * c.ps as f64;
+        let lo = rp.min(rw) as usize;
+        let hi = rp.max(rw) as usize;
+        let zones = [
+            (0, lo, price(share(0))),
+            (lo, hi, price(share(lo as u32))),
+            (hi, chosen.len(), price(share(hi as u32))),
+        ];
+        for &(start, end, demand) in zones.iter().rev() {
+            for &key in chosen[start..end].iter().rev() {
+                if !demand.fits_within(&free[key_server(key).0]) {
+                    return false;
+                }
             }
         }
+        counts.clear();
+        counts.extend((0..kf).map(share));
         true
+    }
+
+    /// One deal of the near-even fallback: reserves `demand` on the
+    /// server with the most remaining CPU that fits it, ties to the
+    /// highest index (the semantics of a forward `max_by`, which keeps
+    /// the *last* maximum).
+    ///
+    /// `deal` keeps the candidate positions sorted by
+    /// `(remaining CPU desc, index desc)`, so the winner is the first
+    /// fitting entry, and a deal repositions only the one server it
+    /// drained (binary search + rotate, as in [`FreeIndex::commit`]).
+    /// Availability only ever *shrinks* during a packing attempt, so an
+    /// entry that fails a demand once fails it for the rest of the
+    /// attempt: `cursors[which]` counts the leading known-failed
+    /// entries for this demand and the scan starts past them. The
+    /// former formulation rescanned and re-maxed all k servers for
+    /// every task — O(tasks × k) per attempt, the single hottest loop
+    /// of a full scheduling decision; with the cursors every entry
+    /// fails every demand at most once per attempt.
+    fn deal_one(
+        avail: &mut [ResourceVec],
+        deal: &mut [u128],
+        demand: &ResourceVec,
+        cursors: &mut [usize; 3],
+        which: usize,
+        log: &mut DealLog,
+    ) -> Option<usize> {
+        let Some(pos) = (cursors[which]..deal.len())
+            .find(|&p| demand.fits_within(&avail[(deal[p] as u32) as usize]))
+        else {
+            // Every entry now fails this demand, hence for the rest of
+            // the attempt: later same-demand deals exit immediately.
+            cursors[which] = deal.len();
+            log.fail[which] = true;
+            return None;
+        };
+        // The entries scanned past just failed; they stay failed.
+        cursors[which] = pos;
+        let i = deal[pos] as u32;
+        let won_cpu = avail[i as usize].get(ResourceKind::Cpu);
+        if won_cpu < log.min_cpu[which] {
+            log.min_cpu[which] = won_cpu;
+        }
+        avail[i as usize] -= *demand;
+        // CPU only decreased: the new slot is at or after `pos`. Keys
+        // are unique (the index breaks ties), so the partition point is
+        // the old comparator's insertion point exactly.
+        let key = deal_key(avail[i as usize].get(ResourceKind::Cpu), i);
+        deal[pos] = key;
+        let at = pos + 1 + deal[pos + 1..].partition_point(|&q| q > key);
+        // The winner leaves `pos` for `at - 1`, shifting the entries
+        // between down one slot. A known-failed prefix the winner
+        // *exits* loses one slot to an unscanned entry shifting in, so
+        // its cursor steps back; a prefix the winner stays inside is
+        // untouched (the winner only shrank, so it still fails those
+        // demands). `cursors[which]` was just set to `pos`, which the
+        // rule never moves.
+        for c in cursors.iter_mut() {
+            if pos < *c && at > *c {
+                *c -= 1;
+            }
+        }
+        deal[pos..at].rotate_left(1);
+        Some(i as usize)
     }
 
     /// Near-even fallback for heterogeneous servers: deal PS+worker
@@ -245,58 +629,75 @@ impl OptimusPlacer {
     /// whole pair (Theorem 1's colocation principle), splitting a pair
     /// across two servers only when no server fits both; leftover
     /// unpaired tasks are dealt individually. Fills `counts` (using
-    /// `avail` as working space) and returns true on success.
+    /// `avail` and `deal` as working space) and returns true on success.
     fn balanced_counts(
         job: &JobView,
         alloc: &Allocation,
-        index: &FreeIndex,
-        chosen: &[ServerId],
+        free: &[ResourceVec],
+        chosen: &[u128],
         counts: &mut Vec<TaskCounts>,
-        avail: &mut Vec<ResourceVec>,
+        bufs: &mut BalanceBufs,
+        log: &mut DealLog,
     ) -> bool {
+        let BalanceBufs { avail, deal } = bufs;
+        log.reset();
         avail.clear();
-        avail.extend(chosen.iter().map(|&sid| index.free[sid.0]));
+        avail.extend(chosen.iter().map(|&key| free[key_server(key).0]));
         counts.clear();
         counts.resize(chosen.len(), TaskCounts::default());
 
-        let place = |demand: &ResourceVec, avail: &mut [ResourceVec]| -> Option<usize> {
-            let target = (0..avail.len())
-                .filter(|&i| demand.fits_within(&avail[i]))
-                .max_by(|&a, &b| {
-                    avail[a]
-                        .get(ResourceKind::Cpu)
-                        .total_cmp(&avail[b].get(ResourceKind::Cpu))
-                })?;
-            avail[target] -= *demand;
-            Some(target)
-        };
+        // `chosen` is a prefix of the free index: sorted by free CPU
+        // descending with ties index-*ascending*. [`Self::deal_one`]
+        // wants ties index-descending (last-maximum semantics), so seed
+        // the order and reverse every equal-CPU run.
+        deal.clear();
+        deal.extend(
+            avail
+                .iter()
+                .enumerate()
+                .map(|(i, a)| deal_key(a.get(ResourceKind::Cpu), i as u32)),
+        );
+        let mut run = 0;
+        for i in 1..=deal.len() {
+            if i == deal.len() || (deal[i] >> 32) != (deal[run] >> 32) {
+                deal[run..i].reverse();
+                run = i;
+            }
+        }
 
+        // Known-failed prefix lengths, one per distinct demand:
+        // colocated pair, lone PS, lone worker.
+        let mut cursors = [0usize; 3];
         let pair_demand = job.ps_profile + job.worker_profile;
         let pairs = alloc.ps.min(alloc.workers);
         for _ in 0..pairs {
-            if let Some(i) = place(&pair_demand, avail) {
+            if let Some(i) = Self::deal_one(avail, deal, &pair_demand, &mut cursors, 0, log) {
                 counts[i].ps += 1;
                 counts[i].workers += 1;
             } else {
                 // No server fits the colocated pair: split it.
-                let Some(i) = place(&job.ps_profile, avail) else {
+                let Some(i) = Self::deal_one(avail, deal, &job.ps_profile, &mut cursors, 1, log)
+                else {
                     return false;
                 };
                 counts[i].ps += 1;
-                let Some(i) = place(&job.worker_profile, avail) else {
+                let Some(i) =
+                    Self::deal_one(avail, deal, &job.worker_profile, &mut cursors, 2, log)
+                else {
                     return false;
                 };
                 counts[i].workers += 1;
             }
         }
         for _ in pairs..alloc.ps {
-            let Some(i) = place(&job.ps_profile, avail) else {
+            let Some(i) = Self::deal_one(avail, deal, &job.ps_profile, &mut cursors, 1, log) else {
                 return false;
             };
             counts[i].ps += 1;
         }
         for _ in pairs..alloc.workers {
-            let Some(i) = place(&job.worker_profile, avail) else {
+            let Some(i) = Self::deal_one(avail, deal, &job.worker_profile, &mut cursors, 2, log)
+            else {
                 return false;
             };
             counts[i].workers += 1;
@@ -305,28 +706,41 @@ impl OptimusPlacer {
     }
 }
 
-impl TaskPlacer for OptimusPlacer {
-    fn place(
+impl OptimusPlacer {
+    /// The full Theorem-1 pass, writing placements into `out` and
+    /// reusing `scratch` across rounds. Once both are warm this performs
+    /// no heap allocation (with a disabled telemetry handle).
+    pub fn place_with(
         &self,
         allocations: &[Allocation],
         jobs: &[JobView],
         cluster: &Cluster,
-    ) -> HashMap<JobId, JobPlacement> {
+        scratch: &mut PlaceScratch,
+        out: &mut PlacementStore,
+    ) {
         let _span = self.tel.is_enabled().then(|| self.tel.span("place.place"));
         let mut retries = 0u64;
-        // One index build per round; each job then pays only an
+        // One index rebuild per round; each job then pays only an
         // early-exit prefix scan plus log-time repositions for the
         // servers its placement touches (available CPU order, §4.2),
         // keeping placement fast even on the Fig-12 clusters
         // (16 000 nodes).
-        let mut index = FreeIndex::new(cluster);
-        let mut chosen: Vec<ServerId> = Vec::new();
-        let mut counts: Vec<TaskCounts> = Vec::new();
-        let mut avail: Vec<ResourceVec> = Vec::new();
-        let mut out = HashMap::new();
-        for i in smallest_first(allocations, jobs) {
+        let PlaceScratch {
+            index,
+            chosen,
+            counts,
+            bal,
+            order,
+            norms,
+        } = scratch;
+        let mut log = DealLog::default();
+        index.rebuild(cluster);
+        out.clear();
+        smallest_first_into(allocations, jobs, order, norms);
+        for &i in order.iter() {
             let job = &jobs[i];
             let mut alloc = allocations[i];
+            let pair_demand = job.ps_profile + job.worker_profile;
             let placed = loop {
                 let demand = alloc.demand(job);
                 // Smallest k whose prefix of free capacity covers the
@@ -351,28 +765,66 @@ impl TaskPlacer for OptimusPlacer {
                             }
                         }
                         if !alloc.demand(job).fits_within(&total_free) {
-                            break None;
+                            break false;
                         }
                         continue;
                     }
                 };
-                let k_max = (k_min + 8).min(index.order.len());
-                let attempt = (k_min..=k_max).find_map(|k| {
-                    Self::try_place_on_k(
+                let k_max = (k_min + 8).min(index.keys.len());
+                // Probe window: smallest k in k_min..=k_max whose
+                // prefix packs the allocation (even split first, then
+                // the near-even deal). A failed deal leaves its proof
+                // transcript in `log`: the next probe adds exactly one
+                // server — the (k+1)-th most free — and replays the
+                // same trajectory to the same failure unless that
+                // server would have beaten a recorded winner (it fits
+                // the demand and has at least the winner's free CPU;
+                // ties go to it as the highest deal index) or fits a
+                // demand that found no server. Checking the transcript
+                // is O(deals); re-running the deal is O(k + deals), so
+                // the common all-probes-fail window of the shrink loop
+                // collapses to one real attempt plus cheap skips.
+                let mut log_valid = false;
+                let mut placed_at_k = false;
+                for k in k_min..=k_max {
+                    let prefix = &index.keys[..k];
+                    if Self::even_counts(job, &alloc, &index.free, prefix, counts) {
+                        Self::commit_counts(job, index, chosen, counts, out, k);
+                        placed_at_k = true;
+                        break;
+                    }
+                    if log_valid {
+                        let f = &index.free[key_server(index.keys[k - 1]).0];
+                        let fits = [
+                            pair_demand.fits_within(f),
+                            job.ps_profile.fits_within(f),
+                            job.worker_profile.fits_within(f),
+                        ];
+                        if !log.deviates(fits, f.get(ResourceKind::Cpu)) {
+                            continue;
+                        }
+                    }
+                    let prefix = &index.keys[..k];
+                    if Self::balanced_counts(
                         job,
                         &alloc,
-                        &mut index,
-                        &mut chosen,
-                        &mut counts,
-                        &mut avail,
-                        k,
-                    )
-                });
-                if attempt.is_some() {
-                    break attempt;
+                        &index.free,
+                        prefix,
+                        counts,
+                        bal,
+                        &mut log,
+                    ) {
+                        Self::commit_counts(job, index, chosen, counts, out, k);
+                        placed_at_k = true;
+                        break;
+                    }
+                    log_valid = true;
+                }
+                if placed_at_k {
+                    break true;
                 }
                 if alloc.ps + alloc.workers <= 2 {
-                    break None;
+                    break false;
                 }
                 if alloc.ps >= alloc.workers {
                     alloc.ps -= 1;
@@ -381,21 +833,18 @@ impl TaskPlacer for OptimusPlacer {
                 }
                 retries += 1;
             };
-            if let Some(p) = placed {
-                if self.tel.is_enabled() {
-                    let shrunk = (allocations[i].ps + allocations[i].workers)
-                        .saturating_sub(alloc.ps + alloc.workers);
-                    self.tel.record(TraceEvent::Placement {
-                        job: job.id.0,
-                        ps: alloc.ps,
-                        workers: alloc.workers,
-                        servers: p.len(),
-                        shrunk,
-                    });
-                }
-                out.insert(job.id, p);
+            if placed && self.tel.is_enabled() {
+                let shrunk = (allocations[i].ps + allocations[i].workers)
+                    .saturating_sub(alloc.ps + alloc.workers);
+                self.tel.record(TraceEvent::Placement {
+                    job: job.id.0,
+                    ps: alloc.ps,
+                    workers: alloc.workers,
+                    servers: out.get(job.id).map_or(0, |p| p.len()),
+                    shrunk,
+                });
             }
-            // else: paused this interval (§4.2).
+            // !placed: paused this interval (§4.2).
         }
         if retries > 0 {
             self.tel.add("placement.packing_retries", retries);
@@ -403,7 +852,36 @@ impl TaskPlacer for OptimusPlacer {
         if index.updates > 0 {
             self.tel.add("placement.index_updates", index.updates);
         }
-        out
+    }
+}
+
+impl TaskPlacer for OptimusPlacer {
+    fn place(
+        &self,
+        allocations: &[Allocation],
+        jobs: &[JobView],
+        cluster: &Cluster,
+    ) -> HashMap<JobId, JobPlacement> {
+        let mut out = PlacementStore::default();
+        self.place_with(
+            allocations,
+            jobs,
+            cluster,
+            &mut PlaceScratch::default(),
+            &mut out,
+        );
+        out.to_map()
+    }
+
+    fn place_into(
+        &self,
+        allocations: &[Allocation],
+        jobs: &[JobView],
+        cluster: &Cluster,
+        scratch: &mut PlaceScratch,
+        out: &mut PlacementStore,
+    ) {
+        self.place_with(allocations, jobs, cluster, scratch, out);
     }
 }
 

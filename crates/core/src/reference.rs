@@ -35,16 +35,20 @@ enum Action {
     AddPs,
 }
 
+/// Ordered by `(gain, job id)`: the id tie-break (smaller id wins among
+/// equal gains) keeps the grant order independent of job insertion
+/// order, mirroring the production allocator.
 struct Candidate {
     gain: f64,
     job_idx: usize,
+    job: JobId,
     action: Action,
     version: u64,
 }
 
 impl PartialEq for Candidate {
     fn eq(&self, other: &Self) -> bool {
-        self.gain == other.gain
+        self.gain.total_cmp(&other.gain).is_eq() && self.job == other.job
     }
 }
 impl Eq for Candidate {}
@@ -55,7 +59,9 @@ impl PartialOrd for Candidate {
 }
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.gain.total_cmp(&other.gain)
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.job.cmp(&self.job))
     }
 }
 
@@ -149,9 +155,13 @@ impl ResourceAllocator for ReferenceOptimusAllocator {
             .collect();
 
         // Starvation avoidance: one worker + one PS per job while space
-        // lasts (jobs in submission order).
-        for (i, job) in jobs.iter().enumerate() {
-            let unit = job.unit_demand();
+        // lasts, in submission (job-id) order — ids are assigned at
+        // submission, so this matches the paper regardless of how the
+        // caller ordered the views.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_unstable_by_key(|&i| (jobs[i].id, i));
+        for &i in &order {
+            let unit = jobs[i].unit_demand();
             if unit.fits_within(&remaining) {
                 allocs[i].ps = 1;
                 allocs[i].workers = 1;
@@ -172,6 +182,7 @@ impl ResourceAllocator for ReferenceOptimusAllocator {
                 heap.push(Candidate {
                     gain,
                     job_idx: i,
+                    job: job.id,
                     action,
                     version: 0,
                 });
@@ -198,6 +209,7 @@ impl ResourceAllocator for ReferenceOptimusAllocator {
                     heap.push(Candidate {
                         gain,
                         job_idx: cand.job_idx,
+                        job: job.id,
                         action,
                         version: versions[cand.job_idx],
                     });
@@ -216,6 +228,7 @@ impl ResourceAllocator for ReferenceOptimusAllocator {
                 heap.push(Candidate {
                     gain,
                     job_idx: cand.job_idx,
+                    job: job.id,
                     action,
                     version: versions[cand.job_idx],
                 });

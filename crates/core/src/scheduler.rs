@@ -11,9 +11,11 @@
 //! one component at a time.
 
 use crate::allocation::{
-    Allocation, DrfAllocator, OptimusAllocator, ResourceAllocator, TetrisAllocator,
+    AllocScratch, Allocation, DrfAllocator, OptimusAllocator, ResourceAllocator, TetrisAllocator,
 };
-use crate::placement::{OptimusPlacer, PackPlacer, SpreadPlacer, TaskPlacer};
+use crate::placement::{
+    OptimusPlacer, PackPlacer, PlaceScratch, PlacementStore, SpreadPlacer, TaskPlacer,
+};
 use crate::speed::SpeedModel;
 use optimus_cluster::{Cluster, ResourceVec, ServerId};
 use optimus_ps::TaskCounts;
@@ -77,23 +79,37 @@ pub struct Schedule {
     /// nothing this interval).
     allocations: Vec<Allocation>,
     /// Concrete placements for the jobs that fit on servers; allocated
-    /// jobs missing here are paused (§4.2).
-    placements: HashMap<JobId, JobPlacement>,
+    /// jobs missing here are paused (§4.2). Arena-backed so clearing and
+    /// refilling a warm schedule allocates nothing.
+    placements: PlacementStore,
     /// Job id → row in `allocations` (first occurrence wins).
-    index: HashMap<JobId, usize>,
+    index: HashMap<JobId, usize, crate::placement::JobIdBuildHasher>,
 }
 
 impl Schedule {
     /// Builds a schedule from its parts, indexing the allocations.
     pub fn new(allocations: Vec<Allocation>, placements: HashMap<JobId, JobPlacement>) -> Self {
-        let mut index = HashMap::with_capacity(allocations.len());
-        for (i, a) in allocations.iter().enumerate() {
-            index.entry(a.job).or_insert(i);
-        }
-        Schedule {
+        let mut schedule = Schedule {
             allocations,
-            placements,
-            index,
+            placements: placements.into_iter().collect(),
+            index: HashMap::default(),
+        };
+        schedule.rebuild_index();
+        schedule
+    }
+
+    /// Clears all three parts, keeping their capacity.
+    pub fn reset(&mut self) {
+        self.allocations.clear();
+        self.placements.clear();
+        self.index.clear();
+    }
+
+    /// Rebuilds the id → row index after `allocations` changed wholesale.
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        for (i, a) in self.allocations.iter().enumerate() {
+            self.index.entry(a.job).or_insert(i);
         }
     }
 
@@ -103,7 +119,7 @@ impl Schedule {
     }
 
     /// All placements, keyed by job.
-    pub fn placements(&self) -> &HashMap<JobId, JobPlacement> {
+    pub fn placements(&self) -> &PlacementStore {
         &self.placements
     }
 
@@ -117,7 +133,7 @@ impl Schedule {
 
     /// Inserts (or replaces) a job's placement.
     pub fn insert_placement(&mut self, id: JobId, placement: JobPlacement) {
-        self.placements.insert(id, placement);
+        self.placements.insert(id, &placement);
     }
 
     /// The allocation row for a job, if any (O(1)).
@@ -126,13 +142,13 @@ impl Schedule {
     }
 
     /// The placement for a job, if it was placed.
-    pub fn placement_for(&self, id: JobId) -> Option<&JobPlacement> {
-        self.placements.get(&id)
+    pub fn placement_for(&self, id: JobId) -> Option<&[(ServerId, TaskCounts)]> {
+        self.placements.get(id)
     }
 
     /// True when the job both received resources and was placed.
     pub fn is_running(&self, id: JobId) -> bool {
-        self.placements.contains_key(&id)
+        self.placements.contains(id)
             && self
                 .allocation_for(id)
                 .is_some_and(|a| a.ps > 0 && a.workers > 0)
@@ -141,10 +157,33 @@ impl Schedule {
     /// Total tasks (PS + workers) placed.
     pub fn total_tasks(&self) -> u64 {
         self.placements
-            .values()
-            .flat_map(|p| p.iter())
+            .iter()
+            .flat_map(|(_, p)| p.iter())
             .map(|(_, c)| (c.ps + c.workers) as u64)
             .sum()
+    }
+
+    /// Total reserved capacity, for growth detection.
+    fn footprint(&self) -> usize {
+        self.allocations.capacity() + self.placements.footprint() + self.index.capacity()
+    }
+}
+
+/// Persistent per-round working state: the allocator's lazy heap,
+/// prediction caches and generation stamps plus the placer's free-index
+/// and packing buffers. Owned by the driver (the simulator keeps one for
+/// its lifetime) and handed to [`Scheduler::schedule_into`] every round,
+/// so steady-state rounds run without heap allocation.
+#[derive(Debug, Default)]
+pub struct RoundScratch {
+    pub(crate) alloc: AllocScratch,
+    pub(crate) place: PlaceScratch,
+}
+
+impl RoundScratch {
+    /// Total reserved capacity, for growth detection.
+    fn footprint(&self) -> usize {
+        self.alloc.footprint() + self.place.footprint()
     }
 }
 
@@ -155,6 +194,20 @@ pub trait Scheduler {
 
     /// Computes allocations and placements for the active jobs.
     fn schedule(&self, jobs: &[JobView], cluster: &Cluster) -> Schedule;
+
+    /// Scratch-reusing variant for the steady-state round loop: writes
+    /// the decision into `out` and may keep working state in `scratch`
+    /// between rounds. The default delegates to [`Self::schedule`];
+    /// [`CompositeScheduler`] overrides it to reuse every buffer.
+    fn schedule_into(
+        &self,
+        jobs: &[JobView],
+        cluster: &Cluster,
+        _scratch: &mut RoundScratch,
+        out: &mut Schedule,
+    ) {
+        *out = self.schedule(jobs, cluster);
+    }
 }
 
 /// An allocator glued to a placer.
@@ -199,13 +252,49 @@ impl Scheduler for CompositeScheduler {
     }
 
     fn schedule(&self, jobs: &[JobView], cluster: &Cluster) -> Schedule {
+        let mut out = Schedule::default();
+        self.schedule_into(jobs, cluster, &mut RoundScratch::default(), &mut out);
+        out
+    }
+
+    /// The allocation-free steady-state path: allocator and placer write
+    /// straight into `out`'s buffers through their `*_into` hooks. When
+    /// telemetry is enabled, a round that had to grow any scratch or
+    /// schedule buffer (a cold round) bumps `sched.round_allocs`; warm
+    /// rounds leave the counter untouched.
+    fn schedule_into(
+        &self,
+        jobs: &[JobView],
+        cluster: &Cluster,
+        scratch: &mut RoundScratch,
+        out: &mut Schedule,
+    ) {
         let _span = self
             .tel
             .is_enabled()
             .then(|| self.tel.span("sched.decision"));
-        let allocations = self.allocator.allocate(jobs, cluster);
-        let placements = self.placer.place(&allocations, jobs, cluster);
-        Schedule::new(allocations, placements)
+        // Footprints feed only the cold-round counter; skip the buffer
+        // walk entirely when telemetry is off.
+        let footprint = self
+            .tel
+            .is_enabled()
+            .then(|| scratch.footprint() + out.footprint());
+        out.reset();
+        self.allocator
+            .allocate_into(jobs, cluster, &mut scratch.alloc, &mut out.allocations);
+        out.rebuild_index();
+        self.placer.place_into(
+            &out.allocations,
+            jobs,
+            cluster,
+            &mut scratch.place,
+            &mut out.placements,
+        );
+        if let Some(before) = footprint {
+            if scratch.footprint() + out.footprint() != before {
+                self.tel.add("sched.round_allocs", 1);
+            }
+        }
     }
 }
 

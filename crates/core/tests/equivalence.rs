@@ -155,4 +155,80 @@ proptest! {
             .allocate(&jobs, &cluster);
         prop_assert_eq!(&fast, &reference);
     }
+
+    /// Permuting the job slice never changes what any job is granted:
+    /// both the starter loop and the heap tie-break key on the job id,
+    /// never on slice position. The optimized allocator on a shuffled
+    /// slice must agree per-id with the reference on the original
+    /// order (and with itself).
+    #[test]
+    fn permuting_job_order_never_changes_allocations(
+        servers in prop::collection::vec((0u32..240, 0u32..360, 0u32..16), 3..16),
+        seeds in prop::collection::vec(
+            ((0usize..6, 0u64..100_000, 0u32..100, 1u32..10), (0u32..40, 0u32..64, 0u32..8)),
+            2..12,
+        ),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let cluster = make_cluster(&servers);
+        let jobs: Vec<JobView> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| make_job(i as u64, s))
+            .collect();
+
+        // Seeded Fisher–Yates so every case is reproducible.
+        let mut shuffled = jobs.clone();
+        let mut state = shuffle_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+
+        let by_id = |mut rows: Vec<Allocation>| {
+            rows.sort_unstable_by_key(|a| a.job);
+            rows
+        };
+        let reference = by_id(ReferenceOptimusAllocator::default().allocate(&jobs, &cluster));
+        let fast_orig = by_id(OptimusAllocator::default().allocate(&jobs, &cluster));
+        let fast_perm = by_id(OptimusAllocator::default().allocate(&shuffled, &cluster));
+        let ref_perm = by_id(ReferenceOptimusAllocator::default().allocate(&shuffled, &cluster));
+        prop_assert_eq!(&fast_orig, &reference, "optimized diverges from reference");
+        prop_assert_eq!(&fast_perm, &reference, "optimized is order-sensitive");
+        prop_assert_eq!(&ref_perm, &reference, "reference is order-sensitive");
+    }
+
+    /// Reusing one `RoundScratch` + `Schedule` across rounds with
+    /// *different* inputs matches a fresh `schedule()` every time — no
+    /// state leaks between rounds.
+    #[test]
+    fn warm_scratch_rounds_match_fresh_schedules(
+        servers in prop::collection::vec((0u32..240, 0u32..360, 0u32..16), 3..16),
+        seeds in prop::collection::vec(
+            ((0usize..6, 0u64..100_000, 0u32..100, 1u32..10), (0u32..40, 0u32..64, 0u32..8)),
+            2..12,
+        ),
+    ) {
+        let cluster = make_cluster(&servers);
+        let jobs: Vec<JobView> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| make_job(i as u64, s))
+            .collect();
+        let scheduler = OptimusScheduler::build();
+        let mut scratch = RoundScratch::default();
+        let mut out = Schedule::new(Vec::new(), std::collections::HashMap::new());
+        // Three rounds over shrinking suffixes of the job list — each
+        // round reuses the scratch sized by the previous one.
+        for start in [0usize, jobs.len() / 2, jobs.len() - 1] {
+            let round_jobs = &jobs[start..];
+            scheduler.schedule_into(round_jobs, &cluster, &mut scratch, &mut out);
+            let fresh = scheduler.schedule(round_jobs, &cluster);
+            prop_assert_eq!(out.allocations(), fresh.allocations());
+            prop_assert_eq!(out.placements(), fresh.placements());
+        }
+    }
 }

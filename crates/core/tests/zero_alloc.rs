@@ -1,0 +1,120 @@
+//! Proof that a warm steady-state scheduling round performs **zero**
+//! heap allocations.
+//!
+//! A `#[global_allocator]` shim counts every `alloc`/`realloc`/
+//! `alloc_zeroed` and forwards to the system allocator. The test warms
+//! a persistent [`RoundScratch`] + [`Schedule`] with two identical
+//! rounds (the first sizes every buffer, the second proves the sizes
+//! are stable), then asserts the third round touches the allocator
+//! exactly zero times.
+//!
+//! Scope: this measures the *scheduling decision*
+//! ([`Scheduler::schedule_into`] with a disabled telemetry handle) —
+//! the path `bench_sched` times and the simulator runs every interval.
+//! A full simulator tick additionally rebuilds `JobView`s (cloning
+//! speed models) and rolls RNG-driven event state, which allocate by
+//! design and are not part of the steady-state round contract.
+//!
+//! The file intentionally holds a single test: the counter is global,
+//! and a sibling test running concurrently would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use optimus_cluster::{Cluster, ResourceVec};
+use optimus_core::prelude::*;
+use optimus_ps::PsJobModel;
+use optimus_workload::{JobId, ModelKind, TrainingMode};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A moderately busy fixture: 24 heterogeneous jobs on a 40-server
+/// cluster, enough to exercise the heap, the placer's k-probe loop and
+/// the shrink-on-unplaceable path.
+fn fixture() -> (Vec<JobView>, Cluster) {
+    let kinds = [ModelKind::ResNet50, ModelKind::CnnRand, ModelKind::Seq2Seq];
+    let modes = [TrainingMode::Synchronous, TrainingMode::Asynchronous];
+    let mut jobs = Vec::new();
+    for i in 0..24u64 {
+        let kind = kinds[i as usize % kinds.len()];
+        let mode = modes[i as usize % modes.len()];
+        let profile = kind.profile();
+        let truth = PsJobModel::new(profile, mode);
+        let mut speed = SpeedModel::new(mode, profile.batch_size as f64);
+        for (p, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4)] {
+            speed.record(p, w, truth.speed(p, w));
+        }
+        speed.refit().expect("profiled");
+        jobs.push(JobView {
+            id: JobId(i),
+            worker_profile: ResourceVec::new(1.0 + (i % 4) as f64 * 0.25, 0.0, 2.0, 0.25),
+            ps_profile: ResourceVec::new(1.0, 0.0, 2.0 + (i % 3) as f64 * 0.5, 0.5),
+            remaining_work: 500.0 + i as f64 * 37.0,
+            speed,
+            progress: (i % 10) as f64 / 10.0,
+            requested_units: 1 + (i % 5) as u32,
+        });
+    }
+    let caps: Vec<(ResourceVec, &str)> = (0..40)
+        .map(|s| {
+            (
+                ResourceVec::new(8.0 + (s % 3) as f64, 0.0, 16.0 + (s % 5) as f64, 2.0),
+                "zero-alloc",
+            )
+        })
+        .collect();
+    (jobs, Cluster::from_capacities(&caps))
+}
+
+#[test]
+fn warm_steady_state_round_allocates_nothing() {
+    let (jobs, cluster) = fixture();
+    let scheduler = OptimusScheduler::build();
+    let mut scratch = RoundScratch::default();
+    let mut out = Schedule::new(Vec::new(), HashMap::new());
+
+    // Round 1 sizes every buffer; round 2 proves the sizes are stable.
+    scheduler.schedule_into(&jobs, &cluster, &mut scratch, &mut out);
+    let warm = out.allocations().to_vec();
+    scheduler.schedule_into(&jobs, &cluster, &mut scratch, &mut out);
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    scheduler.schedule_into(&jobs, &cluster, &mut scratch, &mut out);
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "a warm steady-state round must not touch the heap"
+    );
+    // The warm round still produced the real answer.
+    assert_eq!(out.allocations(), &warm[..]);
+    assert!(out.allocations().iter().any(|a| a.workers > 0));
+}

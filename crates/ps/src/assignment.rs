@@ -178,35 +178,69 @@ impl PsAssignment {
 
     /// Parameters per shard.
     pub fn shard_sizes(&self) -> Vec<u64> {
-        self.shards
-            .iter()
-            .map(|s| s.iter().map(|b| b.size).sum())
-            .collect()
+        let mut out = Vec::new();
+        self.shard_sizes_into(&mut out);
+        out
+    }
+
+    /// Fills `out` with the parameters per shard, reusing its capacity.
+    pub fn shard_sizes_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(
+            self.shards
+                .iter()
+                .map(|s| s.iter().map(|b| b.size).sum::<u64>()),
+        );
     }
 
     /// Update requests per shard (one per placed block or slice, §5.3).
     pub fn shard_requests(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.len()).collect()
+        let mut out = Vec::new();
+        self.shard_requests_into(&mut out);
+        out
     }
 
-    /// The Table-3 imbalance metrics of this assignment.
+    /// Fills `out` with the update requests per shard, reusing its
+    /// capacity.
+    pub fn shard_requests_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.shards.iter().map(|s| s.len()));
+    }
+
+    /// The Table-3 imbalance metrics of this assignment, computed in a
+    /// single pass over the shards (no temporary size/request vectors:
+    /// this sits on the step-time hot path via the §5.3 imbalance
+    /// factor).
     pub fn stats(&self) -> AssignmentStats {
-        let sizes = self.shard_sizes();
-        let requests = self.shard_requests();
-        let total: u64 = sizes.iter().sum();
-        let max_size = sizes.iter().cloned().max().unwrap_or(0);
-        let min_size = sizes.iter().cloned().min().unwrap_or(0);
-        let max_req = requests.iter().cloned().max().unwrap_or(0);
-        let min_req = requests.iter().cloned().min().unwrap_or(0);
-        let mean = if sizes.is_empty() {
+        let mut total: u64 = 0;
+        let mut total_requests: usize = 0;
+        let mut max_size: u64 = 0;
+        let mut min_size: u64 = u64::MAX;
+        let mut max_req: usize = 0;
+        let mut min_req: usize = usize::MAX;
+        for shard in &self.shards {
+            let size: u64 = shard.iter().map(|b| b.size).sum();
+            let requests = shard.len();
+            total += size;
+            total_requests += requests;
+            max_size = max_size.max(size);
+            min_size = min_size.min(size);
+            max_req = max_req.max(requests);
+            min_req = min_req.min(requests);
+        }
+        if self.shards.is_empty() {
+            min_size = 0;
+            min_req = 0;
+        }
+        let mean = if self.shards.is_empty() {
             0.0
         } else {
-            total as f64 / sizes.len() as f64
+            total as f64 / self.shards.len() as f64
         };
         AssignmentStats {
             size_difference: max_size - min_size,
             request_difference: max_req - min_req,
-            total_requests: requests.iter().sum(),
+            total_requests,
             imbalance_factor: if mean > 0.0 {
                 max_size as f64 / mean
             } else {

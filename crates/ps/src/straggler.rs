@@ -172,14 +172,21 @@ impl StragglerMonitor {
     /// workers report a large-but-finite factor (they contribute ~0
     /// async rate and would gate a sync step like a dead worker).
     pub fn slowdown_factors(&self) -> Vec<f64> {
-        self.workers
-            .iter()
-            .map(|w| match w {
-                WorkerState::Healthy => 1.0,
-                WorkerState::Straggling { slowdown } => *slowdown,
-                WorkerState::Replacing { .. } => 1e6,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.slowdown_factors_into(&mut out);
+        out
+    }
+
+    /// Fills `out` with the current per-worker slowdown factors,
+    /// reusing its capacity — the simulator calls this every tick for
+    /// every running job, so steady-state ticks must not allocate.
+    pub fn slowdown_factors_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.workers.iter().map(|w| match w {
+            WorkerState::Healthy => 1.0,
+            WorkerState::Straggling { slowdown } => *slowdown,
+            WorkerState::Replacing { .. } => 1e6,
+        }));
     }
 
     /// Injects a straggler explicitly (tests, fault-injection benches).

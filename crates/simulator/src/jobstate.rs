@@ -75,6 +75,10 @@ pub struct SimJob {
     pub interval_active_s: f64,
     /// Fig-15 error-injection signs drawn for this job.
     pub inject_signs: (bool, bool),
+    /// Memoized §5.3 imbalance factors keyed by `(ps, use_paa)`: the
+    /// parameter-block split is fixed at submission, so the factor for
+    /// a given shard count never changes over the job's lifetime.
+    pub imbalance_cache: Vec<(u32, bool, f64)>,
 }
 
 impl SimJob {
@@ -116,6 +120,7 @@ impl SimJob {
             interval_steps_start: 0.0,
             interval_active_s: 0.0,
             inject_signs: (true, true),
+            imbalance_cache: Vec::new(),
             spec,
         }
     }
@@ -166,6 +171,24 @@ impl SimJob {
             PsAssignment::mxnet_default(&blocks, p, seed).stats()
         };
         stats.imbalance_factor
+    }
+
+    /// Memoizing wrapper around [`SimJob::imbalance_for`]: the blocks
+    /// are fixed at submission, so each `(p, use_paa)` pair is priced
+    /// once per job lifetime instead of re-running the shard assignment
+    /// on every rescale. `seed` is the sim-wide RNG seed and is assumed
+    /// constant across calls within one run.
+    pub fn imbalance_cached(&mut self, p: u32, use_paa: bool, seed: u64) -> f64 {
+        if let Some(hit) = self
+            .imbalance_cache
+            .iter()
+            .find(|e| e.0 == p && e.1 == use_paa)
+        {
+            return hit.2;
+        }
+        let factor = self.imbalance_for(p, use_paa, seed);
+        self.imbalance_cache.push((p, use_paa, factor));
+        factor
     }
 
     /// Average observed speed since the last interval boundary, if the

@@ -5,7 +5,7 @@ use crate::inject::ErrorInjection;
 use crate::jobstate::{JobStatus, SimJob};
 use crate::metrics::{FidelityPoint, SimReport, TimePoint};
 use optimus_cluster::{Cluster, ResourceKind};
-use optimus_core::{JobView, Scheduler};
+use optimus_core::{JobView, RoundScratch, Schedule, Scheduler};
 use optimus_ps::contention::{oversubscription_factors, JobTraffic};
 use optimus_ps::transfer::transfer_stretch;
 use optimus_ps::{StragglerPolicy, TaskCounts};
@@ -180,6 +180,11 @@ pub struct Simulation {
     events: EventLog,
     failed_servers: Vec<optimus_cluster::ServerId>,
     fidelity: Vec<FidelityPoint>,
+    /// Persistent scheduling scratch: heap storage, prediction caches,
+    /// placement index and schedule buffers reused across rounds, so
+    /// steady-state decisions allocate nothing.
+    scratch: RoundScratch,
+    schedule_buf: Schedule,
 }
 
 impl Simulation {
@@ -216,6 +221,8 @@ impl Simulation {
             events: EventLog::default(),
             failed_servers: Vec::new(),
             fidelity: Vec::new(),
+            scratch: RoundScratch::default(),
+            schedule_buf: Schedule::default(),
         }
     }
 
@@ -350,7 +357,11 @@ impl Simulation {
                             });
                         }
                     }
-                    self.jobs[i].env.worker_slowdown = self.jobs[i].stragglers.slowdown_factors();
+                    {
+                        let job = &mut self.jobs[i];
+                        job.stragglers
+                            .slowdown_factors_into(&mut job.env.worker_slowdown);
+                    }
 
                     let truth = self.jobs[i].truth();
                     truth.speed_with(self.jobs[i].ps, self.jobs[i].workers, &self.jobs[i].env)
@@ -770,7 +781,11 @@ impl Simulation {
             job.interval_steps_start = job.steps_done;
             job.interval_active_s = 0.0;
         }
-        let schedule = self.scheduler.schedule(&views, &fresh);
+        // Reuse the round scratch and schedule buffers across rounds:
+        // once warm, the whole decision runs without heap allocation.
+        let mut schedule = std::mem::take(&mut self.schedule_buf);
+        self.scheduler
+            .schedule_into(&views, &fresh, &mut self.scratch, &mut schedule);
 
         // 5. Apply.
         for (&i, view) in view_index.iter().zip(views.iter()) {
@@ -825,7 +840,7 @@ impl Simulation {
                 job.first_run_time = Some(t);
             }
             job.placement = match placement {
-                Some(p) => p.clone(),
+                Some(p) => p.to_vec(),
                 None => Vec::new(),
             };
             job.status = if new_ps > 0 && new_w > 0 {
@@ -845,8 +860,9 @@ impl Simulation {
                     optimus_ps::steptime::DEFAULT_PS_BANDWIDTH,
                 );
                 let use_paa = cfg.assignment == AssignmentPolicy::Paa;
-                job.env.imbalance = job.imbalance_for(new_ps, use_paa, cfg.seed);
-                job.env.worker_slowdown = job.stragglers.slowdown_factors();
+                job.env.imbalance = job.imbalance_cached(new_ps, use_paa, cfg.seed);
+                job.stragglers
+                    .slowdown_factors_into(&mut job.env.worker_slowdown);
             }
             job.interval_steps_start = job.steps_done;
             job.interval_active_s = 0.0;
@@ -890,6 +906,8 @@ impl Simulation {
                 );
             }
         }
+
+        self.schedule_buf = schedule;
 
         if cfg.nic_contention {
             self.apply_nic_contention();

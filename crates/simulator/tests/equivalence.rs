@@ -10,6 +10,7 @@
 
 use optimus_cluster::{Cluster, ServerId};
 use optimus_core::prelude::*;
+use optimus_core::reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
 use optimus_ps::StragglerPolicy;
 use optimus_simulator::{SimConfig, Simulation};
 use optimus_telemetry::Telemetry;
@@ -121,6 +122,34 @@ fn fast_forward_is_byte_identical_when_the_cap_strands_jobs() {
     cfg.max_time_s = 5_000.0;
     cfg.server_failures = (0..13).map(|i| (300.0, ServerId(i))).collect();
     assert_fast_matches_reference(&cfg, OptimusScheduler::build, 2, "stranded");
+}
+
+/// The reference §4.1/§4.2 implementations driving a whole simulation
+/// must be indistinguishable from the optimized lazy-heap scheduler:
+/// same events at the same timestamps, same report, byte for byte.
+/// This pins the PR-4 tie-break change — both sides key candidates on
+/// (gain, job id), so the heap order and the naive argmax agree even
+/// through multi-round sim dynamics (rescales, pauses, completions).
+#[test]
+fn reference_scheduler_simulation_is_byte_identical() {
+    fn build_reference() -> CompositeScheduler {
+        CompositeScheduler::new(
+            "Optimus",
+            Box::new(ReferenceOptimusAllocator::default()),
+            Box::new(ReferenceOptimusPlacer),
+        )
+    }
+    let cfg = base_config();
+    let optimized = run_serialized(cfg.clone(), OptimusScheduler::build, 4);
+    let reference = run_serialized(cfg, build_reference, 4);
+    assert_eq!(
+        optimized.0, reference.0,
+        "event log diverged between optimized and reference schedulers"
+    );
+    assert_eq!(
+        optimized.1, reference.1,
+        "report diverged between optimized and reference schedulers"
+    );
 }
 
 #[test]

@@ -10,7 +10,12 @@
 //!   forming a monotonic per-run span tree;
 //! * **Metrics** — named counters, gauges and fixed-bucket histograms
 //!   (e.g. `alloc.marginal_gain_evals`, `nnls.iterations`,
-//!   `sim.round_wall_us`), via the [`metrics`] registry;
+//!   `sim.round_wall_us`), via the [`metrics`] registry. The lazy-heap
+//!   allocator additionally reports `alloc.heap_pops` (total candidate
+//!   pops) and `alloc.stale_skips` (pops discarded by the
+//!   generation-stamp check), and the composite scheduler reports
+//!   `sched.round_allocs` (rounds that grew any reusable scratch
+//!   buffer — zero once the steady state is warm);
 //! * **Decision traces** — typed records of *why* the scheduler did what
 //!   it did ([`trace::TraceEvent`]): which marginal gain won a task,
 //!   what layout a job was placed with, which coefficients a

@@ -54,7 +54,14 @@ impl Span {
             tel,
             id,
             parent,
-            name: name.to_string(),
+            // Only an enabled handle records the span on drop; skip the
+            // name copy on disabled handles so hot paths stay
+            // allocation-free (`String::new` does not allocate).
+            name: if id.is_some() {
+                name.to_string()
+            } else {
+                String::new()
+            },
             start_us,
         }
     }

@@ -28,6 +28,14 @@ bench-sched:
 bench-fit:
     cargo run --release -p optimus-bench --bin bench_fit -- --out BENCH_fit.json
 
+# Allocator smoke: one steady-state bench sample per scalability point,
+# cross-checked against the naive reference scheduler (non-zero exit on
+# any divergent allocation or placement), plus the zero-allocation
+# steady-state-round proof.
+bench-alloc:
+    cargo run --release -p optimus-bench --bin bench_sched -- --samples 1 --verify
+    cargo test --release -p optimus-core --test zero_alloc
+
 # Prove the optimized paths byte-identical to the naive reference
 # implementations (property-based): allocator/placer, the incremental
 # warm-started convergence fitter, and the event-skipping simulator.
@@ -38,7 +46,7 @@ equivalence:
 
 # Everything CI would run: lint + build + tests, the optimized-vs-
 # reference equivalence proptests, and 1-sample bench smoke runs (keeps
-# the timing harnesses compiling and executable without recording noise).
-ci: lint build test equivalence
-    cargo run --release -p optimus-bench --bin bench_sched -- --samples 1
+# the timing harnesses compiling and executable without recording noise;
+# bench-alloc also cross-checks decisions against the reference).
+ci: lint build test equivalence bench-alloc
     cargo run --release -p optimus-bench --bin bench_fit -- --samples 1
