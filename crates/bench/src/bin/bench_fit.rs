@@ -145,7 +145,7 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "bench_fit — per-interval convergence-refit timing trajectory\n\n\
-             USAGE: bench_fit [--samples N] [--label STR] [--out FILE]"
+             USAGE: bench_fit [--samples N] [--label STR] [--out FILE] [--ledger DIR]"
         );
         return ExitCode::SUCCESS;
     }
@@ -193,14 +193,15 @@ fn main() -> ExitCode {
         });
     }
 
+    let entry = BenchEntry {
+        label: label.clone(),
+        source: "bench_fit",
+        samples,
+        interval_samples: INTERVAL_SAMPLES,
+        points,
+    };
+
     if let Some(path) = out {
-        let entry = BenchEntry {
-            label: label.clone(),
-            source: "bench_fit",
-            samples,
-            interval_samples: INTERVAL_SAMPLES,
-            points,
-        };
         let mut entries: Vec<serde_json::Value> = match std::fs::read_to_string(&path) {
             Ok(text) => match serde_json::from_str(&text) {
                 Ok(serde_json::Value::Array(v)) => v,
@@ -223,6 +224,43 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("\nappended entry '{label}' to {path}");
+    }
+
+    if let Some(dir) = arg_value(&args, "--ledger") {
+        use optimus_telemetry::ledger::RunLedger;
+        use serde_json::Value;
+        let config = Value::Object(vec![
+            ("samples".into(), Value::Num(samples as f64)),
+            (
+                "interval_samples".into(),
+                Value::Num(INTERVAL_SAMPLES as f64),
+            ),
+            (
+                "points".into(),
+                Value::Array(
+                    POINTS
+                        .iter()
+                        .map(|&(j, h)| {
+                            Value::Array(vec![Value::Num(j as f64), Value::Num(h as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut ledger = RunLedger::new("bench_fit", &label)
+            .threads(optimus_bench::available_threads())
+            .config(config);
+        ledger.add_artifact(
+            "entry.json",
+            serde_json::to_string_pretty(&entry).expect("entry serializes") + "\n",
+        );
+        match ledger.write(std::path::Path::new(&dir)) {
+            Ok(path) => println!("run ledger written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

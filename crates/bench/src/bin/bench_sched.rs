@@ -93,7 +93,8 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "bench_sched — scheduling-decision timing trajectory\n\n\
-             USAGE: bench_sched [--samples N] [--label STR] [--out FILE] [--verify]"
+             USAGE: bench_sched [--samples N] [--label STR] [--out FILE] [--verify]\n\
+             \x20                 [--ledger DIR]"
         );
         return ExitCode::SUCCESS;
     }
@@ -168,13 +169,14 @@ fn main() -> ExitCode {
         });
     }
 
+    let entry = BenchEntry {
+        label: label.clone(),
+        source: "bench_sched",
+        samples: samples.max(1),
+        points,
+    };
+
     if let Some(path) = out {
-        let entry = BenchEntry {
-            label: label.clone(),
-            source: "bench_sched",
-            samples: samples.max(1),
-            points,
-        };
         let mut entries: Vec<serde_json::Value> = match std::fs::read_to_string(&path) {
             Ok(text) => match serde_json::from_str(&text) {
                 Ok(serde_json::Value::Array(v)) => v,
@@ -197,6 +199,40 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("\nappended entry '{label}' to {path}");
+    }
+
+    if let Some(dir) = arg_value(&args, "--ledger") {
+        use optimus_telemetry::ledger::RunLedger;
+        use serde_json::Value;
+        let config = Value::Object(vec![
+            ("samples".into(), Value::Num(samples.max(1) as f64)),
+            ("verify".into(), Value::Bool(verify)),
+            (
+                "points".into(),
+                Value::Array(
+                    POINTS
+                        .iter()
+                        .map(|&(j, n)| {
+                            Value::Array(vec![Value::Num(j as f64), Value::Num(n as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut ledger = RunLedger::new("bench_sched", &label)
+            .threads(available_threads())
+            .config(config);
+        ledger.add_artifact(
+            "entry.json",
+            serde_json::to_string_pretty(&entry).expect("entry serializes") + "\n",
+        );
+        match ledger.write(std::path::Path::new(&dir)) {
+            Ok(path) => println!("run ledger written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -330,6 +330,19 @@ impl ConvergenceEstimator {
         })
     }
 
+    /// Steps per epoch the estimator was configured with.
+    pub fn steps_per_epoch(&self) -> u64 {
+        self.steps_per_epoch
+    }
+
+    /// Predicted remaining *epochs* to convergence — the unit the
+    /// estimator-accuracy audit compares against ground truth. `None`
+    /// until a model has been fit.
+    pub fn predicted_remaining_epochs(&self) -> Option<f64> {
+        self.predict()
+            .map(|p| p.remaining_steps as f64 / self.steps_per_epoch as f64)
+    }
+
     /// The fitted model's *raw* loss prediction at an absolute step
     /// (handles the post-restart rebasing and the fitter's internal
     /// normalization). `None` before the first fit.
@@ -525,6 +538,20 @@ mod tests {
             est.record(k + 1, curve.loss_at_step(k as f64 + 1.0, 10));
         }
         assert_eq!(est.restarts(), 0);
+    }
+
+    #[test]
+    fn remaining_epochs_tracks_remaining_steps() {
+        let curve = GroundTruthCurve::new(0.3, 0.1);
+        let spe = 100u64;
+        let mut est = ConvergenceEstimator::new(0.02, spe, 3);
+        assert_eq!(est.steps_per_epoch(), spe);
+        assert!(est.predicted_remaining_epochs().is_none());
+        feed(&mut est, &curve, spe, 500, 11);
+        est.refit().unwrap();
+        let pred = est.predict().unwrap();
+        let epochs = est.predicted_remaining_epochs().unwrap();
+        assert!((epochs - pred.remaining_steps as f64 / spe as f64).abs() < 1e-12);
     }
 
     #[test]

@@ -55,6 +55,16 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     }
 }
 
+/// The JCT-style `(p50, p95, p99)` digest of a sample set, each exact
+/// (linear interpolation, not bucketed); `(0, 0, 0)` for an empty slice.
+pub fn p50_p95_p99(xs: &[f64]) -> (f64, f64, f64) {
+    (
+        percentile(xs, 50.0),
+        percentile(xs, 95.0),
+        percentile(xs, 99.0),
+    )
+}
+
 /// Relative error `|estimate − truth| / |truth|`; `|estimate|` when the
 /// truth is zero.
 pub fn relative_error(estimate: f64, truth: f64) -> f64 {
@@ -102,6 +112,17 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(percentile(&xs, 50.0), 3.0);
         assert!((percentile(&xs, 25.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_digest_matches_percentile() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (p50, p95, p99) = p50_p95_p99(&xs);
+        assert_eq!(p50, percentile(&xs, 50.0));
+        assert_eq!(p95, percentile(&xs, 95.0));
+        assert_eq!(p99, percentile(&xs, 99.0));
+        assert!(p50 < p95 && p95 < p99);
+        assert_eq!(p50_p95_p99(&[]), (0.0, 0.0, 0.0));
     }
 
     #[test]

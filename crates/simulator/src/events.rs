@@ -136,6 +136,27 @@ impl EventLog {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// Serializes only the *schedule stream* — the per-round placement
+    /// decisions ([`SimEventKind::JobScheduled`] / `JobPaused` /
+    /// `ChunksRebalanced`) — as JSON lines. This is the compact artifact
+    /// the run ledger hashes alongside the full event log: two runs
+    /// whose schedule streams hash identically made the same decisions.
+    pub fn schedule_stream_json_lines(&self) -> String {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    SimEventKind::JobScheduled { .. }
+                        | SimEventKind::JobPaused { .. }
+                        | SimEventKind::ChunksRebalanced { .. }
+                )
+            })
+            .map(|e| serde_json::to_string(e).expect("SimEvent serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +240,24 @@ mod tests {
         assert!(lines.contains("\"kind\":\"JobFinished\""));
         assert!(lines.contains("\"kind\":\"StragglerReplaced\""));
         assert!(lines.contains("\"kind\":\"ChunksRebalanced\""));
+    }
+
+    #[test]
+    fn schedule_stream_filters_to_placement_decisions() {
+        let log = sample_log();
+        let stream = log.schedule_stream_json_lines();
+        assert_eq!(stream.lines().count(), 4);
+        for line in stream.lines() {
+            let back: SimEvent = serde_json::from_str(line).expect("parses");
+            assert!(matches!(
+                back.kind,
+                SimEventKind::JobScheduled { .. }
+                    | SimEventKind::JobPaused { .. }
+                    | SimEventKind::ChunksRebalanced { .. }
+            ));
+        }
+        assert!(!stream.contains("JobAdmitted"));
+        assert!(!stream.contains("JobFinished"));
     }
 
     #[test]

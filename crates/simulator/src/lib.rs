@@ -20,12 +20,14 @@
 //! * [`metrics`] records the Fig 13/14 outputs: per-job JCT, makespan,
 //!   running-task counts and normalized CPU utilization over time.
 
+pub mod audit;
 pub mod events;
 pub mod inject;
 pub mod jobstate;
 pub mod metrics;
 pub mod sim;
 
+pub use audit::EstimatorAudit;
 pub use events::{EventLog, SimEvent, SimEventKind};
 pub use inject::ErrorInjection;
 pub use jobstate::{JobStatus, SimJob};

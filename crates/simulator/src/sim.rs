@@ -1,5 +1,6 @@
 //! The discrete-time simulation engine.
 
+use crate::audit::EstimatorAudit;
 use crate::events::{EventLog, SimEventKind};
 use crate::inject::ErrorInjection;
 use crate::jobstate::{JobStatus, SimJob};
@@ -180,6 +181,9 @@ pub struct Simulation {
     events: EventLog,
     failed_servers: Vec<optimus_cluster::ServerId>,
     fidelity: Vec<FidelityPoint>,
+    /// Estimator-accuracy audit state (pending speed predictions,
+    /// rolling calibration); only active on an enabled telemetry handle.
+    audit: EstimatorAudit,
     /// Persistent scheduling scratch: heap storage, prediction caches,
     /// placement index and schedule buffers reused across rounds, so
     /// steady-state decisions allocate nothing.
@@ -212,6 +216,9 @@ impl Simulation {
                 job
             })
             .collect();
+        if tel.is_enabled() {
+            EstimatorAudit::register(&tel);
+        }
         Simulation {
             cluster,
             jobs,
@@ -221,6 +228,7 @@ impl Simulation {
             events: EventLog::default(),
             failed_servers: Vec::new(),
             fidelity: Vec::new(),
+            audit: EstimatorAudit::default(),
             scratch: RoundScratch::default(),
             schedule_buf: Schedule::default(),
         }
@@ -264,7 +272,7 @@ impl Simulation {
             }
             if tick.is_multiple_of(ticks_per_interval) {
                 let started = std::time::Instant::now();
-                self.run_scheduling_round(t);
+                self.run_scheduling_round(t, round + 1);
                 speed_cache.fill(None);
                 round += 1;
                 if tel.is_enabled() {
@@ -560,10 +568,23 @@ impl Simulation {
         next.max(tick + 1)
     }
 
-    /// One §4 scheduling round at time `t`.
-    fn run_scheduling_round(&mut self, t: f64) {
+    /// One §4 scheduling round at time `t` (1-based `round` number, for
+    /// the audit trail).
+    fn run_scheduling_round(&mut self, t: f64, round: u64) {
         let cfg = self.config.clone();
         let tel = cfg.telemetry.clone();
+
+        // 0. Settle the previous round's speed predictions against the
+        // interval's realized speeds, *before* the refits fold the same
+        // observations into the models. Serial, in job order, so the
+        // audit trail is independent of the refit thread count.
+        if tel.is_enabled() {
+            for i in 0..self.jobs.len() {
+                let job = &self.jobs[i];
+                let (id, realized) = (job.spec.id.0, job.observed_interval_speed());
+                self.audit.settle_speed(&tel, round, id, realized);
+            }
+        }
 
         // 1. Admit & profile newly arrived jobs (§3.2 "Model fitting":
         // sample runs on a small dataset before the job starts).
@@ -781,6 +802,17 @@ impl Simulation {
             job.interval_steps_start = job.steps_done;
             job.interval_active_s = 0.0;
         }
+        if tel.is_enabled() {
+            // Pinned jobs keep their configuration without passing
+            // through the apply step, so re-arm their speed audit here.
+            for &i in &pinned {
+                let job = &self.jobs[i];
+                if job.ps > 0 && job.workers > 0 {
+                    let predicted = job.speed_model.predict(job.ps, job.workers);
+                    self.audit.record_speed_prediction(job.spec.id.0, predicted);
+                }
+            }
+        }
         // Reuse the round scratch and schedule buffers across rounds:
         // once warm, the whole decision runs without heap allocation.
         let mut schedule = std::mem::take(&mut self.schedule_buf);
@@ -891,6 +923,26 @@ impl Simulation {
                     job: view.id.0,
                     what,
                 });
+                // Estimator audit: the convergence estimate is checked
+                // against ground truth immediately (both sides are known
+                // now); the speed prediction for the deployed config is
+                // held and settled against the next interval's realized
+                // speed.
+                let spe = job.steps_per_epoch().max(1) as f64;
+                let true_epochs = (job.true_total_steps as f64 - job.steps_done).max(0.0) / spe;
+                let predicted_epochs = job.convergence.predicted_remaining_epochs();
+                let speed_prediction =
+                    (new_ps > 0 && new_w > 0).then(|| job.speed_model.predict(new_ps, new_w));
+                self.audit.sample_convergence(
+                    &tel,
+                    round,
+                    view.id.0,
+                    predicted_epochs,
+                    true_epochs,
+                );
+                if let Some(predicted) = speed_prediction {
+                    self.audit.record_speed_prediction(view.id.0, predicted);
+                }
             }
             if cfg.verbose {
                 eprintln!(
@@ -1460,6 +1512,39 @@ mod tests {
         assert!(counter("nnls.solves") > 0);
         assert!(counter("speed.refits") > 0);
         assert!(counter("paa.rebalance_moves") > 0);
+        // Estimator audit: speed predictions settle against realized
+        // interval speeds, and convergence estimates are checked against
+        // ground truth, at every round.
+        assert!(counter("audit.speed_samples") > 0);
+        assert!(counter("audit.convergence_samples") > 0);
+        for name in ["audit.speed_rel_err", "audit.convergence_rel_err"] {
+            assert!(
+                summary
+                    .histograms
+                    .iter()
+                    .any(|h| h.name == name && h.count > 0),
+                "{name} must collect samples"
+            );
+        }
+        for name in ["audit.speed_calibration", "audit.convergence_calibration"] {
+            let score = summary
+                .gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .expect("calibration gauge set");
+            assert!((0.0..=1.0).contains(&score), "{name} = {score}");
+        }
+        let samples = tel
+            .records()
+            .into_iter()
+            .filter(|r| matches!(r.event, TraceEvent::EstimatorSample { .. }))
+            .count();
+        assert_eq!(
+            samples as u64,
+            counter("audit.speed_samples") + counter("audit.convergence_samples"),
+            "every audited sample lands in the decision trace"
+        );
         assert!(summary.records > 0);
         assert!(summary.spans > 0);
         assert!(summary

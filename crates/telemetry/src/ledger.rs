@@ -1,0 +1,284 @@
+//! The run ledger: versioned, diffable manifests of simulator and
+//! bench runs.
+//!
+//! Every byte-identity argument the perf PRs made ("the fast path
+//! produces the same events") was proven once, in-process, and thrown
+//! away. A [`RunLedger`] makes the proof durable: a run writes its
+//! deterministic output streams (event log, schedule stream, canonical
+//! telemetry trace) as artifacts into a directory, next to a
+//! `manifest.json` that echoes the configuration, seed, scheduler,
+//! thread count and `git describe`, and records a content hash per
+//! artifact. Two runs with the same config hash identically; when they
+//! don't, `optimus-trace diff` walks the artifacts to the first
+//! divergent line.
+//!
+//! The manifest is intentionally generic — the simulator, `bench_sched`
+//! and `bench_fit` all use the same shape with a different `kind` — so
+//! this module lives at the bottom of the workspace, in the telemetry
+//! crate, where every binary can reach it.
+
+use crate::metrics::TelemetrySummary;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Version of the manifest file format. Bump on incompatible changes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The manifest file's name inside a run directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// 64-bit FNV-1a. Not cryptographic — it fingerprints artifacts for
+/// equality checks, where a stable, dependency-free hash is what
+/// matters (the build is offline; no hashing crate is available).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The content hash the ledger records, e.g.
+/// `"fnv1a64:af63bd4c8601b7df"`. The algorithm prefix keeps the format
+/// honest if the hash ever changes.
+pub fn content_hash(text: &str) -> String {
+    format!("fnv1a64:{:016x}", fnv1a64(text.as_bytes()))
+}
+
+/// `git describe --always --dirty --tags` of the working tree, if git
+/// is available and the directory is a repository. `None` otherwise —
+/// a manifest without provenance is still a manifest.
+pub fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    (!s.is_empty()).then(|| s.to_string())
+}
+
+/// One artifact the run wrote next to its manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactRecord {
+    /// File name inside the run directory (e.g. `events.jsonl`).
+    pub name: String,
+    /// [`content_hash`] of the file's bytes.
+    pub hash: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Number of lines (JSONL artifacts; 0-terminated count otherwise).
+    pub lines: u64,
+}
+
+/// The `manifest.json` of one recorded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest format version ([`MANIFEST_VERSION`]).
+    pub manifest_version: u32,
+    /// Trace schema version the artifacts were written with
+    /// ([`crate::trace::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// What produced the run: `"sim"`, `"bench_sched"`, `"bench_fit"`.
+    pub kind: String,
+    /// Free-form label (defaults to the kind).
+    pub label: String,
+    /// Scheduler variant under test (empty for pure bench runs).
+    pub scheduler: String,
+    /// RNG seed the run was configured with.
+    pub seed: u64,
+    /// Worker threads the run resolved to (refits / sweep fan-out).
+    pub threads: usize,
+    /// `git describe` of the producing tree, when available.
+    pub git: Option<String>,
+    /// Echo of the run's configuration, as free-form JSON.
+    pub config: serde_json::Value,
+    /// The artifacts written next to this manifest, name-ordered.
+    pub artifacts: Vec<ArtifactRecord>,
+    /// Final telemetry snapshot (includes the estimator-audit
+    /// histograms), when the run collected one. Informational only —
+    /// it may contain wall-clock metrics and is *not* hashed.
+    pub summary: Option<TelemetrySummary>,
+}
+
+impl RunManifest {
+    /// Reads and parses `dir/manifest.json`.
+    pub fn load(dir: &Path) -> Result<RunManifest, String> {
+        let path = dir.join(MANIFEST_FILE);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let manifest: RunManifest =
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if manifest.manifest_version > MANIFEST_VERSION {
+            return Err(format!(
+                "{}: manifest version {} is newer than this build supports ({})",
+                path.display(),
+                manifest.manifest_version,
+                MANIFEST_VERSION
+            ));
+        }
+        Ok(manifest)
+    }
+
+    /// The record for a named artifact, if the run wrote it.
+    pub fn artifact(&self, name: &str) -> Option<&ArtifactRecord> {
+        self.artifacts.iter().find(|a| a.name == name)
+    }
+}
+
+/// A run manifest plus the artifact bodies, ready to write.
+#[derive(Debug, Clone)]
+pub struct RunLedger {
+    /// The manifest under construction.
+    pub manifest: RunManifest,
+    contents: Vec<(String, String)>,
+}
+
+impl RunLedger {
+    /// Starts a ledger for a run of the given kind. `git` provenance is
+    /// captured eagerly; everything else defaults to empty.
+    pub fn new(kind: &str, label: &str) -> RunLedger {
+        RunLedger {
+            manifest: RunManifest {
+                manifest_version: MANIFEST_VERSION,
+                schema_version: crate::trace::SCHEMA_VERSION,
+                kind: kind.to_string(),
+                label: label.to_string(),
+                scheduler: String::new(),
+                seed: 0,
+                threads: 0,
+                git: git_describe(),
+                config: serde_json::Value::Null,
+                artifacts: Vec::new(),
+                summary: None,
+            },
+            contents: Vec::new(),
+        }
+    }
+
+    /// Sets the scheduler variant.
+    pub fn scheduler(mut self, scheduler: &str) -> Self {
+        self.manifest.scheduler = scheduler.to_string();
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.manifest.seed = seed;
+        self
+    }
+
+    /// Sets the resolved worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.manifest.threads = threads;
+        self
+    }
+
+    /// Sets the configuration echo.
+    pub fn config(mut self, config: serde_json::Value) -> Self {
+        self.manifest.config = config;
+        self
+    }
+
+    /// Attaches the final telemetry snapshot.
+    pub fn summary(mut self, summary: TelemetrySummary) -> Self {
+        self.manifest.summary = Some(summary);
+        self
+    }
+
+    /// Adds an artifact: its bytes are hashed now and written next to
+    /// the manifest by [`RunLedger::write`]. Artifact contents must be
+    /// deterministic for a given config — that is the whole point.
+    pub fn add_artifact(&mut self, name: &str, contents: String) {
+        self.manifest.artifacts.push(ArtifactRecord {
+            name: name.to_string(),
+            hash: content_hash(&contents),
+            bytes: contents.len() as u64,
+            lines: contents.lines().count() as u64,
+        });
+        self.contents.push((name.to_string(), contents));
+    }
+
+    /// Writes the manifest and every artifact into `dir` (created if
+    /// missing). Returns the manifest path.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        for (name, contents) in &self.contents {
+            std::fs::write(dir.join(name), contents)?;
+        }
+        let path = dir.join(MANIFEST_FILE);
+        let json = serde_json::to_string_pretty(&self.manifest).expect("run manifest serializes");
+        std::fs::write(&path, json + "\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_prefixed() {
+        let h = content_hash("hello\n");
+        assert!(h.starts_with("fnv1a64:"));
+        assert_eq!(h, content_hash("hello\n"));
+        assert_ne!(h, content_hash("hello"));
+    }
+
+    #[test]
+    fn ledger_roundtrips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "optimus-ledger-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut ledger = RunLedger::new("sim", "unit-test")
+            .scheduler("optimus")
+            .seed(17)
+            .threads(4)
+            .config(serde_json::Value::Object(vec![(
+                "jobs".to_string(),
+                serde_json::Value::Num(3.0),
+            )]));
+        ledger.add_artifact("events.jsonl", "{\"t\":0.0}\n{\"t\":1.0}\n".to_string());
+        let path = ledger.write(&dir).expect("writes");
+        assert!(path.ends_with(MANIFEST_FILE));
+
+        let loaded = RunManifest::load(&dir).expect("loads");
+        assert_eq!(loaded, ledger.manifest);
+        let art = loaded.artifact("events.jsonl").expect("recorded");
+        assert_eq!(art.lines, 2);
+        let body = std::fs::read_to_string(dir.join("events.jsonl")).expect("artifact on disk");
+        assert_eq!(content_hash(&body), art.hash);
+
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn artifact_hashes_detect_any_byte_change() {
+        let mut a = RunLedger::new("sim", "a");
+        a.add_artifact("x.jsonl", "line one\n".into());
+        let mut b = RunLedger::new("sim", "b");
+        b.add_artifact("x.jsonl", "line two\n".into());
+        assert_ne!(
+            a.manifest.artifact("x.jsonl").unwrap().hash,
+            b.manifest.artifact("x.jsonl").unwrap().hash
+        );
+    }
+}

@@ -47,13 +47,15 @@
 //! assert!(jsonl.contains("alloc.rounds"));
 //! ```
 
+pub mod ledger;
 pub mod metrics;
 pub mod span;
 pub mod trace;
 
+pub use ledger::{RunLedger, RunManifest};
 pub use metrics::{HistogramSummary, TelemetrySummary};
 pub use span::{Span, SpanRecord};
-pub use trace::{TraceEvent, TraceLine, TraceRecord};
+pub use trace::{TraceEvent, TraceLine, TraceRecord, SCHEMA_VERSION};
 
 use metrics::Histogram;
 use std::collections::BTreeMap;
@@ -234,6 +236,21 @@ impl Telemetry {
     /// Writes [`Telemetry::to_json_lines`] to a file.
     pub fn write_json_lines(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_json_lines())
+    }
+
+    /// Serializes the *canonical* trace as JSON lines: everything
+    /// wall-clock-dependent is stripped ([`trace::canonical_lines`]),
+    /// so two identical-config runs produce identical bytes. This is
+    /// the stream the run ledger hashes and `optimus-trace diff`
+    /// compares.
+    pub fn to_canonical_json_lines(&self) -> String {
+        let lines = self.with_state(trace::snapshot_lines).unwrap_or_default();
+        let mut out = String::new();
+        for line in &trace::canonical_lines(&lines) {
+            out.push_str(&serde_json::to_string(line).expect("trace line serializes"));
+            out.push('\n');
+        }
+        out
     }
 
     /// Serializes spans and decision records as a Chrome `trace_event`

@@ -37,6 +37,19 @@ pub fn default_buckets() -> Vec<f64> {
     bounds
 }
 
+/// Bucket bounds for *signed* relative errors: a symmetric log ladder
+/// from ±1 % to ±5, with 0 separating under- from over-prediction.
+/// Values beyond ±5 land in the first/overflow buckets, which the
+/// [`HistogramSummary::overflow`] count makes visible.
+pub fn signed_error_buckets() -> Vec<f64> {
+    let ladder = [0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0];
+    let mut bounds: Vec<f64> = ladder.iter().map(|b| -b).collect();
+    bounds.push(0.0);
+    bounds.extend_from_slice(&ladder);
+    bounds.sort_by(f64::total_cmp);
+    bounds
+}
+
 impl Histogram {
     /// Creates an empty histogram with the given upper bounds (sorted
     /// and deduplicated; non-finite bounds are dropped).
@@ -107,6 +120,13 @@ impl Histogram {
             .position(|&b| value <= b)
             .unwrap_or(self.bounds.len())
     }
+
+    /// Observations above the top bound (the implicit overflow bucket).
+    /// Non-zero means the bucket ladder saturated: quantiles at the top
+    /// are clamped to `max` and should be read with suspicion.
+    pub fn overflow(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
+    }
 }
 
 /// The percentile digest of one histogram, as carried in summaries.
@@ -128,6 +148,17 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// Observations above the top bucket bound. Non-zero flags a
+    /// saturated ladder: the upper quantiles are clamped to `max`.
+    pub overflow: u64,
+}
+
+impl HistogramSummary {
+    /// True when observations fell past the top bucket bound, i.e. the
+    /// quantile estimates near the tail are bound-clamped.
+    pub fn saturated(&self) -> bool {
+        self.overflow > 0
+    }
 }
 
 /// A serializable snapshot of everything a handle collected, suitable
@@ -166,6 +197,7 @@ pub(crate) fn summarize(state: &mut State) -> TelemetrySummary {
                 p50: h.quantile(0.50),
                 p95: h.quantile(0.95),
                 p99: h.quantile(0.99),
+                overflow: h.overflow(),
             })
             .collect(),
         spans: state.spans.len(),

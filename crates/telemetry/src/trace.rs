@@ -11,6 +11,15 @@ use crate::span::SpanRecord;
 use crate::State;
 use serde::{Deserialize, Serialize};
 
+/// Version of the JSONL trace schema. Every exported [`TraceLine`]
+/// carries it as `"v"`, so tools can detect traces written by an
+/// older or newer build. Bump on any incompatible line-shape change.
+///
+/// History: 1 = PR 1 (no version field; reads back as `None`),
+/// 2 = this version (adds `v`, [`TraceEvent::EstimatorSample`], and
+/// histogram overflow counts in summaries).
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// A scheduler decision worth explaining later. Job ids are raw `u64`s
 /// (this crate sits below the workload layer).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,6 +119,36 @@ pub enum TraceEvent {
         /// `"finished"`, `"straggler-replaced"`, `"chunks-rebalanced"`).
         what: String,
     },
+    /// One estimator-audit sample: a model prediction scored against
+    /// what actually happened. For `model = "speed"`, `predicted` is
+    /// the speed the §3.2 model promised for the configuration the
+    /// scheduler deployed, and `realized` is the speed the following
+    /// interval actually delivered (steps/s). For
+    /// `model = "convergence"`, `predicted` is the §3.1 estimate of
+    /// remaining epochs and `realized` the ground-truth remainder at
+    /// the same instant.
+    EstimatorSample {
+        /// Scheduling round the sample was scored at (1-based).
+        round: u64,
+        /// The job.
+        job: u64,
+        /// `"speed"` or `"convergence"`.
+        model: String,
+        /// The model's prediction.
+        predicted: f64,
+        /// The realized value.
+        realized: f64,
+        /// Signed relative error `(predicted − realized)/|realized|`.
+        rel_err: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The variant's name (stable across versions; used as the Chrome
+    /// trace event name and in diff output).
+    pub fn name(&self) -> &'static str {
+        event_name(self)
+    }
 }
 
 /// One sequenced decision record.
@@ -124,11 +163,18 @@ pub struct TraceRecord {
 }
 
 /// One line of a JSONL trace export.
+///
+/// Every variant carries the schema version as `v`
+/// ([`SCHEMA_VERSION`]). The field is `Option` so version-1 traces
+/// (written before the field existed) still deserialize — they read
+/// back as `None`, which `optimus-trace` reports as a legacy trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type")]
 pub enum TraceLine {
     /// A decision record.
     Event {
+        /// Trace schema version.
+        v: Option<u32>,
         /// Sequence number.
         seq: u64,
         /// Wall-clock microseconds since handle creation.
@@ -138,6 +184,8 @@ pub enum TraceLine {
     },
     /// A closed span.
     Span {
+        /// Trace schema version.
+        v: Option<u32>,
         /// Span id.
         id: u64,
         /// Parent span id, if nested.
@@ -151,6 +199,8 @@ pub enum TraceLine {
     },
     /// A counter's final value.
     Counter {
+        /// Trace schema version.
+        v: Option<u32>,
         /// Counter name.
         name: String,
         /// Final value.
@@ -158,6 +208,8 @@ pub enum TraceLine {
     },
     /// A gauge's final value.
     Gauge {
+        /// Trace schema version.
+        v: Option<u32>,
         /// Gauge name.
         name: String,
         /// Final value.
@@ -165,6 +217,8 @@ pub enum TraceLine {
     },
     /// A histogram's final state.
     Histogram {
+        /// Trace schema version.
+        v: Option<u32>,
         /// Histogram name.
         name: String,
         /// Bucket upper bounds.
@@ -183,8 +237,21 @@ pub enum TraceLine {
 }
 
 impl TraceLine {
+    /// The schema version the line was written with (`None` for
+    /// pre-versioning traces).
+    pub fn version(&self) -> Option<u32> {
+        match self {
+            TraceLine::Event { v, .. }
+            | TraceLine::Span { v, .. }
+            | TraceLine::Counter { v, .. }
+            | TraceLine::Gauge { v, .. }
+            | TraceLine::Histogram { v, .. } => *v,
+        }
+    }
+
     fn from_span(s: &SpanRecord) -> TraceLine {
         TraceLine::Span {
+            v: Some(SCHEMA_VERSION),
             id: s.id,
             parent: s.parent,
             name: s.name.clone(),
@@ -195,6 +262,7 @@ impl TraceLine {
 
     fn from_histogram(name: &str, h: &Histogram) -> TraceLine {
         TraceLine::Histogram {
+            v: Some(SCHEMA_VERSION),
             name: name.to_string(),
             bounds: h.bounds.clone(),
             counts: h.counts.clone(),
@@ -217,6 +285,7 @@ pub(crate) fn snapshot_lines(state: &mut State) -> Vec<TraceLine> {
     );
     for r in &state.records {
         lines.push(TraceLine::Event {
+            v: Some(SCHEMA_VERSION),
             seq: r.seq,
             t_us: r.t_us,
             event: r.event.clone(),
@@ -227,12 +296,14 @@ pub(crate) fn snapshot_lines(state: &mut State) -> Vec<TraceLine> {
     }
     for (name, &value) in &state.counters {
         lines.push(TraceLine::Counter {
+            v: Some(SCHEMA_VERSION),
             name: name.clone(),
             value,
         });
     }
     for (name, &value) in &state.gauges {
         lines.push(TraceLine::Gauge {
+            v: Some(SCHEMA_VERSION),
             name: name.clone(),
             value,
         });
@@ -241,6 +312,40 @@ pub(crate) fn snapshot_lines(state: &mut State) -> Vec<TraceLine> {
         lines.push(TraceLine::from_histogram(name, h));
     }
     lines
+}
+
+/// Strips everything wall-clock-dependent from export lines so two
+/// identical-config runs canonicalize to identical bytes: spans are
+/// dropped (their timings are nondeterministic by nature), event
+/// timestamps and the `Round` wall field are zeroed, and metrics whose
+/// name contains `"wall"` are removed. What survives is exactly the
+/// *decision* content of the run — the stream the run ledger hashes
+/// and `optimus-trace diff` walks.
+pub fn canonical_lines(lines: &[TraceLine]) -> Vec<TraceLine> {
+    let mut out = Vec::with_capacity(lines.len());
+    for line in lines {
+        match line {
+            TraceLine::Span { .. } => {}
+            TraceLine::Counter { name, .. }
+            | TraceLine::Gauge { name, .. }
+            | TraceLine::Histogram { name, .. }
+                if name.contains("wall") => {}
+            TraceLine::Event { v, seq, event, .. } => {
+                let mut event = event.clone();
+                if let TraceEvent::Round { wall_us, .. } = &mut event {
+                    *wall_us = 0;
+                }
+                out.push(TraceLine::Event {
+                    v: *v,
+                    seq: *seq,
+                    t_us: 0,
+                    event,
+                });
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
 }
 
 /// Renders export lines as a Chrome `trace_event` JSON document: spans
@@ -288,7 +393,7 @@ pub(crate) fn chrome_trace(lines: &[TraceLine]) -> String {
         }
     }
     for line in lines {
-        if let TraceLine::Counter { name, value } = line {
+        if let TraceLine::Counter { name, value, .. } = line {
             events.push(obj(vec![
                 ("name", Value::Str(name.clone())),
                 ("ph", Value::Str("C".into())),
@@ -312,5 +417,6 @@ fn event_name(event: &TraceEvent) -> &'static str {
         TraceEvent::FitFailure { .. } => "FitFailure",
         TraceEvent::Round { .. } => "Round",
         TraceEvent::JobEvent { .. } => "JobEvent",
+        TraceEvent::EstimatorSample { .. } => "EstimatorSample",
     }
 }

@@ -44,9 +44,23 @@ equivalence:
     cargo test --release -p optimus-fitting --test equivalence
     cargo test --release -p optimus-simulator --test equivalence
 
+# Ledger smoke: two identical small runs must produce byte-identical
+# artifacts — `optimus-trace diff` exits non-zero if they diverge.
+ledger:
+    rm -rf target/ledger-smoke
+    cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/a
+    cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/b
+    cargo run --release --bin optimus-trace -- diff target/ledger-smoke/a target/ledger-smoke/b
+
+# Regression watchdog: fail if the newest committed bench entry is
+# slower than the best prior entry beyond the tolerance.
+check-bench:
+    cargo run --release --bin optimus-trace -- check-bench
+
 # Everything CI would run: lint + build + tests, the optimized-vs-
-# reference equivalence proptests, and 1-sample bench smoke runs (keeps
+# reference equivalence proptests, 1-sample bench smoke runs (keeps
 # the timing harnesses compiling and executable without recording noise;
-# bench-alloc also cross-checks decisions against the reference).
-ci: lint build test equivalence bench-alloc
+# bench-alloc also cross-checks decisions against the reference), the
+# run-ledger determinism smoke, and the bench regression watchdog.
+ci: lint build test equivalence bench-alloc ledger check-bench
     cargo run --release -p optimus-bench --bin bench_fit -- --samples 1

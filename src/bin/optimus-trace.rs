@@ -1,24 +1,49 @@
-//! `optimus-trace` — inspect a telemetry JSONL trace written by
-//! `optimus-sim run --trace FILE` (or any [`optimus::telemetry::Telemetry`]
-//! handle's `write_json_lines`).
+//! `optimus-trace` — inspect Optimus telemetry traces and run ledgers.
 //!
-//! Prints per-job timelines, scheduling-round wall-clock percentiles,
-//! and the final counter/histogram snapshot.
+//! Three modes:
+//!
+//! * **summarize** — per-job timelines, scheduling-round percentiles and
+//!   the final counter/histogram snapshot of a telemetry JSONL trace
+//!   (written by `optimus-sim run --trace FILE`), or of a run ledger
+//!   directory (written by `--ledger DIR`), including the estimator
+//!   audit (`--models`);
+//! * **diff** — compare two run-ledger directories artifact by artifact
+//!   and localize the first divergent round/job/event;
+//! * **check-bench** — regression watchdog over the committed
+//!   `BENCH_sched.json` / `BENCH_fit.json` history files.
 
-use optimus::telemetry::{TraceEvent, TraceLine};
+use optimus::fitting::stats::{mean, p50_p95_p99};
+use optimus::ledger::{self, LoadedRun};
+use optimus::telemetry::{TraceEvent, TraceLine, SCHEMA_VERSION};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-optimus-trace — summarize an Optimus telemetry trace (JSONL)
+optimus-trace — summarize Optimus telemetry traces and run ledgers
 
 USAGE:
-  optimus-trace FILE [--top N] [--no-jobs] [--spans]
+  optimus-trace FILE|RUN_DIR [--top N] [--no-jobs] [--spans] [--models]
+  optimus-trace diff RUN_A RUN_B
+  optimus-trace check-bench [--sched FILE] [--fit FILE] [--tolerance F]
 
-FLAGS:
-  --top N    counters to list                (default 10)
-  --no-jobs  skip the per-job timelines
-  --spans    also print the per-span-name aggregates
+SUMMARIZE FLAGS:
+  --top N       counters to list                 (default 10)
+  --no-jobs     skip the per-job timelines
+  --spans       also print the per-span-name aggregates
+  --models      print the estimator-accuracy audit (speed & convergence)
+
+DIFF:
+  Compares two run directories written with --ledger. Exit code 0 when
+  the runs are identical, 1 when they diverge, 2 on error. On
+  divergence, prints the first differing round/job/event with
+  surrounding context from both runs.
+
+CHECK-BENCH FLAGS:
+  --sched FILE     scheduling bench history      (default BENCH_sched.json)
+  --fit FILE       fitting bench history         (default BENCH_fit.json)
+  --tolerance F    allowed slowdown vs best prior entry (default 0.10)
+  Exit code 1 when the newest entry regresses past the tolerance.
 ";
 
 fn main() -> ExitCode {
@@ -31,8 +56,25 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         };
     }
+    match args[0].as_str() {
+        "diff" => cmd_diff(&args[1..]),
+        "check-bench" => cmd_check_bench(&args[1..]),
+        _ => cmd_summarize(&args),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+// -- summarize --------------------------------------------------------
+
+fn cmd_summarize(args: &[String]) -> ExitCode {
     let path = &args[0];
-    let top: usize = match flag_value(&args, "--top") {
+    let top: usize = match flag_value(args, "--top") {
         None => 10,
         Some(raw) => match raw.parse() {
             Ok(n) => n,
@@ -42,11 +84,32 @@ fn main() -> ExitCode {
             }
         },
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: {path}: {e}");
-            return ExitCode::FAILURE;
+
+    // A directory is a run ledger: print its manifest, then summarize
+    // the canonical trace artifact it carries.
+    let text = if Path::new(path).is_dir() {
+        let run = match ledger::load_run(Path::new(path)) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_manifest(&run);
+        match run.artifacts.get(ledger::TRACE_ARTIFACT) {
+            Some(trace) => trace.clone(),
+            None => {
+                println!("(no {} artifact to summarize)", ledger::TRACE_ARTIFACT);
+                return ExitCode::SUCCESS;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -65,11 +128,18 @@ fn main() -> ExitCode {
     if bad > 0 {
         eprintln!("warning: skipped {bad} unparseable lines");
     }
+    if let Err(e) = check_versions(&lines) {
+        eprintln!("error: {path}: {e}");
+        return ExitCode::FAILURE;
+    }
 
     print_overview(path, &lines);
     print_rounds(&lines);
     if !args.iter().any(|a| a == "--no-jobs") {
         print_jobs(&lines);
+    }
+    if args.iter().any(|a| a == "--models") {
+        print_models(&lines);
     }
     print_counters(&lines, top);
     print_histograms(&lines);
@@ -79,11 +149,51 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Rejects traces written by a *newer* schema than this build knows;
+/// warns once about legacy lines (missing or older version).
+fn check_versions(lines: &[TraceLine]) -> Result<(), String> {
+    let mut newer = 0usize;
+    let mut legacy = 0usize;
+    for line in lines {
+        match line.version() {
+            Some(v) if v > SCHEMA_VERSION => newer += 1,
+            Some(v) if v < SCHEMA_VERSION => legacy += 1,
+            None => legacy += 1,
+            Some(_) => {}
+        }
+    }
+    if newer > 0 {
+        return Err(format!(
+            "{newer} lines carry a trace schema newer than this build \
+             supports (v{SCHEMA_VERSION}); rebuild optimus-trace"
+        ));
+    }
+    if legacy > 0 {
+        eprintln!(
+            "warning: {legacy} lines predate trace schema v{SCHEMA_VERSION}; \
+             newer fields read as absent"
+        );
+    }
+    Ok(())
+}
+
+fn print_manifest(run: &LoadedRun) {
+    let m = &run.manifest;
+    println!("run: {} ({})", run.dir.display(), m.kind);
+    println!(
+        "  label {:?}  scheduler {:?}  seed {}  threads {}",
+        m.label, m.scheduler, m.seed, m.threads
+    );
+    println!(
+        "  manifest v{}  trace schema v{}  git {}",
+        m.manifest_version,
+        m.schema_version,
+        m.git.as_deref().unwrap_or("<unknown>")
+    );
+    for a in &m.artifacts {
+        println!("  {:>9} lines  {}  {}", a.lines, a.hash, a.name);
+    }
+    println!();
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.
@@ -240,11 +350,77 @@ fn print_jobs(lines: &[TraceLine]) {
     }
 }
 
+/// The estimator-accuracy audit: per-model signed-error digests (exact
+/// percentiles over the recorded samples, not bucketed), the rolling
+/// calibration scores, and the worst-audited jobs.
+fn print_models(lines: &[TraceLine]) {
+    let mut by_model: BTreeMap<&str, Vec<(u64, f64)>> = BTreeMap::new();
+    for line in lines {
+        if let TraceLine::Event {
+            event:
+                TraceEvent::EstimatorSample {
+                    job,
+                    model,
+                    rel_err,
+                    ..
+                },
+            ..
+        } = line
+        {
+            by_model
+                .entry(model.as_str())
+                .or_default()
+                .push((*job, *rel_err));
+        }
+    }
+    println!("\nestimator audit:");
+    if by_model.is_empty() {
+        println!("  (no EstimatorSample events — run with telemetry or --ledger)");
+        return;
+    }
+    let gauge = |name: &str| {
+        lines.iter().find_map(|l| match l {
+            TraceLine::Gauge { name: n, value, .. } if n == name => Some(*value),
+            _ => None,
+        })
+    };
+    for (model, samples) in &by_model {
+        let errs: Vec<f64> = samples.iter().map(|&(_, e)| e).collect();
+        let (p50, p95, p99) = p50_p95_p99(&errs);
+        let calibration = gauge(&format!("audit.{model}_calibration"));
+        println!(
+            "  {model}: n={} mean signed err {:+.3}, p50 {:+.3}, p95 {:+.3}, p99 {:+.3}{}",
+            errs.len(),
+            mean(&errs),
+            p50,
+            p95,
+            p99,
+            match calibration {
+                Some(c) => format!(", calibration {c:.3}"),
+                None => String::new(),
+            }
+        );
+        // Worst jobs by mean |signed error|.
+        let mut per_job: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+        for &(job, err) in samples {
+            per_job.entry(job).or_default().push(err.abs());
+        }
+        let mut ranked: Vec<(u64, f64, usize)> = per_job
+            .iter()
+            .map(|(&job, errs)| (job, mean(errs), errs.len()))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite errors"));
+        for (job, mean_abs, n) in ranked.iter().take(3) {
+            println!("    worst: job {job} mean |err| {mean_abs:.3} over {n} samples");
+        }
+    }
+}
+
 fn print_counters(lines: &[TraceLine], top: usize) {
     let mut counters: Vec<(&str, u64)> = lines
         .iter()
         .filter_map(|l| match l {
-            TraceLine::Counter { name, value } => Some((name.as_str(), *value)),
+            TraceLine::Counter { name, value, .. } => Some((name.as_str(), *value)),
             _ => None,
         })
         .collect();
@@ -272,6 +448,7 @@ fn print_histograms(lines: &[TraceLine]) {
             sum,
             min,
             max,
+            ..
         } = line
         {
             if !any {
@@ -283,11 +460,17 @@ fn print_histograms(lines: &[TraceLine]) {
             } else {
                 sum / *count as f64
             };
+            let overflow = counts.last().copied().unwrap_or(0);
             println!(
-                "  {name}: n={count} mean={mean:.1} p50={:.1} p95={:.1} p99={:.1} max={max:.1}",
+                "  {name}: n={count} mean={mean:.1} p50={:.1} p95={:.1} p99={:.1} max={max:.1}{}",
                 hist_quantile(bounds, counts, *count, *min, *max, 0.50),
                 hist_quantile(bounds, counts, *count, *min, *max, 0.95),
                 hist_quantile(bounds, counts, *count, *min, *max, 0.99),
+                if overflow > 0 {
+                    format!("  SATURATED ({overflow} past top bound; tail quantiles clamped)")
+                } else {
+                    String::new()
+                },
             );
         }
     }
@@ -332,4 +515,235 @@ fn print_spans(lines: &[TraceLine]) {
             agg.durs_us[agg.durs_us.len() - 1],
         );
     }
+}
+
+// -- diff -------------------------------------------------------------
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let dirs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if dirs.len() != 2 {
+        eprintln!("usage: optimus-trace diff RUN_A RUN_B");
+        return ExitCode::from(2);
+    }
+    let load = |p: &str| ledger::load_run(Path::new(p));
+    let (a, b) = match (load(dirs[0]), load(dirs[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if a.manifest.schema_version != b.manifest.schema_version {
+        eprintln!(
+            "warning: runs were recorded with different trace schemas \
+             (v{} vs v{})",
+            a.manifest.schema_version, b.manifest.schema_version
+        );
+    }
+    let diff = ledger::diff_runs(&a, &b);
+    println!("diff: {} vs {}", a.dir.display(), b.dir.display());
+    for name in &diff.matching {
+        println!("  = {name}");
+    }
+    for name in &diff.differing {
+        println!("  ! {name}");
+    }
+    for (name, which) in &diff.only_in_one {
+        println!("  ? {name} (only in run {which})");
+    }
+    if diff.identical {
+        println!(
+            "runs are identical ({} artifacts match)",
+            diff.matching.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(d) = &diff.divergence {
+        println!("\nfirst divergence: {}:{}", d.artifact, d.line);
+        if let (Some(round), Some(t)) = (d.round, d.t) {
+            println!("  round {round} at t = {t:.0} s");
+        } else if let Some(t) = d.t {
+            println!("  t = {t:.0} s");
+        }
+        if let Some(job) = d.job {
+            println!("  job {job}");
+        }
+        println!("  A: {}", d.kind_a);
+        println!("  B: {}", d.kind_b);
+        println!("\n--- {}", a.dir.display());
+        for line in &d.context_a {
+            println!("  {line}");
+        }
+        println!("+++ {}", b.dir.display());
+        for line in &d.context_b {
+            println!("  {line}");
+        }
+        if !d.trace_context_a.is_empty() || !d.trace_context_b.is_empty() {
+            println!("\ndecision trace at round {}:", d.round.unwrap_or(0));
+            println!("--- {}", a.dir.display());
+            for line in &d.trace_context_a {
+                println!("  {line}");
+            }
+            println!("+++ {}", b.dir.display());
+            for line in &d.trace_context_b {
+                println!("  {line}");
+            }
+        }
+    }
+    ExitCode::from(1)
+}
+
+// -- check-bench ------------------------------------------------------
+
+/// One bench history file's check plan: which fields identify a grid
+/// point and which field is the guarded latency.
+struct BenchCheck {
+    default_path: &'static str,
+    flag: &'static str,
+    key_fields: &'static [&'static str],
+    metric: &'static str,
+}
+
+const BENCH_CHECKS: [BenchCheck; 2] = [
+    BenchCheck {
+        default_path: "BENCH_sched.json",
+        flag: "--sched",
+        key_fields: &["jobs", "nodes"],
+        metric: "mean_ns",
+    },
+    BenchCheck {
+        default_path: "BENCH_fit.json",
+        flag: "--fit",
+        key_fields: &["jobs", "history"],
+        metric: "mean_ns_optimized",
+    },
+];
+
+fn cmd_check_bench(args: &[String]) -> ExitCode {
+    let tolerance: f64 = match flag_value(args, "--tolerance") {
+        None => 0.10,
+        Some(raw) => match raw.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("invalid value for --tolerance: {raw}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let mut regressions = 0usize;
+    for check in &BENCH_CHECKS {
+        let path = flag_value(args, check.flag).unwrap_or(check.default_path);
+        if !Path::new(path).exists() {
+            println!("check-bench: {path}: not found, skipped");
+            continue;
+        }
+        match check_bench_file(path, check, tolerance) {
+            Ok(found) => regressions += found,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "check-bench: {regressions} regression(s) past tolerance {:.0} %",
+            tolerance * 100.0
+        );
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Checks the newest entry of one bench history against the best prior
+/// entry per grid point. Returns the number of regressions found.
+fn check_bench_file(path: &str, check: &BenchCheck, tolerance: f64) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let entries = value
+        .as_array()
+        .ok_or_else(|| format!("{path}: expected a JSON array of bench entries"))?;
+    if entries.len() < 2 {
+        println!(
+            "check-bench: {path}: {} entr{}, nothing to compare yet — pass",
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" }
+        );
+        return Ok(0);
+    }
+    let newest = &entries[entries.len() - 1];
+    let prior = &entries[..entries.len() - 1];
+    let label = |e: &serde_json::Value| {
+        e.get("label")
+            .and_then(|l| l.as_str())
+            .unwrap_or("<unlabelled>")
+            .to_string()
+    };
+    let points = |e: &serde_json::Value| -> Vec<serde_json::Value> {
+        e.get("points")
+            .and_then(|p| p.as_array())
+            .map(<[serde_json::Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let key_of = |p: &serde_json::Value| -> Option<Vec<u64>> {
+        check
+            .key_fields
+            .iter()
+            .map(|f| p.get(f).and_then(|v| v.as_u64()))
+            .collect()
+    };
+    let mut regressions = 0usize;
+    let mut checked = 0usize;
+    for point in points(newest) {
+        let Some(key) = key_of(&point) else { continue };
+        let Some(new_ns) = point.get(check.metric).and_then(|v| v.as_f64()) else {
+            continue;
+        };
+        // Best (lowest) prior latency for the same grid point.
+        let mut best: Option<(f64, String)> = None;
+        for entry in prior {
+            for p in points(entry) {
+                if key_of(&p).as_ref() != Some(&key) {
+                    continue;
+                }
+                if let Some(ns) = p.get(check.metric).and_then(|v| v.as_f64()) {
+                    if best.as_ref().is_none_or(|(b, _)| ns < *b) {
+                        best = Some((ns, label(entry)));
+                    }
+                }
+            }
+        }
+        let Some((best_ns, best_label)) = best else {
+            continue;
+        };
+        checked += 1;
+        if new_ns > best_ns * (1.0 + tolerance) {
+            regressions += 1;
+            let grid: Vec<String> = check
+                .key_fields
+                .iter()
+                .zip(&key)
+                .map(|(f, v)| format!("{f}={v}"))
+                .collect();
+            eprintln!(
+                "check-bench: {path}: REGRESSION at {}: {} {:.2} ms vs best {:.2} ms \
+                 ({:?}, {:+.1} %)",
+                grid.join(" "),
+                check.metric,
+                new_ns / 1e6,
+                best_ns / 1e6,
+                best_label,
+                100.0 * (new_ns / best_ns - 1.0),
+            );
+        }
+    }
+    println!(
+        "check-bench: {path}: newest entry {:?} vs {} prior — {checked} grid points checked, \
+         {regressions} regression(s)",
+        label(newest),
+        prior.len(),
+    );
+    Ok(regressions)
 }

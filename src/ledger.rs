@@ -1,0 +1,342 @@
+//! Workspace-level run-ledger helpers: build a simulator run's ledger,
+//! load a recorded run directory back (verifying artifact hashes), and
+//! localize the **first divergence** between two runs.
+//!
+//! The artifact layout a sim run writes (see
+//! [`optimus_telemetry::ledger`] for the manifest itself):
+//!
+//! * `events.jsonl` — the full [`optimus_simulator::EventLog`];
+//! * `schedule.jsonl` — only the per-round placement decisions
+//!   (`JobScheduled` / `JobPaused` / `ChunksRebalanced`);
+//! * `trace.jsonl` — the *canonical* telemetry stream (wall-clock
+//!   content stripped, so identical configs produce identical bytes).
+//!
+//! [`diff_runs`] compares two loaded runs hash-first, then walks the
+//! first differing artifact (in the order above — the event log is the
+//! most readable place to start triage) to the first unequal line and
+//! decodes it into a [`Divergence`]: which simulated time, which round,
+//! which job, which event kind on each side, with surrounding context
+//! from both runs.
+
+use optimus_simulator::SimReport;
+use optimus_telemetry::ledger::{content_hash, RunLedger, RunManifest};
+use optimus_telemetry::Telemetry;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Artifact name of the full event log.
+pub const EVENTS_ARTIFACT: &str = "events.jsonl";
+/// Artifact name of the placement-decision stream.
+pub const SCHEDULE_ARTIFACT: &str = "schedule.jsonl";
+/// Artifact name of the canonical telemetry trace.
+pub const TRACE_ARTIFACT: &str = "trace.jsonl";
+
+/// Builds the ledger for one completed simulator run: config echo,
+/// deterministic artifacts (event log, schedule stream, canonical
+/// trace) and the final telemetry summary. The caller picks the output
+/// directory via [`RunLedger::write`].
+pub fn sim_run_ledger(
+    report: &SimReport,
+    tel: &Telemetry,
+    label: &str,
+    seed: u64,
+    config: serde_json::Value,
+) -> RunLedger {
+    let mut ledger = RunLedger::new("sim", label)
+        .scheduler(&report.scheduler)
+        .seed(seed)
+        .threads(optimus_bench::available_threads())
+        .config(config);
+    if tel.is_enabled() {
+        ledger = ledger.summary(tel.summary());
+    }
+    ledger.add_artifact(
+        EVENTS_ARTIFACT,
+        with_final_newline(report.events.to_json_lines()),
+    );
+    ledger.add_artifact(
+        SCHEDULE_ARTIFACT,
+        with_final_newline(report.events.schedule_stream_json_lines()),
+    );
+    ledger.add_artifact(TRACE_ARTIFACT, tel.to_canonical_json_lines());
+    ledger
+}
+
+fn with_final_newline(mut s: String) -> String {
+    if !s.is_empty() && !s.ends_with('\n') {
+        s.push('\n');
+    }
+    s
+}
+
+/// A run directory read back into memory: the manifest plus every
+/// artifact body, hash-verified.
+#[derive(Debug, Clone)]
+pub struct LoadedRun {
+    /// The directory the run was loaded from.
+    pub dir: PathBuf,
+    /// The parsed `manifest.json`.
+    pub manifest: RunManifest,
+    /// Artifact bodies by name.
+    pub artifacts: BTreeMap<String, String>,
+}
+
+/// Loads a run directory, verifying that every artifact on disk still
+/// matches the hash its manifest recorded (a mismatch means the
+/// directory was edited after the run and cannot be trusted for diffs).
+pub fn load_run(dir: &Path) -> Result<LoadedRun, String> {
+    let manifest = RunManifest::load(dir)?;
+    let mut artifacts = BTreeMap::new();
+    for record in &manifest.artifacts {
+        let path = dir.join(&record.name);
+        let body =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let hash = content_hash(&body);
+        if hash != record.hash {
+            return Err(format!(
+                "{}: artifact modified since the run was recorded (manifest {}, on disk {})",
+                path.display(),
+                record.hash,
+                hash
+            ));
+        }
+        artifacts.insert(record.name.clone(), body);
+    }
+    Ok(LoadedRun {
+        dir: dir.to_path_buf(),
+        manifest,
+        artifacts,
+    })
+}
+
+/// The first divergent line between two runs, decoded for triage.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Artifact the divergence was found in.
+    pub artifact: String,
+    /// 1-based line number of the first unequal line.
+    pub line: usize,
+    /// Simulated time of the divergent event, when decodable.
+    pub t: Option<f64>,
+    /// Scheduling round the divergence falls in (resolved from run A's
+    /// canonical trace), when decodable.
+    pub round: Option<u64>,
+    /// Job the divergent event concerns on side A, when decodable.
+    pub job: Option<u64>,
+    /// Event kind at the divergent line in run A (`<end of log>` when A
+    /// is the shorter stream).
+    pub kind_a: String,
+    /// Event kind at the divergent line in run B.
+    pub kind_b: String,
+    /// Surrounding lines from run A (the divergent line marked `>`).
+    pub context_a: Vec<String>,
+    /// Surrounding lines from run B.
+    pub context_b: Vec<String>,
+    /// Decision-trace context around the divergent round from run A's
+    /// canonical trace (empty when the round cannot be resolved).
+    pub trace_context_a: Vec<String>,
+    /// Decision-trace context from run B's canonical trace.
+    pub trace_context_b: Vec<String>,
+}
+
+/// Outcome of diffing two runs.
+#[derive(Debug, Clone)]
+pub struct RunDiff {
+    /// True when every shared artifact hashes identically and neither
+    /// run has artifacts the other lacks.
+    pub identical: bool,
+    /// Artifacts present in both runs with equal hashes.
+    pub matching: Vec<String>,
+    /// Artifacts present in both runs with different hashes.
+    pub differing: Vec<String>,
+    /// Artifacts present in exactly one run, as `(name, which_run)`.
+    pub only_in_one: Vec<(String, char)>,
+    /// First divergence of the highest-priority differing artifact.
+    pub divergence: Option<Divergence>,
+}
+
+/// Artifact walk order for divergence triage: placement decisions are
+/// scanned via the full event log first (it carries admissions and
+/// finishes too), then the schedule stream, then the canonical trace.
+const DIFF_PRIORITY: [&str; 3] = [EVENTS_ARTIFACT, SCHEDULE_ARTIFACT, TRACE_ARTIFACT];
+
+/// Lines of context shown on each side of a divergent line.
+const CONTEXT: usize = 3;
+
+/// Diffs two loaded runs: hash comparison per artifact, then
+/// first-divergence localization on the first differing artifact.
+pub fn diff_runs(a: &LoadedRun, b: &LoadedRun) -> RunDiff {
+    let mut matching = Vec::new();
+    let mut differing = Vec::new();
+    let mut only_in_one = Vec::new();
+    for rec in &a.manifest.artifacts {
+        match b.manifest.artifact(&rec.name) {
+            Some(other) if other.hash == rec.hash => matching.push(rec.name.clone()),
+            Some(_) => differing.push(rec.name.clone()),
+            None => only_in_one.push((rec.name.clone(), 'a')),
+        }
+    }
+    for rec in &b.manifest.artifacts {
+        if a.manifest.artifact(&rec.name).is_none() {
+            only_in_one.push((rec.name.clone(), 'b'));
+        }
+    }
+    let first = DIFF_PRIORITY
+        .iter()
+        .find(|name| differing.iter().any(|d| d == *name))
+        .copied()
+        .or_else(|| differing.first().map(String::as_str));
+    let divergence = first.and_then(|name| localize(a, b, name));
+    RunDiff {
+        identical: differing.is_empty() && only_in_one.is_empty(),
+        matching,
+        differing,
+        only_in_one,
+        divergence,
+    }
+}
+
+/// Finds the first unequal line of one artifact and decodes it.
+fn localize(a: &LoadedRun, b: &LoadedRun, artifact: &str) -> Option<Divergence> {
+    let body_a = a.artifacts.get(artifact)?;
+    let body_b = b.artifacts.get(artifact)?;
+    let lines_a: Vec<&str> = body_a.lines().collect();
+    let lines_b: Vec<&str> = body_b.lines().collect();
+    let idx = (0..lines_a.len().max(lines_b.len())).find(|&i| lines_a.get(i) != lines_b.get(i))?;
+    let line_a = lines_a.get(idx).copied();
+    let line_b = lines_b.get(idx).copied();
+    let parsed_a = line_a.and_then(|l| serde_json::from_str::<serde_json::Value>(l).ok());
+    let parsed_b = line_b.and_then(|l| serde_json::from_str::<serde_json::Value>(l).ok());
+    let t = parsed_a.as_ref().or(parsed_b.as_ref()).and_then(event_time);
+    let job = parsed_a.as_ref().or(parsed_b.as_ref()).and_then(event_job);
+    let round = parsed_a
+        .as_ref()
+        .and_then(event_round)
+        .or_else(|| t.and_then(|t| round_at(a, t)));
+    Some(Divergence {
+        artifact: artifact.to_string(),
+        line: idx + 1,
+        t,
+        round,
+        job,
+        kind_a: line_a
+            .map(describe_line)
+            .unwrap_or_else(|| "<end of log>".to_string()),
+        kind_b: line_b
+            .map(describe_line)
+            .unwrap_or_else(|| "<end of log>".to_string()),
+        context_a: context(&lines_a, idx),
+        context_b: context(&lines_b, idx),
+        trace_context_a: round.map(|r| trace_context(a, r)).unwrap_or_default(),
+        trace_context_b: round.map(|r| trace_context(b, r)).unwrap_or_default(),
+    })
+}
+
+/// `±CONTEXT` lines around `idx`, the divergent line prefixed `> `.
+fn context(lines: &[&str], idx: usize) -> Vec<String> {
+    let lo = idx.saturating_sub(CONTEXT);
+    let hi = (idx + CONTEXT + 1).min(lines.len());
+    (lo..hi)
+        .map(|i| {
+            let marker = if i == idx { ">" } else { " " };
+            format!("{marker} {:>5}  {}", i + 1, lines[i])
+        })
+        .collect()
+}
+
+/// The simulated time of a decoded JSONL line: a `SimEvent`'s `t`, or a
+/// trace event's `t_s`.
+fn event_time(v: &serde_json::Value) -> Option<f64> {
+    if let Some(t) = v.get("t").and_then(|t| t.as_f64()) {
+        return Some(t);
+    }
+    v.get("event")
+        .and_then(|e| e.get("t_s"))
+        .and_then(|t| t.as_f64())
+}
+
+/// The job a decoded line concerns, if any.
+fn event_job(v: &serde_json::Value) -> Option<u64> {
+    let kind = v.get("kind").or_else(|| v.get("event"))?;
+    kind.get("job").and_then(|j| j.as_u64())
+}
+
+/// The round a decoded *trace* line carries directly (Round and
+/// EstimatorSample events), if any.
+fn event_round(v: &serde_json::Value) -> Option<u64> {
+    v.get("event")
+        .and_then(|e| e.get("round"))
+        .and_then(|r| r.as_u64())
+}
+
+/// A one-line description of a JSONL line: the tagged event kind plus
+/// the job, falling back to the raw line's first bytes.
+fn describe_line(line: &str) -> String {
+    let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else {
+        return line.chars().take(60).collect();
+    };
+    let kind = v
+        .get("kind")
+        .and_then(|k| k.get("kind"))
+        .or_else(|| v.get("event").and_then(|e| e.get("event")))
+        .and_then(|k| k.as_str())
+        .map(str::to_string)
+        .unwrap_or_else(|| line.chars().take(40).collect());
+    match event_job(&v) {
+        Some(job) => format!("{kind} (job {job})"),
+        None => kind,
+    }
+}
+
+/// The scheduling round in force at simulated time `t`, resolved from a
+/// run's canonical trace: the greatest `Round` event with `t_s ≤ t`.
+fn round_at(run: &LoadedRun, t: f64) -> Option<u64> {
+    let trace = run.artifacts.get(TRACE_ARTIFACT)?;
+    let mut best = None;
+    for line in trace.lines() {
+        let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else {
+            continue;
+        };
+        let Some(event) = v.get("event") else {
+            continue;
+        };
+        if event.get("event").and_then(|k| k.as_str()) != Some("Round") {
+            continue;
+        }
+        let (Some(round), Some(t_s)) = (
+            event.get("round").and_then(|r| r.as_u64()),
+            event.get("t_s").and_then(|x| x.as_f64()),
+        ) else {
+            continue;
+        };
+        if t_s <= t + 1e-9 {
+            best = Some(best.map_or(round, |b: u64| b.max(round)));
+        }
+    }
+    best
+}
+
+/// Decision-trace context for a round: the `Round` event for `round`
+/// in the run's canonical trace, with `±CONTEXT` surrounding lines.
+fn trace_context(run: &LoadedRun, round: u64) -> Vec<String> {
+    let Some(trace) = run.artifacts.get(TRACE_ARTIFACT) else {
+        return Vec::new();
+    };
+    let lines: Vec<&str> = trace.lines().collect();
+    let needle = lines.iter().position(|line| {
+        serde_json::from_str::<serde_json::Value>(line)
+            .ok()
+            .and_then(|v| {
+                let e = v.get("event")?;
+                if e.get("event").and_then(|k| k.as_str()) != Some("Round") {
+                    return None;
+                }
+                e.get("round").and_then(|r| r.as_u64())
+            })
+            == Some(round)
+    });
+    match needle {
+        Some(idx) => context(&lines, idx),
+        None => Vec::new(),
+    }
+}

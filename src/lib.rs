@@ -38,6 +38,7 @@
 //! ```
 
 pub mod bridge;
+pub mod ledger;
 
 pub use optimus_cluster as cluster;
 pub use optimus_core as core;
