@@ -1,0 +1,206 @@
+//! `bench_sim` — records whole-simulation throughput.
+//!
+//! The micro benches time one scheduling decision (`bench_sched`) and
+//! one refit sweep (`bench_fit`); this bench times the *whole engine* —
+//! tick loop, fast-forward, refits, scheduling rounds, event logging —
+//! by running a fixed workload on the paper testbed end to end and
+//! recording two rates per grid point:
+//!
+//! * **simulated-seconds per wall-second** — how much cluster time one
+//!   wall second buys (the headline throughput, higher is better);
+//! * **events per wall-second** — decision-log events emitted per wall
+//!   second, a density-normalized view that does not reward runs that
+//!   merely simulate longer idle spans.
+//!
+//! The benchmark is *defended*: every sample re-runs the identical
+//! deterministic configuration and the per-job JCT vector is asserted
+//! bit-identical across samples before any timing is recorded — a
+//! nondeterministic engine cannot quietly publish a throughput number.
+//! Timings append to a labeled JSON trajectory (`BENCH_sim.json` via
+//! `just bench-sim`) guarded by `optimus-trace check-bench`.
+//!
+//! ```text
+//! bench_sim [--samples N] [--label STR] [--out FILE]
+//! ```
+
+use optimus_cluster::Cluster;
+use optimus_core::prelude::OptimusScheduler;
+use optimus_simulator::{SimConfig, Simulation};
+use optimus_workload::{ArrivalProcess, WorkloadGenerator};
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The acceptance grid: workload sizes on the paper's 13-server
+/// testbed.
+const POINTS: [usize; 2] = [6, 12];
+
+/// Workload seed — fixed so every entry in the trajectory times the
+/// exact same runs.
+const SEED: u64 = 17;
+
+/// One timed grid point.
+#[derive(Serialize)]
+struct PointRecord {
+    jobs: u64,
+    mean_wall_ns: u64,
+    sim_seconds: f64,
+    sim_seconds_per_wall_second: f64,
+    events: u64,
+    events_per_wall_second: f64,
+}
+
+/// One appended trajectory entry.
+#[derive(Serialize)]
+struct BenchEntry {
+    label: String,
+    source: &'static str,
+    samples: u32,
+    seed: u64,
+    points: Vec<PointRecord>,
+}
+
+/// One full simulation of `jobs` jobs: `(wall_ns, sim_seconds, events,
+/// jct_bits)`. The JCT bit pattern is the determinism witness.
+fn run_once(jobs: usize) -> (u64, f64, u64, Vec<(u64, u64)>) {
+    let specs = WorkloadGenerator::new(ArrivalProcess::paper_default(jobs), SEED)
+        .with_target_job_seconds(Some(2.0 * 3_600.0))
+        .generate();
+    let cfg = SimConfig {
+        seed: SEED,
+        record_events: true,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(
+        Cluster::paper_testbed(),
+        specs,
+        Box::new(OptimusScheduler::build()),
+        cfg,
+    );
+    let start = Instant::now();
+    let report = std::hint::black_box(sim.run());
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    assert_eq!(
+        report.unfinished_jobs, 0,
+        "bench workload must run to completion"
+    );
+    let jct_bits = {
+        let mut v: Vec<(u64, u64)> = report
+            .jct
+            .iter()
+            .map(|&(id, t)| (id.0, t.to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    (
+        wall_ns,
+        report.makespan,
+        report.events.len() as u64,
+        jct_bits,
+    )
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "bench_sim — whole-simulation throughput trajectory\n\n\
+             USAGE: bench_sim [--samples N] [--label STR] [--out FILE]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let samples: u32 = match arg_value(&args, "--samples").map(|v| v.parse()) {
+        None => 3,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: --samples expects an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let samples = samples.max(1);
+    let label = arg_value(&args, "--label").unwrap_or_else(|| "current".into());
+    let out = arg_value(&args, "--out");
+
+    println!("bench_sim: {samples} samples per point (label: {label})\n");
+    println!(
+        "{:>6} {:>12} {:>14} {:>16} {:>10} {:>14}",
+        "jobs", "wall ms", "sim seconds", "sim-s per wall-s", "events", "events per s"
+    );
+    let mut points = Vec::new();
+    for &jobs in &POINTS {
+        // Warm-up run (allocators, page faults) whose timing is
+        // discarded but whose JCT vector anchors the determinism check.
+        let (_, _, _, witness) = run_once(jobs);
+        let mut total_ns = 0u128;
+        let mut sim_seconds = 0.0;
+        let mut events = 0u64;
+        for _ in 0..samples {
+            let (wall_ns, sim_s, ev, jct_bits) = run_once(jobs);
+            assert_eq!(
+                jct_bits, witness,
+                "nondeterministic simulation at {jobs} jobs — refusing to record timings"
+            );
+            total_ns += wall_ns as u128;
+            sim_seconds = sim_s;
+            events = ev;
+        }
+        let mean_wall_ns = (total_ns / samples as u128) as u64;
+        let wall_s = mean_wall_ns as f64 / 1e9;
+        let sim_per_wall = sim_seconds / wall_s.max(1e-12);
+        let events_per_s = events as f64 / wall_s.max(1e-12);
+        println!(
+            "{jobs:>6} {:>12.2} {sim_seconds:>14.0} {sim_per_wall:>16.0} {events:>10} {events_per_s:>14.0}",
+            mean_wall_ns as f64 / 1e6,
+        );
+        points.push(PointRecord {
+            jobs: jobs as u64,
+            mean_wall_ns,
+            sim_seconds,
+            sim_seconds_per_wall_second: sim_per_wall,
+            events,
+            events_per_wall_second: events_per_s,
+        });
+    }
+
+    let entry = BenchEntry {
+        label: label.clone(),
+        source: "bench_sim",
+        samples,
+        seed: SEED,
+        points,
+    };
+
+    if let Some(path) = out {
+        let mut entries: Vec<serde_json::Value> = match std::fs::read_to_string(&path) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(serde_json::Value::Array(v)) => v,
+                Ok(_) | Err(_) => {
+                    eprintln!("error: {path} exists but is not a JSON array");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        entries.push(serde_json::to_value(&entry).expect("entry serializes"));
+        let json = serde_json::to_string_pretty(&serde_json::Value::Array(entries))
+            .expect("entries serialize");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nappended entry '{label}' to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -27,6 +27,7 @@
 use optimus_fitting::stats::signed_relative_error;
 use optimus_telemetry::metrics::signed_error_buckets;
 use optimus_telemetry::{Telemetry, TraceEvent};
+use serde::{Deserialize, Serialize};
 
 /// Histogram of signed speed-model relative errors.
 pub const SPEED_ERR_HIST: &str = "audit.speed_rel_err";
@@ -37,6 +38,24 @@ pub const CONVERGENCE_ERR_HIST: &str = "audit.convergence_rel_err";
 /// 90 % of the history.
 const EWMA_DECAY: f64 = 0.9;
 
+/// The audit's settled end-of-run state, embedded in `SimReport`. The
+/// audit itself runs unconditionally — the telemetry handle only
+/// controls whether samples *also* land in the trace — so this summary
+/// is present regardless of handle state.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AuditSummary {
+    /// Speed predictions settled against realized interval speeds.
+    pub speed_samples: u64,
+    /// Convergence estimates checked against ground truth.
+    pub convergence_samples: u64,
+    /// Final rolling speed calibration in `(0, 1]` (`None` before the
+    /// first settled sample): an EWMA of `|signed error|` through
+    /// `1/(1+e)`, 1.0 = perfectly calibrated.
+    pub speed_calibration: Option<f64>,
+    /// Final rolling convergence calibration (same scale).
+    pub convergence_calibration: Option<f64>,
+}
+
 /// Per-run audit state: the pending speed predictions and the rolling
 /// error averages behind the calibration gauges.
 #[derive(Debug, Default)]
@@ -46,6 +65,8 @@ pub struct EstimatorAudit {
     pending_speed: Vec<(u64, f64)>,
     speed_ewma: Option<f64>,
     convergence_ewma: Option<f64>,
+    speed_samples: u64,
+    convergence_samples: u64,
 }
 
 impl EstimatorAudit {
@@ -98,6 +119,7 @@ impl EstimatorAudit {
         });
         tel.observe(SPEED_ERR_HIST, rel_err);
         tel.incr("audit.speed_samples");
+        self.speed_samples += 1;
         let ewma = update_ewma(&mut self.speed_ewma, rel_err.abs());
         tel.gauge("audit.speed_calibration", calibration(ewma));
     }
@@ -132,8 +154,19 @@ impl EstimatorAudit {
         });
         tel.observe(CONVERGENCE_ERR_HIST, rel_err);
         tel.incr("audit.convergence_samples");
+        self.convergence_samples += 1;
         let ewma = update_ewma(&mut self.convergence_ewma, rel_err.abs());
         tel.gauge("audit.convergence_calibration", calibration(ewma));
+    }
+
+    /// The settled summary: sample counts and final calibration scores.
+    pub fn summary(&self) -> AuditSummary {
+        AuditSummary {
+            speed_samples: self.speed_samples,
+            convergence_samples: self.convergence_samples,
+            speed_calibration: self.speed_ewma.map(calibration),
+            convergence_calibration: self.convergence_ewma.map(calibration),
+        }
     }
 }
 

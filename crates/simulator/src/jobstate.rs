@@ -21,6 +21,99 @@ pub enum JobStatus {
     Finished,
 }
 
+/// Which accounting phase a job's wall clock is currently charged to.
+/// Together the phases partition the job's completion time exactly:
+/// `queue + run + overhead + stall = finish − submit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JctPhase {
+    /// Submitted but never yet placed (queueing delay).
+    #[default]
+    Queued,
+    /// Holding tasks and progressing.
+    Running,
+    /// Paying checkpoint/restart overhead (rescale or failure restart).
+    Overhead,
+    /// Placed at least once before, currently without tasks and not
+    /// paying overhead: a scheduling stall (preempted, starved, or
+    /// waiting out a failure until the next round).
+    Stalled,
+    /// Finished — the clock no longer accrues.
+    Done,
+}
+
+/// A phase-partitioned wall clock for one job's completion time.
+///
+/// Time accrues lazily: the clock remembers which phase started when
+/// (`since`) and charges the elapsed span to that phase's bucket only
+/// at the next transition. All transitions happen at simulation event
+/// times (rounds, failures, overhead-drain ticks, the finish instant),
+/// which the fast-forward shortcuts provably never skip — so the
+/// decomposition is byte-identical with fast-forward on or off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JctClock {
+    phase: JctPhase,
+    since: f64,
+    /// Seconds from submission to the first placement.
+    pub queue_s: f64,
+    /// Seconds spent holding tasks.
+    pub run_s: f64,
+    /// Seconds paying checkpoint/restart overhead.
+    pub overhead_s: f64,
+    /// Seconds stalled without tasks after having run.
+    pub stall_s: f64,
+}
+
+impl JctClock {
+    /// A clock starting in [`JctPhase::Queued`] at the submit time.
+    pub fn new(submit_time: f64) -> Self {
+        JctClock {
+            phase: JctPhase::Queued,
+            since: submit_time,
+            ..JctClock::default()
+        }
+    }
+
+    /// The phase currently accruing.
+    pub fn phase(&self) -> JctPhase {
+        self.phase
+    }
+
+    /// Moves to `phase` at time `t`, charging the elapsed span to the
+    /// previous phase. A same-phase transition is a no-op (the span
+    /// keeps accruing). Transitions on a [`JctPhase::Done`] clock are
+    /// ignored.
+    pub fn transition(&mut self, phase: JctPhase, t: f64) {
+        if phase == self.phase || self.phase == JctPhase::Done {
+            return;
+        }
+        self.accrue(t);
+        self.phase = phase;
+    }
+
+    /// Stops the clock at `t`, charging the final span.
+    pub fn settle(&mut self, t: f64) {
+        self.transition(JctPhase::Done, t);
+    }
+
+    /// Sum of all phase buckets (equals `finish − submit` once
+    /// settled).
+    pub fn total(&self) -> f64 {
+        self.queue_s + self.run_s + self.overhead_s + self.stall_s
+    }
+
+    fn accrue(&mut self, t: f64) {
+        let dt = (t - self.since).max(0.0);
+        match self.phase {
+            JctPhase::Queued => self.queue_s += dt,
+            JctPhase::Running => self.run_s += dt,
+            JctPhase::Overhead => self.overhead_s += dt,
+            JctPhase::Stalled => self.stall_s += dt,
+            JctPhase::Done => {}
+        }
+        self.since = t;
+    }
+}
+
 /// Everything the simulator tracks for one job.
 #[derive(Debug, Clone)]
 pub struct SimJob {
@@ -75,6 +168,8 @@ pub struct SimJob {
     pub interval_active_s: f64,
     /// Fig-15 error-injection signs drawn for this job.
     pub inject_signs: (bool, bool),
+    /// The JCT decomposition clock (queue → run → overhead → stall).
+    pub jct: JctClock,
     /// Memoized §5.3 imbalance factors keyed by `(ps, use_paa)`: the
     /// parameter-block split is fixed at submission, so the factor for
     /// a given shard count never changes over the job's lifetime.
@@ -120,8 +215,25 @@ impl SimJob {
             interval_steps_start: 0.0,
             interval_active_s: 0.0,
             inject_signs: (true, true),
+            jct: JctClock::new(spec.submit_time),
             imbalance_cache: Vec::new(),
             spec,
+        }
+    }
+
+    /// The JCT phase the job's *current* state should be charged to —
+    /// called at transition points (apply, failure, overhead drain).
+    pub fn current_phase(&self) -> JctPhase {
+        if self.status == JobStatus::Finished {
+            JctPhase::Done
+        } else if self.overhead_remaining_s > 0.0 {
+            JctPhase::Overhead
+        } else if self.status == JobStatus::Running && self.ps > 0 && self.workers > 0 {
+            JctPhase::Running
+        } else if self.first_run_time.is_none() {
+            JctPhase::Queued
+        } else {
+            JctPhase::Stalled
         }
     }
 
@@ -307,6 +419,55 @@ mod tests {
         assert!((0.0..=1.0).contains(&pu));
         assert!(wu + pu <= 1.0 + 1e-9, "{wu} + {pu}");
         assert!(wu > 0.0);
+    }
+
+    #[test]
+    fn jct_clock_partitions_elapsed_time() {
+        let mut c = JctClock::new(10.0);
+        assert_eq!(c.phase(), JctPhase::Queued);
+        c.transition(JctPhase::Running, 25.0); // queued 15 s
+        c.transition(JctPhase::Running, 40.0); // same-phase: no-op
+        c.transition(JctPhase::Overhead, 55.0); // ran 30 s
+        c.transition(JctPhase::Stalled, 60.0); // overhead 5 s
+        c.transition(JctPhase::Running, 70.0); // stalled 10 s
+        c.settle(100.0); // ran 30 s more
+        assert_eq!(c.queue_s, 15.0);
+        assert_eq!(c.run_s, 60.0);
+        assert_eq!(c.overhead_s, 5.0);
+        assert_eq!(c.stall_s, 10.0);
+        assert_eq!(c.total(), 90.0);
+        assert_eq!(c.phase(), JctPhase::Done);
+    }
+
+    #[test]
+    fn jct_clock_ignores_transitions_after_done() {
+        let mut c = JctClock::new(0.0);
+        c.transition(JctPhase::Running, 5.0);
+        c.settle(8.0);
+        c.transition(JctPhase::Stalled, 50.0);
+        c.settle(60.0);
+        assert_eq!(c.total(), 8.0);
+        assert_eq!(c.phase(), JctPhase::Done);
+    }
+
+    #[test]
+    fn current_phase_tracks_job_state() {
+        let mut j = job();
+        assert_eq!(j.current_phase(), JctPhase::Queued);
+        j.status = JobStatus::Running;
+        j.ps = 1;
+        j.workers = 1;
+        j.first_run_time = Some(0.0);
+        assert_eq!(j.current_phase(), JctPhase::Running);
+        j.overhead_remaining_s = 5.0;
+        assert_eq!(j.current_phase(), JctPhase::Overhead);
+        j.overhead_remaining_s = 0.0;
+        j.ps = 0;
+        j.workers = 0;
+        j.status = JobStatus::Paused;
+        assert_eq!(j.current_phase(), JctPhase::Stalled);
+        j.status = JobStatus::Finished;
+        assert_eq!(j.current_phase(), JctPhase::Done);
     }
 
     #[test]

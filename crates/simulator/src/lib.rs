@@ -27,9 +27,9 @@ pub mod jobstate;
 pub mod metrics;
 pub mod sim;
 
-pub use audit::EstimatorAudit;
+pub use audit::{AuditSummary, EstimatorAudit};
 pub use events::{EventLog, SimEvent, SimEventKind};
 pub use inject::ErrorInjection;
-pub use jobstate::{JobStatus, SimJob};
-pub use metrics::{SimReport, TimePoint};
+pub use jobstate::{JctClock, JctPhase, JobStatus, SimJob};
+pub use metrics::{JctBreakdown, SimReport, TimePoint};
 pub use sim::{AssignmentPolicy, BackgroundLoad, SimConfig, Simulation};

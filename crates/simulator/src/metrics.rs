@@ -1,7 +1,8 @@
 //! Simulation metrics: the quantities the paper's figures report.
 
+use crate::audit::AuditSummary;
 use crate::events::EventLog;
-use optimus_telemetry::TelemetrySummary;
+use optimus_telemetry::{FlightLog, TelemetrySummary};
 use optimus_workload::JobId;
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +41,38 @@ pub struct FidelityPoint {
     pub convergence_error: Option<f64>,
 }
 
+/// Where one job's completion time went. The four phase buckets
+/// partition the interval from submission to finish (or to the
+/// simulation cap for unfinished jobs) *exactly*: every second of a
+/// job's life is charged to precisely one bucket, so
+/// `queue_s + run_s + overhead_s + stall_s = jct` for finished jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JctBreakdown {
+    /// The job.
+    pub job: JobId,
+    /// Completion time, seconds (`None` = unfinished at the cap; the
+    /// buckets then sum to `cap − submit` instead).
+    pub jct: Option<f64>,
+    /// Queue wait: submission until the first placement.
+    pub queue_s: f64,
+    /// Time holding tasks (includes time lost to stragglers — the job
+    /// was running, just slowly).
+    pub run_s: f64,
+    /// Checkpoint/restart overhead from rescales and failure restarts.
+    pub overhead_s: f64,
+    /// Scheduling stalls after the first placement: intervals without
+    /// tasks (preempted/starved) and post-failure waits for the next
+    /// round.
+    pub stall_s: f64,
+}
+
+impl JctBreakdown {
+    /// Sum of the four phase buckets.
+    pub fn total(&self) -> f64 {
+        self.queue_s + self.run_s + self.overhead_s + self.stall_s
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -73,6 +106,17 @@ pub struct SimReport {
     /// Final counter/gauge/histogram snapshot of the run's telemetry
     /// handle (`None` when `SimConfig::telemetry` was disabled).
     pub telemetry: Option<TelemetrySummary>,
+    /// Per-job JCT decomposition (queue → run → overhead → stall), in
+    /// job order. Always present — the phase clock is part of the
+    /// engine, not the (optional) telemetry.
+    pub breakdown: Vec<JctBreakdown>,
+    /// Estimator-audit settlement: sample counts and final calibration
+    /// scores. Settled at the end of the run regardless of telemetry
+    /// handle state.
+    pub audit: AuditSummary,
+    /// The flight recorder's retained snapshots (`None` unless
+    /// `SimConfig::flight` was set).
+    pub flight: Option<FlightLog>,
 }
 
 impl SimReport {
@@ -191,6 +235,9 @@ mod tests {
             events: EventLog::default(),
             fidelity: vec![],
             telemetry: None,
+            breakdown: vec![],
+            audit: AuditSummary::default(),
+            flight: None,
             timeline: vec![
                 TimePoint {
                     t: 0.0,
@@ -240,6 +287,9 @@ mod tests {
             events: EventLog::default(),
             fidelity: vec![],
             telemetry: None,
+            breakdown: vec![],
+            audit: AuditSummary::default(),
+            flight: None,
         };
         assert_eq!(r.avg_jct(), 0.0);
         assert_eq!(r.avg_wait(), 0.0);

@@ -3,13 +3,14 @@
 use crate::audit::EstimatorAudit;
 use crate::events::{EventLog, SimEventKind};
 use crate::inject::ErrorInjection;
-use crate::jobstate::{JobStatus, SimJob};
-use crate::metrics::{FidelityPoint, SimReport, TimePoint};
-use optimus_cluster::{Cluster, ResourceKind};
+use crate::jobstate::{JctPhase, JobStatus, SimJob};
+use crate::metrics::{FidelityPoint, JctBreakdown, SimReport, TimePoint};
+use optimus_cluster::{Cluster, ResourceKind, ResourceVec};
 use optimus_core::{JobView, RoundScratch, Schedule, Scheduler};
 use optimus_ps::contention::{oversubscription_factors, JobTraffic};
 use optimus_ps::transfer::transfer_stretch;
 use optimus_ps::{StragglerPolicy, TaskCounts};
+use optimus_telemetry::flight::{ClusterSnapshot, FlightConfig, FlightRecorder, PoolStat};
 use optimus_telemetry::{Telemetry, TraceEvent};
 use optimus_workload::{JobSpec, TrainingMode};
 use rand::Rng;
@@ -134,6 +135,16 @@ pub struct SimConfig {
     /// thread-count-independent: jobs are independent and trace events
     /// are emitted in job order after the parallel section joins.
     pub refit_threads: Option<usize>,
+    /// Flight recorder: sample a typed [`ClusterSnapshot`] into a
+    /// bounded ring buffer at the end of every scheduling round
+    /// (`None` = off, the default). Recording is read-only — decisions
+    /// are byte-identical with it on or off.
+    pub flight: Option<FlightConfig>,
+    /// Emit a live status line (round, sim-time, active jobs,
+    /// utilization, events/s) to stderr at this wall-clock interval,
+    /// seconds. `0` (the default) disables it; when disabled the cost
+    /// is one float compare per timeline sample.
+    pub progress_every_s: f64,
     /// Print each scheduling round's decisions to stderr (debugging).
     pub verbose: bool,
 }
@@ -166,6 +177,8 @@ impl Default for SimConfig {
             track_fidelity: false,
             fast_forward: true,
             refit_threads: None,
+            flight: None,
+            progress_every_s: 0.0,
             verbose: false,
         }
     }
@@ -182,8 +195,17 @@ pub struct Simulation {
     failed_servers: Vec<optimus_cluster::ServerId>,
     fidelity: Vec<FidelityPoint>,
     /// Estimator-accuracy audit state (pending speed predictions,
-    /// rolling calibration); only active on an enabled telemetry handle.
+    /// rolling calibration). Runs unconditionally — the telemetry
+    /// handle only controls whether samples also land in the trace —
+    /// and settles into `SimReport::audit`.
     audit: EstimatorAudit,
+    /// Flight recorder (when `SimConfig::flight` is set): one cluster
+    /// snapshot per scheduling round, ring-buffer bounded.
+    flight: Option<FlightRecorder>,
+    /// Simulator events emitted, counted whether or not
+    /// `record_events` persists them (drives the `--progress`
+    /// events/s rate and the flight snapshots' `events_total`).
+    events_seen: u64,
     /// Persistent scheduling scratch: heap storage, prediction caches,
     /// placement index and schedule buffers reused across rounds, so
     /// steady-state decisions allocate nothing.
@@ -219,6 +241,7 @@ impl Simulation {
         if tel.is_enabled() {
             EstimatorAudit::register(&tel);
         }
+        let flight = config.flight.as_ref().map(FlightRecorder::from_config);
         Simulation {
             cluster,
             jobs,
@@ -229,13 +252,16 @@ impl Simulation {
             failed_servers: Vec::new(),
             fidelity: Vec::new(),
             audit: EstimatorAudit::default(),
+            flight,
+            events_seen: 0,
             scratch: RoundScratch::default(),
             schedule_buf: Schedule::default(),
         }
     }
 
-    /// Appends an event if recording is enabled.
+    /// Appends an event if recording is enabled (always counted).
     fn log(&mut self, t: f64, kind: SimEventKind) {
+        self.events_seen += 1;
         if self.config.record_events {
             self.events.push(t, kind);
         }
@@ -254,6 +280,12 @@ impl Simulation {
         let mut straggler_replacements_done = 0usize;
         let tel = cfg.telemetry.clone();
         let mut round: u64 = 0;
+
+        // Live progress line (off by default). When disabled the only
+        // residual cost is one boolean check per timeline sample.
+        let progress_on = cfg.progress_every_s > 0.0;
+        let mut last_progress = std::time::Instant::now();
+        let mut last_progress_events = 0u64;
 
         // Fast-forward state: per-job tick-invariant speed (valid only
         // while nothing that feeds the speed computation can change —
@@ -292,9 +324,32 @@ impl Simulation {
                         wall_us,
                     });
                 }
+                // Feed the flight recorder *after* the round applied
+                // its decisions: the snapshot reads state, never
+                // writes it, so decisions are identical with the
+                // recorder on or off.
+                if let Some(mut rec) = self.flight.take() {
+                    let deltas = rec.counter_deltas(&tel);
+                    rec.record(self.sample_flight(round, t, deltas));
+                    self.flight = Some(rec);
+                }
             }
             if tick.is_multiple_of(ticks_per_sample) {
-                timeline.push(self.sample_timeline(t));
+                let point = self.sample_timeline(t);
+                if progress_on {
+                    let elapsed = last_progress.elapsed().as_secs_f64();
+                    if elapsed >= cfg.progress_every_s {
+                        let ev_per_s =
+                            (self.events_seen - last_progress_events) as f64 / elapsed.max(1e-9);
+                        eprint!(
+                            "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} ev/s={ev_per_s:.1}    ",
+                            point.active_jobs, point.worker_utilization
+                        );
+                        last_progress = std::time::Instant::now();
+                        last_progress_events = self.events_seen;
+                    }
+                }
+                timeline.push(point);
             }
 
             // Advance running jobs by one tick.
@@ -312,6 +367,16 @@ impl Simulation {
                     self.jobs[i].overhead_remaining_s -= dt;
                     any_active = true;
                     continue;
+                }
+                if self.jobs[i].jct.phase() == JctPhase::Overhead {
+                    // The restart overhead just drained: charge the
+                    // span and move to whatever the job's state now
+                    // implies. This tick is never skipped — the drain
+                    // itself kept `any_active` set on the previous
+                    // tick — so the transition time is identical with
+                    // fast-forward on or off.
+                    let next = self.jobs[i].current_phase();
+                    self.jobs[i].jct.transition(next, t);
                 }
                 if self.jobs[i].status != JobStatus::Running {
                     continue;
@@ -411,6 +476,10 @@ impl Simulation {
                     self.jobs[i].status = JobStatus::Finished;
                     self.jobs[i].ps = 0;
                     self.jobs[i].workers = 0;
+                    // Close the JCT phase clock at the exact (possibly
+                    // intra-tick) finish instant, so the four buckets
+                    // sum to the reported JCT to the last float.
+                    self.jobs[i].jct.settle(finish);
                     speed_cache[i] = None;
                     let id = self.jobs[i].spec.id;
                     let jct = finish - self.jobs[i].spec.submit_time;
@@ -448,10 +517,46 @@ impl Simulation {
             tick += 1;
         }
 
+        if progress_on {
+            // The status line uses `\r`; leave the cursor on a fresh
+            // line so whatever prints next is not glued to it.
+            eprintln!();
+        }
         if tel.is_enabled() {
             tel.add("sim.ticks_skipped", ticks_skipped);
             tel.add("sim.ticks_batched", ticks_batched);
         }
+
+        // Final estimator-audit settlement: predictions armed at the
+        // last scheduling round have seen a full interval of realized
+        // speed by now, so settle them into the report instead of
+        // dropping them on the floor. Serial, in job order.
+        for i in 0..self.jobs.len() {
+            let (id, realized) = (
+                self.jobs[i].spec.id.0,
+                self.jobs[i].observed_interval_speed(),
+            );
+            self.audit.settle_speed(&tel, round + 1, id, realized);
+        }
+
+        // Close the phase clocks of jobs still alive at the cap, so
+        // unfinished breakdowns partition `cap − submit` exactly.
+        let end_t = max_ticks as f64 * cfg.tick_s;
+        for job in self.jobs.iter_mut() {
+            job.jct.settle(end_t);
+        }
+        let breakdown: Vec<JctBreakdown> = self
+            .jobs
+            .iter()
+            .map(|j| JctBreakdown {
+                job: j.spec.id,
+                jct: j.finish_time.map(|f| f - j.spec.submit_time),
+                queue_s: j.jct.queue_s,
+                run_s: j.jct.run_s,
+                overhead_s: j.jct.overhead_s,
+                stall_s: j.jct.stall_s,
+            })
+            .collect();
 
         let jct: Vec<_> = self
             .jobs
@@ -494,6 +599,9 @@ impl Simulation {
             events: std::mem::take(&mut self.events),
             fidelity: std::mem::take(&mut self.fidelity),
             telemetry: tel.is_enabled().then(|| tel.summary()),
+            breakdown,
+            audit: self.audit.summary(),
+            flight: self.flight.take().map(FlightRecorder::into_log),
         }
     }
 
@@ -531,6 +639,11 @@ impl Simulation {
                     job.ps = 0;
                     job.workers = 0;
                     job.placement.clear();
+                    // Failure ticks are never fast-forwarded over
+                    // (`next_event_tick` stops at them), so this
+                    // transition time is mode-independent.
+                    let next = job.current_phase();
+                    job.jct.transition(next, t);
                 }
             }
         }
@@ -577,13 +690,14 @@ impl Simulation {
         // 0. Settle the previous round's speed predictions against the
         // interval's realized speeds, *before* the refits fold the same
         // observations into the models. Serial, in job order, so the
-        // audit trail is independent of the refit thread count.
-        if tel.is_enabled() {
-            for i in 0..self.jobs.len() {
-                let job = &self.jobs[i];
-                let (id, realized) = (job.spec.id.0, job.observed_interval_speed());
-                self.audit.settle_speed(&tel, round, id, realized);
-            }
+        // audit trail is independent of the refit thread count. Runs
+        // unconditionally: a disabled handle just drops the trace side
+        // while the summary counters keep accruing into
+        // `SimReport::audit`.
+        for i in 0..self.jobs.len() {
+            let job = &self.jobs[i];
+            let (id, realized) = (job.spec.id.0, job.observed_interval_speed());
+            self.audit.settle_speed(&tel, round, id, realized);
         }
 
         // 1. Admit & profile newly arrived jobs (§3.2 "Model fitting":
@@ -802,15 +916,13 @@ impl Simulation {
             job.interval_steps_start = job.steps_done;
             job.interval_active_s = 0.0;
         }
-        if tel.is_enabled() {
-            // Pinned jobs keep their configuration without passing
-            // through the apply step, so re-arm their speed audit here.
-            for &i in &pinned {
-                let job = &self.jobs[i];
-                if job.ps > 0 && job.workers > 0 {
-                    let predicted = job.speed_model.predict(job.ps, job.workers);
-                    self.audit.record_speed_prediction(job.spec.id.0, predicted);
-                }
+        // Pinned jobs keep their configuration without passing
+        // through the apply step, so re-arm their speed audit here.
+        for &i in &pinned {
+            let job = &self.jobs[i];
+            if job.ps > 0 && job.workers > 0 {
+                let predicted = job.speed_model.predict(job.ps, job.workers);
+                self.audit.record_speed_prediction(job.spec.id.0, predicted);
             }
         }
         // Reuse the round scratch and schedule buffers across rounds:
@@ -880,6 +992,13 @@ impl Simulation {
             } else {
                 JobStatus::Paused
             };
+            // Round ticks are never skipped, so the phase clock sees
+            // this decision at the same instant with fast-forward on
+            // or off. A rescale with overhead lands in Overhead; a
+            // placed job with no pending overhead in Running; a
+            // pre-first-placement job stays Queued; otherwise Stalled.
+            let next_phase = job.current_phase();
+            job.jct.transition(next_phase, t);
 
             // Environmental factors of the new placement.
             if new_ps > 0 && new_w > 0 {
@@ -923,26 +1042,23 @@ impl Simulation {
                     job: view.id.0,
                     what,
                 });
-                // Estimator audit: the convergence estimate is checked
-                // against ground truth immediately (both sides are known
-                // now); the speed prediction for the deployed config is
-                // held and settled against the next interval's realized
-                // speed.
-                let spe = job.steps_per_epoch().max(1) as f64;
-                let true_epochs = (job.true_total_steps as f64 - job.steps_done).max(0.0) / spe;
-                let predicted_epochs = job.convergence.predicted_remaining_epochs();
-                let speed_prediction =
-                    (new_ps > 0 && new_w > 0).then(|| job.speed_model.predict(new_ps, new_w));
-                self.audit.sample_convergence(
-                    &tel,
-                    round,
-                    view.id.0,
-                    predicted_epochs,
-                    true_epochs,
-                );
-                if let Some(predicted) = speed_prediction {
-                    self.audit.record_speed_prediction(view.id.0, predicted);
-                }
+            }
+            // Estimator audit: the convergence estimate is checked
+            // against ground truth immediately (both sides are known
+            // now); the speed prediction for the deployed config is
+            // held and settled against the next interval's realized
+            // speed. Unconditional — the predictions are pure reads and
+            // the disabled handle drops the trace side — so
+            // `SimReport::audit` is populated with or without telemetry.
+            let spe = job.steps_per_epoch().max(1) as f64;
+            let true_epochs = (job.true_total_steps as f64 - job.steps_done).max(0.0) / spe;
+            let predicted_epochs = job.convergence.predicted_remaining_epochs();
+            let speed_prediction =
+                (new_ps > 0 && new_w > 0).then(|| job.speed_model.predict(new_ps, new_w));
+            self.audit
+                .sample_convergence(&tel, round, view.id.0, predicted_epochs, true_epochs);
+            if let Some(predicted) = speed_prediction {
+                self.audit.record_speed_prediction(view.id.0, predicted);
             }
             if cfg.verbose {
                 eprintln!(
@@ -1074,6 +1190,114 @@ impl Simulation {
             worker_utilization: mean(&worker_utils),
             ps_utilization: mean(&ps_utils),
             allocated_cpu,
+        }
+    }
+
+    /// Builds one flight-recorder [`ClusterSnapshot`] at the end of a
+    /// scheduling round: per-pool resource usage reconstructed from the
+    /// current placements (plus background reservations; failed servers
+    /// count as fully used), free-CPU fragmentation, job population
+    /// counts and the supplied telemetry counter deltas. Read-only —
+    /// this never feeds back into scheduling.
+    fn sample_flight(
+        &self,
+        round: u64,
+        t: f64,
+        counter_deltas: Vec<(String, u64)>,
+    ) -> ClusterSnapshot {
+        let servers: Vec<_> = self.cluster.servers().collect();
+        let index_of: std::collections::HashMap<_, _> = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id(), i))
+            .collect();
+        // Per-server usage: background reservation (or full capacity
+        // for dead servers) plus every running job's placed tasks.
+        let mut used: Vec<ResourceVec> = servers
+            .iter()
+            .map(|s| {
+                if self.failed_servers.contains(&s.id()) {
+                    s.capacity()
+                } else if let Some(bg) = self.config.background {
+                    s.capacity() * bg.fraction_at(t)
+                } else {
+                    ResourceVec::zero()
+                }
+            })
+            .collect();
+        let mut queue_depth = 0usize;
+        let mut pending_jobs = 0usize;
+        let mut active_jobs = 0usize;
+        let mut finished_jobs = 0usize;
+        let mut running_workers = 0u32;
+        let mut running_ps = 0u32;
+        for job in &self.jobs {
+            match job.status {
+                JobStatus::Pending => pending_jobs += 1,
+                JobStatus::Finished => finished_jobs += 1,
+                JobStatus::Paused => {
+                    active_jobs += 1;
+                    queue_depth += 1;
+                }
+                JobStatus::Running => {
+                    active_jobs += 1;
+                    running_workers += job.workers;
+                    running_ps += job.ps;
+                    for (sid, counts) in &job.placement {
+                        let demand = job.spec.worker_profile * counts.workers as f64
+                            + job.spec.ps_profile * counts.ps as f64;
+                        if let Some(&i) = index_of.get(sid) {
+                            used[i] += demand;
+                        }
+                    }
+                }
+            }
+        }
+        // Aggregate per pool (server class), in first-seen order.
+        let mut pools: Vec<PoolStat> = Vec::new();
+        let mut total_free_cpu = 0.0_f64;
+        let mut largest_free_cpu = 0.0_f64;
+        for (i, server) in servers.iter().enumerate() {
+            let cap = server.capacity();
+            let pool = match pools.iter_mut().find(|p| p.pool == server.class()) {
+                Some(p) => p,
+                None => {
+                    pools.push(PoolStat::new(server.class(), 0));
+                    pools.last_mut().expect("just pushed")
+                }
+            };
+            pool.servers += 1;
+            pool.cpu_used += used[i].get(ResourceKind::Cpu);
+            pool.cpu_total += cap.get(ResourceKind::Cpu);
+            pool.gpu_used += used[i].get(ResourceKind::Gpu);
+            pool.gpu_total += cap.get(ResourceKind::Gpu);
+            pool.mem_used += used[i].get(ResourceKind::MemoryGb);
+            pool.mem_total += cap.get(ResourceKind::MemoryGb);
+            pool.bw_used += used[i].get(ResourceKind::BandwidthGbps);
+            pool.bw_total += cap.get(ResourceKind::BandwidthGbps);
+            let free_cpu = (cap.get(ResourceKind::Cpu) - used[i].get(ResourceKind::Cpu)).max(0.0);
+            pool.largest_free_cpu = pool.largest_free_cpu.max(free_cpu);
+            total_free_cpu += free_cpu;
+            largest_free_cpu = largest_free_cpu.max(free_cpu);
+        }
+        let fragmentation = if total_free_cpu > 0.0 {
+            (1.0 - largest_free_cpu / total_free_cpu).max(0.0)
+        } else {
+            0.0
+        };
+        ClusterSnapshot {
+            round,
+            t_s: t,
+            pools,
+            fragmentation,
+            queue_depth,
+            pending_jobs,
+            active_jobs,
+            finished_jobs,
+            running_workers,
+            running_ps,
+            counter_deltas,
+            events_total: self.events_seen,
         }
     }
 }

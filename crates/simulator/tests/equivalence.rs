@@ -12,8 +12,8 @@ use optimus_cluster::{Cluster, ServerId};
 use optimus_core::prelude::*;
 use optimus_core::reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
 use optimus_ps::StragglerPolicy;
-use optimus_simulator::{SimConfig, Simulation};
-use optimus_telemetry::Telemetry;
+use optimus_simulator::{SimConfig, SimReport, Simulation};
+use optimus_telemetry::{FlightConfig, Telemetry};
 use optimus_workload::{JobId, JobSpec, ModelKind, TrainingMode};
 
 fn specs(n: u64) -> Vec<JobSpec> {
@@ -150,6 +150,94 @@ fn reference_scheduler_simulation_is_byte_identical() {
         optimized.1, reference.1,
         "report diverged between optimized and reference schedulers"
     );
+}
+
+/// Runs one Optimus simulation of 4 jobs and returns the full report.
+fn run_report(cfg: SimConfig) -> SimReport {
+    let mut sim = Simulation::new(
+        Cluster::paper_testbed(),
+        specs(4),
+        Box::new(OptimusScheduler::build()),
+        cfg,
+    );
+    sim.run()
+}
+
+/// The flight recorder is a pure observer: with it on — at a roomy
+/// capacity and at a tiny one that forces ring eviction — the event
+/// log, the schedule stream, and the JCT decomposition must be byte
+/// for byte what the recorder-off run produces.
+#[test]
+fn flight_recorder_is_decision_invariant() {
+    let off = run_report(base_config());
+    assert!(off.flight.is_none(), "no recorder configured, no log");
+    for capacity in [4096usize, 2] {
+        let mut cfg = base_config();
+        cfg.flight = Some(FlightConfig { capacity });
+        let on = run_report(cfg);
+        assert_eq!(
+            off.events.to_json_lines(),
+            on.events.to_json_lines(),
+            "event log diverged with recorder on (capacity {capacity})"
+        );
+        assert_eq!(
+            off.events.schedule_stream_json_lines(),
+            on.events.schedule_stream_json_lines(),
+            "schedule stream diverged with recorder on (capacity {capacity})"
+        );
+        let (a, b) = (
+            serde_json::to_string(&off.breakdown).unwrap(),
+            serde_json::to_string(&on.breakdown).unwrap(),
+        );
+        assert_eq!(a, b, "JCT decomposition diverged (capacity {capacity})");
+        let flight = on.flight.expect("recorder configured, log returned");
+        assert!(flight.recorded > 0, "recorder saw rounds");
+        assert!(
+            flight.snapshots.len() <= capacity,
+            "ring bounded by its capacity"
+        );
+        if capacity == 2 {
+            assert!(flight.dropped > 0, "a 2-slot ring must evict");
+        }
+    }
+}
+
+/// Flight snapshots describe the physical testbed: pool capacities sum
+/// to the paper's 13 servers, utilizations stay in [0, 1], and the
+/// event counter is monotone over rounds.
+#[test]
+fn flight_snapshots_are_physically_sane() {
+    let mut cfg = base_config();
+    cfg.flight = Some(FlightConfig::default());
+    let report = run_report(cfg);
+    let log = report.flight.expect("flight log");
+    assert!(log.recorded > 0 && log.dropped == 0);
+    let mut prev_events = 0u64;
+    let mut saw_load = false;
+    for snap in &log.snapshots {
+        // paper_testbed(): 7 cpu-class servers of 32 CPUs + 6 gpu-class
+        // servers of 16 CPUs.
+        let total_cpu: f64 = snap.pools.iter().map(|p| p.cpu_total).sum();
+        assert_eq!(total_cpu, 7.0 * 32.0 + 6.0 * 16.0);
+        let total_gpu: f64 = snap.pools.iter().map(|p| p.gpu_total).sum();
+        assert_eq!(total_gpu, 6.0 * 2.0);
+        for pool in &snap.pools {
+            assert!(
+                pool.cpu_used >= 0.0 && pool.cpu_used <= pool.cpu_total + 1e-9,
+                "pool {} cpu {} of {}",
+                pool.pool,
+                pool.cpu_used,
+                pool.cpu_total
+            );
+            let util = pool.cpu_util();
+            assert!((-1e-9..=1.0 + 1e-9).contains(&util));
+        }
+        assert!((0.0..=1.0).contains(&snap.fragmentation));
+        assert!(snap.events_total >= prev_events, "event counter monotone");
+        prev_events = snap.events_total;
+        saw_load |= snap.cpu_util() > 0.0;
+    }
+    assert!(saw_load, "a 4-job run must show nonzero utilization");
 }
 
 #[test]

@@ -47,11 +47,13 @@
 //! assert!(jsonl.contains("alloc.rounds"));
 //! ```
 
+pub mod flight;
 pub mod ledger;
 pub mod metrics;
 pub mod span;
 pub mod trace;
 
+pub use flight::{ClusterSnapshot, FlightConfig, FlightLog, FlightRecorder, PoolStat};
 pub use ledger::{RunLedger, RunManifest};
 pub use metrics::{HistogramSummary, TelemetrySummary};
 pub use span::{Span, SpanRecord};
@@ -148,6 +150,13 @@ impl Telemetry {
     pub fn counter(&self, name: &str) -> u64 {
         self.with_state(|s| s.counters.get(name).copied().unwrap_or(0))
             .unwrap_or(0)
+    }
+
+    /// All counters, name-sorted (empty when disabled). Used by the
+    /// [`flight::FlightRecorder`] to compute per-round deltas.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.with_state(|s| s.counters.iter().map(|(k, &v)| (k.clone(), v)).collect())
+            .unwrap_or_default()
     }
 
     /// Sets a gauge to `value`.

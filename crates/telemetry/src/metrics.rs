@@ -21,6 +21,12 @@ pub struct Histogram {
     pub min: f64,
     /// Largest observed value (`-∞` when empty).
     pub max: f64,
+    /// Observations strictly below the lowest bound. They are counted
+    /// in bucket 0 (whose semantics are `v ≤ bounds[0]`), so without
+    /// this count they would be indistinguishable from legitimate
+    /// bottom-bucket observations — the *underflow* side of ladder
+    /// saturation, which matters for signed-error histograms.
+    pub underflow: u64,
 }
 
 /// The default bucket bounds: a 1–2.5–5 log ladder from 1 up to 10⁹,
@@ -40,7 +46,8 @@ pub fn default_buckets() -> Vec<f64> {
 /// Bucket bounds for *signed* relative errors: a symmetric log ladder
 /// from ±1 % to ±5, with 0 separating under- from over-prediction.
 /// Values beyond ±5 land in the first/overflow buckets, which the
-/// [`HistogramSummary::overflow`] count makes visible.
+/// [`HistogramSummary::overflow`] and [`HistogramSummary::underflow`]
+/// counts make visible.
 pub fn signed_error_buckets() -> Vec<f64> {
     let ladder = [0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0];
     let mut bounds: Vec<f64> = ladder.iter().map(|b| -b).collect();
@@ -65,6 +72,7 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            underflow: 0,
         }
     }
 
@@ -78,6 +86,9 @@ impl Histogram {
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(self.bounds.len());
+        if self.bounds.first().is_some_and(|&lo| value < lo) {
+            self.underflow += 1;
+        }
         self.counts[idx] += 1;
         self.count += 1;
         self.sum += value;
@@ -127,6 +138,12 @@ impl Histogram {
     pub fn overflow(&self) -> u64 {
         self.counts.last().copied().unwrap_or(0)
     }
+
+    /// Observations strictly below the lowest bound (counted in bucket
+    /// 0 but tracked separately) — the low-side saturation count.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
 }
 
 /// The percentile digest of one histogram, as carried in summaries.
@@ -151,13 +168,18 @@ pub struct HistogramSummary {
     /// Observations above the top bucket bound. Non-zero flags a
     /// saturated ladder: the upper quantiles are clamped to `max`.
     pub overflow: u64,
+    /// Observations strictly below the lowest bucket bound. `None`
+    /// when the summary was written by a build that predates underflow
+    /// tracking (trace schema < 3) — unknown, not zero.
+    pub underflow: Option<u64>,
 }
 
 impl HistogramSummary {
-    /// True when observations fell past the top bucket bound, i.e. the
-    /// quantile estimates near the tail are bound-clamped.
+    /// True when the bucket ladder saturated on either side:
+    /// observations fell past the top bound (tail quantiles clamp to
+    /// `max`) or below the lowest bound (conflated into bucket 0).
     pub fn saturated(&self) -> bool {
-        self.overflow > 0
+        self.overflow > 0 || self.underflow.unwrap_or(0) > 0
     }
 }
 
@@ -175,6 +197,15 @@ pub struct TelemetrySummary {
     pub spans: usize,
     /// Decision records recorded.
     pub records: usize,
+}
+
+impl TelemetrySummary {
+    /// The histograms whose bucket ladders saturated (overflow or
+    /// underflow), name-sorted. Run ledgers embed this summary, so a
+    /// manifest records saturation without re-reading the trace.
+    pub fn saturated_histograms(&self) -> Vec<&HistogramSummary> {
+        self.histograms.iter().filter(|h| h.saturated()).collect()
+    }
 }
 
 pub(crate) fn summarize(state: &mut State) -> TelemetrySummary {
@@ -198,6 +229,7 @@ pub(crate) fn summarize(state: &mut State) -> TelemetrySummary {
                 p95: h.quantile(0.95),
                 p99: h.quantile(0.99),
                 overflow: h.overflow(),
+                underflow: Some(h.underflow()),
             })
             .collect(),
         spans: state.spans.len(),

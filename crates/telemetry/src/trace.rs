@@ -16,9 +16,15 @@ use serde::{Deserialize, Serialize};
 /// older or newer build. Bump on any incompatible line-shape change.
 ///
 /// History: 1 = PR 1 (no version field; reads back as `None`),
-/// 2 = this version (adds `v`, [`TraceEvent::EstimatorSample`], and
-/// histogram overflow counts in summaries).
-pub const SCHEMA_VERSION: u32 = 2;
+/// 2 = adds `v`, [`TraceEvent::EstimatorSample`], and histogram
+/// overflow counts in summaries,
+/// 3 = this version (adds histogram `underflow` counts to
+/// [`TraceLine::Histogram`] and summaries; the flight-recorder
+/// snapshot stream ships alongside as its own `flight.jsonl`
+/// artifact). Older traces still parse: `underflow` reads back as
+/// `None` — unknown, not zero — and `optimus-trace` warns on the
+/// legacy versions.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A scheduler decision worth explaining later. Job ids are raw `u64`s
 /// (this crate sits below the workload layer).
@@ -233,6 +239,9 @@ pub enum TraceLine {
         min: f64,
         /// Largest observation (0 when empty).
         max: f64,
+        /// Observations strictly below the lowest bound (`None` in
+        /// traces written before schema 3).
+        underflow: Option<u64>,
     },
 }
 
@@ -270,6 +279,7 @@ impl TraceLine {
             sum: h.sum,
             min: if h.count == 0 { 0.0 } else { h.min },
             max: if h.count == 0 { 0.0 } else { h.max },
+            underflow: Some(h.underflow()),
         }
     }
 }

@@ -52,6 +52,20 @@ ledger:
     cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/b
     cargo run --release --bin optimus-trace -- diff target/ledger-smoke/a target/ledger-smoke/b
 
+# Whole-simulation throughput: simulated-seconds per wall-second and
+# events per wall-second across the job grid, with a bit-identical
+# per-job JCT cross-check between samples (a nondeterministic engine
+# cannot record timings). Appends to the committed trajectory file.
+bench-sim:
+    cargo run --release -p optimus-bench --bin bench_sim -- --out BENCH_sim.json
+
+# Flight-recorder smoke: write a small ledgered run and render it as a
+# per-job Gantt chart plus utilization/fragmentation/queue timelines.
+timeline:
+    rm -rf target/timeline-demo
+    cargo run --release --bin optimus-sim -- run --jobs 4 --seed 11 --interval 300 --ledger target/timeline-demo
+    cargo run --release --bin optimus-trace -- timeline target/timeline-demo
+
 # Regression watchdog: fail if the newest committed bench entry is
 # slower than the best prior entry beyond the tolerance.
 check-bench:
@@ -61,6 +75,8 @@ check-bench:
 # reference equivalence proptests, 1-sample bench smoke runs (keeps
 # the timing harnesses compiling and executable without recording noise;
 # bench-alloc also cross-checks decisions against the reference), the
-# run-ledger determinism smoke, and the bench regression watchdog.
-ci: lint build test equivalence bench-alloc ledger check-bench
+# run-ledger determinism smoke, the flight-recorder timeline smoke, and
+# the bench regression watchdog.
+ci: lint build test equivalence bench-alloc ledger timeline check-bench
     cargo run --release -p optimus-bench --bin bench_fit -- --samples 1
+    cargo run --release -p optimus-bench --bin bench_sim -- --samples 1

@@ -22,7 +22,7 @@ USAGE:
   optimus-sim run      [--jobs N] [--seed S] [--scheduler NAME] [--target-hours H]
                        [--interval SECS] [--trace-in FILE] [--trace-out FILE]
                        [--events] [--json] [--trace FILE] [--chrome-trace FILE]
-                       [--ledger DIR]
+                       [--ledger DIR] [--flight CAP] [--progress SECS]
   optimus-sim batch    [--jobs N] [--seeds S1,S2,..] [--schedulers A,B,..]
                        [--threads T] [--target-hours H] [--interval SECS] [--json]
   optimus-sim generate [--jobs N] [--seed S] [--target-hours H]
@@ -43,7 +43,12 @@ FLAGS:
   --trace FILE      write a telemetry trace (JSONL) for optimus-trace
   --chrome-trace FILE  write the same trace as Chrome trace_event JSON
   --ledger DIR      write a run ledger (manifest + hashed artifacts) to DIR;
-                    implies telemetry and event recording
+                    implies telemetry, event recording and the flight recorder
+  --flight CAP      sample a cluster snapshot per scheduling round into a ring
+                    buffer of CAP snapshots (default off; --ledger turns it on
+                    at 4096)
+  --progress SECS   live status line on stderr every SECS wall seconds
+                    (default off)
 
 BATCH FLAGS:
   --seeds LIST      comma-separated RNG seeds        (default 17,23,31)
@@ -173,6 +178,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
         // A/B switch for the event-skipping tick loop: results are
         // identical either way; only wall-clock changes.
         let fast_forward = std::env::var("OPTIMUS_FAST_FORWARD").map_or(true, |v| v.trim() != "0");
+        let progress_every_s: f64 = flags.parse("--progress", 0.0)?;
+        let flight = match flags.get("--flight") {
+            Some(raw) => {
+                let capacity: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value for --flight: {raw}"))?;
+                Some(FlightConfig { capacity })
+            }
+            // A ledger should always carry the utilization timeline, so
+            // `optimus-trace timeline` can render any recorded run.
+            None => ledger_dir.map(|_| FlightConfig::default()),
+        };
         let cfg = SimConfig {
             interval_s,
             seed,
@@ -180,6 +197,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
             record_events: flags.has("--events") || ledger_dir.is_some(),
             telemetry: tel.clone(),
             fast_forward,
+            flight,
+            progress_every_s,
             ..SimConfig::default()
         };
         let mut sim = Simulation::new(Cluster::paper_testbed(), jobs, scheduler, cfg);

@@ -7,10 +7,13 @@
 //!   (written by `optimus-sim run --trace FILE`), or of a run ledger
 //!   directory (written by `--ledger DIR`), including the estimator
 //!   audit (`--models`);
+//! * **timeline** — render a run-ledger directory as a per-job Gantt
+//!   chart plus the flight recorder's utilization timeline;
 //! * **diff** — compare two run-ledger directories artifact by artifact
 //!   and localize the first divergent round/job/event;
 //! * **check-bench** — regression watchdog over the committed
-//!   `BENCH_sched.json` / `BENCH_fit.json` history files.
+//!   `BENCH_sched.json` / `BENCH_fit.json` / `BENCH_sim.json` history
+//!   files.
 
 use optimus::fitting::stats::{mean, p50_p95_p99};
 use optimus::ledger::{self, LoadedRun};
@@ -24,14 +27,24 @@ optimus-trace — summarize Optimus telemetry traces and run ledgers
 
 USAGE:
   optimus-trace FILE|RUN_DIR [--top N] [--no-jobs] [--spans] [--models]
+  optimus-trace timeline RUN_DIR [--width N] [--segments FILE] [--chrome FILE]
   optimus-trace diff RUN_A RUN_B
-  optimus-trace check-bench [--sched FILE] [--fit FILE] [--tolerance F]
+  optimus-trace check-bench [--sched FILE] [--fit FILE] [--sim FILE]
+                            [--tolerance F]
 
 SUMMARIZE FLAGS:
   --top N       counters to list                 (default 10)
   --no-jobs     skip the per-job timelines
   --spans       also print the per-span-name aggregates
   --models      print the estimator-accuracy audit (speed & convergence)
+
+TIMELINE:
+  Renders a run directory written with --ledger: one Gantt lane per job
+  from events.jsonl, plus the flight recorder's utilization timeline
+  from flight.jsonl when present.
+  --width N        chart width, columns          (default 72)
+  --segments FILE  also export the typed Gantt segments as JSONL
+  --chrome FILE    also export the utilization as Chrome counter tracks
 
 DIFF:
   Compares two run directories written with --ledger. Exit code 0 when
@@ -42,7 +55,8 @@ DIFF:
 CHECK-BENCH FLAGS:
   --sched FILE     scheduling bench history      (default BENCH_sched.json)
   --fit FILE       fitting bench history         (default BENCH_fit.json)
-  --tolerance F    allowed slowdown vs best prior entry (default 0.10)
+  --sim FILE       whole-sim throughput history  (default BENCH_sim.json)
+  --tolerance F    allowed regression vs best prior entry (default 0.10)
   Exit code 1 when the newest entry regresses past the tolerance.
 ";
 
@@ -57,6 +71,7 @@ fn main() -> ExitCode {
         };
     }
     match args[0].as_str() {
+        "timeline" => cmd_timeline(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
         "check-bench" => cmd_check_bench(&args[1..]),
         _ => cmd_summarize(&args),
@@ -192,6 +207,19 @@ fn print_manifest(run: &LoadedRun) {
     );
     for a in &m.artifacts {
         println!("  {:>9} lines  {}  {}", a.lines, a.hash, a.name);
+    }
+    // Saturated histograms mean the recorded tails are clamped: any
+    // percentile read from this run's buckets past the bound edge is a
+    // lower bound, not an estimate.
+    if let Some(summary) = &m.summary {
+        for h in summary.saturated_histograms() {
+            println!(
+                "  SATURATED histogram {}: {} past top bound, {} below bottom",
+                h.name,
+                h.overflow,
+                h.underflow.unwrap_or(0)
+            );
+        }
     }
     println!();
 }
@@ -448,6 +476,7 @@ fn print_histograms(lines: &[TraceLine]) {
             sum,
             min,
             max,
+            underflow,
             ..
         } = line
         {
@@ -461,16 +490,27 @@ fn print_histograms(lines: &[TraceLine]) {
                 sum / *count as f64
             };
             let overflow = counts.last().copied().unwrap_or(0);
+            // Legacy traces (schema < 3) carry no underflow count —
+            // treat it as unknown-zero for display.
+            let underflow = underflow.unwrap_or(0);
+            let saturation = match (overflow > 0, underflow > 0) {
+                (true, true) => format!(
+                    "  SATURATED ({overflow} past top bound, {underflow} below bottom; \
+                     edge quantiles clamped)"
+                ),
+                (true, false) => {
+                    format!("  SATURATED ({overflow} past top bound; tail quantiles clamped)")
+                }
+                (false, true) => {
+                    format!("  SATURATED ({underflow} below bottom bound; low quantiles clamped)")
+                }
+                (false, false) => String::new(),
+            };
             println!(
-                "  {name}: n={count} mean={mean:.1} p50={:.1} p95={:.1} p99={:.1} max={max:.1}{}",
+                "  {name}: n={count} mean={mean:.1} p50={:.1} p95={:.1} p99={:.1} max={max:.1}{saturation}",
                 hist_quantile(bounds, counts, *count, *min, *max, 0.50),
                 hist_quantile(bounds, counts, *count, *min, *max, 0.95),
                 hist_quantile(bounds, counts, *count, *min, *max, 0.99),
-                if overflow > 0 {
-                    format!("  SATURATED ({overflow} past top bound; tail quantiles clamped)")
-                } else {
-                    String::new()
-                },
             );
         }
     }
@@ -514,6 +554,78 @@ fn print_spans(lines: &[TraceLine]) {
             pctl(&agg.durs_us, 0.99),
             agg.durs_us[agg.durs_us.len() - 1],
         );
+    }
+}
+
+// -- timeline ---------------------------------------------------------
+
+/// `timeline RUN_DIR`: the per-job Gantt from the run's event log plus
+/// the utilization timeline from its flight-recorder snapshots.
+fn cmd_timeline(args: &[String]) -> ExitCode {
+    let Some(dir) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: optimus-trace timeline RUN_DIR [--width N]");
+        return ExitCode::from(2);
+    };
+    let width: usize = match flag_value(args, "--width") {
+        None => optimus::timeline::DEFAULT_WIDTH,
+        Some(raw) => match raw.parse() {
+            Ok(w) => w,
+            Err(_) => {
+                eprintln!("invalid value for --width: {raw}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let run = match ledger::load_run(Path::new(dir)) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let render = || -> Result<(), String> {
+        println!("timeline: {} ({:?})", run.dir.display(), run.manifest.label);
+        match run.artifacts.get(ledger::EVENTS_ARTIFACT) {
+            Some(body) => {
+                let events = optimus::timeline::parse_events(body)?;
+                print!("{}", optimus::timeline::render_gantt(&events, width));
+                if let Some(path) = flag_value(args, "--segments") {
+                    std::fs::write(path, optimus::timeline::segments_json_lines(&events))
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!("gantt segments written to {path}");
+                }
+            }
+            None => println!(
+                "(no {} artifact — re-record with --ledger)",
+                ledger::EVENTS_ARTIFACT
+            ),
+        }
+        println!();
+        match run.artifacts.get(ledger::FLIGHT_ARTIFACT) {
+            Some(body) => {
+                let log = optimus::telemetry::FlightLog::from_json_lines(body)
+                    .map_err(|e| format!("{}: {e}", ledger::FLIGHT_ARTIFACT))?;
+                print!("{}", optimus::timeline::render_utilization(&log, width));
+                if let Some(path) = flag_value(args, "--chrome") {
+                    std::fs::write(path, log.to_chrome_counter_tracks())
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!("chrome counter tracks written to {path}");
+                }
+            }
+            None => println!(
+                "(no {} artifact — this run predates the flight recorder \
+                 or ran without it)",
+                ledger::FLIGHT_ARTIFACT
+            ),
+        }
+        Ok(())
+    };
+    match render() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -596,26 +708,38 @@ fn cmd_diff(args: &[String]) -> ExitCode {
 // -- check-bench ------------------------------------------------------
 
 /// One bench history file's check plan: which fields identify a grid
-/// point and which field is the guarded latency.
+/// point and which field is the guarded metric.
 struct BenchCheck {
     default_path: &'static str,
     flag: &'static str,
     key_fields: &'static [&'static str],
     metric: &'static str,
+    /// Metric direction: latencies guard against increases,
+    /// throughputs against decreases.
+    higher_is_better: bool,
 }
 
-const BENCH_CHECKS: [BenchCheck; 2] = [
+const BENCH_CHECKS: [BenchCheck; 3] = [
     BenchCheck {
         default_path: "BENCH_sched.json",
         flag: "--sched",
         key_fields: &["jobs", "nodes"],
         metric: "mean_ns",
+        higher_is_better: false,
     },
     BenchCheck {
         default_path: "BENCH_fit.json",
         flag: "--fit",
         key_fields: &["jobs", "history"],
         metric: "mean_ns_optimized",
+        higher_is_better: false,
+    },
+    BenchCheck {
+        default_path: "BENCH_sim.json",
+        flag: "--sim",
+        key_fields: &["jobs"],
+        metric: "sim_seconds_per_wall_second",
+        higher_is_better: true,
     },
 ];
 
@@ -698,28 +822,39 @@ fn check_bench_file(path: &str, check: &BenchCheck, tolerance: f64) -> Result<us
     let mut checked = 0usize;
     for point in points(newest) {
         let Some(key) = key_of(&point) else { continue };
-        let Some(new_ns) = point.get(check.metric).and_then(|v| v.as_f64()) else {
+        let Some(new_val) = point.get(check.metric).and_then(|v| v.as_f64()) else {
             continue;
         };
-        // Best (lowest) prior latency for the same grid point.
+        // Best prior value for the same grid point: lowest latency, or
+        // highest throughput.
         let mut best: Option<(f64, String)> = None;
         for entry in prior {
             for p in points(entry) {
                 if key_of(&p).as_ref() != Some(&key) {
                     continue;
                 }
-                if let Some(ns) = p.get(check.metric).and_then(|v| v.as_f64()) {
-                    if best.as_ref().is_none_or(|(b, _)| ns < *b) {
-                        best = Some((ns, label(entry)));
+                if let Some(v) = p.get(check.metric).and_then(|v| v.as_f64()) {
+                    let better = if check.higher_is_better {
+                        best.as_ref().is_none_or(|(b, _)| v > *b)
+                    } else {
+                        best.as_ref().is_none_or(|(b, _)| v < *b)
+                    };
+                    if better {
+                        best = Some((v, label(entry)));
                     }
                 }
             }
         }
-        let Some((best_ns, best_label)) = best else {
+        let Some((best_val, best_label)) = best else {
             continue;
         };
         checked += 1;
-        if new_ns > best_ns * (1.0 + tolerance) {
+        let regressed = if check.higher_is_better {
+            new_val < best_val * (1.0 - tolerance)
+        } else {
+            new_val > best_val * (1.0 + tolerance)
+        };
+        if regressed {
             regressions += 1;
             let grid: Vec<String> = check
                 .key_fields
@@ -727,15 +862,22 @@ fn check_bench_file(path: &str, check: &BenchCheck, tolerance: f64) -> Result<us
                 .zip(&key)
                 .map(|(f, v)| format!("{f}={v}"))
                 .collect();
+            let show = |v: f64| {
+                if check.higher_is_better {
+                    format!("{v:.2}")
+                } else {
+                    format!("{:.2} ms", v / 1e6)
+                }
+            };
             eprintln!(
-                "check-bench: {path}: REGRESSION at {}: {} {:.2} ms vs best {:.2} ms \
+                "check-bench: {path}: REGRESSION at {}: {} {} vs best {} \
                  ({:?}, {:+.1} %)",
                 grid.join(" "),
                 check.metric,
-                new_ns / 1e6,
-                best_ns / 1e6,
+                show(new_val),
+                show(best_val),
                 best_label,
-                100.0 * (new_ns / best_ns - 1.0),
+                100.0 * (new_val / best_val - 1.0),
             );
         }
     }

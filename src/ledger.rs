@@ -30,6 +30,11 @@ pub const EVENTS_ARTIFACT: &str = "events.jsonl";
 pub const SCHEDULE_ARTIFACT: &str = "schedule.jsonl";
 /// Artifact name of the canonical telemetry trace.
 pub const TRACE_ARTIFACT: &str = "trace.jsonl";
+/// Artifact name of the per-job JCT decomposition.
+pub const JCT_ARTIFACT: &str = "jct.jsonl";
+/// Artifact name of the flight-recorder snapshot stream (present only
+/// when the run had the recorder on).
+pub const FLIGHT_ARTIFACT: &str = "flight.jsonl";
 
 /// Builds the ledger for one completed simulator run: config echo,
 /// deterministic artifacts (event log, schedule stream, canonical
@@ -59,6 +64,19 @@ pub fn sim_run_ledger(
         with_final_newline(report.events.schedule_stream_json_lines()),
     );
     ledger.add_artifact(TRACE_ARTIFACT, tel.to_canonical_json_lines());
+    let jct_lines: String = report
+        .breakdown
+        .iter()
+        .map(|b| {
+            let mut line = serde_json::to_string(b).expect("breakdown serializes");
+            line.push('\n');
+            line
+        })
+        .collect();
+    ledger.add_artifact(JCT_ARTIFACT, jct_lines);
+    if let Some(flight) = &report.flight {
+        ledger.add_artifact(FLIGHT_ARTIFACT, flight.to_json_lines());
+    }
     ledger
 }
 
@@ -158,7 +176,13 @@ pub struct RunDiff {
 /// Artifact walk order for divergence triage: placement decisions are
 /// scanned via the full event log first (it carries admissions and
 /// finishes too), then the schedule stream, then the canonical trace.
-const DIFF_PRIORITY: [&str; 3] = [EVENTS_ARTIFACT, SCHEDULE_ARTIFACT, TRACE_ARTIFACT];
+const DIFF_PRIORITY: [&str; 5] = [
+    EVENTS_ARTIFACT,
+    SCHEDULE_ARTIFACT,
+    TRACE_ARTIFACT,
+    JCT_ARTIFACT,
+    FLIGHT_ARTIFACT,
+];
 
 /// Lines of context shown on each side of a divergent line.
 const CONTEXT: usize = 3;

@@ -39,6 +39,7 @@
 
 pub mod bridge;
 pub mod ledger;
+pub mod timeline;
 
 pub use optimus_cluster as cluster;
 pub use optimus_core as core;
@@ -56,9 +57,9 @@ pub mod prelude {
     pub use optimus_fitting::{LossCurveFitter, LossModel};
     pub use optimus_ps::{EnvFactors, PsAssignment, PsJobModel, TaskCounts};
     pub use optimus_simulator::{
-        AssignmentPolicy, ErrorInjection, SimConfig, SimReport, Simulation,
+        AssignmentPolicy, ErrorInjection, JctBreakdown, SimConfig, SimReport, Simulation,
     };
-    pub use optimus_telemetry::{Telemetry, TelemetrySummary, TraceEvent};
+    pub use optimus_telemetry::{FlightConfig, FlightLog, Telemetry, TelemetrySummary, TraceEvent};
     pub use optimus_workload::{
         ArrivalProcess, GroundTruthCurve, JobId, JobSpec, ModelKind, TrainingMode,
         WorkloadGenerator,

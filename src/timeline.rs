@@ -1,0 +1,565 @@
+//! Render a recorded run as a per-job text Gantt chart and a cluster
+//! utilization timeline.
+//!
+//! Both renderers consume the run-ledger artifacts
+//! ([`crate::ledger::EVENTS_ARTIFACT`] and
+//! [`crate::ledger::FLIGHT_ARTIFACT`]) so any directory written with
+//! `optimus-sim run --ledger DIR` can be replayed visually after the
+//! fact — `optimus-trace timeline DIR` is the CLI entry point.
+//!
+//! The Gantt lanes are derived from the decision stream, not sampled:
+//! each job's lane is the exact sequence of queued → running → paused
+//! segments its events imply, quantized only at the terminal's column
+//! resolution. [`segments`] exposes the same intervals as typed data
+//! (and [`segments_json_lines`] as JSONL) for external plotting.
+
+use optimus_simulator::{SimEvent, SimEventKind};
+use optimus_telemetry::FlightLog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default chart width, columns.
+pub const DEFAULT_WIDTH: usize = 72;
+
+/// Lane glyphs: queued (admitted, never yet placed), running, paused
+/// (placed before, currently holding no tasks).
+const GLYPH_QUEUED: char = '░';
+const GLYPH_RUNNING: char = '█';
+const GLYPH_PAUSED: char = '·';
+
+/// One contiguous interval of a job's life in a single state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The job.
+    pub job: u64,
+    /// `"queued"`, `"running"` or `"paused"`.
+    pub state: String,
+    /// Segment start, simulated seconds.
+    pub start_s: f64,
+    /// Segment end, simulated seconds.
+    pub end_s: f64,
+}
+
+/// Parses an `events.jsonl` artifact into typed events.
+pub fn parse_events(jsonl: &str) -> Result<Vec<SimEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: SimEvent =
+            serde_json::from_str(line).map_err(|e| format!("events.jsonl:{}: {e}", i + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// The per-job state a Gantt lane tracks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LaneState {
+    Queued,
+    Running,
+    Paused,
+}
+
+impl LaneState {
+    fn name(self) -> &'static str {
+        match self {
+            LaneState::Queued => "queued",
+            LaneState::Running => "running",
+            LaneState::Paused => "paused",
+        }
+    }
+
+    fn glyph(self) -> char {
+        match self {
+            LaneState::Queued => GLYPH_QUEUED,
+            LaneState::Running => GLYPH_RUNNING,
+            LaneState::Paused => GLYPH_PAUSED,
+        }
+    }
+}
+
+/// Per-job digest extracted from the event stream: state-change edges
+/// plus the summary numbers printed next to each lane.
+#[derive(Debug, Clone)]
+struct Lane {
+    edges: Vec<(f64, LaneState)>,
+    end: Option<f64>,
+    jct: Option<f64>,
+    rescales: usize,
+}
+
+/// Folds the event stream into per-job lanes, job-id ordered.
+fn lanes(events: &[SimEvent]) -> BTreeMap<u64, Lane> {
+    let mut lanes: BTreeMap<u64, Lane> = BTreeMap::new();
+    for event in events {
+        let job = event.job().0;
+        let lane = lanes.entry(job).or_insert(Lane {
+            edges: Vec::new(),
+            end: None,
+            jct: None,
+            rescales: 0,
+        });
+        match event.kind {
+            SimEventKind::JobAdmitted { .. } => lane.edges.push((event.t, LaneState::Queued)),
+            SimEventKind::JobScheduled { rescale, .. } => {
+                lane.edges.push((event.t, LaneState::Running));
+                if rescale {
+                    lane.rescales += 1;
+                }
+            }
+            SimEventKind::JobPaused { .. } => {
+                // Before the first placement a job without tasks is
+                // *queued*, not paused — keep the distinction.
+                let ran = lane.edges.iter().any(|&(_, s)| s == LaneState::Running);
+                let state = if ran {
+                    LaneState::Paused
+                } else {
+                    LaneState::Queued
+                };
+                lane.edges.push((event.t, state));
+            }
+            SimEventKind::JobFinished { jct, .. } => {
+                lane.end = Some(event.t);
+                lane.jct = Some(jct);
+            }
+            SimEventKind::StragglerReplaced { .. } | SimEventKind::ChunksRebalanced { .. } => {}
+        }
+    }
+    lanes
+}
+
+/// The state a lane is in at time `t` (`None` before admission or
+/// after finish).
+fn state_at(lane: &Lane, t: f64) -> Option<LaneState> {
+    if let Some(end) = lane.end {
+        if t >= end {
+            return None;
+        }
+    }
+    let mut current = None;
+    for &(edge_t, state) in &lane.edges {
+        if edge_t <= t {
+            current = Some(state);
+        } else {
+            break;
+        }
+    }
+    current
+}
+
+/// The typed queued/running/paused intervals of every job, job-id then
+/// time ordered. Open-ended lanes (jobs alive at the cap) close at the
+/// last event time in the stream.
+pub fn segments(events: &[SimEvent]) -> Vec<Segment> {
+    let t_last = events.iter().map(|e| e.t).fold(0.0_f64, f64::max);
+    let mut out = Vec::new();
+    for (job, lane) in lanes(events) {
+        let close = lane.end.unwrap_or(t_last);
+        let mut open: Option<(f64, LaneState)> = None;
+        for &(t, state) in &lane.edges {
+            match open {
+                Some((start, prev)) if prev == state => {
+                    // Same state re-asserted (e.g. a rescale): the
+                    // segment just keeps going.
+                    let _ = start;
+                }
+                Some((start, prev)) => {
+                    if t > start {
+                        out.push(Segment {
+                            job,
+                            state: prev.name().to_string(),
+                            start_s: start,
+                            end_s: t,
+                        });
+                    }
+                    open = Some((t, state));
+                }
+                None => open = Some((t, state)),
+            }
+        }
+        if let Some((start, state)) = open {
+            if close > start {
+                out.push(Segment {
+                    job,
+                    state: state.name().to_string(),
+                    start_s: start,
+                    end_s: close,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// [`segments`] as JSON lines, one [`Segment`] per line.
+pub fn segments_json_lines(events: &[SimEvent]) -> String {
+    let mut out = String::new();
+    for seg in segments(events) {
+        out.push_str(&serde_json::to_string(&seg).expect("segment serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the per-job Gantt chart: one lane per job across `width`
+/// columns, with per-lane JCT and rescale annotations and a legend.
+pub fn render_gantt(events: &[SimEvent], width: usize) -> String {
+    let width = width.max(10);
+    let lanes = lanes(events);
+    if lanes.is_empty() {
+        return "(no job events — run with --events or --ledger)\n".to_string();
+    }
+    let t_min = events.iter().map(|e| e.t).fold(f64::INFINITY, f64::min);
+    let t_max = events.iter().map(|e| e.t).fold(0.0_f64, f64::max);
+    let span = (t_max - t_min).max(1.0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "job Gantt: {} jobs over {:.0} s  ({GLYPH_QUEUED} queued  \
+         {GLYPH_RUNNING} running  {GLYPH_PAUSED} paused)\n",
+        lanes.len(),
+        span
+    ));
+    for (job, lane) in &lanes {
+        let mut row = String::with_capacity(width);
+        for c in 0..width {
+            // Sample mid-column so a column shows the state covering
+            // most of it.
+            let t = t_min + (c as f64 + 0.5) / width as f64 * span;
+            row.push(state_at(lane, t).map_or(' ', LaneState::glyph));
+        }
+        let note = match lane.jct {
+            Some(jct) => format!("jct {jct:>8.0} s, {} rescales", lane.rescales),
+            None => format!("unfinished, {} rescales", lane.rescales),
+        };
+        out.push_str(&format!("  job {job:>3} |{row}| {note}\n"));
+    }
+    out.push_str(&format!(
+        "          {}^ t = {t_min:.0} s{}t = {t_max:.0} s ^\n",
+        "",
+        " ".repeat(width.saturating_sub(24))
+    ));
+    out
+}
+
+/// Block glyph for a level in `[0, 1]`.
+fn level_glyph(level: f64) -> char {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if !level.is_finite() || level <= 0.0 {
+        return ' ';
+    }
+    let idx = ((level * 8.0).ceil() as usize).clamp(1, 8) - 1;
+    BLOCKS[idx]
+}
+
+/// One utilization row: `values` bucketed into `width` columns by mean,
+/// rendered as block glyphs against `max`.
+fn render_row(
+    label: &str,
+    values: &[(f64, f64)],
+    t_min: f64,
+    span: f64,
+    width: usize,
+    max: f64,
+) -> String {
+    let mut sums = vec![0.0_f64; width];
+    let mut counts = vec![0u32; width];
+    for &(t, v) in values {
+        let c = (((t - t_min) / span) * width as f64) as usize;
+        let c = c.min(width - 1);
+        sums[c] += v;
+        counts[c] += 1;
+    }
+    let mut row = String::with_capacity(width);
+    let mut last = 0.0_f64;
+    for c in 0..width {
+        if counts[c] > 0 {
+            last = sums[c] / counts[c] as f64;
+        }
+        // Carry the last seen value across empty columns so sparse
+        // snapshot streams still draw a continuous band.
+        row.push(level_glyph(if max > 0.0 { last / max } else { 0.0 }));
+    }
+    let peak = values.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max);
+    format!("  {label:<16} |{row}| peak {peak:.2}\n")
+}
+
+/// Renders the cluster utilization timeline from a flight log: per-pool
+/// CPU utilization, cluster memory/bandwidth, fragmentation and queue
+/// depth over simulated time.
+pub fn render_utilization(log: &FlightLog, width: usize) -> String {
+    let width = width.max(10);
+    if log.snapshots.is_empty() {
+        return "(no flight snapshots — run with --flight or --ledger)\n".to_string();
+    }
+    let t_min = log
+        .snapshots
+        .iter()
+        .map(|s| s.t_s)
+        .fold(f64::INFINITY, f64::min);
+    let t_max = log.snapshots.iter().map(|s| s.t_s).fold(0.0_f64, f64::max);
+    let span = (t_max - t_min).max(1.0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "utilization: {} snapshots over {:.0} s{}\n",
+        log.snapshots.len(),
+        span,
+        if log.dropped > 0 {
+            format!(
+                "  ({} older snapshots evicted by the ring buffer)",
+                log.dropped
+            )
+        } else {
+            String::new()
+        }
+    ));
+    // One row per pool (first-seen order), then cluster-wide rows.
+    let mut pool_names = Vec::new();
+    for snap in &log.snapshots {
+        for pool in &snap.pools {
+            if !pool_names.contains(&pool.pool) {
+                pool_names.push(pool.pool.clone());
+            }
+        }
+    }
+    for name in &pool_names {
+        let series: Vec<(f64, f64)> = log
+            .snapshots
+            .iter()
+            .filter_map(|s| {
+                s.pools
+                    .iter()
+                    .find(|p| &p.pool == name)
+                    .map(|p| (s.t_s, p.cpu_util()))
+            })
+            .collect();
+        out.push_str(&render_row(
+            &format!("cpu [{name}]"),
+            &series,
+            t_min,
+            span,
+            width,
+            1.0,
+        ));
+    }
+    let series = |f: &dyn Fn(&optimus_telemetry::ClusterSnapshot) -> f64| -> Vec<(f64, f64)> {
+        log.snapshots.iter().map(|s| (s.t_s, f(s))).collect()
+    };
+    out.push_str(&render_row(
+        "cpu [cluster]",
+        &series(&|s| s.cpu_util()),
+        t_min,
+        span,
+        width,
+        1.0,
+    ));
+    out.push_str(&render_row(
+        "fragmentation",
+        &series(&|s| s.fragmentation),
+        t_min,
+        span,
+        width,
+        1.0,
+    ));
+    let queue = series(&|s| s.queue_depth as f64);
+    let queue_max = queue.iter().map(|&(_, v)| v).fold(1.0_f64, f64::max);
+    out.push_str(&render_row(
+        "queue depth",
+        &queue,
+        t_min,
+        span,
+        width,
+        queue_max,
+    ));
+    let active = series(&|s| s.active_jobs as f64);
+    let active_max = active.iter().map(|&(_, v)| v).fold(1.0_f64, f64::max);
+    out.push_str(&render_row(
+        "active jobs",
+        &active,
+        t_min,
+        span,
+        width,
+        active_max,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_telemetry::{ClusterSnapshot, PoolStat};
+
+    fn event(t: f64, kind: SimEventKind) -> SimEvent {
+        SimEvent { t, kind }
+    }
+
+    fn two_job_stream() -> Vec<SimEvent> {
+        use optimus_workload::JobId;
+        vec![
+            event(
+                0.0,
+                SimEventKind::JobAdmitted {
+                    job: JobId(0),
+                    profile_samples: 5,
+                },
+            ),
+            event(
+                0.0,
+                SimEventKind::JobScheduled {
+                    job: JobId(0),
+                    ps: 2,
+                    workers: 2,
+                    servers: 1,
+                    rescale: false,
+                },
+            ),
+            event(
+                100.0,
+                SimEventKind::JobAdmitted {
+                    job: JobId(1),
+                    profile_samples: 5,
+                },
+            ),
+            event(120.0, SimEventKind::JobPaused { job: JobId(1) }),
+            event(
+                600.0,
+                SimEventKind::JobScheduled {
+                    job: JobId(0),
+                    ps: 4,
+                    workers: 4,
+                    servers: 2,
+                    rescale: true,
+                },
+            ),
+            event(
+                600.0,
+                SimEventKind::JobScheduled {
+                    job: JobId(1),
+                    ps: 1,
+                    workers: 1,
+                    servers: 1,
+                    rescale: false,
+                },
+            ),
+            event(
+                900.0,
+                SimEventKind::JobFinished {
+                    job: JobId(0),
+                    jct: 900.0,
+                },
+            ),
+            event(
+                1200.0,
+                SimEventKind::JobFinished {
+                    job: JobId(1),
+                    jct: 1100.0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn parse_events_roundtrips_the_log() {
+        let jsonl: String = two_job_stream()
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let parsed = parse_events(&jsonl).expect("parses");
+        assert_eq!(parsed, two_job_stream());
+        assert!(parse_events("not json\n").is_err());
+    }
+
+    #[test]
+    fn segments_partition_each_lane() {
+        let segs = segments(&two_job_stream());
+        // Job 0: running 0→900 (the rescale does not split the
+        // segment). Job 1: queued 100→600, running 600→1200.
+        let job0: Vec<_> = segs.iter().filter(|s| s.job == 0).collect();
+        assert_eq!(job0.len(), 1);
+        assert_eq!(job0[0].state, "running");
+        assert_eq!((job0[0].start_s, job0[0].end_s), (0.0, 900.0));
+        let job1: Vec<_> = segs.iter().filter(|s| s.job == 1).collect();
+        assert_eq!(job1.len(), 2);
+        assert_eq!(job1[0].state, "queued");
+        assert_eq!((job1[0].start_s, job1[0].end_s), (100.0, 600.0));
+        assert_eq!(job1[1].state, "running");
+        assert_eq!((job1[1].start_s, job1[1].end_s), (600.0, 1200.0));
+        // Contiguous per job: each segment starts where the previous
+        // ended.
+        assert_eq!(job1[0].end_s, job1[1].start_s);
+        // JSONL export: one line per segment, parseable.
+        let jsonl = segments_json_lines(&two_job_stream());
+        assert_eq!(jsonl.lines().count(), segs.len());
+        for line in jsonl.lines() {
+            let _: Segment = serde_json::from_str(line).expect("segment parses");
+        }
+    }
+
+    #[test]
+    fn pre_first_placement_pause_counts_as_queued() {
+        // Job 1 is paused at t=120 before ever running: that interval
+        // renders as queue wait, not a scheduling stall.
+        let segs = segments(&two_job_stream());
+        assert!(segs.iter().all(|s| !(s.job == 1 && s.state == "paused")));
+    }
+
+    #[test]
+    fn gantt_renders_lanes_and_annotations() {
+        let chart = render_gantt(&two_job_stream(), 40);
+        assert!(chart.contains("job   0 |"));
+        assert!(chart.contains("job   1 |"));
+        assert!(chart.contains("jct      900 s, 1 rescales"));
+        assert!(chart.contains("jct     1100 s"));
+        // Lane rows have exactly the requested width between the pipes.
+        for line in chart.lines().filter(|l| l.contains('|')) {
+            let inner: String = line
+                .chars()
+                .skip_while(|&c| c != '|')
+                .skip(1)
+                .take_while(|&c| c != '|')
+                .collect();
+            assert_eq!(inner.chars().count(), 40, "{line}");
+        }
+        // Empty stream degrades gracefully.
+        assert!(render_gantt(&[], 40).contains("no job events"));
+    }
+
+    #[test]
+    fn utilization_renders_pool_rows() {
+        let mut log = FlightLog::default();
+        for round in 1..=6u64 {
+            log.snapshots.push(ClusterSnapshot {
+                round,
+                t_s: round as f64 * 600.0,
+                pools: vec![PoolStat {
+                    pool: "cpu".into(),
+                    servers: 7,
+                    cpu_used: 8.0 * round as f64,
+                    cpu_total: 224.0,
+                    ..PoolStat::default()
+                }],
+                queue_depth: (round % 3) as usize,
+                active_jobs: 3,
+                ..ClusterSnapshot::default()
+            });
+        }
+        log.recorded = 6;
+        let text = render_utilization(&log, 30);
+        assert!(text.contains("cpu [cpu]"));
+        assert!(text.contains("cpu [cluster]"));
+        assert!(text.contains("queue depth"));
+        assert!(text.contains("active jobs"));
+        assert!(text.contains("6 snapshots"));
+        // Empty log degrades gracefully.
+        assert!(render_utilization(&FlightLog::default(), 30).contains("no flight snapshots"));
+    }
+
+    #[test]
+    fn level_glyphs_cover_the_range() {
+        assert_eq!(level_glyph(0.0), ' ');
+        assert_eq!(level_glyph(1.0), '█');
+        assert_eq!(level_glyph(2.0), '█');
+        assert_ne!(level_glyph(0.1), level_glyph(0.9));
+    }
+}

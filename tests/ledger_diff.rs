@@ -28,6 +28,7 @@ fn run_ledgered(dir: &Path, failure: Option<(f64, ServerId)>) -> LoadedRun {
         record_events: true,
         telemetry: tel.clone(),
         server_failures: failure.into_iter().collect(),
+        flight: Some(FlightConfig::default()),
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(
@@ -55,7 +56,7 @@ fn identical_configs_produce_identical_ledgers() {
     }
     let diff = ledger::diff_runs(&a, &b);
     assert!(diff.identical, "self-diff must be empty: {diff:?}");
-    assert_eq!(diff.matching.len(), 3);
+    assert_eq!(diff.matching.len(), 5);
     assert!(diff.divergence.is_none());
 
     let _ = std::fs::remove_dir_all(&dir_a);

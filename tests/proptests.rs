@@ -168,6 +168,81 @@ proptest! {
         prop_assert!(speed <= bound * (1.0 + 1e-9), "{speed} > {bound}");
     }
 
+    /// The JCT decomposition is a partition: for every job,
+    /// `queue + run + overhead + stall` accrues to exactly the reported
+    /// completion time — under injected server failures and straggler
+    /// replacement, across arbitrary seeds. Unfinished jobs settle at
+    /// the simulation cap, so their bucket sums all extend to the same
+    /// absolute end instant.
+    #[test]
+    fn jct_decomposition_partitions_completion_time(
+        seed in 0u64..200,
+        n_jobs in 1usize..5,
+        fail_servers in prop::collection::vec(0usize..13, 0..3),
+    ) {
+        let jobs = WorkloadGenerator::new(
+            ArrivalProcess::UniformRandom { count: n_jobs, horizon_s: 2_000.0 },
+            seed,
+        )
+        .with_target_job_seconds(Some(1_500.0))
+        .generate();
+        let submits: std::collections::HashMap<u64, f64> =
+            jobs.iter().map(|j| (j.id.0, j.submit_time)).collect();
+        let cfg = SimConfig {
+            interval_s: 300.0,
+            max_time_s: 120_000.0,
+            seed,
+            straggler: optimus::ps::StragglerPolicy::with_injection(0.001),
+            server_failures: fail_servers
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (400.0 + 300.0 * i as f64, ServerId(s)))
+                .collect(),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            Cluster::paper_testbed(),
+            jobs,
+            Box::new(OptimusScheduler::build()),
+            cfg,
+        );
+        let report = sim.run();
+        prop_assert_eq!(report.breakdown.len(), n_jobs);
+        let mut unfinished_end: Option<f64> = None;
+        for b in &report.breakdown {
+            prop_assert!(b.queue_s >= 0.0 && b.run_s >= 0.0);
+            prop_assert!(b.overhead_s >= 0.0 && b.stall_s >= 0.0);
+            let sum = b.queue_s + b.run_s + b.overhead_s + b.stall_s;
+            let submit = submits[&b.job.0];
+            match b.jct {
+                Some(jct) => {
+                    // A handful of float additions separate the bucket
+                    // sum from `finish - submit`; at these magnitudes
+                    // 1e-6 s is orders beyond the accumulated ulps.
+                    prop_assert!(
+                        (sum - jct).abs() <= 1e-6,
+                        "job {}: {sum} != jct {jct}", b.job.0
+                    );
+                    let reported = report
+                        .jct
+                        .iter()
+                        .find(|(id, _)| *id == b.job)
+                        .map(|&(_, t)| t)
+                        .expect("finished job in report.jct");
+                    prop_assert_eq!(jct.to_bits(), reported.to_bits());
+                }
+                None => {
+                    // All unfinished clocks stop at the same cap tick.
+                    let end = sum + submit;
+                    if let Some(prev) = unfinished_end {
+                        prop_assert!((end - prev).abs() <= 1e-6);
+                    }
+                    unfinished_end = Some(end);
+                }
+            }
+        }
+    }
+
     /// Workload generation is a pure function of its seed.
     #[test]
     fn workloads_deterministic(seed in any::<u64>()) {
