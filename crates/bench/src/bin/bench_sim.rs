@@ -2,9 +2,9 @@
 //!
 //! The micro benches time one scheduling decision (`bench_sched`) and
 //! one refit sweep (`bench_fit`); this bench times the *whole engine* —
-//! tick loop, fast-forward, refits, scheduling rounds, event logging —
-//! by running a fixed workload on the paper testbed end to end and
-//! recording two rates per grid point:
+//! event calendar, progress waves, refits, scheduling rounds, event
+//! logging — by running a fixed workload on the paper testbed end to
+//! end and recording two rates per grid point:
 //!
 //! * **simulated-seconds per wall-second** — how much cluster time one
 //!   wall second buys (the headline throughput, higher is better);
@@ -12,28 +12,96 @@
 //!   second, a density-normalized view that does not reward runs that
 //!   merely simulate longer idle spans.
 //!
+//! The grid spans the regime where the legacy tick loop collapses: the
+//! historical 6- and 12-job points (the PR-3 fast-forward acceptance
+//! grid) plus 100- and 1000-job points whose arrival horizons stretch
+//! over months of simulated time. At every point up to 100 jobs the
+//! legacy tick engine is also timed once and the event engine's
+//! speedup over it is recorded (`tick_mode_sim_seconds_per_wall_second`
+//! / `event_speedup`); the 1000-job point is event-engine-only — the
+//! tick loop there is exactly the `jobs × ticks` wall this bench
+//! exists to retire.
+//!
 //! The benchmark is *defended*: every sample re-runs the identical
 //! deterministic configuration and the per-job JCT vector is asserted
-//! bit-identical across samples before any timing is recorded — a
-//! nondeterministic engine cannot quietly publish a throughput number.
-//! Timings append to a labeled JSON trajectory (`BENCH_sim.json` via
-//! `just bench-sim`) guarded by `optimus-trace check-bench`.
+//! bit-identical across samples — and across *engines* where both run —
+//! before any timing is recorded: a nondeterministic (or divergent)
+//! engine cannot quietly publish a throughput number. Timings append
+//! to a labeled JSON trajectory (`BENCH_sim.json` via `just bench-sim`)
+//! guarded by `optimus-trace check-bench`.
 //!
 //! ```text
-//! bench_sim [--samples N] [--label STR] [--out FILE]
+//! bench_sim [--samples N] [--label STR] [--out FILE] [--points LIST]
 //! ```
 
 use optimus_cluster::Cluster;
 use optimus_core::prelude::OptimusScheduler;
-use optimus_simulator::{SimConfig, Simulation};
+use optimus_simulator::{SimConfig, SimEngine, Simulation};
 use optimus_workload::{ArrivalProcess, WorkloadGenerator};
 use serde::Serialize;
 use std::process::ExitCode;
 use std::time::Instant;
 
-/// The acceptance grid: workload sizes on the paper's 13-server
-/// testbed.
-const POINTS: [usize; 2] = [6, 12];
+/// One acceptance-grid point: a workload size on the paper's 13-server
+/// testbed, with the arrival horizon and simulation cap it runs under.
+struct GridPoint {
+    jobs: usize,
+    /// Uniform-random arrival horizon, seconds.
+    horizon_s: f64,
+    /// Hard simulation cap, seconds (must exceed the makespan — the
+    /// bench asserts every job finishes).
+    max_time_s: f64,
+    /// Target nominal job duration, seconds.
+    job_s: f64,
+    /// Loss-report cadence, seconds. The historical 6/12-job points
+    /// keep the 5 s default; the at-scale points report every 60 s —
+    /// the aggregation cadence a cluster of that size would use, and
+    /// the same configuration for both engines being compared.
+    loss_sample_every_s: f64,
+    /// Also time the legacy tick engine at this point. Off for the
+    /// largest point, where walking `jobs × ticks` is the collapse the
+    /// event engine exists to avoid.
+    compare_tick: bool,
+}
+
+/// The acceptance grid. The 6/12-job points keep the PR-3 workload
+/// (12 000 s horizon, default cap) so the trajectory stays comparable
+/// across labels; the 100-job point spreads arrivals over a month and
+/// the 1000-job point over four months.
+const POINTS: [GridPoint; 4] = [
+    GridPoint {
+        jobs: 6,
+        horizon_s: 12_000.0,
+        max_time_s: 400_000.0,
+        job_s: 2.0 * 3_600.0,
+        loss_sample_every_s: 5.0,
+        compare_tick: true,
+    },
+    GridPoint {
+        jobs: 12,
+        horizon_s: 12_000.0,
+        max_time_s: 400_000.0,
+        job_s: 2.0 * 3_600.0,
+        loss_sample_every_s: 5.0,
+        compare_tick: true,
+    },
+    GridPoint {
+        jobs: 100,
+        horizon_s: 2_592_000.0,  // 30-day arrival window
+        max_time_s: 7_776_000.0, // 90-day cap
+        job_s: 3_600.0,
+        loss_sample_every_s: 60.0,
+        compare_tick: true,
+    },
+    GridPoint {
+        jobs: 1000,
+        horizon_s: 10_368_000.0,  // 120-day arrival window
+        max_time_s: 15_552_000.0, // 180-day cap
+        job_s: 3_600.0,
+        loss_sample_every_s: 60.0,
+        compare_tick: false,
+    },
+];
 
 /// Workload seed — fixed so every entry in the trajectory times the
 /// exact same runs.
@@ -48,6 +116,13 @@ struct PointRecord {
     sim_seconds_per_wall_second: f64,
     events: u64,
     events_per_wall_second: f64,
+    /// Legacy tick-engine throughput at the same point (one sample);
+    /// absent where the tick loop is not timed.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    tick_mode_sim_seconds_per_wall_second: Option<f64>,
+    /// Event-engine speedup over the tick engine at this point.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    event_speedup: Option<f64>,
 }
 
 /// One appended trajectory entry.
@@ -60,15 +135,24 @@ struct BenchEntry {
     points: Vec<PointRecord>,
 }
 
-/// One full simulation of `jobs` jobs: `(wall_ns, sim_seconds, events,
-/// jct_bits)`. The JCT bit pattern is the determinism witness.
-fn run_once(jobs: usize) -> (u64, f64, u64, Vec<(u64, u64)>) {
-    let specs = WorkloadGenerator::new(ArrivalProcess::paper_default(jobs), SEED)
-        .with_target_job_seconds(Some(2.0 * 3_600.0))
+/// One full simulation of a grid point under `engine`: `(wall_ns,
+/// sim_seconds, events, jct_bits)`. The JCT bit pattern is the
+/// determinism witness — within an engine across samples, and across
+/// engines where both run.
+fn run_once(point: &GridPoint, engine: SimEngine) -> (u64, f64, u64, Vec<(u64, u64)>) {
+    let arrivals = ArrivalProcess::UniformRandom {
+        count: point.jobs,
+        horizon_s: point.horizon_s,
+    };
+    let specs = WorkloadGenerator::new(arrivals, SEED)
+        .with_target_job_seconds(Some(point.job_s))
         .generate();
     let cfg = SimConfig {
         seed: SEED,
         record_events: true,
+        max_time_s: point.max_time_s,
+        loss_sample_every_s: point.loss_sample_every_s,
+        engine,
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(
@@ -113,7 +197,8 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "bench_sim — whole-simulation throughput trajectory\n\n\
-             USAGE: bench_sim [--samples N] [--label STR] [--out FILE]"
+             USAGE: bench_sim [--samples N] [--label STR] [--out FILE] [--points LIST]\n\n\
+             --points LIST   comma-separated job counts to run (default: all grid points)"
         );
         return ExitCode::SUCCESS;
     }
@@ -128,22 +213,46 @@ fn main() -> ExitCode {
     let samples = samples.max(1);
     let label = arg_value(&args, "--label").unwrap_or_else(|| "current".into());
     let out = arg_value(&args, "--out");
+    let selected: Option<Vec<usize>> = match arg_value(&args, "--points") {
+        None => None,
+        Some(list) => match list.split(',').map(|s| s.trim().parse()).collect() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                eprintln!("error: --points expects a comma-separated list of job counts");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if let Some(sel) = &selected {
+        if let Some(unknown) = sel.iter().find(|j| !POINTS.iter().any(|p| p.jobs == **j)) {
+            let known: Vec<String> = POINTS.iter().map(|p| p.jobs.to_string()).collect();
+            eprintln!(
+                "error: no {unknown}-job grid point (known: {})",
+                known.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     println!("bench_sim: {samples} samples per point (label: {label})\n");
     println!(
-        "{:>6} {:>12} {:>14} {:>16} {:>10} {:>14}",
-        "jobs", "wall ms", "sim seconds", "sim-s per wall-s", "events", "events per s"
+        "{:>6} {:>12} {:>14} {:>16} {:>10} {:>14} {:>10}",
+        "jobs", "wall ms", "sim seconds", "sim-s per wall-s", "events", "events per s", "vs tick"
     );
     let mut points = Vec::new();
-    for &jobs in &POINTS {
+    for point in POINTS
+        .iter()
+        .filter(|p| selected.as_ref().is_none_or(|sel| sel.contains(&p.jobs)))
+    {
+        let jobs = point.jobs;
         // Warm-up run (allocators, page faults) whose timing is
         // discarded but whose JCT vector anchors the determinism check.
-        let (_, _, _, witness) = run_once(jobs);
+        let (_, _, _, witness) = run_once(point, SimEngine::Event);
         let mut total_ns = 0u128;
         let mut sim_seconds = 0.0;
         let mut events = 0u64;
         for _ in 0..samples {
-            let (wall_ns, sim_s, ev, jct_bits) = run_once(jobs);
+            let (wall_ns, sim_s, ev, jct_bits) = run_once(point, SimEngine::Event);
             assert_eq!(
                 jct_bits, witness,
                 "nondeterministic simulation at {jobs} jobs — refusing to record timings"
@@ -156,8 +265,20 @@ fn main() -> ExitCode {
         let wall_s = mean_wall_ns as f64 / 1e9;
         let sim_per_wall = sim_seconds / wall_s.max(1e-12);
         let events_per_s = events as f64 / wall_s.max(1e-12);
+        let (tick_per_wall, speedup) = if point.compare_tick {
+            let (tick_wall_ns, tick_sim_s, _, tick_bits) = run_once(point, SimEngine::Tick);
+            assert_eq!(
+                tick_bits, witness,
+                "engines disagree on JCTs at {jobs} jobs — refusing to record timings"
+            );
+            let tick_rate = tick_sim_s / (tick_wall_ns as f64 / 1e9).max(1e-12);
+            (Some(tick_rate), Some(sim_per_wall / tick_rate.max(1e-12)))
+        } else {
+            (None, None)
+        };
+        let vs_tick = speedup.map_or_else(|| "-".into(), |s| format!("{s:.2}x"));
         println!(
-            "{jobs:>6} {:>12.2} {sim_seconds:>14.0} {sim_per_wall:>16.0} {events:>10} {events_per_s:>14.0}",
+            "{jobs:>6} {:>12.2} {sim_seconds:>14.0} {sim_per_wall:>16.0} {events:>10} {events_per_s:>14.0} {vs_tick:>10}",
             mean_wall_ns as f64 / 1e6,
         );
         points.push(PointRecord {
@@ -167,6 +288,8 @@ fn main() -> ExitCode {
             sim_seconds_per_wall_second: sim_per_wall,
             events,
             events_per_wall_second: events_per_s,
+            tick_mode_sim_seconds_per_wall_second: tick_per_wall,
+            event_speedup: speedup,
         });
     }
 

@@ -21,6 +21,7 @@
 //!   running-task counts and normalized CPU utilization over time.
 
 pub mod audit;
+pub mod equeue;
 pub mod events;
 pub mod inject;
 pub mod jobstate;
@@ -28,8 +29,9 @@ pub mod metrics;
 pub mod sim;
 
 pub use audit::{AuditSummary, EstimatorAudit};
+pub use equeue::{EventQueue, ScheduledEvent, SimEventType};
 pub use events::{EventLog, SimEvent, SimEventKind};
 pub use inject::ErrorInjection;
 pub use jobstate::{JctClock, JctPhase, JobStatus, SimJob};
 pub use metrics::{JctBreakdown, SimReport, TimePoint};
-pub use sim::{AssignmentPolicy, BackgroundLoad, SimConfig, Simulation};
+pub use sim::{AssignmentPolicy, BackgroundLoad, SimConfig, SimEngine, Simulation};

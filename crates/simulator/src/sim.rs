@@ -1,6 +1,7 @@
 //! The discrete-time simulation engine.
 
 use crate::audit::EstimatorAudit;
+use crate::equeue::{EventQueue, SimEventType};
 use crate::events::{EventLog, SimEventKind};
 use crate::inject::ErrorInjection;
 use crate::jobstate::{JctPhase, JobStatus, SimJob};
@@ -17,6 +18,59 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+
+/// Which core drives the simulation loop.
+///
+/// Both engines produce byte-identical results — event log, schedule
+/// stream, JCT breakdown, report, ledger hashes — for any
+/// configuration; the equivalence suite proves it. The event engine is
+/// the default because its cost scales with *events* (scheduling
+/// rounds, samples, failures, loss reports of running jobs) instead of
+/// with `jobs × ticks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimEngine {
+    /// Discrete-event core: a binary-heap calendar keyed by
+    /// `(tick, class, seq)` where each component schedules its own next
+    /// event; the tick grid between events is replayed per job in tight
+    /// arithmetic spans.
+    Event,
+    /// The legacy fixed-tick loop (compatibility mode): every tick
+    /// visits every job. Kept as the reference the event engine is
+    /// proven byte-identical against.
+    Tick,
+}
+
+impl SimEngine {
+    /// Engine selection from the `OPTIMUS_EVENT_ENGINE` environment
+    /// variable: `0`/`off`/`tick`/`false` selects the legacy tick loop,
+    /// anything else (including unset) the event engine.
+    pub fn from_env() -> Self {
+        match std::env::var("OPTIMUS_EVENT_ENGINE") {
+            Ok(v)
+                if v == "0"
+                    || v.eq_ignore_ascii_case("off")
+                    || v.eq_ignore_ascii_case("tick")
+                    || v.eq_ignore_ascii_case("false") =>
+            {
+                SimEngine::Tick
+            }
+            _ => SimEngine::Event,
+        }
+    }
+}
+
+/// What one job's tick body did — the per-job outcome both engines fold
+/// into their bookkeeping ([`Simulation::advance_job_one_tick`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct TickEffect {
+    /// The job did per-tick work (ran, drained overhead, or held a
+    /// pending JCT transition) — the tick cannot be idle-skipped.
+    active: bool,
+    /// The job reused a cached speed on the quiescent fast path.
+    batched: bool,
+    /// The job crossed its ground-truth convergence point this tick.
+    finished: bool,
+}
 
 /// Which parameter-block assignment the jobs' PS shards use (§5.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -147,6 +201,10 @@ pub struct SimConfig {
     pub progress_every_s: f64,
     /// Print each scheduling round's decisions to stderr (debugging).
     pub verbose: bool,
+    /// Which simulation core runs the loop (byte-identical results
+    /// either way). Defaults from `OPTIMUS_EVENT_ENGINE` via
+    /// [`SimEngine::from_env`].
+    pub engine: SimEngine,
 }
 
 impl Default for SimConfig {
@@ -180,6 +238,7 @@ impl Default for SimConfig {
             flight: None,
             progress_every_s: 0.0,
             verbose: false,
+            engine: SimEngine::from_env(),
         }
     }
 }
@@ -269,7 +328,19 @@ impl Simulation {
 
     /// Runs to completion (all jobs finished) or the time cap, returning
     /// the report.
+    ///
+    /// Dispatches on [`SimConfig::engine`]; both cores produce
+    /// byte-identical reports.
     pub fn run(&mut self) -> SimReport {
+        match self.config.engine {
+            SimEngine::Tick => self.run_tick(),
+            SimEngine::Event => self.run_event(),
+        }
+    }
+
+    /// The legacy fixed-tick loop ([`SimEngine::Tick`]): every tick
+    /// visits every job. Reference semantics for the event engine.
+    fn run_tick(&mut self) -> SimReport {
         let cfg = self.config.clone();
         let ticks_per_interval = (cfg.interval_s / cfg.tick_s).round().max(1.0) as u64;
         let ticks_per_sample = (cfg.sample_every_s / cfg.tick_s).round().max(1.0) as u64;
@@ -352,146 +423,22 @@ impl Simulation {
                 timeline.push(point);
             }
 
-            // Advance running jobs by one tick.
-            let dt = cfg.tick_s;
+            // Advance running jobs by one tick (shared with the event
+            // engine's waves so per-tick semantics cannot drift).
             let mut any_active = false;
             let mut any_batched = false;
-            // Indexed: the body needs `&mut self` (log, RNG) alongside
-            // `speed_cache[i]`, so no iterator over `self.jobs` works.
-            #[allow(clippy::needless_range_loop)]
+            let loss_tick = tick.is_multiple_of(loss_every);
             for i in 0..self.jobs.len() {
-                if self.jobs[i].status == JobStatus::Finished {
-                    continue;
-                }
-                if self.jobs[i].overhead_remaining_s > 0.0 {
-                    self.jobs[i].overhead_remaining_s -= dt;
-                    any_active = true;
-                    continue;
-                }
-                if self.jobs[i].jct.phase() == JctPhase::Overhead {
-                    // The restart overhead just drained: charge the
-                    // span and move to whatever the job's state now
-                    // implies. This tick is never skipped — the drain
-                    // itself kept `any_active` set on the previous
-                    // tick — so the transition time is identical with
-                    // fast-forward on or off.
-                    let next = self.jobs[i].current_phase();
-                    self.jobs[i].jct.transition(next, t);
-                }
-                if self.jobs[i].status != JobStatus::Running {
-                    continue;
-                }
-                any_active = true;
-                let speed = if cfg.fast_forward && self.jobs[i].stragglers.is_quiescent() {
-                    // A quiescent monitor makes `advance` a state/RNG
-                    // no-op and the slowdown refresh below a rewrite of
-                    // the identical all-healthy factors (every placement
-                    // syncs `env.worker_slowdown` and the monitor cannot
-                    // have changed since): skip both, and reuse the
-                    // speed — all of its inputs are tick-invariant
-                    // between invalidation points.
-                    match speed_cache[i] {
-                        Some(s) => {
-                            any_batched = true;
-                            s
-                        }
-                        None => {
-                            let truth = self.jobs[i].truth();
-                            let s = truth.speed_with(
-                                self.jobs[i].ps,
-                                self.jobs[i].workers,
-                                &self.jobs[i].env,
-                            );
-                            speed_cache[i] = Some(s);
-                            s
-                        }
-                    }
-                } else {
-                    speed_cache[i] = None;
-                    // Straggler dynamics.
-                    let before = self.jobs[i].stragglers.replacements();
-                    self.jobs[i].stragglers.advance(dt, &mut self.rng);
-                    let replaced = self.jobs[i].stragglers.replacements() - before;
-                    straggler_replacements_done += replaced;
-                    if replaced > 0 {
-                        let id = self.jobs[i].spec.id;
-                        self.log(
-                            t,
-                            SimEventKind::StragglerReplaced {
-                                job: id,
-                                replacements: replaced,
-                            },
-                        );
-                        if tel.is_enabled() {
-                            tel.record(TraceEvent::JobEvent {
-                                t_s: t,
-                                job: id.0,
-                                what: format!("straggler_replaced x{replaced}"),
-                            });
-                        }
-                    }
-                    {
-                        let job = &mut self.jobs[i];
-                        job.stragglers
-                            .slowdown_factors_into(&mut job.env.worker_slowdown);
-                    }
-
-                    let truth = self.jobs[i].truth();
-                    truth.speed_with(self.jobs[i].ps, self.jobs[i].workers, &self.jobs[i].env)
-                };
-                if speed <= 0.0 {
-                    continue;
-                }
-                // Async staleness discounts the *useful* progress per
-                // step; the step rate (and hence communication traffic)
-                // is unchanged.
-                let efficiency = match self.jobs[i].spec.mode {
-                    TrainingMode::Asynchronous if cfg.async_staleness > 0.0 => {
-                        1.0 / (1.0 + cfg.async_staleness * (self.jobs[i].workers.max(1) - 1) as f64)
-                    }
-                    _ => 1.0,
-                };
-                self.jobs[i].steps_done += speed * dt * efficiency;
-                self.jobs[i].interval_active_s += dt;
-
-                // Observed loss point (what the scheduler gets to see).
-                if tick.is_multiple_of(loss_every) {
-                    let spe = self.jobs[i].steps_per_epoch();
-                    let k = self.jobs[i].steps_done;
-                    let loss = self.jobs[i]
-                        .spec
-                        .profile()
-                        .curve
-                        .sample(k, spe, &mut self.rng);
-                    self.jobs[i].convergence.record(k as u64, loss);
-                }
-
-                // Ground-truth convergence check.
-                let total = self.jobs[i].true_total_steps as f64;
-                if self.jobs[i].steps_done >= total {
-                    let excess = self.jobs[i].steps_done - total;
-                    let within = dt - excess / speed.max(1e-12);
-                    let finish = t + within.clamp(0.0, dt);
-                    self.jobs[i].finish_time = Some(finish);
-                    self.jobs[i].status = JobStatus::Finished;
-                    self.jobs[i].ps = 0;
-                    self.jobs[i].workers = 0;
-                    // Close the JCT phase clock at the exact (possibly
-                    // intra-tick) finish instant, so the four buckets
-                    // sum to the reported JCT to the last float.
-                    self.jobs[i].jct.settle(finish);
-                    speed_cache[i] = None;
-                    let id = self.jobs[i].spec.id;
-                    let jct = finish - self.jobs[i].spec.submit_time;
-                    self.log(t, SimEventKind::JobFinished { job: id, jct });
-                    if tel.is_enabled() {
-                        tel.record(TraceEvent::JobEvent {
-                            t_s: finish,
-                            job: id.0,
-                            what: "finished".to_string(),
-                        });
-                    }
-                }
+                let effect = self.advance_job_one_tick(
+                    i,
+                    t,
+                    loss_tick,
+                    cfg.fast_forward,
+                    &mut speed_cache,
+                    &mut straggler_replacements_done,
+                );
+                any_active |= effect.active;
+                any_batched |= effect.batched;
             }
             if any_batched {
                 ticks_batched += 1;
@@ -526,6 +473,26 @@ impl Simulation {
             tel.add("sim.ticks_skipped", ticks_skipped);
             tel.add("sim.ticks_batched", ticks_batched);
         }
+
+        self.finalize_report(timeline, straggler_replacements_done, round)
+    }
+
+    /// Shared post-loop settlement and report assembly for both
+    /// engines: the final estimator-audit settlement, JCT phase-clock
+    /// closure at the time cap, the per-job breakdown, and the
+    /// [`SimReport`] itself. Byte-identical output requires both
+    /// engines to arrive here with identical job state, event log,
+    /// audit and flight recorder — which the loop equivalences
+    /// guarantee.
+    fn finalize_report(
+        &mut self,
+        timeline: Vec<TimePoint>,
+        straggler_replacements_done: usize,
+        round: u64,
+    ) -> SimReport {
+        let cfg = self.config.clone();
+        let tel = cfg.telemetry.clone();
+        let max_ticks = (cfg.max_time_s / cfg.tick_s).round() as u64;
 
         // Final estimator-audit settlement: predictions armed at the
         // last scheduling round have seen a full interval of realized
@@ -603,6 +570,592 @@ impl Simulation {
             audit: self.audit.summary(),
             flight: self.flight.take().map(FlightRecorder::into_log),
         }
+    }
+
+    /// The discrete-event core ([`SimEngine::Event`]): a binary-heap
+    /// calendar ([`EventQueue`]) of typed events — job arrivals and
+    /// completions, scheduling rounds, flight snapshots, timeline
+    /// samples, server failures, and job-progress waves — where each
+    /// component schedules its own next event. The tick grid between
+    /// events is replayed per active job as tight arithmetic spans
+    /// ([`Simulation::advance_job_span`]), so the cost of a run is
+    /// proportional to events and running-job work, not to
+    /// `jobs × ticks`. Results are byte-identical to
+    /// [`Simulation::run_tick`] — the equivalence suite proves it.
+    fn run_event(&mut self) -> SimReport {
+        let cfg = self.config.clone();
+        let ticks_per_interval = (cfg.interval_s / cfg.tick_s).round().max(1.0) as u64;
+        let ticks_per_sample = (cfg.sample_every_s / cfg.tick_s).round().max(1.0) as u64;
+        let loss_every = (cfg.loss_sample_every_s / cfg.tick_s).round().max(1.0) as u64;
+        let max_ticks = (cfg.max_time_s / cfg.tick_s).round() as u64;
+        let tel = cfg.telemetry.clone();
+
+        let mut timeline = Vec::new();
+        let mut straggler_replacements_done = 0usize;
+        let mut round: u64 = 0;
+
+        let progress_on = cfg.progress_every_s > 0.0;
+        let mut last_progress = std::time::Instant::now();
+        let mut last_progress_events = 0u64;
+        let mut last_progress_queue = 0u64;
+
+        let mut speed_cache: Vec<Option<f64>> = vec![None; self.jobs.len()];
+        // Jobs whose per-tick body can still have an effect: running,
+        // draining overhead, or holding a pending Overhead-phase
+        // transition. Ascending by index; rebuilt at rounds/failures.
+        let mut active: Vec<usize> = Vec::new();
+        let mut unfinished = self.jobs.len();
+        let mut waves = 0u64;
+
+        // Seed the calendar. Rounds and samples re-arm themselves; one
+        // failure event per configured crash; one arrival event per job
+        // at the first round tick that can admit it.
+        let mut queue = EventQueue::new();
+        if max_ticks > 0 {
+            queue.schedule(0, SimEventType::SchedulingRound);
+            queue.schedule(0, SimEventType::TimelineSample);
+            for &(at, _) in &cfg.server_failures {
+                let trig = Self::first_tick_at(at, cfg.tick_s);
+                if trig < max_ticks {
+                    queue.schedule(trig, SimEventType::ServerFailure);
+                }
+            }
+            for (i, job) in self.jobs.iter().enumerate() {
+                let eligible = Self::first_tick_at(job.spec.submit_time, cfg.tick_s);
+                let round_tick = eligible.div_ceil(ticks_per_interval) * ticks_per_interval;
+                if round_tick < max_ticks {
+                    queue.schedule(round_tick, SimEventType::JobArrival { job: i });
+                }
+            }
+        }
+
+        // `cursor` is the first tick whose job advancement has not run
+        // yet; ticks in `[cursor, popped.tick)` are event-free by
+        // construction and replayed as arithmetic spans.
+        let mut cursor: u64 = 0;
+        let mut current_tick: u64 = 0;
+        while let Some(ev) = queue.pop() {
+            if ev.tick >= max_ticks {
+                break;
+            }
+            if unfinished == 0 && ev.tick > current_tick {
+                // Everything finished during an earlier tick; the tick
+                // loop would have broken before this event's tick.
+                break;
+            }
+            if matches!(ev.kind, SimEventType::ProgressWave) && ev.tick < cursor {
+                // A superseded wave entry: a round-anchored wave or a
+                // shorter-period chain already advanced past its tick.
+                continue;
+            }
+            if ev.tick > cursor {
+                let from = cursor;
+                cursor = ev.tick;
+                if self.advance_range(from, ev.tick, &mut speed_cache, &mut active, &mut queue) {
+                    // Interior completions were queued; they sort
+                    // before `ev`, so put it back (its seq keeps its
+                    // slot) and let them drain first.
+                    queue.push(ev);
+                    continue;
+                }
+            }
+            current_tick = ev.tick;
+            let t = ev.tick as f64 * cfg.tick_s;
+            match ev.kind {
+                SimEventType::ServerFailure => {
+                    if self.process_server_failures(t) {
+                        speed_cache.fill(None);
+                        self.rebuild_active(&mut active);
+                    }
+                }
+                SimEventType::JobArrival { .. } => {
+                    // Calendar marker: the job is eligible from this
+                    // round tick on; the round at the same tick (later
+                    // class) performs the actual admission.
+                }
+                SimEventType::SchedulingRound => {
+                    let started = std::time::Instant::now();
+                    self.run_scheduling_round(t, round + 1);
+                    speed_cache.fill(None);
+                    round += 1;
+                    if tel.is_enabled() {
+                        let wall_us = started.elapsed().as_micros() as u64;
+                        tel.observe("sim.round_wall_us", wall_us as f64);
+                        let active_jobs = self
+                            .jobs
+                            .iter()
+                            .filter(|j| {
+                                j.status != JobStatus::Finished && j.status != JobStatus::Pending
+                            })
+                            .count();
+                        tel.record(TraceEvent::Round {
+                            round,
+                            t_s: t,
+                            active_jobs,
+                            wall_us,
+                        });
+                    }
+                    if self.flight.is_some() {
+                        queue.schedule(ev.tick, SimEventType::FlightSnapshot);
+                    }
+                    self.rebuild_active(&mut active);
+                    // This tick's own job advancement still has to run
+                    // (and newly placed jobs may need per-tick
+                    // randomness), so anchor the wave chain here.
+                    if active
+                        .iter()
+                        .any(|&i| self.jobs[i].status == JobStatus::Running)
+                    {
+                        queue.schedule(ev.tick, SimEventType::ProgressWave);
+                    }
+                    let next = ev.tick + ticks_per_interval;
+                    if next < max_ticks {
+                        queue.schedule(next, SimEventType::SchedulingRound);
+                    }
+                }
+                SimEventType::FlightSnapshot => {
+                    if let Some(mut rec) = self.flight.take() {
+                        let deltas = rec.counter_deltas(&tel);
+                        rec.record(self.sample_flight(round, t, deltas));
+                        self.flight = Some(rec);
+                    }
+                }
+                SimEventType::TimelineSample => {
+                    let point = self.sample_timeline(t);
+                    if progress_on {
+                        let elapsed = last_progress.elapsed().as_secs_f64();
+                        if elapsed >= cfg.progress_every_s {
+                            let ev_per_s = (self.events_seen - last_progress_events) as f64
+                                / elapsed.max(1e-9);
+                            let q_per_s = (queue.scheduled() - last_progress_queue) as f64
+                                / elapsed.max(1e-9);
+                            eprint!(
+                                "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} ev/s={ev_per_s:.1} queue-ev/s={q_per_s:.1}    ",
+                                point.active_jobs, point.worker_utilization
+                            );
+                            last_progress = std::time::Instant::now();
+                            last_progress_events = self.events_seen;
+                            last_progress_queue = queue.scheduled();
+                        }
+                    }
+                    timeline.push(point);
+                    let next = ev.tick + ticks_per_sample;
+                    if next < max_ticks {
+                        queue.schedule(next, SimEventType::TimelineSample);
+                    }
+                }
+                SimEventType::ProgressWave => {
+                    waves += 1;
+                    let loss_tick = ev.tick.is_multiple_of(loss_every);
+                    for &i in &active {
+                        let effect = self.advance_job_one_tick(
+                            i,
+                            t,
+                            loss_tick,
+                            true,
+                            &mut speed_cache,
+                            &mut straggler_replacements_done,
+                        );
+                        if effect.finished {
+                            unfinished -= 1;
+                        }
+                    }
+                    self.prune_active(&mut active);
+                    cursor = ev.tick + 1;
+                    if unfinished == 0 {
+                        break;
+                    }
+                    // Re-arm: every tick while any running monitor
+                    // draws per-tick randomness, else at the next
+                    // loss-sample tick (the spans between are pure
+                    // arithmetic).
+                    if let Some(next) = self.next_wave_tick(ev.tick, loss_every, &active) {
+                        if next < max_ticks {
+                            queue.schedule(next, SimEventType::ProgressWave);
+                        }
+                    }
+                }
+                SimEventType::JobCompletion { job, finish } => {
+                    self.emit_completion(ev.tick, job, finish);
+                    unfinished -= 1;
+                }
+            }
+        }
+
+        // Calendar exhausted (or stopped at the cap) with jobs still
+        // unfinished: replay the remaining event-free ticks up to the
+        // cap, exactly as the tick loop would.
+        if unfinished > 0
+            && cursor < max_ticks
+            && self.advance_range(cursor, max_ticks, &mut speed_cache, &mut active, &mut queue)
+        {
+            while let Some(ev) = queue.pop() {
+                if ev.tick >= max_ticks {
+                    continue;
+                }
+                if let SimEventType::JobCompletion { job, finish } = ev.kind {
+                    self.emit_completion(ev.tick, job, finish);
+                }
+            }
+        }
+
+        if progress_on {
+            // The status line uses `\r`; leave the cursor on a fresh
+            // line so whatever prints next is not glued to it.
+            eprintln!();
+        }
+        if tel.is_enabled() {
+            // Event-count accounting — the event engine's analogue of
+            // `sim.ticks_skipped`/`sim.ticks_batched`. Added only at
+            // the very end of the run so flight-snapshot counter
+            // deltas stay byte-identical across engines.
+            tel.add("sim.events_scheduled", queue.scheduled());
+            tel.add("sim.waves", waves);
+        }
+
+        self.finalize_report(timeline, straggler_replacements_done, round)
+    }
+
+    /// Advances job `i` through one simulation tick at time `t` —
+    /// exactly the per-job body of the legacy tick loop, shared by
+    /// both engines so their per-tick semantics cannot drift: overhead
+    /// drain, the deferred Overhead→next JCT transition, straggler
+    /// dynamics (RNG), speed computation (cached while provably
+    /// tick-invariant), progress integration, the observed loss sample
+    /// (RNG, on loss ticks), and the ground-truth convergence check
+    /// with intra-tick finish interpolation.
+    fn advance_job_one_tick(
+        &mut self,
+        i: usize,
+        t: f64,
+        loss_tick: bool,
+        allow_ff: bool,
+        speed_cache: &mut [Option<f64>],
+        straggler_replacements_done: &mut usize,
+    ) -> TickEffect {
+        let dt = self.config.tick_s;
+        if self.jobs[i].status == JobStatus::Finished {
+            return TickEffect::default();
+        }
+        if self.jobs[i].overhead_remaining_s > 0.0 {
+            self.jobs[i].overhead_remaining_s -= dt;
+            return TickEffect {
+                active: true,
+                ..TickEffect::default()
+            };
+        }
+        if self.jobs[i].jct.phase() == JctPhase::Overhead {
+            // The restart overhead just drained: charge the span and
+            // move to whatever the job's state now implies. This tick
+            // is never skipped — the drain itself kept the job active
+            // on the previous tick — so the transition time is
+            // engine- and fast-forward-independent.
+            let next = self.jobs[i].current_phase();
+            self.jobs[i].jct.transition(next, t);
+        }
+        if self.jobs[i].status != JobStatus::Running {
+            return TickEffect::default();
+        }
+        let mut batched = false;
+        let speed = if allow_ff && self.jobs[i].stragglers.is_quiescent() {
+            // A quiescent monitor makes `advance` a state/RNG no-op and
+            // the slowdown refresh below a rewrite of the identical
+            // all-healthy factors (every placement syncs
+            // `env.worker_slowdown` and the monitor cannot have changed
+            // since): skip both, and reuse the speed — all of its
+            // inputs are tick-invariant between invalidation points.
+            match speed_cache[i] {
+                Some(s) => {
+                    batched = true;
+                    s
+                }
+                None => {
+                    let truth = self.jobs[i].truth();
+                    let s =
+                        truth.speed_with(self.jobs[i].ps, self.jobs[i].workers, &self.jobs[i].env);
+                    speed_cache[i] = Some(s);
+                    s
+                }
+            }
+        } else {
+            speed_cache[i] = None;
+            // Straggler dynamics.
+            let before = self.jobs[i].stragglers.replacements();
+            self.jobs[i].stragglers.advance(dt, &mut self.rng);
+            let replaced = self.jobs[i].stragglers.replacements() - before;
+            *straggler_replacements_done += replaced;
+            if replaced > 0 {
+                let id = self.jobs[i].spec.id;
+                self.log(
+                    t,
+                    SimEventKind::StragglerReplaced {
+                        job: id,
+                        replacements: replaced,
+                    },
+                );
+                if self.config.telemetry.is_enabled() {
+                    self.config.telemetry.record(TraceEvent::JobEvent {
+                        t_s: t,
+                        job: id.0,
+                        what: format!("straggler_replaced x{replaced}"),
+                    });
+                }
+            }
+            {
+                let job = &mut self.jobs[i];
+                job.stragglers
+                    .slowdown_factors_into(&mut job.env.worker_slowdown);
+            }
+
+            let truth = self.jobs[i].truth();
+            truth.speed_with(self.jobs[i].ps, self.jobs[i].workers, &self.jobs[i].env)
+        };
+        if speed <= 0.0 {
+            return TickEffect {
+                active: true,
+                batched,
+                finished: false,
+            };
+        }
+        // Async staleness discounts the *useful* progress per step; the
+        // step rate (and hence communication traffic) is unchanged.
+        let efficiency = match self.jobs[i].spec.mode {
+            TrainingMode::Asynchronous if self.config.async_staleness > 0.0 => {
+                1.0 / (1.0 + self.config.async_staleness * (self.jobs[i].workers.max(1) - 1) as f64)
+            }
+            _ => 1.0,
+        };
+        self.jobs[i].steps_done += speed * dt * efficiency;
+        self.jobs[i].interval_active_s += dt;
+
+        // Observed loss point (what the scheduler gets to see).
+        if loss_tick {
+            let spe = self.jobs[i].steps_per_epoch();
+            let k = self.jobs[i].steps_done;
+            let loss = self.jobs[i]
+                .spec
+                .profile()
+                .curve
+                .sample(k, spe, &mut self.rng);
+            self.jobs[i].convergence.record(k as u64, loss);
+        }
+
+        // Ground-truth convergence check.
+        let total = self.jobs[i].true_total_steps as f64;
+        let mut finished = false;
+        if self.jobs[i].steps_done >= total {
+            let excess = self.jobs[i].steps_done - total;
+            let within = dt - excess / speed.max(1e-12);
+            let finish = t + within.clamp(0.0, dt);
+            self.jobs[i].finish_time = Some(finish);
+            self.jobs[i].status = JobStatus::Finished;
+            self.jobs[i].ps = 0;
+            self.jobs[i].workers = 0;
+            // Close the JCT phase clock at the exact (possibly
+            // intra-tick) finish instant, so the four buckets sum to
+            // the reported JCT to the last float.
+            self.jobs[i].jct.settle(finish);
+            speed_cache[i] = None;
+            let id = self.jobs[i].spec.id;
+            let jct = finish - self.jobs[i].spec.submit_time;
+            self.log(t, SimEventKind::JobFinished { job: id, jct });
+            if self.config.telemetry.is_enabled() {
+                self.config.telemetry.record(TraceEvent::JobEvent {
+                    t_s: finish,
+                    job: id.0,
+                    what: "finished".to_string(),
+                });
+            }
+            finished = true;
+        }
+        TickEffect {
+            active: true,
+            batched,
+            finished,
+        }
+    }
+
+    /// Replays the event-free tick span `[from, to)` for every active
+    /// job. Spans contain no loss-sample ticks for running jobs and no
+    /// straggler randomness by construction — the wave chain bounds
+    /// them — so each job reduces to overhead drain, the deferred
+    /// Overhead transition, and constant-rate progress integration
+    /// with the tick loop's exact per-tick float operations.
+    /// Ground-truth completions discovered inside the span are pushed
+    /// into the calendar as [`SimEventType::JobCompletion`] events (in
+    /// tick, then job-index order); returns true when any were pushed.
+    fn advance_range(
+        &mut self,
+        from: u64,
+        to: u64,
+        speed_cache: &mut [Option<f64>],
+        active: &mut Vec<usize>,
+        queue: &mut EventQueue,
+    ) -> bool {
+        let mut finished_any = false;
+        for &i in active.iter() {
+            if let Some((tick, finish)) = self.advance_job_span(i, from, to, speed_cache) {
+                queue.schedule(tick, SimEventType::JobCompletion { job: i, finish });
+                finished_any = true;
+            }
+        }
+        self.prune_active(active);
+        finished_any
+    }
+
+    /// One job's event-free span `[from, to)`: the tick-loop body minus
+    /// everything a span provably cannot contain (loss samples,
+    /// straggler randomness, scheduling decisions). Returns the
+    /// `(tick, finish_time)` of a ground-truth completion, if one
+    /// happened inside the span.
+    fn advance_job_span(
+        &mut self,
+        i: usize,
+        from: u64,
+        to: u64,
+        speed_cache: &mut [Option<f64>],
+    ) -> Option<(u64, f64)> {
+        let dt = self.config.tick_s;
+        let mut tick = from;
+        {
+            let job = &mut self.jobs[i];
+            if job.status == JobStatus::Finished {
+                return None;
+            }
+            // Overhead drain: one entry-check per tick, like the tick
+            // loop (the iterated float subtraction is part of the
+            // byte-identical contract).
+            while tick < to && job.overhead_remaining_s > 0.0 {
+                job.overhead_remaining_s -= dt;
+                tick += 1;
+            }
+            if tick >= to {
+                return None;
+            }
+            if job.jct.phase() == JctPhase::Overhead {
+                let t = tick as f64 * dt;
+                let next = job.current_phase();
+                job.jct.transition(next, t);
+            }
+            if job.status != JobStatus::Running {
+                // Drained but unplaced: every remaining tick of the
+                // span is a no-op.
+                return None;
+            }
+        }
+        let speed = match speed_cache[i] {
+            Some(s) => s,
+            None => {
+                let truth = self.jobs[i].truth();
+                let s = truth.speed_with(self.jobs[i].ps, self.jobs[i].workers, &self.jobs[i].env);
+                speed_cache[i] = Some(s);
+                s
+            }
+        };
+        if speed <= 0.0 {
+            return None;
+        }
+        let efficiency = match self.jobs[i].spec.mode {
+            TrainingMode::Asynchronous if self.config.async_staleness > 0.0 => {
+                1.0 / (1.0 + self.config.async_staleness * (self.jobs[i].workers.max(1) - 1) as f64)
+            }
+            _ => 1.0,
+        };
+        // `speed * dt * efficiency` multiplies the identical operands
+        // on every tick of the span, so hoisting the product preserves
+        // the tick loop's float results bit for bit.
+        let inc = speed * dt * efficiency;
+        let job = &mut self.jobs[i];
+        let total = job.true_total_steps as f64;
+        while tick < to {
+            job.steps_done += inc;
+            job.interval_active_s += dt;
+            if job.steps_done >= total {
+                let t = tick as f64 * dt;
+                let excess = job.steps_done - total;
+                let within = dt - excess / speed.max(1e-12);
+                let finish = t + within.clamp(0.0, dt);
+                job.finish_time = Some(finish);
+                job.status = JobStatus::Finished;
+                job.ps = 0;
+                job.workers = 0;
+                job.jct.settle(finish);
+                speed_cache[i] = None;
+                return Some((tick, finish));
+            }
+            tick += 1;
+        }
+        None
+    }
+
+    /// Logs a ground-truth completion discovered inside an event-free
+    /// span, at the tick time the tick loop would have logged it.
+    fn emit_completion(&mut self, tick: u64, job: usize, finish: f64) {
+        let t = tick as f64 * self.config.tick_s;
+        let id = self.jobs[job].spec.id;
+        let jct = finish - self.jobs[job].spec.submit_time;
+        self.log(t, SimEventKind::JobFinished { job: id, jct });
+        if self.config.telemetry.is_enabled() {
+            self.config.telemetry.record(TraceEvent::JobEvent {
+                t_s: finish,
+                job: id.0,
+                what: "finished".to_string(),
+            });
+        }
+    }
+
+    /// Rebuilds the active-job index list (ascending): jobs whose
+    /// per-tick body can still have an effect.
+    fn rebuild_active(&self, active: &mut Vec<usize>) {
+        active.clear();
+        active.extend(self.jobs.iter().enumerate().filter_map(|(i, j)| {
+            let is_active = j.status == JobStatus::Running
+                || j.overhead_remaining_s > 0.0
+                || j.jct.phase() == JctPhase::Overhead;
+            is_active.then_some(i)
+        }));
+    }
+
+    /// Drops jobs whose per-tick body became a no-op (finished, or
+    /// drained without a placement) from the active list.
+    fn prune_active(&self, active: &mut Vec<usize>) {
+        let jobs = &self.jobs;
+        active.retain(|&i| {
+            let j = &jobs[i];
+            j.status == JobStatus::Running
+                || j.overhead_remaining_s > 0.0
+                || j.jct.phase() == JctPhase::Overhead
+        });
+    }
+
+    /// When (if at all) the next job-progress wave must fire after a
+    /// wave at `tick`: the next tick while any running job's straggler
+    /// monitor draws per-tick randomness, the next loss-sample tick
+    /// while anything runs quiescently, or never (no running jobs —
+    /// the next scheduling round re-anchors the chain).
+    fn next_wave_tick(&self, tick: u64, loss_every: u64, active: &[usize]) -> Option<u64> {
+        let mut any_running = false;
+        for &i in active {
+            let job = &self.jobs[i];
+            if job.status == JobStatus::Running {
+                any_running = true;
+                if !job.stragglers.is_quiescent() {
+                    return Some(tick + 1);
+                }
+            }
+        }
+        any_running.then(|| (tick / loss_every + 1) * loss_every)
+    }
+
+    /// First tick whose time reaches `at`, stepped up from one below
+    /// the float quotient so rounding can't overshoot — the tick at
+    /// which an `at <= t` condition first becomes true.
+    fn first_tick_at(at: f64, tick_s: f64) -> u64 {
+        let mut trig = ((at / tick_s).floor() as i64 - 1).max(0) as u64;
+        while (trig as f64) * tick_s < at {
+            trig += 1;
+        }
+        trig
     }
 
     /// Access to the job states (post-run inspection in tests/examples).
@@ -740,9 +1293,30 @@ impl Simulation {
         // order so the trace stream is independent of thread count.
         {
             let span = tel.span("sched.refit");
-            let threads = cfg
-                .refit_threads
-                .unwrap_or_else(optimus_parallel::available_threads);
+            // Fit results are bitwise thread-count-independent (the
+            // equivalence suite proves it), so the auto setting is free
+            // to pick serial when the refit set is too small to
+            // amortize per-round thread spawns — which is most rounds:
+            // only non-finished, non-pending jobs refit. An explicit
+            // `refit_threads` is honored as-is.
+            let threads = match cfg.refit_threads {
+                Some(n) => n,
+                None => {
+                    let candidates = self
+                        .jobs
+                        .iter()
+                        .filter(|j| {
+                            j.status != JobStatus::Finished && j.status != JobStatus::Pending
+                        })
+                        .count();
+                    let auto = optimus_parallel::available_threads();
+                    if candidates < 8 * auto {
+                        1
+                    } else {
+                        auto
+                    }
+                }
+            };
             let traced = tel.is_enabled();
             let outcomes = optimus_parallel::run_indexed_mut(&mut self.jobs, threads, |_, job| {
                 if job.status == JobStatus::Finished || job.status == JobStatus::Pending {

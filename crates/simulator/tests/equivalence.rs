@@ -12,7 +12,7 @@ use optimus_cluster::{Cluster, ServerId};
 use optimus_core::prelude::*;
 use optimus_core::reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
 use optimus_ps::StragglerPolicy;
-use optimus_simulator::{SimConfig, SimReport, Simulation};
+use optimus_simulator::{SimConfig, SimEngine, SimReport, Simulation};
 use optimus_telemetry::{FlightConfig, Telemetry};
 use optimus_workload::{JobId, JobSpec, ModelKind, TrainingMode};
 
@@ -53,8 +53,10 @@ fn run_serialized(cfg: SimConfig, build: fn() -> CompositeScheduler, n: u64) -> 
     (log, json)
 }
 
-/// Reference = `fast_forward: false`, serial refits. Every fast
-/// configuration must match it byte for byte.
+/// Reference = legacy tick engine, `fast_forward: false`, serial
+/// refits. Every fast configuration — tick mode with the PR-3 fast
+/// path at 1/2/4/8 refit threads, and the discrete-event engine — must
+/// match it byte for byte.
 fn assert_fast_matches_reference(
     cfg: &SimConfig,
     build: fn() -> CompositeScheduler,
@@ -62,11 +64,13 @@ fn assert_fast_matches_reference(
     label: &str,
 ) {
     let mut reference_cfg = cfg.clone();
+    reference_cfg.engine = SimEngine::Tick;
     reference_cfg.fast_forward = false;
     reference_cfg.refit_threads = Some(1);
     let reference = run_serialized(reference_cfg, build, n);
     for threads in [1usize, 2, 4, 8] {
         let mut fast_cfg = cfg.clone();
+        fast_cfg.engine = SimEngine::Tick;
         fast_cfg.fast_forward = true;
         fast_cfg.refit_threads = Some(threads);
         let fast = run_serialized(fast_cfg, build, n);
@@ -77,6 +81,20 @@ fn assert_fast_matches_reference(
         assert_eq!(
             reference.1, fast.1,
             "{label}: report diverged at {threads} refit threads"
+        );
+    }
+    for threads in [1usize, 4] {
+        let mut event_cfg = cfg.clone();
+        event_cfg.engine = SimEngine::Event;
+        event_cfg.refit_threads = Some(threads);
+        let event = run_serialized(event_cfg, build, n);
+        assert_eq!(
+            reference.0, event.0,
+            "{label}: event log diverged between engines ({threads} refit threads)"
+        );
+        assert_eq!(
+            reference.1, event.1,
+            "{label}: report diverged between engines ({threads} refit threads)"
         );
     }
 }
@@ -240,23 +258,27 @@ fn flight_snapshots_are_physically_sane() {
     assert!(saw_load, "a 4-job run must show nonzero utilization");
 }
 
-#[test]
-fn fast_forward_actually_skips_and_batches_ticks() {
-    let tel = Telemetry::enabled();
-    let mut cfg = base_config();
-    cfg.telemetry = tel.clone();
-    // Nothing arrives until t = 1000 s: the warm-up is one long idle
-    // span the simulator must jump rather than walk.
-    let late: Vec<JobSpec> = specs(3)
+/// Three jobs that arrive only after a 1000 s idle warm-up — the span
+/// an engine must skip rather than walk.
+fn late_specs() -> Vec<JobSpec> {
+    specs(3)
         .into_iter()
         .map(|s| {
             let at = s.submit_time + 1_000.0;
             s.at(at)
         })
-        .collect();
+        .collect()
+}
+
+#[test]
+fn fast_forward_actually_skips_and_batches_ticks() {
+    let tel = Telemetry::enabled();
+    let mut cfg = base_config();
+    cfg.telemetry = tel.clone();
+    cfg.engine = SimEngine::Tick; // the counters under test are tick-mode accounting
     let mut sim = Simulation::new(
         Cluster::paper_testbed(),
-        late,
+        late_specs(),
         Box::new(OptimusScheduler::build()),
         cfg,
     );
@@ -266,4 +288,32 @@ fn fast_forward_actually_skips_and_batches_ticks() {
     // take the cached-speed body with a 1 s tick.
     assert!(tel.counter("sim.ticks_skipped") > 0, "no ticks skipped");
     assert!(tel.counter("sim.ticks_batched") > 0, "no ticks batched");
+}
+
+#[test]
+fn event_engine_cost_is_events_not_ticks() {
+    let tel = Telemetry::enabled();
+    let mut cfg = base_config();
+    cfg.telemetry = tel.clone();
+    cfg.engine = SimEngine::Event;
+    let mut sim = Simulation::new(
+        Cluster::paper_testbed(),
+        late_specs(),
+        Box::new(OptimusScheduler::build()),
+        cfg,
+    );
+    let report = sim.run();
+    assert_eq!(report.unfinished_jobs, 0);
+    let scheduled = tel.counter("sim.events_scheduled");
+    let waves = tel.counter("sim.waves");
+    assert!(scheduled > 0, "the calendar scheduled events");
+    assert!(waves > 0, "running jobs advanced through progress waves");
+    // The whole point: calendar entries and waves are both far fewer
+    // than the 40 000 grid ticks the legacy loop would walk.
+    let max_ticks = (base_config().max_time_s / base_config().tick_s).round() as u64;
+    assert!(
+        scheduled < max_ticks / 2,
+        "scheduled {scheduled} events for a {max_ticks}-tick horizon"
+    );
+    assert!(waves < max_ticks / 2, "{waves} waves for {max_ticks} ticks");
 }

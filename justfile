@@ -38,19 +38,32 @@ bench-alloc:
 
 # Prove the optimized paths byte-identical to the naive reference
 # implementations (property-based): allocator/placer, the incremental
-# warm-started convergence fitter, and the event-skipping simulator.
+# warm-started convergence fitter, and the simulator. The simulator
+# suite runs twice — once under the discrete-event engine (the
+# default) and once forced to the legacy tick loop — so both engine
+# defaults keep passing the same byte-identity proofs, plus the
+# event-calendar determinism proptests.
 equivalence:
     cargo test --release -p optimus-core --test equivalence
     cargo test --release -p optimus-fitting --test equivalence
     cargo test --release -p optimus-simulator --test equivalence
+    OPTIMUS_EVENT_ENGINE=0 cargo test --release -p optimus-simulator --test equivalence
+    cargo test --release -p optimus-simulator --test event_determinism
 
 # Ledger smoke: two identical small runs must produce byte-identical
-# artifacts — `optimus-trace diff` exits non-zero if they diverge.
+# artifacts — `optimus-trace diff` exits non-zero if they diverge —
+# and a third run under the legacy tick engine must hash identically
+# to the event-engine runs on every decision artifact (the cross-engine
+# determinism contract, DESIGN §11). `trace.jsonl` is excluded there:
+# it carries each engine's own accounting counters (events/waves vs
+# ticks skipped/batched), which differ by construction.
 ledger:
     rm -rf target/ledger-smoke
     cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/a
     cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/b
+    OPTIMUS_EVENT_ENGINE=0 cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/tick
     cargo run --release --bin optimus-trace -- diff target/ledger-smoke/a target/ledger-smoke/b
+    cargo run --release --bin optimus-trace -- diff --ignore trace.jsonl target/ledger-smoke/a target/ledger-smoke/tick
 
 # Whole-simulation throughput: simulated-seconds per wall-second and
 # events per wall-second across the job grid, with a bit-identical
@@ -72,11 +85,13 @@ check-bench:
     cargo run --release --bin optimus-trace -- check-bench
 
 # Everything CI would run: lint + build + tests, the optimized-vs-
-# reference equivalence proptests, 1-sample bench smoke runs (keeps
-# the timing harnesses compiling and executable without recording noise;
-# bench-alloc also cross-checks decisions against the reference), the
-# run-ledger determinism smoke, the flight-recorder timeline smoke, and
-# the bench regression watchdog.
+# reference equivalence proptests (in both engine modes), 1-sample
+# bench smoke runs (keeps the timing harnesses compiling and executable
+# without recording noise; bench-alloc also cross-checks decisions
+# against the reference; bench_sim smokes the at-scale 100-job grid
+# point, which includes its own tick-vs-event cross-check), the
+# run-ledger determinism smoke (including the cross-engine diff), the
+# flight-recorder timeline smoke, and the bench regression watchdog.
 ci: lint build test equivalence bench-alloc ledger timeline check-bench
     cargo run --release -p optimus-bench --bin bench_fit -- --samples 1
-    cargo run --release -p optimus-bench --bin bench_sim -- --samples 1
+    cargo run --release -p optimus-bench --bin bench_sim -- --samples 1 --points 100

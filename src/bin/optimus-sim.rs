@@ -190,6 +190,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
             // `optimus-trace timeline` can render any recorded run.
             None => ledger_dir.map(|_| FlightConfig::default()),
         };
+        // Engine selection mirrors the library default (the
+        // OPTIMUS_EVENT_ENGINE switch) but is resolved here so the
+        // ledger can echo which engine produced the run — the
+        // artifacts themselves are engine-invariant by contract.
+        let engine = SimEngine::from_env();
         let cfg = SimConfig {
             interval_s,
             seed,
@@ -197,6 +202,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             record_events: flags.has("--events") || ledger_dir.is_some(),
             telemetry: tel.clone(),
             fast_forward,
+            engine,
             flight,
             progress_every_s,
             ..SimConfig::default()
@@ -212,6 +218,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 ("scheduler".into(), Value::Str(scheduler_name.to_string())),
                 ("interval_s".into(), Value::Num(interval_s)),
                 ("fast_forward".into(), Value::Bool(fast_forward)),
+                (
+                    "engine".into(),
+                    Value::Str(
+                        match engine {
+                            SimEngine::Event => "event",
+                            SimEngine::Tick => "tick",
+                        }
+                        .to_string(),
+                    ),
+                ),
                 (
                     "trace_in".into(),
                     flags

@@ -28,7 +28,7 @@ optimus-trace — summarize Optimus telemetry traces and run ledgers
 USAGE:
   optimus-trace FILE|RUN_DIR [--top N] [--no-jobs] [--spans] [--models]
   optimus-trace timeline RUN_DIR [--width N] [--segments FILE] [--chrome FILE]
-  optimus-trace diff RUN_A RUN_B
+  optimus-trace diff [--ignore ARTIFACT]... RUN_A RUN_B
   optimus-trace check-bench [--sched FILE] [--fit FILE] [--sim FILE]
                             [--tolerance F]
 
@@ -632,9 +632,32 @@ fn cmd_timeline(args: &[String]) -> ExitCode {
 // -- diff -------------------------------------------------------------
 
 fn cmd_diff(args: &[String]) -> ExitCode {
-    let dirs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    // `--ignore NAME` (repeatable) drops an artifact from the
+    // comparison. The intended use is cross-engine diffs: the two sim
+    // engines produce byte-identical decision artifacts but keep
+    // engine-specific accounting counters in `trace.jsonl`, which a
+    // determinism check across engines must not read as divergence.
+    let mut ignored: Vec<&str> = Vec::new();
+    let mut dirs: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--ignore" {
+            match it.next() {
+                Some(name) => ignored.push(name),
+                None => {
+                    eprintln!("--ignore requires an artifact name");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag for diff: {arg}");
+            return ExitCode::from(2);
+        } else {
+            dirs.push(arg);
+        }
+    }
     if dirs.len() != 2 {
-        eprintln!("usage: optimus-trace diff RUN_A RUN_B");
+        eprintln!("usage: optimus-trace diff [--ignore ARTIFACT]... RUN_A RUN_B");
         return ExitCode::from(2);
     }
     let load = |p: &str| ledger::load_run(Path::new(p));
@@ -652,8 +675,22 @@ fn cmd_diff(args: &[String]) -> ExitCode {
             a.manifest.schema_version, b.manifest.schema_version
         );
     }
-    let diff = ledger::diff_runs(&a, &b);
+    let mut diff = ledger::diff_runs(&a, &b);
+    if !ignored.is_empty() {
+        diff.differing.retain(|n| !ignored.contains(&n.as_str()));
+        diff.only_in_one
+            .retain(|(n, _)| !ignored.contains(&n.as_str()));
+        diff.identical = diff.differing.is_empty() && diff.only_in_one.is_empty();
+        if let Some(d) = &diff.divergence {
+            if ignored.contains(&d.artifact.as_str()) {
+                diff.divergence = None;
+            }
+        }
+    }
     println!("diff: {} vs {}", a.dir.display(), b.dir.display());
+    for name in &ignored {
+        println!("  ~ {name} (ignored)");
+    }
     for name in &diff.matching {
         println!("  = {name}");
     }
@@ -708,15 +745,18 @@ fn cmd_diff(args: &[String]) -> ExitCode {
 // -- check-bench ------------------------------------------------------
 
 /// One bench history file's check plan: which fields identify a grid
-/// point and which field is the guarded metric.
+/// point and which fields are the guarded metrics. Each metric carries
+/// its own direction (`true` = higher is better) and is compared
+/// independently within the grid point: a run that trades simulated
+/// throughput against event throughput regresses whichever side fell,
+/// rather than being judged on a single blended number.
 struct BenchCheck {
     default_path: &'static str,
     flag: &'static str,
     key_fields: &'static [&'static str],
-    metric: &'static str,
-    /// Metric direction: latencies guard against increases,
+    /// `(field, higher_is_better)`: latencies guard against increases,
     /// throughputs against decreases.
-    higher_is_better: bool,
+    metrics: &'static [(&'static str, bool)],
 }
 
 const BENCH_CHECKS: [BenchCheck; 3] = [
@@ -724,22 +764,22 @@ const BENCH_CHECKS: [BenchCheck; 3] = [
         default_path: "BENCH_sched.json",
         flag: "--sched",
         key_fields: &["jobs", "nodes"],
-        metric: "mean_ns",
-        higher_is_better: false,
+        metrics: &[("mean_ns", false)],
     },
     BenchCheck {
         default_path: "BENCH_fit.json",
         flag: "--fit",
         key_fields: &["jobs", "history"],
-        metric: "mean_ns_optimized",
-        higher_is_better: false,
+        metrics: &[("mean_ns_optimized", false)],
     },
     BenchCheck {
         default_path: "BENCH_sim.json",
         flag: "--sim",
         key_fields: &["jobs"],
-        metric: "sim_seconds_per_wall_second",
-        higher_is_better: true,
+        metrics: &[
+            ("sim_seconds_per_wall_second", true),
+            ("events_per_wall_second", true),
+        ],
     },
 ];
 
@@ -822,68 +862,72 @@ fn check_bench_file(path: &str, check: &BenchCheck, tolerance: f64) -> Result<us
     let mut checked = 0usize;
     for point in points(newest) {
         let Some(key) = key_of(&point) else { continue };
-        let Some(new_val) = point.get(check.metric).and_then(|v| v.as_f64()) else {
-            continue;
-        };
-        // Best prior value for the same grid point: lowest latency, or
-        // highest throughput.
-        let mut best: Option<(f64, String)> = None;
-        for entry in prior {
-            for p in points(entry) {
-                if key_of(&p).as_ref() != Some(&key) {
-                    continue;
-                }
-                if let Some(v) = p.get(check.metric).and_then(|v| v.as_f64()) {
-                    let better = if check.higher_is_better {
-                        best.as_ref().is_none_or(|(b, _)| v > *b)
-                    } else {
-                        best.as_ref().is_none_or(|(b, _)| v < *b)
-                    };
-                    if better {
-                        best = Some((v, label(entry)));
+        for &(metric, higher_is_better) in check.metrics {
+            let Some(new_val) = point.get(metric).and_then(|v| v.as_f64()) else {
+                continue;
+            };
+            // Best prior value for the same grid point and metric:
+            // lowest latency, or highest throughput. A metric absent
+            // from every prior entry (added after the history started)
+            // has no baseline and is skipped.
+            let mut best: Option<(f64, String)> = None;
+            for entry in prior {
+                for p in points(entry) {
+                    if key_of(&p).as_ref() != Some(&key) {
+                        continue;
+                    }
+                    if let Some(v) = p.get(metric).and_then(|v| v.as_f64()) {
+                        let better = if higher_is_better {
+                            best.as_ref().is_none_or(|(b, _)| v > *b)
+                        } else {
+                            best.as_ref().is_none_or(|(b, _)| v < *b)
+                        };
+                        if better {
+                            best = Some((v, label(entry)));
+                        }
                     }
                 }
             }
-        }
-        let Some((best_val, best_label)) = best else {
-            continue;
-        };
-        checked += 1;
-        let regressed = if check.higher_is_better {
-            new_val < best_val * (1.0 - tolerance)
-        } else {
-            new_val > best_val * (1.0 + tolerance)
-        };
-        if regressed {
-            regressions += 1;
-            let grid: Vec<String> = check
-                .key_fields
-                .iter()
-                .zip(&key)
-                .map(|(f, v)| format!("{f}={v}"))
-                .collect();
-            let show = |v: f64| {
-                if check.higher_is_better {
-                    format!("{v:.2}")
-                } else {
-                    format!("{:.2} ms", v / 1e6)
-                }
+            let Some((best_val, best_label)) = best else {
+                continue;
             };
-            eprintln!(
-                "check-bench: {path}: REGRESSION at {}: {} {} vs best {} \
-                 ({:?}, {:+.1} %)",
-                grid.join(" "),
-                check.metric,
-                show(new_val),
-                show(best_val),
-                best_label,
-                100.0 * (new_val / best_val - 1.0),
-            );
+            checked += 1;
+            let regressed = if higher_is_better {
+                new_val < best_val * (1.0 - tolerance)
+            } else {
+                new_val > best_val * (1.0 + tolerance)
+            };
+            if regressed {
+                regressions += 1;
+                let grid: Vec<String> = check
+                    .key_fields
+                    .iter()
+                    .zip(&key)
+                    .map(|(f, v)| format!("{f}={v}"))
+                    .collect();
+                let show = |v: f64| {
+                    if higher_is_better {
+                        format!("{v:.2}")
+                    } else {
+                        format!("{:.2} ms", v / 1e6)
+                    }
+                };
+                eprintln!(
+                    "check-bench: {path}: REGRESSION at {}: {} {} vs best {} \
+                     ({:?}, {:+.1} %)",
+                    grid.join(" "),
+                    metric,
+                    show(new_val),
+                    show(best_val),
+                    best_label,
+                    100.0 * (new_val / best_val - 1.0),
+                );
+            }
         }
     }
     println!(
-        "check-bench: {path}: newest entry {:?} vs {} prior — {checked} grid points checked, \
-         {regressions} regression(s)",
+        "check-bench: {path}: newest entry {:?} vs {} prior — {checked} point-metric pairs \
+         checked, {regressions} regression(s)",
         label(newest),
         prior.len(),
     );
