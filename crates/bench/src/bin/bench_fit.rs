@@ -3,27 +3,45 @@
 //! Every scheduling interval the simulator refits one convergence model
 //! per active job from its full observed loss history. This bench times
 //! that interval-shaped workload — all jobs refit once after a batch of
-//! new loss points arrives — through the reference fitter (full rescan,
-//! `with_fast_path(false)`) and through the PR-3 fast path (incremental
-//! preprocessing, warm-started β₂ grid, scratch-buffer NNLS), and
-//! appends both timings to a labeled JSON trajectory
-//! (`BENCH_fit.json` via `just bench-fit`).
+//! new loss points arrives — through three paths:
+//!
+//! * **reference** — full rescan per job (`with_fast_path(false)`),
+//! * **scalar** — the PR-3 fast path (incremental preprocessing,
+//!   warm-started β₂ grid, scratch-buffer NNLS), one job at a time,
+//! * **batched** — the PR-8 SoA engine (`refit_convergence_batch`):
+//!   dirty jobs gathered into lane groups, one wave-synchronized β₂
+//!   grid scan per group, clean jobs replaying their cached fit.
+//!
+//! All three must produce identical coefficient bits (asserted), and
+//! the batched timing lands in `mean_ns_optimized` so `check-bench`
+//! gates it against the history. Grid points with a `dirty` count refit
+//! only that many jobs — the rest sit clean in the batch, the shape the
+//! dirty-set tracking exists for.
 //!
 //! ```text
-//! bench_fit [--samples N] [--label STR] [--out FILE]
+//! bench_fit [--samples N] [--label STR] [--out FILE] [--points J,J,...]
 //! ```
 //!
 //! With `--out`, the file is read (it must hold a JSON array, or not
 //! exist), the new entry is appended, and the array is rewritten —
-//! existing entries are never modified.
+//! existing entries are never modified. `--points` keeps only the grid
+//! points whose job count is in the comma-separated list (CI smokes the
+//! 5000-job point alone).
 
-use optimus_core::ConvergenceEstimator;
+use optimus_core::{refit_convergence_batch, ConvergenceEstimator};
 use serde::Serialize;
 use std::process::ExitCode;
 use std::time::Instant;
 
-/// The acceptance grid: (jobs, history length in loss samples).
-const POINTS: [(usize, usize); 3] = [(100, 100), (500, 250), (1_000, 500)];
+/// The acceptance grid: (jobs, history length in loss samples, dirty
+/// jobs). `None` refits every job — the legacy all-dirty shape.
+const POINTS: [(usize, usize, Option<usize>); 5] = [
+    (100, 100, None),
+    (500, 250, None),
+    (1_000, 500, None),
+    (5_000, 500, None),
+    (1_000, 500, Some(100)),
+];
 
 /// Loss points appended between the warm-up refit and the timed refit —
 /// one scheduling interval's worth of observations.
@@ -34,7 +52,13 @@ const INTERVAL_SAMPLES: usize = 10;
 struct PointRecord {
     jobs: usize,
     history: usize,
+    /// Jobs that gained samples since the warm-up fit; null = all.
+    dirty: Option<usize>,
     mean_ns_reference: u64,
+    /// The PR-3 per-job incremental path, kept in the record so the
+    /// trajectory shows what batching alone buys.
+    mean_ns_scalar: u64,
+    /// The batched SoA path — the gated metric.
     mean_ns_optimized: u64,
     speedup: f64,
 }
@@ -95,30 +119,47 @@ fn warmed_estimators(histories: &[Vec<(u64, f64)>], fast_path: bool) -> Vec<Conv
         .collect()
 }
 
+/// Which refit implementation a timing run drives.
+#[derive(Clone, Copy, PartialEq)]
+enum FitPath {
+    Reference,
+    Scalar,
+    Batched,
+}
+
 /// Per-job fit outcome, as coefficient bit patterns (β₀, β₁, β₂), for
-/// the reference/fast cross-check. `None` = the fit failed.
+/// the three-way cross-check. `None` = the fit failed.
 type FitBits = Option<(u64, u64, u64)>;
 
-/// Appends the interval's samples to every estimator and times the
-/// resulting refit sweep, returning mean ns per interval and the fit
-/// outcomes.
+/// Appends the interval's samples to the first `dirty` estimators and
+/// times the resulting refit sweep, returning mean ns per interval and
+/// the fit outcomes.
 fn time_refits(
     histories: &[Vec<(u64, f64)>],
-    fast_path: bool,
+    path: FitPath,
+    dirty: usize,
     samples: u32,
 ) -> (u64, Vec<FitBits>) {
     let mut total_ns = 0u128;
     let mut outcomes = Vec::new();
     for _ in 0..samples {
-        let mut ests = warmed_estimators(histories, fast_path);
-        for (est, h) in ests.iter_mut().zip(histories) {
+        let mut ests = warmed_estimators(histories, path != FitPath::Reference);
+        for (est, h) in ests.iter_mut().zip(histories).take(dirty) {
             for &(k, l) in &h[h.len() - INTERVAL_SAMPLES..] {
                 est.record(k, l);
             }
         }
         let start = Instant::now();
-        for est in ests.iter_mut() {
-            std::hint::black_box(est.refit().ok());
+        match path {
+            FitPath::Batched => {
+                let mut refs: Vec<&mut ConvergenceEstimator> = ests.iter_mut().collect();
+                std::hint::black_box(refit_convergence_batch(&mut refs, 1));
+            }
+            FitPath::Reference | FitPath::Scalar => {
+                for est in ests.iter_mut() {
+                    std::hint::black_box(est.refit().ok());
+                }
+            }
         }
         total_ns += start.elapsed().as_nanos();
         outcomes = ests
@@ -145,7 +186,8 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "bench_fit — per-interval convergence-refit timing trajectory\n\n\
-             USAGE: bench_fit [--samples N] [--label STR] [--out FILE] [--ledger DIR]"
+             USAGE: bench_fit [--samples N] [--label STR] [--out FILE] [--ledger DIR]\n\
+             \x20                [--points J,J,...]"
         );
         return ExitCode::SUCCESS;
     }
@@ -160,34 +202,61 @@ fn main() -> ExitCode {
     let samples = samples.max(1);
     let label = arg_value(&args, "--label").unwrap_or_else(|| "current".into());
     let out = arg_value(&args, "--out");
+    let points_filter: Option<Vec<usize>> = match arg_value(&args, "--points") {
+        None => None,
+        Some(raw) => {
+            let parsed: Result<Vec<usize>, _> = raw.split(',').map(|p| p.trim().parse()).collect();
+            match parsed {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    eprintln!("error: --points expects a comma-separated list of job counts");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
 
     println!("bench_fit: {samples} samples per point (label: {label})\n");
     println!(
-        "{:>8} {:>9} {:>16} {:>16} {:>9}",
-        "jobs", "history", "reference ms", "optimized ms", "speedup"
+        "{:>8} {:>9} {:>7} {:>14} {:>11} {:>11} {:>9}",
+        "jobs", "history", "dirty", "reference ms", "scalar ms", "batched ms", "speedup"
     );
     let mut points = Vec::new();
-    for &(jobs, hist_len) in &POINTS {
+    for &(jobs, hist_len, dirty) in &POINTS {
+        if let Some(filter) = &points_filter {
+            if !filter.contains(&jobs) {
+                continue;
+            }
+        }
+        let dirty_jobs = dirty.unwrap_or(jobs);
         let histories: Vec<Vec<(u64, f64)>> = (0..jobs)
             .map(|i| history(0x9E37_79B9 + i as u64, hist_len))
             .collect();
-        let (ref_ns, ref_fits) = time_refits(&histories, false, samples);
-        let (opt_ns, opt_fits) = time_refits(&histories, true, samples);
-        // The fast path must be a pure optimization: identical bits.
+        let (ref_ns, ref_fits) = time_refits(&histories, FitPath::Reference, dirty_jobs, samples);
+        let (sca_ns, sca_fits) = time_refits(&histories, FitPath::Scalar, dirty_jobs, samples);
+        let (opt_ns, opt_fits) = time_refits(&histories, FitPath::Batched, dirty_jobs, samples);
+        // Both fast paths must be pure optimizations: identical bits.
+        assert_eq!(
+            ref_fits, sca_fits,
+            "scalar fast path diverged from reference at {jobs} jobs x {hist_len} history"
+        );
         assert_eq!(
             ref_fits, opt_fits,
-            "fast path diverged from reference at {jobs} jobs x {hist_len} history"
+            "batched path diverged from reference at {jobs} jobs x {hist_len} history"
         );
         let speedup = ref_ns as f64 / opt_ns.max(1) as f64;
         println!(
-            "{jobs:>8} {hist_len:>9} {:>16.3} {:>16.3} {speedup:>8.2}x",
+            "{jobs:>8} {hist_len:>9} {dirty_jobs:>7} {:>14.3} {:>11.3} {:>11.3} {speedup:>8.2}x",
             ref_ns as f64 / 1e6,
+            sca_ns as f64 / 1e6,
             opt_ns as f64 / 1e6,
         );
         points.push(PointRecord {
             jobs,
             history: hist_len,
+            dirty,
             mean_ns_reference: ref_ns,
+            mean_ns_scalar: sca_ns,
             mean_ns_optimized: opt_ns,
             speedup,
         });
@@ -240,8 +309,12 @@ fn main() -> ExitCode {
                 Value::Array(
                     POINTS
                         .iter()
-                        .map(|&(j, h)| {
-                            Value::Array(vec![Value::Num(j as f64), Value::Num(h as f64)])
+                        .map(|&(j, h, d)| {
+                            Value::Array(vec![
+                                Value::Num(j as f64),
+                                Value::Num(h as f64),
+                                d.map(|d| Value::Num(d as f64)).unwrap_or(Value::Null),
+                            ])
                         })
                         .collect(),
                 ),

@@ -359,6 +359,30 @@ impl ConvergenceEstimator {
         self.predict().map(|p| p.remaining_steps).unwrap_or(default)
     }
 
+    /// Round-level dirty-set skip: when no sample arrived since the last
+    /// fit, returns the cached outcome and bumps `fit.dirty_skipped` —
+    /// the caller never pays for a fit (or a batch slot) at all. Returns
+    /// `None` when the estimator is dirty (or has never fit, or runs the
+    /// reference path), in which case the caller must refit.
+    ///
+    /// Distinct from `fit.skipped_unchanged`, which counts the same
+    /// condition detected *inside* [`ConvergenceEstimator::refit`]; this
+    /// accessor lets the simulator's round loop skip clean jobs before
+    /// gathering the batch.
+    pub fn cached_fit_if_clean(&mut self) -> Option<Result<LossModel, FitError>> {
+        if !self.fast_path || self.dirty || self.last_fit.is_none() {
+            return None;
+        }
+        self.tel.incr("fit.dirty_skipped");
+        self.last_fit.clone()
+    }
+
+    /// Whether any sample arrived since the last fit (always true before
+    /// the first fit).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty || self.last_fit.is_none()
+    }
+
     /// The points fed to the solver: raw samples, or bucket averages when
     /// over the cap.
     fn fit_points(&self) -> Vec<(u64, f64)> {
@@ -383,6 +407,99 @@ impl ConvergenceEstimator {
             })
             .collect()
     }
+}
+
+/// How one estimator's refit is satisfied in
+/// [`refit_convergence_batch`].
+enum RefitSlot {
+    /// Outcome already known (reference path, or skip-unchanged replay).
+    Ready(Result<LossModel, FitError>),
+    /// Queued for the batched SoA fit; payload is the job's stable
+    /// solver-point prefix.
+    Batched(usize),
+}
+
+/// Refits many estimators at once through the batched SoA fitting
+/// engine (`optimus_fitting::fit_batch`), with outcomes, estimator
+/// state and telemetry bit-identical to calling
+/// [`ConvergenceEstimator::refit`] on each in order.
+///
+/// Estimators on the reference path (or with an unchanged history,
+/// which replays the cached fit under `fit.skipped_unchanged` exactly
+/// as `refit` would) are handled scalar; the rest have their solver
+/// points updated and are fanned across `threads` workers in
+/// lane-width groups whose boundaries depend only on the input order —
+/// never on the thread count — so results are thread-invariant.
+pub fn refit_convergence_batch(
+    ests: &mut [&mut ConvergenceEstimator],
+    threads: usize,
+) -> Vec<Result<LossModel, FitError>> {
+    use optimus_fitting::{fit_batch, BatchFitJob, BatchScratch, LANES};
+
+    let n = ests.len();
+    let mut slots: Vec<RefitSlot> = Vec::with_capacity(n);
+    for est in ests.iter_mut() {
+        if !est.fast_path {
+            slots.push(RefitSlot::Ready(est.refit().copied()));
+            continue;
+        }
+        if !est.dirty && est.last_fit.is_some() {
+            est.tel.incr("fit.skipped_unchanged");
+            slots.push(RefitSlot::Ready(
+                est.last_fit.clone().expect("guarded by is_some"),
+            ));
+            continue;
+        }
+        slots.push(RefitSlot::Batched(est.update_fit_points()));
+    }
+
+    // Gather the batched lanes: disjoint-field borrows per estimator
+    // (solver points read-only, session mutable) feed the fit jobs.
+    let mut job_idx: Vec<usize> = Vec::new();
+    let mut jobs: Vec<BatchFitJob<'_>> = Vec::new();
+    for (i, est) in ests.iter_mut().enumerate() {
+        let RefitSlot::Batched(stable) = slots[i] else {
+            continue;
+        };
+        let ConvergenceEstimator {
+            fitter,
+            session,
+            points_cache,
+            ..
+        } = &mut **est;
+        jobs.push(BatchFitJob {
+            fitter,
+            raw: &points_cache.points,
+            stable_prefix: stable,
+            session,
+        });
+        job_idx.push(i);
+    }
+    let grouped = optimus_parallel::run_chunks_mut(&mut jobs, LANES, threads, |_, group| {
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::with_capacity(group.len());
+        fit_batch(group, &mut scratch, &mut out);
+        out
+    });
+    drop(jobs);
+
+    // Write back `refit`'s bookkeeping for the batched estimators.
+    for (&i, res) in job_idx.iter().zip(grouped.into_iter().flatten()) {
+        let est = &mut *ests[i];
+        est.dirty = false;
+        est.last_fit = Some(res.clone());
+        if let Ok(m) = &res {
+            est.model = Some(*m);
+        }
+        slots[i] = RefitSlot::Ready(res);
+    }
+    slots
+        .into_iter()
+        .map(|s| match s {
+            RefitSlot::Ready(r) => r,
+            RefitSlot::Batched(_) => unreachable!("every batched slot was filled"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -653,6 +770,125 @@ mod tests {
                 other => panic!("outcomes diverged at refit {i}: {other:?}"),
             }
         }
+    }
+
+    /// The batched driver must replay `refit()` exactly: same outcomes,
+    /// same estimator state afterwards (checked behaviorally across
+    /// rounds where only some estimators gain samples), same telemetry.
+    #[test]
+    fn batched_refit_matches_scalar_refit() {
+        let scalar_tel = Telemetry::enabled();
+        let batch_tel = Telemetry::enabled();
+        let n = 11usize;
+        let curve =
+            |i: usize| GroundTruthCurve::new(0.15 + 0.03 * i as f64, 0.05 + 0.01 * i as f64);
+        let mk = |tel: &Telemetry| -> Vec<ConvergenceEstimator> {
+            (0..n)
+                .map(|i| {
+                    ConvergenceEstimator::new(0.02, 50, 3)
+                        .with_max_fit_points(64 + i)
+                        .with_telemetry(tel.clone())
+                })
+                .collect()
+        };
+        let mut scalar = mk(&scalar_tel);
+        let mut batch = mk(&batch_tel);
+        // Lane 3 runs the reference path on both sides: mixed batches
+        // must route it scalar.
+        scalar[3] = std::mem::replace(&mut scalar[3], ConvergenceEstimator::new(0.02, 50, 3))
+            .with_fast_path(false);
+        batch[3] = std::mem::replace(&mut batch[3], ConvergenceEstimator::new(0.02, 50, 3))
+            .with_fast_path(false);
+
+        let mut step = vec![0u64; n];
+        for round in 0..6 {
+            for i in 0..n {
+                // Jobs grow at different rates; some gain nothing in a
+                // given round (clean lanes inside the batch).
+                let grow = ((i + round) % 4) * 37;
+                let mut rng = ChaCha8Rng::seed_from_u64(1000 + (round * n + i) as u64);
+                for _ in 0..grow {
+                    let loss = curve(i).sample(step[i] as f64, 50, &mut rng);
+                    scalar[i].record(step[i], loss);
+                    batch[i].record(step[i], loss);
+                    step[i] += 1;
+                }
+            }
+            let want: Vec<Result<LossModel, FitError>> =
+                scalar.iter_mut().map(|e| e.refit().copied()).collect();
+            let mut refs: Vec<&mut ConvergenceEstimator> = batch.iter_mut().collect();
+            for threads in [1usize, 4] {
+                // Re-running on an unchanged batch replays skip-unchanged
+                // on both sides, so a second scalar sweep keeps parity.
+                let got = refit_convergence_batch(&mut refs, threads);
+                let want = if threads == 1 {
+                    want.clone()
+                } else {
+                    scalar.iter_mut().map(|e| e.refit().copied()).collect()
+                };
+                for (i, (w, g)) in want.iter().zip(got.iter()).enumerate() {
+                    match (w, g) {
+                        (Ok(a), Ok(b)) => assert_eq!(
+                            (
+                                a.beta0.to_bits(),
+                                a.beta1.to_bits(),
+                                a.beta2.to_bits(),
+                                a.scale.to_bits(),
+                                a.residual_ss.to_bits()
+                            ),
+                            (
+                                b.beta0.to_bits(),
+                                b.beta1.to_bits(),
+                                b.beta2.to_bits(),
+                                b.scale.to_bits(),
+                                b.residual_ss.to_bits()
+                            ),
+                            "round {round} job {i} threads {threads}"
+                        ),
+                        (Err(a), Err(b)) => assert_eq!(a, b, "round {round} job {i}"),
+                        other => panic!("diverged at round {round} job {i}: {other:?}"),
+                    }
+                }
+            }
+            for (a, b) in scalar.iter().zip(batch.iter()) {
+                assert_eq!(a.predict(), b.predict(), "predictions at round {round}");
+            }
+        }
+        assert_eq!(
+            scalar_tel.summary(),
+            batch_tel.summary(),
+            "telemetry diverged"
+        );
+    }
+
+    /// `cached_fit_if_clean` replays only when truly clean, and counts
+    /// under its own counter.
+    #[test]
+    fn dirty_skip_replays_cached_outcome() {
+        let tel = Telemetry::enabled();
+        let curve = GroundTruthCurve::new(0.3, 0.1);
+        let mut est = ConvergenceEstimator::new(0.02, 100, 3).with_telemetry(tel.clone());
+        assert!(est.cached_fit_if_clean().is_none(), "no fit yet");
+        assert!(est.is_dirty());
+        feed(&mut est, &curve, 100, 50, 5);
+        let fitted = *est.refit().unwrap();
+        assert!(!est.is_dirty());
+        let replay = est.cached_fit_if_clean().expect("clean after refit");
+        assert_eq!(
+            replay.unwrap().beta0.to_bits(),
+            fitted.beta0.to_bits(),
+            "replayed model"
+        );
+        assert_eq!(tel.counter("fit.dirty_skipped"), 1);
+        assert_eq!(tel.counter("fit.skipped_unchanged"), 0);
+        est.record(51, 0.2);
+        assert!(est.is_dirty());
+        assert!(est.cached_fit_if_clean().is_none(), "dirty again");
+        // Reference path never volunteers a cached fit.
+        let mut slow = ConvergenceEstimator::new(0.02, 100, 3).with_fast_path(false);
+        feed(&mut slow, &curve, 100, 50, 5);
+        let _ = slow.refit();
+        assert!(slow.cached_fit_if_clean().is_none());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use allocation::{
     AllocScratch, Allocation, DrfAllocator, FifoAllocator, OptimusAllocator, ResourceAllocator,
     TetrisAllocator,
 };
-pub use convergence::ConvergenceEstimator;
+pub use convergence::{refit_convergence_batch, ConvergenceEstimator};
 pub use placement::{
     OptimusPlacer, PackPlacer, PlaceScratch, PlacementStore, SpreadPlacer, TaskPlacer,
 };

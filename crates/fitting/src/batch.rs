@@ -1,0 +1,1208 @@
+//! Batched structure-of-arrays loss-curve fitting.
+//!
+//! [`fit_batch`] runs [`LossCurveFitter::fit_incremental`] for up to
+//! [`LANES`] jobs at once by replaying the exact same candidate
+//! trajectory per job while executing the numeric work — regression-row
+//! construction, Gram products, Lawson–Hanson dual vectors, residual
+//! accumulation — as fixed-width lane-major passes over
+//! structure-of-arrays buffers. The inner loops are written so the
+//! compiler can vectorize across lanes (no cross-lane reductions,
+//! branchless selects, `[f64; LANES]` accumulators), which is where the
+//! speedup comes from; on CPUs with avx512f, [`fit_batch`] additionally
+//! dispatches to an AVX-512 compilation of the passes, with the hottest
+//! one (row build + Gram/RHS) hand-vectorized via intrinsics. Per-lane
+//! *control* (grid walk, memoization, golden-section branching, NNLS
+//! active-set changes) stays scalar.
+//!
+//! # Bit-identity
+//!
+//! Results are bit-identical to `fit_incremental` — models, error
+//! variants, `FitSession` state (memo + warm index) and telemetry
+//! counters alike; the `batch_equivalence` proptests enforce it. The
+//! load-bearing facts:
+//!
+//! * **Lane interpreters, not lane schedules.** Each lane is a resumable
+//!   transcription of `fit_incremental`'s control flow that *requests*
+//!   one β₂ evaluation at a time ([`LaneFit::next_request`]); the driver
+//!   batches whatever the lanes currently want into one SoA pass per
+//!   wave. Memo hits, degenerate `hi == 0` grids and divergent
+//!   golden-section paths therefore cannot desynchronize lanes — a lane
+//!   that needs no evaluation simply sits a wave out.
+//! * **Padding is algebraically inert.** Short histories are padded with
+//!   `(k = 0, l = 0.0)` slots. Every candidate has `β₂ ≥ 0`, so a padded
+//!   slot's gap `0 − β₂ ≤ 0 ≤ 1e-9` always takes the scalar path's
+//!   skip-this-row branch, contributing exactly-`+0.0` terms to every
+//!   accumulator. Accumulators never hold `-0.0` (they start at `+0.0`
+//!   and `+0.0 + -0.0 = +0.0`), so those terms are bitwise no-ops.
+//! * **Gram caching is exact.** `nnls2`'s subproblem Gram/RHS depend on
+//!   the rows only, so they are computed once per candidate in the build
+//!   pass and every active-set solve replays through
+//!   [`solve_sub2_cached`] in O(1) — same accumulation order, and the
+//!   scalar zero-row guards only ever skip exactly-zero terms.
+//! * **Full-sum abandonment is prefix abandonment.** Residual terms
+//!   `e·e` are never NaN (predictions are finite or ±∞, never NaN) and
+//!   non-negative, so partial sums are monotone: the full sum exceeds
+//!   the bound iff some prefix does, making the scalar path's per-sample
+//!   early-exit decision recoverable from the batched full pass.
+
+use crate::error::FitError;
+use crate::loss_curve::{FitSession, LossCurveFitter, LossModel};
+use crate::nnls::{solve_sub2_cached, NnlsOptions};
+use crate::preprocess::{preprocess_losses_incremental, LossSample};
+use optimus_telemetry::Telemetry;
+
+/// Fixed lane width of the SoA passes. Eight f64 lanes fill one AVX-512
+/// register (`eval_wave` dispatches to hand-vectorized and
+/// AVX-512-compiled passes when the CPU has avx512f) or four SSE2 /
+/// two AVX2 vectors — wide enough to fill a vector unit, narrow enough
+/// that ragged histories within a group waste little padded work.
+pub const LANES: usize = 8;
+
+const INV_PHI: f64 = 0.618_033_988_749_895;
+
+/// One job's inputs to [`fit_batch`] — exactly the arguments of a
+/// [`LossCurveFitter::fit_incremental`] call.
+pub struct BatchFitJob<'a> {
+    /// Fitter configuration (grid size, preprocessing, telemetry).
+    /// Lanes may use *different* fitters; nothing requires a shared
+    /// configuration.
+    pub fitter: &'a LossCurveFitter,
+    /// Raw loss history.
+    pub raw: &'a [LossSample],
+    /// Stable-prefix guarantee, as for `fit_incremental`.
+    pub stable_prefix: usize,
+    /// The job's fit session (preprocessing state, memo, warm index).
+    pub session: &'a mut FitSession,
+}
+
+/// Reusable SoA buffers for [`fit_batch`]. Create once, pass to every
+/// call; buffers grow to the largest group seen and are then reused.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Step indices as f64 (`k as f64`, the scalar path's conversion),
+    /// lane-major: sample `s` of lane `j` lives at `s * LANES + j`.
+    ks: Vec<f64>,
+    /// Preprocessed losses, same layout.
+    ls: Vec<f64>,
+    /// Regression row column 0 (`w·k`) for the current wave.
+    row0: Vec<f64>,
+    /// Regression row column 1 (`w`).
+    row1: Vec<f64>,
+    /// Regression targets (`gap`).
+    yv: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Batched drop-in for a loop of [`LossCurveFitter::fit_incremental`]
+/// calls: appends to `out` one result per job, in order, each
+/// bit-identical (result, session state, telemetry) to what the scalar
+/// call would have produced. Jobs are processed in groups of [`LANES`].
+pub fn fit_batch(
+    jobs: &mut [BatchFitJob<'_>],
+    scratch: &mut BatchScratch,
+    out: &mut Vec<Result<LossModel, FitError>>,
+) {
+    for group in jobs.chunks_mut(LANES) {
+        fit_group(group, scratch, out);
+    }
+}
+
+/// Per-lane prologue facts computed before the wave loop.
+struct Prologue {
+    err: Option<FitError>,
+    hi: f64,
+    scale: f64,
+    len: usize,
+}
+
+fn fit_group(
+    group: &mut [BatchFitJob<'_>],
+    scratch: &mut BatchScratch,
+    out: &mut Vec<Result<LossModel, FitError>>,
+) {
+    debug_assert!(group.len() <= LANES);
+
+    // Pass 1 — scalar prologue per lane, exactly `fit_incremental`'s:
+    // counter bump, incremental preprocessing, distinct-step and
+    // min-loss checks. Errors here short-circuit the lane without
+    // touching its memo or warm index, as in the scalar path.
+    let mut pro: Vec<Prologue> = Vec::with_capacity(group.len());
+    let mut max_len = 0usize;
+    for job in group.iter_mut() {
+        job.fitter.tel.incr("loss_curve.fits");
+        preprocess_losses_incremental(
+            job.raw,
+            job.fitter.preprocess,
+            job.stable_prefix,
+            &mut job.session.pre,
+        );
+        let samples = job.session.pre.samples();
+        let scale = job.session.pre.scale();
+        let steps_buf = &mut job.session.steps_buf;
+        steps_buf.clear();
+        steps_buf.extend(samples.iter().map(|&(k, _)| k));
+        steps_buf.sort_unstable();
+        steps_buf.dedup();
+        let distinct = steps_buf.len();
+        if distinct < 3 {
+            pro.push(Prologue {
+                err: Some(FitError::NotEnoughSamples {
+                    got: distinct,
+                    need: 3,
+                }),
+                hi: 0.0,
+                scale,
+                len: 0,
+            });
+            continue;
+        }
+        let min_loss = samples
+            .iter()
+            .map(|&(_, l)| l)
+            .fold(f64::INFINITY, f64::min);
+        if !min_loss.is_finite() {
+            pro.push(Prologue {
+                err: Some(FitError::NonFiniteInput {
+                    context: "loss samples after preprocessing",
+                }),
+                hi: 0.0,
+                scale,
+                len: 0,
+            });
+            continue;
+        }
+        let hi = (min_loss - 1e-9).max(0.0);
+        max_len = max_len.max(samples.len());
+        pro.push(Prologue {
+            err: None,
+            hi,
+            scale,
+            len: samples.len(),
+        });
+    }
+
+    // Pass 2 — gather the SoA sample buffers (padding stays 0.0).
+    let width = max_len * LANES;
+    scratch.ks.clear();
+    scratch.ks.resize(width, 0.0);
+    scratch.ls.clear();
+    scratch.ls.resize(width, 0.0);
+    scratch.row0.clear();
+    scratch.row0.resize(width, 0.0);
+    scratch.row1.clear();
+    scratch.row1.resize(width, 0.0);
+    scratch.yv.clear();
+    scratch.yv.resize(width, 0.0);
+    let mut lens = [0usize; LANES];
+    for (j, (job, p)) in group.iter().zip(pro.iter()).enumerate() {
+        lens[j] = p.len;
+        for (s, &(k, l)) in job.session.pre.samples().iter().take(p.len).enumerate() {
+            scratch.ks[s * LANES + j] = k as f64;
+            scratch.ls[s * LANES + j] = l;
+        }
+    }
+
+    // Pass 3 — build the lane interpreters (mutable borrows into each
+    // lane's session memo + warm index; `pre` is no longer needed).
+    let mut lanes: Vec<LaneFit<'_>> = Vec::with_capacity(group.len());
+    for (job, p) in group.iter_mut().zip(pro.iter()) {
+        let FitSession {
+            memo,
+            warm_grid_index,
+            ..
+        } = &mut *job.session;
+        lanes.push(LaneFit::new(
+            job.fitter,
+            memo,
+            warm_grid_index,
+            p.hi,
+            p.scale,
+            p.err.clone(),
+        ));
+    }
+
+    // Wave loop: collect one evaluation request per still-running lane,
+    // execute them as a single SoA pass, feed the outcomes back.
+    let mut reqs: [Option<EvalReq>; LANES] = [None; LANES];
+    loop {
+        let mut any = false;
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            reqs[j] = lane.next_request();
+            any |= reqs[j].is_some();
+        }
+        if !any {
+            break;
+        }
+        let outs = eval_wave(scratch, max_len, &lens, &reqs, &lanes);
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            if reqs[j].is_some() {
+                lane.consume(&outs[j]);
+            }
+        }
+    }
+    for lane in lanes {
+        out.push(lane.done.expect("lane finished"));
+    }
+}
+
+/// One β₂ evaluation wanted by a lane.
+#[derive(Clone, Copy)]
+struct EvalReq {
+    beta2: f64,
+    /// Abandonment bound; `f64::INFINITY` means "exact, never abandon"
+    /// (the scalar path's `abandon_above: None`).
+    bound: f64,
+}
+
+/// Outcome of one wave evaluation for one lane — mirrors the scalar
+/// path's `CandidateEval`.
+#[derive(Clone, Copy)]
+enum WaveOut {
+    Fit(LossModel),
+    Abandoned,
+    Failed,
+}
+
+/// Where a lane's transcription of `fit_incremental` currently stands.
+/// `*Await` states mean an [`EvalReq`] is outstanding; everything else
+/// advances inside [`LaneFit::next_request`] (memo hits included).
+#[derive(Clone, Copy)]
+enum Phase {
+    /// Warm-start evaluation of the carried grid index (if any).
+    Warm,
+    /// Grid scan; `i` is the next index to process.
+    Grid {
+        i: usize,
+    },
+    GridAwait {
+        i: usize,
+    },
+    /// Golden-section init: residual at `c`, then at `d`.
+    GoldenC,
+    GoldenD,
+    /// Top of a golden-section iteration (branch not yet taken).
+    GoldenStep,
+    /// Branch taken; awaiting the residual of the freshly moved `c`/`d`.
+    GoldenNeedC,
+    GoldenNeedD,
+    /// Final midpoint evaluation.
+    Final,
+    Done,
+}
+
+/// Resumable per-lane interpreter of `fit_incremental`'s control flow.
+struct LaneFit<'a> {
+    memo: &'a mut Vec<(u64, Option<LossModel>)>,
+    warm_slot: &'a mut Option<usize>,
+    tel: &'a Telemetry,
+    steps: usize,
+    refine_iters: usize,
+    hi: f64,
+    scale: f64,
+    phase: Phase,
+    /// Bit pattern of the candidate an outstanding request is for.
+    pending_bits: u64,
+    best: Option<(f64, usize, LossModel)>,
+    warm_idx: Option<usize>,
+    warm_bound: f64,
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+    fc: f64,
+    fd: f64,
+    iter: usize,
+    best_model: Option<LossModel>,
+    done: Option<Result<LossModel, FitError>>,
+}
+
+impl<'a> LaneFit<'a> {
+    fn new(
+        fitter: &'a LossCurveFitter,
+        memo: &'a mut Vec<(u64, Option<LossModel>)>,
+        warm_slot: &'a mut Option<usize>,
+        hi: f64,
+        scale: f64,
+        err: Option<FitError>,
+    ) -> Self {
+        let steps = fitter.grid_points.max(2);
+        let mut lane = LaneFit {
+            tel: &fitter.tel,
+            steps,
+            refine_iters: fitter.refine_iters,
+            hi,
+            scale,
+            phase: Phase::Warm,
+            pending_bits: 0,
+            best: None,
+            warm_idx: None,
+            warm_bound: f64::INFINITY,
+            a: 0.0,
+            b: 0.0,
+            c: 0.0,
+            d: 0.0,
+            fc: f64::INFINITY,
+            fd: f64::INFINITY,
+            iter: 0,
+            best_model: None,
+            done: None,
+            memo,
+            warm_slot,
+        };
+        match err {
+            Some(e) => {
+                lane.done = Some(Err(e));
+                lane.phase = Phase::Done;
+            }
+            None => {
+                // The scalar path clears the memo and resolves the warm
+                // index only after the prologue checks pass.
+                lane.memo.clear();
+                lane.warm_idx = (*lane.warm_slot).filter(|&i| i < steps);
+            }
+        }
+        lane
+    }
+
+    fn grid_beta2(&self, i: usize) -> f64 {
+        self.hi * i as f64 / (self.steps - 1) as f64
+    }
+
+    fn memo_find(&self, bits: u64) -> Option<Option<LossModel>> {
+        self.memo.iter().find(|&&(b, _)| b == bits).map(|&(_, m)| m)
+    }
+
+    fn finish(&mut self, res: Result<LossModel, FitError>) {
+        self.done = Some(res);
+        self.phase = Phase::Done;
+    }
+
+    /// `fit_incremental`'s grid-scan winner bookkeeping for index `i`.
+    fn apply_grid_outcome(&mut self, i: usize, outcome: Option<LossModel>) {
+        if let Some(m) = outcome {
+            if self
+                .best
+                .as_ref()
+                .is_none_or(|&(r, _, _)| m.residual_ss < r)
+            {
+                self.best = Some((m.residual_ss, i, m));
+            }
+        }
+    }
+
+    /// Advances through memo hits and phase transitions until an
+    /// evaluation is needed (returns the request) or the fit completes
+    /// (returns `None`; the result is in `self.done`).
+    fn next_request(&mut self) -> Option<EvalReq> {
+        loop {
+            match self.phase {
+                Phase::Done => return None,
+                Phase::Warm => {
+                    let Some(wi) = self.warm_idx else {
+                        self.phase = Phase::Grid { i: 0 };
+                        continue;
+                    };
+                    let beta2 = self.grid_beta2(wi);
+                    match self.memo_find(beta2.to_bits()) {
+                        Some(m) => {
+                            if let Some(m) = m {
+                                if m.residual_ss.is_finite() {
+                                    self.warm_bound = m.residual_ss;
+                                }
+                            }
+                            self.phase = Phase::Grid { i: 0 };
+                        }
+                        None => {
+                            self.pending_bits = beta2.to_bits();
+                            return Some(EvalReq {
+                                beta2,
+                                bound: f64::INFINITY,
+                            });
+                        }
+                    }
+                }
+                Phase::Grid { i } => {
+                    if i >= self.steps {
+                        self.finish_grid();
+                        continue;
+                    }
+                    let beta2 = self.grid_beta2(i);
+                    match self.memo_find(beta2.to_bits()) {
+                        Some(m) => {
+                            self.apply_grid_outcome(i, m);
+                            self.phase = Phase::Grid { i: i + 1 };
+                        }
+                        None => {
+                            let mut bound = self.warm_bound;
+                            if let Some(&(r, _, _)) = self.best.as_ref() {
+                                if r < bound {
+                                    bound = r;
+                                }
+                            }
+                            // A non-finite bound disables abandonment,
+                            // as in the scalar path.
+                            let bound = if bound.is_finite() {
+                                bound
+                            } else {
+                                f64::INFINITY
+                            };
+                            self.pending_bits = beta2.to_bits();
+                            self.phase = Phase::GridAwait { i };
+                            return Some(EvalReq { beta2, bound });
+                        }
+                    }
+                }
+                Phase::GridAwait { .. } => unreachable!("request outstanding"),
+                Phase::GoldenC => match self.memo_find(self.c.to_bits()) {
+                    Some(m) => {
+                        self.fc = residual_of(m);
+                        self.phase = Phase::GoldenD;
+                    }
+                    None => {
+                        self.pending_bits = self.c.to_bits();
+                        return Some(EvalReq {
+                            beta2: self.c,
+                            bound: f64::INFINITY,
+                        });
+                    }
+                },
+                Phase::GoldenD => match self.memo_find(self.d.to_bits()) {
+                    Some(m) => {
+                        self.fd = residual_of(m);
+                        self.iter = 0;
+                        self.phase = Phase::GoldenStep;
+                    }
+                    None => {
+                        self.pending_bits = self.d.to_bits();
+                        return Some(EvalReq {
+                            beta2: self.d,
+                            bound: f64::INFINITY,
+                        });
+                    }
+                },
+                Phase::GoldenStep => {
+                    if self.iter >= self.refine_iters {
+                        self.phase = Phase::Final;
+                        continue;
+                    }
+                    if self.fc < self.fd {
+                        self.b = self.d;
+                        self.d = self.c;
+                        self.fd = self.fc;
+                        self.c = self.b - (self.b - self.a) * INV_PHI;
+                        self.phase = Phase::GoldenNeedC;
+                    } else {
+                        self.a = self.c;
+                        self.c = self.d;
+                        self.fc = self.fd;
+                        self.d = self.a + (self.b - self.a) * INV_PHI;
+                        self.phase = Phase::GoldenNeedD;
+                    }
+                }
+                Phase::GoldenNeedC => match self.memo_find(self.c.to_bits()) {
+                    Some(m) => {
+                        self.fc = residual_of(m);
+                        self.iter += 1;
+                        self.phase = Phase::GoldenStep;
+                    }
+                    None => {
+                        self.pending_bits = self.c.to_bits();
+                        return Some(EvalReq {
+                            beta2: self.c,
+                            bound: f64::INFINITY,
+                        });
+                    }
+                },
+                Phase::GoldenNeedD => match self.memo_find(self.d.to_bits()) {
+                    Some(m) => {
+                        self.fd = residual_of(m);
+                        self.iter += 1;
+                        self.phase = Phase::GoldenStep;
+                    }
+                    None => {
+                        self.pending_bits = self.d.to_bits();
+                        return Some(EvalReq {
+                            beta2: self.d,
+                            bound: f64::INFINITY,
+                        });
+                    }
+                },
+                Phase::Final => {
+                    let beta2 = (self.a + self.b) / 2.0;
+                    match self.memo_find(beta2.to_bits()) {
+                        Some(m) => {
+                            let mut best_model = self.best_model.expect("grid winner");
+                            if let Some(m) = m {
+                                if m.residual_ss < best_model.residual_ss {
+                                    best_model = m;
+                                }
+                            }
+                            self.finish(Ok(best_model));
+                        }
+                        None => {
+                            self.pending_bits = beta2.to_bits();
+                            return Some(EvalReq {
+                                beta2,
+                                bound: f64::INFINITY,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// End of the grid scan: warm bookkeeping + golden-section setup.
+    fn finish_grid(&mut self) {
+        let Some((_, best_idx, grid_best)) = self.best else {
+            self.finish(Err(FitError::NoViableModel));
+            return;
+        };
+        if self.warm_idx == Some(best_idx) {
+            self.tel.incr("fit.warm_start_hits");
+        }
+        *self.warm_slot = Some(best_idx);
+        let cell = self.hi / (self.steps - 1) as f64;
+        self.a = (grid_best.beta2 - cell).max(0.0);
+        self.b = (grid_best.beta2 + cell).min(self.hi);
+        self.best_model = Some(grid_best);
+        if self.b > self.a {
+            self.c = self.b - (self.b - self.a) * INV_PHI;
+            self.d = self.a + (self.b - self.a) * INV_PHI;
+            self.phase = Phase::GoldenC;
+        } else {
+            self.finish(Ok(grid_best));
+        }
+    }
+
+    /// Feeds an evaluation outcome back into the interpreter. Exact
+    /// evaluations just land in the memo (the next `next_request` call
+    /// re-reads it); grid evaluations additionally advance the scan,
+    /// because abandoned candidates are *not* memoized.
+    fn consume(&mut self, outcome: &WaveOut) {
+        match self.phase {
+            Phase::GridAwait { i } => {
+                match *outcome {
+                    WaveOut::Fit(m) => {
+                        self.memo.push((self.pending_bits, Some(m)));
+                        self.apply_grid_outcome(i, Some(m));
+                    }
+                    WaveOut::Abandoned => {}
+                    WaveOut::Failed => {
+                        self.memo.push((self.pending_bits, None));
+                    }
+                }
+                self.phase = Phase::Grid { i: i + 1 };
+            }
+            Phase::Warm
+            | Phase::GoldenC
+            | Phase::GoldenD
+            | Phase::GoldenNeedC
+            | Phase::GoldenNeedD
+            | Phase::Final => match *outcome {
+                WaveOut::Fit(m) => self.memo.push((self.pending_bits, Some(m))),
+                WaveOut::Failed => self.memo.push((self.pending_bits, None)),
+                WaveOut::Abandoned => unreachable!("no abandonment bound was set"),
+            },
+            Phase::Grid { .. } | Phase::GoldenStep | Phase::Done => {
+                unreachable!("no request outstanding")
+            }
+        }
+    }
+}
+
+fn residual_of(m: Option<LossModel>) -> f64 {
+    m.map(|m| m.residual_ss).unwrap_or(f64::INFINITY)
+}
+
+/// Per-lane Lawson–Hanson state between lockstep dual passes.
+#[derive(Clone, Default)]
+struct LaneNnls {
+    passive: [bool; 2],
+    rejected: [bool; 2],
+    iterations: usize,
+    running: bool,
+    err: Option<FitError>,
+}
+
+/// Pass A outputs: everything lane `j`'s NNLS admission and solve need
+/// from one sweep over the gathered samples.
+struct PassA {
+    /// Rows with `gap > 1e-9` — the scalar path's kept-row count.
+    kept: [u64; LANES],
+    /// True iff some kept row overflowed to a non-finite value.
+    bad: [bool; LANES],
+    g00: [f64; LANES],
+    g01: [f64; LANES],
+    g11: [f64; LANES],
+    rhs0: [f64; LANES],
+    rhs1: [f64; LANES],
+}
+
+/// Pass A, portable form: builds regression rows (`w·k`, `w`, `gap`)
+/// and accumulates the Gram matrix and RHS in ascending-sample order —
+/// the exact order `nnls2` sums them, so every f64 is bit-identical.
+///
+/// Two loops, not one: each is simple enough for the SLP vectorizer,
+/// where the fused body spills accumulators and compiles scalar. The
+/// split is free of observable effect — the Gram loop re-reads the
+/// rows the build loop just wrote, and each accumulator still sums in
+/// ascending `s`. The two non-arithmetic facts admission needs ride
+/// along as f64 lanes: `kept` counts rows as +1.0 increments (exact up
+/// to 2⁵³), and `nonfin` accumulates `(r0 − r0) + (r1 − r1)` — +0.0
+/// for finite rows, NaN exactly when a row overflowed (the scalar
+/// path's row-validation verdict). LLVM cannot fold `x − x` to zero
+/// without fast-math, so the check survives optimization.
+fn pass_a_scalar(scratch: &mut BatchScratch, width: usize, beta2: &[f64; LANES]) -> PassA {
+    let mut kept = [0.0_f64; LANES];
+    let mut nonfin = [0.0_f64; LANES];
+    let mut g00 = [0.0_f64; LANES];
+    let mut g01 = [0.0_f64; LANES];
+    let mut g11 = [0.0_f64; LANES];
+    let mut rhs0 = [0.0_f64; LANES];
+    let mut rhs1 = [0.0_f64; LANES];
+    for ((ks, ls), ((row0, row1), yv)) in scratch.ks[..width]
+        .chunks_exact(LANES)
+        .zip(scratch.ls[..width].chunks_exact(LANES))
+        .zip(
+            scratch.row0[..width]
+                .chunks_exact_mut(LANES)
+                .zip(scratch.row1[..width].chunks_exact_mut(LANES))
+                .zip(scratch.yv[..width].chunks_exact_mut(LANES)),
+        )
+    {
+        let ks: &[f64; LANES] = ks.try_into().expect("exact chunk");
+        let ls: &[f64; LANES] = ls.try_into().expect("exact chunk");
+        let row0: &mut [f64; LANES] = row0.try_into().expect("exact chunk");
+        let row1: &mut [f64; LANES] = row1.try_into().expect("exact chunk");
+        let yv: &mut [f64; LANES] = yv.try_into().expect("exact chunk");
+        for j in 0..LANES {
+            let gap = ls[j] - beta2[j];
+            let keep = gap > 1e-9;
+            let w = gap * gap;
+            let r0 = if keep { w * ks[j] } else { 0.0 };
+            let r1 = if keep { w } else { 0.0 };
+            let y = if keep { gap } else { 0.0 };
+            row0[j] = r0;
+            row1[j] = r1;
+            yv[j] = y;
+            kept[j] += if keep { 1.0 } else { 0.0 };
+            // `x − x` is the NaN probe, not a typo: +0.0 for finite x,
+            // NaN otherwise, and LLVM cannot fold it without fast-math.
+            #[allow(clippy::eq_op)]
+            {
+                nonfin[j] += (r0 - r0) + (r1 - r1);
+            }
+        }
+    }
+    for (row0, (row1, yv)) in scratch.row0[..width].chunks_exact(LANES).zip(
+        scratch.row1[..width]
+            .chunks_exact(LANES)
+            .zip(scratch.yv[..width].chunks_exact(LANES)),
+    ) {
+        let row0: &[f64; LANES] = row0.try_into().expect("exact chunk");
+        let row1: &[f64; LANES] = row1.try_into().expect("exact chunk");
+        let yv: &[f64; LANES] = yv.try_into().expect("exact chunk");
+        for j in 0..LANES {
+            let r0 = row0[j];
+            let r1 = row1[j];
+            let y = yv[j];
+            g00[j] += r0 * r0;
+            g01[j] += r0 * r1;
+            g11[j] += r1 * r1;
+            rhs0[j] += r0 * y;
+            rhs1[j] += r1 * y;
+        }
+    }
+    PassA {
+        kept: std::array::from_fn(|j| kept[j] as u64),
+        bad: std::array::from_fn(|j| nonfin[j] != 0.0),
+        g00,
+        g01,
+        g11,
+        rhs0,
+        rhs1,
+    }
+}
+
+/// Pass A with explicit AVX-512 intrinsics — one fused sweep, eight
+/// lanes per `zmm` register. The autovectorizer never vectorizes the
+/// scalar form (the select-heavy body defeats SLP), so this path spells
+/// out the same dataflow by hand.
+///
+/// Bit-identity with `pass_a_scalar` holds operation by operation:
+/// every intrinsic used (`sub/mul/add_pd`, `cmp_pd GT_OQ`,
+/// `maskz_mov`) is lane-wise IEEE 754 with the scalar op's exact
+/// semantics (GT_OQ, like `>`, is false on NaN), multiplies and adds
+/// stay separate instructions (no FMA contraction), and each
+/// accumulator sums in the same ascending-sample order. The only
+/// difference from the scalar path is that masked-out products are
+/// computed and then discarded — their lanes are overwritten with +0.0
+/// by `maskz_mov`, exactly the scalar `else` value.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn pass_a_avx512(scratch: &mut BatchScratch, width: usize, beta2: &[f64; LANES]) -> PassA {
+    use std::arch::x86_64::*;
+    debug_assert!(width.is_multiple_of(LANES));
+    debug_assert!(scratch.ks.len() >= width && scratch.ls.len() >= width);
+    debug_assert!(
+        scratch.row0.len() >= width && scratch.row1.len() >= width && scratch.yv.len() >= width
+    );
+    // SAFETY: callers size every scratch row to at least `width`
+    // elements and `width` is a multiple of LANES (= 8, one zmm), so
+    // each unaligned 8-lane load/store below stays in bounds.
+    unsafe {
+        let b2 = _mm512_loadu_pd(beta2.as_ptr());
+        let eps = _mm512_set1_pd(1e-9);
+        let one = _mm512_set1_pd(1.0);
+        let mut kept = _mm512_setzero_pd();
+        let mut nonfin = _mm512_setzero_pd();
+        let mut g00 = _mm512_setzero_pd();
+        let mut g01 = _mm512_setzero_pd();
+        let mut g11 = _mm512_setzero_pd();
+        let mut rhs0 = _mm512_setzero_pd();
+        let mut rhs1 = _mm512_setzero_pd();
+        let ks_p = scratch.ks.as_ptr();
+        let ls_p = scratch.ls.as_ptr();
+        let row0_p = scratch.row0.as_mut_ptr();
+        let row1_p = scratch.row1.as_mut_ptr();
+        let yv_p = scratch.yv.as_mut_ptr();
+        let mut off = 0;
+        while off < width {
+            let ks = _mm512_loadu_pd(ks_p.add(off));
+            let ls = _mm512_loadu_pd(ls_p.add(off));
+            let gap = _mm512_sub_pd(ls, b2);
+            let m: __mmask8 = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(gap, eps);
+            let w = _mm512_mul_pd(gap, gap);
+            let r0 = _mm512_maskz_mov_pd(m, _mm512_mul_pd(w, ks));
+            let r1 = _mm512_maskz_mov_pd(m, w);
+            let y = _mm512_maskz_mov_pd(m, gap);
+            _mm512_storeu_pd(row0_p.add(off), r0);
+            _mm512_storeu_pd(row1_p.add(off), r1);
+            _mm512_storeu_pd(yv_p.add(off), y);
+            kept = _mm512_add_pd(kept, _mm512_maskz_mov_pd(m, one));
+            nonfin = _mm512_add_pd(
+                nonfin,
+                _mm512_add_pd(_mm512_sub_pd(r0, r0), _mm512_sub_pd(r1, r1)),
+            );
+            g00 = _mm512_add_pd(g00, _mm512_mul_pd(r0, r0));
+            g01 = _mm512_add_pd(g01, _mm512_mul_pd(r0, r1));
+            g11 = _mm512_add_pd(g11, _mm512_mul_pd(r1, r1));
+            rhs0 = _mm512_add_pd(rhs0, _mm512_mul_pd(r0, y));
+            rhs1 = _mm512_add_pd(rhs1, _mm512_mul_pd(r1, y));
+            off += LANES;
+        }
+        let mut keptv = [0.0_f64; LANES];
+        let mut nonfinv = [0.0_f64; LANES];
+        let mut out = PassA {
+            kept: [0; LANES],
+            bad: [false; LANES],
+            g00: [0.0; LANES],
+            g01: [0.0; LANES],
+            g11: [0.0; LANES],
+            rhs0: [0.0; LANES],
+            rhs1: [0.0; LANES],
+        };
+        _mm512_storeu_pd(keptv.as_mut_ptr(), kept);
+        _mm512_storeu_pd(nonfinv.as_mut_ptr(), nonfin);
+        _mm512_storeu_pd(out.g00.as_mut_ptr(), g00);
+        _mm512_storeu_pd(out.g01.as_mut_ptr(), g01);
+        _mm512_storeu_pd(out.g11.as_mut_ptr(), g11);
+        _mm512_storeu_pd(out.rhs0.as_mut_ptr(), rhs0);
+        _mm512_storeu_pd(out.rhs1.as_mut_ptr(), rhs1);
+        out.kept = std::array::from_fn(|j| keptv[j] as u64);
+        out.bad = std::array::from_fn(|j| nonfinv[j] != 0.0);
+        out
+    }
+}
+
+/// Executes one wave of β₂ candidate evaluations as SoA passes:
+/// build + Gram, lockstep NNLS duals, residual accumulation.
+///
+/// Dispatches to an AVX-512 compilation of the same body when the CPU
+/// has it — with eight f64 lanes the accumulator arrays want the wider
+/// register file; the arithmetic is lane-wise IEEE either way (rustc
+/// performs no FMA contraction), so results are bit-identical across
+/// targets.
+fn eval_wave(
+    scratch: &mut BatchScratch,
+    max_len: usize,
+    lens: &[usize; LANES],
+    reqs: &[Option<EvalReq>; LANES],
+    lanes: &[LaneFit<'_>],
+) -> [WaveOut; LANES] {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: the avx512f requirement was just checked at runtime.
+        return unsafe { eval_wave_avx512(scratch, max_len, lens, reqs, lanes) };
+    }
+    eval_wave_body(scratch, max_len, lens, reqs, lanes, false)
+}
+
+/// The wave body compiled with AVX-512 codegen enabled (the
+/// `inline(always)` body is compiled with this function's target
+/// features).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn eval_wave_avx512(
+    scratch: &mut BatchScratch,
+    max_len: usize,
+    lens: &[usize; LANES],
+    reqs: &[Option<EvalReq>; LANES],
+    lanes: &[LaneFit<'_>],
+) -> [WaveOut; LANES] {
+    eval_wave_body(scratch, max_len, lens, reqs, lanes, true)
+}
+
+#[inline(always)]
+fn eval_wave_body(
+    scratch: &mut BatchScratch,
+    max_len: usize,
+    lens: &[usize; LANES],
+    reqs: &[Option<EvalReq>; LANES],
+    lanes: &[LaneFit<'_>],
+    use_avx512: bool,
+) -> [WaveOut; LANES] {
+    let mut beta2 = [0.0_f64; LANES];
+    let mut active = [false; LANES];
+    for j in 0..LANES {
+        if let Some(r) = reqs[j] {
+            beta2[j] = r.beta2;
+            active[j] = true;
+        }
+    }
+
+    // Pass A — regression rows + Gram/RHS, one sweep over all samples
+    // (see `pass_a_scalar` / `pass_a_avx512`). Inactive lanes compute
+    // garbage rows against β₂ = 0 that nothing reads; padded slots take
+    // the gap ≤ 1e-9 skip (see module docs).
+    let width = max_len * LANES;
+    #[cfg(target_arch = "x86_64")]
+    let pa = if use_avx512 {
+        // SAFETY: `use_avx512` is only set by `eval_wave` after a
+        // runtime avx512f check; the scratch rows hold `width` elements.
+        unsafe { pass_a_avx512(scratch, width, &beta2) }
+    } else {
+        pass_a_scalar(scratch, width, &beta2)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let pa = {
+        let _ = use_avx512;
+        pass_a_scalar(scratch, width, &beta2)
+    };
+    let PassA {
+        kept,
+        bad,
+        g00,
+        g01,
+        g11,
+        rhs0,
+        rhs1,
+    } = pa;
+
+    // Per-lane NNLS admission, with the scalar path's exact telemetry:
+    // fewer than 2 rows fails silently (before any counter), a
+    // non-finite row counts a solve *and* a failure. Post-preprocessing
+    // losses are always finite, so `y` never trips the scalar path's
+    // rhs check — only row overflow (`w·k → ∞`) can, which `bad` is.
+    let mut out = [WaveOut::Failed; LANES];
+    let mut st: [LaneNnls; LANES] = Default::default();
+    let mut ran = [false; LANES];
+    let opts = NnlsOptions::default();
+    for j in 0..LANES {
+        if !active[j] {
+            continue;
+        }
+        if kept[j] < 2 {
+            continue; // out[j] stays Failed, no counters — as the scalar path
+        }
+        lanes[j].tel.incr("nnls.solves");
+        if bad[j] {
+            lanes[j].tel.incr("nnls.fit_failures");
+            continue;
+        }
+        st[j].running = true;
+        ran[j] = true;
+    }
+
+    // Pass B — lockstep Lawson–Hanson: one vectorized dual sweep per
+    // outer iteration, then O(1) per-lane active-set advancement from
+    // the cached Gram. Lanes that converge (or fail) sit out the
+    // remaining sweeps with x frozen, contributing dead work only.
+    let mut x0 = [0.0_f64; LANES];
+    let mut x1 = [0.0_f64; LANES];
+    let mut first_sweep = true;
+    while st.iter().any(|l| l.running) {
+        let mut w0 = [0.0_f64; LANES];
+        let mut w1 = [0.0_f64; LANES];
+        if first_sweep {
+            // With x = 0 the fused rowwise dual degenerates term by
+            // term to the RHS accumulation pass A already did —
+            // `acc = r·0 + r·0 = +0.0`, `resid = y − 0.0 = y` bitwise —
+            // so the first sweep of every wave is free.
+            first_sweep = false;
+            w0 = rhs0;
+            w1 = rhs1;
+        } else {
+            for (row0, (row1, yv)) in scratch.row0[..width].chunks_exact(LANES).zip(
+                scratch.row1[..width]
+                    .chunks_exact(LANES)
+                    .zip(scratch.yv[..width].chunks_exact(LANES)),
+            ) {
+                let row0: &[f64; LANES] = row0.try_into().expect("exact chunk");
+                let row1: &[f64; LANES] = row1.try_into().expect("exact chunk");
+                let yv: &[f64; LANES] = yv.try_into().expect("exact chunk");
+                for j in 0..LANES {
+                    let r0 = row0[j];
+                    let r1 = row1[j];
+                    let mut acc = 0.0;
+                    acc += r0 * x0[j];
+                    acc += r1 * x1[j];
+                    let resid = yv[j] - acc;
+                    w0[j] += r0 * resid;
+                    w1[j] += r1 * resid;
+                }
+            }
+        }
+        for j in 0..LANES {
+            if st[j].running {
+                advance_lane(
+                    &mut st[j],
+                    &mut x0[j],
+                    &mut x1[j],
+                    [w0[j], w1[j]],
+                    [g00[j], g01[j], g11[j]],
+                    [rhs0[j], rhs1[j]],
+                    lens[j],
+                    opts,
+                );
+            }
+        }
+    }
+
+    // Lane results: the scalar exit-path residual (`Nnls2Solution::
+    // residual_ss`) is never read by the fit — it recomputes the
+    // loss-space residual below — so the batched path skips it.
+    let mut b0 = [0.0_f64; LANES];
+    let mut b1 = [0.0_f64; LANES];
+    let mut bb2 = [0.0_f64; LANES];
+    // Lanes excluded from the residual pass get a crossed-immediately
+    // bound so they never hold up the early exit.
+    let mut bnd = [f64::NEG_INFINITY; LANES];
+    let mut fitted = [false; LANES];
+    for j in 0..LANES {
+        if !ran[j] {
+            continue;
+        }
+        if st[j].err.is_some() {
+            lanes[j].tel.incr("nnls.fit_failures");
+            continue; // out[j] stays Failed
+        }
+        lanes[j]
+            .tel
+            .observe("nnls.iterations", st[j].iterations as f64);
+        fitted[j] = true;
+        b0[j] = x0[j];
+        b1[j] = x1[j];
+        bb2[j] = beta2[j];
+        bnd[j] = reqs[j].expect("active lane").bound;
+    }
+
+    // Pass C — loss-space residual, chunked so an all-lanes-abandoned
+    // wave can stop early. Partial sums are monotone (terms ≥ 0, never
+    // NaN), so the scalar path's per-sample abandonment decision equals
+    // the full-sum comparison done afterwards.
+    let mut rss = [0.0_f64; LANES];
+    let mut s0 = 0usize;
+    while s0 < max_len {
+        let stop = (s0 + 64).min(max_len);
+        for (s, (ks, ls)) in (s0..stop).zip(
+            scratch.ks[s0 * LANES..stop * LANES]
+                .chunks_exact(LANES)
+                .zip(scratch.ls[s0 * LANES..stop * LANES].chunks_exact(LANES)),
+        ) {
+            let ks: &[f64; LANES] = ks.try_into().expect("exact chunk");
+            let ls: &[f64; LANES] = ls.try_into().expect("exact chunk");
+            for j in 0..LANES {
+                let k = ks[j];
+                let l = ls[j];
+                let denom = b0[j] * k + b1[j];
+                let inv = 1.0 / denom + bb2[j];
+                let pred = if denom <= 0.0 { bb2[j] } else { inv };
+                let e = pred - l;
+                let t = e * e;
+                rss[j] += if s < lens[j] { t } else { 0.0 };
+            }
+        }
+        s0 = stop;
+        if (0..LANES).all(|j| rss[j] > bnd[j]) {
+            break;
+        }
+    }
+
+    for j in 0..LANES {
+        if !fitted[j] {
+            continue;
+        }
+        let bound = reqs[j].expect("active lane").bound;
+        out[j] = if bound.is_finite() && rss[j] > bound {
+            WaveOut::Abandoned
+        } else {
+            WaveOut::Fit(LossModel {
+                beta0: x0[j],
+                beta1: x1[j],
+                beta2: beta2[j],
+                scale: lanes[j].scale,
+                residual_ss: rss[j],
+            })
+        };
+    }
+    out
+}
+
+/// Advances one lane's Lawson–Hanson state after a dual sweep — the
+/// section of [`crate::nnls::nnls2`]'s outer loop between two dual
+/// recomputations, with every subproblem solved from the cached Gram.
+/// Rejecting an entering column leaves `x` unchanged, so the dual is
+/// unchanged too and the scalar path's recompute-and-rescan collapses
+/// into the `continue` here.
+#[allow(clippy::too_many_arguments)]
+fn advance_lane(
+    st: &mut LaneNnls,
+    x0: &mut f64,
+    x1: &mut f64,
+    w: [f64; 2],
+    gram: [f64; 3],
+    rhs: [f64; 2],
+    n_rows: usize,
+    opts: NnlsOptions,
+) {
+    let mut x = [*x0, *x1];
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &wi) in w.iter().enumerate() {
+            if !st.passive[i] && !st.rejected[i] && wi > opts.tolerance {
+                match best {
+                    Some((_, bw)) if bw >= wi => {}
+                    _ => best = Some((i, wi)),
+                }
+            }
+        }
+        let Some((enter, _)) = best else {
+            st.running = false; // converged: KKT satisfied
+            break;
+        };
+
+        st.iterations += 1;
+        if st.iterations > opts.max_iterations {
+            st.err = Some(FitError::IterationLimit {
+                limit: opts.max_iterations,
+            });
+            st.running = false;
+            break;
+        }
+
+        st.passive[enter] = true;
+        let trial = solve_sub2_cached(gram[0], gram[1], gram[2], rhs, n_rows, st.passive);
+        let (z, m, slots) = match trial {
+            Ok(v) => v,
+            Err(e) => {
+                st.err = Some(e);
+                st.running = false;
+                break;
+            }
+        };
+        let slot = slots[..m]
+            .iter()
+            .position(|&i| i == enter)
+            .expect("enter in P");
+        if z[slot] <= opts.tolerance {
+            st.passive[enter] = false;
+            st.rejected[enter] = true;
+            continue; // x unchanged ⇒ dual unchanged ⇒ rescan now
+        }
+
+        let mut cached = Some((z, m, slots));
+        let mut failed = false;
+        loop {
+            st.iterations += 1;
+            if st.iterations > opts.max_iterations {
+                st.err = Some(FitError::IterationLimit {
+                    limit: opts.max_iterations,
+                });
+                st.running = false;
+                failed = true;
+                break;
+            }
+            let (z, m, slots) = match cached.take() {
+                Some(zs) => zs,
+                None => {
+                    match solve_sub2_cached(gram[0], gram[1], gram[2], rhs, n_rows, st.passive) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            st.err = Some(e);
+                            st.running = false;
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+            };
+
+            let all_positive = z[..m].iter().all(|&zi| zi > opts.tolerance);
+            if all_positive {
+                for (slot, &i) in slots[..m].iter().enumerate() {
+                    x[i] = z[slot];
+                }
+                for (xi, &p) in x.iter_mut().zip(st.passive.iter()) {
+                    if !p {
+                        *xi = 0.0;
+                    }
+                }
+                st.rejected = [false; 2];
+                break;
+            }
+
+            let mut alpha = f64::INFINITY;
+            for (slot, &i) in slots[..m].iter().enumerate() {
+                if z[slot] <= opts.tolerance {
+                    let denom = x[i] - z[slot];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[i] / denom);
+                    } else {
+                        alpha = 0.0;
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (slot, &i) in slots[..m].iter().enumerate() {
+                x[i] += alpha * (z[slot] - x[i]);
+            }
+            for &i in &slots[..m] {
+                if x[i] <= opts.tolerance {
+                    x[i] = 0.0;
+                    st.passive[i] = false;
+                }
+            }
+            if !st.passive.iter().any(|&p| p) {
+                break;
+            }
+        }
+        if failed {
+            break;
+        }
+        // x changed (or P emptied): a fresh dual sweep is needed before
+        // the next entering-column scan.
+        break;
+    }
+    *x0 = x[0];
+    *x1 = x[1];
+}

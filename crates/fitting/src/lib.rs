@@ -23,8 +23,11 @@
 //! * [`qr`] — Householder-QR least squares for ill-conditioned systems,
 //! * [`families`] — §7 pluggable curve families (inverse-k, exponential
 //!   decay) with residual-based model selection,
-//! * [`stats`] — small statistics helpers shared by the experiment harness.
+//! * [`stats`] — small statistics helpers shared by the experiment harness,
+//! * [`batch`] — batched structure-of-arrays loss-curve fitting (SIMD
+//!   across jobs, bit-identical to the scalar path).
 
+pub mod batch;
 pub mod error;
 pub mod families;
 pub mod linalg;
@@ -35,6 +38,7 @@ pub mod preprocess;
 pub mod qr;
 pub mod stats;
 
+pub use batch::{fit_batch, BatchFitJob, BatchScratch, LANES};
 pub use error::FitError;
 pub use families::{fit_best, CurveFamily, ExpDecayFamily, FittedCurve, InverseKFamily};
 pub use linalg::Matrix;

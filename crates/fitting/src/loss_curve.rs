@@ -149,14 +149,14 @@ impl LossModel {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LossCurveFitter {
-    preprocess: PreprocessOptions,
+    pub(crate) preprocess: PreprocessOptions,
     /// Number of initial grid points for the β₂ scan.
-    grid_points: usize,
+    pub(crate) grid_points: usize,
     /// Golden-section refinement iterations around the best grid cell.
-    refine_iters: usize,
+    pub(crate) refine_iters: usize,
     /// Telemetry sink for the per-candidate NNLS solves (disabled by
     /// default).
-    tel: Telemetry,
+    pub(crate) tel: Telemetry,
 }
 
 impl Default for LossCurveFitter {
@@ -290,21 +290,21 @@ impl LossCurveFitter {
 #[derive(Debug, Clone, Default)]
 pub struct FitSession {
     /// Incremental preprocessing state + scratch.
-    pre: PreprocessScratch,
+    pub(crate) pre: PreprocessScratch,
     /// Regression rows reused across per-candidate NNLS solves.
-    rows: Vec<[f64; 2]>,
+    pub(crate) rows: Vec<[f64; 2]>,
     /// Regression targets, parallel to `rows`.
-    ys: Vec<f64>,
+    pub(crate) ys: Vec<f64>,
     /// Distinct-step counting scratch.
-    steps_buf: Vec<u64>,
+    pub(crate) steps_buf: Vec<u64>,
     /// Per-call memo: β₂ bit pattern → exact fit outcome (`None` = the
     /// candidate failed). Only *exact* (never abandoned) evaluations
     /// are stored. Cleared at the start of every fit: the residual is
     /// a function of the data, which may have changed.
-    memo: Vec<(u64, Option<LossModel>)>,
+    pub(crate) memo: Vec<(u64, Option<LossModel>)>,
     /// Grid index of the previous fit's best grid candidate — the warm
     /// start for the next fit's scan.
-    warm_grid_index: Option<usize>,
+    pub(crate) warm_grid_index: Option<usize>,
 }
 
 impl FitSession {

@@ -506,6 +506,69 @@ fn solve_sub2(
     }
 }
 
+/// [`solve_sub2`] from a precomputed Gram matrix and right-hand side.
+///
+/// The Gram products `g00/g01/g11` and `rhs` are functions of the rows
+/// alone, not of the passive set, so the batched fitter
+/// ([`crate::batch`]) computes them once per β₂ candidate and solves
+/// every Lawson–Hanson subproblem in O(1) from the cache. Bit-identity
+/// with [`solve_sub2`] holds because the scalar path's zero-row guards
+/// only ever skip *exactly-zero* terms: adding `+0.0` to a non-negative
+/// accumulator returns the same bits (rows are `[w·k, w]` with
+/// `w ≥ 0`, so no term is `-0.0`), and the accumulation order over rows
+/// is unchanged. `n_rows` is the full row count (`rows.len()` in the
+/// scalar path), used only for the under-determined check.
+pub(crate) fn solve_sub2_cached(
+    g00: f64,
+    g01: f64,
+    g11: f64,
+    rhs2: [f64; 2],
+    n_rows: usize,
+    passive: [bool; 2],
+) -> Result<([f64; 2], usize, [usize; 2]), FitError> {
+    let mut slots = [0usize; 2];
+    let mut m = 0usize;
+    for (i, &p) in passive.iter().enumerate() {
+        if p {
+            slots[m] = i;
+            m += 1;
+        }
+    }
+    if n_rows < m {
+        return Err(FitError::NotEnoughSamples {
+            got: n_rows,
+            need: m,
+        });
+    }
+    if m == 1 {
+        let j = slots[0];
+        let g = if j == 0 { g00 } else { g11 };
+        let rhs = rhs2[j];
+        let z = match solve1(g, rhs) {
+            Ok(z) => z,
+            Err(FitError::SingularSystem) => {
+                let lambda = 1e-10 * (g / 1.0).max(1e-30);
+                solve1(g + lambda, rhs)?
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(([z, 0.0], 1, slots))
+    } else {
+        let z = match solve2([g00, g01, g01, g11], rhs2) {
+            Ok(z) => z,
+            Err(FitError::SingularSystem) => {
+                let mut trace = 0.0;
+                trace += g00;
+                trace += g11;
+                let lambda = 1e-10 * (trace / 2.0).max(1e-30);
+                solve2([g00 + lambda, g01, g01, g11 + lambda], rhs2)?
+            }
+            Err(e) => return Err(e),
+        };
+        Ok((z, 2, slots))
+    }
+}
+
 /// `Matrix::solve` for a 1×1 system.
 fn solve1(g: f64, rhs: f64) -> Result<f64, FitError> {
     if g.abs() < 1e-13 {

@@ -131,6 +131,68 @@ where
         .collect()
 }
 
+/// Chunk-grouped variant of [`run_indexed_mut`] for batch-of-batches
+/// work: the slice is first cut into fixed-size groups of `chunk` items
+/// (last group possibly short), and `f(g, &mut group)` runs once per
+/// group with results returned **in group order**.
+///
+/// The grouping is a function of the input order and `chunk` alone —
+/// never of `threads` — so a worker processing groups `[0..LANES)`,
+/// `[LANES..2·LANES)`, … sees exactly the same group boundaries at any
+/// thread count. That is what lets the batched fitting engine keep its
+/// lane assignment (and therefore its wave schedule) thread-invariant;
+/// the usual determinism contract then makes the *results*
+/// thread-invariant whenever `f` is deterministic per group.
+///
+/// Workers claim whole groups through an atomic cursor, so uneven group
+/// costs (ragged histories) still balance.
+pub fn run_chunks_mut<T, R, F>(items: &mut [T], chunk: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let groups: Vec<&mut [T]> = items.chunks_mut(chunk).collect();
+    let n = groups.len();
+    let threads = threads.min(n).max(1);
+    if threads <= 1 {
+        return groups
+            .into_iter()
+            .enumerate()
+            .map(|(g, group)| f(g, group))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cells: Vec<Mutex<Option<&mut [T]>>> =
+        groups.into_iter().map(|g| Mutex::new(Some(g))).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let g = cursor.fetch_add(1, Ordering::Relaxed);
+                if g >= n {
+                    break;
+                }
+                let group = cells[g]
+                    .lock()
+                    .expect("group cell")
+                    .take()
+                    .expect("every group claimed exactly once");
+                *slots[g].lock().expect("result slot") = Some(f(g, group));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot")
+                .expect("every group was visited exactly once")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +242,33 @@ mod tests {
     #[test]
     fn available_threads_is_at_least_one() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn run_chunks_mut_groups_are_thread_invariant() {
+        let serial = {
+            let mut items: Vec<u32> = (0..29).collect();
+            run_chunks_mut(&mut items, 8, 1, |g, group| (g, group.to_vec()))
+        };
+        assert_eq!(serial.len(), 4);
+        assert_eq!(serial[3].1.len(), 5); // 29 = 3*8 + 5
+        for threads in [2, 4, 8] {
+            let mut items: Vec<u32> = (0..29).collect();
+            let parallel = run_chunks_mut(&mut items, 8, threads, |g, group| {
+                for v in group.iter_mut() {
+                    *v += 1000;
+                }
+                (g, group.iter().map(|&v| v - 1000).collect::<Vec<u32>>())
+            });
+            assert_eq!(serial, parallel, "threads={threads}");
+            assert!(items.iter().all(|&v| v >= 1000), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_chunks_mut_handles_empty_input() {
+        let mut empty: Vec<u32> = Vec::new();
+        let r = run_chunks_mut(&mut empty, 8, 4, |g, _| g);
+        assert!(r.is_empty());
     }
 }

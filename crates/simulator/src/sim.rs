@@ -205,7 +205,30 @@ pub struct SimConfig {
     /// either way). Defaults from `OPTIMUS_EVENT_ENGINE` via
     /// [`SimEngine::from_env`].
     pub engine: SimEngine,
+    /// Run each round's convergence refits through the batched SoA
+    /// engine (`optimus_core::refit_convergence_batch`): dirty jobs are
+    /// gathered and fitted in lane groups with one vectorized β₂ grid
+    /// scan per group, clean jobs replay their cached fit
+    /// (`fit.dirty_skipped`). Results are byte-identical to the scalar
+    /// per-job path — the switch exists for the equivalence suite and
+    /// benchmarking. Defaults from `OPTIMUS_BATCHED_FIT`
+    /// (`0`/`off`/`false` selects the scalar path; anything else,
+    /// including unset, the batched engine).
+    pub batched_refit: bool,
 }
+
+/// `OPTIMUS_BATCHED_FIT` environment default for
+/// [`SimConfig::batched_refit`].
+fn batched_refit_from_env() -> bool {
+    !matches!(
+        std::env::var("OPTIMUS_BATCHED_FIT"),
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")
+    )
+}
+
+/// A convergence-fit outcome held for trace emission: fitted
+/// coefficients plus residual, or the error message.
+type ConvFitSlot = Option<Result<(Vec<f64>, f64), String>>;
 
 impl Default for SimConfig {
     fn default() -> Self {
@@ -239,6 +262,7 @@ impl Default for SimConfig {
             progress_every_s: 0.0,
             verbose: false,
             engine: SimEngine::from_env(),
+            batched_refit: batched_refit_from_env(),
         }
     }
 }
@@ -1240,19 +1264,6 @@ impl Simulation {
         let cfg = self.config.clone();
         let tel = cfg.telemetry.clone();
 
-        // 0. Settle the previous round's speed predictions against the
-        // interval's realized speeds, *before* the refits fold the same
-        // observations into the models. Serial, in job order, so the
-        // audit trail is independent of the refit thread count. Runs
-        // unconditionally: a disabled handle just drops the trace side
-        // while the summary counters keep accruing into
-        // `SimReport::audit`.
-        for i in 0..self.jobs.len() {
-            let job = &self.jobs[i];
-            let (id, realized) = (job.spec.id.0, job.observed_interval_speed());
-            self.audit.settle_speed(&tel, round, id, realized);
-        }
-
         // 1. Admit & profile newly arrived jobs (§3.2 "Model fitting":
         // sample runs on a small dataset before the job starts).
         let mut admitted = Vec::new();
@@ -1285,12 +1296,32 @@ impl Simulation {
             }
         }
 
-        // 2. Online calibration from the last interval's observations.
+        // 2. Online calibration from the last interval's observations,
+        // fused with the estimator-audit settlement: the previous
+        // round's speed predictions are settled against the interval's
+        // realized speeds *before* the refits fold the same
+        // observations into the models. Settlement is serial and in job
+        // order in both modes (it draws no randomness and no refit
+        // reads the audit state, so fusing it here leaves every
+        // decision unchanged), which keeps the audit trail independent
+        // of thread count and refit mode. It runs unconditionally: a
+        // disabled telemetry handle just drops the trace side while the
+        // summary counters keep accruing into `SimReport::audit`.
         //
         // Each job's refit touches only that job's models and draws no
         // randomness, so the jobs fan out across threads; trace events
         // are collected per job and emitted serially afterwards in job
         // order so the trace stream is independent of thread count.
+        // Two byte-identical paths (`SimConfig::batched_refit`):
+        //
+        // * batched — one serial pass settles the audit, refits speed
+        //   models, and splits convergence estimators into clean jobs
+        //   (cached fit replayed, `fit.dirty_skipped`) and a dirty set,
+        //   which then refits through the batched SoA engine in
+        //   lane-group waves (`optimus_core::refit_convergence_batch`);
+        // * scalar — the PR-2 per-job fan-out, kept as the executable
+        //   reference the equivalence suite diffs the batched path
+        //   against (same clean-job skip, so counters match too).
         {
             let span = tel.span("sched.refit");
             // Fit results are bitwise thread-count-independent (the
@@ -1318,38 +1349,135 @@ impl Simulation {
                 }
             };
             let traced = tel.is_enabled();
-            let outcomes = optimus_parallel::run_indexed_mut(&mut self.jobs, threads, |_, job| {
-                if job.status == JobStatus::Finished || job.status == JobStatus::Pending {
-                    return None;
+            let model_to_event =
+                |m: optimus_fitting::LossModel| (vec![m.beta0, m.beta1, m.beta2], m.residual_ss);
+            let outcomes = if cfg.batched_refit {
+                // Pass A (serial, job order): settle the audit, refit
+                // speed models, replay clean convergence fits, and mark
+                // the dirty set.
+                let njobs = self.jobs.len();
+                let mut candidate = vec![false; njobs];
+                let mut dirty = vec![false; njobs];
+                let mut speed_events = Vec::with_capacity(njobs);
+                let mut conv_slots: Vec<ConvFitSlot> = vec![None; njobs];
+                for i in 0..njobs {
+                    let (id, realized) = (
+                        self.jobs[i].spec.id.0,
+                        self.jobs[i].observed_interval_speed(),
+                    );
+                    self.audit.settle_speed(&tel, round, id, realized);
+                    let job = &mut self.jobs[i];
+                    if job.status == JobStatus::Finished || job.status == JobStatus::Pending {
+                        speed_events.push(None);
+                        continue;
+                    }
+                    candidate[i] = true;
+                    let speed_fit = job.observed_interval_speed().map(|speed| {
+                        job.speed_model.record(job.ps, job.workers, speed);
+                        job.speed_model.refit().map_err(|e| e.to_string())
+                    });
+                    speed_events.push(if traced {
+                        speed_fit.map(|res| {
+                            res.map(|()| {
+                                (
+                                    job.speed_model.coefficients().to_vec(),
+                                    job.speed_model.residual_ss().unwrap_or(0.0),
+                                    job.speed_model.sample_count(),
+                                )
+                            })
+                        })
+                    } else {
+                        None
+                    });
+                    match job.convergence.cached_fit_if_clean() {
+                        Some(res) => {
+                            conv_slots[i] =
+                                Some(res.map(model_to_event).map_err(|e| e.to_string()));
+                        }
+                        None => dirty[i] = true,
+                    }
                 }
-                let speed_fit = job.observed_interval_speed().map(|speed| {
-                    job.speed_model.record(job.ps, job.workers, speed);
-                    job.speed_model.refit().map_err(|e| e.to_string())
-                });
-                let conv_fit = job
-                    .convergence
-                    .refit()
-                    .map(|m| (vec![m.beta0, m.beta1, m.beta2], m.residual_ss))
-                    .map_err(|e| e.to_string());
-                if !traced {
-                    return None;
+                // Pass B: refit the dirty set through the batched SoA
+                // engine (lane groups, wave-synchronized β₂ scans).
+                {
+                    let mut ests: Vec<&mut optimus_core::ConvergenceEstimator> = self
+                        .jobs
+                        .iter_mut()
+                        .enumerate()
+                        .filter(|(i, _)| dirty[*i])
+                        .map(|(_, job)| &mut job.convergence)
+                        .collect();
+                    let results = optimus_core::refit_convergence_batch(&mut ests, threads);
+                    let dirty_idx = dirty
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| **d)
+                        .map(|(i, _)| i);
+                    for (i, res) in dirty_idx.zip(results) {
+                        conv_slots[i] = Some(res.map(model_to_event).map_err(|e| e.to_string()));
+                    }
                 }
-                let speed_event = speed_fit.map(|res| {
-                    res.map(|()| {
-                        (
-                            job.speed_model.coefficients().to_vec(),
-                            job.speed_model.residual_ss().unwrap_or(0.0),
-                            job.speed_model.sample_count(),
-                        )
+                // Pass C: assemble per-job outcomes in job order, same
+                // shape as the scalar fan-out below.
+                speed_events
+                    .into_iter()
+                    .zip(conv_slots)
+                    .enumerate()
+                    .map(|(i, (speed_event, conv_slot))| {
+                        if !candidate[i] || !traced {
+                            return None;
+                        }
+                        let job = &self.jobs[i];
+                        Some((
+                            job.spec.id.0,
+                            speed_event,
+                            conv_slot.expect("every refit candidate got a convergence result"),
+                            job.convergence.sample_count(),
+                        ))
                     })
-                });
-                Some((
-                    job.spec.id.0,
-                    speed_event,
-                    conv_fit,
-                    job.convergence.sample_count(),
-                ))
-            });
+                    .collect()
+            } else {
+                for i in 0..self.jobs.len() {
+                    let (id, realized) = (
+                        self.jobs[i].spec.id.0,
+                        self.jobs[i].observed_interval_speed(),
+                    );
+                    self.audit.settle_speed(&tel, round, id, realized);
+                }
+                optimus_parallel::run_indexed_mut(&mut self.jobs, threads, |_, job| {
+                    if job.status == JobStatus::Finished || job.status == JobStatus::Pending {
+                        return None;
+                    }
+                    let speed_fit = job.observed_interval_speed().map(|speed| {
+                        job.speed_model.record(job.ps, job.workers, speed);
+                        job.speed_model.refit().map_err(|e| e.to_string())
+                    });
+                    let conv_fit = match job.convergence.cached_fit_if_clean() {
+                        Some(res) => res,
+                        None => job.convergence.refit().copied(),
+                    }
+                    .map(model_to_event)
+                    .map_err(|e| e.to_string());
+                    if !traced {
+                        return None;
+                    }
+                    let speed_event = speed_fit.map(|res| {
+                        res.map(|()| {
+                            (
+                                job.speed_model.coefficients().to_vec(),
+                                job.speed_model.residual_ss().unwrap_or(0.0),
+                                job.speed_model.sample_count(),
+                            )
+                        })
+                    });
+                    Some((
+                        job.spec.id.0,
+                        speed_event,
+                        conv_fit,
+                        job.convergence.sample_count(),
+                    ))
+                })
+            };
             drop(span);
             for (id, speed_event, conv_fit, conv_samples) in outcomes.into_iter().flatten() {
                 match speed_event {

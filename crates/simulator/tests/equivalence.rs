@@ -170,6 +170,81 @@ fn reference_scheduler_simulation_is_byte_identical() {
     );
 }
 
+/// The PR-8 batched SoA refit engine is a pure optimization: with
+/// `SimConfig::batched_refit` on, every event byte and report byte must
+/// match the scalar per-job path's — in both engines, at 1/2/8 refit
+/// threads, and under straggler injection (pauses and rescales churn
+/// the dirty set).
+#[test]
+fn batched_refit_is_byte_identical_to_scalar() {
+    let mut cfg = base_config();
+    cfg.straggler = StragglerPolicy::with_injection(0.002);
+    for engine in [SimEngine::Tick, SimEngine::Event] {
+        let mut scalar_cfg = cfg.clone();
+        scalar_cfg.engine = engine;
+        scalar_cfg.batched_refit = false;
+        scalar_cfg.refit_threads = Some(1);
+        let scalar = run_serialized(scalar_cfg, OptimusScheduler::build, 4);
+        for threads in [1usize, 2, 8] {
+            let mut batched_cfg = cfg.clone();
+            batched_cfg.engine = engine;
+            batched_cfg.batched_refit = true;
+            batched_cfg.refit_threads = Some(threads);
+            let batched = run_serialized(batched_cfg, OptimusScheduler::build, 4);
+            assert_eq!(
+                scalar.0, batched.0,
+                "event log diverged from scalar refits ({engine:?}, {threads} threads)"
+            );
+            assert_eq!(
+                scalar.1, batched.1,
+                "report diverged from scalar refits ({engine:?}, {threads} threads)"
+            );
+        }
+    }
+}
+
+/// Fit telemetry must agree across refit modes — the cross-mode ledger
+/// diff in `just ledger` runs with no ignore list, so even the counters
+/// have to line up exactly.
+#[test]
+fn batched_refit_counters_match_scalar() {
+    let run = |batched: bool| {
+        let tel = Telemetry::enabled();
+        let mut cfg = base_config();
+        cfg.telemetry = tel.clone();
+        cfg.batched_refit = batched;
+        cfg.refit_threads = Some(2);
+        let mut sim = Simulation::new(
+            Cluster::paper_testbed(),
+            specs(8),
+            Box::new(OptimusScheduler::build()),
+            cfg,
+        );
+        sim.run();
+        tel
+    };
+    let scalar = run(false);
+    let batched = run(true);
+    for key in [
+        "loss_curve.fits",
+        "nnls.solves",
+        "nnls.fit_failures",
+        "fit.warm_start_hits",
+        "fit.dirty_skipped",
+        "fit.skipped_unchanged",
+    ] {
+        assert_eq!(
+            scalar.counter(key),
+            batched.counter(key),
+            "{key} diverged between refit modes"
+        );
+    }
+    assert!(
+        batched.counter("loss_curve.fits") > 0,
+        "the run must actually fit"
+    );
+}
+
 /// Runs one Optimus simulation of 4 jobs and returns the full report.
 fn run_report(cfg: SimConfig) -> SimReport {
     let mut sim = Simulation::new(

@@ -38,16 +38,19 @@ bench-alloc:
 
 # Prove the optimized paths byte-identical to the naive reference
 # implementations (property-based): allocator/placer, the incremental
-# warm-started convergence fitter, and the simulator. The simulator
-# suite runs twice — once under the discrete-event engine (the
-# default) and once forced to the legacy tick loop — so both engine
-# defaults keep passing the same byte-identity proofs, plus the
-# event-calendar determinism proptests.
+# warm-started convergence fitter, the batched SoA fit engine, and the
+# simulator. The simulator suite runs three ways — under the
+# discrete-event engine (the default), forced to the legacy tick loop,
+# and with the batched refit engine disabled — so every engine default
+# keeps passing the same byte-identity proofs, plus the event-calendar
+# determinism proptests.
 equivalence:
     cargo test --release -p optimus-core --test equivalence
     cargo test --release -p optimus-fitting --test equivalence
+    cargo test --release -p optimus-fitting --test batch_equivalence
     cargo test --release -p optimus-simulator --test equivalence
     OPTIMUS_EVENT_ENGINE=0 cargo test --release -p optimus-simulator --test equivalence
+    OPTIMUS_BATCHED_FIT=0 cargo test --release -p optimus-simulator --test equivalence
     cargo test --release -p optimus-simulator --test event_determinism
 
 # Ledger smoke: two identical small runs must produce byte-identical
@@ -56,14 +59,20 @@ equivalence:
 # to the event-engine runs on every decision artifact (the cross-engine
 # determinism contract, DESIGN §11). `trace.jsonl` is excluded there:
 # it carries each engine's own accounting counters (events/waves vs
-# ticks skipped/batched), which differ by construction.
+# ticks skipped/batched), which differ by construction. A fourth run
+# with the batched refit engine disabled must match the default run on
+# EVERY artifact, trace included — the batched fitter's contract is
+# bit-identical models *and* telemetry (DESIGN §12), so nothing is
+# ignored in that diff.
 ledger:
     rm -rf target/ledger-smoke
     cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/a
     cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/b
     OPTIMUS_EVENT_ENGINE=0 cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/tick
+    OPTIMUS_BATCHED_FIT=0 cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/scalar-fit
     cargo run --release --bin optimus-trace -- diff target/ledger-smoke/a target/ledger-smoke/b
     cargo run --release --bin optimus-trace -- diff --ignore trace.jsonl target/ledger-smoke/a target/ledger-smoke/tick
+    cargo run --release --bin optimus-trace -- diff target/ledger-smoke/a target/ledger-smoke/scalar-fit
 
 # Whole-simulation throughput: simulated-seconds per wall-second and
 # events per wall-second across the job grid, with a bit-identical
@@ -88,10 +97,12 @@ check-bench:
 # reference equivalence proptests (in both engine modes), 1-sample
 # bench smoke runs (keeps the timing harnesses compiling and executable
 # without recording noise; bench-alloc also cross-checks decisions
-# against the reference; bench_sim smokes the at-scale 100-job grid
-# point, which includes its own tick-vs-event cross-check), the
+# against the reference; bench_fit smokes the at-scale 5000-job grid
+# point, which includes its own reference-vs-scalar-vs-batched
+# cross-check; bench_sim smokes the at-scale 100-job grid point, which
+# includes its own tick-vs-event cross-check), the
 # run-ledger determinism smoke (including the cross-engine diff), the
 # flight-recorder timeline smoke, and the bench regression watchdog.
 ci: lint build test equivalence bench-alloc ledger timeline check-bench
-    cargo run --release -p optimus-bench --bin bench_fit -- --samples 1
+    cargo run --release -p optimus-bench --bin bench_fit -- --samples 1 --points 5000
     cargo run --release -p optimus-bench --bin bench_sim -- --samples 1 --points 100

@@ -769,7 +769,7 @@ const BENCH_CHECKS: [BenchCheck; 3] = [
     BenchCheck {
         default_path: "BENCH_fit.json",
         flag: "--fit",
-        key_fields: &["jobs", "history"],
+        key_fields: &["jobs", "history", "dirty"],
         metrics: &[("mean_ns_optimized", false)],
     },
     BenchCheck {
@@ -851,7 +851,12 @@ fn check_bench_file(path: &str, check: &BenchCheck, tolerance: f64) -> Result<us
             .map(<[serde_json::Value]>::to_vec)
             .unwrap_or_default()
     };
-    let key_of = |p: &serde_json::Value| -> Option<Vec<u64>> {
+    // A key field may legitimately be absent or null in a point (the
+    // all-dirty `bench_fit` points carry `dirty: null`, and pre-PR-8
+    // entries no `dirty` at all), so a missing value is a distinct
+    // grid coordinate rather than grounds to skip the point — old
+    // entries keep gating the matching legacy points.
+    let key_of = |p: &serde_json::Value| -> Vec<Option<u64>> {
         check
             .key_fields
             .iter()
@@ -861,7 +866,7 @@ fn check_bench_file(path: &str, check: &BenchCheck, tolerance: f64) -> Result<us
     let mut regressions = 0usize;
     let mut checked = 0usize;
     for point in points(newest) {
-        let Some(key) = key_of(&point) else { continue };
+        let key = key_of(&point);
         for &(metric, higher_is_better) in check.metrics {
             let Some(new_val) = point.get(metric).and_then(|v| v.as_f64()) else {
                 continue;
@@ -873,7 +878,7 @@ fn check_bench_file(path: &str, check: &BenchCheck, tolerance: f64) -> Result<us
             let mut best: Option<(f64, String)> = None;
             for entry in prior {
                 for p in points(entry) {
-                    if key_of(&p).as_ref() != Some(&key) {
+                    if key_of(&p) != key {
                         continue;
                     }
                     if let Some(v) = p.get(metric).and_then(|v| v.as_f64()) {
@@ -903,7 +908,10 @@ fn check_bench_file(path: &str, check: &BenchCheck, tolerance: f64) -> Result<us
                     .key_fields
                     .iter()
                     .zip(&key)
-                    .map(|(f, v)| format!("{f}={v}"))
+                    .map(|(f, v)| match v {
+                        Some(v) => format!("{f}={v}"),
+                        None => format!("{f}=-"),
+                    })
                     .collect();
                 let show = |v: f64| {
                     if higher_is_better {
