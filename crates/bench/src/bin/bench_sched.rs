@@ -9,24 +9,46 @@
 //!
 //! ```text
 //! bench_sched [--samples N] [--label STR] [--out FILE] [--verify]
+//!             [--points LIST] [--churn-jobs LIST] [--ledger DIR]
 //! ```
+//!
+//! Two kinds of grid points:
+//!
+//! * **Full-round points** (`--points`, default all): the simulator's
+//!   steady-state path — a persistent [`RoundScratch`] + [`Schedule`]
+//!   driven through `Scheduler::schedule_into`, warmed before sampling
+//!   so warm rounds are allocation-free.
+//! * **Steady-state churn points** (`--churn-jobs`, default
+//!   `1000,10000`, `none` disables): 10 % of the jobs change between
+//!   rounds (a deterministic LCG picks which, and jitters their
+//!   remaining work) and the round runs through
+//!   `Scheduler::schedule_delta` with an exact dirty list — the path a
+//!   delta-tracking driver takes. The same mutated state is also timed
+//!   through the full path, and both are recorded (`delta: 1` / `0`)
+//!   so `check-bench` gates each independently; the speedup ratio is
+//!   printed. Churn points use synchronous-mode jobs on a cluster with
+//!   headroom: saturating speed curves stop the solo climbs at finite
+//!   counts, which is the regime where the delta engine's uncontended
+//!   certificate holds and grants replay (asynchronous mixes fill the
+//!   cluster and fall back to the full path — correct, but not the
+//!   steady state this point measures).
 //!
 //! With `--out`, the file is read (it must hold a JSON array, or not
 //! exist), the new entry is appended, and the array is rewritten —
 //! existing entries are never modified.
 //!
-//! The timed path is the simulator's steady-state path: a persistent
-//! [`RoundScratch`] + [`Schedule`] driven through
-//! `Scheduler::schedule_into`, warmed before sampling so warm rounds
-//! are allocation-free. `--verify` additionally runs the naive
-//! [`optimus_core::reference`] scheduler once per grid point and exits
-//! non-zero if any allocation row or placement diverges — a fast
-//! decision that schedules differently is a bug, not a win.
+//! `--verify` runs the naive [`optimus_core::reference`] scheduler once
+//! per full-round point, checks every churn sample's delta decision
+//! against the full path, and requires the certificate to actually
+//! certify (a churn point that silently fell back to the full path
+//! every round is a configuration bug, not a win). Exit is non-zero on
+//! any divergence.
 
 use optimus_bench::{available_threads, run_indexed};
 use optimus_cluster::{Cluster, ResourceVec};
 use optimus_core::prelude::*;
 use optimus_core::reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
+use optimus_core::RoundDelta;
 use optimus_ps::PsJobModel;
 use optimus_workload::{JobId, ModelKind, TrainingMode};
 use serde::Serialize;
@@ -34,13 +56,29 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 /// The criterion bench's points: (jobs, nodes).
-const POINTS: [(usize, usize); 3] = [(250, 500), (500, 1_000), (1_000, 2_000)];
+const POINTS: [(usize, usize); 4] = [(250, 500), (500, 1_000), (1_000, 2_000), (10_000, 10_000)];
 
-/// One timed grid point.
+/// Steady-state churn points: (jobs, nodes). Nodes are sized so the
+/// synchronous population's natural solo-climb stops leave certificate
+/// headroom — the delta path must actually replay, not fall back.
+const CHURN_POINTS: [(usize, usize); 2] = [(1_000, 6_000), (10_000, 60_000)];
+
+/// Fraction of jobs dirtied between churn rounds, in percent.
+const CHURN_PCT: u64 = 10;
+
+/// One timed grid point. `churn_pct`/`delta` are absent on full-round
+/// points so their records keep matching the pre-delta history in
+/// `check-bench` (a missing key field is a distinct grid coordinate).
 #[derive(Serialize)]
 struct PointRecord {
     jobs: usize,
     nodes: usize,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    churn_pct: Option<u64>,
+    /// `1` = incremental `schedule_delta` path, `0` = full path on the
+    /// same churned state.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    delta: Option<u64>,
     mean_ns: u64,
 }
 
@@ -53,11 +91,17 @@ struct BenchEntry {
     points: Vec<PointRecord>,
 }
 
-/// Same synthetic population as the `scheduler_scalability` bench.
-fn make_jobs(n: usize) -> Vec<JobView> {
-    let mut base: Vec<SpeedModel> = Vec::new();
+/// Prefit speed models; `sync_only` restricts to saturating
+/// synchronous-mode curves (see the churn-point rationale above).
+fn model_pool(sync_only: bool) -> Vec<SpeedModel> {
+    let modes: &[TrainingMode] = if sync_only {
+        &[TrainingMode::Synchronous]
+    } else {
+        &[TrainingMode::Synchronous, TrainingMode::Asynchronous]
+    };
+    let mut base = Vec::new();
     for kind in [ModelKind::ResNet50, ModelKind::Seq2Seq, ModelKind::CnnRand] {
-        for mode in [TrainingMode::Synchronous, TrainingMode::Asynchronous] {
+        for &mode in modes {
             let profile = kind.profile();
             let truth = PsJobModel::new(profile, mode);
             let mut m = SpeedModel::new(mode, profile.batch_size as f64);
@@ -68,6 +112,12 @@ fn make_jobs(n: usize) -> Vec<JobView> {
             base.push(m);
         }
     }
+    base
+}
+
+/// Same synthetic population as the `scheduler_scalability` bench.
+fn make_jobs(n: usize, sync_only: bool) -> Vec<JobView> {
+    let base = model_pool(sync_only);
     (0..n)
         .map(|i| JobView {
             id: JobId(i as u64),
@@ -88,13 +138,53 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parses a `--points`/`--churn-jobs` job-count filter: a comma list of
+/// job counts, or `none` for the empty set. `None` means "no filter".
+fn parse_filter(raw: Option<String>) -> Result<Option<Vec<usize>>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    if raw == "none" {
+        return Ok(Some(Vec::new()));
+    }
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid job count {s:?}"))
+        })
+        .collect::<Result<Vec<usize>, String>>()
+        .map(Some)
+}
+
+/// Dirties `pct` % of `jobs` (at least one) with a deterministic LCG:
+/// a tiny multiplicative jitter on `remaining_work` that flips the
+/// fingerprint without moving any saturating solo-climb stop. Returns
+/// the sorted dirty index list.
+fn churn_round(jobs: &mut [JobView], pct: u64, seed: &mut u64) -> Vec<u32> {
+    let want = ((jobs.len() as u64 * pct) / 100).max(1) as usize;
+    let mut dirty = std::collections::BTreeSet::new();
+    while dirty.len() < want {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        dirty.insert(((*seed >> 33) as usize % jobs.len()) as u32);
+    }
+    for &i in &dirty {
+        jobs[i as usize].remaining_work *= 1.000_001;
+    }
+    dirty.into_iter().collect()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "bench_sched — scheduling-decision timing trajectory\n\n\
              USAGE: bench_sched [--samples N] [--label STR] [--out FILE] [--verify]\n\
-             \x20                 [--ledger DIR]"
+             \x20                 [--points LIST] [--churn-jobs LIST] [--ledger DIR]\n\n\
+             \x20 --points LIST      full-round grid points to run (job counts,\n\
+             \x20                    comma-separated, or 'none'; default: all)\n\
+             \x20 --churn-jobs LIST  steady-state 10 % churn points to run\n\
+             \x20                    (default: 1000,10000; 'none' disables)"
         );
         return ExitCode::SUCCESS;
     }
@@ -107,18 +197,40 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let samples = samples.max(1);
     let label = arg_value(&args, "--label").unwrap_or_else(|| "current".into());
     let out = arg_value(&args, "--out");
+    let full_filter = match parse_filter(arg_value(&args, "--points")) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: --points: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let churn_filter = match parse_filter(arg_value(&args, "--churn-jobs")) {
+        Ok(f) => f.unwrap_or_else(|| vec![1_000, 10_000]),
+        Err(e) => {
+            eprintln!("error: --churn-jobs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let node_cap = ResourceVec::new(32.0, 4.0, 128.0, 10.0);
     let scheduler = OptimusScheduler::build();
-    let sizes: Vec<usize> = POINTS.iter().map(|&(jobs, _)| jobs).collect();
-    let job_sets = run_indexed(&sizes, available_threads(), |_, &n| make_jobs(n));
+    let full_points: Vec<(usize, usize)> = POINTS
+        .iter()
+        .copied()
+        .filter(|(j, _)| full_filter.as_ref().is_none_or(|f| f.contains(j)))
+        .collect();
+    let churn_points: Vec<(usize, usize)> = CHURN_POINTS
+        .iter()
+        .copied()
+        .filter(|(j, _)| churn_filter.contains(j))
+        .collect();
+    let sizes: Vec<usize> = full_points.iter().map(|&(jobs, _)| jobs).collect();
+    let job_sets = run_indexed(&sizes, available_threads(), |_, &n| make_jobs(n, false));
 
-    println!(
-        "bench_sched: {} samples per point (label: {label})\n",
-        samples.max(1)
-    );
+    println!("bench_sched: {samples} samples per point (label: {label})\n");
     println!(
         "{:>8} {:>8} {:>14} {:>12}",
         "jobs", "nodes", "mean ns", "ms"
@@ -126,7 +238,7 @@ fn main() -> ExitCode {
     let mut points = Vec::new();
     let mut scratch = RoundScratch::default();
     let mut decision = Schedule::new(Vec::new(), std::collections::HashMap::new());
-    for (&(jobs_n, nodes), jobs) in POINTS.iter().zip(job_sets.iter()) {
+    for (&(jobs_n, nodes), jobs) in full_points.iter().zip(job_sets.iter()) {
         let cluster = Cluster::homogeneous(nodes, node_cap);
         // Two warm-up decisions size the persistent scratch, then the
         // timed samples run the allocation-free steady-state rounds the
@@ -134,13 +246,13 @@ fn main() -> ExitCode {
         scheduler.schedule_into(jobs, &cluster, &mut scratch, &mut decision);
         scheduler.schedule_into(jobs, &cluster, &mut scratch, &mut decision);
         let mut total_ns = 0u128;
-        for _ in 0..samples.max(1) {
+        for _ in 0..samples {
             let start = Instant::now();
             scheduler.schedule_into(jobs, &cluster, &mut scratch, &mut decision);
             total_ns += start.elapsed().as_nanos();
             std::hint::black_box(&decision);
         }
-        let mean_ns = (total_ns / samples.max(1) as u128) as u64;
+        let mean_ns = (total_ns / samples as u128) as u64;
         if verify {
             let reference = CompositeScheduler::new(
                 "reference",
@@ -165,14 +277,105 @@ fn main() -> ExitCode {
         points.push(PointRecord {
             jobs: jobs_n,
             nodes,
+            churn_pct: None,
+            delta: None,
             mean_ns,
         });
+    }
+
+    // --- Steady-state churn points -----------------------------------
+    for &(jobs_n, nodes) in &churn_points {
+        let mut jobs = make_jobs(jobs_n, true);
+        let cluster = Cluster::homogeneous(nodes, node_cap);
+        let mut delta_scratch = RoundScratch::default();
+        let mut delta_out = Schedule::new(Vec::new(), std::collections::HashMap::new());
+        let mut full_scratch = RoundScratch::default();
+        let mut full_out = Schedule::new(Vec::new(), std::collections::HashMap::new());
+        // Warm both paths: a cold full round seeds the delta engine's
+        // stored rows and placement store.
+        let cold = RoundDelta {
+            full: true,
+            cluster_changed: false,
+            dirty: Vec::new(),
+        };
+        scheduler.schedule_delta(&jobs, &cluster, &cold, &mut delta_scratch, &mut delta_out);
+        scheduler.schedule_into(&jobs, &cluster, &mut full_scratch, &mut full_out);
+
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64 ^ jobs_n as u64;
+        let mut delta_ns = 0u128;
+        let mut full_ns = 0u128;
+        let mut fallbacks = 0u64;
+        let mut replayed = 0u64;
+        for _ in 0..samples {
+            let dirty = churn_round(&mut jobs, CHURN_PCT, &mut seed);
+            let delta = RoundDelta {
+                full: false,
+                cluster_changed: false,
+                dirty,
+            };
+            let start = Instant::now();
+            let stats = scheduler.schedule_delta(
+                &jobs,
+                &cluster,
+                &delta,
+                &mut delta_scratch,
+                &mut delta_out,
+            );
+            delta_ns += start.elapsed().as_nanos();
+            std::hint::black_box(&delta_out);
+            fallbacks += u64::from(stats.alloc_full);
+            replayed += stats.replayed_grants;
+
+            let start = Instant::now();
+            scheduler.schedule_into(&jobs, &cluster, &mut full_scratch, &mut full_out);
+            full_ns += start.elapsed().as_nanos();
+            std::hint::black_box(&full_out);
+
+            if verify
+                && (delta_out.allocations() != full_out.allocations()
+                    || delta_out.placements() != full_out.placements())
+            {
+                eprintln!(
+                    "error: delta decision diverges from the full path \
+                     at {jobs_n} jobs / {nodes} nodes (churn)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if verify && fallbacks > 0 {
+            eprintln!(
+                "error: churn point {jobs_n} jobs / {nodes} nodes fell back to the \
+                 full path in {fallbacks}/{samples} rounds — cluster lacks \
+                 certificate headroom"
+            );
+            return ExitCode::FAILURE;
+        }
+        let delta_mean = (delta_ns / samples as u128) as u64;
+        let full_mean = (full_ns / samples as u128) as u64;
+        let speedup = full_mean as f64 / delta_mean.max(1) as f64;
+        let replayed_per_round = replayed / u64::from(samples);
+        println!(
+            "{jobs_n:>8} {nodes:>8} {delta_mean:>14} {:>12.3}  churn {CHURN_PCT}% delta \
+             ({speedup:.1}x vs full {:.3} ms, {replayed_per_round} grants replayed/round, \
+             {fallbacks} fallbacks)",
+            delta_mean as f64 / 1e6,
+            full_mean as f64 / 1e6,
+        );
+        for (is_delta, mean_ns) in [(1, delta_mean), (0, full_mean)] {
+            points.push(PointRecord {
+                jobs: jobs_n,
+                nodes,
+                churn_pct: Some(CHURN_PCT),
+                delta: Some(is_delta),
+                mean_ns,
+            });
+        }
     }
 
     let entry = BenchEntry {
         label: label.clone(),
         source: "bench_sched",
-        samples: samples.max(1),
+        samples,
         points,
     };
 
@@ -204,20 +407,19 @@ fn main() -> ExitCode {
     if let Some(dir) = arg_value(&args, "--ledger") {
         use optimus_telemetry::ledger::RunLedger;
         use serde_json::Value;
+        let grid = |pts: &[(usize, usize)]| {
+            Value::Array(
+                pts.iter()
+                    .map(|&(j, n)| Value::Array(vec![Value::Num(j as f64), Value::Num(n as f64)]))
+                    .collect(),
+            )
+        };
         let config = Value::Object(vec![
-            ("samples".into(), Value::Num(samples.max(1) as f64)),
+            ("samples".into(), Value::Num(samples as f64)),
             ("verify".into(), Value::Bool(verify)),
-            (
-                "points".into(),
-                Value::Array(
-                    POINTS
-                        .iter()
-                        .map(|&(j, n)| {
-                            Value::Array(vec![Value::Num(j as f64), Value::Num(n as f64)])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("points".into(), grid(&full_points)),
+            ("churn_points".into(), grid(&churn_points)),
+            ("churn_pct".into(), Value::Num(CHURN_PCT as f64)),
         ]);
         let mut ledger = RunLedger::new("bench_sched", &label)
             .threads(available_threads())

@@ -11,7 +11,7 @@
 //! seconds).
 
 use crate::scheduler::JobView;
-use optimus_cluster::{Cluster, ResourceVec};
+use optimus_cluster::{Cluster, ResourceKind, ResourceVec};
 use optimus_telemetry::{Telemetry, TraceEvent};
 use optimus_workload::JobId;
 use serde::{Deserialize, Serialize};
@@ -83,7 +83,7 @@ enum Action {
 /// `alloc.marginal_gain_evals` reports) is identical to the memo's miss
 /// count.
 #[derive(Debug, Clone, Copy, Default)]
-struct CandCache {
+pub(crate) struct CandCache {
     valid: bool,
     p: u32,
     w: u32,
@@ -298,6 +298,69 @@ impl OptimusAllocator {
         best
     }
 
+    /// One job's grant counts re-derived *independently of every other
+    /// job*: start at the (1, 1) starter and climb by
+    /// [`Self::best_candidate`] — the exact grant rule and the exact
+    /// `gain <= 0.0` stop predicate of [`Self::allocate_with`] — but
+    /// with capacity checks against the round's *total* free capacity
+    /// instead of the shrinking shared `remaining`.
+    ///
+    /// Marginal gains never read `remaining` (they are priced from the
+    /// job's own model and the constant cluster capacity), so whenever
+    /// the full greedy run answers every `fits_within` query
+    /// affirmatively it is a prefix-interleaving of these solo chains
+    /// and produces bit-identical counts. The delta-round engine proves
+    /// that premise after the fact with [`uncontended_certificate`];
+    /// this returns `None` when the climb itself leaves the
+    /// total-capacity envelope (the certificate would fail), sending
+    /// the caller to the full path.
+    pub(crate) fn solo_climb(
+        &self,
+        job: &JobView,
+        total_available: &ResourceVec,
+        capacity: &ResourceVec,
+        cache: &mut CandCache,
+        evals: &mut u64,
+    ) -> Option<(u32, u32)> {
+        if !job.unit_demand().fits_within(total_available) {
+            // The starter may have been skipped under contention; that
+            // is exactly a failed capacity query, so fall back.
+            return None;
+        }
+        *cache = CandCache::default();
+        cache.dom_worker = Self::dominant_units(&job.worker_profile, capacity);
+        cache.dom_ps = Self::dominant_units(&job.ps_profile, capacity);
+        let mut alloc = Allocation {
+            job: job.id,
+            ps: 1,
+            workers: 1,
+        };
+        loop {
+            let Some((gain, action)) =
+                self.best_candidate(job, cache, &alloc, total_available, evals)
+            else {
+                return Some((alloc.ps, alloc.workers));
+            };
+            if gain <= 0.0 {
+                // NaN gains compare false here, exactly as in the heap
+                // loop's break predicate: the climb keeps granting.
+                return Some((alloc.ps, alloc.workers));
+            }
+            match action {
+                Action::AddWorker => alloc.workers += 1,
+                Action::AddPs => alloc.ps += 1,
+            }
+            if !alloc.demand(job).fits_within(total_available) {
+                // This job alone outgrew the whole cluster (possible
+                // only with degenerate models, e.g. NaN gains): the
+                // certificate is guaranteed to fail, so bail now —
+                // this also bounds the loop, since any non-zero
+                // profile must eventually leave the envelope.
+                return None;
+            }
+        }
+    }
+
     /// The full §4.1 greedy loop, writing rows into `out` and reusing
     /// `scratch` across rounds. Once both are warm this performs no heap
     /// allocation (with a disabled telemetry handle; enabled handles
@@ -477,6 +540,72 @@ impl ResourceAllocator for OptimusAllocator {
     ) {
         self.allocate_with(jobs, cluster, scratch, out);
     }
+}
+
+/// Headroom certificate for the uncontended-independence theorem behind
+/// delta rounds: if, for every resource kind,
+///
+/// ```text
+/// Σ_jobs demand_k + 2·max_unit_k + slop_k  ≤  total_available_k
+/// ```
+///
+/// then every `fits_within` query the full greedy run would ask against
+/// its shrinking `remaining` vector passes, and therefore the run
+/// degenerates into an interleaving of per-job solo climbs
+/// ([`OptimusAllocator::solo_climb`]) whose final counts are
+/// bit-identical to the full run's.
+///
+/// Why: marginal gains never read `remaining` — they are priced from
+/// the job's own speed model and the round-constant cluster capacity —
+/// so `remaining` influences the run only through boolean `fits_within`
+/// filters (starter grants and candidate feasibility). Suppose some
+/// query failed; take the first. Up to that point no query failed, so
+/// the run is a prefix-interleaving of solo chains and
+/// `remaining_k ≥ total_k − Σ demand_k − drift_k`. Every queried demand
+/// is one worker *or* one ps profile of some job, hence componentwise
+/// ≤ `max_unit`; the certificate leaves `2·max_unit + slop` of headroom
+/// and `slop` dominates the float drift of ~10⁴ sequential
+/// subtractions (each ≤ ulp(total) ≈ total·2.2e-16), so the query
+/// cannot have failed — contradiction. The factor 2 (rather than 1)
+/// keeps the margin comfortable for the paired starter grant, which
+/// subtracts a worker and a ps unit between queries. The lazy heap's
+/// break at `top.gain ≤ 0` fires exactly when every live chain has
+/// reached its solo stop (heap property: top ≤ 0 ⇒ all entries ≤ 0).
+///
+/// `counts` maps a view index to its final `(ps, workers)`.
+pub(crate) fn uncontended_certificate(
+    jobs: &[JobView],
+    mut counts: impl FnMut(usize) -> (u32, u32),
+    total_available: &ResourceVec,
+) -> bool {
+    let mut used = [0.0f64; 4];
+    let mut max_unit = [0.0f64; 4];
+    for (i, job) in jobs.iter().enumerate() {
+        let (ps, workers) = counts(i);
+        for (k, kind) in ResourceKind::ALL.iter().enumerate() {
+            let w = job.worker_profile.get(*kind);
+            let p = job.ps_profile.get(*kind);
+            used[k] += w * f64::from(workers) + p * f64::from(ps);
+            max_unit[k] = max_unit[k].max(w).max(p);
+        }
+    }
+    for (k, kind) in ResourceKind::ALL.iter().enumerate() {
+        // A resource no profile touches (e.g. GPU on a CPU-only mix)
+        // cannot constrain any climb or fits query: exempt it, or a
+        // zero-capacity kind would fail on slop alone. NaNs in a
+        // profile make `used` NaN and fall through to the check below.
+        if used[k] == 0.0 && max_unit[k] == 0.0 {
+            continue;
+        }
+        let total = total_available.get(*kind);
+        let slop = total.abs() * 1e-9 + 1e-9;
+        // Written so that a NaN anywhere fails the certificate.
+        let holds = used[k] + 2.0 * max_unit[k] + slop <= total;
+        if !holds {
+            return false;
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------

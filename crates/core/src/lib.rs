@@ -71,7 +71,9 @@ pub use placement::{
     OptimusPlacer, PackPlacer, PlaceScratch, PlacementStore, SpreadPlacer, TaskPlacer,
 };
 pub use reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
-pub use scheduler::{CompositeScheduler, JobView, RoundScratch, Schedule, Scheduler};
+pub use scheduler::{
+    CompositeScheduler, DeltaStats, JobView, RoundDelta, RoundScratch, Schedule, Scheduler,
+};
 pub use speed::SpeedModel;
 
 /// Convenience re-exports for downstream crates and examples.

@@ -132,6 +132,14 @@ impl PlacementStore {
     pub(crate) fn footprint(&self) -> usize {
         self.arena.capacity() + self.spans.capacity()
     }
+
+    /// Makes `self` an exact copy of `other`, keeping `self`'s buffer
+    /// capacity (the delta round's store round-trip).
+    pub(crate) fn copy_from(&mut self, other: &Self) {
+        self.arena.clone_from(&other.arena);
+        self.spans.clone_from(&other.spans);
+        self.open = None;
+    }
 }
 
 /// Order-independent equality: same jobs, same per-job placements.
@@ -739,112 +747,31 @@ impl OptimusPlacer {
         smallest_first_into(allocations, jobs, order, norms);
         for &i in order.iter() {
             let job = &jobs[i];
-            let mut alloc = allocations[i];
-            let pair_demand = job.ps_profile + job.worker_profile;
-            let placed = loop {
-                let demand = alloc.demand(job);
-                // Smallest k whose prefix of free capacity covers the
-                // demand; per-server granularity may need a few more.
-                let k_min = match index.k_min_or_total(&demand) {
-                    Ok(k) => k,
-                    Err(total_free) => {
-                        // Shrink-on-unplaceable: the allocator reasons
-                        // about aggregate capacity (constraint (7)), so
-                        // per-server fragmentation can make the full
-                        // allocation unplaceable. Rather than pausing a
-                        // job that could run smaller (which deadlocks a
-                        // lightly loaded cluster), shrink straight to
-                        // what aggregate free capacity allows and retry.
-                        while !alloc.demand(job).fits_within(&total_free)
-                            && alloc.ps + alloc.workers > 2
-                        {
-                            if alloc.ps >= alloc.workers {
-                                alloc.ps -= 1;
-                            } else {
-                                alloc.workers -= 1;
-                            }
-                        }
-                        if !alloc.demand(job).fits_within(&total_free) {
-                            break false;
-                        }
-                        continue;
-                    }
-                };
-                let k_max = (k_min + 8).min(index.keys.len());
-                // Probe window: smallest k in k_min..=k_max whose
-                // prefix packs the allocation (even split first, then
-                // the near-even deal). A failed deal leaves its proof
-                // transcript in `log`: the next probe adds exactly one
-                // server — the (k+1)-th most free — and replays the
-                // same trajectory to the same failure unless that
-                // server would have beaten a recorded winner (it fits
-                // the demand and has at least the winner's free CPU;
-                // ties go to it as the highest deal index) or fits a
-                // demand that found no server. Checking the transcript
-                // is O(deals); re-running the deal is O(k + deals), so
-                // the common all-probes-fail window of the shrink loop
-                // collapses to one real attempt plus cheap skips.
-                let mut log_valid = false;
-                let mut placed_at_k = false;
-                for k in k_min..=k_max {
-                    let prefix = &index.keys[..k];
-                    if Self::even_counts(job, &alloc, &index.free, prefix, counts) {
-                        Self::commit_counts(job, index, chosen, counts, out, k);
-                        placed_at_k = true;
-                        break;
-                    }
-                    if log_valid {
-                        let f = &index.free[key_server(index.keys[k - 1]).0];
-                        let fits = [
-                            pair_demand.fits_within(f),
-                            job.ps_profile.fits_within(f),
-                            job.worker_profile.fits_within(f),
-                        ];
-                        if !log.deviates(fits, f.get(ResourceKind::Cpu)) {
-                            continue;
-                        }
-                    }
-                    let prefix = &index.keys[..k];
-                    if Self::balanced_counts(
-                        job,
-                        &alloc,
-                        &index.free,
-                        prefix,
-                        counts,
-                        bal,
-                        &mut log,
-                    ) {
-                        Self::commit_counts(job, index, chosen, counts, out, k);
-                        placed_at_k = true;
-                        break;
-                    }
-                    log_valid = true;
+            let placed = Self::place_job(
+                job,
+                allocations[i],
+                index,
+                chosen,
+                counts,
+                bal,
+                &mut log,
+                out,
+                &mut retries,
+            );
+            if let Some(alloc) = placed {
+                if self.tel.is_enabled() {
+                    let shrunk = (allocations[i].ps + allocations[i].workers)
+                        .saturating_sub(alloc.ps + alloc.workers);
+                    self.tel.record(TraceEvent::Placement {
+                        job: job.id.0,
+                        ps: alloc.ps,
+                        workers: alloc.workers,
+                        servers: out.get(job.id).map_or(0, |p| p.len()),
+                        shrunk,
+                    });
                 }
-                if placed_at_k {
-                    break true;
-                }
-                if alloc.ps + alloc.workers <= 2 {
-                    break false;
-                }
-                if alloc.ps >= alloc.workers {
-                    alloc.ps -= 1;
-                } else {
-                    alloc.workers -= 1;
-                }
-                retries += 1;
-            };
-            if placed && self.tel.is_enabled() {
-                let shrunk = (allocations[i].ps + allocations[i].workers)
-                    .saturating_sub(alloc.ps + alloc.workers);
-                self.tel.record(TraceEvent::Placement {
-                    job: job.id.0,
-                    ps: alloc.ps,
-                    workers: alloc.workers,
-                    servers: out.get(job.id).map_or(0, |p| p.len()),
-                    shrunk,
-                });
             }
-            // !placed: paused this interval (§4.2).
+            // None: paused this interval (§4.2).
         }
         if retries > 0 {
             self.tel.add("placement.packing_retries", retries);
@@ -853,6 +780,279 @@ impl OptimusPlacer {
             self.tel.add("placement.index_updates", index.updates);
         }
     }
+
+    /// Places one job — the probe/shrink loop of [`Self::place_with`],
+    /// extracted so the delta path can replay clean prefixes and run
+    /// only the tail. Commits the job's span into `out` (via
+    /// [`Self::commit_counts`]) *iff* placement succeeds and returns the
+    /// final — possibly shrunk — allocation; a failed placement makes no
+    /// commits at all (`balanced_counts` mutates only its scratch
+    /// copies), which is what lets the delta path treat a missing span
+    /// as "skip on replay".
+    #[allow(clippy::too_many_arguments)]
+    fn place_job(
+        job: &JobView,
+        mut alloc: Allocation,
+        index: &mut FreeIndex,
+        chosen: &mut Vec<ServerId>,
+        counts: &mut Vec<TaskCounts>,
+        bal: &mut BalanceBufs,
+        log: &mut DealLog,
+        out: &mut PlacementStore,
+        retries: &mut u64,
+    ) -> Option<Allocation> {
+        let pair_demand = job.ps_profile + job.worker_profile;
+        loop {
+            let demand = alloc.demand(job);
+            // Smallest k whose prefix of free capacity covers the
+            // demand; per-server granularity may need a few more.
+            let k_min = match index.k_min_or_total(&demand) {
+                Ok(k) => k,
+                Err(total_free) => {
+                    // Shrink-on-unplaceable: the allocator reasons
+                    // about aggregate capacity (constraint (7)), so
+                    // per-server fragmentation can make the full
+                    // allocation unplaceable. Rather than pausing a
+                    // job that could run smaller (which deadlocks a
+                    // lightly loaded cluster), shrink straight to
+                    // what aggregate free capacity allows and retry.
+                    while !alloc.demand(job).fits_within(&total_free)
+                        && alloc.ps + alloc.workers > 2
+                    {
+                        if alloc.ps >= alloc.workers {
+                            alloc.ps -= 1;
+                        } else {
+                            alloc.workers -= 1;
+                        }
+                    }
+                    if !alloc.demand(job).fits_within(&total_free) {
+                        return None;
+                    }
+                    continue;
+                }
+            };
+            let k_max = (k_min + 8).min(index.keys.len());
+            // Probe window: smallest k in k_min..=k_max whose
+            // prefix packs the allocation (even split first, then
+            // the near-even deal). A failed deal leaves its proof
+            // transcript in `log`: the next probe adds exactly one
+            // server — the (k+1)-th most free — and replays the
+            // same trajectory to the same failure unless that
+            // server would have beaten a recorded winner (it fits
+            // the demand and has at least the winner's free CPU;
+            // ties go to it as the highest deal index) or fits a
+            // demand that found no server. Checking the transcript
+            // is O(deals); re-running the deal is O(k + deals), so
+            // the common all-probes-fail window of the shrink loop
+            // collapses to one real attempt plus cheap skips.
+            let mut log_valid = false;
+            let mut placed_at_k = false;
+            for k in k_min..=k_max {
+                let prefix = &index.keys[..k];
+                if Self::even_counts(job, &alloc, &index.free, prefix, counts) {
+                    Self::commit_counts(job, index, chosen, counts, out, k);
+                    placed_at_k = true;
+                    break;
+                }
+                if log_valid {
+                    let f = &index.free[key_server(index.keys[k - 1]).0];
+                    let fits = [
+                        pair_demand.fits_within(f),
+                        job.ps_profile.fits_within(f),
+                        job.worker_profile.fits_within(f),
+                    ];
+                    if !log.deviates(fits, f.get(ResourceKind::Cpu)) {
+                        continue;
+                    }
+                }
+                let prefix = &index.keys[..k];
+                if Self::balanced_counts(job, &alloc, &index.free, prefix, counts, bal, log) {
+                    Self::commit_counts(job, index, chosen, counts, out, k);
+                    placed_at_k = true;
+                    break;
+                }
+                log_valid = true;
+            }
+            if placed_at_k {
+                return Some(alloc);
+            }
+            if alloc.ps + alloc.workers <= 2 {
+                return None;
+            }
+            if alloc.ps >= alloc.workers {
+                alloc.ps -= 1;
+            } else {
+                alloc.workers -= 1;
+            }
+            *retries += 1;
+        }
+    }
+
+    /// Delta-round placement: byte-identical to [`Self::place_with`],
+    /// but reuses the previous round's decisions where the inputs
+    /// provably match.
+    ///
+    /// `prev_sig`/`prev_store` must be the signature list and store this
+    /// method produced on the previous round *against the same cluster
+    /// state* — the caller passes empty ones when the cluster changed
+    /// (the free index evolves as a function of cluster + commit
+    /// sequence, so prefix replay is only sound with both fixed).
+    /// `next_sig` receives this round's signature list.
+    ///
+    /// Two reuse tiers:
+    /// - whole-list signature match → copy the previous store verbatim
+    ///   and skip even the index rebuild (returns `true`);
+    /// - else replay the longest matching signature prefix by committing
+    ///   the recorded spans (identical index mutations, no probing), and
+    ///   run the full probe/shrink machinery only from the first
+    ///   mismatch on. A job in the prefix with no recorded span was
+    ///   unplaced — a failed placement commits nothing, so skipping it
+    ///   replays that too. Shrunk counts live in the spans, so replay
+    ///   reproduces shrink outcomes while the signature carries the
+    ///   *requested* counts, keeping the match honest.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn place_delta(
+        &self,
+        allocations: &[Allocation],
+        jobs: &[JobView],
+        cluster: &Cluster,
+        scratch: &mut PlaceScratch,
+        prev_sig: &[PlaceSig],
+        prev_store: &PlacementStore,
+        next_sig: &mut Vec<PlaceSig>,
+        out: &mut PlacementStore,
+    ) -> bool {
+        let _span = self.tel.is_enabled().then(|| self.tel.span("place.place"));
+        let PlaceScratch {
+            index,
+            chosen,
+            counts,
+            bal,
+            order,
+            norms,
+        } = scratch;
+        smallest_first_into(allocations, jobs, order, norms);
+        next_sig.clear();
+        for &i in order.iter() {
+            next_sig.push(PlaceSig::new(&jobs[i], &allocations[i], norms[i]));
+        }
+        if next_sig.as_slice() == prev_sig {
+            out.copy_from(prev_store);
+            return true;
+        }
+        let matched = next_sig
+            .iter()
+            .zip(prev_sig.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let mut retries = 0u64;
+        let mut log = DealLog::default();
+        index.rebuild(cluster);
+        out.clear();
+        for (pos, &i) in order.iter().enumerate() {
+            let job = &jobs[i];
+            if pos < matched {
+                let Some(span) = prev_store.get(job.id) else {
+                    continue; // was unplaced; stays unplaced
+                };
+                out.begin_span(job.id);
+                let (mut ps, mut workers) = (0u32, 0u32);
+                for &(sid, c) in span {
+                    let demand = job.worker_profile * f64::from(c.workers)
+                        + job.ps_profile * f64::from(c.ps);
+                    index.commit(sid, &demand, index.keys.len());
+                    out.push_task(sid, c);
+                    ps += c.ps;
+                    workers += c.workers;
+                }
+                out.commit_span();
+                if self.tel.is_enabled() {
+                    let shrunk =
+                        (allocations[i].ps + allocations[i].workers).saturating_sub(ps + workers);
+                    self.tel.record(TraceEvent::Placement {
+                        job: job.id.0,
+                        ps,
+                        workers,
+                        servers: span.len(),
+                        shrunk,
+                    });
+                }
+                continue;
+            }
+            let placed = Self::place_job(
+                job,
+                allocations[i],
+                index,
+                chosen,
+                counts,
+                bal,
+                &mut log,
+                out,
+                &mut retries,
+            );
+            if let Some(alloc) = placed {
+                if self.tel.is_enabled() {
+                    let shrunk = (allocations[i].ps + allocations[i].workers)
+                        .saturating_sub(alloc.ps + alloc.workers);
+                    self.tel.record(TraceEvent::Placement {
+                        job: job.id.0,
+                        ps: alloc.ps,
+                        workers: alloc.workers,
+                        servers: out.get(job.id).map_or(0, |p| p.len()),
+                        shrunk,
+                    });
+                }
+            }
+        }
+        if retries > 0 {
+            self.tel.add("placement.packing_retries", retries);
+        }
+        if index.updates > 0 {
+            self.tel.add("placement.index_updates", index.updates);
+        }
+        false
+    }
+}
+
+/// Exact-value signature of one ordered placement input. Placement is a
+/// pure function of the ordered `(job, allocation)` list plus the free
+/// index, and it reads *only* the fields captured here — so two rounds
+/// whose signature lists share a prefix (against the same cluster) make
+/// bit-identical decisions over that prefix, and a whole-list match
+/// makes the entire previous store reusable. Values compare exactly
+/// (floats by bit pattern); nothing is hashed, so there are no
+/// collisions to reason about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PlaceSig {
+    id: JobId,
+    /// [`smallest_first_into`] sort-key bits — pins the order tie-break.
+    norm: u64,
+    ps: u32,
+    workers: u32,
+    worker_profile: [u64; 4],
+    ps_profile: [u64; 4],
+}
+
+impl PlaceSig {
+    fn new(job: &JobView, alloc: &Allocation, norm: f64) -> Self {
+        PlaceSig {
+            id: job.id,
+            norm: norm.to_bits(),
+            ps: alloc.ps,
+            workers: alloc.workers,
+            worker_profile: profile_bits(&job.worker_profile),
+            ps_profile: profile_bits(&job.ps_profile),
+        }
+    }
+}
+
+/// Bitwise image of a resource vector, for exact comparison.
+fn profile_bits(v: &ResourceVec) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for (k, kind) in ResourceKind::ALL.iter().enumerate() {
+        out[k] = v.get(*kind).to_bits();
+    }
+    out
 }
 
 impl TaskPlacer for OptimusPlacer {

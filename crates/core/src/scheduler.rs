@@ -11,10 +11,12 @@
 //! one component at a time.
 
 use crate::allocation::{
-    AllocScratch, Allocation, DrfAllocator, OptimusAllocator, ResourceAllocator, TetrisAllocator,
+    uncontended_certificate, AllocScratch, Allocation, CandCache, DrfAllocator, OptimusAllocator,
+    ResourceAllocator, TetrisAllocator,
 };
 use crate::placement::{
-    OptimusPlacer, PackPlacer, PlaceScratch, PlacementStore, SpreadPlacer, TaskPlacer,
+    JobIdBuildHasher, OptimusPlacer, PackPlacer, PlaceScratch, PlaceSig, PlacementStore,
+    SpreadPlacer, TaskPlacer,
 };
 use crate::speed::SpeedModel;
 use optimus_cluster::{Cluster, ResourceVec, ServerId};
@@ -178,6 +180,10 @@ impl Schedule {
 pub struct RoundScratch {
     pub(crate) alloc: AllocScratch,
     pub(crate) place: PlaceScratch,
+    /// Cross-round delta state (see [`Scheduler::schedule_delta`]); not
+    /// part of [`Self::footprint`], which tracks only the full-round
+    /// buffers the zero-alloc invariant covers.
+    pub(crate) delta: DeltaState,
 }
 
 impl RoundScratch {
@@ -185,6 +191,73 @@ impl RoundScratch {
     fn footprint(&self) -> usize {
         self.alloc.footprint() + self.place.footprint()
     }
+}
+
+/// What changed since the previous scheduling round, as computed by the
+/// driver (the simulator derives it from calendar events, refit
+/// outcomes and reservation changes).
+#[derive(Debug, Clone, Default)]
+pub struct RoundDelta {
+    /// Distrust everything: first round, engine switch, or the driver
+    /// could not track changes. Forces the full path.
+    pub full: bool,
+    /// The scheduler-visible cluster (capacities or reservations)
+    /// changed since the previous round.
+    pub cluster_changed: bool,
+    /// Sorted indices into this round's job-view slice whose view is
+    /// new or changed bits since the previous round. Jobs that
+    /// *departed* need no entry: they are detected by id-list
+    /// comparison against the previous round.
+    pub dirty: Vec<u32>,
+}
+
+/// What [`Scheduler::schedule_delta`] actually did, for telemetry and
+/// progress reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaStats {
+    /// The whole round was skipped: the previous schedule is provably
+    /// bit-identical to what a fresh run would produce, and `out` was
+    /// left untouched.
+    pub skipped_full: bool,
+    /// Number of dirty job views this round (`delta.dirty.len()`).
+    pub dirty_jobs: u64,
+    /// Worker/PS grants replayed from stored rows instead of re-derived.
+    pub replayed_grants: u64,
+    /// The allocator ran the full greedy pass (delta preconditions or
+    /// the headroom certificate failed).
+    pub alloc_full: bool,
+    /// Placement reused the previous round's store wholesale.
+    pub place_reused: bool,
+}
+
+/// Cross-round memory for the delta path: last round's job ids, their
+/// final grant rows, the placement signature list and store, plus the
+/// solo-climb scratch cache. Lives in [`RoundScratch`] so drivers thread
+/// it for free; buffers are cleared-and-refilled, never reallocated in
+/// steady state.
+#[derive(Debug, Default)]
+pub(crate) struct DeltaState {
+    /// Stored grant rows are per-job solo values (the previous round
+    /// passed the uncontended certificate), so a clean job may reuse
+    /// them verbatim.
+    alloc_valid: bool,
+    /// Job ids of the previous round's views, in view order.
+    ids: Vec<JobId>,
+    /// Job id → final `(ps, workers)` of the previous round.
+    row_of: HashMap<JobId, (u32, u32), JobIdBuildHasher>,
+    /// This round's rows under assembly.
+    rows_next: Vec<(u32, u32)>,
+    /// Previous round's placement inputs/outputs are trustworthy for
+    /// prefix replay (same engine, cluster unchanged since).
+    place_valid: bool,
+    /// Previous round's ordered placement signatures.
+    sig: Vec<PlaceSig>,
+    /// Scratch for this round's signatures (swapped into `sig`).
+    sig_next: Vec<PlaceSig>,
+    /// Previous round's placement store.
+    store: PlacementStore,
+    /// Solo-climb prediction cache, reset per climb.
+    cache: CandCache,
 }
 
 /// A complete scheduler: produces a [`Schedule`] each interval.
@@ -208,6 +281,36 @@ pub trait Scheduler {
     ) {
         *out = self.schedule(jobs, cluster);
     }
+
+    /// Churn-proportional variant: given what changed since the last
+    /// call ([`RoundDelta`]), produce a schedule *bit-identical* to
+    /// [`Self::schedule_into`]'s while touching only dirty jobs where
+    /// the exactness preconditions hold.
+    ///
+    /// Contract: the driver must call this every round with the same
+    /// `scratch` and the same `out` still holding the previous call's
+    /// result (the whole-round skip leaves `out` untouched on a provably
+    /// unchanged round). Mixing `schedule_delta` and `schedule_into`
+    /// calls on one scratch requires passing `delta.full = true` on the
+    /// first `schedule_delta` after the switch.
+    ///
+    /// The default implementation ignores the delta and runs the full
+    /// path — schedulers without an incremental engine stay correct.
+    fn schedule_delta(
+        &self,
+        jobs: &[JobView],
+        cluster: &Cluster,
+        delta: &RoundDelta,
+        scratch: &mut RoundScratch,
+        out: &mut Schedule,
+    ) -> DeltaStats {
+        self.schedule_into(jobs, cluster, scratch, out);
+        DeltaStats {
+            dirty_jobs: delta.dirty.len() as u64,
+            alloc_full: true,
+            ..DeltaStats::default()
+        }
+    }
 }
 
 /// An allocator glued to a placer.
@@ -215,7 +318,20 @@ pub struct CompositeScheduler {
     name: String,
     allocator: Box<dyn ResourceAllocator + Send + Sync>,
     placer: Box<dyn TaskPlacer + Send + Sync>,
+    /// Concrete Optimus components for the delta path (`None` for
+    /// ablation compositions, which fall back to full rounds).
+    delta: Option<DeltaEngine>,
     tel: Telemetry,
+}
+
+/// Concrete (non-boxed) Optimus components backing
+/// [`Scheduler::schedule_delta`]: the delta path needs `solo_climb` and
+/// `place_delta`, which are not part of the object-safe traits. The
+/// components are configured identically to their boxed twins (clones),
+/// so full and delta paths price candidates the same way.
+struct DeltaEngine {
+    allocator: OptimusAllocator,
+    placer: OptimusPlacer,
 }
 
 impl CompositeScheduler {
@@ -230,8 +346,16 @@ impl CompositeScheduler {
             name: name.into(),
             allocator,
             placer,
+            delta: None,
             tel: Telemetry::disabled(),
         }
+    }
+
+    /// Enables the delta-round engine with components that must be
+    /// configured identically to the boxed allocator/placer.
+    fn with_delta_engine(mut self, allocator: OptimusAllocator, placer: OptimusPlacer) -> Self {
+        self.delta = Some(DeltaEngine { allocator, placer });
+        self
     }
 
     /// Attaches a telemetry handle: each `schedule` call is wrapped in a
@@ -296,6 +420,179 @@ impl Scheduler for CompositeScheduler {
             }
         }
     }
+
+    /// The delta-round engine. Cost is proportional to churn:
+    ///
+    /// - **whole-round skip** — no dirty jobs, no departures/arrivals,
+    ///   cluster unchanged: the previous schedule (still in `out`, per
+    ///   the contract) is what a fresh run would produce, byte for
+    ///   byte, because every input the scheduler reads is bit-identical
+    ///   and both paths are deterministic. O(jobs) id comparison, no
+    ///   allocation, no placement.
+    /// - **delta allocation** — dirty jobs re-derive their grants with
+    ///   [`OptimusAllocator::solo_climb`]; clean jobs replay last
+    ///   round's stored rows. Sound iff rounds are uncontended, which
+    ///   [`uncontended_certificate`] proves *after the fact* on the
+    ///   assembled rows (and stored rows are only trusted when the
+    ///   round that produced them passed it too). Any failure falls
+    ///   back to the full greedy pass — bit-identical by construction.
+    /// - **delta placement** — [`OptimusPlacer::place_delta`] reuses
+    ///   the whole previous store when the ordered placement inputs
+    ///   match exactly, else replays the longest matching prefix.
+    fn schedule_delta(
+        &self,
+        jobs: &[JobView],
+        cluster: &Cluster,
+        delta: &RoundDelta,
+        scratch: &mut RoundScratch,
+        out: &mut Schedule,
+    ) -> DeltaStats {
+        let Some(engine) = &self.delta else {
+            // Ablation compositions have no incremental engine.
+            self.schedule_into(jobs, cluster, scratch, out);
+            return DeltaStats {
+                dirty_jobs: delta.dirty.len() as u64,
+                alloc_full: true,
+                ..DeltaStats::default()
+            };
+        };
+        let _span = self
+            .tel
+            .is_enabled()
+            .then(|| self.tel.span("sched.decision"));
+        let RoundScratch {
+            alloc: alloc_scratch,
+            place: place_scratch,
+            delta: st,
+        } = scratch;
+        let mut stats = DeltaStats {
+            dirty_jobs: delta.dirty.len() as u64,
+            ..DeltaStats::default()
+        };
+        // Whole-round skip: same job set (ids elementwise equal), no
+        // dirty views, same cluster. Determinism makes `out` — last
+        // round's result — already correct.
+        if !delta.full
+            && !delta.cluster_changed
+            && delta.dirty.is_empty()
+            && st.ids.len() == jobs.len()
+            && st.ids.iter().zip(jobs.iter()).all(|(id, j)| *id == j.id)
+        {
+            stats.skipped_full = true;
+            stats.place_reused = true;
+            return stats;
+        }
+
+        // --- Allocation ---
+        let total_available = cluster.total_available();
+        let capacity = cluster.total_capacity();
+        let mut alloc_full = delta.full || delta.cluster_changed || !st.alloc_valid;
+        if !alloc_full {
+            let mut solo_evals = 0u64;
+            let mut replayed = 0u64;
+            st.rows_next.clear();
+            for (i, job) in jobs.iter().enumerate() {
+                let clean = delta.dirty.binary_search(&(i as u32)).is_err();
+                let row = if clean {
+                    match st.row_of.get(&job.id) {
+                        Some(&row) => {
+                            replayed += u64::from(row.0 + row.1).saturating_sub(2);
+                            Some(row)
+                        }
+                        // Not flagged dirty but unseen (defensive):
+                        // derive it fresh.
+                        None => engine.allocator.solo_climb(
+                            job,
+                            &total_available,
+                            &capacity,
+                            &mut st.cache,
+                            &mut solo_evals,
+                        ),
+                    }
+                } else {
+                    engine.allocator.solo_climb(
+                        job,
+                        &total_available,
+                        &capacity,
+                        &mut st.cache,
+                        &mut solo_evals,
+                    )
+                };
+                match row {
+                    Some(row) => st.rows_next.push(row),
+                    None => {
+                        alloc_full = true;
+                        break;
+                    }
+                }
+            }
+            if !alloc_full && uncontended_certificate(jobs, |i| st.rows_next[i], &total_available) {
+                out.reset();
+                for (i, job) in jobs.iter().enumerate() {
+                    let (ps, workers) = st.rows_next[i];
+                    out.allocations.push(Allocation {
+                        job: job.id,
+                        ps,
+                        workers,
+                    });
+                }
+                stats.replayed_grants = replayed;
+                st.alloc_valid = true;
+                if self.tel.is_enabled() {
+                    self.tel.add("alloc.marginal_gain_evals", solo_evals);
+                    self.tel.add("alloc.replayed_grants", replayed);
+                }
+            } else {
+                alloc_full = true;
+            }
+        }
+        if alloc_full {
+            stats.alloc_full = true;
+            out.reset();
+            self.allocator
+                .allocate_into(jobs, cluster, alloc_scratch, &mut out.allocations);
+            // A full round's rows are per-job solo values — reusable by
+            // the next delta round — exactly when it was uncontended.
+            let rows = &out.allocations;
+            st.alloc_valid =
+                uncontended_certificate(jobs, |i| (rows[i].ps, rows[i].workers), &total_available);
+        }
+        out.rebuild_index();
+
+        // --- Placement ---
+        let empty = PlacementStore::default();
+        let use_prev = st.place_valid && !delta.full && !delta.cluster_changed;
+        let (prev_sig, prev_store): (&[PlaceSig], &PlacementStore) = if use_prev {
+            (st.sig.as_slice(), &st.store)
+        } else {
+            (&[], &empty)
+        };
+        let reused = engine.placer.place_delta(
+            &out.allocations,
+            jobs,
+            cluster,
+            place_scratch,
+            prev_sig,
+            prev_store,
+            &mut st.sig_next,
+            &mut out.placements,
+        );
+        stats.place_reused = reused;
+        std::mem::swap(&mut st.sig, &mut st.sig_next);
+        if !reused {
+            st.store.copy_from(&out.placements);
+        }
+        st.place_valid = true;
+
+        // --- Cross-round state refresh ---
+        st.ids.clear();
+        st.ids.extend(jobs.iter().map(|j| j.id));
+        st.row_of.clear();
+        for a in out.allocations.iter() {
+            st.row_of.insert(a.job, (a.ps, a.workers));
+        }
+        stats
+    }
 }
 
 /// The full Optimus scheduler: marginal-gain allocation + Theorem-1
@@ -305,21 +602,27 @@ pub struct OptimusScheduler;
 impl OptimusScheduler {
     /// Builds the scheduler with default parameters (priority factor 1).
     pub fn build() -> CompositeScheduler {
+        let allocator = OptimusAllocator::default();
+        let placer = OptimusPlacer::default();
         CompositeScheduler::new(
             "Optimus",
-            Box::new(OptimusAllocator::default()),
-            Box::new(OptimusPlacer::default()),
+            Box::new(allocator.clone()),
+            Box::new(placer.clone()),
         )
+        .with_delta_engine(allocator, placer)
     }
 
     /// Builds with an explicit §4.1 priority factor (the paper evaluates
     /// 0.95).
     pub fn with_priority_factor(factor: f64) -> CompositeScheduler {
+        let allocator = OptimusAllocator::default().with_priority_factor(factor);
+        let placer = OptimusPlacer::default();
         CompositeScheduler::new(
             format!("Optimus(pf={factor})"),
-            Box::new(OptimusAllocator::default().with_priority_factor(factor)),
-            Box::new(OptimusPlacer::default()),
+            Box::new(allocator.clone()),
+            Box::new(placer.clone()),
         )
+        .with_delta_engine(allocator, placer)
     }
 
     /// Builds the scheduler with one shared [`Telemetry`] handle wired
@@ -327,11 +630,14 @@ impl OptimusScheduler {
     /// single handle sees `alloc.*`, `placement.*` and the
     /// `sched.decision` spans of every round.
     pub fn build_with_telemetry(tel: Telemetry) -> CompositeScheduler {
+        let allocator = OptimusAllocator::default().with_telemetry(tel.clone());
+        let placer = OptimusPlacer::default().with_telemetry(tel.clone());
         CompositeScheduler::new(
             "Optimus",
-            Box::new(OptimusAllocator::default().with_telemetry(tel.clone())),
-            Box::new(OptimusPlacer::default().with_telemetry(tel.clone())),
+            Box::new(allocator.clone()),
+            Box::new(placer.clone()),
         )
+        .with_delta_engine(allocator, placer)
         .with_telemetry(tel)
     }
 }

@@ -51,6 +51,14 @@ pub struct SpeedModel {
     /// Number of leading samples protected from the window (the §3.2
     /// profiling runs).
     protected: usize,
+    /// Mutation generation: bumped by every [`Self::record`] and every
+    /// successful [`Self::refit`]. Two models with equal generations
+    /// (obtained via `clone`) are bitwise-identical predictors, which is
+    /// what the delta-round engine's job fingerprints compare instead of
+    /// hashing coefficients. The prediction scale is fingerprinted
+    /// separately (by value), so [`Self::set_prediction_scale`] does not
+    /// bump it.
+    gen: u64,
     /// Telemetry sink for the refit NNLS solves (disabled by default).
     tel: Telemetry,
 }
@@ -66,6 +74,7 @@ impl SpeedModel {
             prediction_scale: 1.0,
             window: None,
             protected: 0,
+            gen: 0,
             tel: Telemetry::disabled(),
         }
     }
@@ -112,11 +121,20 @@ impl SpeedModel {
             return;
         }
         self.samples.push(SpeedSample { p, w, speed });
+        self.gen += 1;
         if let Some(window) = self.window {
             while self.samples.len() > self.protected + window {
                 self.samples.remove(self.protected);
             }
         }
+    }
+
+    /// Mutation generation of this model: equal generations on clones of
+    /// one model guarantee bit-identical predictions (at equal
+    /// prediction scales). Monotone per model; not comparable across
+    /// jobs.
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// Number of recorded samples.
@@ -154,6 +172,7 @@ impl SpeedModel {
         self.tel.incr("speed.refits");
         let fitted = NonNegLinearFit.fit_rows_traced(&rows, &targets, &self.tel)?;
         self.model = Some(fitted);
+        self.gen += 1;
         Ok(())
     }
 

@@ -17,6 +17,7 @@ use optimus_core::allocation::{OptimusAllocator, ResourceAllocator};
 use optimus_core::placement::{OptimusPlacer, TaskPlacer};
 use optimus_core::prelude::*;
 use optimus_core::reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
+use optimus_core::RoundDelta;
 use optimus_ps::PsJobModel;
 use optimus_workload::{JobId, ModelKind, TrainingMode};
 use proptest::prelude::*;
@@ -231,4 +232,195 @@ proptest! {
             prop_assert_eq!(out.placements(), fresh.placements());
         }
     }
+
+    /// The delta engine under arbitrary churn — arrivals, departures,
+    /// per-job work jitter and cluster resizes, each reported to
+    /// [`Scheduler::schedule_delta`] with an *exact* dirty list — is
+    /// byte-identical to a fresh full `schedule()` every round. This
+    /// covers both regimes: big generated clusters where the headroom
+    /// certificate holds (grants replayed), and contended ones where it
+    /// fails (silent fall back to the full greedy pass).
+    #[test]
+    fn delta_rounds_match_full_rounds_under_churn(
+        mut servers in prop::collection::vec((0u32..240, 0u32..360, 0u32..16), 3..16),
+        seeds in prop::collection::vec(
+            ((0usize..6, 0u64..100_000, 0u32..100, 1u32..10), (0u32..40, 0u32..64, 0u32..8)),
+            2..10,
+        ),
+        rounds in prop::collection::vec(
+            (
+                prop::collection::vec(any::<u64>(), 0..3),
+                (0u32..10, ((0usize..6, 0u64..100_000, 0u32..100, 1u32..10), (0u32..40, 0u32..64, 0u32..8))),
+                (0u32..10, any::<u64>()),
+                0u32..10,
+            ),
+            1..6,
+        ),
+    ) {
+        let mut next_id = seeds.len() as u64;
+        let mut jobs: Vec<JobView> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| make_job(i as u64, s))
+            .collect();
+        let mut cluster = make_cluster(&servers);
+        let scheduler = OptimusScheduler::build();
+        let mut scratch = RoundScratch::default();
+        let mut out = Schedule::new(Vec::new(), std::collections::HashMap::new());
+        let mut first = true;
+
+        for (jitters, (arrive_p, arrive_seed), (depart_p, depart_pick), resize_p) in &rounds {
+            let mut dirty: Vec<u32> = Vec::new();
+            // ~30 % of rounds lose a job, ~40 % gain one, ~20 % resize
+            // the cluster; every round may jitter up to two jobs.
+            if *depart_p < 3 && jobs.len() > 1 {
+                let gone = (*depart_pick as usize) % jobs.len();
+                jobs.remove(gone);
+            }
+            if *arrive_p < 4 {
+                jobs.push(make_job(next_id, arrive_seed));
+                next_id += 1;
+                dirty.push((jobs.len() - 1) as u32);
+            }
+            for pick in jitters {
+                let i = (*pick as usize) % jobs.len();
+                jobs[i].remaining_work *= 1.25;
+                dirty.push(i as u32);
+            }
+            let mut cluster_changed = false;
+            if *resize_p < 2 {
+                if servers.len() > 3 {
+                    servers.pop();
+                } else {
+                    servers.push(servers[0]);
+                }
+                cluster = make_cluster(&servers);
+                cluster_changed = true;
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            let delta = RoundDelta {
+                full: std::mem::take(&mut first),
+                cluster_changed,
+                dirty,
+            };
+            scheduler.schedule_delta(&jobs, &cluster, &delta, &mut scratch, &mut out);
+            let fresh = scheduler.schedule(&jobs, &cluster);
+            prop_assert_eq!(out.allocations(), fresh.allocations(), "allocations diverge");
+            prop_assert_eq!(out.placements(), fresh.placements(), "placements diverge");
+        }
+    }
+}
+
+/// A driver-accurate delta loop on a large uncontended cluster: clean
+/// jobs must *replay* their stored grants rather than re-derive them,
+/// and a provably unchanged round must be skipped outright — all while
+/// matching a fresh full round byte for byte.
+///
+/// Synchronous-mode models only (even pool indices): their speed curves
+/// saturate, so solo climbs stop at finite counts and the headroom
+/// certificate can hold. Asynchronous jobs climb until the cluster
+/// fills, which forces the (still correct) full path — covered by the
+/// churn property test above.
+#[test]
+fn clean_jobs_replay_grants_and_quiet_rounds_skip() {
+    let cluster = make_cluster(&vec![(239, 359, 15); 100]);
+    let mut jobs: Vec<JobView> = (0..6u64)
+        .map(|i| {
+            make_job(
+                i,
+                &(
+                    ((i as usize % 3) * 2, 10_000 * (i + 1), 10 * i as u32, 4),
+                    (8, 12, 4),
+                ),
+            )
+        })
+        .collect();
+    let scheduler = OptimusScheduler::build();
+    let mut scratch = RoundScratch::default();
+    let mut out = Schedule::new(Vec::new(), std::collections::HashMap::new());
+
+    // Round 1: cold start — the driver distrusts everything.
+    let delta = RoundDelta {
+        full: true,
+        cluster_changed: false,
+        dirty: Vec::new(),
+    };
+    let stats = scheduler.schedule_delta(&jobs, &cluster, &delta, &mut scratch, &mut out);
+    assert!(stats.alloc_full, "a full round runs the full greedy pass");
+    let fresh = scheduler.schedule(&jobs, &cluster);
+    assert_eq!(out.allocations(), fresh.allocations());
+    assert_eq!(out.placements(), fresh.placements());
+
+    // Round 2: one job progressed; the other five are clean.
+    jobs[2].remaining_work *= 0.75;
+    let delta = RoundDelta {
+        full: false,
+        cluster_changed: false,
+        dirty: vec![2],
+    };
+    let stats = scheduler.schedule_delta(&jobs, &cluster, &delta, &mut scratch, &mut out);
+    let fresh = scheduler.schedule(&jobs, &cluster);
+    assert_eq!(out.allocations(), fresh.allocations());
+    assert_eq!(out.placements(), fresh.placements());
+    assert!(
+        !stats.alloc_full,
+        "an uncontended cluster must certify the delta path"
+    );
+    assert!(
+        stats.replayed_grants > 0,
+        "clean jobs replay stored rows: {stats:?}"
+    );
+    assert_eq!(stats.dirty_jobs, 1);
+    assert!(!stats.skipped_full);
+
+    // Round 3: nothing changed — the whole round is skipped and `out`
+    // (left untouched) still matches a fresh schedule.
+    let stats = scheduler.schedule_delta(
+        &jobs,
+        &cluster,
+        &RoundDelta::default(),
+        &mut scratch,
+        &mut out,
+    );
+    assert!(stats.skipped_full && stats.place_reused);
+    let fresh = scheduler.schedule(&jobs, &cluster);
+    assert_eq!(out.allocations(), fresh.allocations());
+    assert_eq!(out.placements(), fresh.placements());
+}
+
+/// On a contended cluster the headroom certificate cannot hold, so a
+/// dirty round falls back to the full greedy pass — and still matches a
+/// fresh schedule exactly.
+#[test]
+fn contended_clusters_fall_back_to_the_full_path() {
+    let cluster = make_cluster(&[(0, 0, 0), (1, 2, 1), (2, 1, 0)]);
+    let mut jobs: Vec<JobView> = (0..6u64)
+        .map(|i| make_job(i, &((i as usize, 50_000, 5 * i as u32, 8), (24, 48, 6))))
+        .collect();
+    let scheduler = OptimusScheduler::build();
+    let mut scratch = RoundScratch::default();
+    let mut out = Schedule::new(Vec::new(), std::collections::HashMap::new());
+
+    let delta = RoundDelta {
+        full: true,
+        cluster_changed: false,
+        dirty: Vec::new(),
+    };
+    scheduler.schedule_delta(&jobs, &cluster, &delta, &mut scratch, &mut out);
+
+    jobs[0].remaining_work *= 1.25;
+    let delta = RoundDelta {
+        full: false,
+        cluster_changed: false,
+        dirty: vec![0],
+    };
+    let stats = scheduler.schedule_delta(&jobs, &cluster, &delta, &mut scratch, &mut out);
+    assert!(
+        stats.alloc_full,
+        "contention must fail the certificate: {stats:?}"
+    );
+    let fresh = scheduler.schedule(&jobs, &cluster);
+    assert_eq!(out.allocations(), fresh.allocations());
+    assert_eq!(out.placements(), fresh.placements());
 }

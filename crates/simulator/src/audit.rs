@@ -60,9 +60,12 @@ pub struct AuditSummary {
 /// error averages behind the calibration gauges.
 #[derive(Debug, Default)]
 pub struct EstimatorAudit {
-    /// `(job, predicted steps/s)` for the configuration each job was
-    /// deployed with at the previous round.
-    pending_speed: Vec<(u64, f64)>,
+    /// Job → predicted steps/s for the configuration the job was
+    /// deployed with at the previous round. A map keeps settlement part
+    /// of the per-job dirty sweep — O(1) per touched job instead of a
+    /// scan over every pending entry — and is never iterated, so map
+    /// order cannot leak into results.
+    pending_speed: std::collections::HashMap<u64, f64>,
     speed_ewma: Option<f64>,
     convergence_ewma: Option<f64>,
     speed_samples: u64,
@@ -85,13 +88,10 @@ impl EstimatorAudit {
     /// dropped.
     pub fn record_speed_prediction(&mut self, job: u64, predicted: f64) {
         if predicted <= 0.0 || !predicted.is_finite() {
-            self.pending_speed.retain(|&(j, _)| j != job);
+            self.pending_speed.remove(&job);
             return;
         }
-        match self.pending_speed.iter_mut().find(|e| e.0 == job) {
-            Some(entry) => entry.1 = predicted,
-            None => self.pending_speed.push((job, predicted)),
-        }
+        self.pending_speed.insert(job, predicted);
     }
 
     /// Settles the pending speed prediction for `job` against the
@@ -100,10 +100,9 @@ impl EstimatorAudit {
     /// when the job actually progressed (`realized` present and
     /// positive).
     pub fn settle_speed(&mut self, tel: &Telemetry, round: u64, job: u64, realized: Option<f64>) {
-        let Some(pos) = self.pending_speed.iter().position(|&(j, _)| j == job) else {
+        let Some(predicted) = self.pending_speed.remove(&job) else {
             return;
         };
-        let (_, predicted) = self.pending_speed.swap_remove(pos);
         let Some(realized) = realized else { return };
         if realized <= 0.0 || realized.is_nan() {
             return;

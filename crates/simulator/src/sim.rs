@@ -7,7 +7,7 @@ use crate::inject::ErrorInjection;
 use crate::jobstate::{JctPhase, JobStatus, SimJob};
 use crate::metrics::{FidelityPoint, JctBreakdown, SimReport, TimePoint};
 use optimus_cluster::{Cluster, ResourceKind, ResourceVec};
-use optimus_core::{JobView, RoundScratch, Schedule, Scheduler};
+use optimus_core::{JobView, RoundDelta, RoundScratch, Schedule, Scheduler};
 use optimus_ps::contention::{oversubscription_factors, JobTraffic};
 use optimus_ps::transfer::transfer_stretch;
 use optimus_ps::{StragglerPolicy, TaskCounts};
@@ -215,6 +215,17 @@ pub struct SimConfig {
     /// (`0`/`off`/`false` selects the scalar path; anything else,
     /// including unset, the batched engine).
     pub batched_refit: bool,
+    /// Run scheduling rounds through the delta engine
+    /// (`Scheduler::schedule_delta`): the simulator diffs each round's
+    /// inputs against the previous round's — job-view fingerprints,
+    /// departures, reservation changes — and the scheduler re-derives
+    /// only dirty jobs, replaying stored grants and placements for
+    /// clean ones (skipping provably unchanged rounds outright).
+    /// Results are byte-identical to full rounds — the switch exists
+    /// for the equivalence suite and benchmarking. Defaults from
+    /// `OPTIMUS_DELTA_ROUNDS` (`0`/`off`/`false` selects full rounds;
+    /// anything else, including unset, the delta engine).
+    pub delta_rounds: bool,
 }
 
 /// `OPTIMUS_BATCHED_FIT` environment default for
@@ -222,6 +233,15 @@ pub struct SimConfig {
 fn batched_refit_from_env() -> bool {
     !matches!(
         std::env::var("OPTIMUS_BATCHED_FIT"),
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")
+    )
+}
+
+/// `OPTIMUS_DELTA_ROUNDS` environment default for
+/// [`SimConfig::delta_rounds`].
+fn delta_rounds_from_env() -> bool {
+    !matches!(
+        std::env::var("OPTIMUS_DELTA_ROUNDS"),
         Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")
     )
 }
@@ -263,8 +283,60 @@ impl Default for SimConfig {
             verbose: false,
             engine: SimEngine::from_env(),
             batched_refit: batched_refit_from_env(),
+            delta_rounds: delta_rounds_from_env(),
         }
     }
+}
+
+/// Exact-value fingerprint of one job's scheduler view. Equal
+/// fingerprints (at the same job id) guarantee the two views are
+/// bit-identical in every field the scheduler reads: the speed model's
+/// mutation generation stands in for its coefficients and samples (it
+/// bumps on every `record`/`refit`), the prediction scale is compared
+/// by value (error injection rebuilds it each round), floats compare by
+/// bit pattern, and the profiles come verbatim from the immutable job
+/// spec. Nothing is hashed, so there are no collisions to reason about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ViewFp {
+    speed_gen: u64,
+    scale_bits: u64,
+    remaining_bits: u64,
+    progress_bits: u64,
+    requested: u32,
+    worker_profile: ResourceVec,
+    ps_profile: ResourceVec,
+}
+
+/// Cross-round input tracking for delta scheduling: the previous
+/// round's per-job view fingerprints and scheduler-visible cluster
+/// state, diffed each round into a [`RoundDelta`]. Computed in both
+/// modes (so flight snapshots and progress lines report churn either
+/// way); only `SimConfig::delta_rounds` decides whether the scheduler
+/// gets to exploit it.
+#[derive(Debug, Default)]
+struct DeltaTrack {
+    /// Previous round's fingerprints are trustworthy (false before the
+    /// first round and after a views-empty round).
+    valid: bool,
+    /// Fingerprint per `jobs` index on the previous round (`None` = no
+    /// view: finished, pending, or pinned).
+    fps: Vec<Option<ViewFp>>,
+    /// This round's fingerprints under construction (swapped into
+    /// `fps`).
+    fps_next: Vec<Option<ViewFp>>,
+    /// Per-server `(capacity, available)` of the previous round's
+    /// scheduler-visible cluster, after all reservations.
+    cluster: Vec<(ResourceVec, ResourceVec)>,
+    /// Reused delta buffer handed to the scheduler.
+    delta: RoundDelta,
+    /// Churn of the most recent round (dirty views + departures).
+    last_delta_jobs: u64,
+    /// The most recent round was provably unchanged end to end.
+    last_quiescent: bool,
+    /// Rounds diffed and whole-round skips taken, cumulative (drives
+    /// the `--progress` line).
+    rounds: u64,
+    skipped: u64,
 }
 
 /// A configured simulation run.
@@ -294,6 +366,8 @@ pub struct Simulation {
     /// steady-state decisions allocate nothing.
     scratch: RoundScratch,
     schedule_buf: Schedule,
+    /// Cross-round input diffing for the delta engine.
+    track: DeltaTrack,
 }
 
 impl Simulation {
@@ -339,6 +413,7 @@ impl Simulation {
             events_seen: 0,
             scratch: RoundScratch::default(),
             schedule_buf: Schedule::default(),
+            track: DeltaTrack::default(),
         }
     }
 
@@ -437,8 +512,11 @@ impl Simulation {
                         let ev_per_s =
                             (self.events_seen - last_progress_events) as f64 / elapsed.max(1e-9);
                         eprint!(
-                            "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} ev/s={ev_per_s:.1}    ",
-                            point.active_jobs, point.worker_utilization
+                            "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} dirty={} skips={} ev/s={ev_per_s:.1}    ",
+                            point.active_jobs,
+                            point.worker_utilization,
+                            self.track.last_delta_jobs,
+                            self.track.skipped
                         );
                         last_progress = std::time::Instant::now();
                         last_progress_events = self.events_seen;
@@ -754,8 +832,11 @@ impl Simulation {
                             let q_per_s = (queue.scheduled() - last_progress_queue) as f64
                                 / elapsed.max(1e-9);
                             eprint!(
-                                "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} ev/s={ev_per_s:.1} queue-ev/s={q_per_s:.1}    ",
-                                point.active_jobs, point.worker_utilization
+                                "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} dirty={} skips={} ev/s={ev_per_s:.1} queue-ev/s={q_per_s:.1}    ",
+                                point.active_jobs,
+                                point.worker_utilization,
+                                self.track.last_delta_jobs,
+                                self.track.skipped
                             );
                             last_progress = std::time::Instant::now();
                             last_progress_events = self.events_seen;
@@ -1517,6 +1598,8 @@ impl Simulation {
         let mut pinned = Vec::new();
         let mut views = Vec::new();
         let mut view_index = Vec::new();
+        self.track.fps_next.clear();
+        self.track.fps_next.resize(self.jobs.len(), None);
         for (i, job) in self.jobs.iter().enumerate() {
             if job.status == JobStatus::Finished || job.status == JobStatus::Pending {
                 continue;
@@ -1553,11 +1636,21 @@ impl Simulation {
                     progress,
                 ));
             }
+            let remaining_work = remaining.max(1.0);
+            self.track.fps_next[i] = Some(ViewFp {
+                speed_gen: speed.generation(),
+                scale_bits: speed.prediction_scale().to_bits(),
+                remaining_bits: remaining_work.to_bits(),
+                progress_bits: progress.to_bits(),
+                requested: cfg.requested_units,
+                worker_profile: job.spec.worker_profile,
+                ps_profile: job.spec.ps_profile,
+            });
             views.push(JobView {
                 id: job.spec.id,
                 worker_profile: job.spec.worker_profile,
                 ps_profile: job.spec.ps_profile,
-                remaining_work: remaining.max(1.0),
+                remaining_work,
                 speed,
                 progress,
                 requested_units: cfg.requested_units,
@@ -1565,6 +1658,11 @@ impl Simulation {
             view_index.push(i);
         }
         if views.is_empty() {
+            // No decision this round: next round has nothing coherent
+            // to diff against, so force it onto the full path.
+            self.track.valid = false;
+            self.track.last_delta_jobs = 0;
+            self.track.last_quiescent = false;
             return;
         }
 
@@ -1627,11 +1725,82 @@ impl Simulation {
                 self.audit.record_speed_prediction(job.spec.id.0, predicted);
             }
         }
+        // Diff this round's inputs against the previous round's into a
+        // RoundDelta. Computed in both modes so churn telemetry is
+        // mode-independent; only `delta_rounds` lets the scheduler act
+        // on it.
+        let (churn, quiescent) = {
+            let track = &mut self.track;
+            track.delta.dirty.clear();
+            for (vi, &i) in view_index.iter().enumerate() {
+                let prev = track.fps.get(i).copied().flatten();
+                if prev != track.fps_next[i] {
+                    track.delta.dirty.push(vi as u32);
+                }
+            }
+            let mut departures = 0u64;
+            for (i, prev) in track.fps.iter().enumerate() {
+                if prev.is_some() && track.fps_next.get(i).copied().flatten().is_none() {
+                    departures += 1;
+                }
+            }
+            let mut cluster_changed = !track.valid || track.cluster.len() != fresh.len();
+            if !cluster_changed {
+                for (k, s) in fresh.servers().enumerate() {
+                    if track.cluster[k] != (s.capacity(), s.available()) {
+                        cluster_changed = true;
+                        break;
+                    }
+                }
+            }
+            track.delta.full = !track.valid;
+            track.delta.cluster_changed = cluster_changed;
+            let churn = track.delta.dirty.len() as u64 + departures;
+            let quiescent =
+                track.valid && !cluster_changed && departures == 0 && track.delta.dirty.is_empty();
+            (churn, quiescent)
+        };
+
         // Reuse the round scratch and schedule buffers across rounds:
         // once warm, the whole decision runs without heap allocation.
+        // In delta mode the buffer also carries the previous round's
+        // schedule back in, which is what makes the whole-round skip
+        // legal (the scheduler leaves it untouched).
         let mut schedule = std::mem::take(&mut self.schedule_buf);
-        self.scheduler
-            .schedule_into(&views, &fresh, &mut self.scratch, &mut schedule);
+        let delta_stats = if cfg.delta_rounds {
+            Some(self.scheduler.schedule_delta(
+                &views,
+                &fresh,
+                &self.track.delta,
+                &mut self.scratch,
+                &mut schedule,
+            ))
+        } else {
+            self.scheduler
+                .schedule_into(&views, &fresh, &mut self.scratch, &mut schedule);
+            None
+        };
+
+        // Refresh tracking with this round's inputs and emit churn
+        // telemetry.
+        self.track.rounds += 1;
+        self.track.last_delta_jobs = churn;
+        self.track.last_quiescent = quiescent;
+        std::mem::swap(&mut self.track.fps, &mut self.track.fps_next);
+        self.track.cluster.clear();
+        self.track
+            .cluster
+            .extend(fresh.servers().map(|s| (s.capacity(), s.available())));
+        self.track.valid = true;
+        if delta_stats.is_some_and(|s| s.skipped_full) {
+            self.track.skipped += 1;
+        }
+        if tel.is_enabled() {
+            tel.add("round.delta_jobs", churn);
+            if delta_stats.is_some_and(|s| s.skipped_full) {
+                tel.add("round.skipped_full", 1);
+            }
+        }
 
         // 5. Apply.
         for (&i, view) in view_index.iter().zip(views.iter()) {
@@ -2000,6 +2169,8 @@ impl Simulation {
             running_ps,
             counter_deltas,
             events_total: self.events_seen,
+            delta_jobs: self.track.last_delta_jobs,
+            quiescent: self.track.last_quiescent,
         }
     }
 }

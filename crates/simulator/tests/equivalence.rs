@@ -245,6 +245,107 @@ fn batched_refit_counters_match_scalar() {
     );
 }
 
+/// The delta-round engine is a pure optimization: with
+/// `SimConfig::delta_rounds` on, every event byte and report byte must
+/// match the full-round path's — across both sim engines and both refit
+/// modes, under churn-heavy dynamics (staggered arrivals, straggler
+/// injection, a server failure, pinned-job reservations) and the
+/// all-quiescent tail after the last completion.
+#[test]
+fn delta_rounds_are_byte_identical_to_full() {
+    let mut cfg = base_config();
+    cfg.straggler = StragglerPolicy::with_injection(0.002);
+    cfg.server_failures = vec![(900.0, ServerId(7))];
+    cfg.min_rescale_interval_s = 300.0;
+    for engine in [SimEngine::Tick, SimEngine::Event] {
+        for batched in [false, true] {
+            let mut full_cfg = cfg.clone();
+            full_cfg.engine = engine;
+            full_cfg.batched_refit = batched;
+            full_cfg.delta_rounds = false;
+            let full = run_serialized(full_cfg, OptimusScheduler::build, 5);
+            let mut delta_cfg = cfg.clone();
+            delta_cfg.engine = engine;
+            delta_cfg.batched_refit = batched;
+            delta_cfg.delta_rounds = true;
+            let delta = run_serialized(delta_cfg, OptimusScheduler::build, 5);
+            assert_eq!(
+                full.0, delta.0,
+                "event log diverged between delta and full rounds ({engine:?}, batched={batched})"
+            );
+            assert_eq!(
+                full.1, delta.1,
+                "report diverged between delta and full rounds ({engine:?}, batched={batched})"
+            );
+        }
+    }
+}
+
+/// Whole-cluster failure strands every job: after the one
+/// cluster-changed round, every remaining round's inputs are provably
+/// unchanged, so the delta engine must skip them outright — and the
+/// flight recorder must label those rounds quiescent with zero churn.
+#[test]
+fn delta_engine_skips_quiescent_rounds() {
+    let tel = Telemetry::enabled();
+    let mut cfg = base_config();
+    cfg.max_time_s = 10_000.0;
+    cfg.telemetry = tel.clone();
+    cfg.delta_rounds = true;
+    cfg.flight = Some(FlightConfig { capacity: 4096 });
+    cfg.server_failures = (0..13).map(|i| (300.0, ServerId(i))).collect();
+    let mut sim = Simulation::new(
+        Cluster::paper_testbed(),
+        specs(2),
+        Box::new(OptimusScheduler::build()),
+        cfg,
+    );
+    let report = sim.run();
+    assert!(
+        tel.counter("round.skipped_full") > 0,
+        "stranded spans must skip whole rounds"
+    );
+    let flight = report.flight.expect("flight configured");
+    assert!(
+        flight
+            .snapshots
+            .iter()
+            .any(|s| s.quiescent && s.delta_jobs == 0),
+        "flight must label quiescent rounds"
+    );
+    assert!(
+        flight.snapshots.iter().any(|s| s.delta_jobs > 0),
+        "arrivals and the failure round must show churn"
+    );
+}
+
+/// Churn telemetry is mode-independent: the simulator diffs rounds
+/// whether or not the delta engine consumes the result, so
+/// `round.delta_jobs` must agree between modes (running jobs produce
+/// fresh speed observations every interval, so they count as churn —
+/// the sim-level delta win is the quiescent spans and the paused tail).
+#[test]
+fn churn_counter_is_mode_independent() {
+    let run = |delta: bool| {
+        let tel = Telemetry::enabled();
+        let mut cfg = base_config();
+        cfg.telemetry = tel.clone();
+        cfg.delta_rounds = delta;
+        let mut sim = Simulation::new(
+            Cluster::paper_testbed(),
+            specs(4),
+            Box::new(OptimusScheduler::build()),
+            cfg,
+        );
+        sim.run();
+        tel.counter("round.delta_jobs")
+    };
+    let full = run(false);
+    let delta = run(true);
+    assert!(full > 0, "a live run must show churn");
+    assert_eq!(full, delta, "churn accounting diverged between modes");
+}
+
 /// Runs one Optimus simulation of 4 jobs and returns the full report.
 fn run_report(cfg: SimConfig) -> SimReport {
     let mut sim = Simulation::new(

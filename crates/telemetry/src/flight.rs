@@ -148,6 +148,16 @@ pub struct ClusterSnapshot {
     pub counter_deltas: Vec<(String, u64)>,
     /// Cumulative simulator event-log length at the snapshot.
     pub events_total: u64,
+    /// Scheduling churn this round: job views that arrived, changed
+    /// bits, or departed since the previous round. Mode-independent
+    /// (the simulator diffs rounds whether or not the delta engine
+    /// consumes the result).
+    #[serde(default)]
+    pub delta_jobs: u64,
+    /// The round's scheduler inputs were provably identical to the
+    /// previous round's (the delta engine skips such rounds outright).
+    #[serde(default)]
+    pub quiescent: bool,
 }
 
 impl ClusterSnapshot {

@@ -39,11 +39,12 @@ bench-alloc:
 # Prove the optimized paths byte-identical to the naive reference
 # implementations (property-based): allocator/placer, the incremental
 # warm-started convergence fitter, the batched SoA fit engine, and the
-# simulator. The simulator suite runs three ways — under the
+# simulator. The simulator suite runs four ways — under the
 # discrete-event engine (the default), forced to the legacy tick loop,
-# and with the batched refit engine disabled — so every engine default
-# keeps passing the same byte-identity proofs, plus the event-calendar
-# determinism proptests.
+# with the batched refit engine disabled, and with delta rounds
+# disabled (every round re-derived from scratch) — so every engine
+# default keeps passing the same byte-identity proofs, plus the
+# event-calendar determinism proptests.
 equivalence:
     cargo test --release -p optimus-core --test equivalence
     cargo test --release -p optimus-fitting --test equivalence
@@ -51,6 +52,7 @@ equivalence:
     cargo test --release -p optimus-simulator --test equivalence
     OPTIMUS_EVENT_ENGINE=0 cargo test --release -p optimus-simulator --test equivalence
     OPTIMUS_BATCHED_FIT=0 cargo test --release -p optimus-simulator --test equivalence
+    OPTIMUS_DELTA_ROUNDS=0 cargo test --release -p optimus-simulator --test equivalence
     cargo test --release -p optimus-simulator --test event_determinism
 
 # Ledger smoke: two identical small runs must produce byte-identical
@@ -63,16 +65,23 @@ equivalence:
 # with the batched refit engine disabled must match the default run on
 # EVERY artifact, trace included — the batched fitter's contract is
 # bit-identical models *and* telemetry (DESIGN §12), so nothing is
-# ignored in that diff.
+# ignored in that diff. A fifth run with delta rounds disabled must
+# match on every decision artifact (events/schedule/jct — the DESIGN
+# §13 contract); `trace.jsonl` and `flight.jsonl` are excluded there
+# because the delta path legitimately emits different *telemetry*:
+# replayed placements skip per-job Placement events, and per-round
+# counter deltas differ when work is reused instead of re-derived.
 ledger:
     rm -rf target/ledger-smoke
     cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/a
     cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/b
     OPTIMUS_EVENT_ENGINE=0 cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/tick
     OPTIMUS_BATCHED_FIT=0 cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/scalar-fit
+    OPTIMUS_DELTA_ROUNDS=0 cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/full-rounds
     cargo run --release --bin optimus-trace -- diff target/ledger-smoke/a target/ledger-smoke/b
     cargo run --release --bin optimus-trace -- diff --ignore trace.jsonl target/ledger-smoke/a target/ledger-smoke/tick
     cargo run --release --bin optimus-trace -- diff target/ledger-smoke/a target/ledger-smoke/scalar-fit
+    cargo run --release --bin optimus-trace -- diff --ignore trace.jsonl --ignore flight.jsonl target/ledger-smoke/a target/ledger-smoke/full-rounds
 
 # Whole-simulation throughput: simulated-seconds per wall-second and
 # events per wall-second across the job grid, with a bit-identical
@@ -94,14 +103,17 @@ check-bench:
     cargo run --release --bin optimus-trace -- check-bench
 
 # Everything CI would run: lint + build + tests, the optimized-vs-
-# reference equivalence proptests (in both engine modes), 1-sample
-# bench smoke runs (keeps the timing harnesses compiling and executable
-# without recording noise; bench-alloc also cross-checks decisions
-# against the reference; bench_fit smokes the at-scale 5000-job grid
-# point, which includes its own reference-vs-scalar-vs-batched
-# cross-check; bench_sim smokes the at-scale 100-job grid point, which
-# includes its own tick-vs-event cross-check), the
-# run-ledger determinism smoke (including the cross-engine diff), the
+# reference equivalence proptests (in every engine mode, including
+# delta rounds off), 1-sample bench smoke runs (keeps the timing
+# harnesses compiling and executable without recording noise;
+# bench-alloc also cross-checks decisions against the reference across
+# the standard points *and* the steady-state churn points, where
+# --verify additionally fails on any delta-path fallback to a full
+# re-derivation; bench_fit smokes the at-scale 5000-job grid point,
+# which includes its own reference-vs-scalar-vs-batched cross-check;
+# bench_sim smokes the at-scale 100-job grid point, which includes its
+# own tick-vs-event cross-check), the run-ledger determinism smoke
+# (including the cross-engine and delta-off diffs), the
 # flight-recorder timeline smoke, and the bench regression watchdog.
 ci: lint build test equivalence bench-alloc ledger timeline check-bench
     cargo run --release -p optimus-bench --bin bench_fit -- --samples 1 --points 5000

@@ -207,6 +207,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             progress_every_s,
             ..SimConfig::default()
         };
+        // Resolved from OPTIMUS_DELTA_ROUNDS by the library default;
+        // echoed into the ledger like the engine switch above.
+        let delta_rounds = cfg.delta_rounds;
         let mut sim = Simulation::new(Cluster::paper_testbed(), jobs, scheduler, cfg);
         let report = sim.run();
 
@@ -218,6 +221,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 ("scheduler".into(), Value::Str(scheduler_name.to_string())),
                 ("interval_s".into(), Value::Num(interval_s)),
                 ("fast_forward".into(), Value::Bool(fast_forward)),
+                ("delta_rounds".into(), Value::Bool(delta_rounds)),
                 (
                     "engine".into(),
                     Value::Str(

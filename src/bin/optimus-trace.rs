@@ -309,6 +309,24 @@ fn print_rounds(lines: &[TraceLine]) {
         pctl(&walls, 0.99),
         walls[walls.len() - 1],
     );
+    // Delta-round accounting (PR 9): how much churn the driver reported
+    // and how often whole rounds were provably skippable. The counters
+    // exist only on runs recorded by a delta-tracking simulator.
+    let counter = |wanted: &str| {
+        lines.iter().find_map(|l| match l {
+            TraceLine::Counter { name, value, .. } if name == wanted => Some(*value),
+            _ => None,
+        })
+    };
+    if let Some(dirty) = counter("round.delta_jobs") {
+        let skipped = counter("round.skipped_full").unwrap_or(0);
+        let replayed = counter("alloc.replayed_grants").unwrap_or(0);
+        println!(
+            "  delta rounds: {dirty} dirty views total (mean {:.1}/round), \
+             {skipped} of {rounds} rounds skipped whole, {replayed} grants replayed",
+            dirty as f64 / rounds.max(1) as f64,
+        );
+    }
 }
 
 #[derive(Default)]
@@ -763,7 +781,11 @@ const BENCH_CHECKS: [BenchCheck; 3] = [
     BenchCheck {
         default_path: "BENCH_sched.json",
         flag: "--sched",
-        key_fields: &["jobs", "nodes"],
+        // `churn_pct`/`delta` are absent on full-round points (legacy
+        // and new), so pre-delta history keeps gating those; the
+        // steady-state churn points carry both and gate separately per
+        // path (delta=1 incremental, delta=0 full).
+        key_fields: &["jobs", "nodes", "churn_pct", "delta"],
         metrics: &[("mean_ns", false)],
     },
     BenchCheck {
