@@ -37,9 +37,12 @@ fn make_jobs(n: usize) -> Vec<JobView> {
 }
 
 /// Telemetry cost: the same scheduling decision with the default
-/// disabled handle versus an enabled one. Disabled must be
-/// indistinguishable from the uninstrumented baseline (< 2 %): every
-/// instrumentation site is a pointer check on a `None` handle.
+/// disabled handle versus an enabled one, and versus an enabled one
+/// that also records decision provenance (why-records). Disabled must
+/// be indistinguishable from the uninstrumented baseline (< 2 %): every
+/// instrumentation site is a pointer check on a `None` handle. The
+/// provenance variant bounds the extra cost of runner-up capture,
+/// rejection logging and record merging.
 fn bench_telemetry_overhead(c: &mut Criterion) {
     use optimus_telemetry::Telemetry;
     let mut group = c.benchmark_group("telemetry_overhead");
@@ -47,9 +50,12 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     let node_cap = ResourceVec::new(32.0, 4.0, 128.0, 10.0);
     let jobs = make_jobs(250);
     let cluster = Cluster::homogeneous(500, node_cap);
+    let provenance = Telemetry::enabled();
+    provenance.enable_provenance();
     for (label, tel) in [
         ("disabled", Telemetry::disabled()),
         ("enabled", Telemetry::enabled()),
+        ("provenance", provenance),
     ] {
         let scheduler = OptimusScheduler::build_with_telemetry(tel);
         group.bench_with_input(

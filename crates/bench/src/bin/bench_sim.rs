@@ -37,10 +37,22 @@
 use optimus_cluster::Cluster;
 use optimus_core::prelude::OptimusScheduler;
 use optimus_simulator::{SimConfig, SimEngine, Simulation};
+use optimus_telemetry::Telemetry;
 use optimus_workload::{ArrivalProcess, WorkloadGenerator};
 use serde::Serialize;
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// How instrumented a timed run is.
+#[derive(Clone, Copy, PartialEq)]
+enum Instrumentation {
+    /// Disabled telemetry handle — the headline-throughput default.
+    Off,
+    /// Enabled telemetry (counters, spans, trace records).
+    Telemetry,
+    /// Enabled telemetry plus decision-provenance why-records.
+    Provenance,
+}
 
 /// One acceptance-grid point: a workload size on the paper's 13-server
 /// testbed, with the arrival horizon and simulation cap it runs under.
@@ -123,6 +135,11 @@ struct PointRecord {
     /// Event-engine speedup over the tick engine at this point.
     #[serde(skip_serializing_if = "Option::is_none")]
     event_speedup: Option<f64>,
+    /// Wall-clock overhead of decision-provenance recording vs the same
+    /// telemetry-enabled run without it, percent (100-job point only;
+    /// gated at ≤5 %).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    provenance_overhead_pct: Option<f64>,
 }
 
 /// One appended trajectory entry.
@@ -139,7 +156,11 @@ struct BenchEntry {
 /// sim_seconds, events, jct_bits)`. The JCT bit pattern is the
 /// determinism witness — within an engine across samples, and across
 /// engines where both run.
-fn run_once(point: &GridPoint, engine: SimEngine) -> (u64, f64, u64, Vec<(u64, u64)>) {
+fn run_once(
+    point: &GridPoint,
+    engine: SimEngine,
+    instr: Instrumentation,
+) -> (u64, f64, u64, Vec<(u64, u64)>) {
     let arrivals = ArrivalProcess::UniformRandom {
         count: point.jobs,
         horizon_s: point.horizon_s,
@@ -147,18 +168,26 @@ fn run_once(point: &GridPoint, engine: SimEngine) -> (u64, f64, u64, Vec<(u64, u
     let specs = WorkloadGenerator::new(arrivals, SEED)
         .with_target_job_seconds(Some(point.job_s))
         .generate();
+    let tel = match instr {
+        Instrumentation::Off => Telemetry::disabled(),
+        Instrumentation::Telemetry | Instrumentation::Provenance => Telemetry::enabled(),
+    };
+    if instr == Instrumentation::Provenance {
+        tel.enable_provenance();
+    }
     let cfg = SimConfig {
         seed: SEED,
         record_events: true,
         max_time_s: point.max_time_s,
         loss_sample_every_s: point.loss_sample_every_s,
         engine,
+        telemetry: tel.clone(),
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(
         Cluster::paper_testbed(),
         specs,
-        Box::new(OptimusScheduler::build()),
+        Box::new(OptimusScheduler::build_with_telemetry(tel.clone())),
         cfg,
     );
     let start = Instant::now();
@@ -168,6 +197,12 @@ fn run_once(point: &GridPoint, engine: SimEngine) -> (u64, f64, u64, Vec<(u64, u
         report.unfinished_jobs, 0,
         "bench workload must run to completion"
     );
+    if instr == Instrumentation::Provenance {
+        assert!(
+            tel.why_count() > 0,
+            "provenance-instrumented run recorded no why-records"
+        );
+    }
     let jct_bits = {
         let mut v: Vec<(u64, u64)> = report
             .jct
@@ -240,6 +275,7 @@ fn main() -> ExitCode {
         "jobs", "wall ms", "sim seconds", "sim-s per wall-s", "events", "events per s", "vs tick"
     );
     let mut points = Vec::new();
+    let mut gate_failed = false;
     for point in POINTS
         .iter()
         .filter(|p| selected.as_ref().is_none_or(|sel| sel.contains(&p.jobs)))
@@ -247,12 +283,13 @@ fn main() -> ExitCode {
         let jobs = point.jobs;
         // Warm-up run (allocators, page faults) whose timing is
         // discarded but whose JCT vector anchors the determinism check.
-        let (_, _, _, witness) = run_once(point, SimEngine::Event);
+        let (_, _, _, witness) = run_once(point, SimEngine::Event, Instrumentation::Off);
         let mut total_ns = 0u128;
         let mut sim_seconds = 0.0;
         let mut events = 0u64;
         for _ in 0..samples {
-            let (wall_ns, sim_s, ev, jct_bits) = run_once(point, SimEngine::Event);
+            let (wall_ns, sim_s, ev, jct_bits) =
+                run_once(point, SimEngine::Event, Instrumentation::Off);
             assert_eq!(
                 jct_bits, witness,
                 "nondeterministic simulation at {jobs} jobs — refusing to record timings"
@@ -266,7 +303,8 @@ fn main() -> ExitCode {
         let sim_per_wall = sim_seconds / wall_s.max(1e-12);
         let events_per_s = events as f64 / wall_s.max(1e-12);
         let (tick_per_wall, speedup) = if point.compare_tick {
-            let (tick_wall_ns, tick_sim_s, _, tick_bits) = run_once(point, SimEngine::Tick);
+            let (tick_wall_ns, tick_sim_s, _, tick_bits) =
+                run_once(point, SimEngine::Tick, Instrumentation::Off);
             assert_eq!(
                 tick_bits, witness,
                 "engines disagree on JCTs at {jobs} jobs — refusing to record timings"
@@ -275,6 +313,46 @@ fn main() -> ExitCode {
             (Some(tick_rate), Some(sim_per_wall / tick_rate.max(1e-12)))
         } else {
             (None, None)
+        };
+        // Provenance-overhead gate (100-job point): why-record keeping
+        // must cost ≤5 % wall over the same telemetry-enabled run
+        // without it — and must not change a single decision bit (the
+        // JCT witness doubles as the byte-identity proof here). Best of
+        // two samples per variant to damp scheduler jitter.
+        let provenance_overhead_pct = if jobs == 100 {
+            let best = |instr: Instrumentation| {
+                (0..2)
+                    .map(|_| {
+                        let (wall_ns, _, _, jct_bits) = run_once(point, SimEngine::Event, instr);
+                        assert_eq!(
+                            jct_bits, witness,
+                            "instrumentation changed decisions at {jobs} jobs — \
+                             refusing to record timings"
+                        );
+                        wall_ns
+                    })
+                    .min()
+                    .expect("two samples")
+            };
+            let tel_ns = best(Instrumentation::Telemetry);
+            let prov_ns = best(Instrumentation::Provenance);
+            let pct = 100.0 * (prov_ns as f64 / tel_ns.max(1) as f64 - 1.0);
+            println!(
+                "{jobs:>6} provenance overhead {pct:+.2} % \
+                 (telemetry {:.2} ms → +provenance {:.2} ms)",
+                tel_ns as f64 / 1e6,
+                prov_ns as f64 / 1e6,
+            );
+            if pct > 5.0 {
+                eprintln!(
+                    "error: provenance recording overhead {pct:.2} % at {jobs} jobs \
+                     exceeds the 5 % gate"
+                );
+                gate_failed = true;
+            }
+            Some(pct)
+        } else {
+            None
         };
         let vs_tick = speedup.map_or_else(|| "-".into(), |s| format!("{s:.2}x"));
         println!(
@@ -290,6 +368,7 @@ fn main() -> ExitCode {
             events_per_wall_second: events_per_s,
             tick_mode_sim_seconds_per_wall_second: tick_per_wall,
             event_speedup: speedup,
+            provenance_overhead_pct,
         });
     }
 
@@ -324,6 +403,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("\nappended entry '{label}' to {path}");
+    }
+    if gate_failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -12,7 +12,7 @@
 
 use crate::scheduler::JobView;
 use optimus_cluster::{Cluster, ResourceKind, ResourceVec};
-use optimus_telemetry::{Telemetry, TraceEvent};
+use optimus_telemetry::{AllocWhy, RunnerUp, Telemetry, TraceEvent};
 use optimus_workload::JobId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -310,7 +310,7 @@ impl OptimusAllocator {
     /// the full greedy run answers every `fits_within` query
     /// affirmatively it is a prefix-interleaving of these solo chains
     /// and produces bit-identical counts. The delta-round engine proves
-    /// that premise after the fact with [`uncontended_certificate`];
+    /// that premise after the fact with [`certificate_check`];
     /// this returns `None` when the climb itself leaves the
     /// total-capacity envelope (the certificate would fail), sending
     /// the caller to the full path.
@@ -321,6 +321,7 @@ impl OptimusAllocator {
         capacity: &ResourceVec,
         cache: &mut CandCache,
         evals: &mut u64,
+        mut why: Option<&mut Option<AllocWhy>>,
     ) -> Option<(u32, u32)> {
         if !job.unit_demand().fits_within(total_available) {
             // The starter may have been skipped under contention; that
@@ -349,6 +350,23 @@ impl OptimusAllocator {
             match action {
                 Action::AddWorker => alloc.workers += 1,
                 Action::AddPs => alloc.ps += 1,
+            }
+            if let Some(out) = why.as_mut() {
+                // Provenance (never read back by the climb): the last
+                // winning gain; a solo climb beats no rival, so
+                // runners-up stay empty.
+                **out = Some(AllocWhy {
+                    gain,
+                    action: match action {
+                        Action::AddWorker => "worker".to_string(),
+                        Action::AddPs => "ps".to_string(),
+                    },
+                    dom_worker: cache.dom_worker,
+                    dom_ps: cache.dom_ps,
+                    young: job.progress < self.young_progress,
+                    priority_factor: self.priority_factor,
+                    runners_up: Vec::new(),
+                });
             }
             if !alloc.demand(job).fits_within(total_available) {
                 // This job alone outgrew the whole cluster (possible
@@ -441,31 +459,100 @@ impl OptimusAllocator {
         }
         *heap = BinaryHeap::from(buf);
 
+        // Provenance: one slot per job, overwritten on every grant so
+        // the job's *last* winning gain (the decision that fixed its
+        // final count) survives. Allocated only when provenance is on,
+        // so the common path stays allocation-free.
+        let prov = self.tel.provenance_enabled();
+        let mut why: Vec<Option<AllocWhy>> = if prov {
+            vec![None; jobs.len()]
+        } else {
+            Vec::new()
+        };
+
         // Each round of the loop treats the heap top in place: a grant
         // (or a stale-capacity re-derivation) overwrites the top entry
         // with the job's next candidate and lets it sift down once,
         // instead of a full pop followed by a push — the pop order, and
         // hence the grant sequence, is unchanged because the replaced
         // entry is exactly what the push would have re-inserted.
-        while let Some(mut top) = heap.peek_mut() {
-            heap_pops += 1;
-            let idx = top.job_idx as usize;
-            if top.version != versions[idx] {
-                stale_skips += 1;
-                std::collections::binary_heap::PeekMut::pop(top);
-                continue; // stale
-            }
-            if top.gain <= 0.0 {
-                break; // max-heap ⇒ no positive gains remain
-            }
-            let job = &jobs[idx];
-            let demand = match top.action {
-                Action::AddWorker => job.worker_profile,
-                Action::AddPs => job.ps_profile,
-            };
-            if !demand.fits_within(&remaining) {
-                // Capacity shrank since this entry was computed;
-                // re-derive the best feasible candidate now.
+        // (Written as `loop` + inner scope rather than `while let` so
+        // the provenance runner-up scan can read the heap between
+        // iterations, after the `PeekMut` borrow ends.)
+        loop {
+            let mut winner: Option<usize> = None;
+            {
+                let Some(mut top) = heap.peek_mut() else {
+                    break;
+                };
+                heap_pops += 1;
+                let idx = top.job_idx as usize;
+                if top.version != versions[idx] {
+                    stale_skips += 1;
+                    std::collections::binary_heap::PeekMut::pop(top);
+                    continue; // stale
+                }
+                if top.gain <= 0.0 {
+                    break; // max-heap ⇒ no positive gains remain
+                }
+                let job = &jobs[idx];
+                let demand = match top.action {
+                    Action::AddWorker => job.worker_profile,
+                    Action::AddPs => job.ps_profile,
+                };
+                if !demand.fits_within(&remaining) {
+                    // Capacity shrank since this entry was computed;
+                    // re-derive the best feasible candidate now.
+                    versions[idx] += 1;
+                    if let Some((gain, action)) = self.best_candidate(
+                        job,
+                        &mut caches[idx],
+                        &allocs[idx],
+                        &remaining,
+                        &mut evals,
+                    ) {
+                        top.gain = gain;
+                        top.action = action;
+                        top.version = versions[idx];
+                    } else {
+                        std::collections::binary_heap::PeekMut::pop(top);
+                    }
+                    continue;
+                }
+                match top.action {
+                    Action::AddWorker => allocs[idx].workers += 1,
+                    Action::AddPs => allocs[idx].ps += 1,
+                }
+                remaining -= demand;
+                granted += 1;
+                if self.tel.is_enabled() {
+                    self.tel.record(TraceEvent::AllocGrant {
+                        round,
+                        job: job.id.0,
+                        action: match top.action {
+                            Action::AddWorker => "worker".to_string(),
+                            Action::AddPs => "ps".to_string(),
+                        },
+                        gain: top.gain,
+                        ps: allocs[idx].ps,
+                        workers: allocs[idx].workers,
+                    });
+                }
+                if prov {
+                    why[idx] = Some(AllocWhy {
+                        gain: top.gain,
+                        action: match top.action {
+                            Action::AddWorker => "worker".to_string(),
+                            Action::AddPs => "ps".to_string(),
+                        },
+                        dom_worker: caches[idx].dom_worker,
+                        dom_ps: caches[idx].dom_ps,
+                        young: job.progress < self.young_progress,
+                        priority_factor: self.priority_factor,
+                        runners_up: Vec::new(),
+                    });
+                    winner = Some(idx);
+                }
                 versions[idx] += 1;
                 if let Some((gain, action)) =
                     self.best_candidate(job, &mut caches[idx], &allocs[idx], &remaining, &mut evals)
@@ -476,36 +563,22 @@ impl OptimusAllocator {
                 } else {
                     std::collections::binary_heap::PeekMut::pop(top);
                 }
-                continue;
             }
-            match top.action {
-                Action::AddWorker => allocs[idx].workers += 1,
-                Action::AddPs => allocs[idx].ps += 1,
+            if let Some(idx) = winner {
+                // Read-only scan for the strongest live rivals the
+                // grant beat. Runs between heap operations and never
+                // feeds back into the loop, so the grant sequence is
+                // untouched.
+                let runners_up = top_runners_up(heap, versions, idx);
+                if let Some(entry) = why[idx].as_mut() {
+                    entry.runners_up = runners_up;
+                }
             }
-            remaining -= demand;
-            granted += 1;
-            if self.tel.is_enabled() {
-                self.tel.record(TraceEvent::AllocGrant {
-                    round,
-                    job: job.id.0,
-                    action: match top.action {
-                        Action::AddWorker => "worker".to_string(),
-                        Action::AddPs => "ps".to_string(),
-                    },
-                    gain: top.gain,
-                    ps: allocs[idx].ps,
-                    workers: allocs[idx].workers,
-                });
-            }
-            versions[idx] += 1;
-            if let Some((gain, action)) =
-                self.best_candidate(job, &mut caches[idx], &allocs[idx], &remaining, &mut evals)
-            {
-                top.gain = gain;
-                top.action = action;
-                top.version = versions[idx];
-            } else {
-                std::collections::binary_heap::PeekMut::pop(top);
+        }
+        if prov {
+            for (i, entry) in why.into_iter().enumerate() {
+                self.tel
+                    .why_alloc(jobs[i].id.0, allocs[i].ps, allocs[i].workers, entry);
             }
         }
         if self.tel.is_enabled() {
@@ -542,8 +615,9 @@ impl ResourceAllocator for OptimusAllocator {
     }
 }
 
-/// Headroom certificate for the uncontended-independence theorem behind
-/// delta rounds: if, for every resource kind,
+/// Headroom certificate for the uncontended-independence theorem
+/// behind delta rounds (returns [`Certificate::Holds`] exactly when it
+/// holds): if, for every resource kind,
 ///
 /// ```text
 /// Σ_jobs demand_k + 2·max_unit_k + slop_k  ≤  total_available_k
@@ -573,11 +647,14 @@ impl ResourceAllocator for OptimusAllocator {
 /// reached its solo stop (heap property: top ≤ 0 ⇒ all entries ≤ 0).
 ///
 /// `counts` maps a view index to its final `(ps, workers)`.
-pub(crate) fn uncontended_certificate(
+/// The per-term detail beyond the verdict exists for provenance
+/// ([`optimus_telemetry::DeltaWhy`] cites the binding/failing term);
+/// it never feeds back into any decision.
+pub(crate) fn certificate_check(
     jobs: &[JobView],
     mut counts: impl FnMut(usize) -> (u32, u32),
     total_available: &ResourceVec,
-) -> bool {
+) -> Certificate {
     let mut used = [0.0f64; 4];
     let mut max_unit = [0.0f64; 4];
     for (i, job) in jobs.iter().enumerate() {
@@ -589,6 +666,8 @@ pub(crate) fn uncontended_certificate(
             max_unit[k] = max_unit[k].max(w).max(p);
         }
     }
+    let mut min_slack = f64::MAX;
+    let mut min_term = "none";
     for (k, kind) in ResourceKind::ALL.iter().enumerate() {
         // A resource no profile touches (e.g. GPU on a CPU-only mix)
         // cannot constrain any climb or fits query: exempt it, or a
@@ -599,13 +678,104 @@ pub(crate) fn uncontended_certificate(
         }
         let total = total_available.get(*kind);
         let slop = total.abs() * 1e-9 + 1e-9;
+        let lhs = used[k] + 2.0 * max_unit[k] + slop;
         // Written so that a NaN anywhere fails the certificate.
-        let holds = used[k] + 2.0 * max_unit[k] + slop <= total;
+        let holds = lhs <= total;
         if !holds {
-            return false;
+            return Certificate::Fails {
+                term: kind_label(*kind),
+                used: used[k],
+                max_unit: max_unit[k],
+                total,
+                // Exactly-rounded subtraction keeps the sign of the
+                // true difference, so a failing term always reports
+                // slack ≤ 0 (or NaN).
+                slack: total - lhs,
+            };
+        }
+        let slack = total - lhs;
+        if slack < min_slack {
+            min_slack = slack;
+            min_term = kind_label(*kind);
         }
     }
-    true
+    Certificate::Holds {
+        slack: min_slack,
+        term: min_term,
+    }
+}
+
+/// The outcome of one [`certificate_check`], with the term that
+/// decided it.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Certificate {
+    /// Every applicable term held; `slack` / `term` describe the
+    /// *binding* (smallest-slack) kind. `slack` is `f64::MAX` when no
+    /// kind applied at all.
+    Holds {
+        /// Headroom of the binding term: `total − (used + 2·max_unit
+        /// + slop)`.
+        slack: f64,
+        /// The binding term's resource kind label (`"none"` when no
+        /// kind applied).
+        term: &'static str,
+    },
+    /// The first failing term, with its full inputs.
+    Fails {
+        /// The failing term's resource kind label.
+        term: &'static str,
+        /// Resources the candidate rows use on that kind.
+        used: f64,
+        /// Largest single-task demand on that kind.
+        max_unit: f64,
+        /// Cluster total on that kind.
+        total: f64,
+        /// The (non-positive or NaN) slack.
+        slack: f64,
+    },
+}
+
+/// Stable label for a certificate term's resource kind.
+pub(crate) fn kind_label(kind: ResourceKind) -> &'static str {
+    match kind {
+        ResourceKind::Cpu => "cpu",
+        ResourceKind::Gpu => "gpu",
+        ResourceKind::MemoryGb => "mem_gb",
+        ResourceKind::BandwidthGbps => "bandwidth_gbps",
+    }
+}
+
+/// The strongest live rivals the winning grant beat, best first:
+/// heap entries whose generation stamp is current, excluding the
+/// winner's own (freshly re-derived) entry and non-positive gains.
+fn top_runners_up(
+    heap: &BinaryHeap<Candidate>,
+    versions: &[u32],
+    winner_idx: usize,
+) -> Vec<RunnerUp> {
+    use optimus_telemetry::provenance::TOP_RUNNERS_UP;
+    let mut best: Vec<&Candidate> = Vec::with_capacity(TOP_RUNNERS_UP + 1);
+    for c in heap.iter() {
+        let idx = c.job_idx as usize;
+        if idx == winner_idx || c.version != versions[idx] || c.gain <= 0.0 {
+            continue;
+        }
+        let pos = best.partition_point(|b| (*b).cmp(c) == Ordering::Greater);
+        if pos < TOP_RUNNERS_UP {
+            best.insert(pos, c);
+            best.truncate(TOP_RUNNERS_UP);
+        }
+    }
+    best.iter()
+        .map(|c| RunnerUp {
+            job: c.job.0,
+            gain: c.gain,
+            action: match c.action {
+                Action::AddWorker => "worker".to_string(),
+                Action::AddPs => "ps".to_string(),
+            },
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------

@@ -16,9 +16,57 @@ use crate::allocation::Allocation;
 use crate::scheduler::{JobPlacement, JobView};
 use optimus_cluster::{Cluster, ResourceKind, ResourceVec, ServerId};
 use optimus_ps::TaskCounts;
-use optimus_telemetry::{Telemetry, TraceEvent};
+use optimus_telemetry::provenance::MAX_REJECTIONS;
+use optimus_telemetry::{PlaceReject, PlaceWhy, Telemetry, TraceEvent};
 use optimus_workload::JobId;
 use std::collections::HashMap;
+
+/// Per-job provenance collector for the probe/shrink loop: every
+/// rejected candidate, tagged by reason. Disabled it records nothing,
+/// so the hot path pays one predictable branch per rejection.
+#[derive(Debug, Default)]
+struct RejectLog {
+    enabled: bool,
+    total: u64,
+    rejected: Vec<PlaceReject>,
+}
+
+impl RejectLog {
+    fn reset(&mut self) {
+        self.total = 0;
+        self.rejected.clear();
+    }
+
+    fn push(&mut self, reject: PlaceReject) {
+        if !self.enabled {
+            return;
+        }
+        self.total += 1;
+        if self.rejected.len() < MAX_REJECTIONS {
+            self.rejected.push(reject);
+        }
+    }
+}
+
+/// Synthesizes the placement side of a replayed decision from a stored
+/// layout: nothing was re-packed, so there are no rejections to report.
+pub(crate) fn replayed_place_why(
+    placement: &[(ServerId, TaskCounts)],
+    alloc_ps: u32,
+    alloc_w: u32,
+) -> PlaceWhy {
+    let ps: u32 = placement.iter().map(|(_, c)| c.ps).sum();
+    let workers: u32 = placement.iter().map(|(_, c)| c.workers).sum();
+    PlaceWhy {
+        ps,
+        workers,
+        servers: placement.len() as u64,
+        shrunk: (alloc_ps + alloc_w).saturating_sub(ps + workers),
+        replayed: true,
+        rejections: 0,
+        rejected: Vec::new(),
+    }
+}
 
 /// One-multiply hasher for `JobId` keys. Job ids are sequential small
 /// integers, so a Fibonacci-multiply spread gives collision-free
@@ -742,11 +790,16 @@ impl OptimusPlacer {
             norms,
         } = scratch;
         let mut log = DealLog::default();
+        let mut rej = RejectLog {
+            enabled: self.tel.provenance_enabled(),
+            ..RejectLog::default()
+        };
         index.rebuild(cluster);
         out.clear();
         smallest_first_into(allocations, jobs, order, norms);
         for &i in order.iter() {
             let job = &jobs[i];
+            rej.reset();
             let placed = Self::place_job(
                 job,
                 allocations[i],
@@ -757,6 +810,7 @@ impl OptimusPlacer {
                 &mut log,
                 out,
                 &mut retries,
+                &mut rej,
             );
             if let Some(alloc) = placed {
                 if self.tel.is_enabled() {
@@ -772,6 +826,7 @@ impl OptimusPlacer {
                 }
             }
             // None: paused this interval (§4.2).
+            self.record_place_why(job.id, &allocations[i], placed.as_ref(), out, &mut rej);
         }
         if retries > 0 {
             self.tel.add("placement.packing_retries", retries);
@@ -779,6 +834,38 @@ impl OptimusPlacer {
         if index.updates > 0 {
             self.tel.add("placement.index_updates", index.updates);
         }
+    }
+
+    /// Emits the placement side of a job's why-record from a fresh
+    /// probe/shrink run, draining the rejection log into it. A no-op
+    /// unless provenance is on (the log is only `enabled` then).
+    fn record_place_why(
+        &self,
+        id: JobId,
+        requested: &Allocation,
+        placed: Option<&Allocation>,
+        out: &PlacementStore,
+        rej: &mut RejectLog,
+    ) {
+        if !rej.enabled {
+            return;
+        }
+        let (ps, workers, servers) = match placed {
+            Some(a) => (a.ps, a.workers, out.get(id).map_or(0, |p| p.len()) as u64),
+            None => (0, 0, 0),
+        };
+        self.tel.why_place(
+            id.0,
+            PlaceWhy {
+                ps,
+                workers,
+                servers,
+                shrunk: (requested.ps + requested.workers).saturating_sub(ps + workers),
+                replayed: false,
+                rejections: rej.total,
+                rejected: std::mem::take(&mut rej.rejected),
+            },
+        );
     }
 
     /// Places one job — the probe/shrink loop of [`Self::place_with`],
@@ -800,6 +887,7 @@ impl OptimusPlacer {
         log: &mut DealLog,
         out: &mut PlacementStore,
         retries: &mut u64,
+        rej: &mut RejectLog,
     ) -> Option<Allocation> {
         let pair_demand = job.ps_profile + job.worker_profile;
         loop {
@@ -809,6 +897,9 @@ impl OptimusPlacer {
             let k_min = match index.k_min_or_total(&demand) {
                 Ok(k) => k,
                 Err(total_free) => {
+                    rej.push(PlaceReject::AggregateEarlyExit {
+                        servers: index.keys.len() as u64,
+                    });
                     // Shrink-on-unplaceable: the allocator reasons
                     // about aggregate capacity (constraint (7)), so
                     // per-server fragmentation can make the full
@@ -862,6 +953,7 @@ impl OptimusPlacer {
                         job.worker_profile.fits_within(f),
                     ];
                     if !log.deviates(fits, f.get(ResourceKind::Cpu)) {
+                        rej.push(PlaceReject::KPrefix { k: k as u64 });
                         continue;
                     }
                 }
@@ -871,11 +963,17 @@ impl OptimusPlacer {
                     placed_at_k = true;
                     break;
                 }
+                rej.push(PlaceReject::KPrefix { k: k as u64 });
                 log_valid = true;
             }
             if placed_at_k {
                 return Some(alloc);
             }
+            // The whole configuration failed every probed prefix.
+            rej.push(PlaceReject::Capacity {
+                ps: alloc.ps,
+                workers: alloc.workers,
+            });
             if alloc.ps + alloc.workers <= 2 {
                 return None;
             }
@@ -931,6 +1029,7 @@ impl OptimusPlacer {
             order,
             norms,
         } = scratch;
+        let prov = self.tel.provenance_enabled();
         smallest_first_into(allocations, jobs, order, norms);
         next_sig.clear();
         for &i in order.iter() {
@@ -938,6 +1037,17 @@ impl OptimusPlacer {
         }
         if next_sig.as_slice() == prev_sig {
             out.copy_from(prev_store);
+            if prov {
+                for &i in order.iter() {
+                    let job = &jobs[i];
+                    if let Some(span) = out.get(job.id) {
+                        self.tel.why_place(
+                            job.id.0,
+                            replayed_place_why(span, allocations[i].ps, allocations[i].workers),
+                        );
+                    }
+                }
+            }
             return true;
         }
         let matched = next_sig
@@ -947,6 +1057,10 @@ impl OptimusPlacer {
             .count();
         let mut retries = 0u64;
         let mut log = DealLog::default();
+        let mut rej = RejectLog {
+            enabled: prov,
+            ..RejectLog::default()
+        };
         index.rebuild(cluster);
         out.clear();
         for (pos, &i) in order.iter().enumerate() {
@@ -977,8 +1091,17 @@ impl OptimusPlacer {
                         shrunk,
                     });
                 }
+                if prov {
+                    if let Some(span) = out.get(job.id) {
+                        self.tel.why_place(
+                            job.id.0,
+                            replayed_place_why(span, allocations[i].ps, allocations[i].workers),
+                        );
+                    }
+                }
                 continue;
             }
+            rej.reset();
             let placed = Self::place_job(
                 job,
                 allocations[i],
@@ -989,6 +1112,7 @@ impl OptimusPlacer {
                 &mut log,
                 out,
                 &mut retries,
+                &mut rej,
             );
             if let Some(alloc) = placed {
                 if self.tel.is_enabled() {
@@ -1003,6 +1127,7 @@ impl OptimusPlacer {
                     });
                 }
             }
+            self.record_place_why(job.id, &allocations[i], placed.as_ref(), out, &mut rej);
         }
         if retries > 0 {
             self.tel.add("placement.packing_retries", retries);

@@ -11,17 +11,17 @@
 //! one component at a time.
 
 use crate::allocation::{
-    uncontended_certificate, AllocScratch, Allocation, CandCache, DrfAllocator, OptimusAllocator,
-    ResourceAllocator, TetrisAllocator,
+    certificate_check, AllocScratch, Allocation, CandCache, Certificate, DrfAllocator,
+    OptimusAllocator, ResourceAllocator, TetrisAllocator,
 };
 use crate::placement::{
-    JobIdBuildHasher, OptimusPlacer, PackPlacer, PlaceScratch, PlaceSig, PlacementStore,
-    SpreadPlacer, TaskPlacer,
+    replayed_place_why, JobIdBuildHasher, OptimusPlacer, PackPlacer, PlaceScratch, PlaceSig,
+    PlacementStore, SpreadPlacer, TaskPlacer,
 };
 use crate::speed::SpeedModel;
 use optimus_cluster::{Cluster, ResourceVec, ServerId};
 use optimus_ps::TaskCounts;
-use optimus_telemetry::Telemetry;
+use optimus_telemetry::{AllocWhy, DeltaWhy, Telemetry};
 use optimus_workload::JobId;
 use std::collections::HashMap;
 
@@ -235,7 +235,7 @@ pub struct DeltaStats {
 /// solo-climb scratch cache. Lives in [`RoundScratch`] so drivers thread
 /// it for free; buffers are cleared-and-refilled, never reallocated in
 /// steady state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct DeltaState {
     /// Stored grant rows are per-job solo values (the previous round
     /// passed the uncontended certificate), so a clean job may reuse
@@ -243,10 +243,19 @@ pub(crate) struct DeltaState {
     alloc_valid: bool,
     /// Job ids of the previous round's views, in view order.
     ids: Vec<JobId>,
-    /// Job id → final `(ps, workers)` of the previous round.
-    row_of: HashMap<JobId, (u32, u32), JobIdBuildHasher>,
+    /// Job id → final `(ps, workers, origin_round)` of the previous
+    /// round. The origin round is the provenance round that actually
+    /// *derived* the row (replays preserve it; full passes and solo
+    /// climbs stamp the current round). Always 0 with provenance off —
+    /// never read in that case.
+    row_of: HashMap<JobId, (u32, u32, u64), JobIdBuildHasher>,
     /// This round's rows under assembly.
     rows_next: Vec<(u32, u32)>,
+    /// Binding term of the most recent *passing* certificate, cited by
+    /// replay provenance records (including whole-round skips, whose
+    /// own round evaluates no certificate).
+    cert_slack: f64,
+    cert_term: &'static str,
     /// Previous round's placement inputs/outputs are trustworthy for
     /// prefix replay (same engine, cluster unchanged since).
     place_valid: bool,
@@ -258,6 +267,24 @@ pub(crate) struct DeltaState {
     store: PlacementStore,
     /// Solo-climb prediction cache, reset per climb.
     cache: CandCache,
+}
+
+impl Default for DeltaState {
+    fn default() -> Self {
+        DeltaState {
+            alloc_valid: false,
+            ids: Vec::new(),
+            row_of: HashMap::default(),
+            rows_next: Vec::new(),
+            cert_slack: f64::MAX,
+            cert_term: "none",
+            place_valid: false,
+            sig: Vec::new(),
+            sig_next: Vec::new(),
+            store: PlacementStore::default(),
+            cache: CandCache::default(),
+        }
+    }
 }
 
 /// A complete scheduler: produces a [`Schedule`] each interval.
@@ -397,6 +424,9 @@ impl Scheduler for CompositeScheduler {
             .tel
             .is_enabled()
             .then(|| self.tel.span("sched.decision"));
+        // One provenance round per scheduler invocation, so why-record
+        // round numbers line up with the simulator's `Round` events.
+        self.tel.provenance_begin_round();
         // Footprints feed only the cold-round counter; skip the buffer
         // walk entirely when telemetry is off.
         let footprint = self
@@ -432,7 +462,7 @@ impl Scheduler for CompositeScheduler {
     /// - **delta allocation** — dirty jobs re-derive their grants with
     ///   [`OptimusAllocator::solo_climb`]; clean jobs replay last
     ///   round's stored rows. Sound iff rounds are uncontended, which
-    ///   [`uncontended_certificate`] proves *after the fact* on the
+    ///   [`certificate_check`] proves *after the fact* on the
     ///   assembled rows (and stored rows are only trusted when the
     ///   round that produced them passed it too). Any failure falls
     ///   back to the full greedy pass — bit-identical by construction.
@@ -460,6 +490,10 @@ impl Scheduler for CompositeScheduler {
             .tel
             .is_enabled()
             .then(|| self.tel.span("sched.decision"));
+        // One provenance round per scheduler invocation (skip rounds
+        // included), so why-record rounds align with `Round` events.
+        self.tel.provenance_begin_round();
+        let prov = self.tel.provenance_enabled();
         let RoundScratch {
             alloc: alloc_scratch,
             place: place_scratch,
@@ -480,6 +514,28 @@ impl Scheduler for CompositeScheduler {
         {
             stats.skipped_full = true;
             stats.place_reused = true;
+            if prov {
+                // Synthesize replay records from the untouched `out`:
+                // every grant and layout was replayed verbatim.
+                for job in jobs {
+                    let Some(&(ps, workers, origin)) = st.row_of.get(&job.id) else {
+                        continue;
+                    };
+                    self.tel.why_alloc(job.id.0, ps, workers, None);
+                    self.tel.why_delta(
+                        job.id.0,
+                        DeltaWhy::Replay {
+                            origin_round: origin,
+                            slack: st.cert_slack,
+                            term: st.cert_term.to_string(),
+                        },
+                    );
+                    if let Some(p) = out.placements.get(job.id) {
+                        self.tel
+                            .why_place(job.id.0, replayed_place_why(p, ps, workers));
+                    }
+                }
+            }
             return stats;
         }
 
@@ -487,6 +543,20 @@ impl Scheduler for CompositeScheduler {
         let total_available = cluster.total_available();
         let capacity = cluster.total_capacity();
         let mut alloc_full = delta.full || delta.cluster_changed || !st.alloc_valid;
+        // Why the full path ran, when it did ("": certificate failure,
+        // which writes its own richer records).
+        let mut full_reason = if delta.full {
+            "cold"
+        } else if delta.cluster_changed {
+            "cluster-changed"
+        } else if !st.alloc_valid {
+            "alloc-invalid"
+        } else {
+            ""
+        };
+        // Per-row provenance gathered during assembly (provenance-only
+        // allocation): `(replayed, origin_round, solo-climb why)`.
+        let mut why_rows: Vec<(bool, u64, Option<AllocWhy>)> = Vec::new();
         if !alloc_full {
             let mut solo_evals = 0u64;
             let mut replayed = 0u64;
@@ -495,67 +565,158 @@ impl Scheduler for CompositeScheduler {
                 let clean = delta.dirty.binary_search(&(i as u32)).is_err();
                 let row = if clean {
                     match st.row_of.get(&job.id) {
-                        Some(&row) => {
-                            replayed += u64::from(row.0 + row.1).saturating_sub(2);
-                            Some(row)
+                        Some(&(ps, workers, origin)) => {
+                            replayed += u64::from(ps + workers).saturating_sub(2);
+                            if prov {
+                                why_rows.push((true, origin, None));
+                            }
+                            Some((ps, workers))
                         }
                         // Not flagged dirty but unseen (defensive):
                         // derive it fresh.
-                        None => engine.allocator.solo_climb(
-                            job,
-                            &total_available,
-                            &capacity,
-                            &mut st.cache,
-                            &mut solo_evals,
-                        ),
+                        None => {
+                            let mut why = None;
+                            let row = engine.allocator.solo_climb(
+                                job,
+                                &total_available,
+                                &capacity,
+                                &mut st.cache,
+                                &mut solo_evals,
+                                prov.then_some(&mut why),
+                            );
+                            if prov {
+                                why_rows.push((false, 0, why));
+                            }
+                            row
+                        }
                     }
                 } else {
-                    engine.allocator.solo_climb(
+                    let mut why = None;
+                    let row = engine.allocator.solo_climb(
                         job,
                         &total_available,
                         &capacity,
                         &mut st.cache,
                         &mut solo_evals,
-                    )
+                        prov.then_some(&mut why),
+                    );
+                    if prov {
+                        why_rows.push((false, 0, why));
+                    }
+                    row
                 };
                 match row {
                     Some(row) => st.rows_next.push(row),
                     None => {
                         alloc_full = true;
+                        full_reason = "climb-starved";
                         break;
                     }
                 }
             }
-            if !alloc_full && uncontended_certificate(jobs, |i| st.rows_next[i], &total_available) {
-                out.reset();
-                for (i, job) in jobs.iter().enumerate() {
-                    let (ps, workers) = st.rows_next[i];
-                    out.allocations.push(Allocation {
-                        job: job.id,
-                        ps,
-                        workers,
-                    });
+            if !alloc_full {
+                match certificate_check(jobs, |i| st.rows_next[i], &total_available) {
+                    Certificate::Holds { slack, term } => {
+                        out.reset();
+                        for (i, job) in jobs.iter().enumerate() {
+                            let (ps, workers) = st.rows_next[i];
+                            out.allocations.push(Allocation {
+                                job: job.id,
+                                ps,
+                                workers,
+                            });
+                        }
+                        stats.replayed_grants = replayed;
+                        st.alloc_valid = true;
+                        st.cert_slack = slack;
+                        st.cert_term = term;
+                        if self.tel.is_enabled() {
+                            self.tel.add("alloc.marginal_gain_evals", solo_evals);
+                            self.tel.add("alloc.replayed_grants", replayed);
+                        }
+                        if prov {
+                            for ((job, row), why) in jobs
+                                .iter()
+                                .zip(st.rows_next.iter())
+                                .zip(why_rows.iter_mut())
+                            {
+                                let (ps, workers) = *row;
+                                self.tel.why_alloc(job.id.0, ps, workers, why.2.take());
+                                let path = if why.0 {
+                                    DeltaWhy::Replay {
+                                        origin_round: why.1,
+                                        slack,
+                                        term: term.to_string(),
+                                    }
+                                } else {
+                                    DeltaWhy::Derive {
+                                        slack,
+                                        term: term.to_string(),
+                                    }
+                                };
+                                self.tel.why_delta(job.id.0, path);
+                            }
+                        }
+                    }
+                    Certificate::Fails {
+                        term,
+                        used,
+                        max_unit,
+                        total,
+                        slack,
+                    } => {
+                        alloc_full = true;
+                        // Always counted when telemetry is on (not just
+                        // with provenance): `optimus-trace` summaries
+                        // report *which* term forced the fallback.
+                        if self.tel.is_enabled() {
+                            self.tel.incr("alloc.cert_fallbacks");
+                            self.tel.incr(&format!("alloc.cert_fail.{term}"));
+                        }
+                        if prov {
+                            for job in jobs {
+                                self.tel.why_delta(
+                                    job.id.0,
+                                    DeltaWhy::Fallback {
+                                        term: term.to_string(),
+                                        used,
+                                        max_unit,
+                                        total,
+                                        slack,
+                                    },
+                                );
+                            }
+                        }
+                    }
                 }
-                stats.replayed_grants = replayed;
-                st.alloc_valid = true;
-                if self.tel.is_enabled() {
-                    self.tel.add("alloc.marginal_gain_evals", solo_evals);
-                    self.tel.add("alloc.replayed_grants", replayed);
-                }
-            } else {
-                alloc_full = true;
             }
         }
         if alloc_full {
             stats.alloc_full = true;
+            if prov && !full_reason.is_empty() {
+                for job in jobs {
+                    self.tel.why_delta(
+                        job.id.0,
+                        DeltaWhy::Precondition {
+                            reason: full_reason.to_string(),
+                        },
+                    );
+                }
+            }
             out.reset();
             self.allocator
                 .allocate_into(jobs, cluster, alloc_scratch, &mut out.allocations);
             // A full round's rows are per-job solo values — reusable by
             // the next delta round — exactly when it was uncontended.
             let rows = &out.allocations;
-            st.alloc_valid =
-                uncontended_certificate(jobs, |i| (rows[i].ps, rows[i].workers), &total_available);
+            match certificate_check(jobs, |i| (rows[i].ps, rows[i].workers), &total_available) {
+                Certificate::Holds { slack, term } => {
+                    st.alloc_valid = true;
+                    st.cert_slack = slack;
+                    st.cert_term = term;
+                }
+                Certificate::Fails { .. } => st.alloc_valid = false,
+            }
         }
         out.rebuild_index();
 
@@ -585,11 +746,18 @@ impl Scheduler for CompositeScheduler {
         st.place_valid = true;
 
         // --- Cross-round state refresh ---
+        // `out.allocations[i]` corresponds to `jobs[i]` on both paths,
+        // so `why_rows` (when present and trusted) lines up by index.
+        let round = self.tel.provenance_round();
         st.ids.clear();
         st.ids.extend(jobs.iter().map(|j| j.id));
         st.row_of.clear();
-        for a in out.allocations.iter() {
-            st.row_of.insert(a.job, (a.ps, a.workers));
+        for (i, a) in out.allocations.iter().enumerate() {
+            let origin = match why_rows.get(i) {
+                Some(&(true, origin, _)) if !alloc_full => origin,
+                _ => round,
+            };
+            st.row_of.insert(a.job, (a.ps, a.workers, origin));
         }
         stats
     }

@@ -389,6 +389,107 @@ fn clean_jobs_replay_grants_and_quiet_rounds_skip() {
     assert_eq!(out.placements(), fresh.placements());
 }
 
+/// Replay provenance: on an uncontended cluster, a clean job's
+/// why-record must cite the round that *originally derived* its grant —
+/// through both the delta-allocation replay path and the whole-round
+/// skip — and a skipped round's records must carry the full story
+/// (grant row and replayed layout) even though no work ran.
+#[test]
+fn replayed_grants_cite_their_originating_round() {
+    use optimus_telemetry::{DeltaWhy, Telemetry};
+
+    let tel = Telemetry::enabled();
+    tel.enable_provenance();
+    let cluster = make_cluster(&vec![(239, 359, 15); 100]);
+    let mut jobs: Vec<JobView> = (0..6u64)
+        .map(|i| {
+            make_job(
+                i,
+                &(
+                    ((i as usize % 3) * 2, 10_000 * (i + 1), 10 * i as u32, 4),
+                    (8, 12, 4),
+                ),
+            )
+        })
+        .collect();
+    let scheduler = OptimusScheduler::build_with_telemetry(tel.clone());
+    let mut scratch = RoundScratch::default();
+    let mut out = Schedule::new(Vec::new(), std::collections::HashMap::new());
+
+    // Round 1: cold start — the full pass derives every grant.
+    let delta = RoundDelta {
+        full: true,
+        cluster_changed: false,
+        dirty: Vec::new(),
+    };
+    scheduler.schedule_delta(&jobs, &cluster, &delta, &mut scratch, &mut out);
+
+    // Round 2: job 2 is dirty; the other five replay round 1's grants.
+    jobs[2].remaining_work *= 0.75;
+    let delta = RoundDelta {
+        full: false,
+        cluster_changed: false,
+        dirty: vec![2],
+    };
+    let stats = scheduler.schedule_delta(&jobs, &cluster, &delta, &mut scratch, &mut out);
+    assert!(
+        !stats.alloc_full && stats.replayed_grants > 0,
+        "uncontended delta round must replay: {stats:?}"
+    );
+
+    // Round 3: nothing changed — the whole round is skipped.
+    let stats = scheduler.schedule_delta(
+        &jobs,
+        &cluster,
+        &RoundDelta::default(),
+        &mut scratch,
+        &mut out,
+    );
+    assert!(stats.skipped_full);
+
+    let records = tel.why_records();
+    let rec = |round: u64, job: u64| {
+        records
+            .iter()
+            .find(|r| r.round == round && r.job == job)
+            .unwrap_or_else(|| panic!("no why-record for round {round} job {job}"))
+    };
+
+    for job in [0u64, 1, 3, 4, 5] {
+        // Round 2 (delta-allocation replay): cites round 1.
+        match &rec(2, job).delta {
+            DeltaWhy::Replay { origin_round, .. } => assert_eq!(*origin_round, 1, "job {job}"),
+            other => panic!("job {job} round 2: expected replay, got {other:?}"),
+        }
+        // Round 3 (whole-round skip): still cites round 1 — the origin
+        // survives intermediate replays rather than resetting each
+        // round.
+        match &rec(3, job).delta {
+            DeltaWhy::Replay { origin_round, .. } => assert_eq!(*origin_round, 1, "job {job}"),
+            other => panic!("job {job} round 3: expected replay, got {other:?}"),
+        }
+    }
+    // The dirty job re-derived in round 2; round 3's skip then cites
+    // round 2 as its origin.
+    match &rec(2, 2).delta {
+        DeltaWhy::Derive { .. } => {}
+        other => panic!("dirty job round 2: expected derive, got {other:?}"),
+    }
+    match &rec(3, 2).delta {
+        DeltaWhy::Replay { origin_round, .. } => assert_eq!(*origin_round, 2),
+        other => panic!("dirty job round 3: expected replay, got {other:?}"),
+    }
+    // Skipped-round records still tell the whole story: the grant rows
+    // match the live schedule and the replayed layouts are recorded.
+    for job in 0..6u64 {
+        let r = rec(3, job);
+        let a = out.allocation_for(JobId(job)).expect("allocated");
+        assert_eq!((r.ps, r.workers), (a.ps, a.workers), "job {job}");
+        let p = r.place.as_ref().expect("placed jobs carry a place story");
+        assert!(p.replayed, "job {job}: a skipped round replays layouts");
+    }
+}
+
 /// On a contended cluster the headroom certificate cannot hold, so a
 /// dirty round falls back to the full greedy pass — and still matches a
 /// fresh schedule exactly.

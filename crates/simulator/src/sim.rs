@@ -512,11 +512,12 @@ impl Simulation {
                         let ev_per_s =
                             (self.events_seen - last_progress_events) as f64 / elapsed.max(1e-9);
                         eprint!(
-                            "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} dirty={} skips={} ev/s={ev_per_s:.1}    ",
+                            "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} dirty={} skips={} prov={} ev/s={ev_per_s:.1}    ",
                             point.active_jobs,
                             point.worker_utilization,
                             self.track.last_delta_jobs,
-                            self.track.skipped
+                            self.track.skipped,
+                            tel.why_count()
                         );
                         last_progress = std::time::Instant::now();
                         last_progress_events = self.events_seen;
@@ -832,11 +833,12 @@ impl Simulation {
                             let q_per_s = (queue.scheduled() - last_progress_queue) as f64
                                 / elapsed.max(1e-9);
                             eprint!(
-                                "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} dirty={} skips={} ev/s={ev_per_s:.1} queue-ev/s={q_per_s:.1}    ",
+                                "\r[optimus-sim] round {round} t={t:.0}s active={} util={:.2} dirty={} skips={} prov={} ev/s={ev_per_s:.1} queue-ev/s={q_per_s:.1}    ",
                                 point.active_jobs,
                                 point.worker_utilization,
                                 self.track.last_delta_jobs,
-                                self.track.skipped
+                                self.track.skipped,
+                                tel.why_count()
                             );
                             last_progress = std::time::Instant::now();
                             last_progress_events = self.events_seen;

@@ -12,7 +12,7 @@ use optimus_cluster::{Cluster, ServerId};
 use optimus_core::prelude::*;
 use optimus_core::reference::{ReferenceOptimusAllocator, ReferenceOptimusPlacer};
 use optimus_ps::StragglerPolicy;
-use optimus_simulator::{SimConfig, SimEngine, SimReport, Simulation};
+use optimus_simulator::{SimConfig, SimEngine, SimEventKind, SimReport, Simulation};
 use optimus_telemetry::{FlightConfig, Telemetry};
 use optimus_workload::{JobId, JobSpec, ModelKind, TrainingMode};
 
@@ -432,6 +432,119 @@ fn flight_snapshots_are_physically_sane() {
         saw_load |= snap.cpu_util() > 0.0;
     }
     assert!(saw_load, "a 4-job run must show nonzero utilization");
+}
+
+/// Decision provenance is a pure observer: with why-records on, the
+/// event log, the schedule stream, the JCT decomposition *and the
+/// trace counters* must be byte for byte what the provenance-off run
+/// produces — across both sim engines and with delta rounds on and
+/// off (DESIGN §14).
+#[test]
+fn provenance_is_decision_invariant() {
+    let mut cfg = base_config();
+    cfg.straggler = StragglerPolicy::with_injection(0.002);
+    for engine in [SimEngine::Tick, SimEngine::Event] {
+        for delta in [false, true] {
+            let run = |provenance: bool| {
+                let tel = Telemetry::enabled();
+                if provenance {
+                    tel.enable_provenance();
+                }
+                let mut run_cfg = cfg.clone();
+                run_cfg.engine = engine;
+                run_cfg.delta_rounds = delta;
+                run_cfg.telemetry = tel.clone();
+                let mut sim = Simulation::new(
+                    Cluster::paper_testbed(),
+                    specs(4),
+                    Box::new(OptimusScheduler::build_with_telemetry(tel.clone())),
+                    run_cfg,
+                );
+                (sim.run(), tel)
+            };
+            let (off, off_tel) = run(false);
+            let (on, on_tel) = run(true);
+            assert_eq!(off_tel.why_count(), 0, "provenance off records nothing");
+            assert!(on_tel.why_count() > 0, "provenance on records why-records");
+            let label = format!("{engine:?}, delta={delta}");
+            assert_eq!(
+                off.events.to_json_lines(),
+                on.events.to_json_lines(),
+                "event log diverged with provenance on ({label})"
+            );
+            assert_eq!(
+                off.events.schedule_stream_json_lines(),
+                on.events.schedule_stream_json_lines(),
+                "schedule stream diverged with provenance on ({label})"
+            );
+            assert_eq!(
+                serde_json::to_string(&off.breakdown).unwrap(),
+                serde_json::to_string(&on.breakdown).unwrap(),
+                "JCT decomposition diverged with provenance on ({label})"
+            );
+            assert_eq!(
+                off_tel.to_canonical_json_lines(),
+                on_tel.to_canonical_json_lines(),
+                "canonical trace diverged with provenance on ({label})"
+            );
+        }
+    }
+}
+
+/// Every configuration the simulator actually grants must leave a
+/// complete why-record trail: for each `JobScheduled` event there is a
+/// provenance record for that job whose grant row and placement story
+/// match the granted configuration, and every record carries the
+/// current schema version.
+#[test]
+fn every_scheduled_job_has_a_complete_why_record() {
+    let tel = Telemetry::enabled();
+    tel.enable_provenance();
+    let mut cfg = base_config();
+    cfg.telemetry = tel.clone();
+    cfg.straggler = StragglerPolicy::with_injection(0.002);
+    let mut sim = Simulation::new(
+        Cluster::paper_testbed(),
+        specs(5),
+        Box::new(OptimusScheduler::build_with_telemetry(tel.clone())),
+        cfg,
+    );
+    let report = sim.run();
+    assert_eq!(report.unfinished_jobs, 0);
+    let records = tel.why_records();
+    assert!(!records.is_empty(), "a live run must record provenance");
+    for rec in &records {
+        assert_eq!(
+            rec.v,
+            Some(optimus_telemetry::SCHEMA_VERSION),
+            "why-records are stamped with the ledger schema version"
+        );
+        assert!(rec.round >= 1, "rounds are 1-based");
+    }
+    let mut scheduled = 0usize;
+    for event in report.events.all() {
+        if let SimEventKind::JobScheduled {
+            job, ps, workers, ..
+        } = event.kind
+        {
+            scheduled += 1;
+            // The event reports the *placed* configuration (possibly
+            // shed below the grant); that story lives in the record's
+            // placement section — the top-level row keeps the
+            // requested grant.
+            assert!(
+                records.iter().any(|r| r.job == job.0
+                    && r.place
+                        .as_ref()
+                        .is_some_and(|p| p.ps == ps && p.workers == workers)),
+                "job {} placed as ({ps} ps, {workers} workers) at t={} has no \
+                 matching why-record",
+                job.0,
+                event.t
+            );
+        }
+    }
+    assert!(scheduled > 0, "the run must schedule jobs");
 }
 
 /// Three jobs that arrive only after a 1000 s idle warm-up — the span

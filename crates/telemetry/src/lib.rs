@@ -50,17 +50,21 @@
 pub mod flight;
 pub mod ledger;
 pub mod metrics;
+pub mod provenance;
 pub mod span;
 pub mod trace;
 
 pub use flight::{ClusterSnapshot, FlightConfig, FlightLog, FlightRecorder, PoolStat};
 pub use ledger::{RunLedger, RunManifest};
 pub use metrics::{HistogramSummary, TelemetrySummary};
+pub use provenance::{AllocWhy, DeltaWhy, PlaceReject, PlaceWhy, RunnerUp, WhyRecord};
 pub use span::{Span, SpanRecord};
 pub use trace::{TraceEvent, TraceLine, TraceRecord, SCHEMA_VERSION};
 
 use metrics::Histogram;
+use provenance::WhyRecord as Why;
 use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -79,11 +83,19 @@ pub(crate) struct State {
     pub(crate) next_span_id: u64,
     pub(crate) records: Vec<TraceRecord>,
     pub(crate) next_seq: u64,
+    /// Decision-provenance records, keyed by `(round, job)` so export
+    /// order is canonical for free (see [`provenance`]).
+    pub(crate) why: BTreeMap<(u64, u64), Why>,
+    /// Current provenance round (bumped once per scheduling round).
+    pub(crate) why_round: u64,
 }
 
 #[derive(Debug)]
 pub(crate) struct Inner {
     pub(crate) origin: Instant,
+    /// Provenance gate: recording *why*-records is opt-in on top of an
+    /// enabled handle ([`Telemetry::enable_provenance`]).
+    pub(crate) provenance: AtomicBool,
     pub(crate) state: Mutex<State>,
 }
 
@@ -99,6 +111,7 @@ impl Telemetry {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 origin: Instant::now(),
+                provenance: AtomicBool::new(false),
                 state: Mutex::new(State::default()),
             })),
         }

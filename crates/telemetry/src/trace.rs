@@ -18,13 +18,16 @@ use serde::{Deserialize, Serialize};
 /// History: 1 = PR 1 (no version field; reads back as `None`),
 /// 2 = adds `v`, [`TraceEvent::EstimatorSample`], and histogram
 /// overflow counts in summaries,
-/// 3 = this version (adds histogram `underflow` counts to
-/// [`TraceLine::Histogram`] and summaries; the flight-recorder
-/// snapshot stream ships alongside as its own `flight.jsonl`
-/// artifact). Older traces still parse: `underflow` reads back as
-/// `None` — unknown, not zero — and `optimus-trace` warns on the
-/// legacy versions.
-pub const SCHEMA_VERSION: u32 = 3;
+/// 3 = adds histogram `underflow` counts to [`TraceLine::Histogram`]
+/// and summaries; the flight-recorder snapshot stream ships alongside
+/// as its own `flight.jsonl` artifact,
+/// 4 = this version (no trace line-shape change; decision-provenance
+/// [`crate::provenance::WhyRecord`]s ship alongside as their own
+/// `provenance.jsonl` artifact, each line carrying this version).
+/// Older traces still parse: `underflow` reads back as `None` —
+/// unknown, not zero — and `optimus-trace` warns on the legacy
+/// versions.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A scheduler decision worth explaining later. Job ids are raw `u64`s
 /// (this crate sits below the workload layer).

@@ -71,6 +71,9 @@ equivalence:
 # because the delta path legitimately emits different *telemetry*:
 # replayed placements skip per-job Placement events, and per-round
 # counter deltas differ when work is reused instead of re-derived.
+# `provenance.jsonl` is excluded there too: why-records narrate the
+# delta path taken (replay/derive vs full), which differs between the
+# modes by definition even though the decisions are identical.
 ledger:
     rm -rf target/ledger-smoke
     cargo run --release --bin optimus-sim -- run --jobs 3 --seed 11 --interval 300 --ledger target/ledger-smoke/a
@@ -81,7 +84,7 @@ ledger:
     cargo run --release --bin optimus-trace -- diff target/ledger-smoke/a target/ledger-smoke/b
     cargo run --release --bin optimus-trace -- diff --ignore trace.jsonl target/ledger-smoke/a target/ledger-smoke/tick
     cargo run --release --bin optimus-trace -- diff target/ledger-smoke/a target/ledger-smoke/scalar-fit
-    cargo run --release --bin optimus-trace -- diff --ignore trace.jsonl --ignore flight.jsonl target/ledger-smoke/a target/ledger-smoke/full-rounds
+    cargo run --release --bin optimus-trace -- diff --ignore trace.jsonl --ignore flight.jsonl --ignore provenance.jsonl target/ledger-smoke/a target/ledger-smoke/full-rounds
 
 # Whole-simulation throughput: simulated-seconds per wall-second and
 # events per wall-second across the job grid, with a bit-identical
@@ -96,6 +99,17 @@ timeline:
     rm -rf target/timeline-demo
     cargo run --release --bin optimus-sim -- run --jobs 4 --seed 11 --interval 300 --ledger target/timeline-demo
     cargo run --release --bin optimus-trace -- timeline target/timeline-demo
+
+# Decision-provenance smoke: record a small ledgered run and explain
+# one job's decisions from its provenance.jsonl — the round-by-round
+# history, one full round story, and the run-wide summary. Exercises
+# the whole why-record pipeline (record → ledger artifact → explainer).
+why:
+    rm -rf target/why-demo
+    cargo run --release --bin optimus-sim -- run --jobs 4 --seed 11 --interval 300 --ledger target/why-demo
+    cargo run --release --bin optimus-trace -- why 1 target/why-demo
+    cargo run --release --bin optimus-trace -- why 1 target/why-demo --round 3
+    cargo run --release --bin optimus-trace -- why target/why-demo --summary
 
 # Regression watchdog: fail if the newest committed bench entry is
 # slower than the best prior entry beyond the tolerance.
@@ -114,7 +128,8 @@ check-bench:
 # bench_sim smokes the at-scale 100-job grid point, which includes its
 # own tick-vs-event cross-check), the run-ledger determinism smoke
 # (including the cross-engine and delta-off diffs), the
-# flight-recorder timeline smoke, and the bench regression watchdog.
-ci: lint build test equivalence bench-alloc ledger timeline check-bench
+# flight-recorder timeline smoke, the decision-provenance why smoke,
+# and the bench regression watchdog.
+ci: lint build test equivalence bench-alloc ledger timeline why check-bench
     cargo run --release -p optimus-bench --bin bench_fit -- --samples 1 --points 5000
     cargo run --release -p optimus-bench --bin bench_sim -- --samples 1 --points 100

@@ -43,7 +43,9 @@ FLAGS:
   --trace FILE      write a telemetry trace (JSONL) for optimus-trace
   --chrome-trace FILE  write the same trace as Chrome trace_event JSON
   --ledger DIR      write a run ledger (manifest + hashed artifacts) to DIR;
-                    implies telemetry, event recording and the flight recorder
+                    implies telemetry, event recording, the flight recorder
+                    and decision provenance (provenance.jsonl, `optimus-trace
+                    why`)
   --flight CAP      sample a cluster snapshot per scheduling round into a ring
                     buffer of CAP snapshots (default off; --ledger turns it on
                     at 4096)
@@ -147,6 +149,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         } else {
             Telemetry::disabled()
         };
+        // A ledgered run records decision provenance too, so
+        // `optimus-trace why` can explain any job in it.
+        if ledger_dir.is_some() {
+            tel.enable_provenance();
+        }
         let (scheduler, assignment): (Box<CompositeScheduler>, AssignmentPolicy) =
             match scheduler_name {
                 "optimus" => (
@@ -222,6 +229,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 ("interval_s".into(), Value::Num(interval_s)),
                 ("fast_forward".into(), Value::Bool(fast_forward)),
                 ("delta_rounds".into(), Value::Bool(delta_rounds)),
+                ("provenance".into(), Value::Bool(true)),
                 (
                     "engine".into(),
                     Value::Str(

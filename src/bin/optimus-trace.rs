@@ -9,6 +9,10 @@
 //!   audit (`--models`);
 //! * **timeline** — render a run-ledger directory as a per-job Gantt
 //!   chart plus the flight recorder's utilization timeline;
+//! * **why** — explain one job's decisions from a run's
+//!   decision-provenance ledger (`provenance.jsonl`): the winning
+//!   marginal gain and the runner-ups it beat, the placement candidates
+//!   rejected on the way, and which delta path produced the grant;
 //! * **diff** — compare two run-ledger directories artifact by artifact
 //!   and localize the first divergent round/job/event;
 //! * **check-bench** — regression watchdog over the committed
@@ -17,7 +21,8 @@
 
 use optimus::fitting::stats::{mean, p50_p95_p99};
 use optimus::ledger::{self, LoadedRun};
-use optimus::telemetry::{TraceEvent, TraceLine, SCHEMA_VERSION};
+use optimus::telemetry::provenance::parse_why_lines;
+use optimus::telemetry::{DeltaWhy, PlaceReject, TraceEvent, TraceLine, WhyRecord, SCHEMA_VERSION};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
@@ -28,6 +33,7 @@ optimus-trace — summarize Optimus telemetry traces and run ledgers
 USAGE:
   optimus-trace FILE|RUN_DIR [--top N] [--no-jobs] [--spans] [--models]
   optimus-trace timeline RUN_DIR [--width N] [--segments FILE] [--chrome FILE]
+  optimus-trace why [JOB] RUN_DIR [--round R] [--summary] [--ledger RUN_DIR]
   optimus-trace diff [--ignore ARTIFACT]... RUN_A RUN_B
   optimus-trace check-bench [--sched FILE] [--fit FILE] [--sim FILE]
                             [--tolerance F]
@@ -46,11 +52,22 @@ TIMELINE:
   --segments FILE  also export the typed Gantt segments as JSONL
   --chrome FILE    also export the utilization as Chrome counter tracks
 
+WHY:
+  Explains decisions from a run's provenance.jsonl (recorded by
+  `optimus-sim run --ledger`). With JOB alone, prints the job's
+  round-by-round decision history; with --round R, the full story of
+  that round: winning allocation gain vs its runner-ups, rejected
+  placement candidates with reasons, and the delta path (replayed
+  grant with originating round, solo re-derive, or certificate-failure
+  fallback). --summary aggregates the whole run (or one job) instead.
+  Exit code 2 when the run carries no provenance or the job/round has
+  no record.
+
 DIFF:
   Compares two run directories written with --ledger. Exit code 0 when
-  the runs are identical, 1 when they diverge, 2 on error. On
-  divergence, prints the first differing round/job/event with
-  surrounding context from both runs.
+  the runs are identical, 1 when they diverge, 2 on error — or when
+  the runs cannot be compared line-by-line because an artifact exists
+  on only one side (e.g. a provenance.jsonl recorded in one run only).
 
 CHECK-BENCH FLAGS:
   --sched FILE     scheduling bench history      (default BENCH_sched.json)
@@ -72,6 +89,7 @@ fn main() -> ExitCode {
     }
     match args[0].as_str() {
         "timeline" => cmd_timeline(&args[1..]),
+        "why" => cmd_why(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
         "check-bench" => cmd_check_bench(&args[1..]),
         _ => cmd_summarize(&args),
@@ -325,6 +343,34 @@ fn print_rounds(lines: &[TraceLine]) {
             "  delta rounds: {dirty} dirty views total (mean {:.1}/round), \
              {skipped} of {rounds} rounds skipped whole, {replayed} grants replayed",
             dirty as f64 / rounds.max(1) as f64,
+        );
+    }
+    // Certificate-fallback accounting: not just how often the
+    // uncontended certificate failed, but *which resource term* failed
+    // it (the `alloc.cert_fail.<term>` counter family).
+    if let Some(fallbacks) = counter("alloc.cert_fallbacks") {
+        const PREFIX: &str = "alloc.cert_fail.";
+        let mut reasons: Vec<(&str, u64)> = lines
+            .iter()
+            .filter_map(|l| match l {
+                TraceLine::Counter { name, value, .. } if name.starts_with(PREFIX) => {
+                    Some((&name[PREFIX.len()..], *value))
+                }
+                _ => None,
+            })
+            .collect();
+        reasons.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let detail: Vec<String> = reasons
+            .iter()
+            .map(|(term, n)| format!("{term} ×{n}"))
+            .collect();
+        println!(
+            "  certificate fallbacks: {fallbacks} (failing term: {})",
+            if detail.is_empty() {
+                "unknown".to_string()
+            } else {
+                detail.join(", ")
+            }
         );
     }
 }
@@ -647,6 +693,477 @@ fn cmd_timeline(args: &[String]) -> ExitCode {
     }
 }
 
+// -- why --------------------------------------------------------------
+
+/// `why [JOB] RUN_DIR [--round R] [--summary]`: explain a job's
+/// decisions from the run's decision-provenance ledger.
+fn cmd_why(args: &[String]) -> ExitCode {
+    let mut round: Option<u64> = None;
+    let mut summary = false;
+    let mut dir: Option<&str> = None;
+    let mut job: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--round" => match it.next().and_then(|r| r.parse().ok()) {
+                Some(r) => round = Some(r),
+                None => {
+                    eprintln!("--round requires a round number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--ledger" => match it.next() {
+                Some(d) => dir = Some(d),
+                None => {
+                    eprintln!("--ledger requires a run directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--summary" => summary = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag for why: {other}");
+                return ExitCode::from(2);
+            }
+            other => {
+                // First numeric positional is the job; anything else is
+                // the run directory (same as --ledger).
+                if job.is_none() {
+                    if let Ok(j) = other.parse() {
+                        job = Some(j);
+                        continue;
+                    }
+                }
+                if dir.is_none() {
+                    dir = Some(other);
+                } else {
+                    eprintln!("unexpected argument for why: {other}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    let usage = "usage: optimus-trace why [JOB] RUN_DIR [--round R] [--summary]";
+    let Some(dir) = dir else {
+        eprintln!("{usage}");
+        return ExitCode::from(2);
+    };
+    if job.is_none() && !summary {
+        eprintln!("{usage}\n(give a JOB id, or --summary for run-wide aggregates)");
+        return ExitCode::from(2);
+    }
+    let run = match ledger::load_run(Path::new(dir)) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(body) = run.artifacts.get(ledger::PROVENANCE_ARTIFACT) else {
+        eprintln!(
+            "error: {}: no {} artifact — this run predates decision provenance; \
+             re-record with `optimus-sim run --ledger`",
+            run.dir.display(),
+            ledger::PROVENANCE_ARTIFACT
+        );
+        return ExitCode::from(2);
+    };
+    let records = match parse_why_lines(body) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {}: {e}", run.dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(v) = records.iter().filter_map(|r| r.v).max() {
+        if v > SCHEMA_VERSION {
+            eprintln!(
+                "error: provenance records carry schema v{v}, newer than this \
+                 build supports (v{SCHEMA_VERSION}); rebuild optimus-trace"
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if summary {
+        print_why_summary(&run, &records, job);
+        return ExitCode::SUCCESS;
+    }
+    let job = job.expect("checked above");
+    let of_job: Vec<&WhyRecord> = records.iter().filter(|r| r.job == job).collect();
+    if of_job.is_empty() {
+        eprintln!(
+            "error: job {job} has no provenance records in {} \
+             (jobs present: {})",
+            run.dir.display(),
+            known_jobs(&records)
+        );
+        return ExitCode::from(2);
+    }
+    match round {
+        None => print_why_history(&run, job, &of_job),
+        Some(round) => {
+            let Some(rec) = of_job.iter().find(|r| r.round == round) else {
+                let rounds: Vec<String> = of_job.iter().map(|r| r.round.to_string()).collect();
+                eprintln!(
+                    "error: job {job} has no record for round {round} \
+                     (rounds with records: {})",
+                    rounds.join(", ")
+                );
+                return ExitCode::from(2);
+            };
+            print_why_detail(&run, rec, &records);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// A short comma list of the distinct jobs present in the records.
+fn known_jobs(records: &[WhyRecord]) -> String {
+    let mut jobs: Vec<u64> = records.iter().map(|r| r.job).collect();
+    jobs.sort_unstable();
+    jobs.dedup();
+    let mut shown: Vec<String> = jobs.iter().take(20).map(u64::to_string).collect();
+    if jobs.len() > shown.len() {
+        shown.push(format!("… {} total", jobs.len()));
+    }
+    shown.join(", ")
+}
+
+/// One-word delta-path tag for history rows.
+fn delta_tag(delta: &DeltaWhy) -> String {
+    match delta {
+        DeltaWhy::Full => "full".into(),
+        DeltaWhy::Replay { origin_round, .. } => format!("replay←r{origin_round}"),
+        DeltaWhy::Derive { .. } => "derive".into(),
+        DeltaWhy::Fallback { term, .. } => format!("fallback({term})"),
+        DeltaWhy::Precondition { reason } => format!("full({reason})"),
+    }
+}
+
+/// `why JOB RUN_DIR`: the job's round-by-round decision history.
+fn print_why_history(run: &LoadedRun, job: u64, recs: &[&WhyRecord]) {
+    println!(
+        "why: job {job} in {} — {} rounds with records",
+        run.dir.display(),
+        recs.len()
+    );
+    println!(
+        "  {:>6}  {:>4} {:>8}  {:<14} {:<26} winning gain",
+        "round", "ps", "workers", "path", "placed"
+    );
+    for rec in recs {
+        let placed = match &rec.place {
+            Some(p) if p.ps + p.workers > 0 => format!(
+                "{} ps × {} workers on {} srv{}{}",
+                p.ps,
+                p.workers,
+                p.servers,
+                if p.shrunk > 0 {
+                    format!(" (-{})", p.shrunk)
+                } else {
+                    String::new()
+                },
+                if p.replayed { " [replayed]" } else { "" },
+            ),
+            Some(_) => "unplaced".into(),
+            None => "-".into(),
+        };
+        let gain = match &rec.alloc {
+            Some(a) => format!("{:.4} ({})", a.gain, a.action),
+            None => "-".into(),
+        };
+        println!(
+            "  {:>6}  {:>4} {:>8}  {:<14} {:<26} {}",
+            rec.round,
+            rec.ps,
+            rec.workers,
+            delta_tag(&rec.delta),
+            placed,
+            gain
+        );
+    }
+    println!("\n(use --round R for the full story of one round)");
+}
+
+/// `why JOB RUN_DIR --round R`: the full story of one decision.
+fn print_why_detail(run: &LoadedRun, rec: &WhyRecord, all: &[WhyRecord]) {
+    println!(
+        "why: job {} round {} in {}",
+        rec.job,
+        rec.round,
+        run.dir.display()
+    );
+    println!("  grant: {} ps × {} workers", rec.ps, rec.workers);
+
+    println!("\nallocation:");
+    match &rec.alloc {
+        Some(a) => {
+            println!(
+                "  winning gain {:.6} on \"{}\" \
+                 (dominant share: worker {:.4}, ps {:.4})",
+                a.gain, a.action, a.dom_worker, a.dom_ps
+            );
+            println!(
+                "  priority: factor {}, young-job damping {}",
+                a.priority_factor,
+                if a.young { "on" } else { "off" }
+            );
+            if a.runners_up.is_empty() {
+                println!("  runners-up: none (no live rival candidate at grant time)");
+            } else {
+                println!("  runners-up beaten (best first):");
+                for r in &a.runners_up {
+                    println!(
+                        "    job {} \"{}\" gain {:.6}  (margin {:+.6})",
+                        r.job,
+                        r.action,
+                        r.gain,
+                        a.gain - r.gain
+                    );
+                }
+            }
+        }
+        None => println!(
+            "  no fresh allocation story this round — the grant was replayed \
+             or starter-only (see the delta path below)"
+        ),
+    }
+
+    println!("\nplacement:");
+    match &rec.place {
+        Some(p) if p.ps + p.workers > 0 => {
+            println!(
+                "  placed {} ps × {} workers across {} server(s){}{}",
+                p.ps,
+                p.workers,
+                p.servers,
+                if p.shrunk > 0 {
+                    format!(", {} task(s) shed by shrink retries", p.shrunk)
+                } else {
+                    String::new()
+                },
+                if p.replayed {
+                    " [layout replayed from the previous round]"
+                } else {
+                    ""
+                },
+            );
+            print_rejections(p.rejections, &p.rejected);
+        }
+        Some(p) => {
+            println!("  unplaced — paused for this interval (§4.2)");
+            print_rejections(p.rejections, &p.rejected);
+        }
+        None => println!("  job was not handed to the placer this round"),
+    }
+
+    println!("\ndelta path:");
+    match &rec.delta {
+        DeltaWhy::Full => println!("  full allocation pass"),
+        DeltaWhy::Replay {
+            origin_round,
+            slack,
+            term,
+        } => {
+            println!(
+                "  grant replayed unchanged from round {origin_round} \
+                 (uncontended certificate held; binding term \"{term}\"{})",
+                fmt_slack(*slack)
+            );
+            match all
+                .iter()
+                .find(|r| r.round == *origin_round && r.job == rec.job)
+            {
+                Some(origin) => println!(
+                    "  originating round {} was decided by: {}",
+                    origin_round,
+                    delta_tag(&origin.delta)
+                ),
+                None => println!("  (originating round {origin_round} has no record in this run)"),
+            }
+        }
+        DeltaWhy::Derive { slack, term } => println!(
+            "  grant re-derived by an independent solo climb — the job was \
+             dirty but the certificate held (binding term \"{term}\"{})",
+            fmt_slack(*slack)
+        ),
+        DeltaWhy::Fallback {
+            term,
+            used,
+            max_unit,
+            total,
+            slack,
+        } => println!(
+            "  full-pass fallback: certificate term \"{term}\" failed \
+             (used {used:.2} + 2 × max unit {max_unit:.2} > total {total:.2}; \
+             slack {slack:.2})"
+        ),
+        DeltaWhy::Precondition { reason } => println!(
+            "  full pass forced before the certificate was consulted: \
+             precondition \"{reason}\""
+        ),
+    }
+}
+
+/// Renders a certificate slack unless it is the "no applicable term"
+/// sentinel (`f64::MAX`).
+fn fmt_slack(slack: f64) -> String {
+    if slack >= f64::MAX {
+        String::new()
+    } else {
+        format!(", slack {slack:.2}")
+    }
+}
+
+fn print_rejections(total: u64, rejected: &[PlaceReject]) {
+    if total == 0 {
+        println!("  rejections: none — the first probed layout won");
+        return;
+    }
+    println!("  rejections before this layout won: {total}");
+    for r in rejected {
+        match r {
+            PlaceReject::KPrefix { k } => {
+                println!("    k-prefix bound: no feasible split on a {k}-server prefix")
+            }
+            PlaceReject::AggregateEarlyExit { servers } => println!(
+                "    aggregate early exit: total free capacity over {servers} \
+                 indexed server(s) cannot cover the job"
+            ),
+            PlaceReject::Capacity { ps, workers } => println!(
+                "    capacity: whole configuration {ps} ps × {workers} workers \
+                 shed, job shrunk"
+            ),
+        }
+    }
+    if (rejected.len() as u64) < total {
+        println!(
+            "    … and {} more (not retained)",
+            total - rejected.len() as u64
+        );
+    }
+}
+
+/// `why --summary`: run-wide (or one-job) aggregates over the ledger.
+fn print_why_summary(run: &LoadedRun, records: &[WhyRecord], job: Option<u64>) {
+    let recs: Vec<&WhyRecord> = records
+        .iter()
+        .filter(|r| job.is_none_or(|j| r.job == j))
+        .collect();
+    match job {
+        Some(j) => println!(
+            "why summary: job {j} in {} — {} records",
+            run.dir.display(),
+            recs.len()
+        ),
+        None => println!(
+            "why summary: {} — {} records, {} jobs",
+            run.dir.display(),
+            recs.len(),
+            known_jobs(records)
+        ),
+    }
+    if recs.is_empty() {
+        return;
+    }
+
+    let (mut full, mut replay, mut derive, mut fallback, mut precond) = (0u64, 0, 0, 0, 0);
+    let mut cert_terms: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut fail_terms: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut precond_reasons: BTreeMap<&str, u64> = BTreeMap::new();
+    for rec in &recs {
+        match &rec.delta {
+            DeltaWhy::Full => full += 1,
+            DeltaWhy::Replay { term, .. } => {
+                replay += 1;
+                *cert_terms.entry(term.as_str()).or_insert(0) += 1;
+            }
+            DeltaWhy::Derive { term, .. } => {
+                derive += 1;
+                *cert_terms.entry(term.as_str()).or_insert(0) += 1;
+            }
+            DeltaWhy::Fallback { term, .. } => {
+                fallback += 1;
+                *fail_terms.entry(term.as_str()).or_insert(0) += 1;
+            }
+            DeltaWhy::Precondition { reason } => {
+                precond += 1;
+                *precond_reasons.entry(reason.as_str()).or_insert(0) += 1;
+            }
+        }
+    }
+    println!("\ndelta paths:");
+    println!("  {full:>8}  full pass");
+    println!("  {replay:>8}  replayed grants");
+    println!("  {derive:>8}  solo re-derives");
+    println!("  {fallback:>8}  certificate fallbacks");
+    println!("  {precond:>8}  precondition full passes");
+    let fmt_terms = |terms: &BTreeMap<&str, u64>| {
+        terms
+            .iter()
+            .map(|(t, n)| format!("{t} ×{n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if !cert_terms.is_empty() {
+        println!("  binding certificate terms: {}", fmt_terms(&cert_terms));
+    }
+    if !fail_terms.is_empty() {
+        println!("  failing certificate terms: {}", fmt_terms(&fail_terms));
+    }
+    if !precond_reasons.is_empty() {
+        println!("  preconditions: {}", fmt_terms(&precond_reasons));
+    }
+
+    // Winning-margin distribution: how close the beaten runner-up came.
+    let mut margins: Vec<f64> = recs
+        .iter()
+        .filter_map(|r| r.alloc.as_ref())
+        .filter_map(|a| a.runners_up.first().map(|r| a.gain - r.gain))
+        .collect();
+    if !margins.is_empty() {
+        margins.sort_by(|a, b| a.partial_cmp(b).expect("finite margins"));
+        println!(
+            "\nallocation margins over the best runner-up ({} contested grants):",
+            margins.len()
+        );
+        println!(
+            "  mean {:.6}, p50 {:.6}, p95 {:.6}, max {:.6}",
+            margins.iter().sum::<f64>() / margins.len() as f64,
+            pctl(&margins, 0.50),
+            pctl(&margins, 0.95),
+            margins[margins.len() - 1],
+        );
+    }
+
+    let mut rejections = 0u64;
+    let (mut kprefix, mut aggregate, mut capacity) = (0u64, 0u64, 0u64);
+    let mut placed = 0u64;
+    let mut unplaced = 0u64;
+    for rec in &recs {
+        let Some(p) = &rec.place else { continue };
+        if p.ps + p.workers > 0 {
+            placed += 1;
+        } else {
+            unplaced += 1;
+        }
+        rejections += p.rejections;
+        for r in &p.rejected {
+            match r {
+                PlaceReject::KPrefix { .. } => kprefix += 1,
+                PlaceReject::AggregateEarlyExit { .. } => aggregate += 1,
+                PlaceReject::Capacity { .. } => capacity += 1,
+            }
+        }
+    }
+    println!("\nplacement: {placed} placed, {unplaced} unplaced, {rejections} candidates rejected");
+    if rejections > 0 {
+        println!(
+            "  retained rejection reasons: k-prefix ×{kprefix}, \
+             aggregate early exit ×{aggregate}, capacity ×{capacity}"
+        );
+    }
+}
+
 // -- diff -------------------------------------------------------------
 
 fn cmd_diff(args: &[String]) -> ExitCode {
@@ -724,6 +1241,24 @@ fn cmd_diff(args: &[String]) -> ExitCode {
             diff.matching.len()
         );
         return ExitCode::SUCCESS;
+    }
+    // Artifact asymmetry with no shared artifact differing: there is no
+    // line-by-line divergence to localize — one run simply recorded an
+    // artifact the other did not (e.g. provenance.jsonl on one side
+    // only). That is a comparability error, not a decision divergence.
+    if diff.differing.is_empty() && !diff.only_in_one.is_empty() {
+        for (name, which) in &diff.only_in_one {
+            let (has, lacks) = match which {
+                'a' => (dirs[0], dirs[1]),
+                _ => (dirs[1], dirs[0]),
+            };
+            println!(
+                "runs are not comparable: {has} recorded {name} but {lacks} did not \
+                 (all {} shared artifacts match)",
+                diff.matching.len()
+            );
+        }
+        return ExitCode::from(2);
     }
     if let Some(d) = &diff.divergence {
         println!("\nfirst divergence: {}:{}", d.artifact, d.line);

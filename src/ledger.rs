@@ -35,6 +35,9 @@ pub const JCT_ARTIFACT: &str = "jct.jsonl";
 /// Artifact name of the flight-recorder snapshot stream (present only
 /// when the run had the recorder on).
 pub const FLIGHT_ARTIFACT: &str = "flight.jsonl";
+/// Artifact name of the decision-provenance ledger (present only when
+/// the run had provenance recording on).
+pub const PROVENANCE_ARTIFACT: &str = "provenance.jsonl";
 
 /// Builds the ledger for one completed simulator run: config echo,
 /// deterministic artifacts (event log, schedule stream, canonical
@@ -76,6 +79,9 @@ pub fn sim_run_ledger(
     ledger.add_artifact(JCT_ARTIFACT, jct_lines);
     if let Some(flight) = &report.flight {
         ledger.add_artifact(FLIGHT_ARTIFACT, flight.to_json_lines());
+    }
+    if tel.provenance_enabled() {
+        ledger.add_artifact(PROVENANCE_ARTIFACT, tel.why_json_lines());
     }
     ledger
 }
@@ -176,12 +182,13 @@ pub struct RunDiff {
 /// Artifact walk order for divergence triage: placement decisions are
 /// scanned via the full event log first (it carries admissions and
 /// finishes too), then the schedule stream, then the canonical trace.
-const DIFF_PRIORITY: [&str; 5] = [
+const DIFF_PRIORITY: [&str; 6] = [
     EVENTS_ARTIFACT,
     SCHEDULE_ARTIFACT,
     TRACE_ARTIFACT,
     JCT_ARTIFACT,
     FLIGHT_ARTIFACT,
+    PROVENANCE_ARTIFACT,
 ];
 
 /// Lines of context shown on each side of a divergent line.
